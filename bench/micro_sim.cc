@@ -1,0 +1,78 @@
+// Micro-benchmark for the monitoring/tracing substrate: simulated-kernel
+// event throughput (the analogue of the paper's 34-minute Bochs run being
+// dominated by instrumentation cost) and the cost of the benchmark mix.
+#include <benchmark/benchmark.h>
+
+#include "src/core/pipeline.h"
+#include "src/vfs/vfs_kernel.h"
+#include "src/workload/workloads.h"
+
+namespace lockdoc {
+namespace {
+
+void BM_SimulateMix(benchmark::State& state) {
+  size_t ops = static_cast<size_t>(state.range(0));
+  uint64_t events = 0;
+  for (auto _ : state) {
+    MixOptions options;
+    options.ops = ops;
+    options.seed = 1;
+    SimulationResult result = SimulateKernelRun(options, FaultPlan{});
+    events = result.trace.size();
+    benchmark::DoNotOptimize(result.trace.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events));
+  state.counters["events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_SimulateMix)->Arg(1000)->Arg(4000)->Arg(16000)->Unit(benchmark::kMillisecond);
+
+void BM_RawEventEmission(benchmark::State& state) {
+  // Lower bound: pure lock/access event emission without workload logic.
+  VfsIds ids;
+  std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Trace trace;
+    SimKernel sim(&trace, registry.get());
+    FunctionScope fn(sim, "bench.c", "emit", 1, 10);
+    ObjectRef obj = sim.Create(ids.cdev, kNoSubclass, 1);
+    GlobalLock lock = sim.DefineStaticLock("bench_lock", LockType::kSpinlock);
+    MemberIndex member = *registry->layout(ids.cdev).FindMember("count");
+    state.ResumeTiming();
+    for (int i = 0; i < 10000; ++i) {
+      sim.LockGlobal(lock, 2);
+      sim.Write(obj, member, 3);
+      sim.UnlockGlobal(lock, 4);
+    }
+    state.PauseTiming();
+    sim.Destroy(obj, 9);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(trace.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 30000);
+}
+BENCHMARK(BM_RawEventEmission);
+
+void BM_FullPipeline(benchmark::State& state) {
+  // End-to-end: import + extraction + derivation over a prebuilt trace
+  // (the analysis side only; simulation excluded).
+  MixOptions options;
+  options.ops = static_cast<size_t>(state.range(0));
+  options.seed = 1;
+  SimulationResult sim = SimulateKernelRun(options, FaultPlan{});
+  PipelineOptions pipeline_options;
+  pipeline_options.filter = VfsKernel::MakeFilterConfig();
+  for (auto _ : state) {
+    PipelineResult result = RunPipeline(sim.trace, *sim.registry, pipeline_options);
+    benchmark::DoNotOptimize(result.rules.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sim.trace.size()));
+}
+BENCHMARK(BM_FullPipeline)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lockdoc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Micro-benchmark for trace serialization: binary encode/decode throughput
+// of realistic event streams (the archival path that makes ex-post analysis
+// repeatable).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "src/core/clock_example.h"
+#include "src/trace/trace_io.h"
+
+namespace lockdoc {
+namespace {
+
+void BM_TraceWrite(benchmark::State& state) {
+  ClockExampleOptions options;
+  options.iterations = static_cast<int>(state.range(0));
+  ClockExample example = BuildClockExample(options);
+  for (auto _ : state) {
+    std::ostringstream out;
+    WriteTrace(example.trace, out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(example.trace.size()));
+}
+BENCHMARK(BM_TraceWrite)->Range(1000, 64000);
+
+void BM_TraceRead(benchmark::State& state) {
+  ClockExampleOptions options;
+  options.iterations = static_cast<int>(state.range(0));
+  ClockExample example = BuildClockExample(options);
+  std::ostringstream out;
+  WriteTrace(example.trace, out);
+  std::string encoded = out.str();
+  for (auto _ : state) {
+    std::istringstream in(encoded);
+    auto trace = ReadTrace(in);
+    benchmark::DoNotOptimize(trace.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(example.trace.size()));
+}
+BENCHMARK(BM_TraceRead)->Range(1000, 64000);
+
+}  // namespace
+}  // namespace lockdoc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Micro-benchmark for trace post-processing: database-import throughput
+// (transaction reconstruction included) as a function of lock-nesting depth
+// and trace size.
+#include <benchmark/benchmark.h>
+
+#include "src/core/importer.h"
+#include "src/sim/kernel.h"
+
+namespace lockdoc {
+namespace {
+
+struct SyntheticTrace {
+  std::unique_ptr<TypeRegistry> registry;
+  Trace trace;
+};
+
+// A trace of `rounds` critical sections nested `depth` deep, each touching
+// one member at every level.
+SyntheticTrace BuildNestedTrace(size_t depth, size_t rounds) {
+  SyntheticTrace result;
+  result.registry = std::make_unique<TypeRegistry>();
+  auto layout = std::make_unique<TypeLayout>("obj");
+  MemberIndex member = layout->AddMember("value", 8);
+  std::vector<MemberIndex> locks;
+  for (size_t i = 0; i < depth; ++i) {
+    locks.push_back(layout->AddLockMember("lock" + std::to_string(i), LockType::kSpinlock));
+  }
+  TypeId type = result.registry->Register(std::move(layout));
+
+  SimKernel sim(&result.trace, result.registry.get());
+  FunctionScope fn(sim, "synthetic.c", "nest", 1, 100);
+  ObjectRef obj = sim.Create(type, kNoSubclass, 1);
+  for (size_t round = 0; round < rounds; ++round) {
+    for (size_t i = 0; i < depth; ++i) {
+      sim.Lock(obj, locks[i], static_cast<uint32_t>(10 + i));
+      sim.Write(obj, member, static_cast<uint32_t>(20 + i));
+    }
+    for (size_t i = depth; i > 0; --i) {
+      sim.Unlock(obj, locks[i - 1], static_cast<uint32_t>(30 + i));
+    }
+  }
+  sim.Destroy(obj, 99);
+  return result;
+}
+
+void BM_ImportByDepth(benchmark::State& state) {
+  size_t depth = static_cast<size_t>(state.range(0));
+  SyntheticTrace synthetic = BuildNestedTrace(depth, 2000);
+  TraceImporter importer(synthetic.registry.get(), FilterConfig::Defaults());
+  for (auto _ : state) {
+    Database db;
+    ImportStats stats = importer.Import(synthetic.trace, &db);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(synthetic.trace.size()));
+}
+BENCHMARK(BM_ImportByDepth)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ImportBySize(benchmark::State& state) {
+  size_t rounds = static_cast<size_t>(state.range(0));
+  SyntheticTrace synthetic = BuildNestedTrace(3, rounds);
+  TraceImporter importer(synthetic.registry.get(), FilterConfig::Defaults());
+  for (auto _ : state) {
+    Database db;
+    ImportStats stats = importer.Import(synthetic.trace, &db);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(synthetic.trace.size()));
+}
+BENCHMARK(BM_ImportBySize)->Range(256, 16384);
+
+}  // namespace
+}  // namespace lockdoc
+
+BENCHMARK_MAIN();

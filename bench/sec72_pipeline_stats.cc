@@ -1,0 +1,93 @@
+// Sec. 7.2 reproduction: tracing and locking-rule derivation statistics —
+// event counts by kind, distinct locks (static vs embedded), allocation
+// counts, and the wall-clock time of every pipeline phase (monitoring/
+// tracing, filtering + database import, observation extraction, rule
+// derivation, counterexample extraction).
+#include <chrono>
+#include <cstdio>
+
+#include "src/core/pipeline.h"
+#include "src/core/violation_finder.h"
+#include "src/trace/trace_stats.h"
+#include "src/util/flags.h"
+#include "src/util/string_util.h"
+#include "src/vfs/vfs_kernel.h"
+#include "src/workload/workloads.h"
+
+using namespace lockdoc;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  std::string error;
+  flags.Parse(argc, argv, &error);
+
+  MixOptions mix;
+  mix.ops = flags.GetUint64("ops", 30000);
+  if (const char* env = std::getenv("LOCKDOC_BENCH_OPS"); env != nullptr) {
+    uint64_t ops = 0;
+    if (ParseUint64(env, &ops) && ops > 0) {
+      mix.ops = ops;
+    }
+  }
+  mix.seed = flags.GetUint64("seed", 1);
+
+  auto t0 = std::chrono::steady_clock::now();
+  SimulationResult sim = SimulateKernelRun(mix, FaultPlan{});
+  auto t1 = std::chrono::steady_clock::now();
+
+  Database db;
+  TraceImporter importer(sim.registry.get(), VfsKernel::MakeFilterConfig());
+  ImportStats import_stats = importer.Import(sim.trace, &db);
+  auto t2 = std::chrono::steady_clock::now();
+
+  ObservationStore observations = ExtractObservations(db, sim.trace, *sim.registry);
+  auto t3 = std::chrono::steady_clock::now();
+
+  RuleDerivator derivator;
+  std::vector<DerivationResult> rules = derivator.DeriveAll(observations);
+  auto t4 = std::chrono::steady_clock::now();
+
+  ViolationFinder finder(&sim.trace, sim.registry.get(), &observations);
+  std::vector<Violation> violations = finder.FindAll(rules);
+  auto t5 = std::chrono::steady_clock::now();
+
+  TraceStats stats = ComputeTraceStats(sim.trace);
+  std::printf("Sec. 7.2 — tracing and locking-rule derivation statistics\n\n");
+  std::printf("%s", stats.ToString().c_str());
+  std::printf("accesses kept after filtering: %s (filtered: %s)\n",
+              FormatWithCommas(import_stats.accesses_kept).c_str(),
+              FormatWithCommas(import_stats.accesses_filtered).c_str());
+  std::printf("transactions reconstructed:    %s (%s with locks held)\n",
+              FormatWithCommas(import_stats.txns).c_str(),
+              FormatWithCommas(import_stats.locked_txns).c_str());
+  std::printf("lock instances:                %s\n",
+              FormatWithCommas(import_stats.lock_instances).c_str());
+  std::printf("derived rules:                 %zu (for %zu member populations)\n",
+              rules.size(), observations.groups().size());
+  uint64_t counterexamples = 0;
+  for (const Violation& violation : violations) {
+    counterexamples += violation.seqs.size();
+  }
+  std::printf("counterexample events:         %s\n\n",
+              FormatWithCommas(counterexamples).c_str());
+
+  std::printf("phase timings:\n");
+  std::printf("  monitoring/tracing:          %.3f s\n", Seconds(t0, t1));
+  std::printf("  filtering + database import: %.3f s\n", Seconds(t1, t2));
+  std::printf("  observation extraction:      %.3f s\n", Seconds(t2, t3));
+  std::printf("  locking-rule derivation:     %.3f s\n", Seconds(t3, t4));
+  std::printf("  counterexample extraction:   %.3f s\n", Seconds(t4, t5));
+  std::printf("\npaper (34-minute Bochs run): 27.4 M events, 13 M lock ops, 14.4 M accesses\n"
+              "(13.9 M after filtering), 33,606 allocations, 41,589 locks (821 static,\n"
+              "40,768 embedded); derivation itself took 3.02 s.\n");
+  return 0;
+}

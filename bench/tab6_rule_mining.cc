@@ -1,0 +1,56 @@
+// Tab. 6 reproduction: summary of mined locking rules for the 11 observed
+// data types and the per-filesystem inode subclasses — member counts,
+// filtered members, generated rules per access type, and how many of those
+// rules are "no lock needed".
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+#include "src/util/stats.h"
+
+using namespace lockdoc;
+
+int main(int argc, char** argv) {
+  StandardRun run = RunStandardEvaluation(argc, argv);
+  const TypeRegistry& registry = *run.sim.registry;
+
+  struct Row {
+    uint64_t rules_r = 0, rules_w = 0;
+    uint64_t no_lock_r = 0, no_lock_w = 0;
+  };
+  std::map<std::pair<TypeId, SubclassId>, Row> rows;
+  for (const DerivationResult& result : run.pipeline.rules) {
+    Row& row = rows[{result.key.type, result.key.subclass}];
+    bool no_lock = result.winner_is_no_lock();
+    if (result.access == AccessType::kRead) {
+      ++row.rules_r;
+      row.no_lock_r += no_lock ? 1 : 0;
+    } else {
+      ++row.rules_w;
+      row.no_lock_w += no_lock ? 1 : 0;
+    }
+  }
+
+  std::printf("Tab. 6 — mined locking rules per data type (tac = 0.9)\n\n");
+  TextTable table({"Data Type", "#M", "#Bl", "#Rules r", "#Rules w", "#Nl r", "#Nl w"});
+  for (const auto& [key, row] : rows) {
+    const TypeLayout& layout = registry.layout(key.first);
+    uint64_t filtered = 0;
+    for (const MemberDef& def : layout.members()) {
+      if (def.is_lock || def.is_atomic || def.blacklisted) {
+        ++filtered;
+      }
+    }
+    table.AddRow({registry.QualifiedName(key.first, key.second),
+                  std::to_string(layout.member_count()), std::to_string(filtered),
+                  std::to_string(row.rules_r), std::to_string(row.rules_w),
+                  std::to_string(row.no_lock_r), std::to_string(row.no_lock_w)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\npaper Tab. 6 (#M/#Bl): backing_dev_info 43/2, block_device 21/2, buffer_head 13/0,\n"
+      "  cdev 6/0, dentry 21/1, inode 65/5 (per filesystem), journal_head 15/0,\n"
+      "  journal_t 58/11, pipe_inode_info 16/1, super_block 56/3, transaction_t 27/1;\n"
+      "  sparse subclasses (anon_inodefs, debugfs, sockfs) yield few rules, ext4 the most.\n");
+  return 0;
+}

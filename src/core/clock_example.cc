@@ -1,0 +1,61 @@
+#include "src/core/clock_example.h"
+
+#include "src/sim/kernel.h"
+
+namespace lockdoc {
+
+ClockExample BuildClockExample(const ClockExampleOptions& options) {
+  ClockExample example;
+
+  auto registry = std::make_unique<TypeRegistry>();
+  auto layout = std::make_unique<TypeLayout>("clock");
+  example.seconds = layout->AddMember("seconds", 8);
+  example.minutes = layout->AddMember("minutes", 8);
+  example.clock_type = registry->Register(std::move(layout));
+  example.registry = std::move(registry);
+
+  SimKernel sim(&example.trace, example.registry.get());
+  GlobalLock sec_lock = sim.DefineStaticLock("sec_lock", LockType::kSpinlock);
+  GlobalLock min_lock = sim.DefineStaticLock("min_lock", LockType::kSpinlock);
+
+  FunctionScope file(sim, "kernel/clock.c", "clock_tick", 1, 20);
+  ObjectRef clock = sim.Create(example.clock_type, kNoSubclass, 2);
+
+  int seconds_value = 0;
+  for (int i = 0; i < options.iterations; ++i) {
+    // Fig. 4: transaction a.
+    sim.LockGlobal(sec_lock, 1);
+    sim.Read(clock, example.seconds, 2);   // seconds + 1 (read)
+    sim.Write(clock, example.seconds, 2);  // seconds = ... (write)
+    ++seconds_value;
+    sim.Read(clock, example.seconds, 3);   // if (seconds == 60) (read)
+    if (seconds_value == 60) {
+      // Transaction b.
+      sim.LockGlobal(min_lock, 4);
+      sim.Write(clock, example.seconds, 5);   // seconds = 0
+      sim.Read(clock, example.minutes, 6);    // minutes + 1
+      sim.Write(clock, example.minutes, 6);   // minutes = ...
+      sim.UnlockGlobal(min_lock, 7);
+      seconds_value = 0;
+    }
+    sim.UnlockGlobal(sec_lock, 9);
+  }
+
+  if (options.include_faulty_execution) {
+    // The buggy variant: min_lock is never taken (Sec. 4.1).
+    FunctionScope buggy(sim, "kernel/clock.c", "clock_tick_buggy", 30, 45);
+    sim.LockGlobal(sec_lock, 31);
+    sim.Read(clock, example.seconds, 32);
+    sim.Write(clock, example.seconds, 32);
+    sim.Read(clock, example.seconds, 33);
+    sim.Write(clock, example.seconds, 35);  // seconds = 0
+    sim.Read(clock, example.minutes, 36);
+    sim.Write(clock, example.minutes, 36);
+    sim.UnlockGlobal(sec_lock, 39);
+  }
+
+  sim.Destroy(clock, 19);
+  return example;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,37 @@
+// The paper's running example (Sec. 4, Fig. 4): a clock counter with
+// `seconds` protected by sec_lock and `minutes` protected by
+// sec_lock -> min_lock, executed 1000 times plus one faulty execution that
+// forgets min_lock. Shared between the quickstart example, the Tab. 1/2
+// benches, and the tests.
+#ifndef SRC_CORE_CLOCK_EXAMPLE_H_
+#define SRC_CORE_CLOCK_EXAMPLE_H_
+
+#include <memory>
+
+#include "src/model/type_registry.h"
+#include "src/trace/trace.h"
+
+namespace lockdoc {
+
+struct ClockExample {
+  std::unique_ptr<TypeRegistry> registry;
+  Trace trace;
+  TypeId clock_type = kInvalidTypeId;
+  MemberIndex seconds = kInvalidMember;
+  MemberIndex minutes = kInvalidMember;
+};
+
+struct ClockExampleOptions {
+  // Fig. 4 executions; every 60th increments minutes (1000 -> 16 times).
+  int iterations = 1000;
+  // Adds one execution of the buggy variant that increments minutes while
+  // holding only sec_lock.
+  bool include_faulty_execution = true;
+};
+
+// Builds the registry and records the trace.
+ClockExample BuildClockExample(const ClockExampleOptions& options = {});
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_CLOCK_EXAMPLE_H_

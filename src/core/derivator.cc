@@ -1,0 +1,178 @@
+#include "src/core/derivator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+namespace {
+
+// Sorting for reports: descending sr, then shorter rules, then lexicographic.
+bool ReportOrder(const Hypothesis& a, const Hypothesis& b) {
+  if (a.sr != b.sr) {
+    return a.sr > b.sr;
+  }
+  if (a.locks.size() != b.locks.size()) {
+    return a.locks.size() < b.locks.size();
+  }
+  return a.locks < b.locks;
+}
+
+// Winner selection (Sec. 4.3): lowest support first, then MORE locks, then
+// lexicographic for determinism.
+bool WinnerOrder(const Hypothesis& a, const Hypothesis& b) {
+  if (a.sr != b.sr) {
+    return a.sr < b.sr;
+  }
+  if (a.locks.size() != b.locks.size()) {
+    return a.locks.size() > b.locks.size();
+  }
+  return a.locks < b.locks;
+}
+
+void Permute(LockSeq current, std::multiset<LockClass> remaining, std::set<LockSeq>* out) {
+  if (remaining.empty()) {
+    out->insert(std::move(current));
+    return;
+  }
+  // Iterate over distinct next elements to avoid duplicate permutations.
+  const LockClass* last = nullptr;
+  for (auto it = remaining.begin(); it != remaining.end(); ++it) {
+    if (last != nullptr && *it == *last) {
+      continue;
+    }
+    last = &*it;
+    LockSeq next = current;
+    next.push_back(*it);
+    std::multiset<LockClass> rest = remaining;
+    rest.erase(rest.find(*it));
+    Permute(std::move(next), std::move(rest), out);
+  }
+}
+
+}  // namespace
+
+std::vector<LockSeq> EnumerateSubsequences(const LockSeq& seq, size_t max_locks) {
+  std::set<LockSeq> result;
+  result.insert(LockSeq{});
+  if (seq.size() <= max_locks) {
+    // Full subsequence powerset via bitmask.
+    LOCKDOC_CHECK(seq.size() < 64);
+    uint64_t limit = 1ULL << seq.size();
+    for (uint64_t mask = 1; mask < limit; ++mask) {
+      LockSeq subsequence;
+      for (size_t i = 0; i < seq.size(); ++i) {
+        if ((mask >> i) & 1) {
+          subsequence.push_back(seq[i]);
+        }
+      }
+      result.insert(std::move(subsequence));
+    }
+  } else {
+    // Bounded fallback: singles, ordered pairs, prefixes, full sequence.
+    for (size_t i = 0; i < seq.size(); ++i) {
+      result.insert(LockSeq{seq[i]});
+      for (size_t j = i + 1; j < seq.size(); ++j) {
+        result.insert(LockSeq{seq[i], seq[j]});
+      }
+    }
+    LockSeq prefix;
+    for (const LockClass& lock : seq) {
+      prefix.push_back(lock);
+      result.insert(prefix);
+    }
+  }
+  return std::vector<LockSeq>(result.begin(), result.end());
+}
+
+RuleDerivator::RuleDerivator(DerivatorOptions options) : options_(options) {
+  LOCKDOC_CHECK(options_.accept_threshold > 0.0 && options_.accept_threshold <= 1.0);
+}
+
+DerivationResult RuleDerivator::Derive(const ObservationStore& store, const MemberObsKey& key,
+                                       AccessType access) const {
+  DerivationResult result;
+  result.key = key;
+  result.access = access;
+
+  // Distinct observed lock sequences with their folded-observation counts.
+  std::map<uint32_t, uint64_t> observed;
+  for (const ObservationGroup& group : store.GroupsFor(key)) {
+    if (group.effective() == access) {
+      ++observed[group.lockseq_id];
+      ++result.total;
+    }
+  }
+  if (result.total == 0) {
+    return result;
+  }
+
+  // Enumerate candidate hypotheses from the observed combinations (never
+  // the powerset of all locks in the system — Sec. 5.4).
+  std::set<LockSeq> candidates;
+  for (const auto& [seq_id, count] : observed) {
+    const LockSeq& seq = store.seq(seq_id);
+    for (LockSeq& subsequence : EnumerateSubsequences(seq, options_.max_subset_locks)) {
+      if (options_.enumerate_permutations && !subsequence.empty() &&
+          subsequence.size() <= options_.max_permutation_size) {
+        Permute({}, std::multiset<LockClass>(subsequence.begin(), subsequence.end()),
+                &candidates);
+      }
+      candidates.insert(std::move(subsequence));
+    }
+  }
+
+  // Score each candidate.
+  result.hypotheses.reserve(candidates.size());
+  for (const LockSeq& candidate : candidates) {
+    Hypothesis hypothesis;
+    hypothesis.locks = candidate;
+    for (const auto& [seq_id, count] : observed) {
+      if (IsSubsequence(candidate, store.seq(seq_id))) {
+        hypothesis.sa += count;
+      }
+    }
+    hypothesis.sr = static_cast<double>(hypothesis.sa) / static_cast<double>(result.total);
+    result.hypotheses.push_back(std::move(hypothesis));
+  }
+
+  // Winner selection among hypotheses clearing the acceptance threshold.
+  const Hypothesis* winner = nullptr;
+  for (const Hypothesis& hypothesis : result.hypotheses) {
+    if (hypothesis.sr + 1e-12 < options_.accept_threshold) {
+      continue;
+    }
+    if (winner == nullptr || WinnerOrder(hypothesis, *winner)) {
+      winner = &hypothesis;
+    }
+  }
+  // The no-lock hypothesis always clears the threshold, so a winner exists.
+  LOCKDOC_CHECK(winner != nullptr);
+  result.winner = *winner;
+
+  // Apply the report cutoff and sort for presentation.
+  if (options_.cutoff_threshold > 0.0) {
+    std::erase_if(result.hypotheses, [&](const Hypothesis& h) {
+      return h.sr < options_.cutoff_threshold && h.locks != result.winner->locks;
+    });
+  }
+  std::sort(result.hypotheses.begin(), result.hypotheses.end(), ReportOrder);
+  return result;
+}
+
+std::vector<DerivationResult> RuleDerivator::DeriveAll(const ObservationStore& store) const {
+  std::vector<DerivationResult> results;
+  for (const auto& [key, groups] : store.groups()) {
+    for (AccessType access : {AccessType::kRead, AccessType::kWrite}) {
+      DerivationResult result = Derive(store, key, access);
+      if (result.observed()) {
+        results.push_back(std::move(result));
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace lockdoc

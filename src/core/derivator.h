@@ -1,0 +1,91 @@
+// Locking-rule derivation (paper Sec. 4.3 and 5.4): per member and access
+// type, enumerate locking-rule hypotheses from the observed lock
+// combinations, score each by absolute support `sa` (number of complying
+// folded observations) and relative support `sr = sa / total`, and select
+// the winning hypothesis:
+//
+//   among all hypotheses with sr >= tac (the acceptance threshold), pick the
+//   one with the LOWEST support; break ties toward MORE locks.
+//
+// The "no lock" hypothesis always has sr = 1, so it only wins when no lock
+// hypothesis clears the threshold. Picking the lowest-support hypothesis
+// (rather than the highest) is what makes the approach robust against a
+// correct rule being dominated by one of its own sub-rules (Sec. 4.3).
+#ifndef SRC_CORE_DERIVATOR_H_
+#define SRC_CORE_DERIVATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/core/observations.h"
+#include "src/model/lock_class.h"
+
+namespace lockdoc {
+
+struct Hypothesis {
+  LockSeq locks;
+  uint64_t sa = 0;
+  double sr = 0.0;
+
+  bool is_no_lock() const { return locks.empty(); }
+};
+
+struct DerivationResult {
+  MemberObsKey key;
+  AccessType access = AccessType::kRead;
+  // Total folded observations of this member with this effective access.
+  uint64_t total = 0;
+  // All enumerated hypotheses above the cutoff threshold, sorted by
+  // descending sr, then ascending lock count, then lexicographically.
+  std::vector<Hypothesis> hypotheses;
+  // The selected rule; nullopt iff total == 0 (member never observed).
+  std::optional<Hypothesis> winner;
+
+  bool observed() const { return total > 0; }
+  bool winner_is_no_lock() const { return winner.has_value() && winner->is_no_lock(); }
+};
+
+struct DerivatorOptions {
+  // tac: minimum relative support for a hypothesis to be acceptable.
+  double accept_threshold = 0.9;
+  // tco: hypotheses below this are dropped from the report (the winner is
+  // always kept).
+  double cutoff_threshold = 0.0;
+  // Combinations longer than this are not expanded into the full
+  // subsequence powerset (guards against pathological nesting depth).
+  size_t max_subset_locks = 10;
+  // When true, additionally enumerates order permutations of each subset
+  // (the paper's Tab. 2 lists the never-observed "min_lock -> sec_lock"
+  // ordering with sa = 0). Off by default: permutations inconsistent with
+  // the trace can never win.
+  bool enumerate_permutations = false;
+  size_t max_permutation_size = 4;
+};
+
+class RuleDerivator {
+ public:
+  explicit RuleDerivator(DerivatorOptions options = {});
+
+  // Derives the rule for one member + access type.
+  DerivationResult Derive(const ObservationStore& store, const MemberObsKey& key,
+                          AccessType access) const;
+
+  // Derives rules for every observed member and both access types (results
+  // with total == 0 are omitted).
+  std::vector<DerivationResult> DeriveAll(const ObservationStore& store) const;
+
+  const DerivatorOptions& options() const { return options_; }
+
+ private:
+  DerivatorOptions options_;
+};
+
+// Exposed for testing and for the ablation benches: all distinct
+// subsequences of `seq`, including the empty one. If `seq` is longer than
+// `max_locks`, only single locks, contiguous prefixes, ordered pairs, and
+// the full sequence are produced.
+std::vector<LockSeq> EnumerateSubsequences(const LockSeq& seq, size_t max_locks);
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_DERIVATOR_H_

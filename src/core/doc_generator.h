@@ -1,0 +1,53 @@
+// The documentation generator (paper Sec. 5.5, Fig. 8): renders the winning
+// locking rules of one data type as a kernel-style source comment that could
+// replace the scattered ad-hoc documentation.
+#ifndef SRC_CORE_DOC_GENERATOR_H_
+#define SRC_CORE_DOC_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/derivator.h"
+#include "src/model/type_registry.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+struct DocGenOptions {
+  // Append "(sr=..%, n=..)" support annotations to each member.
+  bool include_support = false;
+  // Wrap member lists at roughly this column.
+  size_t wrap_column = 72;
+};
+
+class DocGenerator {
+ public:
+  DocGenerator(const TypeRegistry* registry, DocGenOptions options = {});
+
+  // Generates the comment block for (type, subclass) from derivation
+  // results (results for other types are ignored). Members protected by the
+  // same lock sequence are grouped; members whose read and write rules agree
+  // are listed once, otherwise annotated with [r] / [w].
+  std::string Generate(TypeId type, SubclassId subclass,
+                       const std::vector<DerivationResult>& results) const;
+
+  // Generates a machine-readable rule-spec (parsable by RuleSet::ParseText)
+  // instead of a comment block — the checker's input format.
+  std::string GenerateRuleSpec(TypeId type, SubclassId subclass,
+                               const std::vector<DerivationResult>& results) const;
+
+  // Writes the "exhaustive locking documentation" artifact of the paper's
+  // Fig. 5: one <type>[.<subclass>].txt comment block per observed
+  // population under `dir` (which must exist), plus rules.txt with the
+  // machine-readable union. Returns the number of files written.
+  Result<size_t> GenerateAll(const std::vector<DerivationResult>& results,
+                             const std::string& dir) const;
+
+ private:
+  const TypeRegistry* registry_;
+  DocGenOptions options_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_DOC_GENERATOR_H_

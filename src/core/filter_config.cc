@@ -1,0 +1,18 @@
+#include "src/core/filter_config.h"
+
+namespace lockdoc {
+
+FilterConfig FilterConfig::Defaults() {
+  FilterConfig config;
+  config.ignored_functions = {
+      "atomic_read",      "atomic_set",        "atomic_inc",        "atomic_dec",
+      "atomic_add",       "atomic_sub",        "atomic_inc_return", "atomic_dec_return",
+      "atomic_cmpxchg",   "atomic_xchg",       "atomic64_read",     "atomic64_set",
+      "atomic_long_read", "atomic_long_set",   "cmpxchg",           "xchg",
+      "READ_ONCE",        "WRITE_ONCE",        "test_bit",          "set_bit",
+      "clear_bit",        "test_and_set_bit",  "test_and_clear_bit",
+  };
+  return config;
+}
+
+}  // namespace lockdoc

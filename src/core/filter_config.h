@@ -1,0 +1,30 @@
+// Post-processing filter configuration (paper Sec. 5.3 and 6): a black list
+// of (de)initialization functions whose member accesses are excluded
+// (objects under construction/teardown legitimately skip locks), and a
+// global black list of helper functions whose accesses deliberately bypass
+// locking (atomic_read() and friends). Member-level filtering (atomic_t
+// members, lock members, out-of-scope members) is encoded in the type
+// layouts themselves.
+#ifndef SRC_CORE_FILTER_CONFIG_H_
+#define SRC_CORE_FILTER_CONFIG_H_
+
+#include <set>
+#include <string>
+
+namespace lockdoc {
+
+struct FilterConfig {
+  // Accesses with any of these functions on the call stack are filtered as
+  // kInitTeardown. The paper's list has 99 entries for 9 data types.
+  std::set<std::string> init_teardown_functions;
+  // Accesses with any of these functions on the call stack are filtered as
+  // kBlacklistedFn. The paper's list has 58 globally ignored functions.
+  std::set<std::string> ignored_functions;
+
+  // The default global ignore list every configuration starts from.
+  static FilterConfig Defaults();
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_FILTER_CONFIG_H_

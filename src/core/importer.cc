@@ -1,0 +1,309 @@
+#include "src/core/importer.h"
+
+#include <set>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+namespace {
+
+// One lock currently held during the replay.
+struct HeldLockState {
+  LockInstanceId lock = 0;
+  uint64_t acquire_seq = 0;
+  AcquireMode mode = AcquireMode::kExclusive;
+};
+
+}  // namespace
+
+TraceImporter::TraceImporter(const TypeRegistry* registry, FilterConfig filter)
+    : registry_(registry), filter_(std::move(filter)) {
+  LOCKDOC_CHECK(registry_ != nullptr);
+}
+
+ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
+  LOCKDOC_CHECK(db != nullptr);
+  CreateLockDocSchema(db);
+  ImportStats stats;
+  stats.events = trace.size();
+
+  // --- Dimension tables: data types, subclasses, members. ---
+  Table& data_types = db->table(LockDocSchema::kDataTypes);
+  Table& subclasses = db->table(LockDocSchema::kSubclasses);
+  Table& members = db->table(LockDocSchema::kMembers);
+  // Global member row id for (type, member index).
+  std::vector<std::vector<uint64_t>> member_row(registry_->type_count());
+  {
+    uint64_t subclass_row = 0;
+    for (TypeId type = 0; type < registry_->type_count(); ++type) {
+      const TypeLayout& layout = registry_->layout(type);
+      data_types.Insert({static_cast<uint64_t>(type), layout.name()});
+      for (SubclassId sub : registry_->SubclassesOf(type)) {
+        subclasses.Insert({subclass_row++, static_cast<uint64_t>(type),
+                           static_cast<uint64_t>(sub), registry_->SubclassName(type, sub)});
+      }
+      member_row[type].resize(layout.member_count());
+      for (MemberIndex m = 0; m < layout.member_count(); ++m) {
+        const MemberDef& def = layout.member(m);
+        uint64_t row = members.row_count();
+        member_row[type][m] = row;
+        members.Insert({row, static_cast<uint64_t>(type), static_cast<uint64_t>(m), def.name,
+                        static_cast<uint64_t>(def.offset), static_cast<uint64_t>(def.size),
+                        static_cast<uint64_t>(def.is_lock ? 1 : 0),
+                        static_cast<uint64_t>(def.is_atomic ? 1 : 0),
+                        static_cast<uint64_t>(def.blacklisted ? 1 : 0)});
+      }
+    }
+  }
+
+  // --- Function black lists resolved to interned string ids. ---
+  // A name that was never interned cannot appear on any stack.
+  std::set<StringId> init_teardown_sids;
+  std::set<StringId> ignored_sids;
+  for (const std::string& fn : filter_.init_teardown_functions) {
+    if (auto sid = trace.string_pool().Find(fn); sid.has_value()) {
+      init_teardown_sids.insert(*sid);
+    }
+  }
+  for (const std::string& fn : filter_.ignored_functions) {
+    if (auto sid = trace.string_pool().Find(fn); sid.has_value()) {
+      ignored_sids.insert(*sid);
+    }
+  }
+  // Per-stack classification cache: 0 = unknown, 1 = clean, 2 = init/teardown,
+  // 3 = ignored-function.
+  std::vector<uint8_t> stack_class(trace.stack_count(), 0);
+  auto classify_stack = [&](StackId stack) -> FilterReason {
+    if (stack == kInvalidStack) {
+      return FilterReason::kNone;
+    }
+    uint8_t& cached = stack_class[stack];
+    if (cached == 0) {
+      cached = 1;
+      for (StringId frame : trace.Stack(stack).frames) {
+        if (ignored_sids.count(frame) != 0) {
+          cached = 3;
+          break;
+        }
+        if (init_teardown_sids.count(frame) != 0) {
+          cached = 2;
+          break;
+        }
+      }
+    }
+    switch (cached) {
+      case 2:
+        return FilterReason::kInitTeardown;
+      case 3:
+        return FilterReason::kBlacklistedFn;
+      default:
+        return FilterReason::kNone;
+    }
+  };
+
+  // --- Replay state. ---
+  AllocationTracker tracker;
+  LockResolver resolver(registry_, &tracker);
+  Table& allocations = db->table(LockDocSchema::kAllocations);
+  Table& locks = db->table(LockDocSchema::kLocks);
+  Table& txns = db->table(LockDocSchema::kTxns);
+  Table& txn_locks = db->table(LockDocSchema::kTxnLocks);
+  Table& accesses = db->table(LockDocSchema::kAccesses);
+  const size_t kAllocFreeSeqCol = allocations.ColumnIndex("free_seq");
+
+  // Transaction reconstruction (Sec. 4.2): acquiring a lock starts a nested
+  // transaction; releasing it resumes the *enclosing* transaction — the same
+  // transaction id, because the set of held locks is the same again. Spans
+  // with no locks held get their own (lock-free) transactions.
+  struct TxnFrame {
+    HeldLockState lock;
+    uint64_t txn_id = kDbNull;
+  };
+  std::vector<TxnFrame> txn_stack;
+  uint64_t base_txn = kDbNull;  // Current lock-free transaction.
+  uint64_t current_txn = kDbNull;
+  uint64_t locks_row_count = 0;
+  const size_t kTxnEndSeqCol = txns.ColumnIndex("end_seq");
+
+  // Creates a transaction row for the current stack contents (or the empty
+  // set) starting at `seq`.
+  auto new_txn = [&](uint64_t seq) {
+    uint64_t id = txns.row_count();
+    txns.Insert({id, seq, kDbNull, static_cast<uint64_t>(txn_stack.size())});
+    for (size_t i = 0; i < txn_stack.size(); ++i) {
+      txn_locks.Insert({id, static_cast<uint64_t>(i), txn_stack[i].lock.lock,
+                        txn_stack[i].lock.acquire_seq,
+                        static_cast<uint64_t>(txn_stack[i].lock.mode)});
+    }
+    ++stats.txns;
+    if (!txn_stack.empty()) {
+      ++stats.locked_txns;
+    }
+    return id;
+  };
+  auto end_txn = [&](uint64_t id, uint64_t seq) {
+    if (id != kDbNull) {
+      txns.SetUint64(id, kTxnEndSeqCol, seq);
+    }
+  };
+
+  // The trace starts in a lock-free span.
+  base_txn = new_txn(0);
+  current_txn = base_txn;
+
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case EventKind::kAlloc: {
+        AllocationId id = tracker.OnAlloc(e);
+        LOCKDOC_CHECK(id == allocations.row_count());
+        allocations.Insert({id, static_cast<uint64_t>(e.type), static_cast<uint64_t>(e.subclass),
+                            e.addr, static_cast<uint64_t>(e.size), e.seq, kDbNull});
+        break;
+      }
+      case EventKind::kFree: {
+        auto freed = tracker.OnFree(e);
+        if (freed.has_value()) {
+          allocations.SetUint64(*freed, kAllocFreeSeqCol, e.seq);
+        }
+        break;
+      }
+      case EventKind::kStaticLockDef:
+        resolver.OnStaticLockDef(e);
+        break;
+      case EventKind::kLockAcquire: {
+        LockInstanceId lock = resolver.Resolve(e);
+        // Mirror new lock instances into the locks table as they appear.
+        while (locks_row_count < resolver.instance_count()) {
+          const LockInstance& inst = resolver.instance(locks_row_count);
+          uint64_t owner_member_row = kDbNull;
+          if (!inst.is_static) {
+            owner_member_row = member_row[inst.owner_type][inst.owner_member];
+          }
+          locks.Insert({inst.id, inst.addr, static_cast<uint64_t>(inst.type),
+                        static_cast<uint64_t>(inst.is_static ? 1 : 0),
+                        static_cast<uint64_t>(inst.name),
+                        inst.is_static ? kDbNull : inst.owner, owner_member_row});
+          ++locks_row_count;
+        }
+        if (txn_stack.empty()) {
+          // Leaving a lock-free span.
+          end_txn(base_txn, e.seq);
+          base_txn = kDbNull;
+        }
+        TxnFrame frame;
+        frame.lock.lock = lock;
+        frame.lock.acquire_seq = e.seq;
+        frame.lock.mode = e.mode;
+        txn_stack.push_back(frame);
+        txn_stack.back().txn_id = new_txn(e.seq);
+        current_txn = txn_stack.back().txn_id;
+        break;
+      }
+      case EventKind::kLockRelease: {
+        LockInstanceId lock = resolver.Resolve(e);
+        // Find the frame holding this lock (innermost first); releases may
+        // happen out of LIFO order.
+        size_t frame_index = txn_stack.size();
+        for (size_t i = txn_stack.size(); i > 0; --i) {
+          if (txn_stack[i - 1].lock.lock == lock) {
+            frame_index = i - 1;
+            break;
+          }
+        }
+        LOCKDOC_CHECK(frame_index < txn_stack.size());
+        if (frame_index == txn_stack.size() - 1) {
+          // LIFO release: the enclosing transaction resumes under its
+          // original id (the held set is the same again).
+          end_txn(txn_stack.back().txn_id, e.seq);
+          txn_stack.pop_back();
+        } else {
+          // Out-of-order release: every transaction nested above the
+          // released lock had that lock in its set; their ids are stale, so
+          // fresh transactions are minted for the reduced sets.
+          for (size_t i = frame_index; i < txn_stack.size(); ++i) {
+            end_txn(txn_stack[i].txn_id, e.seq);
+          }
+          txn_stack.erase(txn_stack.begin() + static_cast<ptrdiff_t>(frame_index));
+          std::vector<TxnFrame> suffix(txn_stack.begin() + static_cast<ptrdiff_t>(frame_index),
+                                       txn_stack.end());
+          txn_stack.resize(frame_index);
+          for (TxnFrame& frame : suffix) {
+            txn_stack.push_back(frame);
+            txn_stack.back().txn_id = new_txn(e.seq);
+          }
+        }
+        if (txn_stack.empty()) {
+          base_txn = new_txn(e.seq);
+          current_txn = base_txn;
+        } else {
+          current_txn = txn_stack.back().txn_id;
+        }
+        break;
+      }
+      case EventKind::kMemRead:
+      case EventKind::kMemWrite: {
+        ++stats.accesses_total;
+        FilterReason reason = FilterReason::kNone;
+        uint64_t alloc_id = kDbNull;
+        uint64_t member_id = kDbNull;
+
+        std::optional<AllocationId> found = tracker.Find(e.addr);
+        if (!found.has_value()) {
+          reason = FilterReason::kUntrackedMemory;
+        } else {
+          alloc_id = *found;
+          const AllocationInfo& alloc = tracker.info(*found);
+          const TypeLayout& layout = registry_->layout(alloc.type);
+          auto member = layout.ResolveOffset(static_cast<uint32_t>(e.addr - alloc.addr));
+          if (!member.has_value()) {
+            reason = FilterReason::kUntrackedMemory;
+          } else {
+            member_id = member_row[alloc.type][*member];
+            const MemberDef& def = layout.member(*member);
+            if (def.is_lock) {
+              reason = FilterReason::kLockMember;
+            } else if (def.is_atomic) {
+              reason = FilterReason::kAtomicMember;
+            } else if (def.blacklisted) {
+              reason = FilterReason::kBlacklistedMember;
+            } else {
+              reason = classify_stack(e.stack);
+            }
+          }
+        }
+
+        if (reason == FilterReason::kNone) {
+          ++stats.accesses_kept;
+        } else {
+          ++stats.accesses_filtered;
+        }
+        accesses.Insert({e.seq, alloc_id, member_id,
+                         static_cast<uint64_t>(AccessTypeOf(e)), static_cast<uint64_t>(e.size),
+                         current_txn, static_cast<uint64_t>(e.context),
+                         static_cast<uint64_t>(e.task_id), static_cast<uint64_t>(e.loc.file),
+                         static_cast<uint64_t>(e.loc.line),
+                         e.stack == kInvalidStack ? kDbNull : static_cast<uint64_t>(e.stack),
+                         static_cast<uint64_t>(reason)});
+        break;
+      }
+    }
+  }
+  end_txn(current_txn, trace.size());
+
+  // --- Stack frames table. ---
+  Table& stack_frames = db->table(LockDocSchema::kStackFrames);
+  for (StackId id = 0; id < trace.stack_count(); ++id) {
+    const CallStack& stack = trace.Stack(id);
+    for (size_t pos = 0; pos < stack.frames.size(); ++pos) {
+      stack_frames.Insert({static_cast<uint64_t>(id), static_cast<uint64_t>(pos),
+                           static_cast<uint64_t>(stack.frames[pos])});
+    }
+  }
+
+  stats.lock_instances = resolver.instance_count();
+  stats.allocations = tracker.allocation_count();
+  return stats;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,55 @@
+// Trace post-processing and database import (phase 1, Sec. 5.3/6): replays
+// the event stream, reconstructs transactions, resolves memory accesses to
+// (allocation, member) pairs, applies the filters, and fills the LockDoc
+// database schema.
+//
+// Transaction model (Sec. 4.2): a transaction is a maximal span of the trace
+// during which the set of held locks is fixed. Acquiring a lock starts a new
+// (nested) transaction carrying the full ordered held-lock list; releasing
+// one ends the current transaction and resumes a span with the remaining
+// locks (a fresh transaction row with the reduced set). Spans with no locks
+// held are recorded as lock-free transactions (n_locks = 0) so that
+// lock-free accesses fold into observations the same way locked ones do.
+#ifndef SRC_CORE_IMPORTER_H_
+#define SRC_CORE_IMPORTER_H_
+
+#include <memory>
+
+#include "src/core/filter_config.h"
+#include "src/db/database.h"
+#include "src/db/schema.h"
+#include "src/model/type_registry.h"
+#include "src/monitor/allocation_tracker.h"
+#include "src/monitor/lock_resolver.h"
+#include "src/trace/trace.h"
+
+namespace lockdoc {
+
+struct ImportStats {
+  uint64_t events = 0;
+  uint64_t accesses_total = 0;
+  uint64_t accesses_kept = 0;
+  uint64_t accesses_filtered = 0;
+  uint64_t txns = 0;
+  uint64_t locked_txns = 0;
+  uint64_t lock_instances = 0;
+  uint64_t allocations = 0;
+};
+
+class TraceImporter {
+ public:
+  TraceImporter(const TypeRegistry* registry, FilterConfig filter);
+
+  // Builds the full LockDoc database from `trace`. The trace must outlive
+  // uses of the returned database only insofar as interned strings are
+  // resolved through it by later analysis stages.
+  ImportStats Import(const Trace& trace, Database* db);
+
+ private:
+  const TypeRegistry* registry_;
+  FilterConfig filter_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_IMPORTER_H_

@@ -1,0 +1,247 @@
+#include "src/core/lock_order.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "src/db/schema.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+// Classifies one lock row without a reference object: static locks by name,
+// embedded locks as EO(member in type).
+LockClass ClassifyAbsolute(const Table& locks, const Table& members,
+                           const TypeRegistry& registry, const Trace& trace, uint64_t lock_row) {
+  if (locks.GetUint64(lock_row, locks.ColumnIndex("is_static")) != 0) {
+    uint64_t name_sid = locks.GetUint64(lock_row, locks.ColumnIndex("name_sid"));
+    if (name_sid != 0) {
+      return LockClass::Global(trace.String(static_cast<StringId>(name_sid)));
+    }
+    return LockClass::Global(StrFormat(
+        "lock@0x%llx",
+        static_cast<unsigned long long>(locks.GetUint64(lock_row, locks.ColumnIndex("addr")))));
+  }
+  uint64_t member_row = locks.GetUint64(lock_row, locks.ColumnIndex("owner_member_id"));
+  TypeId owner_type =
+      static_cast<TypeId>(members.GetUint64(member_row, members.ColumnIndex("type_id")));
+  return LockClass::Other(members.GetString(member_row, members.ColumnIndex("name")),
+                          registry.layout(owner_type).name());
+}
+
+}  // namespace
+
+std::string LockOrderCycle::ToString() const {
+  std::string text;
+  for (const LockClass& lock : classes) {
+    text += lock.ToString() + " -> ";
+  }
+  if (!classes.empty()) {
+    text += classes.front().ToString();
+  }
+  return text + StrFormat(" (min support %llu)", static_cast<unsigned long long>(min_support));
+}
+
+LockOrderGraph LockOrderGraph::Build(const Database& db, const Trace& trace,
+                                     const TypeRegistry& registry) {
+  LockOrderGraph graph;
+  const Table& txns = db.table(LockDocSchema::kTxns);
+  const Table& txn_locks = db.table(LockDocSchema::kTxnLocks);
+  const Table& locks = db.table(LockDocSchema::kLocks);
+  const Table& members = db.table(LockDocSchema::kMembers);
+
+  const size_t kTlTxn = txn_locks.ColumnIndex("txn_id");
+  const size_t kTlPos = txn_locks.ColumnIndex("position");
+  const size_t kTlLock = txn_locks.ColumnIndex("lock_id");
+  const size_t kTlAcq = txn_locks.ColumnIndex("acquire_seq");
+  const size_t kTxnStart = txns.ColumnIndex("start_seq");
+  const size_t kTxnNLocks = txns.ColumnIndex("n_locks");
+
+  // Cache of lock row -> class.
+  std::map<uint64_t, LockClass> class_cache;
+  auto class_of = [&](uint64_t lock_row) -> const LockClass& {
+    auto it = class_cache.find(lock_row);
+    if (it == class_cache.end()) {
+      it = class_cache
+               .emplace(lock_row, ClassifyAbsolute(locks, members, registry, trace, lock_row))
+               .first;
+    }
+    return it->second;
+  };
+
+  auto add_edge = [&](const LockClass& from, const LockClass& to, uint64_t example_seq) {
+    auto key = std::make_pair(from, to);
+    auto it = graph.edge_index_.find(key);
+    if (it == graph.edge_index_.end()) {
+      LockOrderEdge edge;
+      edge.from = from;
+      edge.to = to;
+      edge.support = 1;
+      edge.example_seq = example_seq;
+      graph.edge_index_.emplace(key, graph.edges_.size());
+      graph.edges_.push_back(std::move(edge));
+    } else {
+      ++graph.edges_[it->second].support;
+    }
+  };
+
+  for (uint64_t txn = 0; txn < txns.row_count(); ++txn) {
+    uint64_t n_locks = txns.GetUint64(txn, kTxnNLocks);
+    if (n_locks < 2) {
+      continue;
+    }
+    std::vector<RowId> rows = txn_locks.LookupEqual(kTlTxn, txn);
+    std::vector<uint64_t> ordered(rows.size());
+    uint64_t last_acquire = 0;
+    for (RowId row : rows) {
+      uint64_t pos = txn_locks.GetUint64(row, kTlPos);
+      LOCKDOC_CHECK(pos < ordered.size());
+      ordered[pos] = txn_locks.GetUint64(row, kTlLock);
+      if (pos + 1 == ordered.size()) {
+        last_acquire = txn_locks.GetUint64(row, kTlAcq);
+      }
+    }
+    // Only transactions opened by the innermost lock's acquisition count;
+    // transactions re-minted by out-of-order releases would double-count
+    // orderings that were already recorded.
+    if (txns.GetUint64(txn, kTxnStart) != last_acquire) {
+      continue;
+    }
+    const LockClass& acquired = class_of(ordered.back());
+    for (size_t i = 0; i + 1 < ordered.size(); ++i) {
+      add_edge(class_of(ordered[i]), acquired, last_acquire);
+    }
+  }
+  return graph;
+}
+
+std::vector<std::pair<LockOrderEdge, LockOrderEdge>> LockOrderGraph::ConflictingPairs() const {
+  std::vector<std::pair<LockOrderEdge, LockOrderEdge>> conflicts;
+  for (const LockOrderEdge& edge : edges_) {
+    if (!(edge.from < edge.to)) {
+      continue;  // Report each unordered pair once; skip self-loops.
+    }
+    auto reverse = edge_index_.find(std::make_pair(edge.to, edge.from));
+    if (reverse == edge_index_.end()) {
+      continue;
+    }
+    const LockOrderEdge& back = edges_[reverse->second];
+    // Rarer direction first: it is usually the buggy one.
+    if (back.support < edge.support) {
+      conflicts.emplace_back(back, edge);
+    } else {
+      conflicts.emplace_back(edge, back);
+    }
+  }
+  return conflicts;
+}
+
+std::vector<LockOrderCycle> LockOrderGraph::FindCycles(size_t max_length) const {
+  // Collect distinct classes and adjacency.
+  std::vector<LockClass> nodes;
+  std::map<LockClass, size_t> node_index;
+  for (const LockOrderEdge& edge : edges_) {
+    for (const LockClass& lock : {edge.from, edge.to}) {
+      if (node_index.emplace(lock, nodes.size()).second) {
+        nodes.push_back(lock);
+      }
+    }
+  }
+  std::vector<std::vector<std::pair<size_t, uint64_t>>> adjacency(nodes.size());
+  for (const LockOrderEdge& edge : edges_) {
+    if (edge.from == edge.to) {
+      continue;
+    }
+    adjacency[node_index[edge.from]].emplace_back(node_index[edge.to], edge.support);
+  }
+
+  std::vector<LockOrderCycle> cycles;
+  std::set<std::vector<size_t>> seen;
+
+  // DFS from each node; only visit nodes with index >= start to enumerate
+  // each elementary cycle exactly once (smallest node is the anchor).
+  std::vector<size_t> path;
+  std::vector<uint64_t> supports;
+  std::vector<bool> on_path(nodes.size(), false);
+
+  std::function<void(size_t, size_t)> dfs = [&](size_t start, size_t current) {
+    if (path.size() > max_length) {
+      return;
+    }
+    for (const auto& [next, support] : adjacency[current]) {
+      if (next == start && path.size() >= 2) {
+        LockOrderCycle cycle;
+        cycle.min_support = support;
+        std::vector<size_t> ids = path;
+        for (size_t i = 0; i < path.size(); ++i) {
+          cycle.classes.push_back(nodes[path[i]]);
+          if (i > 0) {
+            cycle.min_support = std::min(cycle.min_support, supports[i - 1]);
+          }
+        }
+        cycle.min_support = std::min(cycle.min_support, support);
+        if (seen.insert(ids).second) {
+          cycles.push_back(std::move(cycle));
+        }
+        continue;
+      }
+      if (next <= start || on_path[next] || path.size() == max_length) {
+        continue;
+      }
+      path.push_back(next);
+      supports.push_back(support);
+      on_path[next] = true;
+      dfs(start, next);
+      on_path[next] = false;
+      supports.pop_back();
+      path.pop_back();
+    }
+  };
+
+  for (size_t start = 0; start < nodes.size(); ++start) {
+    path = {start};
+    supports.clear();
+    std::fill(on_path.begin(), on_path.end(), false);
+    on_path[start] = true;
+    dfs(start, start);
+  }
+  return cycles;
+}
+
+std::vector<LockOrderEdge> LockOrderGraph::SelfNesting() const {
+  std::vector<LockOrderEdge> result;
+  for (const LockOrderEdge& edge : edges_) {
+    if (edge.from == edge.to) {
+      result.push_back(edge);
+    }
+  }
+  return result;
+}
+
+std::string LockOrderGraph::Report(const Trace& trace, size_t max_edges) const {
+  std::vector<LockOrderEdge> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end(), [](const LockOrderEdge& a, const LockOrderEdge& b) {
+    return a.support > b.support;
+  });
+  std::string out = StrFormat("lock-order graph: %zu edges\n", sorted.size());
+  for (size_t i = 0; i < sorted.size() && i < max_edges; ++i) {
+    const LockOrderEdge& edge = sorted[i];
+    out += StrFormat("  %-45s -> %-45s n=%-7llu e.g. %s\n", edge.from.ToString().c_str(),
+                     edge.to.ToString().c_str(), static_cast<unsigned long long>(edge.support),
+                     trace.FormatLoc(trace.event(edge.example_seq).loc).c_str());
+  }
+  auto conflicts = ConflictingPairs();
+  out += StrFormat("ordering conflicts (ABBA candidates): %zu\n", conflicts.size());
+  for (const auto& [rare, common] : conflicts) {
+    out += StrFormat("  %s -> %s (n=%llu)  vs  reverse (n=%llu) at %s\n",
+                     rare.from.ToString().c_str(), rare.to.ToString().c_str(),
+                     static_cast<unsigned long long>(rare.support),
+                     static_cast<unsigned long long>(common.support),
+                     trace.FormatLoc(trace.event(rare.example_seq).loc).c_str());
+  }
+  return out;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,80 @@
+// Lock-ordering analysis — the lockdep-style companion to rule mining
+// (paper Sec. 3.2 discusses Linux's lockdep as the in-situ counterpart).
+//
+// From the reconstructed transactions we build a directed graph over lock
+// *classes*: an edge A -> B with support n means B was acquired n times
+// while A was already held. A cycle in this graph is a potential deadlock:
+// two control flows taking the same locks in opposite orders. Because the
+// graph ranges over generalized classes (global / ES / EO) rather than
+// instances, one observed ordering generalizes across all objects of a type
+// — including the deliberate ancestor-before-descendant ordering of
+// same-class locks (e.g. parent d_lock before child d_lock), which appears
+// as a self-loop and is reported separately rather than as a deadlock.
+#ifndef SRC_CORE_LOCK_ORDER_H_
+#define SRC_CORE_LOCK_ORDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/model/lock_class.h"
+#include "src/model/type_registry.h"
+#include "src/trace/trace.h"
+
+namespace lockdoc {
+
+struct LockOrderEdge {
+  LockClass from;
+  LockClass to;
+  // Number of acquisitions of `to` while `from` was held.
+  uint64_t support = 0;
+  // One example acquisition (trace seq of the `to` acquire) for reporting.
+  uint64_t example_seq = 0;
+};
+
+// A cyclic chain of distinct lock classes c0 -> c1 -> ... -> c0.
+struct LockOrderCycle {
+  std::vector<LockClass> classes;
+  // The weakest edge's support — low values usually indicate the rare
+  // (buggy) direction.
+  uint64_t min_support = 0;
+
+  std::string ToString() const;
+};
+
+class LockOrderGraph {
+ public:
+  // Builds the graph from an imported database (txn_locks ordering) plus
+  // the trace for example contexts. Lock classes are computed relative to
+  // nothing (there is no accessed object), so embedded locks appear as
+  // EO(member in type) and same-type nesting becomes a self-loop.
+  static LockOrderGraph Build(const Database& db, const Trace& trace,
+                              const TypeRegistry& registry);
+
+  const std::vector<LockOrderEdge>& edges() const { return edges_; }
+
+  // Edges A -> B for which B -> A also exists — ordering conflicts between
+  // two classes, the classic ABBA deadlock candidates. Each conflicting
+  // pair is reported once, with the rarer direction first.
+  std::vector<std::pair<LockOrderEdge, LockOrderEdge>> ConflictingPairs() const;
+
+  // All elementary cycles of length >= 2 (bounded search; the class graph
+  // is small). Self-loops are excluded — see SelfNesting().
+  std::vector<LockOrderCycle> FindCycles(size_t max_length = 4) const;
+
+  // Classes acquired while another instance of the same class was held
+  // (nested same-class locking, legal under an ancestor-first convention).
+  std::vector<LockOrderEdge> SelfNesting() const;
+
+  // Human-readable report of edges sorted by support.
+  std::string Report(const Trace& trace, size_t max_edges = 40) const;
+
+ private:
+  std::vector<LockOrderEdge> edges_;
+  std::map<std::pair<LockClass, LockClass>, size_t> edge_index_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_LOCK_ORDER_H_

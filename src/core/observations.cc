@@ -1,0 +1,179 @@
+#include "src/core/observations.h"
+
+#include "src/db/schema.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+
+const std::vector<ObservationGroup> ObservationStore::kEmptyGroups;
+
+uint32_t ObservationStore::InternSeq(const LockSeq& seq) {
+  auto it = seq_index_.find(seq);
+  if (it != seq_index_.end()) {
+    return it->second;
+  }
+  uint32_t id = static_cast<uint32_t>(seqs_.size());
+  seqs_.push_back(seq);
+  seq_index_.emplace(seq, id);
+  return id;
+}
+
+const LockSeq& ObservationStore::seq(uint32_t id) const {
+  LOCKDOC_CHECK(id < seqs_.size());
+  return seqs_[id];
+}
+
+const std::vector<ObservationGroup>& ObservationStore::GroupsFor(const MemberObsKey& key) const {
+  auto it = groups_.find(key);
+  return it == groups_.end() ? kEmptyGroups : it->second;
+}
+
+uint64_t ObservationStore::CountObservations(const MemberObsKey& key, AccessType access) const {
+  uint64_t count = 0;
+  for (const ObservationGroup& group : GroupsFor(key)) {
+    if (group.effective() == access) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+// Resolves one lock instance (a row of the locks table) to its class
+// relative to the accessed allocation.
+LockClass ClassifyLock(const Table& locks, const Table& members, const Trace& trace,
+                       const TypeRegistry& registry, uint64_t lock_row, uint64_t access_alloc) {
+  const size_t kIsStatic = locks.ColumnIndex("is_static");
+  const size_t kNameSid = locks.ColumnIndex("name_sid");
+  const size_t kAddr = locks.ColumnIndex("addr");
+  const size_t kOwnerAlloc = locks.ColumnIndex("owner_alloc_id");
+  const size_t kOwnerMember = locks.ColumnIndex("owner_member_id");
+
+  if (locks.GetUint64(lock_row, kIsStatic) != 0) {
+    uint64_t name_sid = locks.GetUint64(lock_row, kNameSid);
+    if (name_sid != 0) {
+      return LockClass::Global(trace.String(static_cast<StringId>(name_sid)));
+    }
+    return LockClass::Global(
+        StrFormat("lock@0x%llx",
+                  static_cast<unsigned long long>(locks.GetUint64(lock_row, kAddr))));
+  }
+
+  uint64_t member_row = locks.GetUint64(lock_row, kOwnerMember);
+  TypeId owner_type =
+      static_cast<TypeId>(members.GetUint64(member_row, members.ColumnIndex("type_id")));
+  const std::string& lock_name = members.GetString(member_row, members.ColumnIndex("name"));
+  const std::string& type_name = registry.layout(owner_type).name();
+  if (locks.GetUint64(lock_row, kOwnerAlloc) == access_alloc) {
+    return LockClass::Same(lock_name, type_name);
+  }
+  return LockClass::Other(lock_name, type_name);
+}
+
+}  // namespace
+
+ObservationStore ExtractObservations(const Database& db, const Trace& trace,
+                                     const TypeRegistry& registry) {
+  ObservationStore store;
+
+  const Table& accesses = db.table(LockDocSchema::kAccesses);
+  const Table& allocations = db.table(LockDocSchema::kAllocations);
+  const Table& members = db.table(LockDocSchema::kMembers);
+  const Table& locks = db.table(LockDocSchema::kLocks);
+  const Table& txn_locks = db.table(LockDocSchema::kTxnLocks);
+
+  const size_t kAccSeq = accesses.ColumnIndex("seq");
+  const size_t kAccAlloc = accesses.ColumnIndex("alloc_id");
+  const size_t kAccMember = accesses.ColumnIndex("member_id");
+  const size_t kAccType = accesses.ColumnIndex("access_type");
+  const size_t kAccTxn = accesses.ColumnIndex("txn_id");
+  const size_t kAccFilter = accesses.ColumnIndex("filter_reason");
+
+  const size_t kAllocType = allocations.ColumnIndex("type_id");
+  const size_t kAllocSubclass = allocations.ColumnIndex("subclass");
+
+  const size_t kMemberIdx = members.ColumnIndex("member_idx");
+
+  const size_t kTlTxn = txn_locks.ColumnIndex("txn_id");
+  const size_t kTlPos = txn_locks.ColumnIndex("position");
+  const size_t kTlLock = txn_locks.ColumnIndex("lock_id");
+
+  // Cache of the current transaction's ordered lock rows.
+  uint64_t cached_txn = kDbNull;
+  std::vector<uint64_t> cached_txn_lock_rows;
+  // Cache of the last (txn, alloc) -> interned class sequence.
+  uint64_t cached_class_txn = kDbNull;
+  uint64_t cached_class_alloc = kDbNull;
+  uint32_t cached_lockseq = 0;
+
+  // Open group per (txn, alloc, member): index into the per-member vector.
+  using GroupKey = std::tuple<uint64_t, uint64_t, uint64_t>;  // (txn, alloc, member_row)
+  std::map<GroupKey, std::pair<MemberObsKey, size_t>> open_groups;
+
+  accesses.Scan([&](RowId row) {
+    if (accesses.GetUint64(row, kAccFilter) != static_cast<uint64_t>(FilterReason::kNone)) {
+      return true;
+    }
+    uint64_t txn = accesses.GetUint64(row, kAccTxn);
+    uint64_t alloc = accesses.GetUint64(row, kAccAlloc);
+    uint64_t member_row = accesses.GetUint64(row, kAccMember);
+    LOCKDOC_CHECK(alloc != kDbNull && member_row != kDbNull && txn != kDbNull);
+
+    // Resolve the member population key.
+    MemberObsKey key;
+    key.type = static_cast<TypeId>(allocations.GetUint64(alloc, kAllocType));
+    key.subclass = static_cast<SubclassId>(allocations.GetUint64(alloc, kAllocSubclass));
+    key.member = static_cast<MemberIndex>(members.GetUint64(member_row, kMemberIdx));
+
+    GroupKey group_key = std::make_tuple(txn, alloc, member_row);
+    auto it = open_groups.find(group_key);
+    if (it == open_groups.end()) {
+      // Classify the transaction's locks relative to this allocation.
+      if (txn != cached_txn) {
+        cached_txn = txn;
+        cached_txn_lock_rows.clear();
+        std::vector<RowId> rows = txn_locks.LookupEqual(kTlTxn, txn);
+        cached_txn_lock_rows.resize(rows.size());
+        for (RowId tl_row : rows) {
+          uint64_t pos = txn_locks.GetUint64(tl_row, kTlPos);
+          LOCKDOC_CHECK(pos < cached_txn_lock_rows.size());
+          cached_txn_lock_rows[pos] = txn_locks.GetUint64(tl_row, kTlLock);
+        }
+        cached_class_txn = kDbNull;  // Invalidate the class cache.
+      }
+      if (txn != cached_class_txn || alloc != cached_class_alloc) {
+        LockSeq seq;
+        seq.reserve(cached_txn_lock_rows.size());
+        for (uint64_t lock_row : cached_txn_lock_rows) {
+          seq.push_back(ClassifyLock(locks, members, trace, registry, lock_row, alloc));
+        }
+        cached_lockseq = store.InternSeq(seq);
+        cached_class_txn = txn;
+        cached_class_alloc = alloc;
+      }
+
+      std::vector<ObservationGroup>& groups = store.MutableGroups(key);
+      ObservationGroup group;
+      group.lockseq_id = cached_lockseq;
+      group.txn_id = txn;
+      group.alloc_id = alloc;
+      groups.push_back(std::move(group));
+      it = open_groups.emplace(group_key, std::make_pair(key, groups.size() - 1)).first;
+    }
+
+    ObservationGroup& group = store.MutableGroups(it->second.first)[it->second.second];
+    if (accesses.GetUint64(row, kAccType) == static_cast<uint64_t>(AccessType::kWrite)) {
+      ++group.n_writes;
+    } else {
+      ++group.n_reads;
+    }
+    group.seqs.push_back(accesses.GetUint64(row, kAccSeq));
+    return true;
+  });
+
+  return store;
+}
+
+}  // namespace lockdoc

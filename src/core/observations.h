@@ -1,0 +1,81 @@
+// Folded observations (paper Sec. 4.2, Tab. 1): per transaction, allocation,
+// and member, all raw accesses collapse into one observation carrying the
+// transaction's ordered held-lock classes. A transaction containing both
+// reads and writes of a member counts as a *write* observation only
+// ("write over read") because write rules are the more restrictive ones.
+#ifndef SRC_CORE_OBSERVATIONS_H_
+#define SRC_CORE_OBSERVATIONS_H_
+
+#include <compare>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/model/ids.h"
+#include "src/model/lock_class.h"
+#include "src/model/type_registry.h"
+#include "src/trace/trace.h"
+
+namespace lockdoc {
+
+// Identifies the population observations are grouped under. Subclassed types
+// (inode) derive rules per subclass; unsubclassed types use kNoSubclass.
+struct MemberObsKey {
+  TypeId type = kInvalidTypeId;
+  SubclassId subclass = kNoSubclass;
+  MemberIndex member = kInvalidMember;
+
+  friend auto operator<=>(const MemberObsKey&, const MemberObsKey&) = default;
+};
+
+// One folded observation: "member m of allocation a was accessed in
+// transaction t while holding this lock sequence".
+struct ObservationGroup {
+  // Interned index into ObservationStore's lock-sequence pool.
+  uint32_t lockseq_id = 0;
+  uint64_t txn_id = 0;
+  uint64_t alloc_id = 0;
+  uint32_t n_reads = 0;
+  uint32_t n_writes = 0;
+  // Raw trace sequence numbers of every contributing access (reads and
+  // writes); used by the rule-violation finder to locate contexts.
+  std::vector<uint64_t> seqs;
+
+  // Write-over-read: mixed groups count as writes.
+  AccessType effective() const {
+    return n_writes > 0 ? AccessType::kWrite : AccessType::kRead;
+  }
+};
+
+class ObservationStore {
+ public:
+  uint32_t InternSeq(const LockSeq& seq);
+  const LockSeq& seq(uint32_t id) const;
+  size_t distinct_seqs() const { return seqs_.size(); }
+
+  std::vector<ObservationGroup>& MutableGroups(const MemberObsKey& key) { return groups_[key]; }
+  const std::map<MemberObsKey, std::vector<ObservationGroup>>& groups() const { return groups_; }
+  // Groups for one member; empty if never observed.
+  const std::vector<ObservationGroup>& GroupsFor(const MemberObsKey& key) const;
+
+  // Number of observations of `key` with the given effective access type —
+  // the denominator of relative support.
+  uint64_t CountObservations(const MemberObsKey& key, AccessType access) const;
+
+ private:
+  std::vector<LockSeq> seqs_;
+  std::unordered_map<LockSeq, uint32_t, LockSeqHash> seq_index_;
+  std::map<MemberObsKey, std::vector<ObservationGroup>> groups_;
+
+  static const std::vector<ObservationGroup> kEmptyGroups;
+};
+
+// Builds the observation store from an imported database. `trace` resolves
+// interned strings; `registry` resolves member names for lock classes.
+ObservationStore ExtractObservations(const Database& db, const Trace& trace,
+                                     const TypeRegistry& registry);
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_OBSERVATIONS_H_

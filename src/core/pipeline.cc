@@ -1,0 +1,16 @@
+#include "src/core/pipeline.h"
+
+namespace lockdoc {
+
+PipelineResult RunPipeline(const Trace& trace, const TypeRegistry& registry,
+                           const PipelineOptions& options) {
+  PipelineResult result;
+  TraceImporter importer(&registry, options.filter);
+  result.import_stats = importer.Import(trace, &result.db);
+  result.observations = ExtractObservations(result.db, trace, registry);
+  RuleDerivator derivator(options.derivator);
+  result.rules = derivator.DeriveAll(result.observations);
+  return result;
+}
+
+}  // namespace lockdoc

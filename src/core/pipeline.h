@@ -1,0 +1,38 @@
+// End-to-end convenience wrapper: trace -> database import -> observation
+// extraction -> rule derivation. This is the programmatic equivalent of
+// running all three LockDoc phases (Fig. 5) back to back.
+#ifndef SRC_CORE_PIPELINE_H_
+#define SRC_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "src/core/derivator.h"
+#include "src/core/filter_config.h"
+#include "src/core/importer.h"
+#include "src/core/observations.h"
+#include "src/db/database.h"
+#include "src/model/type_registry.h"
+#include "src/trace/trace.h"
+
+namespace lockdoc {
+
+struct PipelineOptions {
+  FilterConfig filter = FilterConfig::Defaults();
+  DerivatorOptions derivator;
+};
+
+struct PipelineResult {
+  Database db;
+  ImportStats import_stats;
+  ObservationStore observations;
+  std::vector<DerivationResult> rules;
+};
+
+// Runs import + extraction + derivation. `trace` and `registry` must
+// outlive the result (interned strings are resolved through the trace).
+PipelineResult RunPipeline(const Trace& trace, const TypeRegistry& registry,
+                           const PipelineOptions& options = {});
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_PIPELINE_H_

@@ -1,0 +1,153 @@
+#include "src/core/report.h"
+
+#include <map>
+
+#include "src/core/doc_generator.h"
+#include "src/core/lock_order.h"
+#include "src/core/mode_analysis.h"
+#include "src/core/rule_checker.h"
+#include "src/core/violation_finder.h"
+#include "src/trace/trace_stats.h"
+#include "src/util/stats.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+std::string Heading(const std::string& title) {
+  return "\n== " + title + " " + std::string(72 - std::min<size_t>(68, title.size()), '=') +
+         "\n\n";
+}
+
+}  // namespace
+
+std::string RenderReport(const Trace& trace, const TypeRegistry& registry,
+                         const PipelineResult& result, const ReportOptions& options) {
+  std::string out = "LockDoc analysis report\n";
+
+  // --- Trace statistics (Sec. 7.2) ---
+  out += Heading("trace statistics");
+  out += ComputeTraceStats(trace).ToString();
+  out += StrFormat("accesses kept after filtering: %s (filtered: %s)\n",
+                   FormatWithCommas(result.import_stats.accesses_kept).c_str(),
+                   FormatWithCommas(result.import_stats.accesses_filtered).c_str());
+  out += StrFormat("transactions:                  %s\n",
+                   FormatWithCommas(result.import_stats.txns).c_str());
+
+  // --- Documentation validation (Tab. 4) ---
+  if (!options.documented_rules_text.empty()) {
+    out += Heading("documented-rule validation");
+    auto rules = RuleSet::ParseText(options.documented_rules_text);
+    if (!rules.ok()) {
+      out += "rule parse error: " + rules.status().message() + "\n";
+    } else {
+      RuleChecker checker(&registry, &result.observations);
+      TextTable table({"Data Type", "#R", "#No", "#Ob", "! (%)", "~ (%)", "# (%)"});
+      for (const RuleCheckSummary& s :
+           RuleChecker::Summarize(checker.CheckAll(rules.value()))) {
+        table.AddRow({s.type_name, std::to_string(s.documented), std::to_string(s.unobserved),
+                      std::to_string(s.observed), StrFormat("%.2f", s.correct_pct()),
+                      StrFormat("%.2f", s.ambivalent_pct()),
+                      StrFormat("%.2f", s.incorrect_pct())});
+      }
+      out += table.ToString();
+    }
+  }
+
+  // --- Mining summary (Tab. 6) ---
+  out += Heading("mined locking rules");
+  {
+    struct Row {
+      uint64_t rules_r = 0, rules_w = 0, no_lock_r = 0, no_lock_w = 0;
+    };
+    std::map<std::pair<TypeId, SubclassId>, Row> rows;
+    for (const DerivationResult& rule : result.rules) {
+      Row& row = rows[{rule.key.type, rule.key.subclass}];
+      bool no_lock = rule.winner_is_no_lock();
+      if (rule.access == AccessType::kRead) {
+        ++row.rules_r;
+        row.no_lock_r += no_lock ? 1 : 0;
+      } else {
+        ++row.rules_w;
+        row.no_lock_w += no_lock ? 1 : 0;
+      }
+    }
+    TextTable table({"Data Type", "#Rules r", "#Rules w", "#Nl r", "#Nl w"});
+    for (const auto& [key, row] : rows) {
+      table.AddRow({registry.QualifiedName(key.first, key.second),
+                    std::to_string(row.rules_r), std::to_string(row.rules_w),
+                    std::to_string(row.no_lock_r), std::to_string(row.no_lock_w)});
+    }
+    out += table.ToString();
+  }
+
+  if (options.full_documentation) {
+    out += Heading("generated documentation");
+    DocGenerator generator(&registry);
+    std::map<std::pair<TypeId, SubclassId>, bool> populations;
+    for (const DerivationResult& rule : result.rules) {
+      populations[{rule.key.type, rule.key.subclass}] = true;
+    }
+    for (const auto& [key, present] : populations) {
+      out += generator.Generate(key.first, key.second, result.rules) + "\n";
+    }
+  }
+
+  // --- Violations (Tab. 7/8) ---
+  out += Heading("locking-rule violations");
+  ViolationFinder finder(&trace, &registry, &result.observations);
+  std::vector<Violation> violations = finder.FindAll(result.rules);
+  {
+    TextTable table({"Data Type", "Events", "Members", "Contexts"});
+    uint64_t total = 0;
+    for (const ViolationSummaryRow& row : finder.Summarize(violations)) {
+      if (row.events == 0) {
+        continue;
+      }
+      table.AddRow({row.type_name, std::to_string(row.events), std::to_string(row.members),
+                    std::to_string(row.contexts)});
+      total += row.events;
+    }
+    out += table.ToString();
+    out += StrFormat("total violating events: %s\n", FormatWithCommas(total).c_str());
+  }
+  for (const ViolationExample& ex :
+       finder.Examples(violations, options.max_violation_examples)) {
+    out += StrFormat("\n%s [%s]\n  rule: %s\n  held: %s\n  at %s (%llu events)\n  stack: %s\n",
+                     ex.member.c_str(), ex.access.c_str(), ex.rule.c_str(), ex.held.c_str(),
+                     ex.location.c_str(), static_cast<unsigned long long>(ex.events),
+                     ex.stack.c_str());
+  }
+
+  // --- Lock ordering ---
+  if (options.lock_order) {
+    out += Heading("lock ordering");
+    LockOrderGraph graph = LockOrderGraph::Build(result.db, trace, registry);
+    auto conflicts = graph.ConflictingPairs();
+    out += StrFormat("%zu ordering edges, %zu ABBA conflicts\n", graph.edges().size(),
+                     conflicts.size());
+    for (const auto& [rare, common] : conflicts) {
+      out += StrFormat("  %s -> %s (n=%llu) vs reverse (n=%llu) at %s\n",
+                       rare.from.ToString().c_str(), rare.to.ToString().c_str(),
+                       static_cast<unsigned long long>(rare.support),
+                       static_cast<unsigned long long>(common.support),
+                       trace.FormatLoc(trace.event(rare.example_seq).loc).c_str());
+    }
+  }
+
+  // --- Acquisition modes ---
+  if (options.modes) {
+    out += Heading("reader/writer acquisition modes");
+    ModeAnalyzer analyzer(&result.db, &trace, &registry, &result.observations);
+    auto suspicious = analyzer.FindSharedModeWrites(result.rules);
+    if (suspicious.empty()) {
+      out += "no writes under merely-shared holds\n";
+    } else {
+      out += analyzer.Render(suspicious);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,39 @@
+// The full LockDoc report: every analysis the paper's evaluation runs —
+// trace statistics, documentation validation, rule mining summary,
+// violations, lock ordering — rendered into one text document. This is the
+// artifact a kernel developer would actually read; the per-table bench
+// binaries exist to compare against the paper, this exists to be used.
+#ifndef SRC_CORE_REPORT_H_
+#define SRC_CORE_REPORT_H_
+
+#include <string>
+
+#include "src/core/pipeline.h"
+#include "src/core/rule.h"
+#include "src/model/type_registry.h"
+#include "src/trace/trace.h"
+
+namespace lockdoc {
+
+struct ReportOptions {
+  // Validate these documented rules (empty: skip the validation section).
+  std::string documented_rules_text;
+  // Maximum violation examples listed.
+  size_t max_violation_examples = 10;
+  // Include the lock-ordering section.
+  bool lock_order = true;
+  // Include the acquisition-mode section.
+  bool modes = true;
+  // Include generated documentation for every observed population (can be
+  // long); when false only the mining summary table is included.
+  bool full_documentation = false;
+};
+
+// Renders the complete report for an analyzed trace. `trace` and `registry`
+// must be the ones `result` was produced from.
+std::string RenderReport(const Trace& trace, const TypeRegistry& registry,
+                         const PipelineResult& result, const ReportOptions& options = {});
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_REPORT_H_

@@ -1,0 +1,124 @@
+#include "src/core/rule.h"
+
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+
+std::string MemberRef::ToString() const {
+  std::string result = type_name;
+  if (!subclass.empty()) {
+    result += ":" + subclass;
+  }
+  result += "." + member_name;
+  return result;
+}
+
+std::string LockingRule::ToString() const {
+  return member.ToString() + " " + AccessTypeName(access) + ": " + LockSeqToString(locks);
+}
+
+std::vector<const LockingRule*> RuleSet::RulesFor(const MemberRef& member,
+                                                  AccessType access) const {
+  std::vector<const LockingRule*> result;
+  for (const LockingRule& rule : rules_) {
+    if (rule.access == access && rule.member == member) {
+      result.push_back(&rule);
+    }
+  }
+  return result;
+}
+
+std::string RuleSet::ToText() const {
+  std::string text;
+  for (const LockingRule& rule : rules_) {
+    text += rule.ToString() + "\n";
+  }
+  return text;
+}
+
+Result<RuleSet> RuleSet::ParseText(std::string_view text) {
+  RuleSet set;
+  size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    // The lock sequence follows the LAST ':' (subclass qualifiers also use
+    // ':', but lock sequences never contain one).
+    size_t colon = line.rfind(':');
+    if (colon == std::string_view::npos) {
+      return Status::Error(StrFormat("rule line %zu: missing ':'", line_number));
+    }
+    std::string_view head = Trim(line.substr(0, colon));
+    std::string_view tail = Trim(line.substr(colon + 1));
+
+    // head = "<type>[:<subclass>].<member> <r|w|rw>"
+    size_t space = head.find_last_of(" \t");
+    if (space == std::string_view::npos) {
+      return Status::Error(StrFormat("rule line %zu: missing access type", line_number));
+    }
+    std::string_view access_text = Trim(head.substr(space + 1));
+    std::string_view member_path = Trim(head.substr(0, space));
+
+    bool want_read = false;
+    bool want_write = false;
+    if (access_text == "r") {
+      want_read = true;
+    } else if (access_text == "w") {
+      want_write = true;
+    } else if (access_text == "rw") {
+      want_read = true;
+      want_write = true;
+    } else {
+      return Status::Error(
+          StrFormat("rule line %zu: bad access type '%s'", line_number,
+                    std::string(access_text).c_str()));
+    }
+
+    size_t dot = member_path.find('.');
+    if (dot == std::string_view::npos || dot == 0 || dot + 1 == member_path.size()) {
+      return Status::Error(StrFormat("rule line %zu: bad member path", line_number));
+    }
+    std::string_view type_part = member_path.substr(0, dot);
+    std::string_view member_name = member_path.substr(dot + 1);
+
+    MemberRef member;
+    size_t subclass_sep = type_part.find(':');
+    if (subclass_sep == std::string_view::npos) {
+      member.type_name = std::string(type_part);
+    } else {
+      member.type_name = std::string(type_part.substr(0, subclass_sep));
+      member.subclass = std::string(type_part.substr(subclass_sep + 1));
+      if (member.type_name.empty() || member.subclass.empty()) {
+        return Status::Error(StrFormat("rule line %zu: bad subclass qualifier", line_number));
+      }
+    }
+    member.member_name = std::string(member_name);
+
+    auto locks = ParseLockSeq(tail);
+    if (!locks.ok()) {
+      return Status::Error(StrFormat("rule line %zu: %s", line_number,
+                                     locks.status().message().c_str()));
+    }
+
+    if (want_read) {
+      LockingRule rule;
+      rule.member = member;
+      rule.access = AccessType::kRead;
+      rule.locks = locks.value();
+      set.Add(std::move(rule));
+    }
+    if (want_write) {
+      LockingRule rule;
+      rule.member = member;
+      rule.access = AccessType::kWrite;
+      rule.locks = std::move(locks).value();
+      set.Add(std::move(rule));
+    }
+  }
+  return set;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,65 @@
+// Locking rules and the textual rule-spec notation.
+//
+// The locking-rule checker needs the officially documented rules in
+// machine-readable form (Sec. 5.5: "first need to be manually converted into
+// LockDoc's internal locking-rule notation"). That notation, one rule per
+// line:
+//
+//   # comment
+//   inode.i_state w: ES(i_lock in inode)
+//   inode:ext4.i_hash w: inode_hash_lock -> ES(i_lock in inode)
+//   journal_t.j_flags rw: ES(j_state_lock in journal_t)
+//   dentry.d_name r: no lock
+//
+// "rw" expands into separate read and write rules. A type without an
+// explicit ":subclass" applies to all subclasses of that type.
+#ifndef SRC_CORE_RULE_H_
+#define SRC_CORE_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/model/ids.h"
+#include "src/model/lock_class.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+struct MemberRef {
+  std::string type_name;
+  std::string subclass;  // Empty: applies to all subclasses.
+  std::string member_name;
+
+  // "inode:ext4.i_hash" / "inode.i_hash".
+  std::string ToString() const;
+
+  friend auto operator<=>(const MemberRef&, const MemberRef&) = default;
+};
+
+struct LockingRule {
+  MemberRef member;
+  AccessType access = AccessType::kRead;
+  LockSeq locks;  // Empty sequence == "no lock".
+
+  std::string ToString() const;
+};
+
+class RuleSet {
+ public:
+  void Add(LockingRule rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<LockingRule>& rules() const { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+  // Rules matching a member reference (and access type).
+  std::vector<const LockingRule*> RulesFor(const MemberRef& member, AccessType access) const;
+
+  std::string ToText() const;
+  static Result<RuleSet> ParseText(std::string_view text);
+
+ private:
+  std::vector<LockingRule> rules_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_RULE_H_

@@ -1,0 +1,57 @@
+// Rule drift — comparing mined locking rules across two traces.
+//
+// The paper's motivation (Sec. 1/2.4) is that documentation rots as the
+// code evolves: "documented locking rules may also simply have been
+// forgotten as the code evolved". Running LockDoc on two kernel versions
+// (or two workloads) and diffing the winners turns that observation into a
+// tool: members whose winning rule *changed* are exactly where the
+// documentation must be re-examined.
+#ifndef SRC_CORE_RULE_DIFF_H_
+#define SRC_CORE_RULE_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/derivator.h"
+#include "src/model/type_registry.h"
+
+namespace lockdoc {
+
+enum class RuleDriftKind {
+  kAdded = 0,     // Member observed only in the new trace.
+  kRemoved = 1,   // Member observed only in the old trace.
+  kChanged = 2,   // Winner differs.
+  kUnchanged = 3,
+};
+
+std::string_view RuleDriftKindName(RuleDriftKind kind);
+
+struct RuleDrift {
+  MemberObsKey key;
+  AccessType access = AccessType::kRead;
+  RuleDriftKind kind = RuleDriftKind::kUnchanged;
+  // Empty for kAdded / kRemoved respectively.
+  LockSeq old_rule;
+  LockSeq new_rule;
+  double old_sr = 0.0;
+  double new_sr = 0.0;
+};
+
+struct RuleDiffOptions {
+  // Report kUnchanged entries too (off by default).
+  bool include_unchanged = false;
+};
+
+// Diffs two derivation runs over the SAME type registry. Results are sorted
+// by type, subclass, member, access.
+std::vector<RuleDrift> DiffRules(const std::vector<DerivationResult>& old_rules,
+                                 const std::vector<DerivationResult>& new_rules,
+                                 const RuleDiffOptions& options = {});
+
+// Renders a drift list as text, e.g.
+//   ~ inode:ext4.i_blocks w: ES(i_lock in inode) -> no lock (sr 1.00 -> 1.00)
+std::string RenderRuleDiff(const std::vector<RuleDrift>& drifts, const TypeRegistry& registry);
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_RULE_DIFF_H_

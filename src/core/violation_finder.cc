@@ -1,0 +1,145 @@
+#include "src/core/violation_finder.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+
+ViolationFinder::ViolationFinder(const Trace* trace, const TypeRegistry* registry,
+                                 const ObservationStore* store)
+    : trace_(trace), registry_(registry), store_(store) {
+  LOCKDOC_CHECK(trace_ != nullptr);
+  LOCKDOC_CHECK(registry_ != nullptr);
+  LOCKDOC_CHECK(store_ != nullptr);
+}
+
+std::vector<Violation> ViolationFinder::FindAll(
+    const std::vector<DerivationResult>& results) const {
+  std::vector<Violation> violations;
+  for (const DerivationResult& result : results) {
+    if (!result.winner.has_value() || result.winner->is_no_lock() || result.winner->sr >= 1.0) {
+      continue;
+    }
+    for (const ObservationGroup& group : store_->GroupsFor(result.key)) {
+      if (group.effective() != result.access) {
+        continue;
+      }
+      const LockSeq& held = store_->seq(group.lockseq_id);
+      if (IsSubsequence(result.winner->locks, held)) {
+        continue;
+      }
+      Violation violation;
+      violation.key = result.key;
+      violation.access = result.access;
+      violation.rule = result.winner->locks;
+      violation.held = held;
+      for (uint64_t seq : group.seqs) {
+        if (AccessTypeOf(trace_->event(seq)) == result.access) {
+          violation.seqs.push_back(seq);
+        }
+      }
+      if (!violation.seqs.empty()) {
+        violations.push_back(std::move(violation));
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<ViolationSummaryRow> ViolationFinder::Summarize(
+    const std::vector<Violation>& violations) const {
+  struct Agg {
+    uint64_t events = 0;
+    std::set<MemberIndex> members;
+    std::set<std::tuple<StringId, uint32_t, StackId>> contexts;
+  };
+  // Include every observed (type, subclass) so clean types report zeros,
+  // as in the paper's Tab. 7.
+  std::map<std::pair<TypeId, SubclassId>, Agg> by_type;
+  for (const auto& [key, groups] : store_->groups()) {
+    by_type.try_emplace({key.type, key.subclass});
+  }
+  for (const Violation& violation : violations) {
+    Agg& agg = by_type[{violation.key.type, violation.key.subclass}];
+    agg.events += violation.seqs.size();
+    agg.members.insert(violation.key.member);
+    for (uint64_t seq : violation.seqs) {
+      const TraceEvent& event = trace_->event(seq);
+      agg.contexts.insert({event.loc.file, event.loc.line, event.stack});
+    }
+  }
+
+  std::vector<ViolationSummaryRow> rows;
+  rows.reserve(by_type.size());
+  for (const auto& [type_key, agg] : by_type) {
+    ViolationSummaryRow row;
+    row.type_name = registry_->QualifiedName(type_key.first, type_key.second);
+    row.events = agg.events;
+    row.members = agg.members.size();
+    row.contexts = agg.contexts.size();
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const ViolationSummaryRow& a,
+                                         const ViolationSummaryRow& b) {
+    return a.type_name < b.type_name;
+  });
+  return rows;
+}
+
+std::vector<ViolationExample> ViolationFinder::Examples(const std::vector<Violation>& violations,
+                                                        size_t limit) const {
+  // Aggregate violating events by full context:
+  // (member, access, rule, held, file, line, stack).
+  using ContextKey =
+      std::tuple<std::string, std::string, std::string, std::string, StringId, uint32_t, StackId>;
+  std::map<ContextKey, uint64_t> counts;
+  for (const Violation& violation : violations) {
+    std::string member =
+        registry_->QualifiedName(violation.key.type, violation.key.subclass) + "." +
+        registry_->layout(violation.key.type).member(violation.key.member).name;
+    std::string rule = LockSeqToString(violation.rule);
+    std::string held = LockSeqToString(violation.held);
+    for (uint64_t seq : violation.seqs) {
+      const TraceEvent& event = trace_->event(seq);
+      ++counts[std::make_tuple(member, std::string(AccessTypeName(violation.access)), rule, held,
+                               event.loc.file, event.loc.line, event.stack)];
+    }
+  }
+
+  std::vector<std::pair<const ContextKey*, uint64_t>> sorted;
+  sorted.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    sorted.emplace_back(&key, count);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return *a.first < *b.first;
+  });
+
+  std::vector<ViolationExample> examples;
+  for (const auto& [key, count] : sorted) {
+    if (examples.size() >= limit) {
+      break;
+    }
+    ViolationExample example;
+    example.member = std::get<0>(*key);
+    example.access = std::get<1>(*key);
+    example.rule = std::get<2>(*key);
+    example.held = std::get<3>(*key);
+    SourceLoc loc;
+    loc.file = std::get<4>(*key);
+    loc.line = std::get<5>(*key);
+    example.location = trace_->FormatLoc(loc);
+    example.stack = trace_->FormatStack(std::get<6>(*key));
+    example.events = count;
+    examples.push_back(std::move(example));
+  }
+  return examples;
+}
+
+}  // namespace lockdoc

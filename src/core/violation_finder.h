@@ -1,0 +1,74 @@
+// The rule-violation finder (paper Sec. 5.5 and 7.5): assuming the derived
+// winning rules are correct, locate every memory access that does not comply
+// and present the developer with the member, the rule, the locks actually
+// held, the source location, and the call stack — the starting points for
+// hunting real locking bugs.
+#ifndef SRC_CORE_VIOLATION_FINDER_H_
+#define SRC_CORE_VIOLATION_FINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/derivator.h"
+#include "src/core/observations.h"
+#include "src/model/type_registry.h"
+#include "src/trace/trace.h"
+
+namespace lockdoc {
+
+// One violating folded observation.
+struct Violation {
+  MemberObsKey key;
+  AccessType access = AccessType::kRead;
+  LockSeq rule;  // The winning rule that was violated.
+  LockSeq held;  // The locks actually held.
+  // Raw trace seqs of the violating accesses (only those matching `access`;
+  // reads folded away by write-over-read are not re-counted).
+  std::vector<uint64_t> seqs;
+};
+
+// One row of the paper's Tab. 7.
+struct ViolationSummaryRow {
+  std::string type_name;  // Qualified (inode:ext4).
+  uint64_t events = 0;
+  uint64_t members = 0;
+  uint64_t contexts = 0;  // Distinct (location, stack) pairs.
+};
+
+// One detailed example in the style of the paper's Tab. 8.
+struct ViolationExample {
+  std::string member;     // "inode:ext4.i_hash"
+  std::string access;     // "r"/"w"
+  std::string rule;       // Expected lock sequence.
+  std::string held;       // Locks actually held.
+  std::string location;   // "fs/inode.c:507"
+  std::string stack;      // Innermost-first call stack.
+  uint64_t events = 0;    // Violating events at this context.
+};
+
+class ViolationFinder {
+ public:
+  ViolationFinder(const Trace* trace, const TypeRegistry* registry,
+                  const ObservationStore* store);
+
+  // All violations of the winning rules (rules with sr == 1 cannot be
+  // violated; the no-lock rule cannot be violated either).
+  std::vector<Violation> FindAll(const std::vector<DerivationResult>& results) const;
+
+  // Tab. 7: per qualified data type, counting every observed type even when
+  // it has zero violations.
+  std::vector<ViolationSummaryRow> Summarize(const std::vector<Violation>& violations) const;
+
+  // Tab. 8: the most frequent violation contexts, up to `limit`.
+  std::vector<ViolationExample> Examples(const std::vector<Violation>& violations,
+                                         size_t limit) const;
+
+ private:
+  const Trace* trace_;
+  const TypeRegistry* registry_;
+  const ObservationStore* store_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_VIOLATION_FINDER_H_

@@ -1,0 +1,162 @@
+#include "src/corpus/corpus_model.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+// Directories the synthetic tree is spread over, with rough weights
+// mirroring where locking code lives in a real kernel.
+struct DirWeight {
+  const char* dir;
+  double weight;
+};
+constexpr DirWeight kDirs[] = {
+    {"drivers/net", 0.30}, {"drivers/gpu", 0.15}, {"fs", 0.15},    {"fs/ext4", 0.07},
+    {"kernel", 0.10},      {"mm", 0.08},          {"net", 0.10},   {"sound", 0.05},
+};
+
+// Filler lines cycled through to reach the LoC target; plausible C so the
+// scanner's LoC counting has something realistic to chew on.
+constexpr const char* kFillerLines[] = {
+    "static int do_update_state(struct kobj *k)",
+    "{",
+    "        int ret = 0;",
+    "        if (unlikely(!k))",
+    "                return -EINVAL;",
+    "        ret = submit_request(k, GFP_KERNEL);",
+    "        k->nr_pending += ret;",
+    "        return ret;",
+    "}",
+    "EXPORT_SYMBOL(do_update_state);",
+};
+
+constexpr const char* kSpinlockInits[] = {
+    "        spin_lock_init(&dev->queue_lock);",
+    "static DEFINE_SPINLOCK(table_lock);",
+    "        .lock = __SPIN_LOCK_UNLOCKED(stats.lock),",
+};
+constexpr const char* kMutexInits[] = {
+    "        mutex_init(&dev->config_mutex);",
+    "static DEFINE_MUTEX(probe_mutex);",
+};
+constexpr const char* kRcuUsages[] = {
+    "        call_rcu(&entry->rcu, free_entry_rcu);",
+    "        rcu_assign_pointer(table->slot, new_slot);",
+    "        RCU_INIT_POINTER(dev->child, NULL);",
+};
+
+}  // namespace
+
+KernelCorpusModel::KernelCorpusModel(CorpusModelOptions options) : options_(options) {
+  for (int minor = 0; minor <= 19; ++minor) {
+    release_names_.push_back(StrFormat("v3.%d", minor));
+  }
+  for (int minor = 0; minor <= 18; ++minor) {
+    release_names_.push_back(StrFormat("v4.%d", minor));
+  }
+}
+
+std::vector<std::string> KernelCorpusModel::ReleaseNames() const { return release_names_; }
+
+KernelCorpusModel::Targets KernelCorpusModel::TargetsFor(size_t release_index) const {
+  LOCKDOC_CHECK(release_index < release_names_.size());
+  double t = static_cast<double>(release_index) /
+             static_cast<double>(release_names_.size() - 1);
+
+  // Spinlock growth rises past its final value and dips in the last
+  // releases, as visible in the paper's Fig. 1.
+  double spin_shape;
+  if (t <= 0.85) {
+    spin_shape = (t / 0.85) * 1.08;
+  } else {
+    spin_shape = 1.08 - (t - 0.85) / 0.15 * 0.08;
+  }
+
+  // Small deterministic per-release jitter so the series looks like data,
+  // not a formula; the endpoints stay calibrated (jitter vanishes there).
+  Rng rng(options_.seed * 1000003 + release_index);
+  double edge_damp = 4.0 * t * (1.0 - t);  // 0 at both endpoints.
+  auto jitter = [&]() { return 1.0 + edge_damp * (rng.NextDouble() - 0.5) * 0.04; };
+
+  Targets targets;
+  targets.loc_lines = static_cast<uint64_t>(
+      static_cast<double>(options_.base_loc) * (1.0 + options_.loc_growth * t) * jitter() /
+      static_cast<double>(kLocScale));
+  targets.spinlock_inits = static_cast<uint64_t>(
+      static_cast<double>(options_.base_spinlock) * (1.0 + options_.spinlock_growth * spin_shape) *
+      jitter());
+  targets.mutex_inits = static_cast<uint64_t>(
+      static_cast<double>(options_.base_mutex) * (1.0 + options_.mutex_growth * t) * jitter());
+  targets.rcu_usages = static_cast<uint64_t>(
+      static_cast<double>(options_.base_rcu) * (1.0 + options_.rcu_growth * std::pow(t, 1.1)) *
+      jitter());
+  return targets;
+}
+
+CorpusRelease KernelCorpusModel::Generate(size_t release_index) const {
+  Targets targets = TargetsFor(release_index);
+  CorpusRelease release;
+  release.version = release_names_[release_index];
+
+  Rng rng(options_.seed * 7777771 + release_index * 31);
+  constexpr size_t kLinesPerFile = 400;
+
+  for (const DirWeight& dir : kDirs) {
+    uint64_t dir_lines = static_cast<uint64_t>(static_cast<double>(targets.loc_lines) *
+                                               dir.weight);
+    uint64_t dir_spin = static_cast<uint64_t>(static_cast<double>(targets.spinlock_inits) *
+                                              dir.weight);
+    uint64_t dir_mutex = static_cast<uint64_t>(static_cast<double>(targets.mutex_inits) *
+                                               dir.weight);
+    uint64_t dir_rcu = static_cast<uint64_t>(static_cast<double>(targets.rcu_usages) *
+                                             dir.weight);
+
+    size_t file_count = std::max<size_t>(1, dir_lines / kLinesPerFile);
+    for (size_t f = 0; f < file_count; ++f) {
+      CorpusFile file;
+      file.path = StrFormat("%s/mod%04zu.c", dir.dir, f);
+      uint64_t lines = dir_lines / file_count;
+      uint64_t spins = dir_spin / file_count + (f < dir_spin % file_count ? 1 : 0);
+      uint64_t mutexes = dir_mutex / file_count + (f < dir_mutex % file_count ? 1 : 0);
+      uint64_t rcus = dir_rcu / file_count + (f < dir_rcu % file_count ? 1 : 0);
+
+      // Lock-init sites are placed uniformly *within* the line budget so the
+      // scanned LoC matches the model target.
+      uint64_t lines_budget = std::max(lines, spins + mutexes + rcus);
+      std::string content;
+      content.reserve(lines_budget * 40);
+      size_t filler_cursor = rng.Below(std::size(kFillerLines));
+      for (uint64_t emitted = 0; emitted < lines_budget; ++emitted) {
+        uint64_t remaining_lines = lines_budget - emitted;
+        uint64_t remaining_locks = spins + mutexes + rcus;
+        if (remaining_locks > 0 && rng.Below(remaining_lines) < remaining_locks) {
+          uint64_t pick = rng.Below(remaining_locks);
+          if (pick < spins) {
+            content += kSpinlockInits[rng.Below(std::size(kSpinlockInits))];
+            --spins;
+          } else if (pick < spins + mutexes) {
+            content += kMutexInits[rng.Below(std::size(kMutexInits))];
+            --mutexes;
+          } else {
+            content += kRcuUsages[rng.Below(std::size(kRcuUsages))];
+            --rcus;
+          }
+        } else {
+          content += kFillerLines[filler_cursor];
+          filler_cursor = (filler_cursor + 1) % std::size(kFillerLines);
+        }
+        content += '\n';
+      }
+      file.content = std::move(content);
+      release.files.push_back(std::move(file));
+    }
+  }
+  return release;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,57 @@
+#include "src/corpus/scanner.h"
+
+#include <string_view>
+
+namespace lockdoc {
+namespace {
+
+uint64_t CountOccurrences(std::string_view haystack, std::string_view needle) {
+  uint64_t count = 0;
+  size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string_view::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+uint64_t CountNonEmptyLines(std::string_view content) {
+  uint64_t count = 0;
+  bool line_has_content = false;
+  for (char c : content) {
+    if (c == '\n') {
+      if (line_has_content) {
+        ++count;
+      }
+      line_has_content = false;
+    } else if (c != ' ' && c != '\t') {
+      line_has_content = true;
+    }
+  }
+  if (line_has_content) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+LockUsageCounts LockUsageScanner::Scan(const CorpusRelease& release) const {
+  LockUsageCounts counts;
+  counts.version = release.version;
+  for (const CorpusFile& file : release.files) {
+    std::string_view content = file.content;
+    counts.loc += CountNonEmptyLines(content) * kLocScale;
+    counts.spinlock += CountOccurrences(content, "spin_lock_init(");
+    counts.spinlock += CountOccurrences(content, "DEFINE_SPINLOCK(");
+    counts.spinlock += CountOccurrences(content, "__SPIN_LOCK_UNLOCKED(");
+    counts.mutex += CountOccurrences(content, "mutex_init(");
+    counts.mutex += CountOccurrences(content, "DEFINE_MUTEX(");
+    counts.rcu += CountOccurrences(content, "call_rcu(");
+    counts.rcu += CountOccurrences(content, "rcu_assign_pointer(");
+    counts.rcu += CountOccurrences(content, "RCU_INIT_POINTER(");
+  }
+  return counts;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,85 @@
+#include "src/coverage/coverage.h"
+
+#include <algorithm>
+
+namespace lockdoc {
+
+void CoverageTracker::RegisterFunction(std::string_view file, std::string_view function,
+                                       uint32_t first_line, uint32_t last_line) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    it = files_.emplace(std::string(file), FileData{}).first;
+  }
+  FileData& data = it->second;
+  for (uint32_t line = first_line; line <= last_line; ++line) {
+    data.executable_lines.insert(line);
+  }
+  data.functions.emplace(function);
+}
+
+void CoverageTracker::OnFunctionEnter(std::string_view file, std::string_view function,
+                                      uint32_t first_line, uint32_t last_line) {
+  RegisterFunction(file, function, first_line, last_line);
+  FileData& data = files_.find(file)->second;
+  data.hit_functions.emplace(function);
+  // Entering a function executes its straight-line prefix; the trailing
+  // part of the body models error/cleanup branches the call did not take.
+  uint32_t span = last_line - first_line + 1;
+  uint32_t executed = std::max<uint32_t>(1, static_cast<uint32_t>(span * 0.9));
+  for (uint32_t line = first_line; line < first_line + executed; ++line) {
+    data.hit_lines.insert(line);
+  }
+}
+
+void CoverageTracker::OnLineExecuted(std::string_view file, uint32_t line) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    it = files_.emplace(std::string(file), FileData{}).first;
+  }
+  it->second.executable_lines.insert(line);
+  it->second.hit_lines.insert(line);
+}
+
+std::string CoverageTracker::DirectoryOf(std::string_view file) {
+  size_t slash = file.rfind('/');
+  if (slash == std::string_view::npos) {
+    return ".";
+  }
+  return std::string(file.substr(0, slash));
+}
+
+std::vector<DirectoryCoverage> CoverageTracker::ReportByDirectory() const {
+  std::map<std::string, DirectoryCoverage> by_dir;
+  for (const auto& [file, data] : files_) {
+    std::string dir = DirectoryOf(file);
+    DirectoryCoverage& cov = by_dir[dir];
+    cov.directory = dir;
+    cov.lines_total += data.executable_lines.size();
+    cov.lines_hit += data.hit_lines.size();
+    cov.functions_total += data.functions.size();
+    cov.functions_hit += data.hit_functions.size();
+  }
+  std::vector<DirectoryCoverage> result;
+  result.reserve(by_dir.size());
+  for (auto& [dir, cov] : by_dir) {
+    result.push_back(std::move(cov));
+  }
+  return result;
+}
+
+DirectoryCoverage CoverageTracker::ReportDirectory(const std::string& directory) const {
+  DirectoryCoverage cov;
+  cov.directory = directory;
+  for (const auto& [file, data] : files_) {
+    if (DirectoryOf(file) != directory) {
+      continue;
+    }
+    cov.lines_total += data.executable_lines.size();
+    cov.lines_hit += data.hit_lines.size();
+    cov.functions_total += data.functions.size();
+    cov.functions_hit += data.hit_functions.size();
+  }
+  return cov;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,74 @@
+#include "src/db/database.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+
+Table& Database::CreateTable(const std::string& name, std::vector<ColumnDef> columns) {
+  LOCKDOC_CHECK(tables_.find(name) == tables_.end());
+  auto table = std::make_unique<Table>(name, std::move(columns));
+  Table& ref = *table;
+  tables_.emplace(name, std::move(table));
+  return ref;
+}
+
+bool Database::HasTable(const std::string& name) const { return tables_.count(name) != 0; }
+
+Table& Database::table(const std::string& name) {
+  auto it = tables_.find(name);
+  LOCKDOC_CHECK(it != tables_.end());
+  return *it->second;
+}
+
+const Table& Database::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  LOCKDOC_CHECK(it != tables_.end());
+  return *it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Status Database::ExportDirectory(const std::string& dir) const {
+  for (const auto& [name, table] : tables_) {
+    std::string path = dir + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+      return Status::Error("ExportDirectory: cannot open " + path);
+    }
+    table->ExportCsv(out);
+    out.flush();
+    if (!out) {
+      return Status::Error("ExportDirectory: write failed for " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Database::ImportDirectory(const std::string& dir) {
+  for (auto& [name, table] : tables_) {
+    std::string path = dir + "/" + name + ".csv";
+    std::ifstream in(path);
+    if (!in) {
+      return Status::Error("ImportDirectory: cannot open " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Status status = table->ImportCsv(buffer.str());
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,46 @@
+// A named collection of tables with directory-based CSV persistence —
+// the stand-in for the paper's MariaDB instance.
+#ifndef SRC_DB_DATABASE_H_
+#define SRC_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/db/table.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+class Database {
+ public:
+  Database() = default;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Creates a table; the name must be unique.
+  Table& CreateTable(const std::string& name, std::vector<ColumnDef> columns);
+
+  bool HasTable(const std::string& name) const;
+  // CHECK-fails on unknown table names.
+  Table& table(const std::string& name);
+  const Table& table(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  // Writes each table as <dir>/<table>.csv. The directory must exist.
+  Status ExportDirectory(const std::string& dir) const;
+  // Loads each existing table's CSV from <dir>; tables must be created with
+  // their schemas beforehand.
+  Status ImportDirectory(const std::string& dir);
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_DB_DATABASE_H_

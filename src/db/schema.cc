@@ -1,0 +1,93 @@
+#include "src/db/schema.h"
+
+namespace lockdoc {
+
+void CreateLockDocSchema(Database* db) {
+  {
+    Table& t = db->CreateTable(LockDocSchema::kDataTypes,
+                               {{"id", ColumnType::kUint64}, {"name", ColumnType::kString}});
+    t.CreateIndex(t.ColumnIndex("id"));
+  }
+  {
+    Table& t = db->CreateTable(LockDocSchema::kSubclasses, {{"id", ColumnType::kUint64},
+                                                            {"type_id", ColumnType::kUint64},
+                                                            {"subclass", ColumnType::kUint64},
+                                                            {"name", ColumnType::kString}});
+    t.CreateIndex(t.ColumnIndex("type_id"));
+  }
+  {
+    Table& t = db->CreateTable(LockDocSchema::kMembers, {{"id", ColumnType::kUint64},
+                                                         {"type_id", ColumnType::kUint64},
+                                                         {"member_idx", ColumnType::kUint64},
+                                                         {"name", ColumnType::kString},
+                                                         {"offset", ColumnType::kUint64},
+                                                         {"size", ColumnType::kUint64},
+                                                         {"is_lock", ColumnType::kUint64},
+                                                         {"is_atomic", ColumnType::kUint64},
+                                                         {"blacklisted", ColumnType::kUint64}});
+    t.CreateIndex(t.ColumnIndex("type_id"));
+  }
+  {
+    Table& t = db->CreateTable(LockDocSchema::kAllocations, {{"id", ColumnType::kUint64},
+                                                             {"type_id", ColumnType::kUint64},
+                                                             {"subclass", ColumnType::kUint64},
+                                                             {"addr", ColumnType::kUint64},
+                                                             {"size", ColumnType::kUint64},
+                                                             {"alloc_seq", ColumnType::kUint64},
+                                                             {"free_seq", ColumnType::kUint64}});
+    t.CreateIndex(t.ColumnIndex("id"));
+    t.CreateIndex(t.ColumnIndex("type_id"));
+  }
+  {
+    Table& t = db->CreateTable(LockDocSchema::kLocks,
+                               {{"id", ColumnType::kUint64},
+                                {"addr", ColumnType::kUint64},
+                                {"lock_type", ColumnType::kUint64},
+                                {"is_static", ColumnType::kUint64},
+                                {"name_sid", ColumnType::kUint64},
+                                {"owner_alloc_id", ColumnType::kUint64},
+                                {"owner_member_id", ColumnType::kUint64}});
+    t.CreateIndex(t.ColumnIndex("id"));
+  }
+  {
+    Table& t = db->CreateTable(LockDocSchema::kTxns, {{"id", ColumnType::kUint64},
+                                                      {"start_seq", ColumnType::kUint64},
+                                                      {"end_seq", ColumnType::kUint64},
+                                                      {"n_locks", ColumnType::kUint64}});
+    t.CreateIndex(t.ColumnIndex("id"));
+  }
+  {
+    Table& t = db->CreateTable(LockDocSchema::kTxnLocks, {{"txn_id", ColumnType::kUint64},
+                                                          {"position", ColumnType::kUint64},
+                                                          {"lock_id", ColumnType::kUint64},
+                                                          {"acquire_seq", ColumnType::kUint64},
+                                                          {"mode", ColumnType::kUint64}});
+    t.CreateIndex(t.ColumnIndex("txn_id"));
+  }
+  {
+    Table& t = db->CreateTable(LockDocSchema::kStackFrames,
+                               {{"stack_id", ColumnType::kUint64},
+                                {"position", ColumnType::kUint64},
+                                {"function_sid", ColumnType::kUint64}});
+    t.CreateIndex(t.ColumnIndex("stack_id"));
+  }
+  {
+    Table& t = db->CreateTable(LockDocSchema::kAccesses,
+                               {{"seq", ColumnType::kUint64},
+                                {"alloc_id", ColumnType::kUint64},
+                                {"member_id", ColumnType::kUint64},
+                                {"access_type", ColumnType::kUint64},
+                                {"size", ColumnType::kUint64},
+                                {"txn_id", ColumnType::kUint64},
+                                {"context", ColumnType::kUint64},
+                                {"task", ColumnType::kUint64},
+                                {"file_sid", ColumnType::kUint64},
+                                {"line", ColumnType::kUint64},
+                                {"stack_id", ColumnType::kUint64},
+                                {"filter_reason", ColumnType::kUint64}});
+    t.CreateIndex(t.ColumnIndex("txn_id"));
+    t.CreateIndex(t.ColumnIndex("member_id"));
+  }
+}
+
+}  // namespace lockdoc

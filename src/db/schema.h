@@ -1,0 +1,54 @@
+// The LockDoc database schema (paper Fig. 6): memory accesses revolve around
+// allocations (instances of the observed data_types, laid out by members),
+// transactions (txns) with their ordered held locks, and stack traces.
+//
+// All cross-table references are uint64 row ids; kDbNull encodes SQL NULL.
+// Strings that originate in a trace (file names, function names, lock names)
+// are stored as interned StringIds to keep the fact tables compact; the
+// owning Trace's string pool resolves them.
+#ifndef SRC_DB_SCHEMA_H_
+#define SRC_DB_SCHEMA_H_
+
+#include "src/db/database.h"
+
+namespace lockdoc {
+
+// Table and column names, centralized so importer/queries cannot drift.
+struct LockDocSchema {
+  static constexpr const char* kDataTypes = "data_types";      // id, name
+  static constexpr const char* kSubclasses = "subclasses";     // id, type_id, subclass, name
+  static constexpr const char* kMembers = "members";           // id, type_id, member_idx, name,
+                                                               // offset, size, is_lock,
+                                                               // is_atomic, blacklisted
+  static constexpr const char* kAllocations = "allocations";   // id, type_id, subclass, addr,
+                                                               // size, alloc_seq, free_seq
+  static constexpr const char* kLocks = "locks";               // id, addr, lock_type, is_static,
+                                                               // name_sid, owner_alloc_id,
+                                                               // owner_member_id
+  static constexpr const char* kTxns = "txns";                 // id, start_seq, end_seq, n_locks
+  static constexpr const char* kTxnLocks = "txn_locks";        // txn_id, position, lock_id,
+                                                               // acquire_seq, mode
+  static constexpr const char* kStackFrames = "stack_frames";  // stack_id, position, function_sid
+  static constexpr const char* kAccesses = "accesses";         // seq, alloc_id, member_id,
+                                                               // access_type, size, txn_id,
+                                                               // context, task, file_sid, line,
+                                                               // stack_id, filter_reason
+};
+
+// Reasons an access row is excluded from rule derivation (Sec. 5.3).
+enum class FilterReason : uint64_t {
+  kNone = 0,
+  kInitTeardown = 1,     // Emitted inside an object (de)initialization function.
+  kBlacklistedFn = 2,    // Emitted inside a globally ignored function (atomic_*).
+  kBlacklistedMember = 3,
+  kAtomicMember = 4,
+  kLockMember = 5,       // The access targets a lock member itself.
+  kUntrackedMemory = 6,  // Address not within a live observed allocation.
+};
+
+// Creates all LockDoc tables (with indexes on join columns) in `db`.
+void CreateLockDocSchema(Database* db);
+
+}  // namespace lockdoc
+
+#endif  // SRC_DB_SCHEMA_H_

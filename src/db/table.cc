@@ -1,0 +1,220 @@
+#include "src/db/table.h"
+
+#include <ostream>
+
+#include "src/util/csv.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+
+Table::Table(std::string name, std::vector<ColumnDef> columns)
+    : name_(std::move(name)), columns_(std::move(columns)), storage_(columns_.size()) {
+  LOCKDOC_CHECK(!columns_.empty());
+}
+
+size_t Table::ColumnIndex(std::string_view column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) {
+      return i;
+    }
+  }
+  LOCKDOC_CHECK(false && "unknown column");
+  return 0;
+}
+
+RowId Table::Insert(const std::vector<DbValue>& values) {
+  LOCKDOC_CHECK(values.size() == columns_.size());
+  RowId row = row_count_;
+  for (size_t i = 0; i < values.size(); ++i) {
+    LOCKDOC_CHECK(DbValueType(values[i]) == columns_[i].type);
+    switch (columns_[i].type) {
+      case ColumnType::kUint64:
+        storage_[i].u64.push_back(std::get<uint64_t>(values[i]));
+        break;
+      case ColumnType::kDouble:
+        storage_[i].f64.push_back(std::get<double>(values[i]));
+        break;
+      case ColumnType::kString:
+        storage_[i].str.push_back(std::get<std::string>(values[i]));
+        break;
+    }
+  }
+  ++row_count_;
+  for (auto& [column, index] : indexes_) {
+    index[storage_[column].u64[row]].push_back(row);
+  }
+  return row;
+}
+
+uint64_t Table::GetUint64(RowId row, size_t column) const {
+  LOCKDOC_CHECK(row < row_count_ && column < columns_.size());
+  LOCKDOC_CHECK(columns_[column].type == ColumnType::kUint64);
+  return storage_[column].u64[row];
+}
+
+double Table::GetDouble(RowId row, size_t column) const {
+  LOCKDOC_CHECK(row < row_count_ && column < columns_.size());
+  LOCKDOC_CHECK(columns_[column].type == ColumnType::kDouble);
+  return storage_[column].f64[row];
+}
+
+const std::string& Table::GetString(RowId row, size_t column) const {
+  LOCKDOC_CHECK(row < row_count_ && column < columns_.size());
+  LOCKDOC_CHECK(columns_[column].type == ColumnType::kString);
+  return storage_[column].str[row];
+}
+
+void Table::SetUint64(RowId row, size_t column, uint64_t value) {
+  LOCKDOC_CHECK(row < row_count_ && column < columns_.size());
+  LOCKDOC_CHECK(columns_[column].type == ColumnType::kUint64);
+  uint64_t old_value = storage_[column].u64[row];
+  if (old_value == value) {
+    return;
+  }
+  storage_[column].u64[row] = value;
+  auto it = indexes_.find(column);
+  if (it != indexes_.end()) {
+    auto& rows = it->second[old_value];
+    std::erase(rows, row);
+    it->second[value].push_back(row);
+  }
+}
+
+void Table::CreateIndex(size_t column) {
+  LOCKDOC_CHECK(column < columns_.size());
+  LOCKDOC_CHECK(columns_[column].type == ColumnType::kUint64);
+  auto& index = indexes_[column];
+  index.clear();
+  const auto& data = storage_[column].u64;
+  for (RowId row = 0; row < row_count_; ++row) {
+    index[data[row]].push_back(row);
+  }
+}
+
+bool Table::HasIndex(size_t column) const { return indexes_.count(column) != 0; }
+
+std::vector<RowId> Table::LookupEqual(size_t column, uint64_t value) const {
+  LOCKDOC_CHECK(column < columns_.size());
+  LOCKDOC_CHECK(columns_[column].type == ColumnType::kUint64);
+  auto index_it = indexes_.find(column);
+  if (index_it != indexes_.end()) {
+    auto it = index_it->second.find(value);
+    return it == index_it->second.end() ? std::vector<RowId>{} : it->second;
+  }
+  std::vector<RowId> result;
+  const auto& data = storage_[column].u64;
+  for (RowId row = 0; row < row_count_; ++row) {
+    if (data[row] == value) {
+      result.push_back(row);
+    }
+  }
+  return result;
+}
+
+void Table::Scan(const std::function<bool(RowId)>& fn) const {
+  for (RowId row = 0; row < row_count_; ++row) {
+    if (!fn(row)) {
+      return;
+    }
+  }
+}
+
+void Table::ExportCsv(std::ostream& out) const {
+  CsvWriter writer(out);
+  std::vector<std::string> header;
+  header.reserve(columns_.size());
+  for (const ColumnDef& def : columns_) {
+    header.push_back(def.name);
+  }
+  writer.WriteRow(header);
+  std::vector<std::string> row_text(columns_.size());
+  for (RowId row = 0; row < row_count_; ++row) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      switch (columns_[i].type) {
+        case ColumnType::kUint64:
+          row_text[i] = std::to_string(storage_[i].u64[row]);
+          break;
+        case ColumnType::kDouble:
+          row_text[i] = StrFormat("%.17g", storage_[i].f64[row]);
+          break;
+        case ColumnType::kString:
+          row_text[i] = storage_[i].str[row];
+          break;
+      }
+    }
+    writer.WriteRow(row_text);
+  }
+}
+
+Status Table::ImportCsv(std::string_view document) {
+  auto parsed = ParseCsv(document);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const auto& rows = parsed.value();
+  if (rows.empty()) {
+    return Status::Error("ImportCsv: missing header row");
+  }
+  if (rows[0].size() != columns_.size()) {
+    return Status::Error("ImportCsv: header arity mismatch in table " + name_);
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (rows[0][i] != columns_[i].name) {
+      return Status::Error("ImportCsv: header column '" + rows[0][i] + "' does not match '" +
+                           columns_[i].name + "'");
+    }
+  }
+
+  // Clear current contents.
+  for (ColumnStorage& column : storage_) {
+    column.u64.clear();
+    column.f64.clear();
+    column.str.clear();
+  }
+  row_count_ = 0;
+  std::vector<size_t> indexed_columns;
+  for (const auto& [column, index] : indexes_) {
+    indexed_columns.push_back(column);
+  }
+  indexes_.clear();
+
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != columns_.size()) {
+      return Status::Error(StrFormat("ImportCsv: row %zu arity mismatch", r));
+    }
+    std::vector<DbValue> values;
+    values.reserve(columns_.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      switch (columns_[i].type) {
+        case ColumnType::kUint64: {
+          uint64_t value = 0;
+          if (!ParseUint64(row[i], &value)) {
+            return Status::Error(StrFormat("ImportCsv: row %zu column %zu: bad uint64", r, i));
+          }
+          values.emplace_back(value);
+          break;
+        }
+        case ColumnType::kDouble: {
+          double value = 0;
+          if (!ParseDouble(row[i], &value)) {
+            return Status::Error(StrFormat("ImportCsv: row %zu column %zu: bad double", r, i));
+          }
+          values.emplace_back(value);
+          break;
+        }
+        case ColumnType::kString:
+          values.emplace_back(row[i]);
+          break;
+      }
+    }
+    Insert(values);
+  }
+  for (size_t column : indexed_columns) {
+    CreateIndex(column);
+  }
+  return Status::Ok();
+}
+
+}  // namespace lockdoc

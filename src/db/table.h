@@ -1,0 +1,78 @@
+// A column-oriented table with equality hash indexes.
+#ifndef SRC_DB_TABLE_H_
+#define SRC_DB_TABLE_H_
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/value.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kUint64;
+};
+
+class Table {
+ public:
+  Table(std::string name, std::vector<ColumnDef> columns);
+
+  const std::string& name() const { return name_; }
+  size_t column_count() const { return columns_.size(); }
+  size_t row_count() const { return row_count_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  // Returns the index of a column by name; CHECK-fails on unknown names
+  // (schema errors are programming errors, not data errors).
+  size_t ColumnIndex(std::string_view column_name) const;
+
+  // Appends a row; values must match the schema's arity and types.
+  RowId Insert(const std::vector<DbValue>& values);
+
+  // Typed accessors; column type must match.
+  uint64_t GetUint64(RowId row, size_t column) const;
+  double GetDouble(RowId row, size_t column) const;
+  const std::string& GetString(RowId row, size_t column) const;
+
+  void SetUint64(RowId row, size_t column, uint64_t value);
+
+  // Creates (or refreshes) a hash index over a kUint64 column. Indexes are
+  // maintained incrementally by Insert afterwards.
+  void CreateIndex(size_t column);
+  bool HasIndex(size_t column) const;
+
+  // All rows whose `column` equals `value`; uses the index when present,
+  // otherwise scans.
+  std::vector<RowId> LookupEqual(size_t column, uint64_t value) const;
+
+  // Calls `fn` for each row id; returning false stops the scan.
+  void Scan(const std::function<bool(RowId)>& fn) const;
+
+  // CSV round-trip (header = column names). Import replaces table contents.
+  void ExportCsv(std::ostream& out) const;
+  Status ImportCsv(std::string_view document);
+
+ private:
+  struct ColumnStorage {
+    std::vector<uint64_t> u64;
+    std::vector<double> f64;
+    std::vector<std::string> str;
+  };
+
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<ColumnStorage> storage_;
+  size_t row_count_ = 0;
+  // column index -> (value -> row ids)
+  std::unordered_map<size_t, std::unordered_map<uint64_t, std::vector<RowId>>> indexes_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_DB_TABLE_H_

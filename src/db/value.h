@@ -1,0 +1,41 @@
+// Typed values for the mini relational engine. The paper loads traces into
+// MariaDB (Sec. 5.3); this engine replaces it with a purpose-built,
+// deterministic, offline store implementing the same schema (Fig. 6).
+#ifndef SRC_DB_VALUE_H_
+#define SRC_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace lockdoc {
+
+enum class ColumnType : uint8_t {
+  kUint64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+// Sentinel used as SQL NULL for kUint64 columns (e.g. "access belongs to no
+// transaction").
+inline constexpr uint64_t kDbNull = UINT64_MAX;
+
+using DbValue = std::variant<uint64_t, double, std::string>;
+
+// Row index within a table.
+using RowId = uint64_t;
+
+inline ColumnType DbValueType(const DbValue& value) {
+  switch (value.index()) {
+    case 0:
+      return ColumnType::kUint64;
+    case 1:
+      return ColumnType::kDouble;
+    default:
+      return ColumnType::kString;
+  }
+}
+
+}  // namespace lockdoc
+
+#endif  // SRC_DB_VALUE_H_

@@ -1,0 +1,55 @@
+// Shared identifier types used across tracing, simulation, and analysis.
+#ifndef SRC_MODEL_IDS_H_
+#define SRC_MODEL_IDS_H_
+
+#include <cstdint>
+
+namespace lockdoc {
+
+// Index of a data type in the TypeRegistry.
+using TypeId = uint32_t;
+// Per-type subclass (e.g. the backing filesystem of a struct inode).
+// kNoSubclass means the type is not subclassed.
+using SubclassId = uint32_t;
+// Index of a member within its TypeLayout.
+using MemberIndex = uint32_t;
+// Simulated (or real) memory address.
+using Address = uint64_t;
+// Identifier of one dynamic allocation, unique within a trace.
+using AllocationId = uint64_t;
+// Identifier of one lock instance, unique within a trace.
+using LockInstanceId = uint64_t;
+// Identifier of one reconstructed transaction.
+using TxnId = uint64_t;
+// Interned call-stack identifier.
+using StackId = uint32_t;
+// Interned source-file / function-name string identifiers.
+using StringId = uint32_t;
+
+inline constexpr TypeId kInvalidTypeId = 0xffffffffu;
+inline constexpr SubclassId kNoSubclass = 0;
+inline constexpr MemberIndex kInvalidMember = 0xffffffffu;
+inline constexpr StackId kInvalidStack = 0xffffffffu;
+
+// Memory access direction.
+enum class AccessType : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+inline const char* AccessTypeName(AccessType type) {
+  return type == AccessType::kRead ? "r" : "w";
+}
+
+// A source-code position in the simulated kernel; files and functions are
+// interned strings resolved via the trace's string table.
+struct SourceLoc {
+  StringId file = 0;
+  uint32_t line = 0;
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_MODEL_IDS_H_

@@ -1,0 +1,157 @@
+#include "src/model/lock_class.h"
+
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+constexpr std::string_view kNoLockText = "no lock";
+constexpr std::string_view kArrow = "->";
+
+}  // namespace
+
+std::string LockClass::ToString() const {
+  switch (scope) {
+    case LockScope::kGlobal:
+      return lock_name;
+    case LockScope::kEmbeddedSame:
+      return "ES(" + lock_name + " in " + owner_type + ")";
+    case LockScope::kEmbeddedOther:
+      return "EO(" + lock_name + " in " + owner_type + ")";
+  }
+  return "?";
+}
+
+Result<LockClass> LockClass::Parse(std::string_view text) {
+  std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return Status::Error("LockClass::Parse: empty input");
+  }
+  LockScope scope;
+  if (StartsWith(trimmed, "ES(")) {
+    scope = LockScope::kEmbeddedSame;
+  } else if (StartsWith(trimmed, "EO(")) {
+    scope = LockScope::kEmbeddedOther;
+  } else {
+    if (trimmed.find_first_of("() ") != std::string_view::npos) {
+      return Status::Error("LockClass::Parse: malformed global lock name '" +
+                           std::string(trimmed) + "'");
+    }
+    return LockClass::Global(std::string(trimmed));
+  }
+  if (!EndsWith(trimmed, ")")) {
+    return Status::Error("LockClass::Parse: missing ')' in '" + std::string(trimmed) + "'");
+  }
+  std::string_view body = trimmed.substr(3, trimmed.size() - 4);
+  size_t in_pos = body.find(" in ");
+  if (in_pos == std::string_view::npos) {
+    return Status::Error("LockClass::Parse: missing ' in ' in '" + std::string(trimmed) + "'");
+  }
+  std::string lock_name(Trim(body.substr(0, in_pos)));
+  std::string owner(Trim(body.substr(in_pos + 4)));
+  if (lock_name.empty() || owner.empty()) {
+    return Status::Error("LockClass::Parse: empty lock or owner in '" + std::string(trimmed) +
+                         "'");
+  }
+  LockClass result;
+  result.scope = scope;
+  result.lock_name = std::move(lock_name);
+  result.owner_type = std::move(owner);
+  return result;
+}
+
+LockClass LockClass::Global(std::string name) {
+  LockClass c;
+  c.scope = LockScope::kGlobal;
+  c.lock_name = std::move(name);
+  return c;
+}
+
+LockClass LockClass::Same(std::string lock_name, std::string owner_type) {
+  LockClass c;
+  c.scope = LockScope::kEmbeddedSame;
+  c.lock_name = std::move(lock_name);
+  c.owner_type = std::move(owner_type);
+  return c;
+}
+
+LockClass LockClass::Other(std::string lock_name, std::string owner_type) {
+  LockClass c;
+  c.scope = LockScope::kEmbeddedOther;
+  c.lock_name = std::move(lock_name);
+  c.owner_type = std::move(owner_type);
+  return c;
+}
+
+std::string LockSeqToString(const LockSeq& seq) {
+  if (seq.empty()) {
+    return std::string(kNoLockText);
+  }
+  std::string result;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i != 0) {
+      result += " -> ";
+    }
+    result += seq[i].ToString();
+  }
+  return result;
+}
+
+Result<LockSeq> ParseLockSeq(std::string_view text) {
+  std::string_view trimmed = Trim(text);
+  if (trimmed.empty() || trimmed == kNoLockText) {
+    return LockSeq{};
+  }
+  LockSeq seq;
+  size_t start = 0;
+  while (start <= trimmed.size()) {
+    size_t arrow = trimmed.find(kArrow, start);
+    std::string_view part = (arrow == std::string_view::npos)
+                                ? trimmed.substr(start)
+                                : trimmed.substr(start, arrow - start);
+    auto parsed = LockClass::Parse(part);
+    if (!parsed.ok()) {
+      return parsed.status();
+    }
+    seq.push_back(std::move(parsed).value());
+    if (arrow == std::string_view::npos) {
+      break;
+    }
+    start = arrow + kArrow.size();
+  }
+  return seq;
+}
+
+bool IsSubsequence(const LockSeq& rule, const LockSeq& held) {
+  size_t rule_pos = 0;
+  for (const LockClass& lock : held) {
+    if (rule_pos == rule.size()) {
+      break;
+    }
+    if (lock == rule[rule_pos]) {
+      ++rule_pos;
+    }
+  }
+  return rule_pos == rule.size();
+}
+
+size_t LockSeqHash::operator()(const LockSeq& seq) const {
+  // FNV-1a over the canonical textual forms; sequences are short.
+  size_t hash = 1469598103934665603ULL;
+  auto mix = [&hash](std::string_view text) {
+    for (char c : text) {
+      hash ^= static_cast<size_t>(static_cast<unsigned char>(c));
+      hash *= 1099511628211ULL;
+    }
+    hash ^= 0xff;
+    hash *= 1099511628211ULL;
+  };
+  for (const LockClass& lock : seq) {
+    mix(lock.lock_name);
+    mix(lock.owner_type);
+    hash ^= static_cast<size_t>(lock.scope) + 0x9e3779b9;
+  }
+  return hash;
+}
+
+}  // namespace lockdoc

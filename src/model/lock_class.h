@@ -1,0 +1,77 @@
+// Lock classes — the vocabulary locking rules are expressed in.
+//
+// A concrete held lock *instance* generalizes to one of three classes
+// relative to the accessed object (this mirrors the paper's Fig. 8
+// notation):
+//   * global        — a statically allocated lock, identified by name
+//                     (e.g. "inode_hash_lock"), or a pseudo lock (rcu,
+//                     softirq, hardirq);
+//   * ES (embedded same)  — a lock member of the very object the access
+//                     goes to, e.g. ES(i_lock in inode);
+//   * EO (embedded other) — a lock member of some *other* tracked object,
+//                     e.g. EO(list_lock in backing_dev_info).
+//
+// Rules (ordered sequences of lock classes) therefore generalize over lock
+// instances, which is what lets one rule cover every inode in the system.
+#ifndef SRC_MODEL_LOCK_CLASS_H_
+#define SRC_MODEL_LOCK_CLASS_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+enum class LockScope : uint8_t {
+  kGlobal = 0,
+  kEmbeddedSame = 1,   // ES
+  kEmbeddedOther = 2,  // EO
+};
+
+struct LockClass {
+  LockScope scope = LockScope::kGlobal;
+  // Global: the static lock's name. Embedded: the lock member's name.
+  std::string lock_name;
+  // Embedded only: the name of the data type containing the lock.
+  std::string owner_type;
+
+  // Canonical textual form: "inode_hash_lock", "ES(i_lock in inode)",
+  // "EO(list_lock in backing_dev_info)".
+  std::string ToString() const;
+
+  // Parses the canonical textual form (inverse of ToString).
+  static Result<LockClass> Parse(std::string_view text);
+
+  static LockClass Global(std::string name);
+  static LockClass Same(std::string lock_name, std::string owner_type);
+  static LockClass Other(std::string lock_name, std::string owner_type);
+
+  friend auto operator<=>(const LockClass&, const LockClass&) = default;
+};
+
+// An ordered sequence of lock classes — either the generalized held-lock
+// list of an observation, or a locking-rule hypothesis.
+using LockSeq = std::vector<LockClass>;
+
+// "a -> b -> c" or "no lock" for the empty sequence.
+std::string LockSeqToString(const LockSeq& seq);
+
+// Parses "a -> b" / "no lock". Whitespace-tolerant.
+Result<LockSeq> ParseLockSeq(std::string_view text);
+
+// True iff `rule` is a subsequence of `held` (all rule locks held, in the
+// rule's relative order; unrelated interleaved locks are permitted — see
+// Sec. 5.4 of the paper).
+bool IsSubsequence(const LockSeq& rule, const LockSeq& held);
+
+// Lexicographic hash for use in hash maps.
+struct LockSeqHash {
+  size_t operator()(const LockSeq& seq) const;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_MODEL_LOCK_CLASS_H_

@@ -1,0 +1,52 @@
+#include "src/model/lock_type.h"
+
+namespace lockdoc {
+
+std::string_view LockTypeName(LockType type) {
+  switch (type) {
+    case LockType::kSpinlock:
+      return "spinlock_t";
+    case LockType::kRwlock:
+      return "rwlock_t";
+    case LockType::kSemaphore:
+      return "semaphore";
+    case LockType::kRwSemaphore:
+      return "rw_semaphore";
+    case LockType::kMutex:
+      return "mutex";
+    case LockType::kRcu:
+      return "rcu";
+    case LockType::kSeqlock:
+      return "seqlock_t";
+    case LockType::kSoftirq:
+      return "softirq";
+    case LockType::kHardirq:
+      return "hardirq";
+  }
+  return "?";
+}
+
+std::optional<LockType> LockTypeFromName(std::string_view name) {
+  for (int i = 0; i < kNumLockTypes; ++i) {
+    LockType type = static_cast<LockType>(i);
+    if (LockTypeName(type) == name) {
+      return type;
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsPseudoLockType(LockType type) {
+  return type == LockType::kRcu || type == LockType::kSoftirq || type == LockType::kHardirq;
+}
+
+bool IsReaderWriterLockType(LockType type) {
+  return type == LockType::kRwlock || type == LockType::kRwSemaphore;
+}
+
+bool IsBlockingLockType(LockType type) {
+  return type == LockType::kSemaphore || type == LockType::kRwSemaphore ||
+         type == LockType::kMutex;
+}
+
+}  // namespace lockdoc

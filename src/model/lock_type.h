@@ -1,0 +1,54 @@
+// The zoo of kernel locking mechanisms modelled by the simulator, mirroring
+// the set the paper instruments: spinlock_t, rwlock_t, semaphore,
+// rw_semaphore, mutex and RCU, plus the synthetic softirq/hardirq locks the
+// paper records for bottom-half / interrupt disabling (Sec. 7.1).
+#ifndef SRC_MODEL_LOCK_TYPE_H_
+#define SRC_MODEL_LOCK_TYPE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace lockdoc {
+
+enum class LockType : uint8_t {
+  kSpinlock = 0,
+  kRwlock = 1,
+  kSemaphore = 2,
+  kRwSemaphore = 3,
+  kMutex = 4,
+  kRcu = 5,       // Global pseudo-lock: rcu_read_lock() .. rcu_read_unlock().
+  kSeqlock = 6,   // write_seqlock side is traced; readers are lock-free.
+  kSoftirq = 7,   // Synthetic: local_bh_disable() .. local_bh_enable().
+  kHardirq = 8,   // Synthetic: local_irq_disable() .. local_irq_enable().
+};
+
+inline constexpr int kNumLockTypes = 9;
+
+// How a lock was taken. Reader/writer locks distinguish shared vs exclusive;
+// everything else is exclusive.
+enum class AcquireMode : uint8_t {
+  kExclusive = 0,
+  kShared = 1,
+};
+
+// Short kernel-style name, e.g. "spinlock_t".
+std::string_view LockTypeName(LockType type);
+
+// Inverse of LockTypeName; returns nullopt for unknown names.
+std::optional<LockType> LockTypeFromName(std::string_view name);
+
+// True for lock types that have no per-instance storage and act as one
+// global lock (rcu, softirq, hardirq).
+bool IsPseudoLockType(LockType type);
+
+// True for types with distinct shared/exclusive acquisition.
+bool IsReaderWriterLockType(LockType type);
+
+// True for lock types that may block (and therefore must not be taken from
+// interrupt context in the simulated kernel).
+bool IsBlockingLockType(LockType type);
+
+}  // namespace lockdoc
+
+#endif  // SRC_MODEL_LOCK_TYPE_H_

@@ -1,0 +1,120 @@
+#include "src/model/type_layout.h"
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+namespace {
+
+// Size of a lock member in the simulated layouts. All simulated lock types
+// occupy the same footprint; only identity matters for the analysis.
+constexpr uint32_t kLockMemberSize = 8;
+
+}  // namespace
+
+TypeLayout::TypeLayout(std::string name) : name_(std::move(name)) {}
+
+MemberIndex TypeLayout::Append(MemberDef def, uint32_t size) {
+  def.offset = size_;
+  def.size = size;
+  size_ += size;
+  members_.push_back(std::move(def));
+  return static_cast<MemberIndex>(members_.size() - 1);
+}
+
+MemberIndex TypeLayout::AddMember(const std::string& name, uint32_t size) {
+  LOCKDOC_CHECK(size > 0);
+  MemberDef def;
+  def.name = name;
+  return Append(std::move(def), size);
+}
+
+MemberIndex TypeLayout::AddAtomicMember(const std::string& name, uint32_t size) {
+  LOCKDOC_CHECK(size > 0);
+  MemberDef def;
+  def.name = name;
+  def.is_atomic = true;
+  return Append(std::move(def), size);
+}
+
+MemberIndex TypeLayout::AddLockMember(const std::string& name, LockType lock_type) {
+  MemberDef def;
+  def.name = name;
+  def.is_lock = true;
+  def.lock_type = lock_type;
+  return Append(std::move(def), kLockMemberSize);
+}
+
+MemberIndex TypeLayout::AddBlacklistedMember(const std::string& name, uint32_t size) {
+  LOCKDOC_CHECK(size > 0);
+  MemberDef def;
+  def.name = name;
+  def.blacklisted = true;
+  return Append(std::move(def), size);
+}
+
+void TypeLayout::Blacklist(MemberIndex index) {
+  LOCKDOC_CHECK(index < members_.size());
+  members_[index].blacklisted = true;
+}
+
+const MemberDef& TypeLayout::member(MemberIndex index) const {
+  LOCKDOC_CHECK(index < members_.size());
+  return members_[index];
+}
+
+std::optional<MemberIndex> TypeLayout::ResolveOffset(uint32_t offset) const {
+  if (offset >= size_) {
+    return std::nullopt;
+  }
+  // Members are laid out contiguously in ascending offset order, so a binary
+  // search over the start offsets finds the candidate member.
+  size_t lo = 0;
+  size_t hi = members_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (members_[mid].offset <= offset) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) {
+    return std::nullopt;
+  }
+  const MemberDef& candidate = members_[lo - 1];
+  if (offset < candidate.offset + candidate.size) {
+    return static_cast<MemberIndex>(lo - 1);
+  }
+  return std::nullopt;
+}
+
+std::optional<MemberIndex> TypeLayout::FindMember(std::string_view member_name) const {
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].name == member_name) {
+      return static_cast<MemberIndex>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+size_t TypeLayout::CountObservableMembers() const {
+  size_t count = 0;
+  for (const MemberDef& def : members_) {
+    if (!def.is_lock && !def.is_atomic && !def.blacklisted) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t TypeLayout::CountFilteredMembers() const {
+  size_t count = 0;
+  for (const MemberDef& def : members_) {
+    if (!def.is_lock && (def.is_atomic || def.blacklisted)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,85 @@
+// Structure layouts of the observed kernel data types.
+//
+// The paper resolves raw memory accesses to (type, member) pairs via the
+// struct offset within an allocation (Fig. 6, table type_layout). Union
+// compounds are "unrolled": union alternatives are laid out at distinct
+// offsets so each alternative becomes an individually addressable member
+// (Sec. 7.1). This module reproduces that model.
+#ifndef SRC_MODEL_TYPE_LAYOUT_H_
+#define SRC_MODEL_TYPE_LAYOUT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/model/ids.h"
+#include "src/model/lock_type.h"
+
+namespace lockdoc {
+
+// Flags describing a member's role; they drive the post-processing filters
+// from Sec. 5.3 (atomic members and lock members are excluded from rule
+// derivation; blacklisted members are out of experiment scope).
+struct MemberDef {
+  std::string name;
+  uint32_t offset = 0;
+  uint32_t size = 0;
+  // Set when the member itself is a lock; `lock_type` then identifies it.
+  bool is_lock = false;
+  LockType lock_type = LockType::kSpinlock;
+  // atomic_t and friends: accessed via atomic ops, filtered from derivation.
+  bool is_atomic = false;
+  // Explicitly out-of-scope for the experiments (nested foreign structures,
+  // list heads belonging to other subsystems, ...).
+  bool blacklisted = false;
+};
+
+class TypeLayout {
+ public:
+  explicit TypeLayout(std::string name);
+
+  // Appends a plain data member of `size` bytes; returns its index.
+  MemberIndex AddMember(const std::string& name, uint32_t size);
+  // Appends an atomic member (filtered by the importer).
+  MemberIndex AddAtomicMember(const std::string& name, uint32_t size);
+  // Appends a lock member of the given kind.
+  MemberIndex AddLockMember(const std::string& name, LockType lock_type);
+  // Appends a blacklisted member.
+  MemberIndex AddBlacklistedMember(const std::string& name, uint32_t size);
+
+  // Marks an already-added member as blacklisted (used when experiment scope
+  // is configured after layout definition).
+  void Blacklist(MemberIndex index);
+
+  const std::string& name() const { return name_; }
+  uint32_t size() const { return size_; }
+  size_t member_count() const { return members_.size(); }
+  const MemberDef& member(MemberIndex index) const;
+  const std::vector<MemberDef>& members() const { return members_; }
+
+  // Resolves a byte offset to the member containing it; nullopt if the
+  // offset lies in padding or beyond the struct.
+  std::optional<MemberIndex> ResolveOffset(uint32_t offset) const;
+
+  // Finds a member by name; nullopt if absent.
+  std::optional<MemberIndex> FindMember(std::string_view member_name) const;
+
+  // Number of members that are neither locks, atomics, nor blacklisted —
+  // i.e. the population rule mining runs on.
+  size_t CountObservableMembers() const;
+  // Number of blacklisted/filtered members (the paper's #Bl column counts
+  // blacklisted + atomic members).
+  size_t CountFilteredMembers() const;
+
+ private:
+  MemberIndex Append(MemberDef def, uint32_t size);
+
+  std::string name_;
+  uint32_t size_ = 0;
+  std::vector<MemberDef> members_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_MODEL_TYPE_LAYOUT_H_

@@ -1,0 +1,77 @@
+#include "src/model/type_registry.h"
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+
+TypeId TypeRegistry::Register(std::unique_ptr<TypeLayout> layout) {
+  LOCKDOC_CHECK(layout != nullptr);
+  LOCKDOC_CHECK(by_name_.find(layout->name()) == by_name_.end());
+  TypeId id = static_cast<TypeId>(layouts_.size());
+  by_name_.emplace(layout->name(), id);
+  layouts_.push_back(std::move(layout));
+  subclass_names_.push_back({""});  // Index kNoSubclass.
+  return id;
+}
+
+SubclassId TypeRegistry::RegisterSubclass(TypeId type, const std::string& subclass_name) {
+  LOCKDOC_CHECK(type < layouts_.size());
+  LOCKDOC_CHECK(!subclass_name.empty());
+  std::vector<std::string>& names = subclass_names_[type];
+  for (size_t i = 1; i < names.size(); ++i) {
+    if (names[i] == subclass_name) {
+      return static_cast<SubclassId>(i);
+    }
+  }
+  names.push_back(subclass_name);
+  return static_cast<SubclassId>(names.size() - 1);
+}
+
+const TypeLayout& TypeRegistry::layout(TypeId id) const {
+  LOCKDOC_CHECK(id < layouts_.size());
+  return *layouts_[id];
+}
+
+std::optional<TypeId> TypeRegistry::FindType(std::string_view name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::string& TypeRegistry::SubclassName(TypeId type, SubclassId subclass) const {
+  LOCKDOC_CHECK(type < subclass_names_.size());
+  LOCKDOC_CHECK(subclass < subclass_names_[type].size());
+  return subclass_names_[type][subclass];
+}
+
+std::optional<SubclassId> TypeRegistry::FindSubclass(TypeId type, std::string_view name) const {
+  LOCKDOC_CHECK(type < subclass_names_.size());
+  const std::vector<std::string>& names = subclass_names_[type];
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) {
+      return static_cast<SubclassId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<SubclassId> TypeRegistry::SubclassesOf(TypeId type) const {
+  LOCKDOC_CHECK(type < subclass_names_.size());
+  std::vector<SubclassId> result;
+  for (size_t i = 1; i < subclass_names_[type].size(); ++i) {
+    result.push_back(static_cast<SubclassId>(i));
+  }
+  return result;
+}
+
+std::string TypeRegistry::QualifiedName(TypeId type, SubclassId subclass) const {
+  const std::string& base = layout(type).name();
+  if (subclass == kNoSubclass) {
+    return base;
+  }
+  return base + ":" + SubclassName(type, subclass);
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,56 @@
+// Registry of observed data types and their subclasses.
+//
+// Subclassing handles the Linux pattern of filesystem-specific struct inode
+// behaviour (Sec. 5.3 item 1): each allocation records its subclass so rules
+// can be derived separately per (type, subclass) pair, e.g. inode:ext4 vs
+// inode:proc.
+#ifndef SRC_MODEL_TYPE_REGISTRY_H_
+#define SRC_MODEL_TYPE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/model/ids.h"
+#include "src/model/type_layout.h"
+
+namespace lockdoc {
+
+class TypeRegistry {
+ public:
+  TypeRegistry() = default;
+  TypeRegistry(const TypeRegistry&) = delete;
+  TypeRegistry& operator=(const TypeRegistry&) = delete;
+
+  // Registers a layout; the type name must be unique. Returns its id.
+  TypeId Register(std::unique_ptr<TypeLayout> layout);
+
+  // Registers a subclass name for `type` (e.g. "ext4"); returns its id
+  // (> kNoSubclass). Registering the same name twice returns the same id.
+  SubclassId RegisterSubclass(TypeId type, const std::string& subclass_name);
+
+  size_t type_count() const { return layouts_.size(); }
+  const TypeLayout& layout(TypeId id) const;
+  std::optional<TypeId> FindType(std::string_view name) const;
+
+  // Subclass name lookup; subclass kNoSubclass yields "".
+  const std::string& SubclassName(TypeId type, SubclassId subclass) const;
+  std::optional<SubclassId> FindSubclass(TypeId type, std::string_view name) const;
+  // All registered subclass ids for a type (excluding kNoSubclass).
+  std::vector<SubclassId> SubclassesOf(TypeId type) const;
+
+  // "inode:ext4" or plain "inode" when subclass == kNoSubclass.
+  std::string QualifiedName(TypeId type, SubclassId subclass) const;
+
+ private:
+  std::vector<std::unique_ptr<TypeLayout>> layouts_;
+  std::map<std::string, TypeId, std::less<>> by_name_;
+  // subclass id -> name, per type; index 0 is the empty "no subclass" name.
+  std::vector<std::vector<std::string>> subclass_names_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_MODEL_TYPE_REGISTRY_H_

@@ -1,0 +1,53 @@
+#include "src/monitor/allocation_tracker.h"
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+
+AllocationId AllocationTracker::OnAlloc(const TraceEvent& event) {
+  LOCKDOC_CHECK(event.kind == EventKind::kAlloc);
+  AllocationInfo info;
+  info.id = allocations_.size();
+  info.addr = event.addr;
+  info.size = event.size;
+  info.type = event.type;
+  info.subclass = event.subclass;
+  info.alloc_seq = event.seq;
+  // The address must not already be live; a trace violating this is corrupt.
+  LOCKDOC_CHECK(live_.find(event.addr) == live_.end());
+  live_.emplace(event.addr, info.id);
+  allocations_.push_back(info);
+  return info.id;
+}
+
+std::optional<AllocationId> AllocationTracker::OnFree(const TraceEvent& event) {
+  LOCKDOC_CHECK(event.kind == EventKind::kFree);
+  auto it = live_.find(event.addr);
+  if (it == live_.end()) {
+    return std::nullopt;
+  }
+  AllocationId id = it->second;
+  allocations_[id].free_seq = event.seq;
+  live_.erase(it);
+  return id;
+}
+
+std::optional<AllocationId> AllocationTracker::Find(Address addr) const {
+  auto it = live_.upper_bound(addr);
+  if (it == live_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  const AllocationInfo& info = allocations_[it->second];
+  if (addr >= info.addr && addr < info.addr + info.size) {
+    return info.id;
+  }
+  return std::nullopt;
+}
+
+const AllocationInfo& AllocationTracker::info(AllocationId id) const {
+  LOCKDOC_CHECK(id < allocations_.size());
+  return allocations_[id];
+}
+
+}  // namespace lockdoc

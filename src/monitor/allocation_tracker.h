@@ -1,0 +1,55 @@
+// Replays allocation/deallocation events and answers "which observed
+// allocation does this address belong to right now?" — the role of FAIL*'s
+// MemoryAccessListener bookkeeping in the paper (Sec. 6): accesses are only
+// attributable while the containing allocation is live, and addresses may be
+// reused by later allocations.
+#ifndef SRC_MONITOR_ALLOCATION_TRACKER_H_
+#define SRC_MONITOR_ALLOCATION_TRACKER_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/model/ids.h"
+#include "src/trace/event.h"
+
+namespace lockdoc {
+
+struct AllocationInfo {
+  AllocationId id = 0;
+  Address addr = 0;
+  uint32_t size = 0;
+  TypeId type = kInvalidTypeId;
+  SubclassId subclass = kNoSubclass;
+  uint64_t alloc_seq = 0;
+  // kDbNull-like sentinel: UINT64_MAX when still live at end of trace.
+  uint64_t free_seq = UINT64_MAX;
+};
+
+class AllocationTracker {
+ public:
+  // Processes a kAlloc event; returns the new allocation's id.
+  AllocationId OnAlloc(const TraceEvent& event);
+
+  // Processes a kFree event; returns the freed allocation's id, or nullopt
+  // if the address was not tracked (tolerated: the trace may observe frees
+  // of unobserved structures).
+  std::optional<AllocationId> OnFree(const TraceEvent& event);
+
+  // The live allocation containing `addr`, if any.
+  std::optional<AllocationId> Find(Address addr) const;
+
+  // Lifetime record of any allocation ever seen (live or freed).
+  const AllocationInfo& info(AllocationId id) const;
+  size_t allocation_count() const { return allocations_.size(); }
+  const std::vector<AllocationInfo>& allocations() const { return allocations_; }
+
+ private:
+  std::vector<AllocationInfo> allocations_;
+  // Live allocations keyed by start address.
+  std::map<Address, AllocationId> live_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_MONITOR_ALLOCATION_TRACKER_H_

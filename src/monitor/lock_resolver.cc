@@ -1,0 +1,71 @@
+#include "src/monitor/lock_resolver.h"
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+
+LockResolver::LockResolver(const TypeRegistry* registry, const AllocationTracker* tracker)
+    : registry_(registry), tracker_(tracker) {
+  LOCKDOC_CHECK(registry_ != nullptr);
+  LOCKDOC_CHECK(tracker_ != nullptr);
+}
+
+void LockResolver::OnStaticLockDef(const TraceEvent& event) {
+  LOCKDOC_CHECK(event.kind == EventKind::kStaticLockDef);
+  static_defs_[event.addr] = {event.name, event.lock_type};
+}
+
+LockInstanceId LockResolver::Resolve(const TraceEvent& event) {
+  LOCKDOC_CHECK(IsLockOp(event));
+
+  // Embedded in a live tracked allocation?
+  std::optional<AllocationId> owner = tracker_->Find(event.addr);
+  if (owner.has_value()) {
+    const AllocationInfo& alloc = tracker_->info(*owner);
+    uint32_t offset = static_cast<uint32_t>(event.addr - alloc.addr);
+    auto key = std::make_pair(*owner, offset);
+    auto it = embedded_instances_.find(key);
+    if (it != embedded_instances_.end()) {
+      return it->second;
+    }
+    const TypeLayout& layout = registry_->layout(alloc.type);
+    std::optional<MemberIndex> member = layout.ResolveOffset(offset);
+    LOCKDOC_CHECK(member.has_value());
+    LOCKDOC_CHECK(layout.member(*member).is_lock);
+
+    LockInstance instance;
+    instance.id = instances_.size();
+    instance.addr = event.addr;
+    instance.type = event.lock_type;
+    instance.is_static = false;
+    instance.owner = *owner;
+    instance.owner_type = alloc.type;
+    instance.owner_member = *member;
+    instances_.push_back(instance);
+    embedded_instances_.emplace(key, instance.id);
+    return instance.id;
+  }
+
+  // Static (declared or anonymous).
+  auto it = static_instances_.find(event.addr);
+  if (it != static_instances_.end()) {
+    return it->second;
+  }
+  LockInstance instance;
+  instance.id = instances_.size();
+  instance.addr = event.addr;
+  instance.type = event.lock_type;
+  instance.is_static = true;
+  auto def = static_defs_.find(event.addr);
+  instance.name = (def != static_defs_.end()) ? def->second.first : 0;
+  instances_.push_back(instance);
+  static_instances_.emplace(event.addr, instance.id);
+  return instance.id;
+}
+
+const LockInstance& LockResolver::instance(LockInstanceId id) const {
+  LOCKDOC_CHECK(id < instances_.size());
+  return instances_[id];
+}
+
+}  // namespace lockdoc

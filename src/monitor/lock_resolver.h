@@ -1,0 +1,66 @@
+// Resolves lock addresses in lock events to lock *instances*: either a
+// statically allocated lock (announced by a kStaticLockDef event) or a lock
+// member embedded in a live tracked allocation. Address reuse across
+// allocation lifetimes yields distinct instances, mirroring the paper's
+// per-allocation lock identity (Fig. 6: each lock may be "embedded in" an
+// allocation).
+#ifndef SRC_MONITOR_LOCK_RESOLVER_H_
+#define SRC_MONITOR_LOCK_RESOLVER_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/model/ids.h"
+#include "src/model/type_registry.h"
+#include "src/monitor/allocation_tracker.h"
+#include "src/trace/event.h"
+
+namespace lockdoc {
+
+struct LockInstance {
+  LockInstanceId id = 0;
+  Address addr = 0;
+  LockType type = LockType::kSpinlock;
+  bool is_static = false;
+  // Static locks: interned name (from the kStaticLockDef event).
+  StringId name = 0;
+  // Embedded locks: owning allocation and the lock member within it.
+  AllocationId owner = UINT64_MAX;
+  TypeId owner_type = kInvalidTypeId;
+  MemberIndex owner_member = kInvalidMember;
+};
+
+class LockResolver {
+ public:
+  LockResolver(const TypeRegistry* registry, const AllocationTracker* tracker);
+
+  // Processes a kStaticLockDef event.
+  void OnStaticLockDef(const TraceEvent& event);
+
+  // Resolves the lock address of an acquire/release event to an instance,
+  // creating it on first sight. Locks that are neither declared static nor
+  // inside a live tracked allocation are registered as anonymous static
+  // locks (the trace may legitimately contain locks of unobserved types).
+  LockInstanceId Resolve(const TraceEvent& event);
+
+  const LockInstance& instance(LockInstanceId id) const;
+  size_t instance_count() const { return instances_.size(); }
+  const std::vector<LockInstance>& instances() const { return instances_; }
+
+ private:
+  const TypeRegistry* registry_;
+  const AllocationTracker* tracker_;
+  std::vector<LockInstance> instances_;
+  // Declared static locks: addr -> name.
+  std::map<Address, std::pair<StringId, LockType>> static_defs_;
+  // addr -> instance for static locks (stable across the whole trace).
+  std::map<Address, LockInstanceId> static_instances_;
+  // (owner allocation, offset) -> instance for embedded locks; owner ids are
+  // unique per lifetime, so address reuse cannot alias.
+  std::map<std::pair<AllocationId, uint32_t>, LockInstanceId> embedded_instances_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_MONITOR_LOCK_RESOLVER_H_

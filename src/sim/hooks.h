@@ -1,0 +1,28 @@
+// Observation hooks the simulated kernel reports into. Keeping these as
+// interfaces decouples the simulator from the coverage tracker (and any
+// future consumers) the way the paper's kernel instrumentation is decoupled
+// from the FAIL* experiment implementation.
+#ifndef SRC_SIM_HOOKS_H_
+#define SRC_SIM_HOOKS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace lockdoc {
+
+// Receives function-entry and line-execution notifications; implemented by
+// the coverage module to reproduce the paper's GCOV measurement (Tab. 3).
+class CoverageSink {
+ public:
+  virtual ~CoverageSink() = default;
+
+  // A function body spans [first_line, last_line] in `file`.
+  virtual void OnFunctionEnter(std::string_view file, std::string_view function,
+                               uint32_t first_line, uint32_t last_line) = 0;
+  // One executable line was reached.
+  virtual void OnLineExecuted(std::string_view file, uint32_t line) = 0;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_SIM_HOOKS_H_

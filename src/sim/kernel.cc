@@ -1,0 +1,382 @@
+#include "src/sim/kernel.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+namespace {
+
+// Address-space layout of the simulated kernel: static locks live low,
+// the heap high. Addresses never collide; zero is reserved as "invalid".
+constexpr Address kStaticBase = 0x1000;
+constexpr Address kStaticStride = 16;
+constexpr Address kHeapBase = 0x100000000ULL;
+constexpr Address kHeapAlign = 64;
+
+Address AlignUp(Address addr, Address alignment) {
+  return (addr + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+SimKernel::SimKernel(Trace* trace, const TypeRegistry* registry, CoverageSink* coverage)
+    : trace_(trace),
+      registry_(registry),
+      coverage_(coverage),
+      next_static_addr_(kStaticBase),
+      next_heap_addr_(kHeapBase),
+      irq_rng_(0) {
+  LOCKDOC_CHECK(trace_ != nullptr);
+  LOCKDOC_CHECK(registry_ != nullptr);
+  rcu_lock_ = DefineStaticLock("rcu", LockType::kRcu);
+  softirq_lock_ = DefineStaticLock("softirq", LockType::kSoftirq);
+  hardirq_lock_ = DefineStaticLock("hardirq", LockType::kHardirq);
+}
+
+SimKernel::~SimKernel() = default;
+
+GlobalLock SimKernel::DefineStaticLock(const std::string& name, LockType type) {
+  GlobalLock lock;
+  lock.addr = next_static_addr_;
+  lock.type = type;
+  next_static_addr_ += kStaticStride;
+
+  TraceEvent event = BaseEvent(EventKind::kStaticLockDef, 0);
+  event.addr = lock.addr;
+  event.lock_type = type;
+  event.name = trace_->InternString(name);
+  Emit(event);
+  return lock;
+}
+
+void SimKernel::LockGlobal(const GlobalLock& lock, uint32_t line, AcquireMode mode) {
+  AcquireInternal(lock.addr, lock.type, mode, line);
+}
+
+void SimKernel::UnlockGlobal(const GlobalLock& lock, uint32_t line) {
+  ReleaseInternal(lock.addr, lock.type, line);
+}
+
+bool SimKernel::TryLockGlobal(const GlobalLock& lock, uint32_t line, AcquireMode mode) {
+  if (IsHeldAddr(lock.addr)) {
+    return false;
+  }
+  AcquireInternal(lock.addr, lock.type, mode, line);
+  return true;
+}
+
+void SimKernel::RcuReadLock(uint32_t line) {
+  AcquireInternal(rcu_lock_.addr, rcu_lock_.type, AcquireMode::kShared, line);
+}
+
+void SimKernel::RcuReadUnlock(uint32_t line) {
+  ReleaseInternal(rcu_lock_.addr, rcu_lock_.type, line);
+}
+
+void SimKernel::LocalBhDisable(uint32_t line) {
+  AcquireInternal(softirq_lock_.addr, softirq_lock_.type, AcquireMode::kExclusive, line);
+}
+
+void SimKernel::LocalBhEnable(uint32_t line) {
+  ReleaseInternal(softirq_lock_.addr, softirq_lock_.type, line);
+}
+
+void SimKernel::LocalIrqDisable(uint32_t line) {
+  AcquireInternal(hardirq_lock_.addr, hardirq_lock_.type, AcquireMode::kExclusive, line);
+}
+
+void SimKernel::LocalIrqEnable(uint32_t line) {
+  ReleaseInternal(hardirq_lock_.addr, hardirq_lock_.type, line);
+}
+
+ObjectRef SimKernel::Create(TypeId type, SubclassId subclass, uint32_t line) {
+  const TypeLayout& layout = registry_->layout(type);
+  uint32_t size = layout.size();
+  LOCKDOC_CHECK(size > 0);
+
+  Address addr = 0;
+  auto it = free_lists_.find(size);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    addr = it->second.back();
+    it->second.pop_back();
+  } else {
+    addr = next_heap_addr_;
+    next_heap_addr_ = AlignUp(next_heap_addr_ + size, kHeapAlign);
+  }
+  live_allocations_[addr] = size;
+
+  TraceEvent event = BaseEvent(EventKind::kAlloc, line);
+  event.addr = addr;
+  event.size = size;
+  event.type = type;
+  event.subclass = subclass;
+  Emit(event);
+
+  ObjectRef ref;
+  ref.addr = addr;
+  ref.type = type;
+  ref.subclass = subclass;
+  return ref;
+}
+
+void SimKernel::Destroy(const ObjectRef& obj, uint32_t line) {
+  auto it = live_allocations_.find(obj.addr);
+  LOCKDOC_CHECK(it != live_allocations_.end());
+  uint32_t size = it->second;
+  // An object must not be destroyed while one of its embedded locks is held.
+  for (const HeldLock& held : held_locks_) {
+    LOCKDOC_CHECK(held.addr < obj.addr || held.addr >= obj.addr + size);
+  }
+  live_allocations_.erase(it);
+  free_lists_[size].push_back(obj.addr);
+
+  TraceEvent event = BaseEvent(EventKind::kFree, line);
+  event.addr = obj.addr;
+  event.size = size;
+  event.type = obj.type;
+  event.subclass = obj.subclass;
+  Emit(event);
+}
+
+void SimKernel::Lock(const ObjectRef& obj, MemberIndex lock_member, uint32_t line,
+                     AcquireMode mode) {
+  const MemberDef& def = registry_->layout(obj.type).member(lock_member);
+  LOCKDOC_CHECK(def.is_lock);
+  AcquireInternal(obj.addr + def.offset, def.lock_type, mode, line);
+}
+
+void SimKernel::Unlock(const ObjectRef& obj, MemberIndex lock_member, uint32_t line) {
+  const MemberDef& def = registry_->layout(obj.type).member(lock_member);
+  LOCKDOC_CHECK(def.is_lock);
+  ReleaseInternal(obj.addr + def.offset, def.lock_type, line);
+}
+
+bool SimKernel::TryLock(const ObjectRef& obj, MemberIndex lock_member, uint32_t line,
+                        AcquireMode mode) {
+  const MemberDef& def = registry_->layout(obj.type).member(lock_member);
+  LOCKDOC_CHECK(def.is_lock);
+  if (IsHeldAddr(obj.addr + def.offset)) {
+    return false;
+  }
+  AcquireInternal(obj.addr + def.offset, def.lock_type, mode, line);
+  return true;
+}
+
+bool SimKernel::IsHeld(const ObjectRef& obj, MemberIndex lock_member) const {
+  const MemberDef& def = registry_->layout(obj.type).member(lock_member);
+  LOCKDOC_CHECK(def.is_lock);
+  return IsHeldAddr(obj.addr + def.offset);
+}
+
+void SimKernel::Read(const ObjectRef& obj, MemberIndex member, uint32_t line) {
+  AccessInternal(obj, member, /*is_write=*/false, line);
+}
+
+void SimKernel::Write(const ObjectRef& obj, MemberIndex member, uint32_t line) {
+  AccessInternal(obj, member, /*is_write=*/true, line);
+}
+
+void SimKernel::AtomicRead(const ObjectRef& obj, MemberIndex member, uint32_t line) {
+  FunctionScope atomic(*this, "include/asm/atomic.h", "atomic_read", 1, 4);
+  AccessInternal(obj, member, /*is_write=*/false, line);
+}
+
+void SimKernel::AtomicWrite(const ObjectRef& obj, MemberIndex member, uint32_t line) {
+  FunctionScope atomic(*this, "include/asm/atomic.h", "atomic_set", 6, 9);
+  AccessInternal(obj, member, /*is_write=*/true, line);
+}
+
+ContextKind SimKernel::current_context() const {
+  return context_stack_.empty() ? ContextKind::kTask : context_stack_.back();
+}
+
+void SimKernel::RegisterSoftirq(IrqHandler handler) {
+  softirq_handlers_.push_back(std::move(handler));
+}
+
+void SimKernel::RegisterHardirq(IrqHandler handler) {
+  hardirq_handlers_.push_back(std::move(handler));
+}
+
+void SimKernel::SetInterruptRate(double probability, uint64_t seed) {
+  interrupt_rate_ = probability;
+  irq_rng_ = Rng(seed);
+}
+
+void SimKernel::RunInInterrupt(ContextKind kind, const IrqHandler& handler) {
+  LOCKDOC_CHECK(kind != ContextKind::kTask);
+  // softirq may only interrupt task context; hardirq may interrupt anything.
+  if (kind == ContextKind::kSoftirq) {
+    LOCKDOC_CHECK(current_context() == ContextKind::kTask);
+  }
+  size_t locks_before = held_locks_.size();
+  context_stack_.push_back(kind);
+  const GlobalLock& pseudo = (kind == ContextKind::kSoftirq) ? softirq_lock_ : hardirq_lock_;
+  AcquireInternal(pseudo.addr, pseudo.type, AcquireMode::kExclusive, 0);
+  handler(*this);
+  ReleaseInternal(pseudo.addr, pseudo.type, 0);
+  context_stack_.pop_back();
+  // The handler must release everything it acquired.
+  LOCKDOC_CHECK(held_locks_.size() == locks_before);
+}
+
+void SimKernel::CheckQuiescent() const {
+  LOCKDOC_CHECK(held_locks_.empty());
+  LOCKDOC_CHECK(context_stack_.empty());
+}
+
+void SimKernel::PushFrame(std::string_view file, std::string_view function) {
+  Frame frame;
+  frame.file = trace_->InternString(file);
+  frame.function = trace_->InternString(function);
+  frames_.push_back(frame);
+  stack_dirty_ = true;
+}
+
+void SimKernel::PopFrame() {
+  LOCKDOC_CHECK(!frames_.empty());
+  frames_.pop_back();
+  stack_dirty_ = true;
+}
+
+SourceLoc SimKernel::Here(uint32_t line) const {
+  SourceLoc loc;
+  loc.file = frames_.empty() ? 0 : frames_.back().file;
+  loc.line = line;
+  return loc;
+}
+
+StackId SimKernel::CurrentStack() {
+  if (frames_.empty()) {
+    return kInvalidStack;
+  }
+  if (!stack_dirty_) {
+    return cached_stack_;
+  }
+  CallStack stack;
+  stack.frames.reserve(frames_.size());
+  // Innermost frame first.
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    stack.frames.push_back(it->function);
+  }
+  cached_stack_ = trace_->InternStack(stack);
+  stack_dirty_ = false;
+  return cached_stack_;
+}
+
+TraceEvent SimKernel::BaseEvent(EventKind kind, uint32_t line) {
+  TraceEvent event;
+  event.kind = kind;
+  event.context = current_context();
+  event.task_id = current_task_;
+  event.loc = Here(line);
+  event.stack = CurrentStack();
+  return event;
+}
+
+void SimKernel::Emit(TraceEvent event) {
+  if (coverage_ != nullptr && event.loc.line != 0 && event.loc.file != 0) {
+    coverage_->OnLineExecuted(trace_->String(event.loc.file), event.loc.line);
+  }
+  trace_->Append(event);
+  MaybeFireInterrupts();
+}
+
+void SimKernel::AcquireInternal(Address lock_addr, LockType type, AcquireMode mode,
+                                uint32_t line) {
+  if (IsBlockingLockType(type)) {
+    // Blocking primitives are forbidden in interrupt context.
+    LOCKDOC_CHECK(current_context() == ContextKind::kTask);
+  }
+  for (HeldLock& held : held_locks_) {
+    if (held.addr == lock_addr) {
+      // Re-acquisition. Pseudo locks nest (e.g. nested rcu_read_lock);
+      // the effective lock state does not change, so no event is emitted.
+      LOCKDOC_CHECK(IsPseudoLockType(type));
+      ++held.depth;
+      return;
+    }
+  }
+  HeldLock held;
+  held.addr = lock_addr;
+  held.type = type;
+  held.context_depth = static_cast<uint32_t>(context_stack_.size());
+  held_locks_.push_back(held);
+
+  TraceEvent event = BaseEvent(EventKind::kLockAcquire, line);
+  event.addr = lock_addr;
+  event.lock_type = type;
+  event.mode = mode;
+  Emit(event);
+}
+
+void SimKernel::ReleaseInternal(Address lock_addr, LockType type, uint32_t line) {
+  auto it = std::find_if(held_locks_.begin(), held_locks_.end(),
+                         [lock_addr](const HeldLock& held) { return held.addr == lock_addr; });
+  LOCKDOC_CHECK(it != held_locks_.end());
+  LOCKDOC_CHECK(it->type == type);
+  if (it->depth > 1) {
+    --it->depth;
+    return;
+  }
+  held_locks_.erase(it);
+
+  TraceEvent event = BaseEvent(EventKind::kLockRelease, line);
+  event.addr = lock_addr;
+  event.lock_type = type;
+  Emit(event);
+}
+
+bool SimKernel::IsHeldAddr(Address lock_addr) const {
+  return std::any_of(held_locks_.begin(), held_locks_.end(),
+                     [lock_addr](const HeldLock& held) { return held.addr == lock_addr; });
+}
+
+void SimKernel::AccessInternal(const ObjectRef& obj, MemberIndex member, bool is_write,
+                               uint32_t line) {
+  auto it = live_allocations_.find(obj.addr);
+  LOCKDOC_CHECK(it != live_allocations_.end());
+  const MemberDef& def = registry_->layout(obj.type).member(member);
+  LOCKDOC_CHECK(!def.is_lock);
+
+  TraceEvent event = BaseEvent(is_write ? EventKind::kMemWrite : EventKind::kMemRead, line);
+  event.addr = obj.addr + def.offset;
+  event.size = def.size;
+  Emit(event);
+}
+
+void SimKernel::MaybeFireInterrupts() {
+  if (interrupt_rate_ <= 0.0 || firing_interrupt_ || in_interrupt()) {
+    return;
+  }
+  if (!irq_rng_.Chance(interrupt_rate_)) {
+    return;
+  }
+  // Choose among all registered handlers, hardirq and softirq alike.
+  size_t total = softirq_handlers_.size() + hardirq_handlers_.size();
+  if (total == 0) {
+    return;
+  }
+  size_t pick = irq_rng_.Below(total);
+  firing_interrupt_ = true;
+  if (pick < softirq_handlers_.size()) {
+    RunInInterrupt(ContextKind::kSoftirq, softirq_handlers_[pick]);
+  } else {
+    RunInInterrupt(ContextKind::kHardirq, hardirq_handlers_[pick - softirq_handlers_.size()]);
+  }
+  firing_interrupt_ = false;
+}
+
+FunctionScope::FunctionScope(SimKernel& kernel, std::string_view file, std::string_view function,
+                             uint32_t first_line, uint32_t last_line)
+    : kernel_(kernel) {
+  kernel_.PushFrame(file, function);
+  if (kernel_.coverage_ != nullptr) {
+    kernel_.coverage_->OnFunctionEnter(file, function, first_line, last_line);
+  }
+}
+
+FunctionScope::~FunctionScope() { kernel_.PopFrame(); }
+
+}  // namespace lockdoc

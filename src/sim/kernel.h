@@ -1,0 +1,221 @@
+// SimKernel — the execution substrate the synthetic "kernel code" in
+// src/vfs runs on. It plays the role of the instrumented Linux kernel plus
+// the Bochs/FAIL* monitoring environment of the paper: every allocation,
+// lock operation, and member access is appended to a Trace, together with
+// the current execution context, source location, and call stack.
+//
+// The model is a single CPU (the paper traces a single-core VM): kernel
+// control flows are serialized, interrupt handlers nest on top of the
+// interrupted flow and run to completion. Workload drivers run one kernel
+// operation at a time per simulated task; the kernel self-checks that no
+// locks leak across operation boundaries.
+#ifndef SRC_SIM_KERNEL_H_
+#define SRC_SIM_KERNEL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/model/ids.h"
+#include "src/model/lock_type.h"
+#include "src/model/type_registry.h"
+#include "src/sim/hooks.h"
+#include "src/trace/trace.h"
+#include "src/util/rng.h"
+
+namespace lockdoc {
+
+// A handle to one live simulated kernel object.
+struct ObjectRef {
+  Address addr = 0;
+  TypeId type = kInvalidTypeId;
+  SubclassId subclass = kNoSubclass;
+
+  bool valid() const { return addr != 0; }
+};
+
+// A handle to a statically allocated (global) lock.
+struct GlobalLock {
+  Address addr = 0;
+  LockType type = LockType::kSpinlock;
+};
+
+// RAII function frame: pushes onto the simulated call stack, sets the
+// current source file, and reports to the coverage sink.
+class FunctionScope;
+
+class SimKernel {
+ public:
+  // `trace` receives all events; `registry` supplies layouts. Both must
+  // outlive the kernel. `coverage` may be null.
+  SimKernel(Trace* trace, const TypeRegistry* registry, CoverageSink* coverage = nullptr);
+  ~SimKernel();
+
+  SimKernel(const SimKernel&) = delete;
+  SimKernel& operator=(const SimKernel&) = delete;
+
+  // --- Static and pseudo locks ---
+
+  // Defines a global lock; emits a kStaticLockDef event so analysis can
+  // resolve the address back to the name.
+  GlobalLock DefineStaticLock(const std::string& name, LockType type);
+
+  void LockGlobal(const GlobalLock& lock, uint32_t line,
+                  AcquireMode mode = AcquireMode::kExclusive);
+  void UnlockGlobal(const GlobalLock& lock, uint32_t line);
+  // Non-blocking acquisition: returns false (and does nothing) when the lock
+  // is already held by the interrupted control flow. Interrupt handlers use
+  // this to avoid self-deadlock on the single simulated CPU.
+  bool TryLockGlobal(const GlobalLock& lock, uint32_t line,
+                     AcquireMode mode = AcquireMode::kExclusive);
+
+  // Pseudo locks (Sec. 7.1: "we record lock/release events for synthetic
+  // softirq and hardirq locks"; RCU read sections are traced the same way).
+  // All three nest (a counter per pseudo lock).
+  void RcuReadLock(uint32_t line);
+  void RcuReadUnlock(uint32_t line);
+  void LocalBhDisable(uint32_t line);
+  void LocalBhEnable(uint32_t line);
+  void LocalIrqDisable(uint32_t line);
+  void LocalIrqEnable(uint32_t line);
+
+  // --- Objects (instrumented allocator) ---
+
+  ObjectRef Create(TypeId type, SubclassId subclass, uint32_t line);
+  void Destroy(const ObjectRef& obj, uint32_t line);
+
+  // --- Embedded locks (lock members of live objects) ---
+
+  void Lock(const ObjectRef& obj, MemberIndex lock_member, uint32_t line,
+            AcquireMode mode = AcquireMode::kExclusive);
+  void Unlock(const ObjectRef& obj, MemberIndex lock_member, uint32_t line);
+  // Non-blocking variant of Lock; see TryLockGlobal.
+  bool TryLock(const ObjectRef& obj, MemberIndex lock_member, uint32_t line,
+               AcquireMode mode = AcquireMode::kExclusive);
+  // True if the given embedded lock is currently held.
+  bool IsHeld(const ObjectRef& obj, MemberIndex lock_member) const;
+
+  // --- Member accesses ---
+
+  void Read(const ObjectRef& obj, MemberIndex member, uint32_t line);
+  void Write(const ObjectRef& obj, MemberIndex member, uint32_t line);
+  // Atomic accessors: traced like plain accesses but within an
+  // "atomic_read"/"atomic_set" frame, which the importer's function black
+  // list filters out (Sec. 5.3 item 3).
+  void AtomicRead(const ObjectRef& obj, MemberIndex member, uint32_t line);
+  void AtomicWrite(const ObjectRef& obj, MemberIndex member, uint32_t line);
+
+  // --- Execution contexts and interrupts ---
+
+  // The id of the task whose control flow is currently simulated.
+  void SetCurrentTask(uint32_t task_id) { current_task_ = task_id; }
+  uint32_t current_task() const { return current_task_; }
+  ContextKind current_context() const;
+  bool in_interrupt() const { return current_context() != ContextKind::kTask; }
+
+  using IrqHandler = std::function<void(SimKernel&)>;
+  // Registers interrupt work; MaybeFireInterrupts picks handlers at random.
+  void RegisterSoftirq(IrqHandler handler);
+  void RegisterHardirq(IrqHandler handler);
+  // Probability of an interrupt firing after each traced event.
+  void SetInterruptRate(double probability, uint64_t seed);
+
+  // Runs a handler inside the given interrupt context right now. Used both
+  // internally and by workloads that want deterministic interrupt timing.
+  void RunInInterrupt(ContextKind kind, const IrqHandler& handler);
+
+  // --- Self-checks / bookkeeping ---
+
+  // Number of locks currently held by the simulated CPU.
+  size_t held_lock_count() const { return held_locks_.size(); }
+  // CHECKs that no locks are held; called by workloads between operations.
+  void CheckQuiescent() const;
+
+  Trace* trace() { return trace_; }
+  const TypeRegistry& registry() const { return *registry_; }
+
+ private:
+  friend class FunctionScope;
+
+  struct HeldLock {
+    Address addr = 0;
+    LockType type = LockType::kSpinlock;
+    // Nesting count; only pseudo locks may exceed 1.
+    uint32_t depth = 1;
+    // Context-stack depth at acquisition, to detect locks leaking out of
+    // interrupt handlers.
+    uint32_t context_depth = 0;
+  };
+
+  void PushFrame(std::string_view file, std::string_view function);
+  void PopFrame();
+
+  SourceLoc Here(uint32_t line) const;
+  StackId CurrentStack();
+  TraceEvent BaseEvent(EventKind kind, uint32_t line);
+  void Emit(TraceEvent event);
+
+  void AcquireInternal(Address lock_addr, LockType type, AcquireMode mode, uint32_t line);
+  void ReleaseInternal(Address lock_addr, LockType type, uint32_t line);
+  bool IsHeldAddr(Address lock_addr) const;
+  void AccessInternal(const ObjectRef& obj, MemberIndex member, bool is_write, uint32_t line);
+
+  void MaybeFireInterrupts();
+
+  Trace* trace_;
+  const TypeRegistry* registry_;
+  CoverageSink* coverage_;
+
+  // Address space management.
+  Address next_static_addr_;
+  Address next_heap_addr_;
+  std::map<uint32_t, std::vector<Address>> free_lists_;  // size -> reusable addrs
+  std::map<Address, uint32_t> live_allocations_;         // addr -> size
+
+  // Execution state.
+  uint32_t current_task_ = 0;
+  std::vector<ContextKind> context_stack_;  // Empty == plain task context.
+  std::vector<HeldLock> held_locks_;
+
+  // Call stack: outermost frame first; interned lazily, cache invalidated on
+  // push/pop.
+  struct Frame {
+    StringId file;
+    StringId function;
+  };
+  std::vector<Frame> frames_;
+  StackId cached_stack_ = kInvalidStack;
+  bool stack_dirty_ = true;
+
+  // Pseudo locks.
+  GlobalLock rcu_lock_;
+  GlobalLock softirq_lock_;
+  GlobalLock hardirq_lock_;
+
+  // Interrupt machinery.
+  std::vector<IrqHandler> softirq_handlers_;
+  std::vector<IrqHandler> hardirq_handlers_;
+  double interrupt_rate_ = 0.0;
+  Rng irq_rng_;
+  bool firing_interrupt_ = false;
+};
+
+class FunctionScope {
+ public:
+  // `first_line`/`last_line` delimit the function body for coverage
+  // accounting.
+  FunctionScope(SimKernel& kernel, std::string_view file, std::string_view function,
+                uint32_t first_line, uint32_t last_line);
+  ~FunctionScope();
+
+  FunctionScope(const FunctionScope&) = delete;
+  FunctionScope& operator=(const FunctionScope&) = delete;
+
+ private:
+  SimKernel& kernel_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_SIM_KERNEL_H_

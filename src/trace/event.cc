@@ -1,0 +1,37 @@
+#include "src/trace/event.h"
+
+namespace lockdoc {
+
+std::string_view EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAlloc:
+      return "alloc";
+    case EventKind::kFree:
+      return "free";
+    case EventKind::kLockAcquire:
+      return "lock";
+    case EventKind::kLockRelease:
+      return "unlock";
+    case EventKind::kMemRead:
+      return "read";
+    case EventKind::kMemWrite:
+      return "write";
+    case EventKind::kStaticLockDef:
+      return "static_lock";
+  }
+  return "?";
+}
+
+std::string_view ContextKindName(ContextKind kind) {
+  switch (kind) {
+    case ContextKind::kTask:
+      return "task";
+    case ContextKind::kSoftirq:
+      return "softirq";
+    case ContextKind::kHardirq:
+      return "hardirq";
+  }
+  return "?";
+}
+
+}  // namespace lockdoc

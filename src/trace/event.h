@@ -1,0 +1,89 @@
+// The event vocabulary of a LockDoc trace (paper Sec. 5.2): dynamic memory
+// allocations/deallocations, lock acquisitions/releases, and read/write
+// accesses to memory of observed allocations. Static locks announce
+// themselves once so later lock events can be resolved by address.
+#ifndef SRC_TRACE_EVENT_H_
+#define SRC_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/model/ids.h"
+#include "src/model/lock_type.h"
+
+namespace lockdoc {
+
+enum class EventKind : uint8_t {
+  kAlloc = 0,
+  kFree = 1,
+  kLockAcquire = 2,
+  kLockRelease = 3,
+  kMemRead = 4,
+  kMemWrite = 5,
+  kStaticLockDef = 6,
+};
+
+std::string_view EventKindName(EventKind kind);
+
+// The execution context a kernel event originated from (Sec. 2.2: task,
+// bottom half, or IRQ handler).
+enum class ContextKind : uint8_t {
+  kTask = 0,
+  kSoftirq = 1,
+  kHardirq = 2,
+};
+
+std::string_view ContextKindName(ContextKind kind);
+
+// One trace event. A tagged struct rather than a variant: the trace is the
+// hot data structure of the whole pipeline and benefits from being trivially
+// copyable and branch-friendly.
+struct TraceEvent {
+  EventKind kind = EventKind::kAlloc;
+  ContextKind context = ContextKind::kTask;
+  // Monotonic event index within the trace; assigned by Trace::Append.
+  uint64_t seq = 0;
+  // Identifier of the simulated task (or of the interrupted task for
+  // softirq/hardirq events).
+  uint32_t task_id = 0;
+
+  // kAlloc / kFree / kMemRead / kMemWrite: target address.
+  // kLock* / kStaticLockDef: the lock's address.
+  Address addr = 0;
+
+  // kAlloc: allocation size. kMem*: access width in bytes.
+  uint32_t size = 0;
+
+  // kAlloc: the data type and subclass of the allocation.
+  TypeId type = kInvalidTypeId;
+  SubclassId subclass = kNoSubclass;
+
+  // kLock* / kStaticLockDef.
+  LockType lock_type = LockType::kSpinlock;
+  AcquireMode mode = AcquireMode::kExclusive;
+
+  // kStaticLockDef: interned name of the static lock.
+  StringId name = 0;
+
+  // Source position of the instruction (lock call site / access site).
+  SourceLoc loc;
+  // Interned call stack at the moment of the event (kInvalidStack if not
+  // recorded).
+  StackId stack = kInvalidStack;
+};
+
+inline bool IsMemAccess(const TraceEvent& e) {
+  return e.kind == EventKind::kMemRead || e.kind == EventKind::kMemWrite;
+}
+
+inline bool IsLockOp(const TraceEvent& e) {
+  return e.kind == EventKind::kLockAcquire || e.kind == EventKind::kLockRelease;
+}
+
+inline AccessType AccessTypeOf(const TraceEvent& e) {
+  return e.kind == EventKind::kMemWrite ? AccessType::kWrite : AccessType::kRead;
+}
+
+}  // namespace lockdoc
+
+#endif  // SRC_TRACE_EVENT_H_

@@ -1,0 +1,42 @@
+#include "src/trace/string_pool.h"
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+
+StringPool::StringPool() { Intern(""); }
+
+StringId StringPool::Intern(std::string_view text) {
+  auto it = index_.find(text);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  StringId id = static_cast<StringId>(strings_.size());
+  strings_.emplace_back(text);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+std::optional<StringId> StringPool::Find(std::string_view text) const {
+  auto it = index_.find(text);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::string& StringPool::Lookup(StringId id) const {
+  LOCKDOC_CHECK(id < strings_.size());
+  return strings_[id];
+}
+
+void StringPool::Reset(std::vector<std::string> strings) {
+  LOCKDOC_CHECK(!strings.empty() && strings[0].empty());
+  strings_ = std::move(strings);
+  index_.clear();
+  for (size_t i = 0; i < strings_.size(); ++i) {
+    index_.emplace(strings_[i], static_cast<StringId>(i));
+  }
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,46 @@
+// String interning for trace metadata (file names, function names, lock
+// names). Ids are dense and stable; id 0 is always the empty string.
+#ifndef SRC_TRACE_STRING_POOL_H_
+#define SRC_TRACE_STRING_POOL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/model/ids.h"
+
+namespace lockdoc {
+
+class StringPool {
+ public:
+  StringPool();
+
+  // Returns the id for `text`, interning it on first use.
+  StringId Intern(std::string_view text);
+
+  // Id -> string. Ids must come from this pool.
+  const std::string& Lookup(StringId id) const;
+
+  // Reverse lookup without interning; nullopt if `text` was never interned.
+  std::optional<StringId> Find(std::string_view text) const;
+
+  size_t size() const { return strings_.size(); }
+
+  // For serialization: the full table in id order.
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  // Rebuilds the pool from a serialized table (index == id).
+  void Reset(std::vector<std::string> strings);
+
+ private:
+  std::vector<std::string> strings_;
+  // Owns its keys (short strings would otherwise dangle via SSO when the
+  // vector reallocates). Heterogeneous lookup avoids per-query allocations.
+  std::map<std::string, StringId, std::less<>> index_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_TRACE_STRING_POOL_H_

@@ -1,0 +1,62 @@
+#include "src/trace/trace.h"
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+
+uint64_t Trace::Append(TraceEvent event) {
+  event.seq = events_.size();
+  events_.push_back(event);
+  return event.seq;
+}
+
+StackId Trace::InternStack(const CallStack& stack) {
+  auto it = stack_index_.find(stack);
+  if (it != stack_index_.end()) {
+    return it->second;
+  }
+  StackId id = static_cast<StackId>(stacks_.size());
+  stacks_.push_back(stack);
+  stack_index_.emplace(stack, id);
+  return id;
+}
+
+const TraceEvent& Trace::event(uint64_t seq) const {
+  LOCKDOC_CHECK(seq < events_.size());
+  return events_[seq];
+}
+
+const CallStack& Trace::Stack(StackId id) const {
+  LOCKDOC_CHECK(id < stacks_.size());
+  return stacks_[id];
+}
+
+std::string Trace::FormatLoc(const SourceLoc& loc) const {
+  return StrFormat("%s:%u", String(loc.file).c_str(), loc.line);
+}
+
+std::string Trace::FormatStack(StackId id) const {
+  if (id == kInvalidStack) {
+    return "<no stack>";
+  }
+  const CallStack& stack = Stack(id);
+  std::string result;
+  for (size_t i = 0; i < stack.frames.size(); ++i) {
+    if (i != 0) {
+      result += " <- ";
+    }
+    result += String(stack.frames[i]);
+  }
+  return result;
+}
+
+void Trace::ResetStacks(std::vector<CallStack> stacks) {
+  stacks_ = std::move(stacks);
+  stack_index_.clear();
+  for (size_t i = 0; i < stacks_.size(); ++i) {
+    stack_index_.emplace(stacks_[i], static_cast<StackId>(i));
+  }
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,75 @@
+// The in-memory representation of one recorded run: the ordered event list
+// plus the side tables needed to interpret it (interned strings, interned
+// call stacks). This is the hand-off artifact between phase 1 (monitoring/
+// tracing) and phase 2 (post-processing + rule derivation) of the paper's
+// workflow (Fig. 5).
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/model/ids.h"
+#include "src/trace/event.h"
+#include "src/trace/string_pool.h"
+
+namespace lockdoc {
+
+// An interned call stack: innermost frame first, frames are interned
+// function-name strings.
+struct CallStack {
+  std::vector<StringId> frames;
+
+  friend bool operator<(const CallStack& a, const CallStack& b) { return a.frames < b.frames; }
+  friend bool operator==(const CallStack& a, const CallStack& b) = default;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(Trace&&) = default;
+  Trace& operator=(Trace&&) = default;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  // --- Building (used by the monitoring layer) ---
+
+  // Appends an event, assigning its sequence number. Returns the seq.
+  uint64_t Append(TraceEvent event);
+
+  StringId InternString(std::string_view text) { return strings_.Intern(text); }
+  StackId InternStack(const CallStack& stack);
+
+  // --- Reading ---
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  const TraceEvent& event(uint64_t seq) const;
+
+  const std::string& String(StringId id) const { return strings_.Lookup(id); }
+  const CallStack& Stack(StackId id) const;
+  size_t stack_count() const { return stacks_.size(); }
+
+  // Renders "file:line".
+  std::string FormatLoc(const SourceLoc& loc) const;
+  // Renders "f1 <- f2 <- f3" (innermost first).
+  std::string FormatStack(StackId id) const;
+
+  // --- Serialization plumbing (trace_io.cc) ---
+  const StringPool& string_pool() const { return strings_; }
+  StringPool& mutable_string_pool() { return strings_; }
+  const std::vector<CallStack>& stacks() const { return stacks_; }
+  void ResetStacks(std::vector<CallStack> stacks);
+  std::vector<TraceEvent>& mutable_events() { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  StringPool strings_;
+  std::vector<CallStack> stacks_;
+  std::map<CallStack, StackId> stack_index_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_TRACE_TRACE_H_

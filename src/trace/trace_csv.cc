@@ -1,0 +1,259 @@
+#include "src/trace/trace_csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/csv.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+
+void WriteTraceCsv(const Trace& trace, std::ostream& out) {
+  CsvWriter writer(out);
+  writer.WriteRow({"seq", "kind", "context", "task", "addr", "size", "type", "subclass",
+                   "lock_type", "mode", "name", "file", "line", "stack"});
+  for (const TraceEvent& e : trace.events()) {
+    std::vector<std::string> row;
+    row.reserve(14);
+    row.push_back(std::to_string(e.seq));
+    row.emplace_back(EventKindName(e.kind));
+    row.emplace_back(ContextKindName(e.context));
+    row.push_back(std::to_string(e.task_id));
+    row.push_back(StrFormat("0x%llx", static_cast<unsigned long long>(e.addr)));
+    row.push_back(std::to_string(e.size));
+    row.push_back(e.type == kInvalidTypeId ? "" : std::to_string(e.type));
+    row.push_back(e.subclass == kNoSubclass ? "" : std::to_string(e.subclass));
+    if (IsLockOp(e) || e.kind == EventKind::kStaticLockDef) {
+      row.emplace_back(LockTypeName(e.lock_type));
+      row.emplace_back(e.mode == AcquireMode::kShared ? "shared" : "exclusive");
+    } else {
+      row.emplace_back("");
+      row.emplace_back("");
+    }
+    row.push_back(e.name == 0 ? "" : trace.String(e.name));
+    row.push_back(e.loc.file == 0 ? "" : trace.String(e.loc.file));
+    row.push_back(e.loc.line == 0 ? "" : std::to_string(e.loc.line));
+    row.push_back(e.stack == kInvalidStack ? "" : std::to_string(e.stack));
+    writer.WriteRow(row);
+  }
+}
+
+namespace {
+
+Status WriteFileContent(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Error("cannot open " + path);
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    return Status::Error("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileContent(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::Error("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Status WriteTraceCsvBundle(const Trace& trace, const std::string& dir) {
+  // strings.csv: id,text (ids are the row order, written explicitly for
+  // robustness against external re-sorting).
+  {
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.WriteRow({"id", "text"});
+    const auto& strings = trace.string_pool().strings();
+    for (size_t i = 0; i < strings.size(); ++i) {
+      writer.WriteRow({std::to_string(i), strings[i]});
+    }
+    Status status = WriteFileContent(dir + "/strings.csv", out.str());
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  // stacks.csv: stack_id,position,frame_sid.
+  {
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.WriteRow({"stack_id", "position", "frame_sid"});
+    for (StackId id = 0; id < trace.stack_count(); ++id) {
+      const CallStack& stack = trace.Stack(id);
+      for (size_t pos = 0; pos < stack.frames.size(); ++pos) {
+        writer.WriteRow({std::to_string(id), std::to_string(pos),
+                         std::to_string(stack.frames[pos])});
+      }
+    }
+    Status status = WriteFileContent(dir + "/stacks.csv", out.str());
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  // events.csv: numeric, lossless.
+  {
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.WriteRow({"kind", "context", "task", "addr", "size", "type", "subclass", "lock_type",
+                     "mode", "name_sid", "file_sid", "line", "stack"});
+    for (const TraceEvent& e : trace.events()) {
+      writer.WriteRow(
+          {std::to_string(static_cast<int>(e.kind)), std::to_string(static_cast<int>(e.context)),
+           std::to_string(e.task_id), std::to_string(e.addr), std::to_string(e.size),
+           e.type == kInvalidTypeId ? "" : std::to_string(e.type), std::to_string(e.subclass),
+           std::to_string(static_cast<int>(e.lock_type)),
+           std::to_string(static_cast<int>(e.mode)), std::to_string(e.name),
+           std::to_string(e.loc.file), std::to_string(e.loc.line),
+           e.stack == kInvalidStack ? "" : std::to_string(e.stack)});
+    }
+    Status status = WriteFileContent(dir + "/events.csv", out.str());
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Trace> ReadTraceCsvBundle(const std::string& dir) {
+  Trace trace;
+
+  auto strings_text = ReadFileContent(dir + "/strings.csv");
+  if (!strings_text.ok()) {
+    return strings_text.status();
+  }
+  auto strings_rows = ParseCsv(strings_text.value());
+  if (!strings_rows.ok()) {
+    return strings_rows.status();
+  }
+  std::vector<std::string> strings;
+  for (size_t i = 1; i < strings_rows.value().size(); ++i) {
+    const auto& row = strings_rows.value()[i];
+    if (row.size() != 2) {
+      return Status::Error("strings.csv: bad arity");
+    }
+    uint64_t id = 0;
+    if (!ParseUint64(row[0], &id) || id != strings.size()) {
+      return Status::Error("strings.csv: ids must be dense and ordered");
+    }
+    strings.push_back(row[1]);
+  }
+  if (strings.empty() || !strings[0].empty()) {
+    return Status::Error("strings.csv: id 0 must be the empty string");
+  }
+  trace.mutable_string_pool().Reset(std::move(strings));
+
+  auto stacks_text = ReadFileContent(dir + "/stacks.csv");
+  if (!stacks_text.ok()) {
+    return stacks_text.status();
+  }
+  auto stacks_rows = ParseCsv(stacks_text.value());
+  if (!stacks_rows.ok()) {
+    return stacks_rows.status();
+  }
+  std::vector<CallStack> stacks;
+  for (size_t i = 1; i < stacks_rows.value().size(); ++i) {
+    const auto& row = stacks_rows.value()[i];
+    if (row.size() != 3) {
+      return Status::Error("stacks.csv: bad arity");
+    }
+    uint64_t id = 0;
+    uint64_t pos = 0;
+    uint64_t frame = 0;
+    if (!ParseUint64(row[0], &id) || !ParseUint64(row[1], &pos) ||
+        !ParseUint64(row[2], &frame) || frame >= trace.string_pool().size()) {
+      return Status::Error("stacks.csv: bad row");
+    }
+    if (id >= stacks.size()) {
+      if (id != stacks.size()) {
+        return Status::Error("stacks.csv: stack ids must be dense");
+      }
+      stacks.emplace_back();
+    }
+    if (pos != stacks[id].frames.size()) {
+      return Status::Error("stacks.csv: frame positions must be dense and ordered");
+    }
+    stacks[id].frames.push_back(static_cast<StringId>(frame));
+  }
+  trace.ResetStacks(std::move(stacks));
+
+  auto events_text = ReadFileContent(dir + "/events.csv");
+  if (!events_text.ok()) {
+    return events_text.status();
+  }
+  auto events_rows = ParseCsv(events_text.value());
+  if (!events_rows.ok()) {
+    return events_rows.status();
+  }
+  for (size_t i = 1; i < events_rows.value().size(); ++i) {
+    const auto& row = events_rows.value()[i];
+    if (row.size() != 13) {
+      return Status::Error("events.csv: bad arity");
+    }
+    auto parse_field = [&](size_t index, uint64_t* value) {
+      return ParseUint64(row[index], value);
+    };
+    uint64_t kind = 0;
+    uint64_t context = 0;
+    uint64_t task = 0;
+    uint64_t addr = 0;
+    uint64_t size = 0;
+    uint64_t subclass = 0;
+    uint64_t lock_type = 0;
+    uint64_t mode = 0;
+    uint64_t name = 0;
+    uint64_t file = 0;
+    uint64_t line = 0;
+    if (!parse_field(0, &kind) || !parse_field(1, &context) || !parse_field(2, &task) ||
+        !parse_field(3, &addr) || !parse_field(4, &size) || !parse_field(6, &subclass) ||
+        !parse_field(7, &lock_type) || !parse_field(8, &mode) || !parse_field(9, &name) ||
+        !parse_field(10, &file) || !parse_field(11, &line) ||
+        kind > static_cast<uint64_t>(EventKind::kStaticLockDef) || context > 2 ||
+        lock_type >= kNumLockTypes || mode > 1 || name >= trace.string_pool().size() ||
+        file >= trace.string_pool().size()) {
+      return Status::Error(StrFormat("events.csv: bad row %zu", i));
+    }
+    TraceEvent e;
+    e.kind = static_cast<EventKind>(kind);
+    e.context = static_cast<ContextKind>(context);
+    e.task_id = static_cast<uint32_t>(task);
+    e.addr = addr;
+    e.size = static_cast<uint32_t>(size);
+    if (row[5].empty()) {
+      e.type = kInvalidTypeId;
+    } else {
+      uint64_t type = 0;
+      if (!ParseUint64(row[5], &type)) {
+        return Status::Error(StrFormat("events.csv: bad type in row %zu", i));
+      }
+      e.type = static_cast<TypeId>(type);
+    }
+    e.subclass = static_cast<SubclassId>(subclass);
+    e.lock_type = static_cast<LockType>(lock_type);
+    e.mode = static_cast<AcquireMode>(mode);
+    e.name = static_cast<StringId>(name);
+    e.loc.file = static_cast<StringId>(file);
+    e.loc.line = static_cast<uint32_t>(line);
+    if (row[12].empty()) {
+      e.stack = kInvalidStack;
+    } else {
+      uint64_t stack = 0;
+      if (!ParseUint64(row[12], &stack) || stack >= trace.stack_count()) {
+        return Status::Error(StrFormat("events.csv: bad stack in row %zu", i));
+      }
+      e.stack = static_cast<StackId>(stack);
+    }
+    trace.Append(e);
+  }
+  return trace;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,31 @@
+// CSV export of a trace's event stream. The paper's post-processing step
+// generates CSV tables for database import (Sec. 6); we provide the same
+// interchange so traces can be inspected or loaded into external tools.
+#ifndef SRC_TRACE_TRACE_CSV_H_
+#define SRC_TRACE_TRACE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+// Writes one row per event with a header row. Columns:
+//   seq,kind,context,task,addr,size,type,subclass,lock_type,mode,name,
+//   file,line,stack
+// `type` and `name` are rendered as strings when resolvable.
+void WriteTraceCsv(const Trace& trace, std::ostream& out);
+
+// Lossless CSV interchange: a directory with events.csv, strings.csv, and
+// stacks.csv. Unlike WriteTraceCsv (a human-readable single stream), the
+// bundle round-trips exactly — including interned call stacks — so traces
+// can pass through external tools (the paper's MariaDB-era workflow moved
+// CSV tables around the same way).
+Status WriteTraceCsvBundle(const Trace& trace, const std::string& dir);
+Result<Trace> ReadTraceCsvBundle(const std::string& dir);
+
+}  // namespace lockdoc
+
+#endif  // SRC_TRACE_TRACE_CSV_H_

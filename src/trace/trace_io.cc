@@ -1,0 +1,231 @@
+#include "src/trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace lockdoc {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'D', 'T', 'R', 'A', 'C', 'E', '1'};
+
+void PutVarint(std::ostream& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.put(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+bool GetVarint(std::istream& in, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    int c = in.get();
+    if (c == EOF || shift > 63) {
+      return false;
+    }
+    result |= static_cast<uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+  }
+  *value = result;
+  return true;
+}
+
+void PutString(std::ostream& out, const std::string& text) {
+  PutVarint(out, text.size());
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+bool GetString(std::istream& in, std::string* text) {
+  uint64_t size = 0;
+  if (!GetVarint(in, &size)) {
+    return false;
+  }
+  // Defensive cap: no interned string in a sane trace exceeds this.
+  if (size > (1u << 20)) {
+    return false;
+  }
+  text->resize(size);
+  in.read(text->data(), static_cast<std::streamsize>(size));
+  return in.good() || (size == 0 && !in.bad());
+}
+
+void PutEvent(std::ostream& out, const TraceEvent& e) {
+  PutVarint(out, static_cast<uint64_t>(e.kind));
+  PutVarint(out, static_cast<uint64_t>(e.context));
+  PutVarint(out, e.task_id);
+  PutVarint(out, e.addr);
+  PutVarint(out, e.size);
+  PutVarint(out, e.type == kInvalidTypeId ? 0 : static_cast<uint64_t>(e.type) + 1);
+  PutVarint(out, e.subclass);
+  PutVarint(out, static_cast<uint64_t>(e.lock_type));
+  PutVarint(out, static_cast<uint64_t>(e.mode));
+  PutVarint(out, e.name);
+  PutVarint(out, e.loc.file);
+  PutVarint(out, e.loc.line);
+  PutVarint(out, e.stack == kInvalidStack ? 0 : static_cast<uint64_t>(e.stack) + 1);
+}
+
+bool GetEvent(std::istream& in, TraceEvent* e) {
+  uint64_t kind = 0;
+  uint64_t context = 0;
+  uint64_t task_id = 0;
+  uint64_t addr = 0;
+  uint64_t size = 0;
+  uint64_t type = 0;
+  uint64_t subclass = 0;
+  uint64_t lock_type = 0;
+  uint64_t mode = 0;
+  uint64_t name = 0;
+  uint64_t file = 0;
+  uint64_t line = 0;
+  uint64_t stack = 0;
+  if (!GetVarint(in, &kind) || !GetVarint(in, &context) || !GetVarint(in, &task_id) ||
+      !GetVarint(in, &addr) || !GetVarint(in, &size) || !GetVarint(in, &type) ||
+      !GetVarint(in, &subclass) || !GetVarint(in, &lock_type) || !GetVarint(in, &mode) ||
+      !GetVarint(in, &name) || !GetVarint(in, &file) || !GetVarint(in, &line) ||
+      !GetVarint(in, &stack)) {
+    return false;
+  }
+  if (kind > static_cast<uint64_t>(EventKind::kStaticLockDef) || context > 2 ||
+      lock_type >= kNumLockTypes || mode > 1) {
+    return false;
+  }
+  e->kind = static_cast<EventKind>(kind);
+  e->context = static_cast<ContextKind>(context);
+  e->task_id = static_cast<uint32_t>(task_id);
+  e->addr = addr;
+  e->size = static_cast<uint32_t>(size);
+  e->type = type == 0 ? kInvalidTypeId : static_cast<TypeId>(type - 1);
+  e->subclass = static_cast<SubclassId>(subclass);
+  e->lock_type = static_cast<LockType>(lock_type);
+  e->mode = static_cast<AcquireMode>(mode);
+  e->name = static_cast<StringId>(name);
+  e->loc.file = static_cast<StringId>(file);
+  e->loc.line = static_cast<uint32_t>(line);
+  e->stack = stack == 0 ? kInvalidStack : static_cast<StackId>(stack - 1);
+  return true;
+}
+
+}  // namespace
+
+void WriteTrace(const Trace& trace, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+
+  const auto& strings = trace.string_pool().strings();
+  PutVarint(out, strings.size());
+  for (const std::string& s : strings) {
+    PutString(out, s);
+  }
+
+  const auto& stacks = trace.stacks();
+  PutVarint(out, stacks.size());
+  for (const CallStack& stack : stacks) {
+    PutVarint(out, stack.frames.size());
+    for (StringId frame : stack.frames) {
+      PutVarint(out, frame);
+    }
+  }
+
+  PutVarint(out, trace.size());
+  for (const TraceEvent& e : trace.events()) {
+    PutEvent(out, e);
+  }
+}
+
+Result<Trace> ReadTrace(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error("ReadTrace: bad magic");
+  }
+
+  Trace trace;
+
+  uint64_t string_count = 0;
+  if (!GetVarint(in, &string_count)) {
+    return Status::Error("ReadTrace: truncated string table");
+  }
+  std::vector<std::string> strings;
+  strings.reserve(string_count);
+  for (uint64_t i = 0; i < string_count; ++i) {
+    std::string s;
+    if (!GetString(in, &s)) {
+      return Status::Error("ReadTrace: truncated string entry");
+    }
+    strings.push_back(std::move(s));
+  }
+  if (strings.empty() || !strings[0].empty()) {
+    return Status::Error("ReadTrace: string table must start with the empty string");
+  }
+  trace.mutable_string_pool().Reset(std::move(strings));
+
+  uint64_t stack_count = 0;
+  if (!GetVarint(in, &stack_count)) {
+    return Status::Error("ReadTrace: truncated stack table");
+  }
+  std::vector<CallStack> stacks;
+  stacks.reserve(stack_count);
+  for (uint64_t i = 0; i < stack_count; ++i) {
+    uint64_t frame_count = 0;
+    if (!GetVarint(in, &frame_count) || frame_count > 4096) {
+      return Status::Error("ReadTrace: bad stack entry");
+    }
+    CallStack stack;
+    stack.frames.reserve(frame_count);
+    for (uint64_t f = 0; f < frame_count; ++f) {
+      uint64_t frame = 0;
+      if (!GetVarint(in, &frame) || frame >= trace.string_pool().size()) {
+        return Status::Error("ReadTrace: bad stack frame");
+      }
+      stack.frames.push_back(static_cast<StringId>(frame));
+    }
+    stacks.push_back(std::move(stack));
+  }
+  trace.ResetStacks(std::move(stacks));
+
+  uint64_t event_count = 0;
+  if (!GetVarint(in, &event_count)) {
+    return Status::Error("ReadTrace: truncated event count");
+  }
+  trace.mutable_events().reserve(event_count);
+  for (uint64_t i = 0; i < event_count; ++i) {
+    TraceEvent e;
+    if (!GetEvent(in, &e)) {
+      return Status::Error("ReadTrace: truncated or malformed event");
+    }
+    if (e.stack != kInvalidStack && e.stack >= trace.stack_count()) {
+      return Status::Error("ReadTrace: event references unknown stack");
+    }
+    trace.Append(e);
+  }
+  return trace;
+}
+
+Status WriteTraceToFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::Error("WriteTraceToFile: cannot open " + path);
+  }
+  WriteTrace(trace, out);
+  out.flush();
+  if (!out) {
+    return Status::Error("WriteTraceToFile: write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Trace> ReadTraceFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Error("ReadTraceFromFile: cannot open " + path);
+  }
+  return ReadTrace(in);
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,31 @@
+// Binary (de)serialization of traces. The format is a simple
+// varint-compressed record stream:
+//
+//   magic "LDTRACE1" | string table | stack table | event count | events
+//
+// Traces can be archived and re-analyzed later, which is the main practical
+// advantage the paper claims for ex-post analysis (Sec. 3.3).
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+// Serializes `trace` to `out`.
+void WriteTrace(const Trace& trace, std::ostream& out);
+
+// Deserializes a trace from `in`. Fails on malformed input.
+Result<Trace> ReadTrace(std::istream& in);
+
+// Convenience file wrappers.
+Status WriteTraceToFile(const Trace& trace, const std::string& path);
+Result<Trace> ReadTraceFromFile(const std::string& path);
+
+}  // namespace lockdoc
+
+#endif  // SRC_TRACE_TRACE_IO_H_

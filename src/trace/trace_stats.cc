@@ -1,0 +1,89 @@
+#include "src/trace/trace_stats.h"
+
+#include <map>
+#include <set>
+
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+
+TraceStats ComputeTraceStats(const Trace& trace) {
+  TraceStats stats;
+  stats.total_events = trace.size();
+
+  // Live allocation intervals, to classify lock addresses as embedded or
+  // static. Maps allocation start -> end (exclusive).
+  std::map<Address, Address> live;
+  std::set<Address> static_lock_addrs;
+  std::set<Address> embedded_lock_addrs;
+
+  auto is_embedded = [&live](Address addr) {
+    auto it = live.upper_bound(addr);
+    if (it == live.begin()) {
+      return false;
+    }
+    --it;
+    return addr >= it->first && addr < it->second;
+  };
+
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case EventKind::kAlloc:
+        ++stats.allocations;
+        live[e.addr] = e.addr + e.size;
+        break;
+      case EventKind::kFree:
+        ++stats.deallocations;
+        live.erase(e.addr);
+        break;
+      case EventKind::kLockAcquire:
+        ++stats.lock_ops;
+        ++stats.lock_acquires;
+        if (is_embedded(e.addr)) {
+          embedded_lock_addrs.insert(e.addr);
+        } else {
+          static_lock_addrs.insert(e.addr);
+        }
+        break;
+      case EventKind::kLockRelease:
+        ++stats.lock_ops;
+        ++stats.lock_releases;
+        break;
+      case EventKind::kMemRead:
+        ++stats.memory_accesses;
+        ++stats.reads;
+        break;
+      case EventKind::kMemWrite:
+        ++stats.memory_accesses;
+        ++stats.writes;
+        break;
+      case EventKind::kStaticLockDef:
+        ++stats.static_lock_defs;
+        break;
+    }
+  }
+  stats.distinct_static_locks = static_lock_addrs.size();
+  stats.distinct_embedded_locks = embedded_lock_addrs.size();
+  stats.distinct_locks = stats.distinct_static_locks + stats.distinct_embedded_locks;
+  return stats;
+}
+
+std::string TraceStats::ToString() const {
+  std::string out;
+  out += StrFormat("total events:        %s\n", FormatWithCommas(total_events).c_str());
+  out += StrFormat("locking operations:  %s (%s acquire / %s release)\n",
+                   FormatWithCommas(lock_ops).c_str(), FormatWithCommas(lock_acquires).c_str(),
+                   FormatWithCommas(lock_releases).c_str());
+  out += StrFormat("memory accesses:     %s (%s reads / %s writes)\n",
+                   FormatWithCommas(memory_accesses).c_str(), FormatWithCommas(reads).c_str(),
+                   FormatWithCommas(writes).c_str());
+  out += StrFormat("allocations:         %s\n", FormatWithCommas(allocations).c_str());
+  out += StrFormat("deallocations:       %s\n", FormatWithCommas(deallocations).c_str());
+  out += StrFormat("distinct locks:      %s (%s static / %s embedded)\n",
+                   FormatWithCommas(distinct_locks).c_str(),
+                   FormatWithCommas(distinct_static_locks).c_str(),
+                   FormatWithCommas(distinct_embedded_locks).c_str());
+  return out;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,38 @@
+// Aggregate statistics over a trace — the numbers Sec. 7.2 of the paper
+// reports for its run (events, locking operations, memory accesses,
+// allocations, distinct locks).
+#ifndef SRC_TRACE_TRACE_STATS_H_
+#define SRC_TRACE_TRACE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace lockdoc {
+
+struct TraceStats {
+  uint64_t total_events = 0;
+  uint64_t lock_ops = 0;          // Acquire + release.
+  uint64_t lock_acquires = 0;
+  uint64_t lock_releases = 0;
+  uint64_t memory_accesses = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+  uint64_t deallocations = 0;
+  uint64_t static_lock_defs = 0;
+  // Distinct lock addresses seen in lock operations, split by where the lock
+  // lives: inside a live tracked allocation vs. statically allocated.
+  uint64_t distinct_locks = 0;
+  uint64_t distinct_static_locks = 0;
+  uint64_t distinct_embedded_locks = 0;
+
+  std::string ToString() const;
+};
+
+TraceStats ComputeTraceStats(const Trace& trace);
+
+}  // namespace lockdoc
+
+#endif  // SRC_TRACE_TRACE_STATS_H_

@@ -1,0 +1,127 @@
+#include "src/util/csv.h"
+
+#include <ostream>
+
+namespace lockdoc {
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+}  // namespace
+
+std::string CsvEscape(std::string_view field) {
+  if (!NeedsQuoting(field)) {
+    return std::string(field);
+  }
+  std::string result;
+  result.reserve(field.size() + 2);
+  result.push_back('"');
+  for (char c : field) {
+    if (c == '"') {
+      result.push_back('"');
+    }
+    result.push_back(c);
+  }
+  result.push_back('"');
+  return result;
+}
+
+std::string CsvEncodeRow(const std::vector<std::string>& fields) {
+  std::string row;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) {
+      row.push_back(',');
+    }
+    row.append(CsvEscape(fields[i]));
+  }
+  return row;
+}
+
+Result<std::vector<std::string>> CsvParseLine(std::string_view line) {
+  auto parsed = ParseCsv(line);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  if (parsed.value().empty()) {
+    return std::vector<std::string>{};
+  }
+  if (parsed.value().size() != 1) {
+    return Status::Error("CsvParseLine: input contains more than one row");
+  }
+  return std::move(parsed).value()[0];
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view document) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> current_row;
+  std::string current_field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    current_row.push_back(std::move(current_field));
+    current_field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(current_row));
+    current_row.clear();
+  };
+
+  for (size_t i = 0; i < document.size(); ++i) {
+    char c = document[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < document.size() && document[i + 1] == '"') {
+          current_field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current_field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!current_field.empty()) {
+          return Status::Error("ParseCsv: quote inside unquoted field");
+        }
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // The next (possibly empty) field exists.
+        break;
+      case '\r':
+        // Swallow; the matching '\n' terminates the row.
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        current_field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::Error("ParseCsv: unterminated quoted field");
+  }
+  if (field_started || !current_field.empty() || !current_row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  out_ << CsvEncodeRow(fields) << '\n';
+  ++rows_written_;
+}
+
+}  // namespace lockdoc

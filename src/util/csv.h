@@ -1,0 +1,45 @@
+// CSV encoding/decoding (RFC-4180 style quoting). The paper's post-processing
+// step exports intermediate tables as CSV before database import; we keep the
+// same interchange format so traces and tables can be inspected with standard
+// tooling.
+#ifndef SRC_UTIL_CSV_H_
+#define SRC_UTIL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+// Quotes a single CSV field if needed (contains comma, quote, or newline).
+std::string CsvEscape(std::string_view field);
+
+// Encodes one row (no trailing newline).
+std::string CsvEncodeRow(const std::vector<std::string>& fields);
+
+// Parses one physical CSV line into fields. Embedded newlines inside quoted
+// fields are not supported by this single-line API; ParseCsv handles them.
+Result<std::vector<std::string>> CsvParseLine(std::string_view line);
+
+// Parses a whole CSV document (handles quoted fields spanning lines).
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view document);
+
+// Streams rows to an ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+  size_t rows_written() const { return rows_written_; }
+
+ private:
+  std::ostream& out_;
+  size_t rows_written_ = 0;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_UTIL_CSV_H_

@@ -1,0 +1,77 @@
+#include "src/util/flags.h"
+
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+
+bool FlagSet::Parse(int argc, const char* const* argv, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      // A bare "--" terminates flag parsing; the rest is positional.
+      for (int j = i + 1; j < argc; ++j) {
+        positional_.emplace_back(argv[j]);
+      }
+      return true;
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      std::string name = body.substr(0, eq);
+      if (name.empty()) {
+        *error = "malformed flag: " + arg;
+        return false;
+      }
+      values_[name] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" if the next token is not itself a flag; otherwise a
+    // boolean "--name".
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";
+    }
+  }
+  return true;
+}
+
+bool FlagSet::Has(const std::string& name) const { return values_.count(name) != 0; }
+
+std::string FlagSet::GetString(const std::string& name, const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+uint64_t FlagSet::GetUint64(const std::string& name, uint64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  uint64_t value = 0;
+  return ParseUint64(it->second, &value) ? value : default_value;
+}
+
+double FlagSet::GetDouble(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  double value = 0;
+  return ParseDouble(it->second, &value) ? value : default_value;
+}
+
+bool FlagSet::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace lockdoc

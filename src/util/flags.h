@@ -1,0 +1,35 @@
+// A tiny command-line flag parser for the example binaries and benches.
+// Supports --name=value and --name value forms plus boolean --name.
+#ifndef SRC_UTIL_FLAGS_H_
+#define SRC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lockdoc {
+
+class FlagSet {
+ public:
+  // Parses argv; unknown arguments that do not start with "--" are collected
+  // as positional arguments. Returns false (and fills *error) on malformed
+  // input such as "--=x".
+  bool Parse(int argc, const char* const* argv, std::string* error);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name, const std::string& default_value) const;
+  uint64_t GetUint64(const std::string& name, uint64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_UTIL_FLAGS_H_

@@ -1,0 +1,52 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lockdoc {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kWarning};
+
+}  // namespace
+
+void SetLogThreshold(LogLevel level) { g_threshold.store(level, std::memory_order_relaxed); }
+
+LogLevel GetLogThreshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void EmitLogLine(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogThreshold())) {
+    return;
+  }
+  std::fprintf(stderr, "[lockdoc %s] %s\n", LogLevelName(level), message.c_str());
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  // Strip the directory part; the basename is enough to locate the source.
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      basename = p + 1;
+    }
+  }
+  stream_ << basename << ":" << line << ": ";
+}
+
+LogMessage::~LogMessage() { EmitLogLine(level_, stream_.str()); }
+
+}  // namespace lockdoc

@@ -1,0 +1,68 @@
+// Minimal leveled logging for the LockDoc tooling.
+//
+// Usage:
+//   LOCKDOC_LOG(kInfo) << "imported " << n << " events";
+//
+// The default threshold is kWarning so library consumers stay quiet; tools
+// and benches raise it via SetLogThreshold().
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lockdoc {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Sets the minimum level that is actually emitted to stderr.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+// Returns a short human-readable tag ("DEBUG", "INFO", ...).
+const char* LogLevelName(LogLevel level);
+
+// Internal: emits one formatted line to stderr if `level` passes the
+// threshold. Exposed for testing.
+void EmitLogLine(LogLevel level, const std::string& message);
+
+// RAII stream that collects a message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace lockdoc
+
+#define LOCKDOC_LOG(severity)                                                       \
+  ::lockdoc::LogMessage(::lockdoc::LogLevel::severity, __FILE__, __LINE__).stream()
+
+// Always-on assertion macro used across the project: aborts with a message.
+// Unlike assert(), it is active in all build types; invariant violations in
+// trace analysis must never be silently ignored.
+#define LOCKDOC_CHECK(condition)                                                 \
+  do {                                                                           \
+    if (!(condition)) {                                                          \
+      ::lockdoc::EmitLogLine(::lockdoc::LogLevel::kError,                        \
+                             std::string("CHECK failed: " #condition " at ") +   \
+                                 __FILE__ + ":" + std::to_string(__LINE__));     \
+      ::std::abort();                                                            \
+    }                                                                            \
+  } while (0)
+
+#endif  // SRC_UTIL_LOGGING_H_

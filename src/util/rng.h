@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation. All simulation components
+// take an explicit seed so a run is exactly reproducible; this is essential
+// because the evaluation compares mined rules against ground truth.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+
+// SplitMix64: used to expand a user seed into stream seeds.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna — fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x10cd0cULL) {
+    uint64_t sm = seed;
+    for (uint64_t& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    LOCKDOC_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      uint64_t value = Next();
+      if (value >= threshold) {
+        return value % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    LOCKDOC_CHECK(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Returns true with probability `p`.
+  bool Chance(double p) {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    return NextDouble() < p;
+  }
+
+  // Derives an independent child generator; useful to give each simulated
+  // task its own stream while keeping global determinism.
+  Rng Fork() { return Rng(Next() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,103 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+
+void RunningStats::Add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+}
+
+double RunningStats::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double RunningStats::min() const {
+  LOCKDOC_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double RunningStats::max() const {
+  LOCKDOC_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double RunningStats::stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) {
+    acc += (s - m) * (s - m);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double RunningStats::Percentile(double p) const {
+  LOCKDOC_CHECK(!samples_.empty());
+  LOCKDOC_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples_.begin(), samples_.end());
+  if (p <= 0.0) {
+    return samples_.front();
+  }
+  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  rank = std::min(std::max<size_t>(rank, 1), samples_.size());
+  return samples_[rank - 1];
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  LOCKDOC_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      line += (i == 0) ? "| " : " | ";
+      line += cells[i];
+      line.append(widths[i] - cells[i].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+  auto render_separator = [&]() {
+    std::string line;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      line += (i == 0) ? "+-" : "-+-";
+      line.append(widths[i], '-');
+    }
+    line += "-+\n";
+    return line;
+  };
+
+  std::string out = render_separator();
+  out += render_line(header_);
+  out += render_separator();
+  for (const auto& row : rows_) {
+    out += row.empty() ? render_separator() : render_line(row);
+  }
+  out += render_separator();
+  return out;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,48 @@
+// Small statistics helpers plus a fixed-width text-table printer used by the
+// bench binaries to render the paper's tables.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lockdoc {
+
+// Accumulates a stream of samples; O(1) memory for mean/min/max and a sorted
+// copy on demand for percentiles.
+class RunningStats {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  // p in [0, 100]; nearest-rank percentile.
+  double Percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  double sum_ = 0;
+};
+
+// Renders rows as an aligned text table. Columns are sized to content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Inserts a horizontal separator before the next added row.
+  void AddSeparator();
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // Empty vector == separator.
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_UTIL_STATS_H_

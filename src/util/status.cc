@@ -1,0 +1,4 @@
+#include "src/util/status.h"
+
+// Status is header-only today; this translation unit anchors the library so
+// every module can link against lockdoc_util uniformly.

@@ -1,0 +1,71 @@
+// Lightweight error propagation used at library boundaries that parse
+// external input (rule-spec files, CSV, binary traces). Internal invariant
+// violations use LOCKDOC_CHECK instead.
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+
+class Status {
+ public:
+  // Default-constructed status is OK.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return !message_.has_value(); }
+  // Requires !ok().
+  const std::string& message() const {
+    LOCKDOC_CHECK(message_.has_value());
+    return *message_;
+  }
+  std::string ToString() const { return ok() ? "OK" : *message_; }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+
+  std::optional<std::string> message_;
+};
+
+// A value-or-error holder. Mirrors the subset of absl::StatusOr we need.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` or
+  // `return Status::Error(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    LOCKDOC_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LOCKDOC_CHECK(value_.has_value());
+    return *value_;
+  }
+  T& value() & {
+    LOCKDOC_CHECK(value_.has_value());
+    return *value_;
+  }
+  T&& value() && {
+    LOCKDOC_CHECK(value_.has_value());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_UTIL_STATUS_H_

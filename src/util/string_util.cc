@@ -1,0 +1,134 @@
+#include "src/util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lockdoc {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> result;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      result.emplace_back(input.substr(start));
+      break;
+    }
+    result.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return result;
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view input, char delimiter) {
+  std::vector<std::string> result;
+  for (const std::string& field : Split(input, delimiter)) {
+    std::string_view trimmed = Trim(field);
+    if (!trimmed.empty()) {
+      result.emplace_back(trimmed);
+    }
+  }
+  return result;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      result.append(separator);
+    }
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+std::string_view Trim(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1])) != 0) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string result;
+  if (needed > 0) {
+    result.resize(static_cast<size_t>(needed));
+    std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return false;  // Overflow.
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  std::string buffer(text);
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::string FormatPercent(double fraction) {
+  return StrFormat("%.2f%%", fraction * 100.0);
+}
+
+std::string FormatWithCommas(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string result;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      result.push_back(',');
+    }
+    result.push_back(*it);
+    ++count;
+  }
+  return std::string(result.rbegin(), result.rend());
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,47 @@
+// Small string helpers shared across the project.
+#ifndef SRC_UTIL_STRING_UTIL_H_
+#define SRC_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lockdoc {
+
+// Splits `input` at every occurrence of `delimiter`. Consecutive delimiters
+// produce empty fields; an empty input yields a single empty field.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+// Splits and drops empty fields after trimming whitespace from each field.
+std::vector<std::string> SplitAndTrim(std::string_view input, char delimiter);
+
+// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts, std::string_view separator);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+// Parses a non-negative decimal integer; returns false on any non-digit or
+// overflow.
+bool ParseUint64(std::string_view text, uint64_t* out);
+
+// Parses a double via strtod; returns false if the full string is not
+// consumed.
+bool ParseDouble(std::string_view text, double* out);
+
+// Formats `value` as a percentage with two decimals, e.g. "94.12%".
+std::string FormatPercent(double fraction);
+
+// Formats an integer with thousands separators, e.g. 27400000 -> "27,400,000".
+std::string FormatWithCommas(uint64_t value);
+
+}  // namespace lockdoc
+
+#endif  // SRC_UTIL_STRING_UTIL_H_

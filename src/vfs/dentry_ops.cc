@@ -1,0 +1,228 @@
+// Dentry-cache operations of the simulated kernel (fs/dcache.c, fs/namei.c,
+// fs/libfs.c).
+//
+// Ground-truth discipline: a dentry's own fields (d_flags, d_inode, d_count,
+// d_name, d_hash, d_seq) change under its ES(d_lock); child-list membership
+// (d_child) changes under the *parent's* d_lock (EO); d_subdirs of the
+// parent changes/reads under the parent's own d_lock (ES). The LRU list is
+// inconsistently locked on purpose (half of the paths skip d_lock), which is
+// what makes the documented d_lru rule ambivalent. The libfs cursor walk is
+// the Tab. 8 violation: d_subdirs read under EO(i_rwsem) -> rcu.
+#include "src/vfs/vfs_kernel.h"
+
+namespace lockdoc {
+
+ObjectRef VfsKernel::AllocDentry(const ObjectRef& inode, Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/dcache.c", "d_alloc", 1540, 1580);
+  ObjectRef dentry = kernel_->Create(ids_.dentry, kNoSubclass, 1545);
+  kernel_->Write(dentry, dm_.d_name, 1550);
+  kernel_->Write(dentry, dm_.d_iname, 1551);
+  kernel_->Write(dentry, dm_.d_flags, 1552);
+  kernel_->Write(dentry, dm_.d_seq, 1553);
+  kernel_->Write(dentry, dm_.d_count, 1554);
+  kernel_->Write(dentry, dm_.d_parent, 1555);
+  kernel_->Write(dentry, dm_.d_sb, 1556);
+  kernel_->Write(dentry, dm_.d_op, 1557);
+  kernel_->Write(dentry, dm_.d_time, 1558);
+  (void)inode;
+  (void)rng;
+  return dentry;
+}
+
+void VfsKernel::DestroyDentry(const ObjectRef& dentry) {
+  FunctionScope fn(*kernel_, "fs/dcache.c", "__d_free", 260, 275);
+  kernel_->Destroy(dentry, 265);
+}
+
+void VfsKernel::DentryInstantiate(const ObjectRef& dentry, const ObjectRef& parent,
+                                  const ObjectRef& inode, Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/dcache.c", "__d_instantiate", 1740, 1790);
+  // Parent first, then child — the kernel's ancestor-before-descendant
+  // d_lock order.
+  kernel_->Lock(parent, dm_.d_lock, 1745);
+  kernel_->Lock(dentry, dm_.d_lock, 1746);
+
+  kernel_->Write(dentry, dm_.d_inode, 1750);
+  kernel_->Write(dentry, dm_.d_flags, 1751);
+  kernel_->Write(dentry, dm_.d_seq, 1752);
+  kernel_->Write(dentry, dm_.d_alias, 1753);
+  kernel_->Write(dentry, dm_.d_parent, 1754);
+  kernel_->Write(dentry, dm_.d_child, 1756);    // Under parent (EO) + own (ES) d_lock.
+  kernel_->Write(parent, dm_.d_subdirs, 1757);  // Parent's own member (ES).
+
+  kernel_->Unlock(dentry, dm_.d_lock, 1760);
+  kernel_->Unlock(parent, dm_.d_lock, 1761);
+
+  // Hash insertion.
+  kernel_->LockGlobal(dcache_hash_lock_, 1770);
+  kernel_->Lock(dentry, dm_.d_lock, 1771);
+  kernel_->Write(dentry, dm_.d_hash, 1773);
+  kernel_->Write(dentry, dm_.d_in_lookup_hash, 1774);
+  kernel_->Unlock(dentry, dm_.d_lock, 1776);
+  kernel_->UnlockGlobal(dcache_hash_lock_, 1777);
+  (void)inode;
+  (void)rng;
+}
+
+void VfsKernel::DentryKill(const ObjectRef& dentry, const ObjectRef& parent, Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/dcache.c", "__dentry_kill", 580, 640);
+  kernel_->Lock(parent, dm_.d_lock, 585);
+  kernel_->Lock(dentry, dm_.d_lock, 586);
+
+  if (rng.Chance(0.3)) {
+    kernel_->Read(dentry, dm_.d_parent, 589);
+  }
+  kernel_->Read(dentry, dm_.d_count, 590);
+  kernel_->Write(dentry, dm_.d_count, 591);
+  kernel_->Write(dentry, dm_.d_flags, 592);
+  kernel_->Write(dentry, dm_.d_inode, 593);
+  kernel_->Write(dentry, dm_.d_in_lookup_hash, 594);
+  kernel_->Write(dentry, dm_.d_child, 595);
+  kernel_->Write(parent, dm_.d_subdirs, 596);
+
+  kernel_->Unlock(dentry, dm_.d_lock, 600);
+  kernel_->Unlock(parent, dm_.d_lock, 601);
+  (void)rng;
+
+  // Unhash.
+  kernel_->LockGlobal(dcache_hash_lock_, 610);
+  kernel_->Lock(dentry, dm_.d_lock, 611);
+  kernel_->Write(dentry, dm_.d_hash, 613);
+  kernel_->Unlock(dentry, dm_.d_lock, 615);
+  kernel_->UnlockGlobal(dcache_hash_lock_, 616);
+
+  // LRU removal — only for entries that were actually on the list.
+  if (rng.Chance(0.35)) {
+    kernel_->LockGlobal(dcache_lru_lock_, 625);
+    kernel_->Write(dentry, dm_.d_lru, 627);
+    kernel_->UnlockGlobal(dcache_lru_lock_, 629);
+  }
+}
+
+void VfsKernel::TouchDentryLru(const ObjectRef& dentry, Rng& rng) {
+  // Two coexisting disciplines, as with the inode LRU: the documentation
+  // says d_lock, only half of the code takes it.
+  bool read_only = rng.Chance(0.3);  // LRU scans only inspect the linkage.
+  if (rng.Chance(0.5)) {
+    FunctionScope fn(*kernel_, "fs/dcache.c", "dentry_lru_add", 400, 420);
+    kernel_->Lock(dentry, dm_.d_lock, 403);
+    kernel_->LockGlobal(dcache_lru_lock_, 405);
+    kernel_->Read(dentry, dm_.d_lru, 407);
+    if (!read_only) {
+      kernel_->Write(dentry, dm_.d_lru, 408);
+    }
+    kernel_->UnlockGlobal(dcache_lru_lock_, 410);
+    kernel_->Unlock(dentry, dm_.d_lock, 412);
+  } else {
+    FunctionScope fn(*kernel_, "fs/dcache.c", "dentry_lru_del", 425, 445);
+    kernel_->LockGlobal(dcache_lru_lock_, 428);
+    kernel_->Read(dentry, dm_.d_lru, 430);
+    if (!read_only) {
+      kernel_->Write(dentry, dm_.d_lru, 431);
+    }
+    kernel_->UnlockGlobal(dcache_lru_lock_, 434);
+  }
+}
+
+void VfsKernel::LookupFile(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  const ObjectRef& dentry = state.files[index].dentry;
+  const FileState& parent_entry = ParentOf(state, state.files[index]);
+  const ObjectRef& parent = parent_entry.dentry;
+  const ObjectRef& dir = parent_entry.inode;
+
+  {
+    // RCU-walk fast path.
+    FunctionScope fn(*kernel_, "fs/namei.c", "lookup_fast", 1550, 1600);
+    kernel_->RcuReadLock(1555);
+    kernel_->Read(dentry, dm_.d_seq, 1560);
+    kernel_->Read(dentry, dm_.d_hash, 1561);
+    kernel_->Read(dentry, dm_.d_name, 1562);
+    kernel_->Read(dentry, dm_.d_flags, 1563);
+    kernel_->Read(dentry, dm_.d_inode, 1564);
+    kernel_->Read(dentry, dm_.d_parent, 1565);
+    kernel_->Read(dentry, dm_.d_iname, 1566);
+    kernel_->RcuReadUnlock(1570);
+  }
+
+  if (rng.Chance(0.5)) {
+    // Ref-walk slow path: takes d_lock and bumps the refcount.
+    FunctionScope fn(*kernel_, "fs/dcache.c", "dget_dlock", 700, 720);
+    kernel_->Lock(dentry, dm_.d_lock, 703);
+    kernel_->Read(dentry, dm_.d_count, 705);
+    if (rng.Chance(0.75)) {
+      kernel_->Write(dentry, dm_.d_count, 706);
+    }
+    kernel_->Read(dentry, dm_.d_flags, 707);
+    kernel_->Read(dentry, dm_.d_iname, 708);
+    kernel_->Read(dentry, dm_.d_seq, 709);
+    kernel_->Read(dentry, dm_.d_hash, 710);
+    kernel_->Unlock(dentry, dm_.d_lock, 712);
+  }
+
+  if (rng.Chance(0.4)) {
+    // Directory scan under the parent's d_lock (the dominant, rule-forming
+    // discipline for d_subdirs).
+    FunctionScope fn(*kernel_, "fs/libfs.c", "dcache_readdir", 80, 120);
+    kernel_->Lock(parent, dm_.d_lock, 88);
+    kernel_->Read(parent, dm_.d_subdirs, 92);
+    kernel_->Read(dentry, dm_.d_child, 93);
+    kernel_->Read(dentry, dm_.d_name, 94);
+    kernel_->Unlock(parent, dm_.d_lock, 98);
+  } else if (plan_.libfs_d_subdirs_rcu_walk && rng.Chance(0.04)) {
+    // The Tab. 8 violation: cursor walk reads d_subdirs under the
+    // directory's i_rwsem plus RCU, never taking d_lock (fs/libfs.c:104).
+    FunctionScope fn(*kernel_, "fs/libfs.c", "scan_positives", 100, 118);
+    kernel_->Lock(dir, im_.i_rwsem, 102, AcquireMode::kShared);
+    kernel_->RcuReadLock(103);
+    kernel_->Read(parent, dm_.d_subdirs, 104);
+    kernel_->Read(dentry, dm_.d_child, 105);
+    kernel_->RcuReadUnlock(110);
+    kernel_->Unlock(dir, im_.i_rwsem, 112);
+  }
+
+  if (rng.Chance(0.6)) {
+    TouchDentryLru(dentry, rng);
+  }
+}
+
+void VfsKernel::RenameFile(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  const ObjectRef& dentry = state.files[index].dentry;
+  const FileState& parent_entry = ParentOf(state, state.files[index]);
+  const ObjectRef& parent = parent_entry.dentry;
+  const ObjectRef& dir = parent_entry.inode;
+
+  FunctionScope fn(*kernel_, "fs/namei.c", "vfs_rename", 4400, 4470);
+  kernel_->Lock(dir, im_.i_rwsem, 4405);
+  kernel_->LockGlobal(rename_lock_, 4410);
+  // d_move rehashes the entry, so the hash bucket lock joins the dance
+  // before the per-dentry locks (the same order __d_instantiate uses).
+  kernel_->LockGlobal(dcache_hash_lock_, 4412);
+  kernel_->Lock(parent, dm_.d_lock, 4415);
+  kernel_->Lock(dentry, dm_.d_lock, 4416);
+
+  kernel_->Read(dentry, dm_.d_hash, 4419);
+  kernel_->Write(dentry, dm_.d_seq, 4420);
+  kernel_->Write(dentry, dm_.d_name, 4421);
+  kernel_->Write(dentry, dm_.d_iname, 4422);
+  kernel_->Write(dentry, dm_.d_parent, 4423);
+  kernel_->Write(dentry, dm_.d_hash, 4424);
+  kernel_->Write(parent, dm_.d_subdirs, 4426);
+  kernel_->Write(dentry, dm_.d_child, 4427);
+
+  kernel_->Unlock(dentry, dm_.d_lock, 4435);
+  kernel_->Unlock(parent, dm_.d_lock, 4436);
+  kernel_->UnlockGlobal(dcache_hash_lock_, 4438);
+  kernel_->UnlockGlobal(rename_lock_, 4440);
+
+  kernel_->Write(dir, im_.i_mtime, 4445);
+  kernel_->Write(dir, im_.i_ctime, 4446);
+  kernel_->Write(dir, im_.i_version, 4447);
+  kernel_->Unlock(dir, im_.i_rwsem, 4460);
+  (void)rng;
+}
+
+}  // namespace lockdoc

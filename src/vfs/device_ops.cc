@@ -1,0 +1,254 @@
+// Block/char device and writeback operations of the simulated kernel
+// (fs/block_dev.c, fs/char_dev.c, fs/fs-writeback.c, mm/backing-dev.c,
+// mm/page-writeback.c), plus the interrupt handlers.
+//
+// Ground truth: block_device counters change under ES(bd_mutex) and the
+// global bdev_lock guards claiming; cdev is fully consistent under the
+// global chrdevs_lock (the paper's only completely violation-free device
+// type); bdi writeback lists and bandwidth statistics belong to
+// ES(wb.list_lock), with a sloppy task-side path and a timer softirq
+// contributing deviations.
+#include "src/vfs/vfs_kernel.h"
+
+namespace lockdoc {
+
+void VfsKernel::BdevOpen(Rng& rng) {
+  if (bdevs_.size() < 3) {
+    FunctionScope alloc(*kernel_, "fs/block_dev.c", "bdget", 650, 690);
+    ObjectRef bdev = kernel_->Create(ids_.block_device, kNoSubclass, 655);
+    kernel_->Write(bdev, vm_.bd_dev, 660);
+    kernel_->Write(bdev, vm_.bd_inode, 661);
+    kernel_->Write(bdev, vm_.bd_block_size, 662);
+    kernel_->Write(bdev, vm_.bd_list, 663);
+    kernel_->Write(bdev, vm_.bd_disk, 664);
+    kernel_->Write(bdev, vm_.bd_queue, 665);
+    bdevs_.push_back(bdev);
+  }
+  const ObjectRef& bdev = bdevs_[rng.Below(bdevs_.size())];
+
+  FunctionScope fn(*kernel_, "fs/block_dev.c", "__blkdev_get", 1350, 1420);
+  // Claiming is guarded by the global bdev_lock.
+  kernel_->LockGlobal(bdev_lock_, 1355);
+  kernel_->Read(bdev, vm_.bd_claiming, 1357);
+  kernel_->Write(bdev, vm_.bd_claiming, 1358);
+  kernel_->Write(bdev, vm_.bd_holder, 1359);
+  kernel_->UnlockGlobal(bdev_lock_, 1361);
+
+  kernel_->Lock(bdev, vm_.bd_mutex, 1370);
+  kernel_->Read(bdev, vm_.bd_openers, 1372);
+  kernel_->Write(bdev, vm_.bd_openers, 1373);
+  kernel_->Read(bdev, vm_.bd_holders, 1374);
+  kernel_->Write(bdev, vm_.bd_holders, 1375);
+  kernel_->Read(bdev, vm_.bd_part_count, 1376);
+  kernel_->Write(bdev, vm_.bd_part_count, 1377);
+  kernel_->Read(bdev, vm_.bd_invalidated, 1378);
+  kernel_->Read(bdev, vm_.bd_disk, 1380);
+  kernel_->Read(bdev, vm_.bd_part, 1381);
+  kernel_->Write(bdev, vm_.bd_contains, 1382);
+  kernel_->Unlock(bdev, vm_.bd_mutex, 1400);
+
+  // A bdev-backed inode accompanies the device.
+  MountState& state = mount(ids_.fs_bdev);
+  if (state.files.size() < 3) {
+    FunctionScope ifn(*kernel_, "fs/block_dev.c", "bdget_inode", 700, 730);
+    FileState file;
+    file.inode = AllocInode(ids_.fs_bdev, rng);
+    file.dentry = AllocDentry(file.inode, rng);
+    file.alive = true;
+    kernel_->Lock(file.inode, im_.i_lock, 710);
+    kernel_->Write(file.inode, im_.i_bdev, 712);
+    kernel_->Write(file.inode, im_.i_state, 713);
+    kernel_->Unlock(file.inode, im_.i_lock, 715);
+    state.files.push_back(file);
+  } else {
+    const FileState& file = state.files[rng.Below(state.files.size())];
+    FunctionScope ifn(*kernel_, "fs/block_dev.c", "bd_acquire", 740, 770);
+    kernel_->Read(file.inode, im_.i_bdev, 745);
+    kernel_->Read(file.inode, im_.i_rdev, 746);
+    kernel_->Read(file.inode, im_.i_mode, 747);
+    // bdev inode size tracks the device size under bd_mutex (EO); a rare
+    // revalidation path updates it bare (inode:bdev's few Tab. 7 events).
+    if (plan_.bdev_lockless_reads && rng.Chance(0.05)) {
+      kernel_->Write(file.inode, im_.i_size, 760);
+      kernel_->Write(file.inode, im_.i_size_seqcount, 761);
+    } else {
+      kernel_->Lock(bdev, vm_.bd_mutex, 750);
+      kernel_->Write(file.inode, im_.i_size, 752);
+      kernel_->Write(file.inode, im_.i_size_seqcount, 753);
+      kernel_->Unlock(bdev, vm_.bd_mutex, 755);
+    }
+  }
+}
+
+void VfsKernel::BdevRelease(Rng& rng) {
+  if (bdevs_.empty()) {
+    return;
+  }
+  const ObjectRef& bdev = bdevs_[rng.Below(bdevs_.size())];
+  FunctionScope fn(*kernel_, "fs/block_dev.c", "__blkdev_put", 1500, 1550);
+  kernel_->Lock(bdev, vm_.bd_mutex, 1505);
+  kernel_->Read(bdev, vm_.bd_openers, 1510);
+  kernel_->Write(bdev, vm_.bd_openers, 1511);
+  kernel_->Write(bdev, vm_.bd_part_count, 1512);
+  kernel_->Write(bdev, vm_.bd_write_holder, 1513);
+  kernel_->Unlock(bdev, vm_.bd_mutex, 1520);
+  if (plan_.bdev_lockless_reads && !bdev_lockless_read_done_) {
+    // The single lockless peek (block_device's one violating event in
+    // Tab. 7).
+    bdev_lockless_read_done_ = true;
+    kernel_->Read(bdev, vm_.bd_invalidated, 1530);
+  }
+}
+
+void VfsKernel::CdevAddAndOpen(Rng& rng) {
+  if (cdevs_.size() < 4) {
+    FunctionScope alloc(*kernel_, "fs/char_dev.c", "cdev_alloc", 440, 460);
+    ObjectRef cdev = kernel_->Create(ids_.cdev, kNoSubclass, 445);
+    kernel_->Write(cdev, cm_.kobj, 450);
+    kernel_->Write(cdev, cm_.owner, 451);
+    kernel_->Write(cdev, cm_.ops, 452);
+    cdevs_.push_back(cdev);
+  }
+  const ObjectRef& cdev = cdevs_[rng.Below(cdevs_.size())];
+
+  FunctionScope fn(*kernel_, "fs/char_dev.c", "cdev_add", 480, 520);
+  kernel_->LockGlobal(chrdevs_lock_, 485);
+  kernel_->Write(cdev, cm_.list, 490);
+  kernel_->Write(cdev, cm_.dev, 491);
+  kernel_->Read(cdev, cm_.count, 492);
+  kernel_->Write(cdev, cm_.count, 493);
+  kernel_->Read(cdev, cm_.ops, 494);
+  kernel_->Read(cdev, cm_.owner, 495);
+  kernel_->Read(cdev, cm_.kobj, 496);
+  kernel_->Write(cdev, cm_.kobj, 497);
+  kernel_->UnlockGlobal(chrdevs_lock_, 510);
+}
+
+void VfsKernel::WritebackSingleInode(const ObjectRef& inode, Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/fs-writeback.c", "__writeback_single_inode", 1450, 1520);
+  kernel_->Lock(inode, im_.i_lock, 1455);
+  kernel_->Read(inode, im_.i_state, 1457);
+  kernel_->Write(inode, im_.i_state, 1458);
+  kernel_->Unlock(inode, im_.i_lock, 1460);
+
+  // i_data.writeback_index advances while the superblock's s_umount is
+  // held by the caller (Fig. 8: EO(s_umount in super_block)).
+  kernel_->Write(inode, im_.d_writeback_index, 1470);
+  kernel_->Read(inode, im_.d_nrpages, 1471);
+
+  // Requeue on the writeback lists.
+  kernel_->Lock(bdi_, wm_.wb_list_lock, 1480);
+  kernel_->Write(inode, im_.i_io_list, 1482);
+  kernel_->Write(inode, im_.i_wb_list, 1483);
+  kernel_->Read(inode, im_.dirtied_when, 1484);
+  kernel_->Write(bdi_, wm_.wb_b_io, 1486);
+  kernel_->Write(bdi_, wm_.wb_stat_written, 1487);
+  kernel_->Write(bdi_, wm_.wb_written_stamp, 1488);
+  kernel_->Write(bdi_, wm_.wb_completions, 1489);
+  if (rng.Chance(0.4)) {
+    kernel_->Read(bdi_, wm_.wb_b_more_io, 1491);
+    kernel_->Write(bdi_, wm_.wb_b_more_io, 1492);
+    kernel_->Write(bdi_, wm_.wb_b_dirty_time, 1493);
+    kernel_->Read(bdi_, wm_.wb_dirty_exceeded, 1494);
+    kernel_->Write(bdi_, wm_.wb_dirty_exceeded, 1495);
+  }
+  kernel_->Unlock(bdi_, wm_.wb_list_lock, 1490);
+
+  // Bandwidth statistics: the dominant path holds wb.list_lock; a sloppy
+  // minority does not (spread over many synthetic call sites).
+  if (rng.Chance(plan_.bdi_stats_sloppiness)) {
+    FunctionScope stats(*kernel_, "mm/page-writeback.c", "__wb_update_bandwidth", 1380, 1440);
+    uint32_t line = 1385 + static_cast<uint32_t>(rng.Below(50));
+    kernel_->Write(bdi_, wm_.wb_write_bandwidth, line);
+    kernel_->Write(bdi_, wm_.wb_avg_write_bandwidth, line + 1);
+    if (rng.Chance(0.5)) {
+      kernel_->Write(bdi_, wm_.wb_dirty_ratelimit, line + 2);
+      kernel_->Write(bdi_, wm_.wb_bw_time_stamp, line + 3);
+    }
+  } else {
+    FunctionScope stats(*kernel_, "mm/page-writeback.c", "wb_update_bandwidth", 1340, 1370);
+    kernel_->Lock(bdi_, wm_.wb_list_lock, 1345);
+    kernel_->Write(bdi_, wm_.wb_write_bandwidth, 1350);
+    kernel_->Write(bdi_, wm_.wb_avg_write_bandwidth, 1351);
+    kernel_->Write(bdi_, wm_.wb_dirty_ratelimit, 1352);
+    kernel_->Write(bdi_, wm_.wb_balanced_dirty_ratelimit, 1353);
+    kernel_->Write(bdi_, wm_.wb_bw_time_stamp, 1354);
+    kernel_->Unlock(bdi_, wm_.wb_list_lock, 1360);
+  }
+}
+
+void VfsKernel::WritebackRun(Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/fs-writeback.c", "wb_writeback", 1800, 1880);
+  MountState& state = mount(ids_.fs_ext4);
+
+  kernel_->Lock(state.sb, sm_.s_umount, 1805, AcquireMode::kShared);
+  kernel_->Lock(bdi_, wm_.wb_list_lock, 1810);
+  kernel_->Read(bdi_, wm_.wb_b_dirty, 1812);
+  kernel_->Write(bdi_, wm_.wb_b_io, 1813);
+  kernel_->Read(bdi_, wm_.wb_b_more_io, 1814);
+  kernel_->Write(bdi_, wm_.wb_state, 1815);
+  kernel_->Unlock(bdi_, wm_.wb_list_lock, 1820);
+
+  size_t written = 0;
+  for (FileState& file : state.files) {
+    if (written >= 3) {
+      break;
+    }
+    if (!file.alive) {
+      continue;
+    }
+    WritebackSingleInode(file.inode, rng);
+    ++written;
+  }
+  kernel_->Unlock(state.sb, sm_.s_umount, 1870);
+}
+
+void VfsKernel::TimerSoftirq(SimKernel& sim) {
+  if (!mounted_) {
+    return;
+  }
+  FunctionScope fn(sim, "fs/fs-writeback.c", "wb_wakeup_timer_fn", 950, 990);
+  // The timer runs in softirq context; it must not spin on a lock the
+  // interrupted flow may hold, so it uses trylock and backs off.
+  if (sim.TryLock(bdi_, wm_.wb_list_lock, 955)) {
+    sim.Write(bdi_, wm_.wb_last_old_flush, 960);
+    sim.Read(bdi_, wm_.wb_b_dirty, 961);
+    sim.Write(bdi_, wm_.wb_state, 962);
+    sim.Write(bdi_, wm_.wb_work_list, 963);
+    sim.Unlock(bdi_, wm_.wb_list_lock, 970);
+  }
+  // Commit-interval bookkeeping on the journal.
+  if (journal_.valid() && sim.TryLock(journal_, jm_.j_state_lock, 975)) {
+    sim.Read(journal_, jm_.j_commit_interval, 977);
+    sim.Write(journal_, jm_.j_commit_request, 978);
+    sim.Unlock(journal_, jm_.j_state_lock, 980);
+  }
+  // The commit-timer callback arms the running transaction's expiry with no
+  // lock at all — the dominant discipline for t_expires, contradicting its
+  // documented j_state_lock rule.
+  if (running_txn_.valid()) {
+    sim.Write(running_txn_, tm_.t_expires, 985);
+  }
+}
+
+void VfsKernel::BlockIoHardirq(SimKernel& sim) {
+  if (!mounted_ || buffers_.empty()) {
+    return;
+  }
+  FunctionScope fn(sim, "fs/buffer.c", "end_buffer_async_write", 380, 420);
+  BufferState& buffer = buffers_[fault_rng_.Below(buffers_.size())];
+  // IRQ completion touches the buffer without taking sleeping locks —
+  // realistic, and a steady source of buffer_head rule violations from
+  // hardirq context. Varied lines model the many distinct completion sites.
+  sim.Read(buffer.bh, bm_.b_page, 385);
+  if (plan_.irq_buffer_completion_writes) {
+    if (fault_rng_.Chance(0.2)) {
+      sim.Write(buffer.bh, bm_.b_end_io, 390 + static_cast<uint32_t>(fault_rng_.Below(20)));
+    }
+    if (fault_rng_.Chance(0.08)) {
+      sim.Write(buffer.bh, bm_.b_count, 412 + static_cast<uint32_t>(fault_rng_.Below(8)));
+    }
+  }
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,142 @@
+// The "officially documented" locking rules shipped with the simulated
+// kernel — the machine-readable counterpart of the scattered source-code
+// comments the paper validates in Sec. 7.3 (Tab. 4/5): 142 rules covering
+// 71 members of five data types. Like the real kernel's documentation, the
+// set is deliberately imperfect: some rules are consistently followed by
+// the code, some only partially (including the famous i_lru / i_state /
+// i_hash cases), some never, and some cover members the benchmark mix does
+// not reach at all.
+#include "src/vfs/vfs_kernel.h"
+
+namespace lockdoc {
+
+std::string VfsKernel::DocumentedRulesText() {
+  return R"(# Documented locking rules of the simulated kernel.
+# Extracted from the (simulated) source-code comments; format:
+#   <type>[:<subclass>].<member> <r|w|rw>: <lock sequence | no lock>
+
+# --- struct inode (fs/inode.c header comment) — 14 rules ---
+inode.i_state w: ES(i_lock in inode)
+inode.i_bytes w: ES(i_lock in inode)
+inode.i_hash w: inode_hash_lock -> ES(i_lock in inode)
+inode.i_blocks w: ES(i_lock in inode)
+inode.i_lru rw: ES(i_lock in inode)
+inode.i_state r: ES(i_lock in inode)
+inode.i_size rw: ES(i_lock in inode)
+inode.i_hash r: inode_hash_lock -> ES(i_lock in inode)
+inode.i_blocks r: ES(i_lock in inode)
+inode.i_devices rw: ES(i_lock in inode)
+inode.i_dquot w: ES(i_lock in inode)
+
+# --- struct dentry (include/linux/dcache.h) — 22 rules ---
+dentry.d_count rw: ES(d_lock in dentry)
+dentry.d_inode w: ES(d_lock in dentry)
+dentry.d_flags w: ES(d_lock in dentry)
+dentry.d_seq w: ES(d_lock in dentry)
+dentry.d_name w: ES(d_lock in dentry)
+dentry.d_inode r: ES(d_lock in dentry)
+dentry.d_name r: ES(d_lock in dentry)
+dentry.d_flags r: ES(d_lock in dentry)
+dentry.d_hash w: rename_lock -> ES(d_lock in dentry)
+dentry.d_hash r: ES(d_lock in dentry)
+dentry.d_subdirs r: ES(d_lock in dentry)
+dentry.d_subdirs w: rename_lock -> ES(d_lock in dentry)
+dentry.d_lru rw: ES(d_lock in dentry)
+dentry.d_parent w: rename_lock -> ES(d_lock in dentry)
+dentry.d_parent r: ES(d_lock in dentry)
+dentry.d_child w: rename_lock -> EO(d_lock in dentry)
+dentry.d_child r: EO(d_lock in dentry)
+dentry.d_iname r: ES(d_lock in dentry)
+dentry.d_seq r: rcu
+dentry.d_in_lookup_hash w: dcache_hash_lock -> ES(d_lock in dentry)
+
+# --- journal_t (include/linux/jbd2.h, around line 795) — 38 rules ---
+journal_t.j_running_transaction r: ES(j_state_lock in journal_t)
+journal_t.j_running_transaction w: ES(j_state_lock in journal_t) -> ES(j_list_lock in journal_t)
+journal_t.j_barrier_count r: ES(j_state_lock in journal_t)
+journal_t.j_commit_sequence rw: ES(j_state_lock in journal_t)
+journal_t.j_transaction_sequence w: ES(j_state_lock in journal_t)
+journal_t.j_head rw: ES(j_state_lock in journal_t)
+journal_t.j_checkpoint_transactions rw: ES(j_list_lock in journal_t)
+journal_t.j_tail_sequence w: ES(j_state_lock in journal_t)
+journal_t.j_commit_interval r: ES(j_state_lock in journal_t)
+journal_t.j_max_transaction_buffers r: no lock
+journal_t.j_commit_request rw: ES(j_state_lock in journal_t)
+journal_t.j_free w: ES(j_state_lock in journal_t)
+journal_t.j_tail r: ES(j_state_lock in journal_t)
+journal_t.j_tail w: ES(j_state_lock in journal_t)
+journal_t.j_average_commit_time w: ES(j_state_lock in journal_t)
+journal_t.j_last_sync_writer w: ES(j_state_lock in journal_t)
+journal_t.j_history_cur w: ES(j_state_lock in journal_t)
+journal_t.j_stats w: ES(j_state_lock in journal_t)
+journal_t.j_committing_transaction w: ES(j_state_lock in journal_t) -> ES(j_list_lock in journal_t)
+journal_t.j_free r: ES(j_state_lock in journal_t)
+journal_t.j_average_commit_time r: ES(j_state_lock in journal_t)
+journal_t.j_history_cur r: ES(j_state_lock in journal_t)
+journal_t.j_transaction_sequence r: no lock
+journal_t.j_maxlen w: ES(j_state_lock in journal_t)
+journal_t.j_failed_commit w: ES(j_state_lock in journal_t)
+journal_t.j_stats r: ES(j_state_lock in journal_t)
+journal_t.j_flags w: ES(j_state_lock in journal_t)
+journal_t.j_errno rw: ES(j_state_lock in journal_t)
+journal_t.j_superblock w: ES(j_barrier in journal_t)
+journal_t.j_devname r: no lock
+journal_t.j_uuid r: no lock
+journal_t.j_task w: ES(j_state_lock in journal_t)
+journal_t.j_sb_buffer r: ES(j_barrier in journal_t)
+
+# --- transaction_t (include/linux/jbd2.h, around line 543) — 42 rules ---
+transaction_t.t_state rw: EO(j_state_lock in journal_t)
+transaction_t.t_tid r: EO(j_state_lock in journal_t)
+transaction_t.t_requested rw: ES(t_handle_lock in transaction_t)
+transaction_t.t_start rw: ES(t_handle_lock in transaction_t)
+transaction_t.t_nr_buffers rw: EO(j_list_lock in journal_t)
+transaction_t.t_buffers rw: EO(j_list_lock in journal_t)
+transaction_t.t_checkpoint_list r: EO(j_list_lock in journal_t)
+transaction_t.t_checkpoint_io_list w: EO(j_list_lock in journal_t)
+transaction_t.t_log_list rw: EO(j_list_lock in journal_t)
+transaction_t.t_chp_stats w: EO(j_list_lock in journal_t)
+transaction_t.t_forget rw: EO(j_list_lock in journal_t)
+transaction_t.t_shadow_list rw: EO(j_list_lock in journal_t)
+transaction_t.t_reserved_list w: EO(j_list_lock in journal_t)
+transaction_t.t_inode_list w: EO(j_list_lock in journal_t)
+transaction_t.t_synchronous_commit r: EO(j_state_lock in journal_t)
+transaction_t.t_expires w: EO(j_state_lock in journal_t)
+transaction_t.t_cpnext w: EO(j_list_lock in journal_t)
+transaction_t.t_need_data_flush w: EO(j_state_lock in journal_t)
+transaction_t.t_checkpoint_list w: EO(j_list_lock in journal_t)
+transaction_t.t_run_stats w: EO(j_state_lock in journal_t)
+transaction_t.t_private_list w: ES(t_handle_lock in transaction_t)
+transaction_t.t_journal rw: EO(j_state_lock in journal_t)
+transaction_t.t_log_start rw: EO(j_state_lock in journal_t)
+transaction_t.t_updates rw: ES(t_handle_lock in transaction_t)
+transaction_t.t_outstanding_credits rw: ES(t_handle_lock in transaction_t)
+transaction_t.t_handle_count rw: ES(t_handle_lock in transaction_t)
+transaction_t.t_start_time r: EO(j_state_lock in journal_t)
+transaction_t.t_expires r: EO(j_state_lock in journal_t)
+transaction_t.t_tid w: EO(j_state_lock in journal_t)
+
+# --- struct journal_head (include/linux/journal-head.h) — 26 rules ---
+journal_head.b_jlist rw: EO(j_list_lock in journal_t)
+journal_head.b_transaction rw: EO(j_list_lock in journal_t)
+journal_head.b_modified rw: EO(j_list_lock in journal_t)
+journal_head.b_next_transaction rw: EO(j_list_lock in journal_t)
+journal_head.b_tnext rw: EO(j_list_lock in journal_t)
+journal_head.b_tprev w: EO(j_list_lock in journal_t)
+journal_head.b_cp_transaction r: EO(j_list_lock in journal_t)
+journal_head.b_frozen_data w: EO(j_list_lock in journal_t)
+journal_head.b_cp_transaction w: EO(j_checkpoint_mutex in journal_t) -> EO(j_list_lock in journal_t)
+journal_head.b_cpnext w: EO(j_list_lock in journal_t)
+journal_head.b_cpprev w: EO(j_list_lock in journal_t)
+journal_head.b_jcount w: EO(j_list_lock in journal_t)
+journal_head.b_committed_data rw: EO(j_state_lock in journal_t)
+journal_head.b_cow_tid w: EO(j_state_lock in journal_t)
+journal_head.b_jcount r: EO(j_state_lock in journal_t)
+journal_head.b_frozen_data r: EO(j_state_lock in journal_t)
+journal_head.b_triggers w: EO(j_checkpoint_mutex in journal_t) -> EO(j_list_lock in journal_t)
+journal_head.bh rw: EO(j_list_lock in journal_t)
+journal_head.b_cow_tid r: EO(j_state_lock in journal_t)
+)";
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,852 @@
+// Inode lifecycle and file operations of the simulated kernel
+// (fs/inode.c, fs/namei.c, fs/read_write.c, fs/stat.c, fs/ext4/*).
+//
+// Ground-truth locking discipline (modelled on Linux 4.10 and on the
+// generated documentation in the paper's Fig. 8):
+//   * i_state, i_bytes            — ES(i_lock), writes always
+//   * i_blocks                    — ES(i_lock), with a rare ext4 delalloc
+//                                   path writing without it (ambivalence)
+//   * i_hash                      — inode_hash_lock -> ES(i_lock) on insert;
+//                                   __remove_inode_hash also writes the
+//                                   neighbours' i_hash without their i_lock
+//   * i_size, i_ctime, i_uid, i_gid, i_mode, i_flags, i_version,
+//     i_size_seqcount             — ES(i_rwsem)
+//   * i_op, i_fop, i_acl, i_default_acl, i_link, i_private
+//                                 — EO(i_rwsem): set while the *directory's*
+//                                   i_rwsem is held during creation
+//   * i_io_list, dirtied_when     — EO(wb.list_lock in backing_dev_info)
+//   * i_lru                       — inode_lru_lock, only half of the paths
+//                                   additionally take i_lock (the
+//                                   documentation claims i_lock)
+//   * i_atime, i_mtime, i_rdev, i_generation, most i_data.* — no lock
+#include "src/vfs/vfs_kernel.h"
+
+namespace lockdoc {
+
+ObjectRef VfsKernel::AllocInode(SubclassId fs, Rng& rng) {
+  FunctionScope alloc(*kernel_, "fs/inode.c", "alloc_inode", 200, 230);
+  ObjectRef inode;
+  if (fs == ids_.fs_ext4) {
+    FunctionScope fsalloc(*kernel_, "fs/ext4/super.c", "ext4_alloc_inode", 950, 990);
+    inode = kernel_->Create(ids_.inode, fs, 955);
+  } else {
+    inode = kernel_->Create(ids_.inode, fs, 210);
+  }
+  {
+    // Object construction: unlocked on purpose; filtered as init context.
+    FunctionScope init(*kernel_, "fs/inode.c", "inode_init_always", 240, 300);
+    kernel_->Write(inode, im_.i_sb, 245);
+    kernel_->Write(inode, im_.i_blkbits, 246);
+    kernel_->Write(inode, im_.i_flags, 247);
+    kernel_->AtomicWrite(inode, im_.i_count, 248);
+    kernel_->Write(inode, im_.i_op, 249);
+    kernel_->Write(inode, im_.i_fop, 250);
+    kernel_->Write(inode, im_.i_ino, 251);
+    kernel_->Write(inode, im_.i_opflags, 252);
+    kernel_->Write(inode, im_.i_uid, 253);
+    kernel_->Write(inode, im_.i_gid, 254);
+    kernel_->Write(inode, im_.i_size, 255);
+    kernel_->Write(inode, im_.i_blocks, 256);
+    kernel_->Write(inode, im_.i_bytes, 257);
+    kernel_->Write(inode, im_.i_state, 258);
+    kernel_->Write(inode, im_.i_mapping, 259);
+    kernel_->Write(inode, im_.d_host, 260);
+    kernel_->Write(inode, im_.d_gfp_mask, 261);
+    kernel_->Write(inode, im_.d_a_ops, 262);
+    kernel_->Write(inode, im_.d_nrpages, 263);
+    kernel_->Write(inode, im_.d_writeback_index, 264);
+    kernel_->Write(inode, im_.i_generation, 265);
+    kernel_->Write(inode, im_.i_rdev, 266);
+    kernel_->Write(inode, im_.i_security, 267);
+    kernel_->AtomicWrite(inode, im_.i_writecount, 268);
+    kernel_->AtomicWrite(inode, im_.i_dio_count, 269);
+  }
+  (void)rng;
+  return inode;
+}
+
+void VfsKernel::DestroyInode(const ObjectRef& inode) {
+  FunctionScope evict(*kernel_, "fs/inode.c", "evict", 1500, 1560);
+  kernel_->Write(inode, im_.i_state, 1510);
+  FunctionScope destroy(*kernel_, "fs/inode.c", "destroy_inode", 1570, 1590);
+  kernel_->Destroy(inode, 1575);
+}
+
+void VfsKernel::InsertInodeHash(const ObjectRef& inode, Rng& rng) {
+  (void)rng;
+  FunctionScope fn(*kernel_, "fs/inode.c", "__insert_inode_hash", 480, 494);
+  kernel_->LockGlobal(inode_hash_lock_, 483);
+  // Collision probe on the inode being inserted: i_hash reads happen under
+  // the hash lock alone (find_inode-style), never under i_lock — which is
+  // why the documented read rule for i_hash is never followed (Tab. 5).
+  kernel_->Read(inode, im_.i_hash, 481);
+  kernel_->Lock(inode, im_.i_lock, 484);
+  kernel_->Write(inode, im_.i_hash, 486);
+  kernel_->Unlock(inode, im_.i_lock, 492);
+  kernel_->UnlockGlobal(inode_hash_lock_, 493);
+  hash_chain_.push_back(inode);
+}
+
+void VfsKernel::RemoveInodeHash(const ObjectRef& inode, Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/inode.c", "__remove_inode_hash", 496, 515);
+  kernel_->LockGlobal(inode_hash_lock_, 499);
+  kernel_->Lock(inode, im_.i_lock, 500);
+  kernel_->Write(inode, im_.i_hash, 503);
+  // Unlinking from the doubly linked chain rewrites the neighbours' i_hash
+  // while only the removed inode's i_lock is held (paper Sec. 7.4: the
+  // "locking-rule mystery" around inode.i_hash; Tab. 8 row 1).
+  size_t position = hash_chain_.size();
+  for (size_t i = 0; i < hash_chain_.size(); ++i) {
+    if (hash_chain_[i].addr == inode.addr) {
+      position = i;
+      break;
+    }
+  }
+  if (plan_.remove_inode_hash_neighbors && position != hash_chain_.size() && rng.Chance(0.10)) {
+    if (position > 0) {
+      kernel_->Write(hash_chain_[position - 1], im_.i_hash, 507);
+    }
+    if (position + 1 < hash_chain_.size()) {
+      kernel_->Write(hash_chain_[position + 1], im_.i_hash, 507);
+    }
+  }
+  if (position != hash_chain_.size()) {
+    hash_chain_.erase(hash_chain_.begin() + static_cast<ptrdiff_t>(position));
+  }
+  kernel_->Unlock(inode, im_.i_lock, 513);
+  kernel_->UnlockGlobal(inode_hash_lock_, 514);
+}
+
+void VfsKernel::MarkInodeDirty(const ObjectRef& inode, Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/fs-writeback.c", "__mark_inode_dirty", 2100, 2160);
+  kernel_->Lock(inode, im_.i_lock, 2110);
+  kernel_->Read(inode, im_.i_state, 2112);
+  kernel_->Write(inode, im_.i_state, 2115);
+  kernel_->Unlock(inode, im_.i_lock, 2120);
+
+  // Queue on the writeback list: the bdi's wb.list_lock protects the
+  // inode's i_io_list and dirtied_when (EO relationship, Fig. 8).
+  kernel_->Lock(bdi_, wm_.wb_list_lock, 2130);
+  kernel_->Write(inode, im_.i_io_list, 2135);
+  kernel_->Write(inode, im_.dirtied_when, 2136);
+  if (rng.Chance(0.2)) {
+    kernel_->Write(inode, im_.dirtied_time_when, 2137);
+  }
+  kernel_->Write(bdi_, wm_.wb_b_dirty, 2140);
+  kernel_->Unlock(bdi_, wm_.wb_list_lock, 2145);
+}
+
+void VfsKernel::InodeAddBytes(const ObjectRef& inode, Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/stat.c", "inode_add_bytes", 640, 660);
+  kernel_->Lock(inode, im_.i_lock, 643);
+  kernel_->Read(inode, im_.i_bytes, 645);
+  kernel_->Write(inode, im_.i_bytes, 646);
+  kernel_->Write(inode, im_.i_blocks, 647);
+  kernel_->Unlock(inode, im_.i_lock, 650);
+  // ext4's delayed-allocation accounting updates i_blocks again without
+  // i_lock in a separate path — the source of the documented rule's
+  // ambivalence for i_blocks writes (Tab. 5).
+  if (inode.subclass == ids_.fs_ext4 && rng.Chance(plan_.ext4_delalloc_i_blocks)) {
+    FunctionScope da(*kernel_, "fs/ext4/inode.c", "ext4_da_update_reserve_space", 330, 360);
+    kernel_->Write(inode, im_.i_blocks, 342);
+  }
+}
+
+void VfsKernel::InodeSetFlags(const ObjectRef& inode, Rng& rng) {
+  if (plan_.inode_set_flags_bug && rng.Chance(0.06)) {
+    // The confirmed kernel bug (paper Sec. 7.5, Fig. 3): one code path
+    // modifies i_flags without holding i_rwsem.
+    FunctionScope fn(*kernel_, "fs/ext4/inode.c", "ext4_set_inode_flags", 4420, 4440);
+    kernel_->Read(inode, im_.i_flags, 4428);
+    kernel_->Write(inode, im_.i_flags, 4431);
+    return;
+  }
+  FunctionScope fn(*kernel_, "fs/inode.c", "inode_set_flags", 2040, 2070);
+  // Callers may already hold i_rwsem (notify_change does); take it only
+  // when running standalone.
+  bool already_held = kernel_->IsHeld(inode, im_.i_rwsem);
+  if (!already_held) {
+    kernel_->Lock(inode, im_.i_rwsem, 2045);
+  }
+  kernel_->Read(inode, im_.i_flags, 2052);
+  kernel_->Write(inode, im_.i_flags, 2055);
+  if (!already_held) {
+    kernel_->Unlock(inode, im_.i_rwsem, 2060);
+  }
+}
+
+void VfsKernel::UpdateTimes(const ObjectRef& inode, Rng& rng, bool ctime) {
+  FunctionScope fn(*kernel_, "fs/inode.c", "file_update_time", 1700, 1730);
+  // mtime is updated without locks throughout the kernel (Fig. 8 lists it
+  // as "no lock needed"); ctime belongs to the i_rwsem family.
+  kernel_->Write(inode, im_.i_mtime, 1710);
+  if (ctime) {
+    kernel_->Write(inode, im_.i_ctime, 1715);
+  }
+  if (rng.Chance(0.5)) {
+    kernel_->Write(inode, im_.i_version, 1720);
+  }
+}
+
+size_t VfsKernel::CreateFile(SubclassId fs, Rng& rng) {
+  MountState& state = mount(fs);
+  size_t parent_index = PickParentIndex(state, rng);
+  const FileState& parent_entry =
+      (parent_index == SIZE_MAX) ? state.root : state.files[parent_index];
+  ObjectRef dir = parent_entry.inode;
+  ObjectRef parent_dentry = parent_entry.dentry;
+
+  FunctionScope vfs(*kernel_, "fs/namei.c", "path_openat", 3400, 3460);
+  // Pin the parent dentry for the duration of the walk.
+  kernel_->Lock(parent_dentry, dm_.d_lock, 3405);
+  kernel_->Read(parent_dentry, dm_.d_count, 3406);
+  kernel_->Write(parent_dentry, dm_.d_count, 3407);
+  kernel_->Unlock(parent_dentry, dm_.d_lock, 3408);
+
+  kernel_->Lock(dir, im_.i_rwsem, 3410);
+
+  ObjectRef inode;
+  {
+    const char* file = "fs/ramfs/inode.c";
+    const char* fn_name = "ramfs_mknod";
+    uint32_t first = 60;
+    uint32_t last = 100;
+    if (fs == ids_.fs_ext4) {
+      file = "fs/ext4/namei.c";
+      fn_name = "ext4_create";
+      first = 2380;
+      last = 2430;
+    } else if (fs == ids_.fs_tmpfs) {
+      file = "mm/shmem.c";
+      fn_name = "shmem_mknod";
+      first = 2900;
+      last = 2950;
+    } else if (fs == ids_.fs_devtmpfs) {
+      file = "drivers/base/devtmpfs.c";
+      fn_name = "devtmpfs_create_node";
+      first = 190;
+      last = 230;
+    } else if (fs == ids_.fs_sysfs) {
+      file = "fs/sysfs/file.c";
+      fn_name = "sysfs_add_file_mode_ns";
+      first = 260;
+      last = 300;
+    }
+    FunctionScope create(*kernel_, file, fn_name, first, last);
+    inode = AllocInode(fs, rng);
+
+    // New-inode fields are set while the directory's i_rwsem is held; from
+    // the new inode's perspective that lock is embedded in another object
+    // (Fig. 8: "EO(i_rwsem in inode) protects: i_op, i_link, i_fop, ...").
+    kernel_->Write(inode, im_.i_op, first + 5);
+    kernel_->Write(inode, im_.i_fop, first + 6);
+    kernel_->Write(inode, im_.i_mode, first + 7);
+    if (rng.Chance(0.5)) {
+      kernel_->Write(inode, im_.i_acl, first + 8);
+      kernel_->Write(inode, im_.i_default_acl, first + 9);
+    }
+    if (rng.Chance(0.3)) {
+      kernel_->Write(inode, im_.i_private, first + 10);
+    }
+    if (fs == ids_.fs_ext4) {
+      // Journaled create: account metadata in the running transaction.
+      JournalStartHandle(rng);
+    }
+  }
+
+  {
+    FunctionScope hash(*kernel_, "fs/inode.c", "insert_inode_locked", 1380, 1400);
+    InsertInodeHash(inode, rng);
+  }
+
+  // Directory metadata updates under its own (ES) i_rwsem.
+  kernel_->Write(dir, im_.i_mtime, 3430);
+  kernel_->Write(dir, im_.i_ctime, 3431);
+  kernel_->Write(dir, im_.i_version, 3432);
+
+  ObjectRef dentry = AllocDentry(inode, rng);
+  DentryInstantiate(dentry, parent_dentry, inode, rng);
+
+  // Add to the superblock inode list.
+  kernel_->Lock(state.sb, sm_.s_inode_list_lock, 3440);
+  kernel_->Write(state.sb, sm_.s_inodes, 3442);
+  kernel_->Write(inode, im_.i_sb_list, 3443);
+  kernel_->Unlock(state.sb, sm_.s_inode_list_lock, 3445);
+
+  kernel_->Unlock(dir, im_.i_rwsem, 3455);
+
+  FileState file_state;
+  file_state.inode = inode;
+  file_state.dentry = dentry;
+  file_state.alive = true;
+  file_state.parent = parent_index;
+  state.files.push_back(file_state);
+  return state.files.size() - 1;
+}
+
+size_t VfsKernel::MkdirDir(SubclassId fs, Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/namei.c", "vfs_mkdir", 3900, 3940);
+  size_t index = CreateFile(fs, rng);
+  MountState& state = mount(fs);
+  FileState& dir = state.files[index];
+  dir.is_dir = true;
+  // Directory inodes carry the directory mode and a link for "..".
+  kernel_->Lock(dir.inode, im_.i_rwsem, 3920);
+  kernel_->Write(dir.inode, im_.i_mode, 3925);
+  kernel_->Write(dir.inode, im_.i_dir_seq, 3926);
+  kernel_->Unlock(dir.inode, im_.i_rwsem, 3930);
+  return index;
+}
+
+size_t VfsKernel::LinkFile(SubclassId fs, size_t src_index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(src_index < state.files.size() && state.files[src_index].alive);
+  LOCKDOC_CHECK(!state.files[src_index].is_dir);
+  size_t parent_index = PickParentIndex(state, rng);
+  const FileState& parent_entry =
+      (parent_index == SIZE_MAX) ? state.root : state.files[parent_index];
+
+  FunctionScope fn(*kernel_, "fs/namei.c", "vfs_link", 4200, 4280);
+  kernel_->Lock(parent_entry.inode, im_.i_rwsem, 4205);
+  // Bump the link count under the directory's i_rwsem, like vfs_unlink's
+  // drop does (EO for the target inode).
+  const ObjectRef inode = state.files[src_index].inode;
+  kernel_->Read(inode, im_.i_nlink, 4215);
+  kernel_->Write(inode, im_.i_nlink, 4216);
+  kernel_->Write(inode, im_.i_ctime, 4217);
+  kernel_->Write(parent_entry.inode, im_.i_mtime, 4220);
+
+  ObjectRef dentry = AllocDentry(inode, rng);
+  DentryInstantiate(dentry, parent_entry.dentry, inode, rng);
+  kernel_->Unlock(parent_entry.inode, im_.i_rwsem, 4270);
+
+  FileState link;
+  link.inode = inode;
+  link.dentry = dentry;
+  link.alive = true;
+  link.is_symlink = state.files[src_index].is_symlink;
+  link.parent = parent_index;
+  state.files.push_back(link);
+  return state.files.size() - 1;
+}
+
+bool VfsKernel::RmdirDir(SubclassId fs, size_t index, Rng& rng) {
+  if (!IsDirectory(fs, index) || !CanUnlink(fs, index)) {
+    return false;
+  }
+  FunctionScope fn(*kernel_, "fs/namei.c", "vfs_rmdir", 3950, 3990);
+  // Emptiness check: scan the directory under its own locks.
+  MountState& state = mount(fs);
+  const FileState& dir = state.files[index];
+  kernel_->Lock(dir.inode, im_.i_rwsem, 3955);
+  kernel_->Lock(dir.dentry, dm_.d_lock, 3960);
+  kernel_->Read(dir.dentry, dm_.d_subdirs, 3962);
+  kernel_->Unlock(dir.dentry, dm_.d_lock, 3964);
+  kernel_->Unlock(dir.inode, im_.i_rwsem, 3966);
+  UnlinkFile(fs, index, rng);
+  return true;
+}
+
+size_t VfsKernel::CreateSymlink(SubclassId fs, Rng& rng) {
+  size_t index = CreateFile(fs, rng);
+  MountState& state = mount(fs);
+  FileState& file = state.files[index];
+  file.is_symlink = true;
+
+  FunctionScope fn(*kernel_, "fs/ext4/namei.c", "ext4_symlink", 3050, 3100);
+  kernel_->Lock(file.inode, im_.i_rwsem, 3060);
+  kernel_->Write(file.inode, im_.i_link, 3070);
+  kernel_->Write(file.inode, im_.i_size, 3071);
+  kernel_->Write(file.inode, im_.i_size_seqcount, 3072);
+  kernel_->Unlock(file.inode, im_.i_rwsem, 3080);
+  return index;
+}
+
+void VfsKernel::UnlinkFile(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  LOCKDOC_CHECK(CanUnlink(fs, index));
+  FileState& file = state.files[index];
+  const FileState& parent_entry = ParentOf(state, file);
+  ObjectRef dir = parent_entry.inode;
+  ObjectRef parent_dentry = parent_entry.dentry;
+
+  FunctionScope vfs(*kernel_, "fs/namei.c", "vfs_unlink", 4000, 4050);
+  kernel_->Lock(dir, im_.i_rwsem, 4005);
+  // Victim metadata: nlink drops (no-lock family), ctime under the victim's
+  // i_rwsem would deadlock against the directory in real code ordering, so
+  // the kernel writes it under the directory lock (EO for the victim).
+  kernel_->Write(file.inode, im_.i_nlink, 4015);
+  kernel_->Write(file.inode, im_.i_ctime, 4016);
+  kernel_->Write(dir, im_.i_mtime, 4020);
+  kernel_->Write(dir, im_.i_version, 4021);
+
+  DentryKill(file.dentry, parent_dentry, rng);
+
+  // The inode itself goes away only with its last directory entry (hard
+  // links share it).
+  bool last_link = true;
+  for (size_t i = 0; i < state.files.size(); ++i) {
+    if (i != index && state.files[i].alive && state.files[i].inode.addr == file.inode.addr) {
+      last_link = false;
+      break;
+    }
+  }
+  if (last_link) {
+    // Drop from the hash and the superblock list.
+    RemoveInodeHash(file.inode, rng);
+    kernel_->Lock(state.sb, sm_.s_inode_list_lock, 4035);
+    kernel_->Write(state.sb, sm_.s_inodes, 4036);
+    kernel_->Write(file.inode, im_.i_sb_list, 4037);
+    kernel_->Unlock(state.sb, sm_.s_inode_list_lock, 4038);
+  }
+  kernel_->Unlock(dir, im_.i_rwsem, 4045);
+
+  DestroyDentry(file.dentry);
+  if (last_link) {
+    DestroyInode(file.inode);
+  }
+  file.alive = false;
+}
+
+void VfsKernel::ReadFile(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  const ObjectRef& inode = state.files[index].inode;
+
+  FunctionScope vfs(*kernel_, "fs/read_write.c", "vfs_read", 450, 490);
+  FunctionScope fn(*kernel_, "mm/filemap.c", "generic_file_read_iter", 1800, 1860);
+  // Readahead consults the backing device without locks.
+  kernel_->Read(bdi_, wm_.ra_pages, 1805);
+  if (rng.Chance(0.4)) {
+    kernel_->Read(bdi_, wm_.io_pages, 1806);
+    kernel_->Read(bdi_, wm_.capabilities, 1807);
+  }
+  // Lockless reads: i_size via the seqcount retry loop, mapping state.
+  kernel_->Read(inode, im_.i_size_seqcount, 1810);
+  kernel_->Read(inode, im_.i_size, 1811);
+  kernel_->Read(inode, im_.d_nrpages, 1815);
+  kernel_->Read(inode, im_.d_a_ops, 1816);
+  kernel_->Read(inode, im_.d_host, 1817);
+  kernel_->Read(inode, im_.i_blkbits, 1818);
+  if (rng.Chance(0.6)) {
+    kernel_->Read(inode, im_.i_mapping, 1820);
+    kernel_->Read(inode, im_.d_gfp_mask, 1821);
+  }
+  // Permission and notification checks on the way in — all lockless.
+  {
+    FunctionScope perm(*kernel_, "fs/namei.c", "generic_permission", 800, 840);
+    kernel_->Read(inode, im_.i_mode, 805);
+    kernel_->Read(inode, im_.i_uid, 806);
+    kernel_->Read(inode, im_.i_gid, 807);
+    kernel_->Read(inode, im_.i_flags, 808);
+    kernel_->Read(inode, im_.i_opflags, 809);
+    if (rng.Chance(0.4)) {
+      kernel_->Read(inode, im_.i_acl, 812);
+      kernel_->Read(inode, im_.i_default_acl, 813);
+      kernel_->Read(inode, im_.i_security, 814);
+    }
+  }
+  if (rng.Chance(0.5)) {
+    FunctionScope notify(*kernel_, "fs/notify/fsnotify.c", "fsnotify_parent", 60, 90);
+    kernel_->Read(inode, im_.i_fsnotify_mask, 65);
+    kernel_->Read(inode, im_.i_fsnotify_marks, 66);
+  }
+  if (rng.Chance(0.4)) {
+    FunctionScope open_fn(*kernel_, "fs/open.c", "do_dentry_open", 900, 950);
+    kernel_->Read(inode, im_.i_fop, 905);
+    kernel_->Read(inode, im_.i_op, 906);
+    kernel_->Read(inode, im_.i_sb, 907);
+    kernel_->Read(inode, im_.i_flctx, 908);
+    kernel_->Read(inode, im_.i_wb, 909);
+    kernel_->Read(inode, im_.i_version, 910);
+    if (inode.subclass == ids_.fs_ext4) {
+      kernel_->Read(inode, im_.i_crypt_info, 915);
+      kernel_->Read(inode, im_.d_flags, 916);
+      kernel_->Read(inode, im_.d_private_data, 917);
+      kernel_->Read(inode, im_.d_private_list, 918);
+      kernel_->Read(inode, im_.d_nrexceptional, 919);
+      kernel_->Read(inode, im_.d_writeback_index, 920);
+      kernel_->Read(inode, im_.i_wb_frn_winner, 921);
+      kernel_->Read(inode, im_.i_wb_frn_avg_time, 922);
+      kernel_->Read(inode, im_.i_wb_frn_history, 923);
+      kernel_->Read(inode, im_.dirtied_time_when, 924);
+    }
+  }
+  if (rng.Chance(0.3)) {
+    kernel_->Read(inode, im_.i_dir_seq, 1830);
+    kernel_->Read(inode, im_.i_bytes, 1831);
+    kernel_->Read(inode, im_.i_atime_nsec, 1832);
+  }
+  if (rng.Chance(0.25)) {
+    // Cold read faults pages into the cache (i_lock accounting, as in the
+    // mmap fault path).
+    FunctionScope add(*kernel_, "mm/filemap.c", "add_to_page_cache", 2280, 2320);
+    kernel_->Lock(inode, im_.i_lock, 2285);
+    kernel_->Read(inode, im_.d_nrpages, 2290);
+    kernel_->Write(inode, im_.d_nrpages, 2291);
+    kernel_->Write(inode, im_.d_page_tree, 2292);
+    kernel_->Unlock(inode, im_.i_lock, 2300);
+  }
+  TouchAtime(fs, index, rng);
+}
+
+void VfsKernel::WriteFile(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  const ObjectRef& inode = state.files[index].inode;
+
+  FunctionScope vfs(*kernel_, "fs/read_write.c", "vfs_write", 540, 580);
+  kernel_->Lock(inode, im_.i_rwsem, 545);
+
+  if (fs == ids_.fs_ext4) {
+    FunctionScope fn(*kernel_, "fs/ext4/file.c", "ext4_file_write_iter", 90, 160);
+    JournalStartHandle(rng);
+    kernel_->Read(inode, im_.i_size, 100);
+    kernel_->Write(inode, im_.i_size_seqcount, 105);
+    kernel_->Write(inode, im_.i_size, 106);
+    kernel_->Write(inode, im_.i_version, 107);
+    InodeAddBytes(inode, rng);
+    BufferState& buffer = PickBuffer(rng);
+    JournalDirtyBuffer(buffer, rng);
+    if (plan_.ext4_committing_txn_peek && rng.Chance(0.03)) {
+      // Peeks at the committing transaction holding i_rwsem ->
+      // j_state_lock but not j_list_lock (Tab. 8 row 2).
+      FunctionScope peek(*kernel_, "fs/ext4/inode.c", "ext4_writepages", 4660, 4700);
+      kernel_->Lock(journal_, jm_.j_state_lock, 4680, AcquireMode::kShared);
+      kernel_->Write(journal_, jm_.j_committing_transaction, 4685);
+      kernel_->Unlock(journal_, jm_.j_state_lock, 4690);
+    }
+  } else {
+    FunctionScope fn(*kernel_, "mm/shmem.c", "generic_perform_write", 3000, 3050);
+    kernel_->Read(inode, im_.i_size, 3010);
+    kernel_->Write(inode, im_.i_size_seqcount, 3015);
+    kernel_->Write(inode, im_.i_size, 3016);
+    // Page-cache accounting is an i_lock affair everywhere.
+    kernel_->Lock(inode, im_.i_lock, 3019);
+    kernel_->Write(inode, im_.d_nrpages, 3020);
+    kernel_->Unlock(inode, im_.i_lock, 3021);
+    InodeAddBytes(inode, rng);
+  }
+
+  UpdateTimes(inode, rng, /*ctime=*/true);
+  MarkInodeDirty(inode, rng);
+  kernel_->Unlock(inode, im_.i_rwsem, 575);
+}
+
+void VfsKernel::StatFile(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  const ObjectRef& inode = state.files[index].inode;
+
+  FunctionScope fn(*kernel_, "fs/stat.c", "generic_fillattr", 30, 60);
+  kernel_->Read(inode, im_.i_mode, 35);
+  kernel_->Read(inode, im_.i_uid, 36);
+  kernel_->Read(inode, im_.i_gid, 37);
+  kernel_->Read(inode, im_.i_rdev, 38);
+  kernel_->Read(inode, im_.i_atime, 39);
+  kernel_->Read(inode, im_.i_mtime, 40);
+  kernel_->Read(inode, im_.i_ctime, 41);
+  kernel_->Read(inode, im_.i_size, 42);
+  kernel_->Read(inode, im_.i_nlink, 43);
+  kernel_->Read(inode, im_.i_generation, 44);
+  // i_blocks and i_bytes require i_lock (their documented rule names it,
+  // and writes honour it) — but every read path in the kernel takes it,
+  // too, only for the i_bytes pair:
+  kernel_->Lock(inode, im_.i_lock, 48);
+  kernel_->Read(inode, im_.i_bytes, 50);
+  kernel_->Unlock(inode, im_.i_lock, 52);
+  // ...while i_blocks is read without (documented i_blocks read rule is
+  // never followed -> "incorrect", Tab. 5).
+  kernel_->Read(inode, im_.i_blocks, 54);
+
+  // A writeback-adjacent minority of i_state reads happens under i_lock.
+  if (rng.Chance(0.2)) {
+    kernel_->Lock(inode, im_.i_lock, 56);
+    kernel_->Read(inode, im_.i_state, 57);
+    kernel_->Unlock(inode, im_.i_lock, 58);
+  } else {
+    kernel_->Read(inode, im_.i_state, 59);
+  }
+
+  // statfs-style superblock inspection piggybacks on many stat calls; the
+  // dominant path holds s_umount, a sloppy minority reads bare (Tab. 7's
+  // super_block violations).
+  if (rng.Chance(0.3)) {
+    FunctionScope statfs(*kernel_, "fs/statfs.c", "vfs_statfs", 70, 120);
+    // Block-size and time-granularity queries are lockless everywhere.
+    if (rng.Chance(0.3)) {
+      kernel_->Read(state.sb, sm_.s_blocksize_bits, 72);
+      kernel_->Read(state.sb, sm_.s_time_gran, 73);
+    }
+    if (rng.Chance(plan_.sb_flags_sloppiness)) {
+      uint32_t line = 95 + static_cast<uint32_t>(rng.Below(12));
+      kernel_->Read(state.sb, sm_.s_flags, line);
+      kernel_->Read(state.sb, sm_.s_blocksize, line + 1);
+      kernel_->Read(state.sb, sm_.s_magic, line + 2);
+    } else {
+      kernel_->Lock(state.sb, sm_.s_umount, 75, AcquireMode::kShared);
+      kernel_->Read(state.sb, sm_.s_flags, 80);
+      kernel_->Read(state.sb, sm_.s_blocksize, 81);
+      kernel_->Read(state.sb, sm_.s_magic, 82);
+      kernel_->Read(state.sb, sm_.s_maxbytes, 83);
+      if (rng.Chance(0.5)) {
+        kernel_->Read(state.sb, sm_.s_type, 84);
+        kernel_->Read(state.sb, sm_.s_op, 85);
+        kernel_->Read(state.sb, sm_.s_id, 86);
+        kernel_->Read(state.sb, sm_.s_fs_info, 87);
+        kernel_->Read(state.sb, sm_.s_root, 88);
+      }
+      if (rng.Chance(0.3)) {
+        kernel_->Read(state.sb, sm_.s_dev, 91);
+        kernel_->Read(state.sb, sm_.s_iflags, 92);
+        kernel_->Read(state.sb, sm_.s_mode, 93);
+        kernel_->Read(state.sb, sm_.s_bdi, 94);
+      }
+      kernel_->Unlock(state.sb, sm_.s_umount, 90);
+    }
+  }
+}
+
+void VfsKernel::ChmodFile(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  const ObjectRef& inode = state.files[index].inode;
+
+  FunctionScope fn(*kernel_, "fs/open.c", "chmod_common", 520, 560);
+  kernel_->Lock(inode, im_.i_rwsem, 525);
+  FunctionScope setattr(*kernel_, "fs/attr.c", "notify_change", 200, 260);
+  kernel_->Read(inode, im_.i_mode, 210);
+  kernel_->Write(inode, im_.i_mode, 215);
+  kernel_->Write(inode, im_.i_ctime, 216);
+  kernel_->Unlock(inode, im_.i_rwsem, 255);
+  // Flag propagation runs after the attribute change, taking (or, in the
+  // buggy ext4 path, failing to take) i_rwsem itself.
+  InodeSetFlags(inode, rng);
+  MarkInodeDirty(inode, rng);
+}
+
+void VfsKernel::ChownFile(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  const ObjectRef& inode = state.files[index].inode;
+
+  FunctionScope fn(*kernel_, "fs/open.c", "chown_common", 600, 640);
+  kernel_->Lock(inode, im_.i_rwsem, 605);
+  FunctionScope setattr(*kernel_, "fs/attr.c", "notify_change", 200, 260);
+  kernel_->Write(inode, im_.i_uid, 220);
+  kernel_->Write(inode, im_.i_gid, 221);
+  kernel_->Write(inode, im_.i_ctime, 222);
+  kernel_->Unlock(inode, im_.i_rwsem, 635);
+  MarkInodeDirty(inode, rng);
+}
+
+void VfsKernel::TouchAtime(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  const ObjectRef& inode = state.files[index].inode;
+
+  FunctionScope fn(*kernel_, "fs/inode.c", "touch_atime", 1640, 1680);
+  kernel_->Read(inode, im_.i_atime, 1650);
+  if (rng.Chance(0.7)) {
+    kernel_->Write(inode, im_.i_atime, 1660);
+    kernel_->Write(inode, im_.i_atime_nsec, 1661);
+  }
+}
+
+void VfsKernel::ReadSymlink(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  const ObjectRef& inode = state.files[index].inode;
+  LOCKDOC_CHECK(state.files[index].is_symlink);
+
+  FunctionScope fn(*kernel_, "fs/namei.c", "generic_readlink", 4700, 4720);
+  kernel_->RcuReadLock(4705);
+  kernel_->Read(inode, im_.i_link, 4710);
+  kernel_->Read(inode, im_.i_size, 4711);
+  kernel_->RcuReadUnlock(4715);
+  (void)rng;
+}
+
+void VfsKernel::EvictLru(SubclassId fs, Rng& rng) {
+  MountState& state = mount(fs);
+  if (state.files.empty()) {
+    return;
+  }
+  // Scan for a live file from a random start (the files vector accumulates
+  // dead slots under inode churn).
+  size_t start = rng.Below(state.files.size());
+  size_t index = state.files.size();
+  for (size_t i = 0; i < state.files.size(); ++i) {
+    size_t candidate = (start + i) % state.files.size();
+    if (state.files[candidate].alive) {
+      index = candidate;
+      break;
+    }
+  }
+  if (index == state.files.size()) {
+    return;
+  }
+  const ObjectRef& inode = state.files[index].inode;
+
+  // Two coexisting LRU disciplines (the documentation claims i_lock; only
+  // half of the code agrees — Tab. 5 shows sr ~= 50 % for i_lru).
+  if (plan_.lru_lock_inversion && rng.Chance(0.15)) {
+    // Pruning walks the LRU list first and only then pins the inode —
+    // taking the two locks in the opposite order to inode_lru_list_add.
+    FunctionScope fn(*kernel_, "fs/inode.c", "prune_icache_sb", 1920, 1990);
+    kernel_->LockGlobal(inode_lru_lock_, 1925);
+    kernel_->Lock(inode, im_.i_lock, 1930);
+    kernel_->Read(inode, im_.i_state, 1936);
+    kernel_->Unlock(inode, im_.i_lock, 1940);
+    kernel_->UnlockGlobal(inode_lru_lock_, 1945);
+    return;
+  }
+
+  bool read_only = rng.Chance(0.3);  // LRU pruning scans only inspect.
+  if (rng.Chance(0.5)) {
+    FunctionScope fn(*kernel_, "fs/inode.c", "inode_lru_list_add", 390, 410);
+    kernel_->Lock(inode, im_.i_lock, 393);
+    kernel_->LockGlobal(inode_lru_lock_, 395);
+    kernel_->Read(inode, im_.i_lru, 397);
+    if (!read_only) {
+      kernel_->Write(inode, im_.i_lru, 398);
+      kernel_->Write(state.sb, sm_.s_inode_lru, 399);
+    }
+    kernel_->UnlockGlobal(inode_lru_lock_, 401);
+    kernel_->Unlock(inode, im_.i_lock, 403);
+  } else {
+    FunctionScope fn(*kernel_, "fs/inode.c", "inode_lru_list_del", 415, 430);
+    kernel_->LockGlobal(inode_lru_lock_, 418);
+    kernel_->Read(inode, im_.i_lru, 420);
+    if (!read_only) {
+      kernel_->Write(inode, im_.i_lru, 421);
+      kernel_->Write(state.sb, sm_.s_inode_lru, 422);
+    }
+    kernel_->UnlockGlobal(inode_lru_lock_, 425);
+  }
+}
+
+void VfsKernel::TruncateFile(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  const ObjectRef& inode = state.files[index].inode;
+
+  FunctionScope fn(*kernel_, "fs/open.c", "do_truncate", 400, 450);
+  kernel_->Lock(inode, im_.i_rwsem, 405);
+  if (fs == ids_.fs_ext4) {
+    FunctionScope ext4(*kernel_, "fs/ext4/inode.c", "ext4_truncate", 3900, 3970);
+    JournalStartHandle(rng);
+    kernel_->Read(inode, im_.i_size, 3910);
+    kernel_->Write(inode, im_.i_size_seqcount, 3915);
+    kernel_->Write(inode, im_.i_size, 3916);
+    kernel_->Write(inode, im_.i_dir_seq, 3917);
+    BufferState& buffer = PickBuffer(rng);
+    JournalDirtyBuffer(buffer, rng);
+  } else {
+    FunctionScope simple(*kernel_, "mm/shmem.c", "shmem_setattr", 2960, 2995);
+    kernel_->Read(inode, im_.i_size, 2965);
+    kernel_->Write(inode, im_.i_size_seqcount, 2970);
+    kernel_->Write(inode, im_.i_size, 2971);
+    kernel_->Lock(inode, im_.i_lock, 2973);
+    kernel_->Write(inode, im_.d_nrpages, 2974);
+    kernel_->Unlock(inode, im_.i_lock, 2975);
+  }
+  kernel_->Write(inode, im_.i_ctime, 430);
+  InodeAddBytes(inode, rng);
+  kernel_->Unlock(inode, im_.i_rwsem, 445);
+  MarkInodeDirty(inode, rng);
+}
+
+void VfsKernel::FsyncFile(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  const ObjectRef& inode = state.files[index].inode;
+
+  FunctionScope fn(*kernel_, "fs/sync.c", "vfs_fsync_range", 300, 360);
+  kernel_->Lock(inode, im_.i_rwsem, 305, AcquireMode::kShared);
+  kernel_->Read(inode, im_.i_size, 310);
+  kernel_->Read(inode, im_.d_nrpages, 311);
+  kernel_->Read(inode, im_.d_host, 312);
+  // Pin the superblock like the sync path does; the writeback-index
+  // discipline (EO(s_umount), Fig. 8) holds here too.
+  kernel_->Lock(state.sb, sm_.s_umount, 315, AcquireMode::kShared);
+  WritebackSingleInode(inode, rng);
+  kernel_->Unlock(state.sb, sm_.s_umount, 340);
+  if (fs == ids_.fs_ext4 && rng.Chance(0.5)) {
+    // Metadata fsync forces a commit-sequence check on the journal.
+    FunctionScope jfn(*kernel_, "fs/ext4/fsync.c", "ext4_sync_file", 80, 130);
+    kernel_->Lock(journal_, jm_.j_state_lock, 95, AcquireMode::kShared);
+    kernel_->Read(journal_, jm_.j_commit_sequence, 100);
+    kernel_->Read(journal_, jm_.j_commit_request, 101);
+    kernel_->Unlock(journal_, jm_.j_state_lock, 110);
+  }
+  kernel_->Unlock(inode, im_.i_rwsem, 350);
+}
+
+void VfsKernel::MmapFile(SubclassId fs, size_t index, Rng& rng) {
+  MountState& state = mount(fs);
+  LOCKDOC_CHECK(index < state.files.size() && state.files[index].alive);
+  const ObjectRef& inode = state.files[index].inode;
+
+  // Fault-in path: address-space state is read locklessly, page-cache
+  // insertion accounts under i_lock.
+  FunctionScope fn(*kernel_, "mm/filemap.c", "filemap_fault", 2200, 2270);
+  kernel_->Read(inode, im_.i_size_seqcount, 2205);
+  kernel_->Read(inode, im_.i_size, 2206);
+  kernel_->Read(inode, im_.d_host, 2210);
+  kernel_->Read(inode, im_.d_a_ops, 2211);
+  kernel_->Read(inode, im_.d_gfp_mask, 2212);
+  kernel_->Read(inode, im_.d_page_tree, 2213);
+  kernel_->Read(inode, im_.d_flags, 2214);
+  if (rng.Chance(0.5)) {
+    kernel_->Read(inode, im_.d_nrexceptional, 2220);
+    kernel_->Read(inode, im_.d_private_data, 2221);
+  }
+  if (rng.Chance(0.6)) {
+    FunctionScope add(*kernel_, "mm/filemap.c", "add_to_page_cache", 2280, 2320);
+    kernel_->Lock(inode, im_.i_lock, 2285);
+    kernel_->Read(inode, im_.d_nrpages, 2290);
+    kernel_->Write(inode, im_.d_nrpages, 2291);
+    kernel_->Write(inode, im_.d_page_tree, 2292);
+    kernel_->Unlock(inode, im_.i_lock, 2300);
+  }
+}
+
+void VfsKernel::SyncFilesystem(SubclassId fs, Rng& rng) {
+  MountState& state = mount(fs);
+  FunctionScope fn(*kernel_, "fs/sync.c", "sync_filesystem", 60, 100);
+  kernel_->Lock(state.sb, sm_.s_umount, 65, AcquireMode::kShared);
+  kernel_->Read(state.sb, sm_.s_flags, 70);
+  // Walk dirty inodes (bounded sample).
+  size_t visited = 0;
+  for (FileState& file : state.files) {
+    if (visited >= 4) {
+      break;
+    }
+    if (!file.alive) {
+      continue;
+    }
+    WritebackSingleInode(file.inode, rng);
+    ++visited;
+  }
+  kernel_->Read(state.sb, sm_.s_inodes_wb, 85);
+  kernel_->Write(state.sb, sm_.s_wb_err, 90);
+  kernel_->Write(state.sb, sm_.s_inodes_wb, 91);
+  kernel_->Unlock(state.sb, sm_.s_umount, 95);
+
+  // Superblock reference counting under the global sb_lock.
+  {
+    FunctionScope grab(*kernel_, "fs/super.c", "grab_super", 980, 1000);
+    kernel_->LockGlobal(sb_lock_, 983);
+    kernel_->Read(state.sb, sm_.s_count, 985);
+    kernel_->Write(state.sb, sm_.s_count, 986);
+    if (rng.Chance(0.4)) {
+      kernel_->Read(state.sb, sm_.s_security, 988);
+      kernel_->Write(state.sb, sm_.s_mounts, 989);
+    }
+    kernel_->UnlockGlobal(sb_lock_, 992);
+  }
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,419 @@
+// JBD2-style journalling of the simulated kernel (fs/jbd2/transaction.c,
+// commit.c, checkpoint.c; fs/buffer.c).
+//
+// Ground-truth discipline:
+//   * journal_t list heads and sequence numbers   — ES(j_state_lock)
+//   * j_committing_transaction / j_running_transaction writes
+//                                                 — ES(j_state_lock) ->
+//                                                   ES(j_list_lock)
+//   * transaction_t state/lists                   — EO(j_state_lock) or
+//                                                   EO(j_list_lock)
+//   * journal_head fields and buffer_head fields  — EO(j_list_lock)
+//   * t_updates / t_outstanding_credits / t_handle_count — accessed through
+//     atomic helpers only (filtered): the paper's "int -> atomic_t without a
+//     documentation update" finding
+//   * commit-time statistics fields               — ES(j_state_lock), with a
+//     sloppy rate writing without it (Tab. 7's journal_t violations)
+#include "src/vfs/vfs_kernel.h"
+
+namespace lockdoc {
+
+VfsKernel::BufferState& VfsKernel::PickBuffer(Rng& rng) {
+  LOCKDOC_CHECK(!buffers_.empty());
+  return buffers_[rng.Below(buffers_.size())];
+}
+
+void VfsKernel::JournalStartHandle(Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/jbd2/transaction.c", "jbd2__journal_start", 250, 310);
+  // Optimistic lockless peeks before taking the state lock.
+  if (rng.Chance(0.12)) {
+    kernel_->Read(journal_, jm_.j_barrier_count, 252);
+  }
+  if (rng.Chance(0.22)) {
+    kernel_->Read(running_txn_, tm_.t_state, 253);
+  }
+  if (rng.Chance(0.12)) {
+    kernel_->Read(running_txn_, tm_.t_nr_buffers, 254);
+  }
+  kernel_->Lock(journal_, jm_.j_state_lock, 255, AcquireMode::kShared);
+  kernel_->Read(journal_, jm_.j_running_transaction, 260);
+  kernel_->Read(journal_, jm_.j_barrier_count, 261);
+  kernel_->Read(journal_, jm_.j_max_transaction_buffers, 262);
+  kernel_->Read(journal_, jm_.j_transaction_sequence, 263);
+  kernel_->Read(running_txn_, tm_.t_state, 264);
+  kernel_->Unlock(journal_, jm_.j_state_lock, 266);
+
+  // Handle accounting under the transaction's own handle lock. Retrying
+  // callers re-inspect the slot without updating it.
+  if (rng.Chance(0.4)) {
+    kernel_->Lock(running_txn_, tm_.t_handle_lock, 270);
+    kernel_->Read(running_txn_, tm_.t_start, 271);
+    kernel_->Read(running_txn_, tm_.t_requested, 272);
+    kernel_->Unlock(running_txn_, tm_.t_handle_lock, 273);
+  }
+  kernel_->Lock(running_txn_, tm_.t_handle_lock, 275);
+  kernel_->Write(running_txn_, tm_.t_requested, 277);
+  kernel_->Write(running_txn_, tm_.t_start, 279);
+  kernel_->Unlock(running_txn_, tm_.t_handle_lock, 282);
+
+  // A flush hint set outside any lock (the documented rule claims
+  // j_state_lock; the dominant code path disagrees).
+  kernel_->Write(running_txn_, tm_.t_need_data_flush, 285);
+
+  // The historically-int counters, accessed via atomic helpers only
+  // (filtered by the importer's function black list).
+  kernel_->AtomicWrite(running_txn_, tm_.t_updates, 290);
+  kernel_->AtomicWrite(running_txn_, tm_.t_outstanding_credits, 291);
+  kernel_->AtomicWrite(running_txn_, tm_.t_handle_count, 292);
+  (void)rng;
+}
+
+void VfsKernel::JournalDirtyBuffer(BufferState& buffer, Rng& rng) {
+  // Lockless pre-checks: immutable-after-init buffer geometry is read bare
+  // throughout the kernel, and several list fields are optimistically
+  // peeked before any lock is taken (the mix of rates is what produces the
+  // tac-dependent "no lock" fractions in Fig. 7).
+  {
+    FunctionScope precheck(*kernel_, "fs/buffer.c", "buffer_prechecks", 900, 930);
+    kernel_->Read(buffer.bh, bm_.b_size, 905);
+    kernel_->Read(buffer.bh, bm_.b_data, 906);
+    if (rng.Chance(0.15)) {
+      kernel_->Read(buffer.bh, bm_.b_blocknr, 910);
+    }
+    if (buffer.jh.valid() && rng.Chance(0.1)) {
+      kernel_->Read(buffer.jh, hm_.b_modified, 917);
+    }
+  }
+
+  // Inspection-only fast path (jbd2_journal_get_write_access re-checking an
+  // already-journaled buffer): reads under j_list_lock, no updates.
+  if (rng.Chance(0.35)) {
+    FunctionScope peek_fn(*kernel_, "fs/jbd2/transaction.c", "jbd2_journal_get_write_access",
+                          1200, 1260);
+    kernel_->Lock(journal_, jm_.j_list_lock, 1205);
+    if (buffer.jh.valid()) {
+      kernel_->Read(buffer.jh, hm_.b_jlist, 1210);
+      kernel_->Read(buffer.jh, hm_.b_transaction, 1211);
+      kernel_->Read(buffer.jh, hm_.b_modified, 1212);
+      kernel_->Read(buffer.jh, hm_.b_next_transaction, 1213);
+      kernel_->Read(buffer.jh, hm_.b_tnext, 1214);
+      kernel_->Read(buffer.jh, hm_.b_cp_transaction, 1215);
+      kernel_->Read(buffer.jh, hm_.b_frozen_data, 1216);
+      kernel_->Read(buffer.jh, hm_.b_committed_data, 1217);
+    }
+    kernel_->Read(running_txn_, tm_.t_forget, 1220);
+    kernel_->Read(running_txn_, tm_.t_shadow_list, 1221);
+    kernel_->Read(running_txn_, tm_.t_log_list, 1222);
+    kernel_->Read(running_txn_, tm_.t_checkpoint_list, 1223);
+    kernel_->Read(buffer.bh, bm_.b_count, 1225);
+    kernel_->Unlock(journal_, jm_.j_list_lock, 1230);
+    return;
+  }
+
+  FunctionScope fn(*kernel_, "fs/jbd2/transaction.c", "jbd2_journal_dirty_metadata", 1280, 1340);
+  kernel_->Lock(journal_, jm_.j_list_lock, 1285);
+
+  // Buffer and journal-head bookkeeping under j_list_lock (EO for them).
+  kernel_->Read(buffer.bh, bm_.b_count, 1290);
+  kernel_->Write(buffer.bh, bm_.b_count, 1291);
+  kernel_->Write(buffer.bh, bm_.b_assoc_buffers, 1292);
+  kernel_->Read(buffer.bh, bm_.b_blocknr, 1293);
+  if (buffer.jh.valid()) {
+    kernel_->Read(buffer.jh, hm_.b_jlist, 1299);
+    kernel_->Write(buffer.jh, hm_.b_jlist, 1300);
+    kernel_->Read(buffer.jh, hm_.b_transaction, 1301);
+    kernel_->Write(buffer.jh, hm_.b_transaction, 1302);
+    kernel_->Read(buffer.jh, hm_.b_modified, 1303);
+    kernel_->Write(buffer.jh, hm_.b_modified, 1304);
+    kernel_->Read(buffer.jh, hm_.b_next_transaction, 1305);
+    kernel_->Write(buffer.jh, hm_.b_next_transaction, 1306);
+    kernel_->Read(buffer.jh, hm_.b_tnext, 1307);
+    kernel_->Write(buffer.jh, hm_.b_tnext, 1308);
+    kernel_->Write(buffer.jh, hm_.b_tprev, 1309);
+    kernel_->Write(buffer.jh, hm_.b_jcount, 1313);
+    kernel_->Write(buffer.jh, hm_.b_triggers, 1314);
+    if (rng.Chance(0.4)) {
+      kernel_->Read(buffer.jh, hm_.b_frozen_data, 1315);
+      kernel_->Write(buffer.jh, hm_.b_frozen_data, 1316);
+      kernel_->Read(buffer.jh, hm_.b_committed_data, 1317);
+      kernel_->Write(buffer.jh, hm_.b_committed_data, 1318);
+      kernel_->Write(buffer.jh, hm_.b_cow_tid, 1319);
+    }
+  }
+  // Transaction buffer accounting.
+  kernel_->Read(running_txn_, tm_.t_nr_buffers, 1322);
+  kernel_->Write(running_txn_, tm_.t_nr_buffers, 1323);
+  kernel_->Write(running_txn_, tm_.t_buffers, 1324);
+  if (rng.Chance(0.5)) {
+    kernel_->Read(running_txn_, tm_.t_forget, 1326);
+    kernel_->Write(running_txn_, tm_.t_forget, 1327);
+    kernel_->Read(running_txn_, tm_.t_shadow_list, 1328);
+    kernel_->Write(running_txn_, tm_.t_shadow_list, 1329);
+    kernel_->Write(running_txn_, tm_.t_reserved_list, 1330);
+    kernel_->Read(running_txn_, tm_.t_inode_list, 1331);
+    kernel_->Write(running_txn_, tm_.t_inode_list, 1332);
+  }
+
+  kernel_->Unlock(journal_, jm_.j_list_lock, 1320);
+
+  // Fast-path sloppiness: a minority of call sites updates buffer fields
+  // without j_list_lock (the paper's buffer_head is its noisiest type:
+  // 45 k violating events at 635 contexts). The varied line numbers model
+  // the many distinct call sites.
+  if (rng.Chance(plan_.buffer_head_sloppiness)) {
+    FunctionScope sloppy(*kernel_, "fs/buffer.c", "mark_buffer_dirty", 1100, 1180);
+    uint32_t line = 1105 + static_cast<uint32_t>(rng.Below(70));
+    kernel_->Write(buffer.bh, bm_.b_count, line);
+    kernel_->Write(buffer.bh, bm_.b_assoc_buffers, line + 1);
+    if (rng.Chance(0.5)) {
+      kernel_->Write(buffer.bh, bm_.b_end_io, line + 2);
+      kernel_->Read(buffer.bh, bm_.b_private, line + 3);
+    }
+  }
+}
+
+void VfsKernel::JournalCommit(Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/jbd2/commit.c", "jbd2_journal_commit_transaction", 380, 520);
+
+  // Retire the old checkpoint transaction first, if any.
+  if (checkpoint_txn_.valid()) {
+    JournalCheckpoint(rng);
+  }
+
+  // Phase 1: switch the running transaction to committing state.
+  kernel_->Lock(journal_, jm_.j_state_lock, 390);
+  kernel_->Read(journal_, jm_.j_running_transaction, 392);
+  kernel_->Read(running_txn_, tm_.t_state, 394);
+  kernel_->Write(running_txn_, tm_.t_state, 395);  // EO(j_state_lock).
+  kernel_->Read(running_txn_, tm_.t_tid, 396);
+  kernel_->Read(running_txn_, tm_.t_synchronous_commit, 397);
+  kernel_->Write(running_txn_, tm_.t_need_data_flush, 398);
+  kernel_->Write(running_txn_, tm_.t_expires, 399);
+  kernel_->Read(journal_, jm_.j_commit_request, 400);
+  kernel_->Write(journal_, jm_.j_commit_request, 401);
+
+  kernel_->Lock(journal_, jm_.j_list_lock, 403);
+  kernel_->Write(journal_, jm_.j_committing_transaction, 404);
+  kernel_->Write(journal_, jm_.j_running_transaction, 405);
+  kernel_->Unlock(journal_, jm_.j_list_lock, 406);
+
+  kernel_->Write(journal_, jm_.j_transaction_sequence, 408);
+  kernel_->Unlock(journal_, jm_.j_state_lock, 410);
+
+  committing_txn_ = running_txn_;
+
+  // Allocate the next running transaction (init context).
+  {
+    FunctionScope alloc(*kernel_, "fs/jbd2/transaction.c", "jbd2_journal_start_transaction", 60,
+                        95);
+    running_txn_ = kernel_->Create(ids_.transaction, kNoSubclass, 65);
+    kernel_->Write(running_txn_, tm_.t_journal, 70);
+    kernel_->Write(running_txn_, tm_.t_tid, 71);
+    kernel_->Write(running_txn_, tm_.t_state, 72);
+    kernel_->Write(running_txn_, tm_.t_start_time, 73);
+    kernel_->Write(running_txn_, tm_.t_expires, 74);
+  }
+  {
+    kernel_->Lock(journal_, jm_.j_state_lock, 420);
+    kernel_->Lock(journal_, jm_.j_list_lock, 421);
+    kernel_->Write(journal_, jm_.j_running_transaction, 423);
+    kernel_->Unlock(journal_, jm_.j_list_lock, 425);
+    kernel_->Unlock(journal_, jm_.j_state_lock, 426);
+  }
+
+  // Phase 2: write out the committing transaction's buffers.
+  kernel_->Lock(journal_, jm_.j_list_lock, 440);
+  kernel_->Read(committing_txn_, tm_.t_buffers, 442);
+  kernel_->Read(committing_txn_, tm_.t_nr_buffers, 443);
+  kernel_->Read(committing_txn_, tm_.t_log_list, 444);
+  size_t sample = std::min<size_t>(buffers_.size(), 6);
+  for (size_t i = 0; i < sample; ++i) {
+    BufferState& buffer = buffers_[(i * 5) % buffers_.size()];
+    kernel_->Read(buffer.bh, bm_.b_blocknr, 450);
+    kernel_->Write(buffer.bh, bm_.b_end_io, 451);
+    kernel_->Write(buffer.bh, bm_.b_count, 452);
+    if (buffer.jh.valid()) {
+      kernel_->Read(buffer.jh, hm_.b_jcount, 453);
+      kernel_->Write(buffer.jh, hm_.b_jlist, 455);
+      kernel_->Write(buffer.jh, hm_.b_cp_transaction, 456);
+      kernel_->Write(buffer.jh, hm_.b_cpnext, 457);
+      kernel_->Write(buffer.jh, hm_.b_cpprev, 458);
+    }
+  }
+  kernel_->Write(committing_txn_, tm_.t_private_list, 464);
+  kernel_->Write(committing_txn_, tm_.t_checkpoint_list, 465);
+  kernel_->Write(committing_txn_, tm_.t_log_list, 466);
+  kernel_->Write(committing_txn_, tm_.t_cpnext, 467);
+  kernel_->Unlock(journal_, jm_.j_list_lock, 470);
+
+  // Phase 3: finalize state and statistics.
+  kernel_->Lock(journal_, jm_.j_state_lock, 480);
+  kernel_->Read(journal_, jm_.j_commit_sequence, 481);
+  kernel_->Write(committing_txn_, tm_.t_state, 482);
+  kernel_->Write(journal_, jm_.j_commit_sequence, 483);
+  kernel_->Read(journal_, jm_.j_head, 484);
+  kernel_->Write(journal_, jm_.j_head, 485);
+  kernel_->Read(journal_, jm_.j_free, 486);
+  kernel_->Write(journal_, jm_.j_free, 487);
+  kernel_->Read(journal_, jm_.j_average_commit_time, 488);
+  kernel_->Read(journal_, jm_.j_history_cur, 489);
+  kernel_->Lock(journal_, jm_.j_list_lock, 490);
+  kernel_->Write(journal_, jm_.j_committing_transaction, 491);  // Clear it.
+  kernel_->Write(journal_, jm_.j_checkpoint_transactions, 492);
+  kernel_->Unlock(journal_, jm_.j_list_lock, 493);
+
+  if (rng.Chance(plan_.journal_stats_sloppiness)) {
+    // Sloppy path: statistics written after dropping the state lock.
+    kernel_->Unlock(journal_, jm_.j_state_lock, 495);
+    FunctionScope stats(*kernel_, "fs/jbd2/commit.c", "jbd2_journal_commit_stats", 530, 570);
+    uint32_t line = 535 + static_cast<uint32_t>(rng.Below(30));
+    kernel_->Write(journal_, jm_.j_average_commit_time, line);
+    kernel_->Write(journal_, jm_.j_last_sync_writer, line + 1);
+    kernel_->Write(journal_, jm_.j_history_cur, line + 2);
+    kernel_->Write(journal_, jm_.j_stats, line + 3);
+    kernel_->Write(journal_, jm_.j_maxlen, line + 5);
+    kernel_->Write(journal_, jm_.j_failed_commit, line + 6);
+    if (rng.Chance(0.4)) {
+      kernel_->Write(journal_, jm_.j_tail, line + 4);
+    }
+  } else {
+    kernel_->Write(journal_, jm_.j_average_commit_time, 500);
+    kernel_->Write(journal_, jm_.j_last_sync_writer, 501);
+    kernel_->Write(journal_, jm_.j_history_cur, 502);
+    kernel_->Write(journal_, jm_.j_stats, 503);
+    kernel_->Unlock(journal_, jm_.j_state_lock, 510);
+  }
+
+  // Per-commit run statistics live outside any lock by design (their
+  // documented rule names j_state_lock and is simply never followed).
+  {
+    FunctionScope stats_fn(*kernel_, "fs/jbd2/commit.c", "jbd2_journal_run_stats", 575, 590);
+    kernel_->Write(committing_txn_, tm_.t_run_stats, 580);
+  }
+
+  // Superblock log-tail update: a read-only inspection of the journal's
+  // cursors under fresh lock acquisitions (its own transactions).
+  {
+    FunctionScope sb_fn(*kernel_, "fs/jbd2/journal.c", "jbd2_journal_update_sb_log_tail", 620,
+                        660);
+    kernel_->Lock(journal_, jm_.j_state_lock, 625, AcquireMode::kShared);
+    kernel_->Read(journal_, jm_.j_tail, 630);
+    kernel_->Read(journal_, jm_.j_head, 631);
+    kernel_->Read(journal_, jm_.j_free, 634);
+    kernel_->Read(journal_, jm_.j_commit_sequence, 632);
+    kernel_->Read(journal_, jm_.j_commit_request, 633);
+    kernel_->Unlock(journal_, jm_.j_state_lock, 640);
+    kernel_->Lock(journal_, jm_.j_list_lock, 645);
+    kernel_->Read(journal_, jm_.j_checkpoint_transactions, 647);
+    kernel_->Unlock(journal_, jm_.j_list_lock, 650);
+  }
+
+  checkpoint_txn_ = committing_txn_;
+  committing_txn_ = ObjectRef{};
+}
+
+void VfsKernel::JournalStatsProcShow(Rng& rng) {
+  // Lockless statistics dump, mirroring /proc/fs/jbd2: these reads make the
+  // journal's documented read rules ambivalent (and j_stats incorrect).
+  FunctionScope fn(*kernel_, "fs/jbd2/journal.c", "jbd2_seq_info_show", 900, 950);
+  kernel_->Read(journal_, jm_.j_free, 910);
+  kernel_->Read(journal_, jm_.j_average_commit_time, 911);
+  kernel_->Read(journal_, jm_.j_history_cur, 912);
+  kernel_->Read(journal_, jm_.j_transaction_sequence, 913);
+  kernel_->Read(journal_, jm_.j_stats, 914);
+  if (rng.Chance(0.5)) {
+    kernel_->Read(journal_, jm_.j_min_batch_time, 920);
+    kernel_->Read(journal_, jm_.j_max_batch_time, 921);
+    kernel_->Read(journal_, jm_.j_last_sync_writer, 922);
+  }
+  if (rng.Chance(0.4)) {
+    // Geometry and identity fields — set once at journal creation, read
+    // bare forever after.
+    kernel_->Read(journal_, jm_.j_blocksize, 930);
+    kernel_->Read(journal_, jm_.j_maxlen, 931);
+    kernel_->Read(journal_, jm_.j_first, 932);
+    kernel_->Read(journal_, jm_.j_last, 933);
+    kernel_->Read(journal_, jm_.j_flags, 934);
+    kernel_->Read(journal_, jm_.j_wbuf, 935);
+    kernel_->Read(journal_, jm_.j_wbufsize, 936);
+    kernel_->Read(journal_, jm_.j_private, 937);
+    kernel_->Read(journal_, jm_.j_failed_commit, 938);
+  }
+}
+
+void VfsKernel::BufferLruScan(Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/buffer.c", "bh_lru_scan", 940, 990);
+  BufferState& buffer = PickBuffer(rng);
+  kernel_->Read(buffer.bh, bm_.b_size, 945);
+  kernel_->Read(buffer.bh, bm_.b_data, 946);
+  if (rng.Chance(0.6)) {
+    kernel_->Read(buffer.bh, bm_.b_blocknr, 950);
+  }
+  if (buffer.jh.valid()) {
+    if (rng.Chance(0.25)) {
+      kernel_->Read(buffer.jh, hm_.b_jlist, 955);
+    }
+    if (rng.Chance(0.35)) {
+      kernel_->Read(buffer.jh, hm_.b_transaction, 956);
+    }
+    if (rng.Chance(0.45)) {
+      kernel_->Read(buffer.jh, hm_.b_modified, 957);
+    }
+  }
+  kernel_->Read(running_txn_, tm_.t_state, 960);
+  if (rng.Chance(0.25)) {
+    kernel_->Read(running_txn_, tm_.t_nr_buffers, 961);
+  }
+  if (rng.Chance(0.9)) {
+    kernel_->Read(journal_, jm_.j_barrier_count, 965);
+  }
+  if (rng.Chance(0.6)) {
+    kernel_->Read(journal_, jm_.j_transaction_sequence, 966);
+  }
+}
+
+void VfsKernel::JournalCheckpoint(Rng& rng) {
+  if (!checkpoint_txn_.valid()) {
+    return;
+  }
+  FunctionScope fn(*kernel_, "fs/jbd2/checkpoint.c", "jbd2_log_do_checkpoint", 200, 260);
+  kernel_->Lock(journal_, jm_.j_checkpoint_mutex, 205);
+  kernel_->Lock(journal_, jm_.j_list_lock, 210);
+  kernel_->Read(journal_, jm_.j_checkpoint_transactions, 212);
+  kernel_->Read(checkpoint_txn_, tm_.t_checkpoint_list, 215);
+  kernel_->Write(checkpoint_txn_, tm_.t_checkpoint_list, 216);
+  kernel_->Write(checkpoint_txn_, tm_.t_checkpoint_io_list, 217);
+  kernel_->Write(checkpoint_txn_, tm_.t_chp_stats, 218);
+  kernel_->Write(checkpoint_txn_, tm_.t_cpnext, 219);
+  for (BufferState& buffer : buffers_) {
+    if (buffer.jh.valid()) {
+      kernel_->Read(buffer.jh, hm_.b_cp_transaction, 224);
+      kernel_->Write(buffer.jh, hm_.b_cp_transaction, 225);
+      kernel_->Write(buffer.jh, hm_.b_cpnext, 226);
+      kernel_->Write(buffer.jh, hm_.b_jcount, 227);
+      kernel_->Write(buffer.jh, hm_.b_cpprev, 228);
+      break;  // One representative buffer per checkpoint.
+    }
+  }
+  kernel_->Write(journal_, jm_.j_checkpoint_transactions, 230);
+  kernel_->Unlock(journal_, jm_.j_list_lock, 235);
+
+  kernel_->Lock(journal_, jm_.j_state_lock, 240);
+  kernel_->Read(journal_, jm_.j_tail, 241);
+  kernel_->Write(journal_, jm_.j_tail, 242);
+  kernel_->Write(journal_, jm_.j_tail_sequence, 243);
+  kernel_->Write(journal_, jm_.j_free, 244);
+  kernel_->Unlock(journal_, jm_.j_state_lock, 246);
+  kernel_->Unlock(journal_, jm_.j_checkpoint_mutex, 250);
+
+  // Free the fully checkpointed transaction (teardown context).
+  {
+    FunctionScope free_fn(*kernel_, "fs/jbd2/transaction.c", "jbd2_journal_free_transaction",
+                          100, 115);
+    kernel_->Destroy(checkpoint_txn_, 105);
+  }
+  checkpoint_txn_ = ObjectRef{};
+  (void)rng;
+}
+
+}  // namespace lockdoc

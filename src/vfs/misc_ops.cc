@@ -1,0 +1,353 @@
+// Special-purpose filesystems (fs/proc, fs/sysfs, net/socket.c,
+// fs/anon_inodes.c, fs/debugfs) and pipes (fs/pipe.c).
+//
+// These exist to exercise inode subclassing (Sec. 5.3 item 1): the same
+// struct inode follows very different disciplines per filesystem — proc
+// leaves most members unprotected because it implements only a subset of
+// operations; pipefs hides everything behind the pipe's mutex; debugfs is
+// barely exercised at all (the paper mines a single write rule for it).
+#include "src/vfs/vfs_kernel.h"
+
+namespace lockdoc {
+namespace {
+
+// Bounded pool sizes for the special filesystems.
+constexpr size_t kProcPool = 8;
+constexpr size_t kSysfsPool = 6;
+constexpr size_t kSockPool = 4;
+constexpr size_t kAnonPool = 2;
+constexpr size_t kDebugfsPool = 1;
+
+}  // namespace
+
+void VfsKernel::ProcReadEntry(Rng& rng) {
+  MountState& state = mount(ids_.fs_proc);
+  if (state.files.size() < kProcPool) {
+    FunctionScope fn(*kernel_, "fs/proc/inode.c", "proc_get_inode", 420, 460);
+    FileState file;
+    file.inode = AllocInode(ids_.fs_proc, rng);
+    file.dentry = AllocDentry(file.inode, rng);
+    file.alive = true;
+    // proc sets these up outside any init helper and without locks — the
+    // "proc does not lock-protect some members" behaviour from Sec. 5.3.
+    kernel_->Write(file.inode, im_.i_private, 430);
+    kernel_->Write(file.inode, im_.i_fop, 431);
+    kernel_->Write(file.inode, im_.i_mode, 432);
+    state.files.push_back(file);
+  }
+  const FileState& file = state.files[rng.Below(state.files.size())];
+
+  FunctionScope fn(*kernel_, "fs/proc/generic.c", "proc_reg_read", 220, 260);
+  kernel_->Read(file.inode, im_.i_private, 225);
+  kernel_->Read(file.inode, im_.i_fop, 226);
+  kernel_->Read(file.inode, im_.i_mode, 227);
+  kernel_->Read(file.inode, im_.i_size, 228);
+  kernel_->Read(file.inode, im_.i_ino, 229);
+  kernel_->Read(file.inode, im_.i_uid, 230);
+  kernel_->Read(file.inode, im_.i_gid, 231);
+  if (rng.Chance(0.5)) {
+    kernel_->Read(file.inode, im_.i_op, 235);
+    kernel_->Read(file.inode, im_.i_nlink, 236);
+    kernel_->Read(file.inode, im_.i_mtime, 237);
+    kernel_->Read(file.inode, im_.i_atime, 238);
+  }
+  if (rng.Chance(0.3)) {
+    kernel_->Write(file.inode, im_.i_atime, 245);
+    kernel_->Write(file.inode, im_.i_atime_nsec, 246);
+  }
+}
+
+void VfsKernel::SysfsReadAttr(Rng& rng) {
+  MountState& state = mount(ids_.fs_sysfs);
+  if (state.files.size() < kSysfsPool) {
+    size_t index = CreateFile(ids_.fs_sysfs, rng);
+    (void)index;
+  }
+  const FileState& file = state.files[rng.Below(state.files.size())];
+  if (!file.alive) {
+    return;
+  }
+  FunctionScope fn(*kernel_, "fs/sysfs/file.c", "sysfs_kf_seq_show", 40, 80);
+  kernel_->Read(file.inode, im_.i_private, 45);
+  kernel_->Read(file.inode, im_.i_mode, 46);
+  kernel_->Read(file.inode, im_.i_size, 47);
+  kernel_->Read(file.inode, im_.i_fop, 48);
+  if (rng.Chance(0.5)) {
+    kernel_->Read(file.inode, im_.i_uid, 52);
+    kernel_->Read(file.inode, im_.i_gid, 53);
+    kernel_->Read(file.inode, im_.i_generation, 54);
+  }
+  if (rng.Chance(0.35)) {
+    kernel_->Read(file.inode, im_.i_op, 56);
+    kernel_->Read(file.inode, im_.i_sb, 57);
+    kernel_->Read(file.inode, im_.i_mapping, 58);
+    kernel_->Read(file.inode, im_.i_state, 59);
+    kernel_->Read(file.inode, im_.i_version, 60);
+    kernel_->Read(file.inode, im_.i_blkbits, 61);
+    kernel_->Read(file.inode, im_.i_atime, 62);
+    kernel_->Read(file.inode, im_.i_ctime, 63);
+    kernel_->Read(file.inode, im_.i_mtime, 64);
+    kernel_->Read(file.inode, im_.i_ino, 65);
+    kernel_->Read(file.inode, im_.i_flags, 66);
+    kernel_->Read(file.inode, im_.i_nlink, 67);
+  }
+}
+
+void VfsKernel::SysfsWriteAttr(Rng& rng) {
+  MountState& state = mount(ids_.fs_sysfs);
+  if (state.files.empty()) {
+    SysfsReadAttr(rng);
+    return;
+  }
+  const FileState& file = state.files[rng.Below(state.files.size())];
+  if (!file.alive) {
+    return;
+  }
+  FunctionScope fn(*kernel_, "fs/sysfs/file.c", "sysfs_kf_write", 120, 160);
+  kernel_->LockGlobal(sysfs_mutex_, 125);
+  kernel_->Write(file.inode, im_.i_size, 131);
+  kernel_->Read(file.inode, im_.i_private, 132);
+  kernel_->UnlockGlobal(sysfs_mutex_, 140);
+  // Timestamps belong to the lock-free family everywhere in this kernel.
+  kernel_->Write(file.inode, im_.i_mtime, 145);
+}
+
+void VfsKernel::SockCreateAndUse(Rng& rng) {
+  MountState& state = mount(ids_.fs_sockfs);
+  if (state.files.size() < kSockPool) {
+    FunctionScope fn(*kernel_, "net/socket.c", "sock_alloc_inode", 250, 290);
+    FileState file;
+    file.inode = AllocInode(ids_.fs_sockfs, rng);
+    file.dentry = AllocDentry(file.inode, rng);
+    file.alive = true;
+    state.files.push_back(file);
+  }
+  const FileState& file = state.files[rng.Below(state.files.size())];
+
+  FunctionScope fn(*kernel_, "net/socket.c", "sock_sendmsg", 640, 680);
+  kernel_->Read(file.inode, im_.i_mode, 645);
+  kernel_->Read(file.inode, im_.i_fop, 646);
+  kernel_->Read(file.inode, im_.i_private, 647);
+  kernel_->Read(file.inode, im_.i_uid, 648);
+  kernel_->Read(file.inode, im_.i_gid, 649);
+  kernel_->Read(file.inode, im_.i_ino, 650);
+  if (rng.Chance(0.5)) {
+    kernel_->Read(file.inode, im_.i_sb, 651);
+    kernel_->Read(file.inode, im_.i_op, 652);
+    kernel_->Read(file.inode, im_.i_mapping, 653);
+    kernel_->Read(file.inode, im_.i_flags, 654);
+  }
+  if (rng.Chance(0.35)) {
+    kernel_->Read(file.inode, im_.i_security, 658);
+    kernel_->Read(file.inode, im_.i_opflags, 659);
+    kernel_->Read(file.inode, im_.i_blkbits, 660);
+    kernel_->Read(file.inode, im_.i_generation, 661);
+    kernel_->Read(file.inode, im_.i_version, 662);
+    kernel_->Read(file.inode, im_.i_mtime, 663);
+    kernel_->Read(file.inode, im_.i_rdev, 664);
+  }
+  if (rng.Chance(0.25)) {
+    kernel_->Write(file.inode, im_.i_atime, 655);
+    kernel_->Read(file.inode, im_.i_state, 656);
+  }
+}
+
+void VfsKernel::AnonInodeUse(Rng& rng) {
+  MountState& state = mount(ids_.fs_anon_inodefs);
+  if (state.files.size() < kAnonPool) {
+    FunctionScope fn(*kernel_, "fs/anon_inodes.c", "anon_inode_new", 120, 150);
+    FileState file;
+    file.inode = AllocInode(ids_.fs_anon_inodefs, rng);
+    file.dentry = AllocDentry(file.inode, rng);
+    file.alive = true;
+    state.files.push_back(file);
+  }
+  const FileState& file = state.files[rng.Below(state.files.size())];
+
+  FunctionScope fn(*kernel_, "fs/anon_inodes.c", "anon_inode_getfile", 160, 200);
+  kernel_->Read(file.inode, im_.i_mode, 165);
+  kernel_->Read(file.inode, im_.i_fop, 166);
+  kernel_->Read(file.inode, im_.i_ino, 167);
+  kernel_->Read(file.inode, im_.i_state, 168);
+  kernel_->Read(file.inode, im_.i_sb, 169);
+  if (rng.Chance(0.45)) {
+    kernel_->Read(file.inode, im_.i_mapping, 170);
+    kernel_->Read(file.inode, im_.i_op, 171);
+    kernel_->Read(file.inode, im_.i_flags, 172);
+    kernel_->Read(file.inode, im_.i_uid, 173);
+    kernel_->Read(file.inode, im_.i_gid, 174);
+    kernel_->Read(file.inode, im_.i_generation, 176);
+  }
+  if (rng.Chance(0.2)) {
+    kernel_->Write(file.inode, im_.i_private, 175);
+  }
+}
+
+void VfsKernel::DebugfsCreate(Rng& rng) {
+  MountState& state = mount(ids_.fs_debugfs);
+  const ObjectRef& dir = state.root.inode;
+  if (state.files.size() >= kDebugfsPool) {
+    return;
+  }
+  FunctionScope fn(*kernel_, "fs/debugfs/inode.c", "debugfs_create_file", 330, 370);
+  kernel_->Lock(dir, im_.i_rwsem, 335);
+  FileState file;
+  file.inode = AllocInode(ids_.fs_debugfs, rng);
+  file.dentry = AllocDentry(file.inode, rng);
+  file.alive = true;
+  // The only observed debugfs access outside init context: i_private is
+  // written under the parent directory's i_rwsem (one write rule, no read
+  // rules — matching the paper's sparse inode:debugfs row in Tab. 6).
+  kernel_->Write(file.inode, im_.i_private, 345);
+  kernel_->Unlock(dir, im_.i_rwsem, 360);
+  state.files.push_back(file);
+}
+
+size_t VfsKernel::PipeCreate(Rng& rng) {
+  FunctionScope fn(*kernel_, "fs/pipe.c", "create_pipe_files", 750, 800);
+  PipeState pipe;
+  {
+    FunctionScope alloc(*kernel_, "fs/pipe.c", "alloc_pipe_info", 620, 660);
+    pipe.info = kernel_->Create(ids_.pipe, kNoSubclass, 625);
+    kernel_->Write(pipe.info, pm_.buffers, 630);
+    kernel_->Write(pipe.info, pm_.user, 631);
+    kernel_->Write(pipe.info, pm_.bufs, 632);
+    kernel_->Write(pipe.info, pm_.readers, 633);
+    kernel_->Write(pipe.info, pm_.writers, 634);
+  }
+  pipe.inode = AllocInode(ids_.fs_pipefs, rng);
+  // Publishing the pipe in the inode happens under i_lock.
+  kernel_->Lock(pipe.inode, im_.i_lock, 770);
+  kernel_->Write(pipe.inode, im_.i_pipe, 772);
+  kernel_->Write(pipe.inode, im_.i_state, 773);
+  kernel_->Unlock(pipe.inode, im_.i_lock, 775);
+  pipe.alive = true;
+  pipes_.push_back(pipe);
+  return pipes_.size() - 1;
+}
+
+void VfsKernel::PipeWrite(size_t index, Rng& rng) {
+  LOCKDOC_CHECK(index < pipes_.size() && pipes_[index].alive);
+  PipeState& pipe = pipes_[index];
+
+  FunctionScope fn(*kernel_, "fs/pipe.c", "pipe_write", 380, 460);
+  kernel_->Lock(pipe.info, pm_.mutex, 385);
+  kernel_->Read(pipe.info, pm_.readers, 390);
+  kernel_->Read(pipe.info, pm_.nrbufs, 391);
+  kernel_->Read(pipe.info, pm_.curbuf, 392);
+  kernel_->Read(pipe.info, pm_.buffers, 393);
+  kernel_->Write(pipe.info, pm_.nrbufs, 395);
+  kernel_->Write(pipe.info, pm_.bufs, 396);
+  if (rng.Chance(0.3)) {
+    kernel_->Write(pipe.info, pm_.waiting_writers, 400);
+    kernel_->Read(pipe.info, pm_.tmp_page, 401);
+    kernel_->Write(pipe.info, pm_.tmp_page, 402);
+  }
+  kernel_->Write(pipe.info, pm_.w_counter, 405);
+  kernel_->Unlock(pipe.info, pm_.mutex, 430);
+
+  // Timestamp update on the pipefs inode.
+  kernel_->Write(pipe.inode, im_.i_mtime, 440);
+  kernel_->Write(pipe.inode, im_.i_ctime, 441);
+}
+
+void VfsKernel::PipeRead(size_t index, Rng& rng) {
+  LOCKDOC_CHECK(index < pipes_.size() && pipes_[index].alive);
+  PipeState& pipe = pipes_[index];
+
+  FunctionScope fn(*kernel_, "fs/pipe.c", "pipe_read", 250, 330);
+  kernel_->Lock(pipe.info, pm_.mutex, 255);
+  kernel_->Read(pipe.info, pm_.nrbufs, 260);
+  kernel_->Read(pipe.info, pm_.curbuf, 261);
+  kernel_->Read(pipe.info, pm_.bufs, 262);
+  kernel_->Read(pipe.info, pm_.writers, 263);
+  kernel_->Write(pipe.info, pm_.nrbufs, 265);
+  kernel_->Write(pipe.info, pm_.curbuf, 266);
+  if (rng.Chance(0.3)) {
+    kernel_->Read(pipe.info, pm_.waiting_writers, 270);
+    kernel_->Write(pipe.info, pm_.waiting_writers, 271);
+  }
+  kernel_->Write(pipe.info, pm_.r_counter, 275);
+  kernel_->Unlock(pipe.info, pm_.mutex, 300);
+
+  kernel_->Read(pipe.inode, im_.i_pipe, 320);
+  kernel_->Write(pipe.inode, im_.i_atime, 321);
+
+  // Read-side bookkeeping consults the pipefs inode locklessly (pipefs
+  // inodes are invisible to path lookup, so almost nothing needs locks —
+  // the paper's inode:pipefs row is dominated by "no lock" read rules).
+  FunctionScope fifo(*kernel_, "fs/pipe.c", "fifo_open_checks", 340, 370);
+  kernel_->Read(pipe.inode, im_.i_mode, 345);
+  kernel_->Read(pipe.inode, im_.i_fop, 346);
+  kernel_->Read(pipe.inode, im_.i_op, 347);
+  kernel_->Read(pipe.inode, im_.i_ino, 348);
+  kernel_->Read(pipe.inode, im_.i_sb, 349);
+  if (rng.Chance(0.6)) {
+    kernel_->Read(pipe.inode, im_.i_uid, 352);
+    kernel_->Read(pipe.inode, im_.i_gid, 353);
+    kernel_->Read(pipe.inode, im_.i_mapping, 354);
+    kernel_->Read(pipe.inode, im_.i_flags, 355);
+    kernel_->Read(pipe.inode, im_.i_mtime, 356);
+    kernel_->Read(pipe.inode, im_.i_ctime, 357);
+    kernel_->Read(pipe.inode, im_.i_atime, 358);
+  }
+  if (rng.Chance(0.35)) {
+    kernel_->Read(pipe.inode, im_.i_blkbits, 361);
+    kernel_->Read(pipe.inode, im_.i_size, 362);
+    kernel_->Read(pipe.inode, im_.i_rdev, 363);
+    kernel_->Read(pipe.inode, im_.i_generation, 364);
+    kernel_->Read(pipe.inode, im_.i_opflags, 365);
+    kernel_->Read(pipe.inode, im_.i_security, 366);
+    kernel_->Read(pipe.inode, im_.i_version, 367);
+    kernel_->Read(pipe.inode, im_.i_flctx, 368);
+    kernel_->Read(pipe.inode, im_.i_wb, 369);
+  }
+}
+
+void VfsKernel::PipePoll(size_t index, Rng& rng) {
+  LOCKDOC_CHECK(index < pipes_.size() && pipes_[index].alive);
+  PipeState& pipe = pipes_[index];
+
+  // pipe_poll normally locks the pipe, but a few early-boot-style polls
+  // read the state locklessly — the paper's Tab. 7 shows a handful of
+  // pipe_inode_info violations (9 events, 3 members).
+  FunctionScope fn(*kernel_, "fs/pipe.c", "pipe_poll", 510, 540);
+  if (plan_.pipe_poll_lockless && pipe_poll_lockless_remaining_ > 0) {
+    --pipe_poll_lockless_remaining_;
+    uint32_t line = rng.Chance(0.5) ? 515 : 522;
+    kernel_->Read(pipe.info, pm_.nrbufs, line);
+    kernel_->Read(pipe.info, pm_.readers, line + 1);
+    kernel_->Read(pipe.info, pm_.writers, line + 2);
+    return;
+  }
+  kernel_->Lock(pipe.info, pm_.mutex, 528);
+  kernel_->Read(pipe.info, pm_.nrbufs, 530);
+  kernel_->Read(pipe.info, pm_.readers, 531);
+  kernel_->Read(pipe.info, pm_.writers, 532);
+  kernel_->Unlock(pipe.info, pm_.mutex, 535);
+}
+
+void VfsKernel::PipeRelease(size_t index, Rng& rng) {
+  LOCKDOC_CHECK(index < pipes_.size() && pipes_[index].alive);
+  PipeState& pipe = pipes_[index];
+
+  FunctionScope fn(*kernel_, "fs/pipe.c", "pipe_release", 560, 600);
+  kernel_->Lock(pipe.info, pm_.mutex, 565);
+  kernel_->Read(pipe.info, pm_.readers, 570);
+  kernel_->Write(pipe.info, pm_.readers, 571);
+  kernel_->Read(pipe.info, pm_.writers, 572);
+  kernel_->Write(pipe.info, pm_.writers, 573);
+  kernel_->Read(pipe.info, pm_.files, 574);
+  kernel_->Write(pipe.info, pm_.files, 575);
+  kernel_->Unlock(pipe.info, pm_.mutex, 580);
+
+  {
+    FunctionScope free_fn(*kernel_, "fs/pipe.c", "free_pipe_info", 680, 710);
+    kernel_->Destroy(pipe.info, 690);
+  }
+  DestroyInode(pipe.inode);
+  pipe.alive = false;
+  (void)rng;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,288 @@
+#include "src/vfs/types.h"
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+namespace {
+
+// Member kinds for the table-driven layout definitions:
+//   d = plain data member            a = atomic_t (filtered)
+//   b = blacklisted/out-of-scope     s = spinlock_t
+//   m = mutex                        r = rw_semaphore
+//   w = rwlock_t                     q = seqlock_t
+struct MemberSpec {
+  const char* name;
+  char kind;
+};
+
+void AddMembers(TypeLayout* layout, const MemberSpec* specs, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    const MemberSpec& spec = specs[i];
+    switch (spec.kind) {
+      case 'd':
+        layout->AddMember(spec.name, 8);
+        break;
+      case 'a':
+        layout->AddAtomicMember(spec.name, 4);
+        break;
+      case 'b':
+        layout->AddBlacklistedMember(spec.name, 8);
+        break;
+      case 's':
+        layout->AddLockMember(spec.name, LockType::kSpinlock);
+        break;
+      case 'm':
+        layout->AddLockMember(spec.name, LockType::kMutex);
+        break;
+      case 'r':
+        layout->AddLockMember(spec.name, LockType::kRwSemaphore);
+        break;
+      case 'w':
+        layout->AddLockMember(spec.name, LockType::kRwlock);
+        break;
+      case 'q':
+        layout->AddLockMember(spec.name, LockType::kSeqlock);
+        break;
+      default:
+        LOCKDOC_CHECK(false && "bad member kind");
+    }
+  }
+}
+
+// struct inode, Linux 4.10, i_data (struct address_space) and the
+// i_pipe/i_bdev/i_cdev/i_link union unrolled: 65 members, 5 filtered
+// (i_lock, i_rwsem, i_count, i_dio_count, i_writecount).
+constexpr MemberSpec kInodeMembers[] = {
+    {"i_mode", 'd'},          {"i_opflags", 'd'},        {"i_uid", 'd'},
+    {"i_gid", 'd'},           {"i_flags", 'd'},          {"i_acl", 'd'},
+    {"i_default_acl", 'd'},   {"i_op", 'd'},             {"i_sb", 'd'},
+    {"i_mapping", 'd'},       {"i_security", 'd'},       {"i_ino", 'd'},
+    {"i_nlink", 'd'},         {"i_rdev", 'd'},           {"i_size", 'd'},
+    {"i_atime", 'd'},         {"i_atime_nsec", 'd'},     {"i_mtime", 'd'},
+    {"i_ctime", 'd'},         {"i_lock", 's'},           {"i_bytes", 'd'},
+    {"i_blkbits", 'd'},       {"i_blocks", 'd'},         {"i_size_seqcount", 'd'},
+    {"i_state", 'd'},         {"i_rwsem", 'r'},          {"dirtied_when", 'd'},
+    {"dirtied_time_when", 'd'}, {"i_hash", 'd'},         {"i_io_list", 'd'},
+    {"i_lru", 'd'},           {"i_sb_list", 'd'},        {"i_wb_list", 'd'},
+    {"i_version", 'd'},       {"i_count", 'a'},          {"i_dio_count", 'a'},
+    {"i_writecount", 'a'},    {"i_fop", 'd'},            {"i_flctx", 'd'},
+    {"i_data.host", 'd'},     {"i_data.page_tree", 'd'}, {"i_data.gfp_mask", 'd'},
+    {"i_data.nrexceptional", 'd'}, {"i_data.nrpages", 'd'},
+    {"i_data.writeback_index", 'd'}, {"i_data.a_ops", 'd'},
+    {"i_data.flags", 'd'},    {"i_data.private_data", 'd'},
+    {"i_data.private_list", 'd'}, {"i_dquot", 'd'},      {"i_devices", 'd'},
+    {"i_pipe", 'd'},          {"i_bdev", 'd'},           {"i_cdev", 'd'},
+    {"i_link", 'd'},          {"i_dir_seq", 'd'},        {"i_generation", 'd'},
+    {"i_fsnotify_mask", 'd'}, {"i_fsnotify_marks", 'd'}, {"i_crypt_info", 'd'},
+    {"i_private", 'd'},       {"i_wb", 'd'},             {"i_wb_frn_winner", 'd'},
+    {"i_wb_frn_avg_time", 'd'}, {"i_wb_frn_history", 'd'},
+};
+static_assert(std::size(kInodeMembers) == 65);
+
+// struct dentry: 21 members, 1 filtered (d_lock).
+constexpr MemberSpec kDentryMembers[] = {
+    {"d_flags", 'd'},  {"d_seq", 'd'},     {"d_hash", 'd'},
+    {"d_parent", 'd'}, {"d_name", 'd'},    {"d_inode", 'd'},
+    {"d_iname", 'd'},  {"d_lock", 's'},    {"d_count", 'd'},
+    {"d_op", 'd'},     {"d_sb", 'd'},      {"d_time", 'd'},
+    {"d_fsdata", 'd'}, {"d_lru", 'd'},     {"d_child", 'd'},
+    {"d_subdirs", 'd'}, {"d_alias", 'd'},  {"d_in_lookup_hash", 'd'},
+    {"d_rcu", 'd'},    {"d_wait", 'd'},    {"d_mounted", 'd'},
+};
+static_assert(std::size(kDentryMembers) == 21);
+
+// struct super_block: 56 members, 3 filtered (s_umount, s_inode_list_lock,
+// s_active).
+constexpr MemberSpec kSuperBlockMembers[] = {
+    {"s_list", 'd'},        {"s_dev", 'd'},          {"s_blocksize_bits", 'd'},
+    {"s_blocksize", 'd'},   {"s_maxbytes", 'd'},     {"s_type", 'd'},
+    {"s_op", 'd'},          {"dq_op", 'd'},          {"s_qcop", 'd'},
+    {"s_export_op", 'd'},   {"s_flags", 'd'},        {"s_iflags", 'd'},
+    {"s_magic", 'd'},       {"s_root", 'd'},         {"s_umount", 'r'},
+    {"s_count", 'd'},       {"s_active", 'a'},       {"s_security", 'd'},
+    {"s_xattr", 'd'},       {"s_fs_info", 'd'},      {"s_max_links", 'd'},
+    {"s_mode", 'd'},        {"s_time_gran", 'd'},    {"s_id", 'd'},
+    {"s_uuid", 'd'},        {"s_mounts", 'd'},       {"s_bdev", 'd'},
+    {"s_bdi", 'd'},         {"s_mtd", 'd'},          {"s_instances", 'd'},
+    {"s_quota_types", 'd'}, {"s_dquot", 'd'},        {"s_writers_frozen", 'd'},
+    {"s_d_op", 'd'},        {"s_shrink", 'd'},       {"s_remove_count", 'd'},
+    {"s_readonly_remount", 'd'}, {"s_dio_done_wq", 'd'}, {"s_pins", 'd'},
+    {"s_user_ns", 'd'},     {"s_dentry_lru", 'd'},   {"s_inode_lru", 'd'},
+    {"rcu_head", 'd'},      {"destroy_work", 'd'},   {"s_inode_list_lock", 's'},
+    {"s_inodes", 'd'},      {"s_inodes_wb", 'd'},    {"s_subtype", 'd'},
+    {"s_options", 'd'},     {"s_stack_depth", 'd'},  {"s_anon", 'd'},
+    {"s_wb_err", 'd'},      {"s_time_min", 'd'},     {"s_time_max", 'd'},
+    {"s_fsnotify_mask", 'd'}, {"s_fsnotify_marks", 'd'},
+};
+static_assert(std::size(kSuperBlockMembers) == 56);
+
+// struct buffer_head: 13 members, 0 filtered (the real structure is
+// synchronized via bit operations on b_state plus external locks).
+constexpr MemberSpec kBufferHeadMembers[] = {
+    {"b_state", 'd'},        {"b_this_page", 'd'}, {"b_page", 'd'},
+    {"b_blocknr", 'd'},      {"b_size", 'd'},      {"b_data", 'd'},
+    {"b_bdev", 'd'},         {"b_end_io", 'd'},    {"b_private", 'd'},
+    {"b_assoc_buffers", 'd'}, {"b_assoc_map", 'd'}, {"b_count", 'd'},
+    {"b_journal_head", 'd'},
+};
+static_assert(std::size(kBufferHeadMembers) == 13);
+
+// journal_t (jbd2): 58 members, 11 filtered (4 locks, 5 wait queues
+// out-of-scope, j_reserved_credits atomic, j_revoke internal).
+constexpr MemberSpec kJournalMembers[] = {
+    {"j_flags", 'd'},          {"j_errno", 'd'},          {"j_sb_buffer", 'd'},
+    {"j_superblock", 'd'},     {"j_format_version", 'd'}, {"j_state_lock", 'w'},
+    {"j_barrier_count", 'd'},  {"j_barrier", 'm'},        {"j_running_transaction", 'd'},
+    {"j_committing_transaction", 'd'},                    {"j_checkpoint_transactions", 'd'},
+    {"j_wait_transaction_locked", 'b'},                   {"j_wait_done_commit", 'b'},
+    {"j_wait_commit", 'b'},    {"j_wait_updates", 'b'},   {"j_wait_reserved", 'b'},
+    {"j_checkpoint_mutex", 'm'},                          {"j_head", 'd'},
+    {"j_tail", 'd'},           {"j_free", 'd'},           {"j_first", 'd'},
+    {"j_last", 'd'},           {"j_dev", 'd'},            {"j_blocksize", 'd'},
+    {"j_blk_offset", 'd'},     {"j_devname", 'd'},        {"j_fs_dev", 'd'},
+    {"j_maxlen", 'd'},         {"j_reserved_credits", 'a'}, {"j_list_lock", 's'},
+    {"j_inode", 'd'},          {"j_tail_sequence", 'd'},  {"j_transaction_sequence", 'd'},
+    {"j_commit_sequence", 'd'}, {"j_commit_request", 'd'}, {"j_uuid", 'd'},
+    {"j_task", 'd'},           {"j_max_transaction_buffers", 'd'},
+    {"j_commit_interval", 'd'}, {"j_commit_timer", 'd'},  {"j_revoke", 'b'},
+    {"j_revoke_table", 'd'},   {"j_wbuf", 'd'},           {"j_wbufsize", 'd'},
+    {"j_last_sync_writer", 'd'},                          {"j_average_commit_time", 'd'},
+    {"j_min_batch_time", 'd'}, {"j_max_batch_time", 'd'}, {"j_commit_callback", 'd'},
+    {"j_failed_commit", 'd'},  {"j_chksum_driver", 'd'},  {"j_csum_seed", 'd'},
+    {"j_private", 'd'},        {"j_proc_entry", 'd'},     {"j_history", 'd'},
+    {"j_history_max", 'd'},    {"j_history_cur", 'd'},    {"j_stats", 'd'},
+};
+static_assert(std::size(kJournalMembers) == 58);
+
+// transaction_t (jbd2): 27 members, 1 filtered (t_handle_lock). The
+// historically-int members t_updates, t_outstanding_credits and
+// t_handle_count stay plain here; the kernel ops access them exclusively
+// through atomic helpers, which the importer's function black list filters
+// (this models the paper's finding that they were converted to atomic_t
+// without a documentation update).
+constexpr MemberSpec kTransactionMembers[] = {
+    {"t_journal", 'd'},        {"t_tid", 'd'},            {"t_state", 'd'},
+    {"t_log_start", 'd'},      {"t_nr_buffers", 'd'},     {"t_reserved_list", 'd'},
+    {"t_buffers", 'd'},        {"t_forget", 'd'},         {"t_checkpoint_list", 'd'},
+    {"t_checkpoint_io_list", 'd'},                        {"t_shadow_list", 'd'},
+    {"t_log_list", 'd'},       {"t_private_list", 'd'},   {"t_expires", 'd'},
+    {"t_start_time", 'd'},     {"t_start", 'd'},          {"t_requested", 'd'},
+    {"t_handle_lock", 's'},    {"t_updates", 'd'},        {"t_outstanding_credits", 'd'},
+    {"t_handle_count", 'd'},   {"t_synchronous_commit", 'd'},
+    {"t_need_data_flush", 'd'}, {"t_inode_list", 'd'},    {"t_chp_stats", 'd'},
+    {"t_run_stats", 'd'},      {"t_cpnext", 'd'},
+};
+static_assert(std::size(kTransactionMembers) == 27);
+
+// struct journal_head (jbd2): 15 members, 0 filtered.
+constexpr MemberSpec kJournalHeadMembers[] = {
+    {"bh", 'd'},              {"b_jcount", 'd'},         {"b_jlist", 'd'},
+    {"b_modified", 'd'},      {"b_frozen_data", 'd'},    {"b_committed_data", 'd'},
+    {"b_transaction", 'd'},   {"b_next_transaction", 'd'}, {"b_tnext", 'd'},
+    {"b_tprev", 'd'},         {"b_cp_transaction", 'd'}, {"b_cpnext", 'd'},
+    {"b_cpprev", 'd'},        {"b_cow_tid", 'd'},        {"b_triggers", 'd'},
+};
+static_assert(std::size(kJournalHeadMembers) == 15);
+
+// struct pipe_inode_info: 16 members, 1 filtered (mutex).
+constexpr MemberSpec kPipeMembers[] = {
+    {"mutex", 'm'},          {"wait", 'd'},            {"nrbufs", 'd'},
+    {"curbuf", 'd'},         {"buffers", 'd'},         {"readers", 'd'},
+    {"writers", 'd'},        {"files", 'd'},           {"waiting_writers", 'd'},
+    {"r_counter", 'd'},      {"w_counter", 'd'},       {"tmp_page", 'd'},
+    {"fasync_readers", 'd'}, {"fasync_writers", 'd'},  {"bufs", 'd'},
+    {"user", 'd'},
+};
+static_assert(std::size(kPipeMembers) == 16);
+
+// struct block_device: 21 members, 2 filtered (bd_mutex, bd_fsfreeze_count).
+constexpr MemberSpec kBlockDeviceMembers[] = {
+    {"bd_dev", 'd'},         {"bd_openers", 'd'},      {"bd_inode", 'd'},
+    {"bd_super", 'd'},       {"bd_mutex", 'm'},        {"bd_inodes", 'd'},
+    {"bd_claiming", 'd'},    {"bd_holder", 'd'},       {"bd_holders", 'd'},
+    {"bd_write_holder", 'd'}, {"bd_holder_disks", 'd'}, {"bd_contains", 'd'},
+    {"bd_block_size", 'd'},  {"bd_part", 'd'},         {"bd_part_count", 'd'},
+    {"bd_invalidated", 'd'}, {"bd_disk", 'd'},         {"bd_queue", 'd'},
+    {"bd_list", 'd'},        {"bd_private", 'd'},      {"bd_fsfreeze_count", 'a'},
+};
+static_assert(std::size(kBlockDeviceMembers) == 21);
+
+// struct cdev: 6 members, 0 filtered.
+constexpr MemberSpec kCdevMembers[] = {
+    {"kobj", 'd'}, {"owner", 'd'}, {"ops", 'd'}, {"list", 'd'}, {"dev", 'd'}, {"count", 'd'},
+};
+static_assert(std::size(kCdevMembers) == 6);
+
+// struct backing_dev_info (with the embedded struct bdi_writeback `wb`
+// unrolled): 43 members, 2 filtered (wb.list_lock, usage_cnt).
+constexpr MemberSpec kBdiMembers[] = {
+    {"bdi_list", 'd'},       {"ra_pages", 'd'},        {"io_pages", 'd'},
+    {"capabilities", 'd'},   {"congested", 'd'},       {"name", 'd'},
+    {"dev", 'd'},            {"owner", 'd'},           {"min_ratio", 'd'},
+    {"max_ratio", 'd'},      {"max_prop_frac", 'd'},   {"usage_cnt", 'a'},
+    {"wb_congested", 'd'},   {"cgwb_tree", 'd'},       {"cgwb_congested_tree", 'd'},
+    {"wb_waitq", 'd'},       {"debug_dir", 'd'},       {"debug_stats", 'd'},
+    {"wb.state", 'd'},       {"wb.last_old_flush", 'd'}, {"wb.list_lock", 's'},
+    {"wb.b_dirty", 'd'},     {"wb.b_io", 'd'},         {"wb.b_more_io", 'd'},
+    {"wb.b_dirty_time", 'd'}, {"wb.bw_time_stamp", 'd'}, {"wb.dirtied_stamp", 'd'},
+    {"wb.written_stamp", 'd'}, {"wb.write_bandwidth", 'd'},
+    {"wb.avg_write_bandwidth", 'd'},                    {"wb.dirty_ratelimit", 'd'},
+    {"wb.balanced_dirty_ratelimit", 'd'},               {"wb.completions", 'd'},
+    {"wb.dirty_exceeded", 'd'},                         {"wb.start_all_reason", 'd'},
+    {"wb.blkcg_css", 'd'},   {"wb.memcg_css", 'd'},     {"wb.congested", 'd'},
+    {"wb.dwork", 'd'},       {"wb.bdi", 'd'},           {"wb.stat_dirtied", 'd'},
+    {"wb.stat_written", 'd'}, {"wb.work_list", 'd'},
+};
+static_assert(std::size(kBdiMembers) == 43);
+
+template <size_t N>
+TypeId RegisterType(TypeRegistry* registry, const char* name, const MemberSpec (&specs)[N]) {
+  auto layout = std::make_unique<TypeLayout>(name);
+  AddMembers(layout.get(), specs, N);
+  return registry->Register(std::move(layout));
+}
+
+}  // namespace
+
+std::unique_ptr<TypeRegistry> BuildVfsRegistry(VfsIds* ids) {
+  LOCKDOC_CHECK(ids != nullptr);
+  auto registry = std::make_unique<TypeRegistry>();
+
+  ids->inode = RegisterType(registry.get(), "inode", kInodeMembers);
+  ids->dentry = RegisterType(registry.get(), "dentry", kDentryMembers);
+  ids->super_block = RegisterType(registry.get(), "super_block", kSuperBlockMembers);
+  ids->buffer_head = RegisterType(registry.get(), "buffer_head", kBufferHeadMembers);
+  ids->journal = RegisterType(registry.get(), "journal_t", kJournalMembers);
+  ids->transaction = RegisterType(registry.get(), "transaction_t", kTransactionMembers);
+  ids->journal_head = RegisterType(registry.get(), "journal_head", kJournalHeadMembers);
+  ids->pipe = RegisterType(registry.get(), "pipe_inode_info", kPipeMembers);
+  ids->block_device = RegisterType(registry.get(), "block_device", kBlockDeviceMembers);
+  ids->cdev = RegisterType(registry.get(), "cdev", kCdevMembers);
+  ids->bdi = RegisterType(registry.get(), "backing_dev_info", kBdiMembers);
+
+  ids->fs_anon_inodefs = registry->RegisterSubclass(ids->inode, "anon_inodefs");
+  ids->fs_bdev = registry->RegisterSubclass(ids->inode, "bdev");
+  ids->fs_debugfs = registry->RegisterSubclass(ids->inode, "debugfs");
+  ids->fs_devtmpfs = registry->RegisterSubclass(ids->inode, "devtmpfs");
+  ids->fs_ext4 = registry->RegisterSubclass(ids->inode, "ext4");
+  ids->fs_pipefs = registry->RegisterSubclass(ids->inode, "pipefs");
+  ids->fs_proc = registry->RegisterSubclass(ids->inode, "proc");
+  ids->fs_rootfs = registry->RegisterSubclass(ids->inode, "rootfs");
+  ids->fs_sockfs = registry->RegisterSubclass(ids->inode, "sockfs");
+  ids->fs_sysfs = registry->RegisterSubclass(ids->inode, "sysfs");
+  ids->fs_tmpfs = registry->RegisterSubclass(ids->inode, "tmpfs");
+
+  ids->all_filesystems = {ids->fs_anon_inodefs, ids->fs_bdev,   ids->fs_debugfs,
+                          ids->fs_devtmpfs,     ids->fs_ext4,   ids->fs_pipefs,
+                          ids->fs_proc,         ids->fs_rootfs, ids->fs_sockfs,
+                          ids->fs_sysfs,        ids->fs_tmpfs};
+  return registry;
+}
+
+MemberIndex M(const TypeRegistry& registry, TypeId type, std::string_view member) {
+  auto index = registry.layout(type).FindMember(member);
+  LOCKDOC_CHECK(index.has_value());
+  return *index;
+}
+
+}  // namespace lockdoc

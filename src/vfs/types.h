@@ -1,0 +1,62 @@
+// Data-type layouts of the simulated kernel — the 11 filesystem-related
+// structures the paper observes (Tab. 6), with member counts matching the
+// paper's #M column (unions unrolled, as in Sec. 7.1) and filtered-member
+// counts matching #Bl (lock members + atomic_t members + blacklisted
+// members).
+//
+// struct inode is subclassed by backing filesystem (Sec. 5.3 item 1) with
+// the paper's 11 filesystems: anon_inodefs, bdev, debugfs, devtmpfs, ext4,
+// pipefs, proc, rootfs, sockfs, sysfs, tmpfs.
+#ifndef SRC_VFS_TYPES_H_
+#define SRC_VFS_TYPES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/model/type_registry.h"
+
+namespace lockdoc {
+
+// Cached type ids and the member indexes the kernel ops touch frequently.
+struct VfsIds {
+  // Types.
+  TypeId inode = kInvalidTypeId;
+  TypeId dentry = kInvalidTypeId;
+  TypeId super_block = kInvalidTypeId;
+  TypeId buffer_head = kInvalidTypeId;
+  TypeId journal = kInvalidTypeId;        // journal_t
+  TypeId transaction = kInvalidTypeId;    // transaction_t
+  TypeId journal_head = kInvalidTypeId;
+  TypeId pipe = kInvalidTypeId;           // pipe_inode_info
+  TypeId block_device = kInvalidTypeId;
+  TypeId cdev = kInvalidTypeId;
+  TypeId bdi = kInvalidTypeId;            // backing_dev_info
+
+  // inode subclasses.
+  SubclassId fs_anon_inodefs = kNoSubclass;
+  SubclassId fs_bdev = kNoSubclass;
+  SubclassId fs_debugfs = kNoSubclass;
+  SubclassId fs_devtmpfs = kNoSubclass;
+  SubclassId fs_ext4 = kNoSubclass;
+  SubclassId fs_pipefs = kNoSubclass;
+  SubclassId fs_proc = kNoSubclass;
+  SubclassId fs_rootfs = kNoSubclass;
+  SubclassId fs_sockfs = kNoSubclass;
+  SubclassId fs_sysfs = kNoSubclass;
+  SubclassId fs_tmpfs = kNoSubclass;
+
+  std::vector<SubclassId> all_filesystems;
+};
+
+// Builds the registry with all 11 layouts and subclasses. The returned
+// registry owns the layouts; `ids` receives the cached identifiers.
+std::unique_ptr<TypeRegistry> BuildVfsRegistry(VfsIds* ids);
+
+// Looks up a member index by name, CHECK-failing on typos. Thin wrapper used
+// by the kernel ops (hot members should be cached by the caller).
+MemberIndex M(const TypeRegistry& registry, TypeId type, std::string_view member);
+
+}  // namespace lockdoc
+
+#endif  // SRC_VFS_TYPES_H_

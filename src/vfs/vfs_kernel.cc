@@ -1,0 +1,404 @@
+#include "src/vfs/vfs_kernel.h"
+
+#include <set>
+
+#include "src/coverage/coverage.h"
+#include "src/util/logging.h"
+
+namespace lockdoc {
+
+FaultPlan FaultPlan::Clean() {
+  FaultPlan plan;
+  plan.inode_set_flags_bug = false;
+  plan.remove_inode_hash_neighbors = false;
+  plan.libfs_d_subdirs_rcu_walk = false;
+  plan.ext4_committing_txn_peek = false;
+  plan.buffer_head_sloppiness = 0.0;
+  plan.bdi_stats_sloppiness = 0.0;
+  plan.journal_stats_sloppiness = 0.0;
+  plan.sb_flags_sloppiness = 0.0;
+  plan.ext4_delalloc_i_blocks = 0.0;
+  plan.pipe_poll_lockless = false;
+  plan.bdev_lockless_reads = false;
+  plan.irq_buffer_completion_writes = false;
+  plan.lru_lock_inversion = false;
+  return plan;
+}
+
+VfsKernel::VfsKernel(SimKernel* kernel, const TypeRegistry* registry, const VfsIds& ids,
+                     FaultPlan plan)
+    : kernel_(kernel), registry_(registry), ids_(ids), plan_(plan), fault_rng_(plan.seed) {
+  LOCKDOC_CHECK(kernel_ != nullptr);
+  LOCKDOC_CHECK(registry_ != nullptr);
+
+  const TypeRegistry& r = *registry_;
+  auto i = [&](std::string_view name) { return M(r, ids_.inode, name); };
+  im_ = {i("i_mode"), i("i_opflags"), i("i_uid"), i("i_gid"), i("i_flags"), i("i_acl"),
+         i("i_default_acl"), i("i_op"), i("i_sb"), i("i_mapping"), i("i_security"), i("i_ino"),
+         i("i_nlink"), i("i_rdev"), i("i_size"), i("i_atime"), i("i_atime_nsec"), i("i_mtime"),
+         i("i_ctime"), i("i_lock"), i("i_bytes"), i("i_blkbits"), i("i_blocks"),
+         i("i_size_seqcount"), i("i_state"), i("i_rwsem"), i("dirtied_when"),
+         i("dirtied_time_when"), i("i_hash"), i("i_io_list"), i("i_lru"), i("i_sb_list"),
+         i("i_wb_list"), i("i_version"), i("i_count"), i("i_dio_count"), i("i_writecount"),
+         i("i_fop"), i("i_flctx"), i("i_data.host"), i("i_data.page_tree"),
+         i("i_data.gfp_mask"), i("i_data.nrexceptional"), i("i_data.nrpages"),
+         i("i_data.writeback_index"), i("i_data.a_ops"), i("i_data.flags"),
+         i("i_data.private_data"), i("i_data.private_list"), i("i_dquot"), i("i_devices"),
+         i("i_pipe"), i("i_bdev"), i("i_cdev"), i("i_link"), i("i_dir_seq"), i("i_generation"),
+         i("i_fsnotify_mask"), i("i_fsnotify_marks"), i("i_crypt_info"), i("i_private"),
+         i("i_wb"), i("i_wb_frn_winner"), i("i_wb_frn_avg_time"), i("i_wb_frn_history")};
+
+  auto d = [&](std::string_view name) { return M(r, ids_.dentry, name); };
+  dm_ = {d("d_flags"), d("d_seq"), d("d_hash"), d("d_parent"), d("d_name"), d("d_inode"),
+         d("d_iname"), d("d_lock"), d("d_count"), d("d_op"), d("d_sb"), d("d_time"),
+         d("d_fsdata"), d("d_lru"), d("d_child"), d("d_subdirs"), d("d_alias"),
+         d("d_in_lookup_hash"), d("d_rcu"), d("d_wait"), d("d_mounted")};
+
+  auto s = [&](std::string_view name) { return M(r, ids_.super_block, name); };
+  sm_ = {s("s_list"), s("s_dev"), s("s_blocksize_bits"), s("s_blocksize"), s("s_maxbytes"),
+         s("s_type"), s("s_op"), s("s_flags"), s("s_iflags"), s("s_magic"), s("s_root"),
+         s("s_umount"), s("s_count"), s("s_security"), s("s_fs_info"), s("s_mode"),
+         s("s_time_gran"), s("s_id"), s("s_mounts"), s("s_bdev"), s("s_bdi"), s("s_dentry_lru"),
+         s("s_inode_lru"), s("s_inode_list_lock"), s("s_inodes"), s("s_inodes_wb"),
+         s("s_wb_err")};
+
+  auto b = [&](std::string_view name) { return M(r, ids_.buffer_head, name); };
+  bm_ = {b("b_state"), b("b_this_page"), b("b_page"), b("b_blocknr"), b("b_size"), b("b_data"),
+         b("b_bdev"), b("b_end_io"), b("b_private"), b("b_assoc_buffers"), b("b_assoc_map"),
+         b("b_count"), b("b_journal_head")};
+
+  auto j = [&](std::string_view name) { return M(r, ids_.journal, name); };
+  jm_ = {j("j_flags"), j("j_errno"), j("j_sb_buffer"), j("j_superblock"), j("j_state_lock"),
+         j("j_barrier_count"), j("j_barrier"), j("j_running_transaction"),
+         j("j_committing_transaction"), j("j_checkpoint_transactions"), j("j_checkpoint_mutex"),
+         j("j_head"), j("j_tail"), j("j_free"), j("j_first"), j("j_last"), j("j_blocksize"),
+         j("j_maxlen"), j("j_list_lock"), j("j_tail_sequence"), j("j_transaction_sequence"),
+         j("j_commit_sequence"), j("j_commit_request"), j("j_task"),
+         j("j_max_transaction_buffers"), j("j_commit_interval"), j("j_wbuf"), j("j_wbufsize"),
+         j("j_last_sync_writer"), j("j_average_commit_time"), j("j_min_batch_time"),
+         j("j_max_batch_time"), j("j_failed_commit"), j("j_private"), j("j_history_cur"),
+         j("j_stats")};
+
+  auto t = [&](std::string_view name) { return M(r, ids_.transaction, name); };
+  tm_ = {t("t_journal"), t("t_tid"), t("t_state"), t("t_log_start"), t("t_nr_buffers"),
+         t("t_reserved_list"), t("t_buffers"), t("t_forget"), t("t_checkpoint_list"),
+         t("t_checkpoint_io_list"), t("t_shadow_list"), t("t_log_list"), t("t_private_list"),
+         t("t_expires"), t("t_start_time"), t("t_start"), t("t_requested"), t("t_handle_lock"),
+         t("t_updates"), t("t_outstanding_credits"), t("t_handle_count"),
+         t("t_synchronous_commit"), t("t_need_data_flush"), t("t_inode_list"), t("t_chp_stats"),
+         t("t_run_stats"), t("t_cpnext")};
+
+  auto h = [&](std::string_view name) { return M(r, ids_.journal_head, name); };
+  hm_ = {h("bh"), h("b_jcount"), h("b_jlist"), h("b_modified"), h("b_frozen_data"),
+         h("b_committed_data"), h("b_transaction"), h("b_next_transaction"), h("b_tnext"),
+         h("b_tprev"), h("b_cp_transaction"), h("b_cpnext"), h("b_cpprev"), h("b_cow_tid"),
+         h("b_triggers")};
+
+  auto p = [&](std::string_view name) { return M(r, ids_.pipe, name); };
+  pm_ = {p("mutex"), p("wait"), p("nrbufs"), p("curbuf"), p("buffers"), p("readers"),
+         p("writers"), p("files"), p("waiting_writers"), p("r_counter"), p("w_counter"),
+         p("tmp_page"), p("fasync_readers"), p("fasync_writers"), p("bufs"), p("user")};
+
+  auto v = [&](std::string_view name) { return M(r, ids_.block_device, name); };
+  vm_ = {v("bd_dev"), v("bd_openers"), v("bd_inode"), v("bd_super"), v("bd_mutex"),
+         v("bd_inodes"), v("bd_claiming"), v("bd_holder"), v("bd_holders"),
+         v("bd_write_holder"), v("bd_contains"), v("bd_block_size"), v("bd_part"),
+         v("bd_part_count"), v("bd_invalidated"), v("bd_disk"), v("bd_queue"), v("bd_list"),
+         v("bd_private")};
+
+  auto c = [&](std::string_view name) { return M(r, ids_.cdev, name); };
+  cm_ = {c("kobj"), c("owner"), c("ops"), c("list"), c("dev"), c("count")};
+
+  auto w = [&](std::string_view name) { return M(r, ids_.bdi, name); };
+  wm_ = {w("bdi_list"), w("ra_pages"), w("io_pages"), w("capabilities"), w("name"), w("dev"),
+         w("min_ratio"), w("max_ratio"), w("wb.state"), w("wb.last_old_flush"),
+         w("wb.list_lock"), w("wb.b_dirty"), w("wb.b_io"), w("wb.b_more_io"),
+         w("wb.b_dirty_time"), w("wb.bw_time_stamp"), w("wb.dirtied_stamp"),
+         w("wb.written_stamp"), w("wb.write_bandwidth"), w("wb.avg_write_bandwidth"),
+         w("wb.dirty_ratelimit"), w("wb.balanced_dirty_ratelimit"), w("wb.completions"),
+         w("wb.dirty_exceeded"), w("wb.stat_dirtied"), w("wb.stat_written"), w("wb.work_list")};
+
+  // Global locks (the kernel's statically allocated ones).
+  inode_hash_lock_ = kernel_->DefineStaticLock("inode_hash_lock", LockType::kSpinlock);
+  inode_lru_lock_ = kernel_->DefineStaticLock("inode_lru_lock", LockType::kSpinlock);
+  sb_lock_ = kernel_->DefineStaticLock("sb_lock", LockType::kSpinlock);
+  rename_lock_ = kernel_->DefineStaticLock("rename_lock", LockType::kSeqlock);
+  dcache_lru_lock_ = kernel_->DefineStaticLock("dcache_lru_lock", LockType::kSpinlock);
+  dcache_hash_lock_ = kernel_->DefineStaticLock("dcache_hash_lock", LockType::kSpinlock);
+  bdev_lock_ = kernel_->DefineStaticLock("bdev_lock", LockType::kSpinlock);
+  chrdevs_lock_ = kernel_->DefineStaticLock("chrdevs_lock", LockType::kMutex);
+  pipe_fs_lock_ = kernel_->DefineStaticLock("pipe_fs_lock", LockType::kSpinlock);
+  sysfs_mutex_ = kernel_->DefineStaticLock("sysfs_mutex", LockType::kMutex);
+}
+
+VfsKernel::~VfsKernel() = default;
+
+VfsKernel::MountState& VfsKernel::mount(SubclassId fs) {
+  for (MountState& state : mounts_) {
+    if (state.fs == fs) {
+      return state;
+    }
+  }
+  LOCKDOC_CHECK(false && "filesystem not mounted");
+  static MountState dummy;
+  return dummy;
+}
+
+const VfsKernel::MountState& VfsKernel::mount(SubclassId fs) const {
+  return const_cast<VfsKernel*>(this)->mount(fs);
+}
+
+size_t VfsKernel::file_count(SubclassId fs) const { return mount(fs).files.size(); }
+
+const VfsKernel::FileState& VfsKernel::ParentOf(const MountState& state,
+                                                const FileState& file) const {
+  if (file.parent == SIZE_MAX) {
+    return state.root;
+  }
+  LOCKDOC_CHECK(file.parent < state.files.size());
+  const FileState& parent = state.files[file.parent];
+  LOCKDOC_CHECK(parent.alive && parent.is_dir);
+  return parent;
+}
+
+size_t VfsKernel::PickParentIndex(MountState& state, Rng& rng) const {
+  if (rng.Chance(0.3)) {
+    // Try to nest under a live subdirectory.
+    size_t count = state.files.size();
+    if (count > 0) {
+      size_t start = rng.Below(count);
+      for (size_t i = 0; i < count; ++i) {
+        size_t candidate = (start + i) % count;
+        if (state.files[candidate].alive && state.files[candidate].is_dir) {
+          return candidate;
+        }
+      }
+    }
+  }
+  return SIZE_MAX;  // The mount root.
+}
+
+bool VfsKernel::IsDirectory(SubclassId fs, size_t index) const {
+  const MountState& state = mount(fs);
+  return index < state.files.size() && state.files[index].alive &&
+         state.files[index].is_dir;
+}
+
+bool VfsKernel::CanUnlink(SubclassId fs, size_t index) const {
+  const MountState& state = mount(fs);
+  if (index >= state.files.size() || !state.files[index].alive) {
+    return false;
+  }
+  if (!state.files[index].is_dir) {
+    return true;
+  }
+  for (const FileState& file : state.files) {
+    if (file.alive && file.parent == index) {
+      return false;  // Non-empty directory.
+    }
+  }
+  return true;
+}
+
+bool VfsKernel::file_alive(SubclassId fs, size_t index) const {
+  const MountState& state = mount(fs);
+  return index < state.files.size() && state.files[index].alive;
+}
+
+void VfsKernel::MountAll() {
+  LOCKDOC_CHECK(!mounted_);
+  Rng rng(plan_.seed ^ 0x5eedULL);
+
+  // Everything below happens during boot/mount: field initialization is
+  // deliberately lock-free and filtered by the init/teardown black list.
+  FunctionScope boot(*kernel_, "init/main.c", "vfs_caches_init", 10, 60);
+
+  // Backing device.
+  {
+    FunctionScope fn(*kernel_, "mm/backing-dev.c", "bdi_init", 20, 80);
+    bdi_ = kernel_->Create(ids_.bdi, kNoSubclass, 25);
+    kernel_->Write(bdi_, wm_.ra_pages, 30);
+    kernel_->Write(bdi_, wm_.io_pages, 31);
+    kernel_->Write(bdi_, wm_.capabilities, 32);
+    kernel_->Write(bdi_, wm_.name, 33);
+    kernel_->Write(bdi_, wm_.min_ratio, 34);
+    kernel_->Write(bdi_, wm_.max_ratio, 35);
+    kernel_->Write(bdi_, wm_.wb_state, 40);
+    kernel_->Write(bdi_, wm_.wb_b_dirty, 41);
+    kernel_->Write(bdi_, wm_.wb_b_io, 42);
+    kernel_->Write(bdi_, wm_.wb_b_more_io, 43);
+    kernel_->Write(bdi_, wm_.wb_write_bandwidth, 44);
+    kernel_->Write(bdi_, wm_.wb_dirty_ratelimit, 45);
+  }
+
+  // Journal plus the initial running transaction.
+  {
+    FunctionScope fn(*kernel_, "fs/jbd2/journal.c", "jbd2_journal_init_inode", 100, 170);
+    journal_ = kernel_->Create(ids_.journal, kNoSubclass, 105);
+    kernel_->Write(journal_, jm_.j_flags, 110);
+    kernel_->Write(journal_, jm_.j_blocksize, 111);
+    kernel_->Write(journal_, jm_.j_maxlen, 112);
+    kernel_->Write(journal_, jm_.j_head, 113);
+    kernel_->Write(journal_, jm_.j_tail, 114);
+    kernel_->Write(journal_, jm_.j_free, 115);
+    kernel_->Write(journal_, jm_.j_first, 116);
+    kernel_->Write(journal_, jm_.j_last, 117);
+    kernel_->Write(journal_, jm_.j_commit_interval, 118);
+    kernel_->Write(journal_, jm_.j_max_transaction_buffers, 119);
+
+    running_txn_ = kernel_->Create(ids_.transaction, kNoSubclass, 130);
+    kernel_->Write(running_txn_, tm_.t_journal, 131);
+    kernel_->Write(running_txn_, tm_.t_tid, 132);
+    kernel_->Write(running_txn_, tm_.t_state, 133);
+    kernel_->Write(running_txn_, tm_.t_start_time, 134);
+    kernel_->Write(journal_, jm_.j_running_transaction, 140);
+  }
+
+  // Buffer pool with journal heads.
+  for (int n = 0; n < 24; ++n) {
+    FunctionScope fn(*kernel_, "fs/buffer.c", "alloc_buffer_head", 30, 60);
+    BufferState buffer;
+    buffer.bh = kernel_->Create(ids_.buffer_head, kNoSubclass, 33);
+    kernel_->Write(buffer.bh, bm_.b_state, 35);
+    kernel_->Write(buffer.bh, bm_.b_blocknr, 36);
+    kernel_->Write(buffer.bh, bm_.b_size, 37);
+    kernel_->Write(buffer.bh, bm_.b_data, 38);
+    kernel_->Write(buffer.bh, bm_.b_count, 39);
+    if (n % 2 == 0) {
+      FunctionScope jfn(*kernel_, "fs/jbd2/journal.c", "jbd2_journal_add_journal_head", 400,
+                        440);
+      buffer.jh = kernel_->Create(ids_.journal_head, kNoSubclass, 405);
+      kernel_->Write(buffer.jh, hm_.bh, 410);
+      kernel_->Write(buffer.jh, hm_.b_jcount, 411);
+      kernel_->Write(buffer.jh, hm_.b_jlist, 412);
+      kernel_->Write(buffer.bh, bm_.b_journal_head, 430);
+      kernel_->Write(buffer.bh, bm_.b_private, 431);
+    }
+    buffers_.push_back(buffer);
+  }
+
+  // Super blocks + roots for every filesystem.
+  for (SubclassId fs : ids_.all_filesystems) {
+    FunctionScope fn(*kernel_, "fs/super.c", "sget_userns", 450, 520);
+    MountState state;
+    state.fs = fs;
+    state.sb = kernel_->Create(ids_.super_block, kNoSubclass, 455);
+    kernel_->Write(state.sb, sm_.s_dev, 460);
+    kernel_->Write(state.sb, sm_.s_blocksize, 461);
+    kernel_->Write(state.sb, sm_.s_blocksize_bits, 462);
+    kernel_->Write(state.sb, sm_.s_maxbytes, 463);
+    kernel_->Write(state.sb, sm_.s_type, 464);
+    kernel_->Write(state.sb, sm_.s_op, 465);
+    kernel_->Write(state.sb, sm_.s_flags, 466);
+    kernel_->Write(state.sb, sm_.s_magic, 467);
+    kernel_->Write(state.sb, sm_.s_id, 468);
+    kernel_->Write(state.sb, sm_.s_bdi, 469);
+    kernel_->Write(state.sb, sm_.s_count, 470);
+    kernel_->Write(state.sb, sm_.s_time_gran, 471);
+    mounts_.push_back(state);
+
+    MountState& mounted = mounts_.back();
+    mounted.root.inode = AllocInode(fs, rng);
+    mounted.root.dentry = AllocDentry(mounted.root.inode, rng);
+    mounted.root.alive = true;
+    {
+      FunctionScope rootfn(*kernel_, "fs/super.c", "d_make_root", 530, 545);
+      kernel_->Write(mounted.sb, sm_.s_root, 535);
+    }
+  }
+
+  mounted_ = true;
+  RegisterInterruptHandlers();
+}
+
+void VfsKernel::UnmountAll() {
+  LOCKDOC_CHECK(mounted_);
+  Rng rng(plan_.seed ^ 0xdeadULL);
+
+  for (size_t i = 0; i < pipes_.size(); ++i) {
+    if (pipes_[i].alive) {
+      PipeRelease(i, rng);
+    }
+  }
+  for (MountState& state : mounts_) {
+    FunctionScope fn(*kernel_, "fs/super.c", "generic_shutdown_super", 560, 620);
+    std::set<Address> destroyed_inodes;  // Hard links share inodes.
+    for (FileState& file : state.files) {
+      if (file.alive) {
+        DestroyDentry(file.dentry);
+        if (destroyed_inodes.insert(file.inode.addr).second) {
+          DestroyInode(file.inode);
+        }
+        file.alive = false;
+      }
+    }
+    DestroyDentry(state.root.dentry);
+    DestroyInode(state.root.inode);
+    state.root.alive = false;
+    kernel_->Destroy(state.sb, 615);
+  }
+  mounts_.clear();
+
+  {
+    FunctionScope fn(*kernel_, "fs/jbd2/journal.c", "jbd2_journal_destroy", 700, 760);
+    for (BufferState& buffer : buffers_) {
+      if (buffer.jh.valid()) {
+        kernel_->Destroy(buffer.jh, 720);
+      }
+      kernel_->Destroy(buffer.bh, 725);
+    }
+    buffers_.clear();
+    if (committing_txn_.valid()) {
+      kernel_->Destroy(committing_txn_, 730);
+    }
+    if (checkpoint_txn_.valid()) {
+      kernel_->Destroy(checkpoint_txn_, 731);
+    }
+    kernel_->Destroy(running_txn_, 735);
+    kernel_->Destroy(journal_, 740);
+  }
+  for (ObjectRef& bdev : bdevs_) {
+    FunctionScope fn(*kernel_, "fs/block_dev.c", "bdev_evict_inode", 80, 95);
+    kernel_->Destroy(bdev, 85);
+  }
+  bdevs_.clear();
+  for (ObjectRef& cdev : cdevs_) {
+    FunctionScope fn(*kernel_, "fs/char_dev.c", "cdev_del", 70, 80);
+    kernel_->Destroy(cdev, 75);
+  }
+  cdevs_.clear();
+  {
+    FunctionScope fn(*kernel_, "mm/backing-dev.c", "bdi_destroy", 100, 120);
+    kernel_->Destroy(bdi_, 105);
+  }
+  mounted_ = false;
+}
+
+void VfsKernel::RegisterInterruptHandlers() {
+  kernel_->RegisterSoftirq([this](SimKernel& sim) { TimerSoftirq(sim); });
+  kernel_->RegisterHardirq([this](SimKernel& sim) { BlockIoHardirq(sim); });
+}
+
+FilterConfig VfsKernel::MakeFilterConfig() {
+  FilterConfig config = FilterConfig::Defaults();
+  config.init_teardown_functions = {
+      // Boot / mount / unmount.
+      "vfs_caches_init", "bdi_init", "bdi_destroy", "sget_userns", "d_make_root",
+      "generic_shutdown_super",
+      // Inode lifecycle.
+      "alloc_inode", "inode_init_always", "ext4_alloc_inode", "evict", "destroy_inode",
+      "i_callback",
+      // Dentry lifecycle.
+      "d_alloc", "d_free", "__d_free",
+      // Journal lifecycle.
+      "jbd2_journal_init_inode", "jbd2_journal_destroy", "jbd2_journal_add_journal_head",
+      "jbd2_journal_start_transaction", "jbd2_journal_free_transaction", "alloc_buffer_head",
+      "free_buffer_head",
+      // Pipes and devices.
+      "alloc_pipe_info", "free_pipe_info", "bdget", "bdev_evict_inode", "cdev_alloc",
+      "cdev_del", "sock_alloc_inode", "anon_inode_new",
+  };
+  return config;
+}
+
+}  // namespace lockdoc

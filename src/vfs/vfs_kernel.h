@@ -1,0 +1,369 @@
+// VfsKernel — the synthetic "kernel code" under observation: a miniature
+// VFS layer with per-filesystem inode behaviour, a dcache, a JBD2-style
+// journal, pipes, block/char devices, and writeback, all running on the
+// SimKernel substrate. Every operation implements a ground-truth locking
+// discipline modelled on Linux 4.10; a FaultPlan injects the paper's known
+// deviations (Sec. 7.4/7.5) plus configurable sloppiness so that LockDoc's
+// rule mining and violation finding have realistic signal to work on.
+#ifndef SRC_VFS_VFS_KERNEL_H_
+#define SRC_VFS_VFS_KERNEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/filter_config.h"
+#include "src/core/rule.h"
+#include "src/sim/kernel.h"
+#include "src/util/rng.h"
+#include "src/vfs/types.h"
+
+namespace lockdoc {
+
+// Deviation injection. Rates are probabilities per affected operation.
+struct FaultPlan {
+  uint64_t seed = 42;
+
+  // The paper's concrete findings:
+  // i_flags written without i_rwsem in one code path (the confirmed bug,
+  // Fig. 3 / Sec. 7.5).
+  bool inode_set_flags_bug = true;
+  // __remove_inode_hash writes i_hash of the list neighbours whose i_lock
+  // is not held (Sec. 7.4's "locking-rule mystery").
+  bool remove_inode_hash_neighbors = true;
+  // libfs cursor walk reads d_subdirs under the parent directory's i_rwsem
+  // plus RCU instead of d_lock (Tab. 8, fs/libfs.c).
+  bool libfs_d_subdirs_rcu_walk = true;
+  // ext4 peeks at j_committing_transaction holding i_rwsem -> j_state_lock
+  // but not j_list_lock (Tab. 8, fs/ext4/inode.c).
+  bool ext4_committing_txn_peek = true;
+
+  // Background sloppiness rates (violations spread over many contexts).
+  double buffer_head_sloppiness = 0.06;
+  double bdi_stats_sloppiness = 0.08;
+  double journal_stats_sloppiness = 0.03;
+  double sb_flags_sloppiness = 0.05;
+  // ext4's delayed-allocation path updating i_blocks without i_lock.
+  double ext4_delalloc_i_blocks = 0.10;
+  // A few early pipe polls reading pipe state without the mutex, and the
+  // block layer's lockless bd_invalidated / size-revalidation peeks.
+  bool pipe_poll_lockless = true;
+  bool bdev_lockless_reads = true;
+  // Block-IO completion updating buffer fields from hardirq context without
+  // locks (a realistic discipline gap the clean baseline removes).
+  bool irq_buffer_completion_writes = true;
+  // A rare LRU pruning path that takes inode_lru_lock *before* i_lock —
+  // opposite to inode_lru_list_add's order. An ABBA deadlock candidate for
+  // the lock-order analysis (it cannot deadlock in the single-CPU
+  // simulation, but the ordering conflict is real).
+  bool lru_lock_inversion = true;
+
+  // A plan with every deviation disabled — the "correct kernel" baseline
+  // used by tests to prove the miner recovers the ground truth exactly.
+  static FaultPlan Clean();
+};
+
+// One open file: the inode plus its dentry.
+struct VfsFile {
+  ObjectRef inode;
+  ObjectRef dentry;
+  bool is_symlink = false;
+};
+
+// One pipe: the pipefs inode plus the pipe_inode_info.
+struct VfsPipe {
+  ObjectRef inode;
+  ObjectRef info;
+};
+
+class VfsKernel {
+ public:
+  VfsKernel(SimKernel* kernel, const TypeRegistry* registry, const VfsIds& ids, FaultPlan plan);
+  ~VfsKernel();
+
+  VfsKernel(const VfsKernel&) = delete;
+  VfsKernel& operator=(const VfsKernel&) = delete;
+
+  // Mounts all filesystems: super blocks, bdi, journal, devices, roots.
+  // Must be called once before any other op.
+  void MountAll();
+  // Tears everything down (object destruction under init/teardown frames).
+  void UnmountAll();
+
+  // --- File operations (fs/inode.c, fs/namei.c, fs/ext4/...) ---
+  // Creating returns the index of the new file within `files(fs)`.
+  size_t CreateFile(SubclassId fs, Rng& rng);
+  size_t CreateSymlink(SubclassId fs, Rng& rng);
+  void UnlinkFile(SubclassId fs, size_t index, Rng& rng);
+  void ReadFile(SubclassId fs, size_t index, Rng& rng);
+  void WriteFile(SubclassId fs, size_t index, Rng& rng);
+  void StatFile(SubclassId fs, size_t index, Rng& rng);
+  void ChmodFile(SubclassId fs, size_t index, Rng& rng);
+  void ChownFile(SubclassId fs, size_t index, Rng& rng);
+  void TouchAtime(SubclassId fs, size_t index, Rng& rng);
+  void ReadSymlink(SubclassId fs, size_t index, Rng& rng);
+  void LookupFile(SubclassId fs, size_t index, Rng& rng);
+  void RenameFile(SubclassId fs, size_t index, Rng& rng);
+  void EvictLru(SubclassId fs, Rng& rng);
+  void TruncateFile(SubclassId fs, size_t index, Rng& rng);
+  void FsyncFile(SubclassId fs, size_t index, Rng& rng);
+  void MmapFile(SubclassId fs, size_t index, Rng& rng);
+  // Directories: creation nests under an existing directory (or the root);
+  // removal requires the directory to be empty.
+  size_t MkdirDir(SubclassId fs, Rng& rng);
+  bool RmdirDir(SubclassId fs, size_t index, Rng& rng);
+  // Hard link: a second directory entry for an existing regular file's
+  // inode. Unlinking destroys the inode only with its last link.
+  size_t LinkFile(SubclassId fs, size_t src_index, Rng& rng);
+  // True when UnlinkFile/RmdirDir may remove this entry (alive, and not a
+  // directory that still has live children).
+  bool CanUnlink(SubclassId fs, size_t index) const;
+  bool IsDirectory(SubclassId fs, size_t index) const;
+
+  // --- Special filesystems (fs/proc, fs/sysfs, net/socket.c, ...) ---
+  void ProcReadEntry(Rng& rng);
+  void SysfsReadAttr(Rng& rng);
+  void SysfsWriteAttr(Rng& rng);
+  void SockCreateAndUse(Rng& rng);
+  void AnonInodeUse(Rng& rng);
+  void DebugfsCreate(Rng& rng);
+
+  // --- Pipes (fs/pipe.c) ---
+  size_t PipeCreate(Rng& rng);
+  void PipeWrite(size_t index, Rng& rng);
+  void PipeRead(size_t index, Rng& rng);
+  void PipePoll(size_t index, Rng& rng);
+  void PipeRelease(size_t index, Rng& rng);
+
+  // --- Devices (fs/block_dev.c, fs/char_dev.c) ---
+  void BdevOpen(Rng& rng);
+  void BdevRelease(Rng& rng);
+  void CdevAddAndOpen(Rng& rng);
+
+  // --- Journal (fs/jbd2/) ---
+  void JournalStartHandle(Rng& rng);
+  void JournalCommit(Rng& rng);
+  void JournalCheckpoint(Rng& rng);
+  // /proc/fs/jbd2/<dev>/info-style dump: deliberately lockless reads of the
+  // journal statistics fields.
+  void JournalStatsProcShow(Rng& rng);
+  // Buffer-LRU maintenance scan: inspects buffer heads (and their journal
+  // heads) without any lock, from plain task context — the lock-free read
+  // population behind the Fig. 7 "no lock" fractions.
+  void BufferLruScan(Rng& rng);
+
+  // --- Writeback (fs/fs-writeback.c, mm/backing-dev.c) ---
+  void WritebackRun(Rng& rng);
+  void SyncFilesystem(SubclassId fs, Rng& rng);
+
+  // Registers the timer-softirq and block-hardirq handlers with the
+  // SimKernel; called by MountAll.
+  void RegisterInterruptHandlers();
+
+  // Declares every simulated kernel function (including never-executed
+  // error paths) for coverage accounting.
+  void RegisterFunctionsForCoverage(class CoverageTracker* coverage) const;
+
+  // --- Introspection for workloads ---
+  size_t file_count(SubclassId fs) const;
+  size_t pipe_count() const { return pipes_.size(); }
+  bool pipe_alive(size_t index) const { return index < pipes_.size() && pipes_[index].alive; }
+  bool file_alive(SubclassId fs, size_t index) const;
+  const VfsIds& ids() const { return ids_; }
+  SimKernel& sim() { return *kernel_; }
+
+  // The "officially documented" locking rules shipped with this kernel —
+  // deliberately imperfect, modelling the paper's Tab. 4/5 documentation
+  // state (correct, ambivalent, incorrect, and unobserved rules).
+  static std::string DocumentedRulesText();
+  // The filter configuration (init/teardown + ignored functions) matching
+  // this kernel's function names.
+  static FilterConfig MakeFilterConfig();
+
+ private:
+  friend struct VfsOpsAccess;  // Implementation backdoor for the op files.
+
+  // Cached member indexes (resolved once in the constructor).
+  struct InodeM {
+    MemberIndex i_mode, i_opflags, i_uid, i_gid, i_flags, i_acl, i_default_acl, i_op, i_sb,
+        i_mapping, i_security, i_ino, i_nlink, i_rdev, i_size, i_atime, i_atime_nsec, i_mtime,
+        i_ctime, i_lock, i_bytes, i_blkbits, i_blocks, i_size_seqcount, i_state, i_rwsem,
+        dirtied_when, dirtied_time_when, i_hash, i_io_list, i_lru, i_sb_list, i_wb_list,
+        i_version, i_count, i_dio_count, i_writecount, i_fop, i_flctx, d_host, d_page_tree,
+        d_gfp_mask, d_nrexceptional, d_nrpages, d_writeback_index, d_a_ops, d_flags,
+        d_private_data, d_private_list, i_dquot, i_devices, i_pipe, i_bdev, i_cdev, i_link,
+        i_dir_seq, i_generation, i_fsnotify_mask, i_fsnotify_marks, i_crypt_info, i_private,
+        i_wb, i_wb_frn_winner, i_wb_frn_avg_time, i_wb_frn_history;
+  };
+  struct DentryM {
+    MemberIndex d_flags, d_seq, d_hash, d_parent, d_name, d_inode, d_iname, d_lock, d_count,
+        d_op, d_sb, d_time, d_fsdata, d_lru, d_child, d_subdirs, d_alias, d_in_lookup_hash,
+        d_rcu, d_wait, d_mounted;
+  };
+  struct SuperM {
+    MemberIndex s_list, s_dev, s_blocksize_bits, s_blocksize, s_maxbytes, s_type, s_op, s_flags,
+        s_iflags, s_magic, s_root, s_umount, s_count, s_security, s_fs_info, s_mode, s_time_gran,
+        s_id, s_mounts, s_bdev, s_bdi, s_dentry_lru, s_inode_lru, s_inode_list_lock, s_inodes,
+        s_inodes_wb, s_wb_err;
+  };
+  struct BufferHeadM {
+    MemberIndex b_state, b_this_page, b_page, b_blocknr, b_size, b_data, b_bdev, b_end_io,
+        b_private, b_assoc_buffers, b_assoc_map, b_count, b_journal_head;
+  };
+  struct JournalM {
+    MemberIndex j_flags, j_errno, j_sb_buffer, j_superblock, j_state_lock, j_barrier_count,
+        j_barrier, j_running_transaction, j_committing_transaction, j_checkpoint_transactions,
+        j_checkpoint_mutex, j_head, j_tail, j_free, j_first, j_last, j_blocksize, j_maxlen,
+        j_list_lock, j_tail_sequence, j_transaction_sequence, j_commit_sequence,
+        j_commit_request, j_task, j_max_transaction_buffers, j_commit_interval, j_wbuf,
+        j_wbufsize, j_last_sync_writer, j_average_commit_time, j_min_batch_time,
+        j_max_batch_time, j_failed_commit, j_private, j_history_cur, j_stats;
+  };
+  struct TransactionM {
+    MemberIndex t_journal, t_tid, t_state, t_log_start, t_nr_buffers, t_reserved_list, t_buffers,
+        t_forget, t_checkpoint_list, t_checkpoint_io_list, t_shadow_list, t_log_list,
+        t_private_list, t_expires, t_start_time, t_start, t_requested, t_handle_lock, t_updates,
+        t_outstanding_credits, t_handle_count, t_synchronous_commit, t_need_data_flush,
+        t_inode_list, t_chp_stats, t_run_stats, t_cpnext;
+  };
+  struct JournalHeadM {
+    MemberIndex bh, b_jcount, b_jlist, b_modified, b_frozen_data, b_committed_data,
+        b_transaction, b_next_transaction, b_tnext, b_tprev, b_cp_transaction, b_cpnext,
+        b_cpprev, b_cow_tid, b_triggers;
+  };
+  struct PipeM {
+    MemberIndex mutex, wait, nrbufs, curbuf, buffers, readers, writers, files, waiting_writers,
+        r_counter, w_counter, tmp_page, fasync_readers, fasync_writers, bufs, user;
+  };
+  struct BdevM {
+    MemberIndex bd_dev, bd_openers, bd_inode, bd_super, bd_mutex, bd_inodes, bd_claiming,
+        bd_holder, bd_holders, bd_write_holder, bd_contains, bd_block_size, bd_part,
+        bd_part_count, bd_invalidated, bd_disk, bd_queue, bd_list, bd_private;
+  };
+  struct CdevM {
+    MemberIndex kobj, owner, ops, list, dev, count;
+  };
+  struct BdiM {
+    MemberIndex bdi_list, ra_pages, io_pages, capabilities, name, dev, min_ratio, max_ratio,
+        wb_state, wb_last_old_flush, wb_list_lock, wb_b_dirty, wb_b_io, wb_b_more_io,
+        wb_b_dirty_time, wb_bw_time_stamp, wb_dirtied_stamp, wb_written_stamp,
+        wb_write_bandwidth, wb_avg_write_bandwidth, wb_dirty_ratelimit,
+        wb_balanced_dirty_ratelimit, wb_completions, wb_dirty_exceeded, wb_stat_dirtied,
+        wb_stat_written, wb_work_list;
+  };
+
+  struct FileState {
+    ObjectRef inode;
+    ObjectRef dentry;
+    bool alive = false;
+    bool is_symlink = false;
+    bool is_dir = false;
+    // Index of the parent directory within the same mount's files vector;
+    // SIZE_MAX means the mount root.
+    size_t parent = SIZE_MAX;
+  };
+  struct PipeState {
+    ObjectRef inode;
+    ObjectRef info;
+    bool alive = false;
+  };
+  struct BufferState {
+    ObjectRef bh;
+    ObjectRef jh;  // journal_head; invalid() when not journaled.
+  };
+
+  // Per-filesystem mount state.
+  struct MountState {
+    SubclassId fs = kNoSubclass;
+    ObjectRef sb;
+    FileState root;
+    std::vector<FileState> files;
+  };
+
+  MountState& mount(SubclassId fs);
+  const MountState& mount(SubclassId fs) const;
+  // The directory entry (inode + dentry) acting as parent of `file`.
+  const FileState& ParentOf(const MountState& state, const FileState& file) const;
+  // Picks a parent for a new entry: usually the root, sometimes a live
+  // subdirectory.
+  size_t PickParentIndex(MountState& state, Rng& rng) const;
+
+  // --- Internal op helpers (implemented across the vfs/*_ops.cc files) ---
+  ObjectRef AllocInode(SubclassId fs, Rng& rng);
+  ObjectRef AllocDentry(const ObjectRef& inode, Rng& rng);
+  void DestroyInode(const ObjectRef& inode);
+  void DestroyDentry(const ObjectRef& dentry);
+  void InsertInodeHash(const ObjectRef& inode, Rng& rng);
+  void RemoveInodeHash(const ObjectRef& inode, Rng& rng);
+  void MarkInodeDirty(const ObjectRef& inode, Rng& rng);
+  void InodeAddBytes(const ObjectRef& inode, Rng& rng);
+  void InodeSetFlags(const ObjectRef& inode, Rng& rng);
+  void UpdateTimes(const ObjectRef& inode, Rng& rng, bool ctime);
+  void DentryInstantiate(const ObjectRef& dentry, const ObjectRef& parent,
+                         const ObjectRef& inode, Rng& rng);
+  void DentryKill(const ObjectRef& dentry, const ObjectRef& parent, Rng& rng);
+  void TouchDentryLru(const ObjectRef& dentry, Rng& rng);
+  BufferState& PickBuffer(Rng& rng);
+  void JournalDirtyBuffer(BufferState& buffer, Rng& rng);
+  void WritebackSingleInode(const ObjectRef& inode, Rng& rng);
+  void TimerSoftirq(SimKernel& sim);
+  void BlockIoHardirq(SimKernel& sim);
+
+  SimKernel* kernel_;
+  const TypeRegistry* registry_;
+  VfsIds ids_;
+  FaultPlan plan_;
+  Rng fault_rng_;
+
+  // Cached member indexes.
+  InodeM im_;
+  DentryM dm_;
+  SuperM sm_;
+  BufferHeadM bm_;
+  JournalM jm_;
+  TransactionM tm_;
+  JournalHeadM hm_;
+  PipeM pm_;
+  BdevM vm_;
+  CdevM cm_;
+  BdiM wm_;
+
+  // Global locks (statically allocated in a real kernel).
+  GlobalLock inode_hash_lock_;
+  GlobalLock inode_lru_lock_;
+  GlobalLock sb_lock_;
+  GlobalLock rename_lock_;
+  GlobalLock dcache_lru_lock_;
+  GlobalLock dcache_hash_lock_;
+  GlobalLock bdev_lock_;
+  GlobalLock chrdevs_lock_;
+  GlobalLock pipe_fs_lock_;
+  GlobalLock sysfs_mutex_;
+
+  // Mounted state.
+  bool mounted_ = false;
+  std::vector<MountState> mounts_;
+  ObjectRef bdi_;
+  ObjectRef journal_;
+  ObjectRef running_txn_;
+  ObjectRef committing_txn_;   // invalid() unless a commit is in flight.
+  ObjectRef checkpoint_txn_;   // invalid() unless queued for checkpoint.
+  std::vector<BufferState> buffers_;
+  std::vector<PipeState> pipes_;
+  std::vector<ObjectRef> bdevs_;
+  std::vector<ObjectRef> cdevs_;
+  uint64_t next_ino_ = 1000;
+  // The single deliberate lockless read of bd_invalidated (one violating
+  // event, as in the paper's Tab. 7 row for block_device).
+  bool bdev_lockless_read_done_ = false;
+  // Early polls that read pipe state without the mutex (Tab. 7's few
+  // pipe_inode_info violations).
+  int pipe_poll_lockless_remaining_ = 3;
+
+  // Inodes currently linked in the simulated hash chain (for the
+  // __remove_inode_hash neighbour pattern).
+  std::vector<ObjectRef> hash_chain_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_VFS_VFS_KERNEL_H_

@@ -1,0 +1,223 @@
+#include "src/workload/script.h"
+
+#include <map>
+
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+// Argument shape of each verb.
+enum class Shape {
+  kNone,        // verb
+  kFs,          // verb <fs>
+  kFsIndex,     // verb <fs> <index>
+  kIndex,       // verb <index>
+};
+
+const std::map<std::string, Shape>& VerbTable() {
+  static const std::map<std::string, Shape> table = {
+      {"create", Shape::kFs},        {"symlink", Shape::kFs},
+      {"mkdir", Shape::kFs},         {"sync", Shape::kFs},
+      {"write", Shape::kFsIndex},    {"read", Shape::kFsIndex},
+      {"stat", Shape::kFsIndex},     {"chmod", Shape::kFsIndex},
+      {"chown", Shape::kFsIndex},    {"unlink", Shape::kFsIndex},
+      {"lookup", Shape::kFsIndex},   {"rename", Shape::kFsIndex},
+      {"truncate", Shape::kFsIndex}, {"fsync", Shape::kFsIndex},
+      {"mmap", Shape::kFsIndex},     {"touch", Shape::kFsIndex},
+      {"readlink", Shape::kFsIndex}, {"rmdir", Shape::kFsIndex},
+      {"link", Shape::kFsIndex},
+      {"pipe-create", Shape::kNone}, {"pipe-write", Shape::kIndex},
+      {"pipe-read", Shape::kIndex},  {"pipe-poll", Shape::kIndex},
+      {"pipe-release", Shape::kIndex},
+      {"proc", Shape::kNone},        {"sysfs-read", Shape::kNone},
+      {"sysfs-write", Shape::kNone}, {"sock", Shape::kNone},
+      {"anon", Shape::kNone},        {"debugfs", Shape::kNone},
+      {"bdev-open", Shape::kNone},   {"bdev-release", Shape::kNone},
+      {"cdev", Shape::kNone},        {"commit", Shape::kNone},
+      {"checkpoint", Shape::kNone},  {"writeback", Shape::kNone},
+      {"scan", Shape::kNone},        {"proc-journal", Shape::kNone},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::vector<std::string> WorkloadScript::KnownVerbs() {
+  std::vector<std::string> verbs;
+  for (const auto& [verb, shape] : VerbTable()) {
+    verbs.push_back(verb);
+  }
+  return verbs;
+}
+
+Result<WorkloadScript> WorkloadScript::Parse(std::string_view text) {
+  WorkloadScript script;
+  size_t line_number = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw);
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = Trim(line.substr(0, hash));
+    }
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> tokens = SplitAndTrim(line, ' ');
+    auto it = VerbTable().find(tokens[0]);
+    if (it == VerbTable().end()) {
+      return Status::Error(StrFormat("script line %zu: unknown verb '%s'", line_number,
+                                     tokens[0].c_str()));
+    }
+    ScriptStep step;
+    step.verb = tokens[0];
+    step.line = line_number;
+    Shape shape = it->second;
+    size_t expected = shape == Shape::kNone ? 1 : (shape == Shape::kFsIndex ? 3 : 2);
+    if (tokens.size() != expected) {
+      return Status::Error(StrFormat("script line %zu: '%s' takes %zu argument(s)",
+                                     line_number, tokens[0].c_str(), expected - 1));
+    }
+    if (shape == Shape::kFs || shape == Shape::kFsIndex) {
+      step.fs = tokens[1];
+    }
+    if (shape == Shape::kIndex || shape == Shape::kFsIndex) {
+      const std::string& index_text = tokens[shape == Shape::kIndex ? 1 : 2];
+      if (!ParseUint64(index_text, &step.index)) {
+        return Status::Error(StrFormat("script line %zu: bad index '%s'", line_number,
+                                       index_text.c_str()));
+      }
+      step.has_index = true;
+    }
+    script.steps_.push_back(std::move(step));
+  }
+  return script;
+}
+
+Status WorkloadScript::Run(VfsKernel& vfs, Rng& rng) const {
+  const TypeRegistry& registry = vfs.sim().registry();
+  auto inode_type = registry.FindType("inode");
+  LOCKDOC_CHECK(inode_type.has_value());
+
+  for (const ScriptStep& step : steps_) {
+    auto fail = [&](const std::string& why) {
+      return Status::Error(
+          StrFormat("script line %zu (%s): %s", step.line, step.verb.c_str(), why.c_str()));
+    };
+
+    SubclassId fs = kNoSubclass;
+    if (!step.fs.empty()) {
+      auto found = registry.FindSubclass(*inode_type, step.fs);
+      if (!found.has_value()) {
+        return fail("unknown filesystem '" + step.fs + "'");
+      }
+      fs = *found;
+    }
+    if (step.has_index && !step.fs.empty()) {
+      if (!vfs.file_alive(fs, step.index)) {
+        return fail(StrFormat("file %llu is not alive",
+                              static_cast<unsigned long long>(step.index)));
+      }
+    }
+
+    if (step.verb == "create") {
+      vfs.CreateFile(fs, rng);
+    } else if (step.verb == "symlink") {
+      vfs.CreateSymlink(fs, rng);
+    } else if (step.verb == "mkdir") {
+      vfs.MkdirDir(fs, rng);
+    } else if (step.verb == "sync") {
+      vfs.SyncFilesystem(fs, rng);
+    } else if (step.verb == "write") {
+      vfs.WriteFile(fs, step.index, rng);
+    } else if (step.verb == "read") {
+      vfs.ReadFile(fs, step.index, rng);
+    } else if (step.verb == "stat") {
+      vfs.StatFile(fs, step.index, rng);
+    } else if (step.verb == "chmod") {
+      vfs.ChmodFile(fs, step.index, rng);
+    } else if (step.verb == "chown") {
+      vfs.ChownFile(fs, step.index, rng);
+    } else if (step.verb == "unlink") {
+      if (!vfs.CanUnlink(fs, step.index)) {
+        return fail("entry cannot be unlinked (non-empty directory?)");
+      }
+      vfs.UnlinkFile(fs, step.index, rng);
+    } else if (step.verb == "lookup") {
+      vfs.LookupFile(fs, step.index, rng);
+    } else if (step.verb == "rename") {
+      vfs.RenameFile(fs, step.index, rng);
+    } else if (step.verb == "truncate") {
+      vfs.TruncateFile(fs, step.index, rng);
+    } else if (step.verb == "fsync") {
+      vfs.FsyncFile(fs, step.index, rng);
+    } else if (step.verb == "mmap") {
+      vfs.MmapFile(fs, step.index, rng);
+    } else if (step.verb == "touch") {
+      vfs.TouchAtime(fs, step.index, rng);
+    } else if (step.verb == "readlink") {
+      vfs.ReadSymlink(fs, step.index, rng);
+    } else if (step.verb == "rmdir") {
+      if (!vfs.RmdirDir(fs, step.index, rng)) {
+        return fail("rmdir refused (not a directory, or not empty)");
+      }
+    } else if (step.verb == "link") {
+      if (vfs.IsDirectory(fs, step.index)) {
+        return fail("cannot hard-link a directory");
+      }
+      vfs.LinkFile(fs, step.index, rng);
+    } else if (step.verb == "pipe-create") {
+      vfs.PipeCreate(rng);
+    } else if (step.verb == "pipe-write" || step.verb == "pipe-read" ||
+               step.verb == "pipe-poll" || step.verb == "pipe-release") {
+      if (!vfs.pipe_alive(step.index)) {
+        return fail(StrFormat("pipe %llu is not alive",
+                              static_cast<unsigned long long>(step.index)));
+      }
+      if (step.verb == "pipe-write") {
+        vfs.PipeWrite(step.index, rng);
+      } else if (step.verb == "pipe-read") {
+        vfs.PipeRead(step.index, rng);
+      } else if (step.verb == "pipe-poll") {
+        vfs.PipePoll(step.index, rng);
+      } else {
+        vfs.PipeRelease(step.index, rng);
+      }
+    } else if (step.verb == "proc") {
+      vfs.ProcReadEntry(rng);
+    } else if (step.verb == "sysfs-read") {
+      vfs.SysfsReadAttr(rng);
+    } else if (step.verb == "sysfs-write") {
+      vfs.SysfsWriteAttr(rng);
+    } else if (step.verb == "sock") {
+      vfs.SockCreateAndUse(rng);
+    } else if (step.verb == "anon") {
+      vfs.AnonInodeUse(rng);
+    } else if (step.verb == "debugfs") {
+      vfs.DebugfsCreate(rng);
+    } else if (step.verb == "bdev-open") {
+      vfs.BdevOpen(rng);
+    } else if (step.verb == "bdev-release") {
+      vfs.BdevRelease(rng);
+    } else if (step.verb == "cdev") {
+      vfs.CdevAddAndOpen(rng);
+    } else if (step.verb == "commit") {
+      vfs.JournalCommit(rng);
+    } else if (step.verb == "checkpoint") {
+      vfs.JournalCheckpoint(rng);
+    } else if (step.verb == "writeback") {
+      vfs.WritebackRun(rng);
+    } else if (step.verb == "scan") {
+      vfs.BufferLruScan(rng);
+    } else if (step.verb == "proc-journal") {
+      vfs.JournalStatsProcShow(rng);
+    } else {
+      return fail("unhandled verb (parser/runner mismatch)");
+    }
+    vfs.sim().CheckQuiescent();
+  }
+  return Status::Ok();
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,59 @@
+// Scripted workloads: a tiny line-oriented language for driving the
+// simulated kernel with an exact, reviewable operation sequence — the
+// counterpart of the randomized benchmark mix for writing reproducers
+// ("this exact sequence triggers the violation").
+//
+//   # comment
+//   create ext4            # returns file index 0, 1, ... per filesystem
+//   write ext4 0
+//   mkdir tmpfs
+//   link ext4 0
+//   unlink ext4 0
+//   pipe-create            # pipe indexes count separately
+//   pipe-write 0
+//   commit                 # journal housekeeping
+//   writeback
+//   repeat 10 { ... }      -- not supported; scripts are literal by design.
+//
+// Indexes refer to the per-filesystem creation order (the value CreateFile
+// returned), as printed by `lockdoc simulate --script` on failure.
+#ifndef SRC_WORKLOAD_SCRIPT_H_
+#define SRC_WORKLOAD_SCRIPT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/vfs/vfs_kernel.h"
+
+namespace lockdoc {
+
+struct ScriptStep {
+  std::string verb;
+  std::string fs;       // Empty when the verb takes no filesystem.
+  uint64_t index = 0;   // File/pipe index when the verb takes one.
+  bool has_index = false;
+  size_t line = 0;      // 1-based script line for error messages.
+};
+
+class WorkloadScript {
+ public:
+  static Result<WorkloadScript> Parse(std::string_view text);
+
+  const std::vector<ScriptStep>& steps() const { return steps_; }
+
+  // Executes all steps against a mounted kernel. Fails (without partial
+  // rollback) on unknown filesystems, dead/out-of-range indexes, or verbs
+  // that are illegal in context (e.g. rmdir of a file).
+  Status Run(VfsKernel& vfs, Rng& rng) const;
+
+  // The verbs Parse accepts, for documentation and error messages.
+  static std::vector<std::string> KnownVerbs();
+
+ private:
+  std::vector<ScriptStep> steps_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_WORKLOAD_SCRIPT_H_

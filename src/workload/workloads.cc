@@ -1,0 +1,335 @@
+#include "src/workload/workloads.h"
+
+#include <optional>
+
+#include "src/coverage/coverage.h"
+#include "src/util/logging.h"
+
+namespace lockdoc {
+namespace {
+
+// Picks a random live file of `fs`, scanning from a random start.
+std::optional<size_t> PickAliveFile(VfsKernel& vfs, SubclassId fs, Rng& rng) {
+  size_t count = vfs.file_count(fs);
+  if (count == 0) {
+    return std::nullopt;
+  }
+  size_t start = rng.Below(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t index = (start + i) % count;
+    if (vfs.file_alive(fs, index)) {
+      return index;
+    }
+  }
+  return std::nullopt;
+}
+
+size_t CountAlive(VfsKernel& vfs, SubclassId fs) {
+  size_t alive = 0;
+  for (size_t i = 0; i < vfs.file_count(fs); ++i) {
+    if (vfs.file_alive(fs, i)) {
+      ++alive;
+    }
+  }
+  return alive;
+}
+
+// Filesystems the read-write workloads operate on.
+std::vector<SubclassId> RwFilesystems(VfsKernel& vfs) {
+  const VfsIds& ids = vfs.ids();
+  return {ids.fs_ext4, ids.fs_tmpfs, ids.fs_rootfs, ids.fs_devtmpfs};
+}
+
+class FsStress : public Workload {
+ public:
+  std::string_view name() const override { return "fsstress"; }
+
+  void RunOp(VfsKernel& vfs, Rng& rng) override {
+    std::vector<SubclassId> fss = RwFilesystems(vfs);
+    SubclassId fs = fss[rng.Below(fss.size())];
+    size_t alive = CountAlive(vfs, fs);
+    uint64_t action = rng.Below(100);
+    std::optional<size_t> file = PickAliveFile(vfs, fs, rng);
+
+    if (alive < 2 || (action < 13 && alive < 32)) {
+      vfs.CreateFile(fs, rng);
+    } else if (action < 15 && alive < 40) {
+      vfs.MkdirDir(fs, rng);
+    } else if (action < 30 && file) {
+      vfs.WriteFile(fs, *file, rng);
+    } else if (action < 50 && file) {
+      vfs.ReadFile(fs, *file, rng);
+    } else if (action < 62 && file) {
+      vfs.LookupFile(fs, *file, rng);
+    } else if (action < 70 && file) {
+      vfs.StatFile(fs, *file, rng);
+    } else if (action < 74 && file) {
+      vfs.MmapFile(fs, *file, rng);
+    } else if (action < 78 && file) {
+      vfs.RenameFile(fs, *file, rng);
+    } else if (action < 82 && file) {
+      vfs.TruncateFile(fs, *file, rng);
+    } else if (action < 83 && file && alive > 4 && vfs.CanUnlink(fs, *file)) {
+      vfs.UnlinkFile(fs, *file, rng);
+    } else if (action < 84 && file && !vfs.IsDirectory(fs, *file)) {
+      vfs.LinkFile(fs, *file, rng);
+    } else if (action < 86 && file && vfs.IsDirectory(fs, *file)) {
+      vfs.RmdirDir(fs, *file, rng);
+    } else if (action < 90 && file) {
+      vfs.FsyncFile(fs, *file, rng);
+    } else if (action < 95) {
+      vfs.EvictLru(fs, rng);
+    } else if (file) {
+      vfs.TouchAtime(fs, *file, rng);
+    }
+  }
+};
+
+class FsInod : public Workload {
+ public:
+  std::string_view name() const override { return "fs_inod"; }
+
+  void RunOp(VfsKernel& vfs, Rng& rng) override {
+    // Alternating allocate/free churn, biased toward a small steady state.
+    std::vector<SubclassId> fss = RwFilesystems(vfs);
+    SubclassId fs = fss[rng.Below(fss.size())];
+    size_t alive = CountAlive(vfs, fs);
+    if (alive < 6 || rng.Chance(0.5)) {
+      size_t index = vfs.CreateFile(fs, rng);
+      if (rng.Chance(0.6)) {
+        vfs.UnlinkFile(fs, index, rng);
+      }
+    } else {
+      std::optional<size_t> file = PickAliveFile(vfs, fs, rng);
+      if (file && alive > 3 && vfs.CanUnlink(fs, *file)) {
+        vfs.UnlinkFile(fs, *file, rng);
+      }
+    }
+  }
+};
+
+class FsBench : public Workload {
+ public:
+  std::string_view name() const override { return "fs-bench-test2"; }
+
+  void RunOp(VfsKernel& vfs, Rng& rng) override {
+    SubclassId fs = vfs.ids().fs_ext4;
+    std::optional<size_t> file = PickAliveFile(vfs, fs, rng);
+    uint64_t action = rng.Below(100);
+    if (!file || (action < 20 && CountAlive(vfs, fs) < 24)) {
+      vfs.CreateFile(fs, rng);
+    } else if (action < 40) {
+      vfs.ChmodFile(fs, *file, rng);
+    } else if (action < 55) {
+      vfs.ChownFile(fs, *file, rng);
+    } else if (action < 75) {
+      vfs.ReadFile(fs, *file, rng);
+    } else if (action < 90) {
+      vfs.WriteFile(fs, *file, rng);
+    } else {
+      vfs.StatFile(fs, *file, rng);
+    }
+  }
+};
+
+class PipeTest : public Workload {
+ public:
+  std::string_view name() const override { return "pipe-test"; }
+
+  void RunOp(VfsKernel& vfs, Rng& rng) override {
+    // Maintain a handful of live pipes, streaming through them.
+    std::vector<size_t> live;
+    for (size_t i = 0; i < vfs.pipe_count(); ++i) {
+      if (vfs.pipe_alive(i)) {
+        live.push_back(i);
+      }
+    }
+    if (live.size() < 3) {
+      vfs.PipeCreate(rng);
+      return;
+    }
+    size_t pipe = live[rng.Below(live.size())];
+    uint64_t action = rng.Below(100);
+    if (action < 40) {
+      vfs.PipeWrite(pipe, rng);
+    } else if (action < 80) {
+      vfs.PipeRead(pipe, rng);
+    } else if (action < 84) {
+      vfs.PipePoll(pipe, rng);
+    } else if (action < 90 && live.size() > 2) {
+      vfs.PipeRelease(pipe, rng);
+    } else {
+      vfs.PipeWrite(pipe, rng);
+      vfs.PipeRead(pipe, rng);
+    }
+  }
+};
+
+class SymlinkTest : public Workload {
+ public:
+  std::string_view name() const override { return "symlink-test"; }
+
+  void RunOp(VfsKernel& vfs, Rng& rng) override {
+    SubclassId fs = rng.Chance(0.7) ? vfs.ids().fs_ext4 : vfs.ids().fs_tmpfs;
+    if (links_.size() < 6) {
+      links_.push_back({fs, vfs.CreateSymlink(fs, rng)});
+      return;
+    }
+    size_t pick = rng.Below(links_.size());
+    auto [link_fs, index] = links_[pick];
+    if (!vfs.file_alive(link_fs, index)) {
+      links_.erase(links_.begin() + static_cast<ptrdiff_t>(pick));
+      return;
+    }
+    if (rng.Chance(0.75) || !vfs.CanUnlink(link_fs, index)) {
+      vfs.ReadSymlink(link_fs, index, rng);
+    } else {
+      vfs.UnlinkFile(link_fs, index, rng);
+      links_.erase(links_.begin() + static_cast<ptrdiff_t>(pick));
+    }
+  }
+
+ private:
+  std::vector<std::pair<SubclassId, size_t>> links_;
+};
+
+class ChmodTest : public Workload {
+ public:
+  std::string_view name() const override { return "chmod-test"; }
+
+  void RunOp(VfsKernel& vfs, Rng& rng) override {
+    std::vector<SubclassId> fss = RwFilesystems(vfs);
+    SubclassId fs = fss[rng.Below(fss.size())];
+    std::optional<size_t> file = PickAliveFile(vfs, fs, rng);
+    if (!file) {
+      vfs.CreateFile(fs, rng);
+      return;
+    }
+    if (rng.Chance(0.6)) {
+      vfs.ChmodFile(fs, *file, rng);
+    } else {
+      vfs.ChownFile(fs, *file, rng);
+    }
+  }
+};
+
+class MiscFs : public Workload {
+ public:
+  std::string_view name() const override { return "misc-fs"; }
+
+  void RunOp(VfsKernel& vfs, Rng& rng) override {
+    uint64_t action = rng.Below(100);
+    if (action < 30) {
+      vfs.ProcReadEntry(rng);
+    } else if (action < 45) {
+      vfs.SysfsReadAttr(rng);
+    } else if (action < 52) {
+      vfs.SysfsWriteAttr(rng);
+    } else if (action < 67) {
+      vfs.SockCreateAndUse(rng);
+    } else if (action < 77) {
+      vfs.AnonInodeUse(rng);
+    } else if (action < 79) {
+      vfs.DebugfsCreate(rng);
+    } else if (action < 90) {
+      vfs.BdevOpen(rng);
+    } else if (action < 96) {
+      vfs.BdevRelease(rng);
+    } else {
+      vfs.CdevAddAndOpen(rng);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeFsStress() { return std::make_unique<FsStress>(); }
+std::unique_ptr<Workload> MakeFsInod() { return std::make_unique<FsInod>(); }
+std::unique_ptr<Workload> MakeFsBench() { return std::make_unique<FsBench>(); }
+std::unique_ptr<Workload> MakePipeTest() { return std::make_unique<PipeTest>(); }
+std::unique_ptr<Workload> MakeSymlinkTest() { return std::make_unique<SymlinkTest>(); }
+std::unique_ptr<Workload> MakeChmodTest() { return std::make_unique<ChmodTest>(); }
+std::unique_ptr<Workload> MakeMiscFs() { return std::make_unique<MiscFs>(); }
+
+std::vector<std::unique_ptr<Workload>> MakeBenchmarkMix() {
+  std::vector<std::unique_ptr<Workload>> mix;
+  mix.push_back(MakeFsStress());
+  mix.push_back(MakeFsInod());
+  mix.push_back(MakeFsBench());
+  mix.push_back(MakePipeTest());
+  mix.push_back(MakeSymlinkTest());
+  mix.push_back(MakeChmodTest());
+  mix.push_back(MakeMiscFs());
+  return mix;
+}
+
+MixResult RunBenchmarkMix(VfsKernel& vfs, const MixOptions& options) {
+  SimKernel& sim = vfs.sim();
+  sim.SetInterruptRate(options.interrupt_rate, options.seed ^ 0x1234ULL);
+
+  std::vector<std::unique_ptr<Workload>> workloads = MakeBenchmarkMix();
+  // Each simulated task owns one RNG stream and cycles through the
+  // workloads assigned to it.
+  Rng master(options.seed);
+  std::vector<Rng> task_rngs;
+  task_rngs.reserve(options.tasks);
+  for (size_t t = 0; t < options.tasks; ++t) {
+    task_rngs.push_back(master.Fork());
+  }
+
+  MixResult result;
+  Rng housekeeping_rng = master.Fork();
+  for (size_t op = 0; op < options.ops; ++op) {
+    size_t task = op % options.tasks;
+    sim.SetCurrentTask(static_cast<uint32_t>(task + 1));
+    Workload& workload = *workloads[(op / options.tasks + task) % workloads.size()];
+    workload.RunOp(vfs, task_rngs[task]);
+    sim.CheckQuiescent();
+    ++result.ops_executed;
+
+    // Kernel housekeeping runs on task 0 ("kworker").
+    sim.SetCurrentTask(0);
+    if (options.commit_every != 0 && op % options.commit_every == options.commit_every - 1) {
+      vfs.JournalCommit(housekeeping_rng);
+      sim.CheckQuiescent();
+    }
+    if (options.writeback_every != 0 &&
+        op % options.writeback_every == options.writeback_every - 1) {
+      vfs.WritebackRun(housekeeping_rng);
+      if (housekeeping_rng.Chance(0.3)) {
+        SubclassId fs = RwFilesystems(vfs)[housekeeping_rng.Below(4)];
+        vfs.SyncFilesystem(fs, housekeeping_rng);
+      }
+      sim.CheckQuiescent();
+    }
+    if (options.proc_dump_every != 0 &&
+        op % options.proc_dump_every == options.proc_dump_every - 1) {
+      vfs.JournalStatsProcShow(housekeeping_rng);
+      sim.CheckQuiescent();
+    }
+    if (op % 48 == 47) {
+      vfs.BufferLruScan(housekeeping_rng);
+      sim.CheckQuiescent();
+    }
+  }
+  return result;
+}
+
+SimulationResult SimulateKernelRun(const MixOptions& options, const FaultPlan& plan,
+                                   CoverageTracker* coverage) {
+  SimulationResult result;
+  result.registry = BuildVfsRegistry(&result.ids);
+  SimKernel sim(&result.trace, result.registry.get(), coverage);
+  VfsKernel vfs(&sim, result.registry.get(), result.ids, plan);
+  if (coverage != nullptr) {
+    vfs.RegisterFunctionsForCoverage(coverage);
+  }
+  vfs.MountAll();
+  result.mix = RunBenchmarkMix(vfs, options);
+  sim.SetInterruptRate(0.0, 0);  // Quiesce interrupts for teardown.
+  vfs.UnmountAll();
+  sim.CheckQuiescent();
+  return result;
+}
+
+}  // namespace lockdoc

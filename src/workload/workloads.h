@@ -1,0 +1,89 @@
+// The benchmark mix driving the simulated kernel — modelled on the paper's
+// Sec. 7.1 workload: a subset of the Linux Test Project (fs-bench-test2,
+// fsstress, fs_inod) plus custom pipe, symlink, and chmod/chown tests.
+// Every workload is a stream of kernel operations; the mix driver
+// interleaves several simulated tasks and periodic kernel housekeeping
+// (journal commits, writeback, checkpoints).
+#ifndef SRC_WORKLOAD_WORKLOADS_H_
+#define SRC_WORKLOAD_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/vfs/vfs_kernel.h"
+
+namespace lockdoc {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string_view name() const = 0;
+  // Executes one operation; the kernel must be quiescent before and after.
+  virtual void RunOp(VfsKernel& vfs, Rng& rng) = 0;
+};
+
+// fsstress: random I/O operations on a directory tree (create, write, read,
+// rename, lookup, stat, unlink) across the read-write filesystems.
+std::unique_ptr<Workload> MakeFsStress();
+
+// fs_inod: inode allocation/deallocation churn (create + unlink).
+std::unique_ptr<Workload> MakeFsInod();
+
+// fs-bench-test2: create files, change owner/permission, access randomly.
+std::unique_ptr<Workload> MakeFsBench();
+
+// Custom pipe test: create pipes, push/pull data, poll, release.
+std::unique_ptr<Workload> MakePipeTest();
+
+// Custom symlink test: create/read/remove symbolic links.
+std::unique_ptr<Workload> MakeSymlinkTest();
+
+// Custom permission test: chmod/chown heavy.
+std::unique_ptr<Workload> MakeChmodTest();
+
+// Special-filesystem and device exerciser: proc, sysfs, sockfs,
+// anon_inodefs, debugfs, block and char devices.
+std::unique_ptr<Workload> MakeMiscFs();
+
+// The full benchmark mix.
+std::vector<std::unique_ptr<Workload>> MakeBenchmarkMix();
+
+struct MixOptions {
+  uint64_t seed = 1;
+  // Total kernel operations across all tasks.
+  size_t ops = 20000;
+  // Simulated tasks, round-robin scheduled at operation granularity.
+  size_t tasks = 4;
+  // Probability of an interrupt after each traced event.
+  double interrupt_rate = 0.0015;
+  // Housekeeping cadence (in operations).
+  size_t commit_every = 96;
+  size_t writeback_every = 64;
+  size_t proc_dump_every = 160;
+};
+
+struct MixResult {
+  size_t ops_executed = 0;
+};
+
+// Runs the full mix against a mounted VfsKernel. CHECK-fails if the kernel
+// is left non-quiescent by any operation.
+MixResult RunBenchmarkMix(VfsKernel& vfs, const MixOptions& options);
+
+// Convenience: builds registry + trace + kernel, mounts, runs the mix,
+// unmounts — returning the recorded trace. `coverage` may be null.
+struct SimulationResult {
+  std::unique_ptr<TypeRegistry> registry;
+  VfsIds ids;
+  Trace trace;
+  MixResult mix;
+};
+SimulationResult SimulateKernelRun(const MixOptions& options, const FaultPlan& plan,
+                                   class CoverageTracker* coverage = nullptr);
+
+}  // namespace lockdoc
+
+#endif  // SRC_WORKLOAD_WORKLOADS_H_

@@ -1,0 +1,149 @@
+#include "src/core/doc_generator.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/core/rule.h"
+#include "tests/core/test_helpers.h"
+
+namespace lockdoc {
+namespace {
+
+// data: always under the spinlock (r+w); extra: lockless reads only.
+TestWorld MakeDocWorld() {
+  TestWorld world;
+  FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+  ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+  for (int i = 0; i < 4; ++i) {
+    world.sim->Lock(obj, world.spin, 2);
+    world.sim->Write(obj, world.data, 3);
+    world.sim->Unlock(obj, world.spin, 4);
+    world.sim->Lock(obj, world.spin, 5);
+    world.sim->Read(obj, world.data, 6);
+    world.sim->Unlock(obj, world.spin, 7);
+    world.sim->Read(obj, world.extra, 8);
+  }
+  world.sim->Destroy(obj, 9);
+  return world;
+}
+
+std::vector<DerivationResult> DeriveAll(TestWorld& world, ObservationStore& store) {
+  store = world.Extract();
+  RuleDerivator derivator;
+  return derivator.DeriveAll(store);
+}
+
+TEST(DocGeneratorTest, GroupsMembersByRule) {
+  TestWorld world = MakeDocWorld();
+  ObservationStore store;
+  std::vector<DerivationResult> rules = DeriveAll(world, store);
+  DocGenerator generator(world.registry.get());
+  std::string doc = generator.Generate(world.type, kNoSubclass, rules);
+
+  EXPECT_NE(doc.find("widget locking rules"), std::string::npos);
+  EXPECT_NE(doc.find("No locks needed for:"), std::string::npos);
+  EXPECT_NE(doc.find("extra"), std::string::npos);
+  EXPECT_NE(doc.find("ES(w_lock in widget) protects:"), std::string::npos);
+  // data's read and write rules agree, so it appears without [r]/[w] tags.
+  EXPECT_NE(doc.find("data"), std::string::npos);
+  EXPECT_EQ(doc.find("data [r]"), std::string::npos);
+}
+
+TEST(DocGeneratorTest, DisagreeingAccessTypesAreTagged) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    // Writes locked, reads lockless.
+    world.sim->Lock(obj, world.spin, 2);
+    world.sim->Write(obj, world.data, 3);
+    world.sim->Unlock(obj, world.spin, 4);
+    world.sim->Read(obj, world.data, 5);
+    world.sim->Destroy(obj, 6);
+  }
+  ObservationStore store;
+  std::vector<DerivationResult> rules = DeriveAll(world, store);
+  DocGenerator generator(world.registry.get());
+  std::string doc = generator.Generate(world.type, kNoSubclass, rules);
+  EXPECT_NE(doc.find("data [r]"), std::string::npos);
+  EXPECT_NE(doc.find("data [w]"), std::string::npos);
+}
+
+TEST(DocGeneratorTest, SupportAnnotations) {
+  TestWorld world = MakeDocWorld();
+  ObservationStore store;
+  std::vector<DerivationResult> rules = DeriveAll(world, store);
+  DocGenOptions options;
+  options.include_support = true;
+  DocGenerator generator(world.registry.get(), options);
+  std::string doc = generator.Generate(world.type, kNoSubclass, rules);
+  EXPECT_NE(doc.find("sr="), std::string::npos);
+  EXPECT_NE(doc.find("n="), std::string::npos);
+}
+
+TEST(DocGeneratorTest, RuleSpecOutputIsParsable) {
+  TestWorld world = MakeDocWorld();
+  ObservationStore store;
+  std::vector<DerivationResult> rules = DeriveAll(world, store);
+  DocGenerator generator(world.registry.get());
+  std::string spec = generator.GenerateRuleSpec(world.type, kNoSubclass, rules);
+  auto parsed = RuleSet::ParseText(spec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << spec;
+  // One rule per (member, access) with observations: data r, data w, extra r.
+  EXPECT_EQ(parsed.value().size(), 3u);
+}
+
+TEST(DocGeneratorTest, OtherPopulationsResultsIgnored) {
+  TestWorld world = MakeDocWorld();
+  SubclassId unused = world.registry->RegisterSubclass(world.type, "unused");
+  ObservationStore store;
+  std::vector<DerivationResult> rules = DeriveAll(world, store);
+  DocGenerator generator(world.registry.get());
+  // Generating for a subclass with no observations yields an empty body.
+  std::string doc = generator.Generate(world.type, unused, rules);
+  EXPECT_EQ(doc.find("protects:"), std::string::npos);
+  EXPECT_NE(doc.find("widget:unused"), std::string::npos);
+}
+
+TEST(DocGeneratorTest, GenerateAllWritesBundle) {
+  TestWorld world = MakeDocWorld();
+  ObservationStore store;
+  std::vector<DerivationResult> rules = DeriveAll(world, store);
+  DocGenerator generator(world.registry.get());
+
+  std::string dir = ::testing::TempDir() + "/lockdoc_docs";
+  std::filesystem::create_directories(dir);
+  auto written = generator.GenerateAll(rules, dir);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(written.value(), 2u);  // widget.txt + rules.txt.
+
+  std::ifstream widget(dir + "/widget.txt");
+  ASSERT_TRUE(widget.good());
+  std::ostringstream buffer;
+  buffer << widget.rdbuf();
+  EXPECT_NE(buffer.str().find("widget locking rules"), std::string::npos);
+
+  // rules.txt must be parsable by the rule-spec parser.
+  std::ifstream rules_in(dir + "/rules.txt");
+  ASSERT_TRUE(rules_in.good());
+  std::ostringstream rules_buffer;
+  rules_buffer << rules_in.rdbuf();
+  auto parsed = RuleSet::ParseText(rules_buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().size(), 3u);
+}
+
+TEST(DocGeneratorTest, GenerateAllFailsOnMissingDirectory) {
+  TestWorld world = MakeDocWorld();
+  ObservationStore store;
+  std::vector<DerivationResult> rules = DeriveAll(world, store);
+  DocGenerator generator(world.registry.get());
+  EXPECT_FALSE(generator.GenerateAll(rules, "/nonexistent/lockdoc_docs").ok());
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,141 @@
+// Randomized property test: for arbitrary interleavings of lock
+// acquisitions, out-of-order releases, and member accesses, the importer's
+// reconstructed transaction for every access must carry EXACTLY the locks
+// held at that access, in acquisition order — checked against an
+// independently maintained oracle.
+#include <gtest/gtest.h>
+
+#include "src/db/schema.h"
+#include "src/util/rng.h"
+#include "tests/core/test_helpers.h"
+
+namespace lockdoc {
+namespace {
+
+class ImporterFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImporterFuzzTest, TransactionLockSetsMatchOracle) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  TestWorld world;
+
+  // A pool of global locks to interleave freely.
+  std::vector<GlobalLock> pool;
+  for (int i = 0; i < 6; ++i) {
+    pool.push_back(world.sim->DefineStaticLock("fuzz_" + std::to_string(i),
+                                               LockType::kSpinlock));
+  }
+
+  FunctionScope fn(*world.sim, "fuzz.c", "fuzz", 1, 100);
+  ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+
+  // Oracle: indices into `pool`, in acquisition order.
+  std::vector<size_t> held;
+  // Expected ordered lock names at each access, in trace order.
+  std::vector<std::vector<std::string>> expected;
+
+  for (int step = 0; step < 600; ++step) {
+    uint64_t action = rng.Below(100);
+    if (action < 35) {
+      // Acquire a random not-held lock.
+      std::vector<size_t> candidates;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (std::find(held.begin(), held.end(), i) == held.end()) {
+          candidates.push_back(i);
+        }
+      }
+      if (!candidates.empty()) {
+        size_t pick = candidates[rng.Below(candidates.size())];
+        world.sim->LockGlobal(pool[pick], 10);
+        held.push_back(pick);
+      }
+    } else if (action < 65) {
+      // Release a random held lock — deliberately NOT LIFO.
+      if (!held.empty()) {
+        size_t index = rng.Below(held.size());
+        world.sim->UnlockGlobal(pool[held[index]], 20);
+        held.erase(held.begin() + static_cast<ptrdiff_t>(index));
+      }
+    } else {
+      // Access; record the oracle's view.
+      world.sim->Write(obj, world.data, 30);
+      std::vector<std::string> names;
+      for (size_t index : held) {
+        names.push_back("fuzz_" + std::to_string(index));
+      }
+      expected.push_back(std::move(names));
+    }
+  }
+  for (size_t index : held) {
+    world.sim->UnlockGlobal(pool[index], 90);
+  }
+  world.sim->Destroy(obj, 99);
+  world.sim->CheckQuiescent();
+
+  // Import and compare every access's transaction lock list to the oracle.
+  Database db;
+  world.Import(&db);
+  const Table& accesses = db.table(LockDocSchema::kAccesses);
+  const Table& txns = db.table(LockDocSchema::kTxns);
+  const Table& txn_locks = db.table(LockDocSchema::kTxnLocks);
+  const Table& locks = db.table(LockDocSchema::kLocks);
+  const size_t kTxnCol = accesses.ColumnIndex("txn_id");
+  const size_t kTlTxn = txn_locks.ColumnIndex("txn_id");
+  const size_t kTlPos = txn_locks.ColumnIndex("position");
+  const size_t kTlLock = txn_locks.ColumnIndex("lock_id");
+  const size_t kLockName = locks.ColumnIndex("name_sid");
+
+  ASSERT_EQ(accesses.row_count(), expected.size());
+  for (RowId row = 0; row < accesses.row_count(); ++row) {
+    uint64_t txn = accesses.GetUint64(row, kTxnCol);
+    ASSERT_NE(txn, kDbNull);
+    EXPECT_EQ(txns.GetUint64(txn, txns.ColumnIndex("n_locks")), expected[row].size());
+
+    std::vector<std::string> actual(expected[row].size());
+    for (RowId tl_row : txn_locks.LookupEqual(kTlTxn, txn)) {
+      uint64_t pos = txn_locks.GetUint64(tl_row, kTlPos);
+      ASSERT_LT(pos, actual.size());
+      uint64_t lock_row = txn_locks.GetUint64(tl_row, kTlLock);
+      actual[pos] =
+          world.trace.String(static_cast<StringId>(locks.GetUint64(lock_row, kLockName)));
+    }
+    EXPECT_EQ(actual, expected[row]) << "access " << row;
+  }
+}
+
+TEST_P(ImporterFuzzTest, NestedResumptionSharesTransactionIds) {
+  // With strictly LIFO nesting, accesses under the same outer lock before
+  // and after a nested section share one transaction id.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 1);
+  TestWorld world;
+  FunctionScope fn(*world.sim, "fuzz.c", "nest", 1, 100);
+  ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+
+  world.sim->LockGlobal(world.global_a, 2);
+  world.sim->Write(obj, world.data, 3);  // Access 0.
+  size_t nestings = 1 + rng.Below(4);
+  for (size_t i = 0; i < nestings; ++i) {
+    world.sim->Lock(obj, world.spin, 4);
+    world.sim->Write(obj, world.data, 5);  // Nested access.
+    world.sim->Unlock(obj, world.spin, 6);
+    world.sim->Write(obj, world.data, 7);  // Resumed access.
+  }
+  world.sim->UnlockGlobal(world.global_a, 8);
+  world.sim->Destroy(obj, 9);
+
+  Database db;
+  world.Import(&db);
+  const Table& accesses = db.table(LockDocSchema::kAccesses);
+  const size_t kTxnCol = accesses.ColumnIndex("txn_id");
+  uint64_t outer = accesses.GetUint64(0, kTxnCol);
+  for (size_t i = 0; i < nestings; ++i) {
+    uint64_t nested = accesses.GetUint64(1 + 2 * i, kTxnCol);
+    uint64_t resumed = accesses.GetUint64(2 + 2 * i, kTxnCol);
+    EXPECT_NE(nested, outer);
+    EXPECT_EQ(resumed, outer);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImporterFuzzTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,197 @@
+// Transaction-reconstruction and filtering semantics (paper Sec. 4.2/5.3).
+#include "src/core/importer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/db/schema.h"
+#include "tests/core/test_helpers.h"
+
+namespace lockdoc {
+namespace {
+
+// Reads the txn id of the i-th kept access row.
+uint64_t AccessTxn(const Database& db, size_t index) {
+  const Table& accesses = db.table(LockDocSchema::kAccesses);
+  return accesses.GetUint64(index, accesses.ColumnIndex("txn_id"));
+}
+
+uint64_t AccessFilterReason(const Database& db, size_t index) {
+  const Table& accesses = db.table(LockDocSchema::kAccesses);
+  return accesses.GetUint64(index, accesses.ColumnIndex("filter_reason"));
+}
+
+uint64_t TxnLockCount(const Database& db, uint64_t txn) {
+  const Table& txns = db.table(LockDocSchema::kTxns);
+  return txns.GetUint64(txn, txns.ColumnIndex("n_locks"));
+}
+
+TEST(ImporterTest, NestedReleaseResumesEnclosingTransaction) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->LockGlobal(world.global_a, 2);
+    world.sim->Write(obj, world.data, 3);  // Access 0: txn a.
+    world.sim->Lock(obj, world.spin, 4);
+    world.sim->Write(obj, world.data, 5);  // Access 1: nested txn.
+    world.sim->Unlock(obj, world.spin, 6);
+    world.sim->Write(obj, world.data, 7);  // Access 2: txn a again (same id!).
+    world.sim->UnlockGlobal(world.global_a, 8);
+    world.sim->Destroy(obj, 9);
+  }
+  Database db;
+  world.Import(&db);
+  EXPECT_EQ(AccessTxn(db, 0), AccessTxn(db, 2));
+  EXPECT_NE(AccessTxn(db, 0), AccessTxn(db, 1));
+  EXPECT_EQ(TxnLockCount(db, AccessTxn(db, 0)), 1u);
+  EXPECT_EQ(TxnLockCount(db, AccessTxn(db, 1)), 2u);
+}
+
+TEST(ImporterTest, LockFreeSpansGetTheirOwnTransactions) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->Write(obj, world.data, 2);  // Access 0: lock-free span 1.
+    world.sim->LockGlobal(world.global_a, 3);
+    world.sim->Write(obj, world.data, 4);  // Access 1.
+    world.sim->UnlockGlobal(world.global_a, 5);
+    world.sim->Write(obj, world.data, 6);  // Access 2: lock-free span 2.
+    world.sim->Destroy(obj, 7);
+  }
+  Database db;
+  world.Import(&db);
+  EXPECT_NE(AccessTxn(db, 0), AccessTxn(db, 2));  // Distinct lock-free spans.
+  EXPECT_EQ(TxnLockCount(db, AccessTxn(db, 0)), 0u);
+  EXPECT_EQ(TxnLockCount(db, AccessTxn(db, 2)), 0u);
+}
+
+TEST(ImporterTest, OutOfOrderReleaseMintsFreshTransactions) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->LockGlobal(world.global_a, 2);
+    world.sim->Lock(obj, world.spin, 3);
+    world.sim->Write(obj, world.data, 4);          // Access 0: [a, spin].
+    world.sim->UnlockGlobal(world.global_a, 5);    // Out-of-order release.
+    world.sim->Write(obj, world.data, 6);          // Access 1: [spin] fresh txn.
+    world.sim->Unlock(obj, world.spin, 7);
+    world.sim->Destroy(obj, 8);
+  }
+  Database db;
+  world.Import(&db);
+  EXPECT_NE(AccessTxn(db, 0), AccessTxn(db, 1));
+  EXPECT_EQ(TxnLockCount(db, AccessTxn(db, 0)), 2u);
+  EXPECT_EQ(TxnLockCount(db, AccessTxn(db, 1)), 1u);
+}
+
+TEST(ImporterTest, FilterReasons) {
+  TestWorld world;
+  FilterConfig filter = FilterConfig::Defaults();
+  filter.init_teardown_functions.insert("widget_init");
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 80);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->Write(obj, world.data, 2);        // 0: kept.
+    world.sim->AtomicWrite(obj, world.atomic, 3);  // 1: atomic member + fn.
+    world.sim->Write(obj, world.banned, 4);      // 2: blacklisted member.
+    {
+      FunctionScope init(*world.sim, "t.c", "widget_init", 10, 20);
+      world.sim->Write(obj, world.data, 12);     // 3: init context.
+    }
+    world.sim->Write(obj, world.extra, 5);       // 4: kept.
+    world.sim->Destroy(obj, 6);
+  }
+  Database db;
+  ImportStats stats = world.Import(&db, filter);
+  EXPECT_EQ(stats.accesses_kept, 2u);
+  EXPECT_EQ(stats.accesses_filtered, 3u);
+  EXPECT_EQ(AccessFilterReason(db, 0), static_cast<uint64_t>(FilterReason::kNone));
+  EXPECT_EQ(AccessFilterReason(db, 1), static_cast<uint64_t>(FilterReason::kAtomicMember));
+  EXPECT_EQ(AccessFilterReason(db, 2),
+            static_cast<uint64_t>(FilterReason::kBlacklistedMember));
+  EXPECT_EQ(AccessFilterReason(db, 3), static_cast<uint64_t>(FilterReason::kInitTeardown));
+  EXPECT_EQ(AccessFilterReason(db, 4), static_cast<uint64_t>(FilterReason::kNone));
+}
+
+TEST(ImporterTest, AtomicHelperOnPlainMemberFilteredByFunction) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->AtomicWrite(obj, world.data, 2);  // Plain member via atomic_set.
+    world.sim->Destroy(obj, 3);
+  }
+  Database db;
+  world.Import(&db);
+  EXPECT_EQ(AccessFilterReason(db, 0), static_cast<uint64_t>(FilterReason::kBlacklistedFn));
+}
+
+TEST(ImporterTest, UntrackedMemoryFiltered) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->Destroy(obj, 2);
+    // Access after free: the allocation is dead.
+    TraceEvent stale;
+    stale.kind = EventKind::kMemRead;
+    stale.addr = obj.addr;
+    stale.size = 8;
+    world.trace.Append(stale);
+  }
+  Database db;
+  world.Import(&db);
+  EXPECT_EQ(AccessFilterReason(db, 0), static_cast<uint64_t>(FilterReason::kUntrackedMemory));
+}
+
+TEST(ImporterTest, LockMemberAccessFiltered) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    // Raw access to the lock member's bytes (lockdep-style code does this).
+    TraceEvent raw;
+    raw.kind = EventKind::kMemRead;
+    raw.addr = obj.addr + world.registry->layout(world.type).member(world.spin).offset;
+    raw.size = 4;
+    world.trace.Append(raw);
+    world.sim->Destroy(obj, 2);
+  }
+  Database db;
+  world.Import(&db);
+  EXPECT_EQ(AccessFilterReason(db, 0), static_cast<uint64_t>(FilterReason::kLockMember));
+}
+
+TEST(ImporterTest, DimensionTablesPopulated) {
+  TestWorld world;
+  Database db;
+  world.Import(&db);
+  EXPECT_EQ(db.table(LockDocSchema::kDataTypes).row_count(), 1u);
+  EXPECT_EQ(db.table(LockDocSchema::kMembers).row_count(),
+            world.registry->layout(world.type).member_count());
+}
+
+TEST(ImporterTest, StatsCountEvents) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->LockGlobal(world.global_a, 2);
+    world.sim->Write(obj, world.data, 3);
+    world.sim->UnlockGlobal(world.global_a, 4);
+    world.sim->Destroy(obj, 5);
+  }
+  Database db;
+  ImportStats stats = world.Import(&db);
+  EXPECT_EQ(stats.events, world.trace.size());
+  EXPECT_EQ(stats.allocations, 1u);
+  EXPECT_EQ(stats.accesses_total, 1u);
+  EXPECT_EQ(stats.lock_instances, 1u);
+  EXPECT_GE(stats.txns, 3u);  // Pre-span, locked txn, post-span.
+  EXPECT_EQ(stats.locked_txns, 1u);
+}
+
+}  // namespace
+}  // namespace lockdoc

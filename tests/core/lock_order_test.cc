@@ -1,0 +1,174 @@
+#include "src/core/lock_order.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.h"
+
+namespace lockdoc {
+namespace {
+
+LockOrderGraph BuildGraph(TestWorld& world) {
+  Database db;
+  world.Import(&db);
+  return LockOrderGraph::Build(db, world.trace, *world.registry);
+}
+
+const LockOrderEdge* FindEdge(const LockOrderGraph& graph, const std::string& from,
+                              const std::string& to) {
+  for (const LockOrderEdge& edge : graph.edges()) {
+    if (edge.from.ToString() == from && edge.to.ToString() == to) {
+      return &edge;
+    }
+  }
+  return nullptr;
+}
+
+TEST(LockOrderTest, RecordsNestingEdgeWithSupport) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    for (int i = 0; i < 3; ++i) {
+      world.sim->LockGlobal(world.global_a, 2);
+      world.sim->Lock(obj, world.spin, 3);
+      world.sim->Unlock(obj, world.spin, 4);
+      world.sim->UnlockGlobal(world.global_a, 5);
+    }
+    world.sim->Destroy(obj, 6);
+  }
+  LockOrderGraph graph = BuildGraph(world);
+  const LockOrderEdge* edge = FindEdge(graph, "global_a", "EO(w_lock in widget)");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->support, 3u);
+  EXPECT_EQ(FindEdge(graph, "EO(w_lock in widget)", "global_a"), nullptr);
+  EXPECT_TRUE(graph.ConflictingPairs().empty());
+  EXPECT_TRUE(graph.FindCycles().empty());
+}
+
+TEST(LockOrderTest, DeepNestingRecordsAllPrefixEdges) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->LockGlobal(world.global_a, 2);
+    world.sim->LockGlobal(world.global_b, 3);
+    world.sim->Lock(obj, world.spin, 4);
+    world.sim->Unlock(obj, world.spin, 5);
+    world.sim->UnlockGlobal(world.global_b, 6);
+    world.sim->UnlockGlobal(world.global_a, 7);
+    world.sim->Destroy(obj, 8);
+  }
+  LockOrderGraph graph = BuildGraph(world);
+  EXPECT_NE(FindEdge(graph, "global_a", "global_b"), nullptr);
+  EXPECT_NE(FindEdge(graph, "global_a", "EO(w_lock in widget)"), nullptr);
+  EXPECT_NE(FindEdge(graph, "global_b", "EO(w_lock in widget)"), nullptr);
+  EXPECT_EQ(graph.edges().size(), 3u);
+}
+
+TEST(LockOrderTest, AbbaConflictDetected) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    // Common order 5x, inverted order once.
+    for (int i = 0; i < 5; ++i) {
+      world.sim->LockGlobal(world.global_a, 2);
+      world.sim->LockGlobal(world.global_b, 3);
+      world.sim->UnlockGlobal(world.global_b, 4);
+      world.sim->UnlockGlobal(world.global_a, 5);
+    }
+    world.sim->LockGlobal(world.global_b, 10);
+    world.sim->LockGlobal(world.global_a, 11);
+    world.sim->UnlockGlobal(world.global_a, 12);
+    world.sim->UnlockGlobal(world.global_b, 13);
+  }
+  LockOrderGraph graph = BuildGraph(world);
+  auto conflicts = graph.ConflictingPairs();
+  ASSERT_EQ(conflicts.size(), 1u);
+  // The rarer (buggy) direction is reported first.
+  EXPECT_EQ(conflicts[0].first.from.ToString(), "global_b");
+  EXPECT_EQ(conflicts[0].first.support, 1u);
+  EXPECT_EQ(conflicts[0].second.support, 5u);
+
+  auto cycles = graph.FindCycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].classes.size(), 2u);
+  EXPECT_EQ(cycles[0].min_support, 1u);
+}
+
+TEST(LockOrderTest, ThreeLockCycleDetected) {
+  TestWorld world;
+  GlobalLock c = world.sim->DefineStaticLock("global_c", LockType::kSpinlock);
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    auto pair = [&](const GlobalLock& x, const GlobalLock& y) {
+      world.sim->LockGlobal(x, 2);
+      world.sim->LockGlobal(y, 3);
+      world.sim->UnlockGlobal(y, 4);
+      world.sim->UnlockGlobal(x, 5);
+    };
+    pair(world.global_a, world.global_b);
+    pair(world.global_b, c);
+    pair(c, world.global_a);
+  }
+  LockOrderGraph graph = BuildGraph(world);
+  EXPECT_TRUE(graph.ConflictingPairs().empty());  // No 2-cycles.
+  auto cycles = graph.FindCycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].classes.size(), 3u);
+}
+
+TEST(LockOrderTest, SameClassNestingIsSelfLoopNotCycle) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef a = world.sim->Create(world.type, kNoSubclass, 1);
+    ObjectRef b = world.sim->Create(world.type, kNoSubclass, 2);
+    world.sim->Lock(a, world.spin, 3);
+    world.sim->Lock(b, world.spin, 4);  // Parent-before-child style nesting.
+    world.sim->Unlock(b, world.spin, 5);
+    world.sim->Unlock(a, world.spin, 6);
+    world.sim->Destroy(a, 7);
+    world.sim->Destroy(b, 8);
+  }
+  LockOrderGraph graph = BuildGraph(world);
+  auto self = graph.SelfNesting();
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0].from.ToString(), "EO(w_lock in widget)");
+  EXPECT_TRUE(graph.FindCycles().empty());
+  EXPECT_TRUE(graph.ConflictingPairs().empty());
+}
+
+TEST(LockOrderTest, OutOfOrderReleaseDoesNotDoubleCount) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    world.sim->LockGlobal(world.global_a, 2);
+    world.sim->LockGlobal(world.global_b, 3);
+    world.sim->UnlockGlobal(world.global_a, 4);  // Out of order.
+    world.sim->UnlockGlobal(world.global_b, 5);
+  }
+  LockOrderGraph graph = BuildGraph(world);
+  const LockOrderEdge* edge = FindEdge(graph, "global_a", "global_b");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->support, 1u);  // The re-minted [b] txn must not add edges.
+  EXPECT_EQ(FindEdge(graph, "global_b", "global_a"), nullptr);
+}
+
+TEST(LockOrderTest, ReportMentionsEdgesAndConflicts) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    world.sim->LockGlobal(world.global_a, 2);
+    world.sim->LockGlobal(world.global_b, 3);
+    world.sim->UnlockGlobal(world.global_b, 4);
+    world.sim->UnlockGlobal(world.global_a, 5);
+  }
+  LockOrderGraph graph = BuildGraph(world);
+  std::string report = graph.Report(world.trace);
+  EXPECT_NE(report.find("global_a"), std::string::npos);
+  EXPECT_NE(report.find("ordering conflicts"), std::string::npos);
+  EXPECT_NE(report.find("t.c:3"), std::string::npos);  // Example location.
+}
+
+}  // namespace
+}  // namespace lockdoc

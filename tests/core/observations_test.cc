@@ -1,0 +1,154 @@
+// Folding, write-over-read, and ES/EO lock classification (Sec. 4.2, 5.4).
+#include "src/core/observations.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.h"
+
+namespace lockdoc {
+namespace {
+
+TEST(ObservationsTest, RepeatedAccessesFoldIntoOneObservation) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->LockGlobal(world.global_a, 2);
+    for (int i = 0; i < 5; ++i) {
+      world.sim->Write(obj, world.data, 3);
+    }
+    world.sim->UnlockGlobal(world.global_a, 4);
+    world.sim->Destroy(obj, 5);
+  }
+  ObservationStore store = world.Extract();
+  const auto& groups = store.GroupsFor(world.Key(world.data));
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].n_writes, 5u);
+  EXPECT_EQ(groups[0].seqs.size(), 5u);
+  EXPECT_EQ(store.CountObservations(world.Key(world.data), AccessType::kWrite), 1u);
+}
+
+TEST(ObservationsTest, WriteOverReadFoldsMixedGroups) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->LockGlobal(world.global_a, 2);
+    world.sim->Read(obj, world.data, 3);
+    world.sim->Write(obj, world.data, 4);
+    world.sim->UnlockGlobal(world.global_a, 5);
+    world.sim->Destroy(obj, 6);
+  }
+  ObservationStore store = world.Extract();
+  EXPECT_EQ(store.CountObservations(world.Key(world.data), AccessType::kWrite), 1u);
+  EXPECT_EQ(store.CountObservations(world.Key(world.data), AccessType::kRead), 0u);
+  const auto& group = store.GroupsFor(world.Key(world.data))[0];
+  EXPECT_EQ(group.effective(), AccessType::kWrite);
+  EXPECT_EQ(group.n_reads, 1u);
+}
+
+TEST(ObservationsTest, SameMemberDifferentAllocationsAreSeparateObservations) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef a = world.sim->Create(world.type, kNoSubclass, 1);
+    ObjectRef b = world.sim->Create(world.type, kNoSubclass, 2);
+    world.sim->LockGlobal(world.global_a, 3);
+    world.sim->Write(a, world.data, 4);
+    world.sim->Write(b, world.data, 5);
+    world.sim->UnlockGlobal(world.global_a, 6);
+    world.sim->Destroy(a, 7);
+    world.sim->Destroy(b, 8);
+  }
+  ObservationStore store = world.Extract();
+  EXPECT_EQ(store.CountObservations(world.Key(world.data), AccessType::kWrite), 2u);
+}
+
+TEST(ObservationsTest, EmbeddedSameClassification) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->Lock(obj, world.spin, 2);
+    world.sim->Write(obj, world.data, 3);
+    world.sim->Unlock(obj, world.spin, 4);
+    world.sim->Destroy(obj, 5);
+  }
+  ObservationStore store = world.Extract();
+  const auto& group = store.GroupsFor(world.Key(world.data))[0];
+  EXPECT_EQ(LockSeqToString(store.seq(group.lockseq_id)), "ES(w_lock in widget)");
+}
+
+TEST(ObservationsTest, EmbeddedOtherClassification) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef a = world.sim->Create(world.type, kNoSubclass, 1);
+    ObjectRef b = world.sim->Create(world.type, kNoSubclass, 2);
+    world.sim->Lock(a, world.spin, 3);
+    world.sim->Write(b, world.data, 4);  // b's member under a's lock.
+    world.sim->Unlock(a, world.spin, 5);
+    world.sim->Destroy(a, 6);
+    world.sim->Destroy(b, 7);
+  }
+  ObservationStore store = world.Extract();
+  const auto& group = store.GroupsFor(world.Key(world.data))[0];
+  EXPECT_EQ(LockSeqToString(store.seq(group.lockseq_id)), "EO(w_lock in widget)");
+}
+
+TEST(ObservationsTest, GlobalAndOrderPreserved) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->LockGlobal(world.global_a, 2);
+    world.sim->Lock(obj, world.spin, 3);
+    world.sim->Write(obj, world.data, 4);
+    world.sim->Unlock(obj, world.spin, 5);
+    world.sim->UnlockGlobal(world.global_a, 6);
+    world.sim->Destroy(obj, 7);
+  }
+  ObservationStore store = world.Extract();
+  const auto& group = store.GroupsFor(world.Key(world.data))[0];
+  EXPECT_EQ(LockSeqToString(store.seq(group.lockseq_id)),
+            "global_a -> ES(w_lock in widget)");
+}
+
+TEST(ObservationsTest, LockFreeAccessHasEmptySequence) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->Read(obj, world.data, 2);
+    world.sim->Destroy(obj, 3);
+  }
+  ObservationStore store = world.Extract();
+  const auto& group = store.GroupsFor(world.Key(world.data))[0];
+  EXPECT_TRUE(store.seq(group.lockseq_id).empty());
+  EXPECT_EQ(group.effective(), AccessType::kRead);
+}
+
+TEST(ObservationsTest, SeqInterningDeduplicates) {
+  ObservationStore store;
+  LockSeq seq = {LockClass::Global("x")};
+  EXPECT_EQ(store.InternSeq(seq), store.InternSeq(seq));
+  EXPECT_EQ(store.distinct_seqs(), 1u);
+  EXPECT_NE(store.InternSeq({LockClass::Global("y")}), store.InternSeq(seq));
+}
+
+TEST(ObservationsTest, FilteredAccessesProduceNoObservations) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->Write(obj, world.banned, 2);
+    world.sim->AtomicWrite(obj, world.atomic, 3);
+    world.sim->Destroy(obj, 4);
+  }
+  ObservationStore store = world.Extract();
+  EXPECT_TRUE(store.GroupsFor(world.Key(world.banned)).empty());
+  EXPECT_TRUE(store.GroupsFor(world.Key(world.atomic)).empty());
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,87 @@
+#include "src/core/rule_diff.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+DerivationResult MakeResult(TypeId type, MemberIndex member, AccessType access,
+                            const LockSeq& winner, double sr = 1.0) {
+  DerivationResult result;
+  result.key.type = type;
+  result.key.subclass = kNoSubclass;
+  result.key.member = member;
+  result.access = access;
+  result.total = 10;
+  Hypothesis hypothesis;
+  hypothesis.locks = winner;
+  hypothesis.sa = static_cast<uint64_t>(sr * 10);
+  hypothesis.sr = sr;
+  result.winner = hypothesis;
+  return result;
+}
+
+const LockClass kA = LockClass::Global("a");
+const LockClass kB = LockClass::Global("b");
+
+TEST(RuleDiffTest, DetectsChange) {
+  std::vector<DerivationResult> old_rules = {MakeResult(0, 0, AccessType::kWrite, {kA}, 1.0)};
+  std::vector<DerivationResult> new_rules = {MakeResult(0, 0, AccessType::kWrite, {kA, kB}, 0.95)};
+  auto drifts = DiffRules(old_rules, new_rules);
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_EQ(drifts[0].kind, RuleDriftKind::kChanged);
+  EXPECT_EQ(drifts[0].old_rule, (LockSeq{kA}));
+  EXPECT_EQ(drifts[0].new_rule, (LockSeq{kA, kB}));
+  EXPECT_DOUBLE_EQ(drifts[0].old_sr, 1.0);
+  EXPECT_DOUBLE_EQ(drifts[0].new_sr, 0.95);
+}
+
+TEST(RuleDiffTest, DetectsAddedAndRemoved) {
+  std::vector<DerivationResult> old_rules = {MakeResult(0, 0, AccessType::kWrite, {kA})};
+  std::vector<DerivationResult> new_rules = {MakeResult(0, 1, AccessType::kWrite, {kB})};
+  auto drifts = DiffRules(old_rules, new_rules);
+  ASSERT_EQ(drifts.size(), 2u);
+  EXPECT_EQ(drifts[0].kind, RuleDriftKind::kRemoved);
+  EXPECT_EQ(drifts[0].key.member, MemberIndex{0});
+  EXPECT_EQ(drifts[1].kind, RuleDriftKind::kAdded);
+  EXPECT_EQ(drifts[1].key.member, MemberIndex{1});
+}
+
+TEST(RuleDiffTest, UnchangedHiddenByDefault) {
+  std::vector<DerivationResult> rules = {MakeResult(0, 0, AccessType::kRead, {kA})};
+  EXPECT_TRUE(DiffRules(rules, rules).empty());
+  RuleDiffOptions options;
+  options.include_unchanged = true;
+  auto drifts = DiffRules(rules, rules, options);
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_EQ(drifts[0].kind, RuleDriftKind::kUnchanged);
+}
+
+TEST(RuleDiffTest, AccessTypesAreIndependent) {
+  std::vector<DerivationResult> old_rules = {MakeResult(0, 0, AccessType::kRead, {kA}),
+                                             MakeResult(0, 0, AccessType::kWrite, {kA})};
+  std::vector<DerivationResult> new_rules = {MakeResult(0, 0, AccessType::kRead, {kA}),
+                                             MakeResult(0, 0, AccessType::kWrite, {})};
+  auto drifts = DiffRules(old_rules, new_rules);
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_EQ(drifts[0].access, AccessType::kWrite);
+  EXPECT_TRUE(drifts[0].new_rule.empty());
+}
+
+TEST(RuleDiffTest, RenderMentionsMemberAndSymbols) {
+  TypeRegistry registry;
+  auto layout = std::make_unique<TypeLayout>("widget");
+  layout->AddMember("field", 8);
+  layout->AddMember("other", 8);
+  TypeId type = registry.Register(std::move(layout));
+
+  std::vector<DerivationResult> old_rules = {MakeResult(type, 0, AccessType::kWrite, {kA})};
+  std::vector<DerivationResult> new_rules = {MakeResult(type, 0, AccessType::kWrite, {kB}),
+                                             MakeResult(type, 1, AccessType::kRead, {})};
+  std::string text = RenderRuleDiff(DiffRules(old_rules, new_rules), registry);
+  EXPECT_NE(text.find("~ widget.field w: a -> b"), std::string::npos);
+  EXPECT_NE(text.find("+ widget.other r: no lock"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,92 @@
+#include "src/core/rule.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(MemberRefTest, ToStringWithAndWithoutSubclass) {
+  MemberRef plain{"inode", "", "i_state"};
+  EXPECT_EQ(plain.ToString(), "inode.i_state");
+  MemberRef sub{"inode", "ext4", "i_hash"};
+  EXPECT_EQ(sub.ToString(), "inode:ext4.i_hash");
+}
+
+TEST(RuleSetTest, ParseSimpleRule) {
+  auto rules = RuleSet::ParseText("inode.i_state w: ES(i_lock in inode)\n");
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules.value().size(), 1u);
+  const LockingRule& rule = rules.value().rules()[0];
+  EXPECT_EQ(rule.member.type_name, "inode");
+  EXPECT_EQ(rule.member.member_name, "i_state");
+  EXPECT_EQ(rule.access, AccessType::kWrite);
+  EXPECT_EQ(LockSeqToString(rule.locks), "ES(i_lock in inode)");
+}
+
+TEST(RuleSetTest, ParseSubclassQualifier) {
+  auto rules =
+      RuleSet::ParseText("inode:ext4.i_hash w: inode_hash_lock -> ES(i_lock in inode)\n");
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules.value().rules()[0].member.subclass, "ext4");
+  EXPECT_EQ(rules.value().rules()[0].locks.size(), 2u);
+}
+
+TEST(RuleSetTest, RwExpandsToTwoRules) {
+  auto rules = RuleSet::ParseText("dentry.d_lru rw: ES(d_lock in dentry)\n");
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules.value().size(), 2u);
+  EXPECT_EQ(rules.value().rules()[0].access, AccessType::kRead);
+  EXPECT_EQ(rules.value().rules()[1].access, AccessType::kWrite);
+}
+
+TEST(RuleSetTest, NoLockRule) {
+  auto rules = RuleSet::ParseText("journal_t.j_max_transaction_buffers r: no lock\n");
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules.value().rules()[0].locks.empty());
+}
+
+TEST(RuleSetTest, CommentsAndBlankLinesIgnored) {
+  auto rules = RuleSet::ParseText("# header\n\n  # indented comment\ninode.i_state w: rcu\n");
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules.value().size(), 1u);
+}
+
+TEST(RuleSetTest, ParseErrors) {
+  EXPECT_FALSE(RuleSet::ParseText("no colon here\n").ok());
+  EXPECT_FALSE(RuleSet::ParseText("inode.i_state q: rcu\n").ok());    // Bad access.
+  EXPECT_FALSE(RuleSet::ParseText("noaccess: rcu\n").ok());           // Missing access token.
+  EXPECT_FALSE(RuleSet::ParseText("inodei_state w: rcu\n").ok());     // No member dot.
+  EXPECT_FALSE(RuleSet::ParseText("inode.i_state w: ES(bad\n").ok()); // Bad lock.
+  EXPECT_FALSE(RuleSet::ParseText("inode:.x w: rcu\n").ok());         // Empty subclass.
+}
+
+TEST(RuleSetTest, TextRoundTrip) {
+  std::string text =
+      "inode.i_state w: ES(i_lock in inode)\n"
+      "inode:ext4.i_hash r: inode_hash_lock -> ES(i_lock in inode)\n"
+      "dentry.d_seq r: rcu\n"
+      "journal_t.j_flags w: no lock\n";
+  auto rules = RuleSet::ParseText(text);
+  ASSERT_TRUE(rules.ok());
+  auto reparsed = RuleSet::ParseText(rules.value().ToText());
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed.value().size(), rules.value().size());
+  for (size_t i = 0; i < rules.value().size(); ++i) {
+    EXPECT_EQ(reparsed.value().rules()[i].ToString(), rules.value().rules()[i].ToString());
+  }
+}
+
+TEST(RuleSetTest, RulesForFiltersByMemberAndAccess) {
+  auto rules = RuleSet::ParseText(
+      "inode.i_state rw: ES(i_lock in inode)\n"
+      "inode.i_hash w: inode_hash_lock\n");
+  ASSERT_TRUE(rules.ok());
+  MemberRef state{"inode", "", "i_state"};
+  EXPECT_EQ(rules.value().RulesFor(state, AccessType::kWrite).size(), 1u);
+  EXPECT_EQ(rules.value().RulesFor(state, AccessType::kRead).size(), 1u);
+  MemberRef hash{"inode", "", "i_hash"};
+  EXPECT_TRUE(rules.value().RulesFor(hash, AccessType::kRead).empty());
+}
+
+}  // namespace
+}  // namespace lockdoc

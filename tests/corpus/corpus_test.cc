@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "src/corpus/corpus_model.h"
+#include "src/corpus/scanner.h"
+
+namespace lockdoc {
+namespace {
+
+TEST(CorpusModelTest, ThirtyNineReleases) {
+  KernelCorpusModel model;
+  EXPECT_EQ(model.release_count(), 39u);  // v3.0..v3.19 + v4.0..v4.18.
+  std::vector<std::string> names = model.ReleaseNames();
+  EXPECT_EQ(names.front(), "v3.0");
+  EXPECT_EQ(names.back(), "v4.18");
+}
+
+TEST(CorpusModelTest, GenerationIsDeterministic) {
+  KernelCorpusModel model;
+  CorpusRelease a = model.Generate(10);
+  CorpusRelease b = model.Generate(10);
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].path, b.files[i].path);
+    EXPECT_EQ(a.files[i].content, b.files[i].content);
+  }
+}
+
+TEST(CorpusModelTest, FilesSpreadAcrossDirectories) {
+  KernelCorpusModel model;
+  CorpusRelease release = model.Generate(0);
+  std::set<std::string> dirs;
+  for (const CorpusFile& file : release.files) {
+    dirs.insert(file.path.substr(0, file.path.rfind('/')));
+  }
+  EXPECT_GE(dirs.size(), 5u);
+  EXPECT_TRUE(dirs.count("fs"));
+  EXPECT_TRUE(dirs.count("drivers/net"));
+}
+
+TEST(ScannerTest, CalibratedGrowthMatchesPaperEndpoints) {
+  KernelCorpusModel model;
+  LockUsageScanner scanner;
+  LockUsageCounts first = scanner.Scan(model.Generate(0));
+  LockUsageCounts last = scanner.Scan(model.Generate(model.release_count() - 1));
+
+  auto growth = [](uint64_t from, uint64_t to) {
+    return (static_cast<double>(to) - static_cast<double>(from)) / static_cast<double>(from);
+  };
+  EXPECT_NEAR(growth(first.mutex, last.mutex), 0.81, 0.05);        // Paper: +81 %.
+  EXPECT_NEAR(growth(first.spinlock, last.spinlock), 0.45, 0.05);  // Paper: +45 %.
+  EXPECT_NEAR(growth(first.loc, last.loc), 0.73, 0.05);            // Paper: +73 %.
+  EXPECT_GT(growth(first.rcu, last.rcu), 1.0);
+}
+
+TEST(ScannerTest, SpinlockDipInLateReleases) {
+  KernelCorpusModel model;
+  LockUsageScanner scanner;
+  uint64_t peak = 0;
+  for (size_t i = 0; i < model.release_count(); ++i) {
+    peak = std::max(peak, scanner.Scan(model.Generate(i)).spinlock);
+  }
+  uint64_t final_count = scanner.Scan(model.Generate(model.release_count() - 1)).spinlock;
+  EXPECT_GT(peak, final_count);  // "Despite the slight decrease..." (Sec. 2.1).
+}
+
+TEST(ScannerTest, CountsKnownPatterns) {
+  CorpusRelease release;
+  release.version = "test";
+  release.files.push_back(
+      {"fs/x.c",
+       "spin_lock_init(&a);\nstatic DEFINE_MUTEX(m);\ncall_rcu(&h, f);\n\nint x;\n"
+       "mutex_init(&b);\n__SPIN_LOCK_UNLOCKED(c),\n"});
+  LockUsageScanner scanner;
+  LockUsageCounts counts = scanner.Scan(release);
+  EXPECT_EQ(counts.spinlock, 2u);
+  EXPECT_EQ(counts.mutex, 2u);
+  EXPECT_EQ(counts.rcu, 1u);
+  EXPECT_EQ(counts.loc, 6u * kLocScale);  // Non-empty lines only.
+}
+
+TEST(ScannerTest, CountsMatchModelIntent) {
+  // The scanner finds roughly as many lock sites as the model placed —
+  // nothing is lost by embedding sites into the generated text.
+  KernelCorpusModel model;
+  LockUsageScanner scanner;
+  LockUsageCounts counts = scanner.Scan(model.Generate(0));
+  CorpusModelOptions defaults;
+  EXPECT_NEAR(static_cast<double>(counts.spinlock),
+              static_cast<double>(defaults.base_spinlock), defaults.base_spinlock * 0.10);
+  EXPECT_NEAR(static_cast<double>(counts.mutex), static_cast<double>(defaults.base_mutex),
+              defaults.base_mutex * 0.10);
+  EXPECT_NEAR(static_cast<double>(counts.loc), static_cast<double>(defaults.base_loc),
+              defaults.base_loc * 0.10);
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,74 @@
+#include "src/coverage/coverage.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(CoverageTest, UnexecutedFunctionCountsInDenominator) {
+  CoverageTracker tracker;
+  tracker.RegisterFunction("fs/a.c", "called", 10, 19);
+  tracker.RegisterFunction("fs/a.c", "uncalled", 30, 39);
+  tracker.OnFunctionEnter("fs/a.c", "called", 10, 19);
+
+  DirectoryCoverage cov = tracker.ReportDirectory("fs");
+  EXPECT_EQ(cov.functions_total, 2u);
+  EXPECT_EQ(cov.functions_hit, 1u);
+  EXPECT_DOUBLE_EQ(cov.function_pct(), 50.0);
+  EXPECT_EQ(cov.lines_total, 20u);
+  EXPECT_GT(cov.lines_hit, 0u);
+  EXPECT_LT(cov.lines_hit, 20u);
+}
+
+TEST(CoverageTest, LineExecutionRecorded) {
+  CoverageTracker tracker;
+  tracker.OnLineExecuted("fs/a.c", 42);
+  tracker.OnLineExecuted("fs/a.c", 42);  // Idempotent.
+  tracker.OnLineExecuted("fs/a.c", 43);
+  DirectoryCoverage cov = tracker.ReportDirectory("fs");
+  EXPECT_EQ(cov.lines_hit, 2u);
+}
+
+TEST(CoverageTest, DirectoryGroupingIsNonRecursive) {
+  CoverageTracker tracker;
+  tracker.RegisterFunction("fs/a.c", "f1", 1, 10);
+  tracker.RegisterFunction("fs/ext4/b.c", "f2", 1, 10);
+  DirectoryCoverage fs = tracker.ReportDirectory("fs");
+  DirectoryCoverage ext4 = tracker.ReportDirectory("fs/ext4");
+  // Tab. 3 semantics: files *directly* inside the directory.
+  EXPECT_EQ(fs.functions_total, 1u);
+  EXPECT_EQ(ext4.functions_total, 1u);
+}
+
+TEST(CoverageTest, ReportByDirectoryCoversAllDirs) {
+  CoverageTracker tracker;
+  tracker.RegisterFunction("fs/a.c", "f1", 1, 10);
+  tracker.RegisterFunction("mm/b.c", "f2", 1, 10);
+  tracker.RegisterFunction("toplevel.c", "f3", 1, 10);
+  auto report = tracker.ReportByDirectory();
+  std::set<std::string> dirs;
+  for (const DirectoryCoverage& cov : report) {
+    dirs.insert(cov.directory);
+  }
+  EXPECT_EQ(dirs, (std::set<std::string>{"fs", "mm", "."}));
+}
+
+TEST(CoverageTest, FunctionEnterImpliesStraightLinePrefix) {
+  CoverageTracker tracker;
+  tracker.OnFunctionEnter("fs/a.c", "f", 100, 199);
+  DirectoryCoverage cov = tracker.ReportDirectory("fs");
+  // 90 % of the body counts as executed (the model's straight-line prefix).
+  EXPECT_EQ(cov.lines_total, 100u);
+  EXPECT_EQ(cov.lines_hit, 90u);
+}
+
+TEST(CoverageTest, EmptyDirectoryIsZero) {
+  CoverageTracker tracker;
+  DirectoryCoverage cov = tracker.ReportDirectory("does/not/exist");
+  EXPECT_EQ(cov.lines_total, 0u);
+  EXPECT_DOUBLE_EQ(cov.line_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(cov.function_pct(), 0.0);
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,47 @@
+#include "src/db/database.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(DatabaseTest, CreateAndAccessTables) {
+  Database db;
+  db.CreateTable("a", {{"x", ColumnType::kUint64}});
+  db.CreateTable("b", {{"y", ColumnType::kString}});
+  EXPECT_TRUE(db.HasTable("a"));
+  EXPECT_FALSE(db.HasTable("c"));
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"a", "b"}));
+  db.table("a").Insert({uint64_t{1}});
+  EXPECT_EQ(db.table("a").row_count(), 1u);
+}
+
+TEST(DatabaseTest, DirectoryExportImportRoundTrip) {
+  Database db;
+  Table& t = db.CreateTable("events", {{"id", ColumnType::kUint64},
+                                       {"label", ColumnType::kString}});
+  t.Insert({uint64_t{1}, std::string("alpha")});
+  t.Insert({uint64_t{2}, std::string("beta,comma")});
+
+  std::string dir = ::testing::TempDir() + "/lockdoc_db_test";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(db.ExportDirectory(dir).ok());
+
+  Database restored;
+  restored.CreateTable("events", {{"id", ColumnType::kUint64},
+                                  {"label", ColumnType::kString}});
+  ASSERT_TRUE(restored.ImportDirectory(dir).ok());
+  EXPECT_EQ(restored.table("events").row_count(), 2u);
+  EXPECT_EQ(restored.table("events").GetString(1, 1), "beta,comma");
+}
+
+TEST(DatabaseTest, ImportFromMissingDirectoryFails) {
+  Database db;
+  db.CreateTable("t", {{"x", ColumnType::kUint64}});
+  EXPECT_FALSE(db.ImportDirectory("/nonexistent/lockdoc").ok());
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,40 @@
+#include "src/db/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(SchemaTest, CreatesAllTables) {
+  Database db;
+  CreateLockDocSchema(&db);
+  for (const char* name :
+       {LockDocSchema::kDataTypes, LockDocSchema::kSubclasses, LockDocSchema::kMembers,
+        LockDocSchema::kAllocations, LockDocSchema::kLocks, LockDocSchema::kTxns,
+        LockDocSchema::kTxnLocks, LockDocSchema::kStackFrames, LockDocSchema::kAccesses}) {
+    EXPECT_TRUE(db.HasTable(name)) << name;
+  }
+}
+
+TEST(SchemaTest, JoinColumnsAreIndexed) {
+  Database db;
+  CreateLockDocSchema(&db);
+  Table& accesses = db.table(LockDocSchema::kAccesses);
+  EXPECT_TRUE(accesses.HasIndex(accesses.ColumnIndex("txn_id")));
+  EXPECT_TRUE(accesses.HasIndex(accesses.ColumnIndex("member_id")));
+  Table& txn_locks = db.table(LockDocSchema::kTxnLocks);
+  EXPECT_TRUE(txn_locks.HasIndex(txn_locks.ColumnIndex("txn_id")));
+}
+
+TEST(SchemaTest, AccessesSchemaMatchesImporterContract) {
+  Database db;
+  CreateLockDocSchema(&db);
+  Table& accesses = db.table(LockDocSchema::kAccesses);
+  EXPECT_EQ(accesses.column_count(), 12u);
+  // Spot-check the column order the importer relies on.
+  EXPECT_EQ(accesses.ColumnIndex("seq"), 0u);
+  EXPECT_EQ(accesses.ColumnIndex("filter_reason"), 11u);
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,123 @@
+#include "src/db/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+Table MakeTable() {
+  return Table("t", {{"id", ColumnType::kUint64},
+                     {"name", ColumnType::kString},
+                     {"score", ColumnType::kDouble}});
+}
+
+TEST(TableTest, InsertAndTypedGet) {
+  Table table = MakeTable();
+  RowId row = table.Insert({uint64_t{7}, std::string("x"), 2.5});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.GetUint64(row, 0), 7u);
+  EXPECT_EQ(table.GetString(row, 1), "x");
+  EXPECT_DOUBLE_EQ(table.GetDouble(row, 2), 2.5);
+}
+
+TEST(TableTest, ColumnIndexByName) {
+  Table table = MakeTable();
+  EXPECT_EQ(table.ColumnIndex("id"), 0u);
+  EXPECT_EQ(table.ColumnIndex("score"), 2u);
+}
+
+TEST(TableTest, LookupEqualWithoutIndexScans) {
+  Table table = MakeTable();
+  table.Insert({uint64_t{1}, std::string("a"), 0.0});
+  table.Insert({uint64_t{2}, std::string("b"), 0.0});
+  table.Insert({uint64_t{1}, std::string("c"), 0.0});
+  EXPECT_EQ(table.LookupEqual(0, 1), (std::vector<RowId>{0, 2}));
+  EXPECT_TRUE(table.LookupEqual(0, 99).empty());
+}
+
+TEST(TableTest, IndexedLookupMatchesScan) {
+  Table table = MakeTable();
+  for (uint64_t i = 0; i < 100; ++i) {
+    table.Insert({i % 10, std::string("r"), 0.0});
+  }
+  std::vector<RowId> scanned = table.LookupEqual(0, 3);
+  table.CreateIndex(0);
+  EXPECT_TRUE(table.HasIndex(0));
+  EXPECT_EQ(table.LookupEqual(0, 3), scanned);
+}
+
+TEST(TableTest, IndexMaintainedAcrossInsert) {
+  Table table = MakeTable();
+  table.CreateIndex(0);
+  table.Insert({uint64_t{5}, std::string("a"), 0.0});
+  table.Insert({uint64_t{5}, std::string("b"), 0.0});
+  EXPECT_EQ(table.LookupEqual(0, 5).size(), 2u);
+}
+
+TEST(TableTest, SetUint64UpdatesIndex) {
+  Table table = MakeTable();
+  table.CreateIndex(0);
+  RowId row = table.Insert({uint64_t{5}, std::string("a"), 0.0});
+  table.SetUint64(row, 0, 9);
+  EXPECT_TRUE(table.LookupEqual(0, 5).empty());
+  EXPECT_EQ(table.LookupEqual(0, 9), (std::vector<RowId>{row}));
+  EXPECT_EQ(table.GetUint64(row, 0), 9u);
+}
+
+TEST(TableTest, ScanEarlyExit) {
+  Table table = MakeTable();
+  for (uint64_t i = 0; i < 10; ++i) {
+    table.Insert({i, std::string(), 0.0});
+  }
+  size_t visited = 0;
+  table.Scan([&](RowId) {
+    ++visited;
+    return visited < 3;
+  });
+  EXPECT_EQ(visited, 3u);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table table = MakeTable();
+  table.Insert({uint64_t{1}, std::string("plain"), 1.25});
+  table.Insert({uint64_t{2}, std::string("with,comma"), -0.5});
+  table.CreateIndex(0);
+
+  std::ostringstream out;
+  table.ExportCsv(out);
+
+  Table restored = MakeTable();
+  ASSERT_TRUE(restored.ImportCsv(out.str()).ok());
+  EXPECT_EQ(restored.row_count(), 2u);
+  EXPECT_EQ(restored.GetString(1, 1), "with,comma");
+  EXPECT_DOUBLE_EQ(restored.GetDouble(0, 2), 1.25);
+}
+
+TEST(TableTest, ImportRejectsHeaderMismatch) {
+  Table table = MakeTable();
+  EXPECT_FALSE(table.ImportCsv("wrong,header,row\n1,a,0.5\n").ok());
+}
+
+TEST(TableTest, ImportRejectsArityMismatch) {
+  Table table = MakeTable();
+  EXPECT_FALSE(table.ImportCsv("id,name,score\n1,a\n").ok());
+}
+
+TEST(TableTest, ImportRejectsBadNumbers) {
+  Table table = MakeTable();
+  EXPECT_FALSE(table.ImportCsv("id,name,score\nxyz,a,0.5\n").ok());
+  EXPECT_FALSE(table.ImportCsv("id,name,score\n1,a,notadouble\n").ok());
+}
+
+TEST(TableTest, ImportReplacesExistingRows) {
+  Table table = MakeTable();
+  table.Insert({uint64_t{1}, std::string("old"), 0.0});
+  ASSERT_TRUE(table.ImportCsv("id,name,score\n2,new,1.0\n").ok());
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.GetString(0, 1), "new");
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,165 @@
+#include "src/model/lock_class.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+TEST(LockClassTest, GlobalToString) {
+  EXPECT_EQ(LockClass::Global("inode_hash_lock").ToString(), "inode_hash_lock");
+}
+
+TEST(LockClassTest, EmbeddedSameToString) {
+  EXPECT_EQ(LockClass::Same("i_lock", "inode").ToString(), "ES(i_lock in inode)");
+}
+
+TEST(LockClassTest, EmbeddedOtherToString) {
+  EXPECT_EQ(LockClass::Other("wb.list_lock", "backing_dev_info").ToString(),
+            "EO(wb.list_lock in backing_dev_info)");
+}
+
+TEST(LockClassTest, ParseRoundTrip) {
+  for (const LockClass& original :
+       {LockClass::Global("rcu"), LockClass::Same("d_lock", "dentry"),
+        LockClass::Other("j_state_lock", "journal_t")}) {
+    auto parsed = LockClass::Parse(original.ToString());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), original);
+  }
+}
+
+TEST(LockClassTest, ParseToleratesWhitespace) {
+  auto parsed = LockClass::Parse("  ES( i_lock in inode )  ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), LockClass::Same("i_lock", "inode"));
+}
+
+TEST(LockClassTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(LockClass::Parse("").ok());
+  EXPECT_FALSE(LockClass::Parse("ES(i_lock)").ok());
+  EXPECT_FALSE(LockClass::Parse("ES(i_lock in inode").ok());
+  EXPECT_FALSE(LockClass::Parse("EO( in inode)").ok());
+  EXPECT_FALSE(LockClass::Parse("bad name with spaces").ok());
+}
+
+TEST(LockClassTest, OrderingDistinguishesScope) {
+  EXPECT_NE(LockClass::Same("l", "t"), LockClass::Other("l", "t"));
+  EXPECT_NE(LockClass::Global("l"), LockClass::Same("l", "t"));
+}
+
+TEST(LockSeqTest, ToStringEmptyIsNoLock) { EXPECT_EQ(LockSeqToString({}), "no lock"); }
+
+TEST(LockSeqTest, ToStringJoinsWithArrows) {
+  LockSeq seq = {LockClass::Global("a"), LockClass::Same("b", "t")};
+  EXPECT_EQ(LockSeqToString(seq), "a -> ES(b in t)");
+}
+
+TEST(LockSeqTest, ParseNoLock) {
+  auto parsed = ParseLockSeq("no lock");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+  auto empty = ParseLockSeq("   ");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(LockSeqTest, ParseRoundTrip) {
+  LockSeq seq = {LockClass::Global("inode_hash_lock"), LockClass::Same("i_lock", "inode"),
+                 LockClass::Other("d_lock", "dentry")};
+  auto parsed = ParseLockSeq(LockSeqToString(seq));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), seq);
+}
+
+TEST(LockSeqTest, ParsePropagatesElementErrors) {
+  EXPECT_FALSE(ParseLockSeq("a -> ES(broken").ok());
+}
+
+TEST(IsSubsequenceTest, EmptyRuleMatchesEverything) {
+  EXPECT_TRUE(IsSubsequence({}, {}));
+  EXPECT_TRUE(IsSubsequence({}, {LockClass::Global("a")}));
+}
+
+TEST(IsSubsequenceTest, OrderMatters) {
+  LockSeq ab = {LockClass::Global("a"), LockClass::Global("b")};
+  LockSeq ba = {LockClass::Global("b"), LockClass::Global("a")};
+  EXPECT_TRUE(IsSubsequence(ab, ab));
+  EXPECT_FALSE(IsSubsequence(ba, ab));
+}
+
+TEST(IsSubsequenceTest, InterleavedLocksArePermitted) {
+  // Paper Sec. 5.4: a -> c -> b complies with the rule a -> b.
+  LockSeq rule = {LockClass::Global("a"), LockClass::Global("b")};
+  LockSeq held = {LockClass::Global("a"), LockClass::Global("c"), LockClass::Global("b")};
+  EXPECT_TRUE(IsSubsequence(rule, held));
+}
+
+TEST(IsSubsequenceTest, MissingLockFails) {
+  LockSeq rule = {LockClass::Global("a"), LockClass::Global("b")};
+  LockSeq held = {LockClass::Global("a")};
+  EXPECT_FALSE(IsSubsequence(rule, held));
+}
+
+TEST(IsSubsequenceTest, DuplicateClassesRequireDuplicateHolds) {
+  LockClass eo = LockClass::Other("i_lock", "inode");
+  EXPECT_FALSE(IsSubsequence({eo, eo}, {eo}));
+  EXPECT_TRUE(IsSubsequence({eo, eo}, {eo, LockClass::Global("x"), eo}));
+}
+
+// Property sweep: every contiguous and non-contiguous subsequence of a
+// random sequence is accepted; random supersequences preserve matching.
+class SubsequencePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsequencePropertyTest, MaskSubsequencesAlwaysMatch) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  LockSeq full;
+  for (int i = 0; i < 8; ++i) {
+    full.push_back(LockClass::Global(StrFormat("l%d", static_cast<int>(rng.Below(12)))));
+  }
+  for (uint64_t mask = 0; mask < 256; mask += 1 + rng.Below(7)) {
+    LockSeq sub;
+    for (int i = 0; i < 8; ++i) {
+      if ((mask >> i) & 1) {
+        sub.push_back(full[static_cast<size_t>(i)]);
+      }
+    }
+    EXPECT_TRUE(IsSubsequence(sub, full)) << LockSeqToString(sub) << " vs "
+                                          << LockSeqToString(full);
+  }
+}
+
+TEST_P(SubsequencePropertyTest, InsertionPreservesMatch) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977);
+  LockSeq rule;
+  for (int i = 0; i < 4; ++i) {
+    rule.push_back(LockClass::Global(StrFormat("r%d", i)));
+  }
+  LockSeq held = rule;
+  // Insert unrelated locks at random positions.
+  for (int i = 0; i < 5; ++i) {
+    size_t pos = rng.Below(held.size() + 1);
+    held.insert(held.begin() + static_cast<ptrdiff_t>(pos),
+                LockClass::Global(StrFormat("x%d", i)));
+  }
+  EXPECT_TRUE(IsSubsequence(rule, held));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsequencePropertyTest, ::testing::Range(0, 10));
+
+TEST(LockSeqHashTest, EqualSequencesHashEqual) {
+  LockSeq a = {LockClass::Global("x"), LockClass::Same("l", "t")};
+  LockSeq b = a;
+  EXPECT_EQ(LockSeqHash()(a), LockSeqHash()(b));
+}
+
+TEST(LockSeqHashTest, ScopeAffectsHash) {
+  LockSeq a = {LockClass::Same("l", "t")};
+  LockSeq b = {LockClass::Other("l", "t")};
+  EXPECT_NE(LockSeqHash()(a), LockSeqHash()(b));
+}
+
+}  // namespace
+}  // namespace lockdoc

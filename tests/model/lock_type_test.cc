@@ -1,0 +1,47 @@
+#include "src/model/lock_type.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(LockTypeTest, NamesRoundTrip) {
+  for (int i = 0; i < kNumLockTypes; ++i) {
+    LockType type = static_cast<LockType>(i);
+    auto parsed = LockTypeFromName(LockTypeName(type));
+    ASSERT_TRUE(parsed.has_value()) << LockTypeName(type);
+    EXPECT_EQ(*parsed, type);
+  }
+}
+
+TEST(LockTypeTest, UnknownNameRejected) {
+  EXPECT_FALSE(LockTypeFromName("futex").has_value());
+  EXPECT_FALSE(LockTypeFromName("").has_value());
+}
+
+TEST(LockTypeTest, PseudoLockClassification) {
+  EXPECT_TRUE(IsPseudoLockType(LockType::kRcu));
+  EXPECT_TRUE(IsPseudoLockType(LockType::kSoftirq));
+  EXPECT_TRUE(IsPseudoLockType(LockType::kHardirq));
+  EXPECT_FALSE(IsPseudoLockType(LockType::kSpinlock));
+  EXPECT_FALSE(IsPseudoLockType(LockType::kMutex));
+}
+
+TEST(LockTypeTest, ReaderWriterClassification) {
+  EXPECT_TRUE(IsReaderWriterLockType(LockType::kRwlock));
+  EXPECT_TRUE(IsReaderWriterLockType(LockType::kRwSemaphore));
+  EXPECT_FALSE(IsReaderWriterLockType(LockType::kSpinlock));
+  EXPECT_FALSE(IsReaderWriterLockType(LockType::kSeqlock));
+}
+
+TEST(LockTypeTest, BlockingClassification) {
+  EXPECT_TRUE(IsBlockingLockType(LockType::kMutex));
+  EXPECT_TRUE(IsBlockingLockType(LockType::kSemaphore));
+  EXPECT_TRUE(IsBlockingLockType(LockType::kRwSemaphore));
+  EXPECT_FALSE(IsBlockingLockType(LockType::kSpinlock));
+  EXPECT_FALSE(IsBlockingLockType(LockType::kRcu));
+  EXPECT_FALSE(IsBlockingLockType(LockType::kHardirq));
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,92 @@
+#include "src/model/type_layout.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TypeLayout MakeSample() {
+  TypeLayout layout("sample");
+  layout.AddMember("a", 8);
+  layout.AddLockMember("lock", LockType::kSpinlock);
+  layout.AddAtomicMember("refcount", 4);
+  layout.AddBlacklistedMember("foreign", 16);
+  layout.AddMember("b", 4);
+  return layout;
+}
+
+TEST(TypeLayoutTest, OffsetsAreSequential) {
+  TypeLayout layout = MakeSample();
+  EXPECT_EQ(layout.member(0).offset, 0u);
+  EXPECT_EQ(layout.member(1).offset, 8u);   // After a (8 bytes).
+  EXPECT_EQ(layout.member(2).offset, 16u);  // Lock members occupy 8 bytes.
+  EXPECT_EQ(layout.member(3).offset, 20u);
+  EXPECT_EQ(layout.member(4).offset, 36u);
+  EXPECT_EQ(layout.size(), 40u);
+}
+
+TEST(TypeLayoutTest, MemberFlags) {
+  TypeLayout layout = MakeSample();
+  EXPECT_FALSE(layout.member(0).is_lock);
+  EXPECT_TRUE(layout.member(1).is_lock);
+  EXPECT_EQ(layout.member(1).lock_type, LockType::kSpinlock);
+  EXPECT_TRUE(layout.member(2).is_atomic);
+  EXPECT_TRUE(layout.member(3).blacklisted);
+}
+
+TEST(TypeLayoutTest, ResolveOffsetHitsContainingMember) {
+  TypeLayout layout = MakeSample();
+  EXPECT_EQ(layout.ResolveOffset(0), MemberIndex{0});
+  EXPECT_EQ(layout.ResolveOffset(7), MemberIndex{0});
+  EXPECT_EQ(layout.ResolveOffset(8), MemberIndex{1});
+  EXPECT_EQ(layout.ResolveOffset(19), MemberIndex{2});
+  EXPECT_EQ(layout.ResolveOffset(36), MemberIndex{4});
+  EXPECT_EQ(layout.ResolveOffset(39), MemberIndex{4});
+}
+
+TEST(TypeLayoutTest, ResolveOffsetBeyondSizeFails) {
+  TypeLayout layout = MakeSample();
+  EXPECT_FALSE(layout.ResolveOffset(40).has_value());
+  EXPECT_FALSE(layout.ResolveOffset(1000).has_value());
+}
+
+TEST(TypeLayoutTest, FindMemberByName) {
+  TypeLayout layout = MakeSample();
+  EXPECT_EQ(layout.FindMember("b"), MemberIndex{4});
+  EXPECT_FALSE(layout.FindMember("nonexistent").has_value());
+}
+
+TEST(TypeLayoutTest, ObservableAndFilteredCounts) {
+  TypeLayout layout = MakeSample();
+  // a and b are observable; refcount (atomic) and foreign (blacklisted)
+  // are filtered; the lock member is neither.
+  EXPECT_EQ(layout.CountObservableMembers(), 2u);
+  EXPECT_EQ(layout.CountFilteredMembers(), 2u);
+}
+
+TEST(TypeLayoutTest, BlacklistAfterDefinition) {
+  TypeLayout layout = MakeSample();
+  layout.Blacklist(0);
+  EXPECT_TRUE(layout.member(0).blacklisted);
+  EXPECT_EQ(layout.CountObservableMembers(), 1u);
+}
+
+// Property: every byte offset within the struct resolves to the member
+// whose [offset, offset+size) range contains it.
+class ResolveOffsetPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ResolveOffsetPropertyTest, EveryByteResolvesConsistently) {
+  TypeLayout layout = MakeSample();
+  uint32_t offset = GetParam();
+  auto member = layout.ResolveOffset(offset);
+  ASSERT_TRUE(member.has_value());
+  const MemberDef& def = layout.member(*member);
+  EXPECT_GE(offset, def.offset);
+  EXPECT_LT(offset, def.offset + def.size);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOffsets, ResolveOffsetPropertyTest,
+                         ::testing::Range(0u, 40u, 1u));
+
+}  // namespace
+}  // namespace lockdoc

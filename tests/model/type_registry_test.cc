@@ -1,0 +1,65 @@
+#include "src/model/type_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+std::unique_ptr<TypeLayout> MakeLayout(const std::string& name) {
+  auto layout = std::make_unique<TypeLayout>(name);
+  layout->AddMember("field", 8);
+  return layout;
+}
+
+TEST(TypeRegistryTest, RegisterAndLookup) {
+  TypeRegistry registry;
+  TypeId a = registry.Register(MakeLayout("alpha"));
+  TypeId b = registry.Register(MakeLayout("beta"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.type_count(), 2u);
+  EXPECT_EQ(registry.layout(a).name(), "alpha");
+  EXPECT_EQ(registry.FindType("beta"), b);
+  EXPECT_FALSE(registry.FindType("gamma").has_value());
+}
+
+TEST(TypeRegistryTest, SubclassRegistration) {
+  TypeRegistry registry;
+  TypeId inode = registry.Register(MakeLayout("inode"));
+  SubclassId ext4 = registry.RegisterSubclass(inode, "ext4");
+  SubclassId proc = registry.RegisterSubclass(inode, "proc");
+  EXPECT_NE(ext4, kNoSubclass);
+  EXPECT_NE(ext4, proc);
+  EXPECT_EQ(registry.SubclassName(inode, ext4), "ext4");
+  EXPECT_EQ(registry.SubclassName(inode, kNoSubclass), "");
+  EXPECT_EQ(registry.FindSubclass(inode, "proc"), proc);
+  EXPECT_FALSE(registry.FindSubclass(inode, "nfs").has_value());
+}
+
+TEST(TypeRegistryTest, SubclassRegistrationIsIdempotent) {
+  TypeRegistry registry;
+  TypeId inode = registry.Register(MakeLayout("inode"));
+  SubclassId first = registry.RegisterSubclass(inode, "ext4");
+  SubclassId second = registry.RegisterSubclass(inode, "ext4");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(registry.SubclassesOf(inode).size(), 1u);
+}
+
+TEST(TypeRegistryTest, SubclassesAreIndependentPerType) {
+  TypeRegistry registry;
+  TypeId inode = registry.Register(MakeLayout("inode"));
+  TypeId dentry = registry.Register(MakeLayout("dentry"));
+  registry.RegisterSubclass(inode, "ext4");
+  EXPECT_TRUE(registry.SubclassesOf(dentry).empty());
+  EXPECT_FALSE(registry.FindSubclass(dentry, "ext4").has_value());
+}
+
+TEST(TypeRegistryTest, QualifiedNames) {
+  TypeRegistry registry;
+  TypeId inode = registry.Register(MakeLayout("inode"));
+  SubclassId ext4 = registry.RegisterSubclass(inode, "ext4");
+  EXPECT_EQ(registry.QualifiedName(inode, kNoSubclass), "inode");
+  EXPECT_EQ(registry.QualifiedName(inode, ext4), "inode:ext4");
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,78 @@
+#include "src/monitor/allocation_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TraceEvent Alloc(Address addr, uint32_t size, TypeId type = 1, uint64_t seq = 0) {
+  TraceEvent e;
+  e.kind = EventKind::kAlloc;
+  e.addr = addr;
+  e.size = size;
+  e.type = type;
+  e.seq = seq;
+  return e;
+}
+
+TraceEvent Free(Address addr, uint64_t seq = 0) {
+  TraceEvent e;
+  e.kind = EventKind::kFree;
+  e.addr = addr;
+  e.seq = seq;
+  return e;
+}
+
+TEST(AllocationTrackerTest, FindHitsInterior) {
+  AllocationTracker tracker;
+  AllocationId id = tracker.OnAlloc(Alloc(0x1000, 64));
+  EXPECT_EQ(tracker.Find(0x1000), id);
+  EXPECT_EQ(tracker.Find(0x103f), id);
+  EXPECT_FALSE(tracker.Find(0x1040).has_value());
+  EXPECT_FALSE(tracker.Find(0xfff).has_value());
+}
+
+TEST(AllocationTrackerTest, FreeEndsLifetime) {
+  AllocationTracker tracker;
+  AllocationId id = tracker.OnAlloc(Alloc(0x1000, 64, 1, 5));
+  auto freed = tracker.OnFree(Free(0x1000, 9));
+  ASSERT_TRUE(freed.has_value());
+  EXPECT_EQ(*freed, id);
+  EXPECT_FALSE(tracker.Find(0x1000).has_value());
+  EXPECT_EQ(tracker.info(id).alloc_seq, 5u);
+  EXPECT_EQ(tracker.info(id).free_seq, 9u);
+}
+
+TEST(AllocationTrackerTest, UntrackedFreeIsTolerated) {
+  AllocationTracker tracker;
+  EXPECT_FALSE(tracker.OnFree(Free(0xdead)).has_value());
+}
+
+TEST(AllocationTrackerTest, AddressReuseCreatesNewIdentity) {
+  AllocationTracker tracker;
+  AllocationId first = tracker.OnAlloc(Alloc(0x1000, 64));
+  tracker.OnFree(Free(0x1000));
+  AllocationId second = tracker.OnAlloc(Alloc(0x1000, 64));
+  EXPECT_NE(first, second);
+  EXPECT_EQ(tracker.Find(0x1010), second);
+  EXPECT_EQ(tracker.allocation_count(), 2u);
+}
+
+TEST(AllocationTrackerTest, MultipleLiveAllocationsResolved) {
+  AllocationTracker tracker;
+  AllocationId a = tracker.OnAlloc(Alloc(0x1000, 0x40));
+  AllocationId b = tracker.OnAlloc(Alloc(0x2000, 0x80, 2));
+  EXPECT_EQ(tracker.Find(0x1020), a);
+  EXPECT_EQ(tracker.Find(0x2070), b);
+  EXPECT_FALSE(tracker.Find(0x1800).has_value());
+  EXPECT_EQ(tracker.info(b).type, TypeId{2});
+}
+
+TEST(AllocationTrackerTest, LiveAllocationHasOpenFreeSeq) {
+  AllocationTracker tracker;
+  AllocationId id = tracker.OnAlloc(Alloc(0x1000, 16));
+  EXPECT_EQ(tracker.info(id).free_seq, UINT64_MAX);
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,100 @@
+#include "src/monitor/lock_resolver.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+class LockResolverTest : public ::testing::Test {
+ protected:
+  LockResolverTest() {
+    auto layout = std::make_unique<TypeLayout>("obj");
+    data_ = layout->AddMember("data", 8);
+    lock_ = layout->AddLockMember("lock", LockType::kSpinlock);
+    type_ = registry_.Register(std::move(layout));
+    resolver_ = std::make_unique<LockResolver>(&registry_, &tracker_);
+  }
+
+  TraceEvent Acquire(Address addr, LockType lock_type = LockType::kSpinlock) {
+    TraceEvent e;
+    e.kind = EventKind::kLockAcquire;
+    e.addr = addr;
+    e.lock_type = lock_type;
+    return e;
+  }
+
+  TypeRegistry registry_;
+  AllocationTracker tracker_;
+  std::unique_ptr<LockResolver> resolver_;
+  TypeId type_ = kInvalidTypeId;
+  MemberIndex data_ = kInvalidMember;
+  MemberIndex lock_ = kInvalidMember;
+};
+
+TEST_F(LockResolverTest, DeclaredStaticLockKeepsName) {
+  TraceEvent def;
+  def.kind = EventKind::kStaticLockDef;
+  def.addr = 0x100;
+  def.lock_type = LockType::kMutex;
+  def.name = 42;
+  resolver_->OnStaticLockDef(def);
+
+  LockInstanceId id = resolver_->Resolve(Acquire(0x100, LockType::kMutex));
+  const LockInstance& instance = resolver_->instance(id);
+  EXPECT_TRUE(instance.is_static);
+  EXPECT_EQ(instance.name, StringId{42});
+  EXPECT_EQ(instance.type, LockType::kMutex);
+}
+
+TEST_F(LockResolverTest, UndeclaredStaticLockIsAnonymous) {
+  LockInstanceId id = resolver_->Resolve(Acquire(0x9999));
+  const LockInstance& instance = resolver_->instance(id);
+  EXPECT_TRUE(instance.is_static);
+  EXPECT_EQ(instance.name, StringId{0});
+}
+
+TEST_F(LockResolverTest, RepeatedResolveReturnsSameInstance) {
+  EXPECT_EQ(resolver_->Resolve(Acquire(0x100)), resolver_->Resolve(Acquire(0x100)));
+  EXPECT_EQ(resolver_->instance_count(), 1u);
+}
+
+TEST_F(LockResolverTest, EmbeddedLockResolvedToOwnerMember) {
+  TraceEvent alloc;
+  alloc.kind = EventKind::kAlloc;
+  alloc.addr = 0x1000;
+  alloc.size = registry_.layout(type_).size();
+  alloc.type = type_;
+  AllocationId owner = tracker_.OnAlloc(alloc);
+
+  Address lock_addr = 0x1000 + registry_.layout(type_).member(lock_).offset;
+  LockInstanceId id = resolver_->Resolve(Acquire(lock_addr));
+  const LockInstance& instance = resolver_->instance(id);
+  EXPECT_FALSE(instance.is_static);
+  EXPECT_EQ(instance.owner, owner);
+  EXPECT_EQ(instance.owner_type, type_);
+  EXPECT_EQ(instance.owner_member, lock_);
+}
+
+TEST_F(LockResolverTest, AddressReuseYieldsFreshInstance) {
+  TraceEvent alloc;
+  alloc.kind = EventKind::kAlloc;
+  alloc.addr = 0x1000;
+  alloc.size = registry_.layout(type_).size();
+  alloc.type = type_;
+  tracker_.OnAlloc(alloc);
+
+  Address lock_addr = 0x1000 + registry_.layout(type_).member(lock_).offset;
+  LockInstanceId first = resolver_->Resolve(Acquire(lock_addr));
+
+  TraceEvent free_event;
+  free_event.kind = EventKind::kFree;
+  free_event.addr = 0x1000;
+  tracker_.OnFree(free_event);
+  tracker_.OnAlloc(alloc);  // Same address, new lifetime.
+
+  LockInstanceId second = resolver_->Resolve(Acquire(lock_addr));
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace lockdoc

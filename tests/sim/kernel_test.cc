@@ -1,0 +1,238 @@
+#include "src/sim/kernel.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+struct SimFixture {
+  SimFixture() {
+    auto obj_layout = std::make_unique<TypeLayout>("obj");
+    lock_member = obj_layout->AddLockMember("lock", LockType::kSpinlock);
+    mutex_member = obj_layout->AddLockMember("mtx", LockType::kMutex);
+    data_member = obj_layout->AddMember("data", 8);
+    atomic_member = obj_layout->AddAtomicMember("count", 4);
+    type = registry.Register(std::move(obj_layout));
+    sim = std::make_unique<SimKernel>(&trace, &registry);
+  }
+
+  TypeRegistry registry;
+  Trace trace;
+  TypeId type = kInvalidTypeId;
+  MemberIndex lock_member = kInvalidMember;
+  MemberIndex mutex_member = kInvalidMember;
+  MemberIndex data_member = kInvalidMember;
+  MemberIndex atomic_member = kInvalidMember;
+  std::unique_ptr<SimKernel> sim;
+};
+
+TEST(SimKernelTest, CreateEmitsAllocWithLayoutSize) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 5);
+  EXPECT_TRUE(obj.valid());
+  const TraceEvent& last = f.trace.event(f.trace.size() - 1);
+  EXPECT_EQ(last.kind, EventKind::kAlloc);
+  EXPECT_EQ(last.size, f.registry.layout(f.type).size());
+  EXPECT_EQ(last.addr, obj.addr);
+}
+
+TEST(SimKernelTest, AddressReuseAfterFree) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef a = f.sim->Create(f.type, kNoSubclass, 1);
+  Address first = a.addr;
+  f.sim->Destroy(a, 2);
+  ObjectRef b = f.sim->Create(f.type, kNoSubclass, 3);
+  EXPECT_EQ(b.addr, first);  // Freed addresses are recycled.
+}
+
+TEST(SimKernelTest, DistinctLiveObjectsDoNotOverlap) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef a = f.sim->Create(f.type, kNoSubclass, 1);
+  ObjectRef b = f.sim->Create(f.type, kNoSubclass, 2);
+  uint32_t size = f.registry.layout(f.type).size();
+  EXPECT_TRUE(a.addr + size <= b.addr || b.addr + size <= a.addr);
+}
+
+TEST(SimKernelTest, MemberAccessEmitsOffsetAddress) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  f.sim->Read(obj, f.data_member, 7);
+  const TraceEvent& read = f.trace.event(f.trace.size() - 1);
+  EXPECT_EQ(read.kind, EventKind::kMemRead);
+  EXPECT_EQ(read.addr, obj.addr + f.registry.layout(f.type).member(f.data_member).offset);
+  EXPECT_EQ(read.loc.line, 7u);
+  EXPECT_EQ(f.trace.String(read.loc.file), "x.c");
+}
+
+TEST(SimKernelTest, LockUnlockTracksHeldCount) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  EXPECT_EQ(f.sim->held_lock_count(), 0u);
+  f.sim->Lock(obj, f.lock_member, 2);
+  EXPECT_EQ(f.sim->held_lock_count(), 1u);
+  EXPECT_TRUE(f.sim->IsHeld(obj, f.lock_member));
+  f.sim->Unlock(obj, f.lock_member, 3);
+  EXPECT_EQ(f.sim->held_lock_count(), 0u);
+  f.sim->CheckQuiescent();
+}
+
+TEST(SimKernelTest, PseudoLocksNest) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  size_t before = f.trace.size();
+  f.sim->RcuReadLock(1);
+  f.sim->RcuReadLock(2);  // Nested: no second acquire event.
+  EXPECT_EQ(f.sim->held_lock_count(), 1u);
+  EXPECT_EQ(f.trace.size(), before + 1);
+  f.sim->RcuReadUnlock(3);
+  EXPECT_EQ(f.sim->held_lock_count(), 1u);  // Still held once.
+  f.sim->RcuReadUnlock(4);
+  EXPECT_EQ(f.sim->held_lock_count(), 0u);
+  EXPECT_EQ(f.trace.size(), before + 2);  // One acquire + one release.
+}
+
+TEST(SimKernelTest, TryLockFailsWhenHeld) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  EXPECT_TRUE(f.sim->TryLock(obj, f.lock_member, 2));
+  EXPECT_FALSE(f.sim->TryLock(obj, f.lock_member, 3));
+  f.sim->Unlock(obj, f.lock_member, 4);
+  EXPECT_TRUE(f.sim->TryLock(obj, f.lock_member, 5));
+  f.sim->Unlock(obj, f.lock_member, 6);
+}
+
+TEST(SimKernelTest, GlobalLockDefEmitsNameEvent) {
+  SimFixture f;
+  GlobalLock lock = f.sim->DefineStaticLock("my_lock", LockType::kMutex);
+  bool found = false;
+  for (const TraceEvent& e : f.trace.events()) {
+    if (e.kind == EventKind::kStaticLockDef && f.trace.String(e.name) == "my_lock") {
+      found = true;
+      EXPECT_EQ(e.addr, lock.addr);
+      EXPECT_EQ(e.lock_type, LockType::kMutex);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SimKernelTest, StackCapturedInnermostFirst) {
+  SimFixture f;
+  FunctionScope outer(*f.sim, "a.c", "outer", 1, 50);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  {
+    FunctionScope inner(*f.sim, "b.c", "inner", 1, 20);
+    f.sim->Write(obj, f.data_member, 5);
+  }
+  const TraceEvent& write = f.trace.event(f.trace.size() - 1);
+  ASSERT_NE(write.stack, kInvalidStack);
+  EXPECT_EQ(f.trace.FormatStack(write.stack), "inner <- outer");
+  // The innermost file becomes the location file.
+  EXPECT_EQ(f.trace.String(write.loc.file), "b.c");
+}
+
+TEST(SimKernelTest, AtomicAccessorsRunInBlacklistedFrames) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  f.sim->AtomicRead(obj, f.atomic_member, 5);
+  const TraceEvent& read = f.trace.event(f.trace.size() - 1);
+  EXPECT_EQ(f.trace.Stack(read.stack).frames[0], *f.trace.string_pool().Find("atomic_read"));
+}
+
+TEST(SimKernelTest, InterruptContextNesting) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  EXPECT_EQ(f.sim->current_context(), ContextKind::kTask);
+
+  bool ran = false;
+  f.sim->RunInInterrupt(ContextKind::kSoftirq, [&](SimKernel& sim) {
+    ran = true;
+    EXPECT_EQ(sim.current_context(), ContextKind::kSoftirq);
+    EXPECT_TRUE(sim.in_interrupt());
+    sim.Read(obj, f.data_member, 7);
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(f.sim->current_context(), ContextKind::kTask);
+  const TraceEvent& read = f.trace.event(f.trace.size() - 2);  // Before pseudo unlock.
+  EXPECT_EQ(read.kind, EventKind::kMemRead);
+  EXPECT_EQ(read.context, ContextKind::kSoftirq);
+}
+
+TEST(SimKernelTest, InterruptHoldsPseudoLock) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  f.sim->RunInInterrupt(ContextKind::kHardirq, [&](SimKernel& sim) {
+    EXPECT_EQ(sim.held_lock_count(), 1u);  // The synthetic hardirq lock.
+  });
+  EXPECT_EQ(f.sim->held_lock_count(), 0u);
+}
+
+TEST(SimKernelTest, RandomInterruptsFire) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  int fires = 0;
+  f.sim->RegisterSoftirq([&](SimKernel&) { ++fires; });
+  f.sim->SetInterruptRate(0.5, 42);
+  for (int i = 0; i < 100; ++i) {
+    f.sim->Write(obj, f.data_member, 5);
+  }
+  EXPECT_GT(fires, 10);
+  f.sim->SetInterruptRate(0.0, 0);
+}
+
+TEST(SimKernelTest, SharedModeRecordedInTrace) {
+  SimFixture f;
+  GlobalLock rwsem = f.sim->DefineStaticLock("sem", LockType::kRwSemaphore);
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  f.sim->LockGlobal(rwsem, 2, AcquireMode::kShared);
+  const TraceEvent& acquire = f.trace.event(f.trace.size() - 1);
+  EXPECT_EQ(acquire.mode, AcquireMode::kShared);
+  f.sim->UnlockGlobal(rwsem, 3);
+}
+
+TEST(SimKernelDeathTest, DoubleAcquireOfRealLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  f.sim->Lock(obj, f.lock_member, 2);
+  EXPECT_DEATH(f.sim->Lock(obj, f.lock_member, 3), "CHECK failed");
+}
+
+TEST(SimKernelDeathTest, BlockingLockInInterruptAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  EXPECT_DEATH(f.sim->RunInInterrupt(ContextKind::kHardirq,
+                                     [&](SimKernel& sim) { sim.Lock(obj, f.mutex_member, 5); }),
+               "CHECK failed");
+}
+
+TEST(SimKernelDeathTest, ReleaseOfUnheldLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  EXPECT_DEATH(f.sim->Unlock(obj, f.lock_member, 2), "CHECK failed");
+}
+
+TEST(SimKernelDeathTest, DestroyWithHeldEmbeddedLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  f.sim->Lock(obj, f.lock_member, 2);
+  EXPECT_DEATH(f.sim->Destroy(obj, 3), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,62 @@
+#include "src/trace/string_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+TEST(StringPoolTest, IdZeroIsEmptyString) {
+  StringPool pool;
+  EXPECT_EQ(pool.Lookup(0), "");
+  EXPECT_EQ(pool.Intern(""), 0u);
+}
+
+TEST(StringPoolTest, InternIsIdempotent) {
+  StringPool pool;
+  StringId a = pool.Intern("hello");
+  StringId b = pool.Intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.size(), 2u);  // "" + "hello".
+}
+
+TEST(StringPoolTest, LookupReturnsInterned) {
+  StringPool pool;
+  StringId id = pool.Intern("fs/inode.c");
+  EXPECT_EQ(pool.Lookup(id), "fs/inode.c");
+}
+
+TEST(StringPoolTest, FindWithoutInterning) {
+  StringPool pool;
+  StringId id = pool.Intern("present");
+  EXPECT_EQ(pool.Find("present"), id);
+  EXPECT_FALSE(pool.Find("absent").has_value());
+  EXPECT_EQ(pool.size(), 2u);  // Find must not intern.
+}
+
+TEST(StringPoolTest, ManyShortStringsSurviveReallocation) {
+  // Regression guard: short strings are SSO-stored; the index must not keep
+  // dangling views into moved string objects.
+  StringPool pool;
+  std::vector<StringId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(pool.Intern(StrFormat("s%d", i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(pool.Intern(StrFormat("s%d", i)), ids[static_cast<size_t>(i)]);
+    EXPECT_EQ(pool.Lookup(ids[static_cast<size_t>(i)]), StrFormat("s%d", i));
+  }
+}
+
+TEST(StringPoolTest, ResetRebuildsIndex) {
+  StringPool pool;
+  pool.Reset({"", "alpha", "beta"});
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.Lookup(1), "alpha");
+  EXPECT_EQ(pool.Intern("beta"), 2u);
+  EXPECT_EQ(pool.Intern("gamma"), 3u);
+}
+
+}  // namespace
+}  // namespace lockdoc

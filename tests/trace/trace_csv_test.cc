@@ -1,0 +1,135 @@
+#include "src/trace/trace_csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/clock_example.h"
+#include "src/core/pipeline.h"
+#include "src/util/csv.h"
+
+namespace lockdoc {
+namespace {
+
+TEST(TraceCsvTest, HeaderAndRowCount) {
+  ClockExampleOptions options;
+  options.iterations = 10;
+  ClockExample example = BuildClockExample(options);
+
+  std::ostringstream out;
+  WriteTraceCsv(example.trace, out);
+  auto parsed = ParseCsv(out.str());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_FALSE(parsed.value().empty());
+  EXPECT_EQ(parsed.value()[0][0], "seq");
+  EXPECT_EQ(parsed.value().size(), example.trace.size() + 1);
+}
+
+TEST(TraceCsvTest, LockRowsCarryLockMetadata) {
+  ClockExampleOptions options;
+  options.iterations = 1;
+  options.include_faulty_execution = false;
+  ClockExample example = BuildClockExample(options);
+
+  std::ostringstream out;
+  WriteTraceCsv(example.trace, out);
+  auto parsed = ParseCsv(out.str());
+  ASSERT_TRUE(parsed.ok());
+  const auto& rows = parsed.value();
+  size_t kind_col = 1;
+  size_t lock_type_col = 8;
+  size_t name_col = 10;
+  bool found_static_def = false;
+  bool found_lock = false;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i][kind_col] == "static_lock" && rows[i][name_col] == "sec_lock") {
+      found_static_def = true;
+      EXPECT_EQ(rows[i][lock_type_col], "spinlock_t");
+    }
+    if (rows[i][kind_col] == "lock") {
+      found_lock = true;
+      EXPECT_FALSE(rows[i][lock_type_col].empty());
+    }
+  }
+  EXPECT_TRUE(found_static_def);
+  EXPECT_TRUE(found_lock);
+}
+
+TEST(TraceCsvTest, AccessRowsCarrySourceLocation) {
+  ClockExampleOptions options;
+  options.iterations = 1;
+  options.include_faulty_execution = false;
+  ClockExample example = BuildClockExample(options);
+
+  std::ostringstream out;
+  WriteTraceCsv(example.trace, out);
+  auto parsed = ParseCsv(out.str());
+  ASSERT_TRUE(parsed.ok());
+  bool found_write = false;
+  for (size_t i = 1; i < parsed.value().size(); ++i) {
+    const auto& row = parsed.value()[i];
+    if (row[1] == "write") {
+      found_write = true;
+      EXPECT_EQ(row[11], "kernel/clock.c");
+      EXPECT_FALSE(row[12].empty());
+    }
+  }
+  EXPECT_TRUE(found_write);
+}
+
+TEST(TraceCsvBundleTest, LosslessRoundTrip) {
+  ClockExampleOptions options;
+  options.iterations = 25;
+  ClockExample example = BuildClockExample(options);
+
+  std::string dir = ::testing::TempDir() + "/lockdoc_csv_bundle";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(WriteTraceCsvBundle(example.trace, dir).ok());
+
+  auto restored = ReadTraceCsvBundle(dir);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const Trace& replay = restored.value();
+  ASSERT_EQ(replay.size(), example.trace.size());
+  for (size_t i = 0; i < replay.size(); ++i) {
+    const TraceEvent& a = example.trace.event(i);
+    const TraceEvent& b = replay.event(i);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.addr, b.addr);
+    EXPECT_EQ(a.loc.line, b.loc.line);
+    EXPECT_EQ(example.trace.String(a.loc.file), replay.String(b.loc.file));
+    if (a.stack != kInvalidStack) {
+      EXPECT_EQ(example.trace.FormatStack(a.stack), replay.FormatStack(b.stack));
+    }
+  }
+  // The restored trace analyzes identically (same observations).
+  PipelineResult original = RunPipeline(example.trace, *example.registry);
+  PipelineResult replayed = RunPipeline(replay, *example.registry);
+  ASSERT_EQ(original.rules.size(), replayed.rules.size());
+  for (size_t i = 0; i < original.rules.size(); ++i) {
+    EXPECT_EQ(LockSeqToString(original.rules[i].winner->locks),
+              LockSeqToString(replayed.rules[i].winner->locks));
+  }
+}
+
+TEST(TraceCsvBundleTest, MissingDirectoryFails) {
+  EXPECT_FALSE(ReadTraceCsvBundle("/nonexistent/lockdoc_bundle").ok());
+}
+
+TEST(TraceCsvBundleTest, CorruptEventsRejected) {
+  ClockExampleOptions options;
+  options.iterations = 2;
+  ClockExample example = BuildClockExample(options);
+  std::string dir = ::testing::TempDir() + "/lockdoc_csv_corrupt";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(WriteTraceCsvBundle(example.trace, dir).ok());
+  {
+    std::ofstream out(dir + "/events.csv", std::ios::app);
+    out << "99,0,0,0,0,,0,0,0,0,0,0,\n";  // kind 99 is invalid.
+  }
+  EXPECT_FALSE(ReadTraceCsvBundle(dir).ok());
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,136 @@
+#include "src/trace/trace_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/clock_example.h"
+#include "src/util/rng.h"
+
+namespace lockdoc {
+namespace {
+
+Trace MakeSmallTrace() {
+  Trace trace;
+  TraceEvent alloc;
+  alloc.kind = EventKind::kAlloc;
+  alloc.addr = 0x1000;
+  alloc.size = 64;
+  alloc.type = 3;
+  alloc.subclass = 2;
+  alloc.task_id = 7;
+  trace.Append(alloc);
+
+  CallStack stack;
+  stack.frames = {trace.InternString("f1"), trace.InternString("f2")};
+  StackId stack_id = trace.InternStack(stack);
+
+  TraceEvent lock;
+  lock.kind = EventKind::kLockAcquire;
+  lock.addr = 0x1008;
+  lock.lock_type = LockType::kMutex;
+  lock.mode = AcquireMode::kShared;
+  lock.context = ContextKind::kSoftirq;
+  lock.loc.file = trace.InternString("fs/x.c");
+  lock.loc.line = 99;
+  lock.stack = stack_id;
+  trace.Append(lock);
+
+  TraceEvent write;
+  write.kind = EventKind::kMemWrite;
+  write.addr = 0x1010;
+  write.size = 8;
+  write.stack = stack_id;
+  trace.Append(write);
+  return trace;
+}
+
+void ExpectTracesEqual(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const TraceEvent& x = a.event(i);
+    const TraceEvent& y = b.event(i);
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.context, y.context);
+    EXPECT_EQ(x.task_id, y.task_id);
+    EXPECT_EQ(x.addr, y.addr);
+    EXPECT_EQ(x.size, y.size);
+    EXPECT_EQ(x.type, y.type);
+    EXPECT_EQ(x.subclass, y.subclass);
+    EXPECT_EQ(x.lock_type, y.lock_type);
+    EXPECT_EQ(x.mode, y.mode);
+    EXPECT_EQ(x.loc.line, y.loc.line);
+    // Interned strings must resolve identically.
+    EXPECT_EQ(a.String(x.loc.file), b.String(y.loc.file));
+    if (x.stack != kInvalidStack) {
+      EXPECT_EQ(a.FormatStack(x.stack), b.FormatStack(y.stack));
+    } else {
+      EXPECT_EQ(y.stack, kInvalidStack);
+    }
+  }
+}
+
+TEST(TraceIoTest, RoundTripSmallTrace) {
+  Trace original = MakeSmallTrace();
+  std::ostringstream out;
+  WriteTrace(original, out);
+  std::istringstream in(out.str());
+  auto restored = ReadTrace(in);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectTracesEqual(original, restored.value());
+}
+
+TEST(TraceIoTest, RoundTripRealisticTrace) {
+  ClockExample example = BuildClockExample();
+  std::ostringstream out;
+  WriteTrace(example.trace, out);
+  std::istringstream in(out.str());
+  auto restored = ReadTrace(in);
+  ASSERT_TRUE(restored.ok());
+  ExpectTracesEqual(example.trace, restored.value());
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  Trace empty;
+  std::ostringstream out;
+  WriteTrace(empty, out);
+  std::istringstream in(out.str());
+  auto restored = ReadTrace(in);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().size(), 0u);
+}
+
+TEST(TraceIoTest, RejectsBadMagic) {
+  std::istringstream in("NOTATRACE");
+  EXPECT_FALSE(ReadTrace(in).ok());
+}
+
+TEST(TraceIoTest, RejectsTruncatedInput) {
+  Trace original = MakeSmallTrace();
+  std::ostringstream out;
+  WriteTrace(original, out);
+  std::string bytes = out.str();
+  // Truncation anywhere after the magic must be detected, never crash.
+  Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    size_t cut = 8 + rng.Below(bytes.size() - 8);
+    std::istringstream in(bytes.substr(0, cut));
+    EXPECT_FALSE(ReadTrace(in).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  Trace original = MakeSmallTrace();
+  std::string path = ::testing::TempDir() + "/lockdoc_trace_test.bin";
+  ASSERT_TRUE(WriteTraceToFile(original, path).ok());
+  auto restored = ReadTraceFromFile(path);
+  ASSERT_TRUE(restored.ok());
+  ExpectTracesEqual(original, restored.value());
+}
+
+TEST(TraceIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadTraceFromFile("/nonexistent/path/trace.bin").ok());
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,68 @@
+#include "src/trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/clock_example.h"
+#include "src/model/type_registry.h"
+#include "src/sim/kernel.h"
+
+namespace lockdoc {
+namespace {
+
+TEST(TraceStatsTest, ClockExampleCounts) {
+  ClockExampleOptions options;
+  options.iterations = 60;  // One minute: 60 txn a + 1 txn b.
+  options.include_faulty_execution = false;
+  ClockExample example = BuildClockExample(options);
+
+  TraceStats stats = ComputeTraceStats(example.trace);
+  EXPECT_EQ(stats.total_events, example.trace.size());
+  EXPECT_EQ(stats.allocations, 1u);
+  EXPECT_EQ(stats.deallocations, 1u);
+  EXPECT_EQ(stats.static_lock_defs, 5u);  // rcu, softirq, hardirq, sec, min.
+  // 60 sec_lock pairs + 1 min_lock pair.
+  EXPECT_EQ(stats.lock_acquires, 61u);
+  EXPECT_EQ(stats.lock_releases, 61u);
+  EXPECT_EQ(stats.lock_ops, 122u);
+  // Per iteration: r, w, r of seconds; in the minute txn: w seconds + r/w
+  // minutes.
+  EXPECT_EQ(stats.memory_accesses, 60u * 3 + 3);
+  EXPECT_EQ(stats.writes, 62u);
+  EXPECT_EQ(stats.reads, 121u);
+  EXPECT_EQ(stats.distinct_locks, 2u);
+  EXPECT_EQ(stats.distinct_static_locks, 2u);
+  EXPECT_EQ(stats.distinct_embedded_locks, 0u);
+}
+
+TEST(TraceStatsTest, EmbeddedLocksClassified) {
+  TypeRegistry registry;
+  auto layout = std::make_unique<TypeLayout>("obj");
+  MemberIndex lock = layout->AddLockMember("lock", LockType::kSpinlock);
+  MemberIndex data = layout->AddMember("data", 8);
+  TypeId type = registry.Register(std::move(layout));
+
+  Trace trace;
+  SimKernel sim(&trace, &registry);
+  FunctionScope fn(sim, "x.c", "f", 1, 10);
+  ObjectRef obj = sim.Create(type, kNoSubclass, 1);
+  sim.Lock(obj, lock, 2);
+  sim.Write(obj, data, 3);
+  sim.Unlock(obj, lock, 4);
+  sim.Destroy(obj, 5);
+
+  TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_EQ(stats.distinct_embedded_locks, 1u);
+  EXPECT_EQ(stats.distinct_static_locks, 0u);
+}
+
+TEST(TraceStatsTest, ToStringMentionsKeyCounters) {
+  ClockExample example = BuildClockExample();
+  TraceStats stats = ComputeTraceStats(example.trace);
+  std::string text = stats.ToString();
+  EXPECT_NE(text.find("total events"), std::string::npos);
+  EXPECT_NE(text.find("memory accesses"), std::string::npos);
+  EXPECT_NE(text.find("distinct locks"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lockdoc

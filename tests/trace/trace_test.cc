@@ -1,0 +1,71 @@
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(TraceTest, AppendAssignsSequentialSeq) {
+  Trace trace;
+  TraceEvent event;
+  event.kind = EventKind::kAlloc;
+  EXPECT_EQ(trace.Append(event), 0u);
+  EXPECT_EQ(trace.Append(event), 1u);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.event(1).seq, 1u);
+}
+
+TEST(TraceTest, StackInterningDeduplicates) {
+  Trace trace;
+  CallStack stack;
+  stack.frames = {trace.InternString("inner"), trace.InternString("outer")};
+  StackId a = trace.InternStack(stack);
+  StackId b = trace.InternStack(stack);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(trace.stack_count(), 1u);
+
+  CallStack other;
+  other.frames = {trace.InternString("outer")};
+  EXPECT_NE(trace.InternStack(other), a);
+}
+
+TEST(TraceTest, FormatLocRendersFileAndLine) {
+  Trace trace;
+  SourceLoc loc;
+  loc.file = trace.InternString("fs/inode.c");
+  loc.line = 507;
+  EXPECT_EQ(trace.FormatLoc(loc), "fs/inode.c:507");
+}
+
+TEST(TraceTest, FormatStackInnermostFirst) {
+  Trace trace;
+  CallStack stack;
+  stack.frames = {trace.InternString("__remove_inode_hash"), trace.InternString("vfs_unlink")};
+  StackId id = trace.InternStack(stack);
+  EXPECT_EQ(trace.FormatStack(id), "__remove_inode_hash <- vfs_unlink");
+  EXPECT_EQ(trace.FormatStack(kInvalidStack), "<no stack>");
+}
+
+TEST(EventKindTest, AccessHelpers) {
+  TraceEvent read;
+  read.kind = EventKind::kMemRead;
+  TraceEvent write;
+  write.kind = EventKind::kMemWrite;
+  TraceEvent lock;
+  lock.kind = EventKind::kLockAcquire;
+  EXPECT_TRUE(IsMemAccess(read));
+  EXPECT_TRUE(IsMemAccess(write));
+  EXPECT_FALSE(IsMemAccess(lock));
+  EXPECT_TRUE(IsLockOp(lock));
+  EXPECT_EQ(AccessTypeOf(read), AccessType::kRead);
+  EXPECT_EQ(AccessTypeOf(write), AccessType::kWrite);
+}
+
+TEST(EventKindTest, NamesAreDistinct) {
+  EXPECT_EQ(EventKindName(EventKind::kAlloc), "alloc");
+  EXPECT_EQ(EventKindName(EventKind::kStaticLockDef), "static_lock");
+  EXPECT_EQ(ContextKindName(ContextKind::kSoftirq), "softirq");
+}
+
+}  // namespace
+}  // namespace lockdoc

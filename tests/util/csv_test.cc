@@ -1,0 +1,87 @@
+#include "src/util/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldUnquoted) { EXPECT_EQ(CsvEscape("hello"), "hello"); }
+
+TEST(CsvEscapeTest, QuotesSpecialCharacters) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvEncodeRowTest, JoinsEscapedFields) {
+  EXPECT_EQ(CsvEncodeRow({"a", "b,c", ""}), "a,\"b,c\",");
+}
+
+TEST(CsvParseLineTest, RoundTripsEncodedRow) {
+  std::vector<std::string> fields = {"plain", "with,comma", "with \"quote\"", "", "end"};
+  auto parsed = CsvParseLine(CsvEncodeRow(fields));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), fields);
+}
+
+TEST(ParseCsvTest, MultipleRows) {
+  auto parsed = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(parsed.value()[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsvTest, QuotedFieldWithNewline) {
+  auto parsed = ParseCsv("a,\"x\ny\"\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value()[0][1], "x\ny");
+}
+
+TEST(ParseCsvTest, CrLfLineEndings) {
+  auto parsed = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[1][1], "d");
+}
+
+TEST(ParseCsvTest, MissingTrailingNewline) {
+  auto parsed = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 2u);
+}
+
+TEST(ParseCsvTest, TrailingEmptyField) {
+  auto parsed = ParseCsv("a,\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value()[0], (std::vector<std::string>{"a", ""}));
+}
+
+TEST(ParseCsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a,\"unterminated\n").ok());
+}
+
+TEST(ParseCsvTest, RejectsQuoteInsideUnquotedField) {
+  EXPECT_FALSE(ParseCsv("ab\"cd,e\n").ok());
+}
+
+TEST(ParseCsvTest, EmptyDocumentHasNoRows) {
+  auto parsed = ParseCsv("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+}
+
+TEST(CsvWriterTest, WritesRowsWithNewlines) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"a", "b"});
+  writer.WriteRow({"c"});
+  EXPECT_EQ(out.str(), "a,b\nc\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+}  // namespace
+}  // namespace lockdoc

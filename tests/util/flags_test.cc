@@ -1,0 +1,78 @@
+#include "src/util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+FlagSet ParseOk(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  FlagSet flags;
+  std::string error;
+  EXPECT_TRUE(flags.Parse(static_cast<int>(args.size()), args.data(), &error)) << error;
+  return flags;
+}
+
+TEST(FlagsTest, EqualsForm) {
+  FlagSet flags = ParseOk({"--ops=500", "--name=test"});
+  EXPECT_EQ(flags.GetUint64("ops", 0), 500u);
+  EXPECT_EQ(flags.GetString("name", ""), "test");
+}
+
+TEST(FlagsTest, SpaceSeparatedForm) {
+  FlagSet flags = ParseOk({"--ops", "500"});
+  EXPECT_EQ(flags.GetUint64("ops", 0), 500u);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  FlagSet flags = ParseOk({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_FALSE(flags.Has("quiet"));
+}
+
+TEST(FlagsTest, BoolFalseValues) {
+  FlagSet flags = ParseOk({"--a=false", "--b=0", "--c=true"});
+  EXPECT_FALSE(flags.GetBool("a", true));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsentOrMalformed) {
+  FlagSet flags = ParseOk({"--n=notanumber"});
+  EXPECT_EQ(flags.GetUint64("n", 7), 7u);
+  EXPECT_EQ(flags.GetUint64("missing", 9), 9u);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 0.5), 0.5);
+}
+
+TEST(FlagsTest, DoubleValues) {
+  FlagSet flags = ParseOk({"--tac=0.95"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("tac", 0.0), 0.95);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  FlagSet flags = ParseOk({"input.trace", "--ops=5", "other"});
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"input.trace", "other"}));
+}
+
+TEST(FlagsTest, DoubleDashTerminatesFlags) {
+  FlagSet flags = ParseOk({"--a=1", "--", "--not-a-flag"});
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"--not-a-flag"}));
+}
+
+TEST(FlagsTest, EmptyNameIsError) {
+  const char* args[] = {"prog", "--=x"};
+  FlagSet flags;
+  std::string error;
+  EXPECT_FALSE(flags.Parse(2, args, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FlagsTest, EmptyValueViaEquals) {
+  FlagSet flags = ParseOk({"--name="});
+  EXPECT_TRUE(flags.Has("name"));
+  EXPECT_EQ(flags.GetString("name", "default"), "");
+}
+
+}  // namespace
+}  // namespace lockdoc

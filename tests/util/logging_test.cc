@@ -1,0 +1,60 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  LoggingTest() : saved_(GetLogThreshold()) {}
+  ~LoggingTest() override { SetLogThreshold(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, ThresholdRoundTrips) {
+  SetLogThreshold(LogLevel::kDebug);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kDebug);
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingTest, MessagesBelowThresholdAreSuppressed) {
+  SetLogThreshold(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  LOCKDOC_LOG(kInfo) << "hidden";
+  LOCKDOC_LOG(kError) << "visible";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("hidden"), std::string::npos);
+  EXPECT_NE(err.find("visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessageCarriesBasenameAndLine) {
+  SetLogThreshold(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  LOCKDOC_LOG(kWarning) << "payload " << 42;
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("logging_test.cc:"), std::string::npos);
+  EXPECT_EQ(err.find("tests/util"), std::string::npos);  // Basename only.
+  EXPECT_NE(err.find("payload 42"), std::string::npos);
+  EXPECT_NE(err.find("[lockdoc WARN]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesOnTrueCondition) {
+  LOCKDOC_CHECK(1 + 1 == 2);  // Must not abort.
+}
+
+TEST(LoggingDeathTest, CheckAbortsWithMessage) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(LOCKDOC_CHECK(false && "intentional"), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace lockdoc

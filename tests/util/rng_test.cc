@@ -1,0 +1,111 @@
+#include "src/util/rng.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(RngTest, BelowCoversAllValues) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.Below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t value = rng.Range(5, 7);
+    EXPECT_GE(value, 5u);
+    EXPECT_LE(value, 7u);
+  }
+  EXPECT_EQ(rng.Range(4, 4), 4u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    hits += rng.Chance(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.25, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  // The child stream differs from the parent's continued stream.
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (parent.Next() != child.Next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace lockdoc

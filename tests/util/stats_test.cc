@@ -1,0 +1,74 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_NEAR(stats.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(RunningStatsTest, EmptyMeanIsZero) {
+  RunningStats stats;
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.count(), 0u);
+}
+
+TEST(RunningStatsTest, SingleSampleStddevIsZero) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, Percentiles) {
+  RunningStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(stats.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(100), 100.0);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"A", "Long Header"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "2"});
+  std::string text = table.ToString();
+  EXPECT_NE(text.find("| A      | Long Header |"), std::string::npos);
+  EXPECT_NE(text.find("| longer | 2           |"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorRendersRule) {
+  TextTable table({"A"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::string text = table.ToString();
+  // Header rule + separator + trailing rule = at least 4 horizontal rules.
+  size_t rules = 0;
+  size_t pos = 0;
+  while ((pos = text.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TextTableTest, EmptyTableStillRendersHeader) {
+  TextTable table({"Col"});
+  EXPECT_NE(table.ToString().find("Col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,92 @@
+#include "src/util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, EmptyFieldsPreserved) {
+  EXPECT_EQ(Split(",a,,b,", ','), (std::vector<std::string>{"", "a", "", "b", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitAndTrimTest, TrimsAndDropsEmpty) {
+  EXPECT_EQ(SplitAndTrim("  a , ,b ,  c  ", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(JoinTest, EmptyVector) { EXPECT_EQ(Join({}, ", "), ""); }
+
+TEST(TrimTest, Whitespace) {
+  EXPECT_EQ(Trim("  hello\t\n "), "hello");
+  EXPECT_EQ(Trim("\t \n"), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(ParseUint64Test, ValidValues) {
+  uint64_t value = 0;
+  EXPECT_TRUE(ParseUint64("0", &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &value));
+  EXPECT_EQ(value, UINT64_MAX);
+}
+
+TEST(ParseUint64Test, RejectsInvalid) {
+  uint64_t value = 0;
+  EXPECT_FALSE(ParseUint64("", &value));
+  EXPECT_FALSE(ParseUint64("-1", &value));
+  EXPECT_FALSE(ParseUint64("12x", &value));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &value));  // Overflow.
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double value = 0;
+  EXPECT_TRUE(ParseDouble("0.5", &value));
+  EXPECT_DOUBLE_EQ(value, 0.5);
+  EXPECT_TRUE(ParseDouble("-2e3", &value));
+  EXPECT_DOUBLE_EQ(value, -2000.0);
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("1.5abc", &value));
+}
+
+TEST(FormatPercentTest, TwoDecimals) {
+  EXPECT_EQ(FormatPercent(0.9412), "94.12%");
+  EXPECT_EQ(FormatPercent(1.0), "100.00%");
+  EXPECT_EQ(FormatPercent(0.0), "0.00%");
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(27400000), "27,400,000");
+}
+
+}  // namespace
+}  // namespace lockdoc

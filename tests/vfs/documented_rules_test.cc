@@ -1,0 +1,76 @@
+// Sanity of the shipped "documented" rules: they parse, reference only real
+// members, and their per-type counts match the paper's Tab. 4 #R column.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/core/rule.h"
+#include "src/vfs/vfs_kernel.h"
+
+namespace lockdoc {
+namespace {
+
+RuleSet ParseDocumented() {
+  auto rules = RuleSet::ParseText(VfsKernel::DocumentedRulesText());
+  EXPECT_TRUE(rules.ok()) << rules.status().ToString();
+  return rules.ok() ? rules.value() : RuleSet{};
+}
+
+TEST(DocumentedRulesTest, PerTypeCountsMatchTab4) {
+  RuleSet rules = ParseDocumented();
+  std::map<std::string, size_t> counts;
+  for (const LockingRule& rule : rules.rules()) {
+    ++counts[rule.member.type_name];
+  }
+  EXPECT_EQ(counts["inode"], 14u);
+  EXPECT_EQ(counts["dentry"], 22u);
+  EXPECT_EQ(counts["journal_t"], 38u);
+  EXPECT_EQ(counts["transaction_t"], 42u);
+  EXPECT_EQ(counts["journal_head"], 26u);
+  EXPECT_EQ(counts.size(), 5u);
+}
+
+TEST(DocumentedRulesTest, EveryRuleReferencesARealMember) {
+  VfsIds ids;
+  std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
+  RuleSet rules = ParseDocumented();
+  for (const LockingRule& rule : rules.rules()) {
+    auto type = registry->FindType(rule.member.type_name);
+    ASSERT_TRUE(type.has_value()) << rule.ToString();
+    EXPECT_TRUE(registry->layout(*type).FindMember(rule.member.member_name).has_value())
+        << rule.ToString();
+  }
+}
+
+TEST(DocumentedRulesTest, EveryRuleLockReferencesARealLockOrGlobal) {
+  VfsIds ids;
+  std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
+  RuleSet rules = ParseDocumented();
+  for (const LockingRule& rule : rules.rules()) {
+    for (const LockClass& lock : rule.locks) {
+      if (lock.scope == LockScope::kGlobal) {
+        continue;  // Globals are validated against the trace at runtime.
+      }
+      auto owner = registry->FindType(lock.owner_type);
+      ASSERT_TRUE(owner.has_value()) << rule.ToString();
+      auto member = registry->layout(*owner).FindMember(lock.lock_name);
+      ASSERT_TRUE(member.has_value()) << rule.ToString();
+      EXPECT_TRUE(registry->layout(*owner).member(*member).is_lock) << rule.ToString();
+    }
+  }
+}
+
+TEST(DocumentedRulesTest, CoversBothAccessDirections) {
+  RuleSet rules = ParseDocumented();
+  size_t reads = 0;
+  size_t writes = 0;
+  for (const LockingRule& rule : rules.rules()) {
+    (rule.access == AccessType::kRead ? reads : writes) += 1;
+  }
+  EXPECT_GT(reads, 40u);
+  EXPECT_GT(writes, 60u);
+  EXPECT_EQ(reads + writes, 142u);
+}
+
+}  // namespace
+}  // namespace lockdoc

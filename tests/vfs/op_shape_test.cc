@@ -1,0 +1,263 @@
+// Per-operation trace-shape checks: each kernel op must emit the lock and
+// access pattern its ground-truth discipline promises. These tests pin the
+// contract the whole evaluation calibration rests on.
+#include <gtest/gtest.h>
+
+#include "src/vfs/vfs_kernel.h"
+
+namespace lockdoc {
+namespace {
+
+class OpShapeTest : public ::testing::Test {
+ protected:
+  OpShapeTest() {
+    registry_ = BuildVfsRegistry(&ids_);
+    sim_ = std::make_unique<SimKernel>(&trace_, registry_.get());
+    vfs_ = std::make_unique<VfsKernel>(sim_.get(), registry_.get(), ids_, FaultPlan::Clean());
+    vfs_->MountAll();
+    mount_end_ = trace_.size();
+  }
+  ~OpShapeTest() override {
+    vfs_->UnmountAll();
+    sim_->CheckQuiescent();
+  }
+
+  // Events emitted after construction (i.e. by the ops under test).
+  std::vector<TraceEvent> OpEvents() const {
+    return {trace_.events().begin() + static_cast<ptrdiff_t>(mount_end_),
+            trace_.events().end()};
+  }
+
+  // True if some op event is an acquisition of `lock_name` (for embedded
+  // locks: the lock member's name resolved via the address).
+  bool AcquiredEmbedded(const ObjectRef& obj, std::string_view member_name) const {
+    const TypeLayout& layout = registry_->layout(obj.type);
+    MemberIndex member = *layout.FindMember(member_name);
+    Address lock_addr = obj.addr + layout.member(member).offset;
+    for (const TraceEvent& e : OpEvents()) {
+      if (e.kind == EventKind::kLockAcquire && e.addr == lock_addr) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Count writes to a member of `obj` among the op events.
+  size_t WritesTo(const ObjectRef& obj, std::string_view member_name) const {
+    const TypeLayout& layout = registry_->layout(obj.type);
+    MemberIndex member = *layout.FindMember(member_name);
+    Address addr = obj.addr + layout.member(member).offset;
+    size_t count = 0;
+    for (const TraceEvent& e : OpEvents()) {
+      if (e.kind == EventKind::kMemWrite && e.addr == addr) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  // Find the inode object of a file by replaying alloc events.
+  ObjectRef InodeOf(SubclassId fs, size_t index) {
+    // VfsKernel does not expose objects; recover the newest inode alloc of
+    // the right subclass from the trace.
+    ObjectRef result;
+    std::map<Address, TraceEvent> live;
+    for (const TraceEvent& e : trace_.events()) {
+      if (e.kind == EventKind::kAlloc) {
+        live[e.addr] = e;
+      } else if (e.kind == EventKind::kFree) {
+        live.erase(e.addr);
+      }
+    }
+    (void)index;
+    for (const auto& [addr, e] : live) {
+      if (e.type == ids_.inode && e.subclass == fs) {
+        result.addr = addr;
+        result.type = e.type;
+        result.subclass = e.subclass;
+      }
+    }
+    return result;
+  }
+
+  VfsIds ids_;
+  std::unique_ptr<TypeRegistry> registry_;
+  Trace trace_;
+  std::unique_ptr<SimKernel> sim_;
+  std::unique_ptr<VfsKernel> vfs_;
+  size_t mount_end_ = 0;
+  Rng rng_{99};
+};
+
+TEST_F(OpShapeTest, CreateFileTakesDirRwsemAndHashLocks) {
+  size_t index = vfs_->CreateFile(ids_.fs_ext4, rng_);
+  (void)index;
+  bool hash_lock = false;
+  for (const TraceEvent& e : OpEvents()) {
+    if (e.kind == EventKind::kLockAcquire &&
+        e.lock_type == LockType::kSpinlock) {
+      hash_lock = true;
+    }
+  }
+  EXPECT_TRUE(hash_lock);
+  // The new inode's i_hash was written exactly once (no neighbour writes in
+  // the clean plan).
+  ObjectRef inode = InodeOf(ids_.fs_ext4, index);
+  ASSERT_TRUE(inode.valid());
+  EXPECT_EQ(WritesTo(inode, "i_hash"), 1u);
+}
+
+TEST_F(OpShapeTest, WriteFileUpdatesSizeUnderRwsem) {
+  size_t index = vfs_->CreateFile(ids_.fs_tmpfs, rng_);
+  ObjectRef inode = InodeOf(ids_.fs_tmpfs, index);
+  ASSERT_TRUE(inode.valid());
+  size_t before = trace_.size();
+  vfs_->WriteFile(ids_.fs_tmpfs, index, rng_);
+  mount_end_ = before;  // Restrict the window to the write op.
+  EXPECT_TRUE(AcquiredEmbedded(inode, "i_rwsem"));
+  EXPECT_GE(WritesTo(inode, "i_size"), 1u);
+  EXPECT_GE(WritesTo(inode, "i_size_seqcount"), 1u);
+  // Dirtying took i_lock and the bdi list lock.
+  EXPECT_TRUE(AcquiredEmbedded(inode, "i_lock"));
+}
+
+TEST_F(OpShapeTest, ChmodWritesModeUnderRwsem) {
+  size_t index = vfs_->CreateFile(ids_.fs_rootfs, rng_);
+  ObjectRef inode = InodeOf(ids_.fs_rootfs, index);
+  size_t before = trace_.size();
+  vfs_->ChmodFile(ids_.fs_rootfs, index, rng_);
+  mount_end_ = before;
+  EXPECT_TRUE(AcquiredEmbedded(inode, "i_rwsem"));
+  EXPECT_GE(WritesTo(inode, "i_mode"), 1u);
+  EXPECT_GE(WritesTo(inode, "i_ctime"), 1u);
+}
+
+TEST_F(OpShapeTest, StatIsReadMostly) {
+  size_t index = vfs_->CreateFile(ids_.fs_ext4, rng_);
+  ObjectRef inode = InodeOf(ids_.fs_ext4, index);
+  size_t before = trace_.size();
+  vfs_->StatFile(ids_.fs_ext4, index, rng_);
+  mount_end_ = before;
+  size_t reads = 0;
+  size_t writes = 0;
+  for (const TraceEvent& e : OpEvents()) {
+    reads += e.kind == EventKind::kMemRead ? 1 : 0;
+    writes += e.kind == EventKind::kMemWrite ? 1 : 0;
+  }
+  EXPECT_GT(reads, 8u);
+  EXPECT_EQ(writes, 0u);
+  EXPECT_EQ(WritesTo(inode, "i_mode"), 0u);
+}
+
+TEST_F(OpShapeTest, TruncateIsJournaledOnExt4) {
+  size_t index = vfs_->CreateFile(ids_.fs_ext4, rng_);
+  size_t before = trace_.size();
+  vfs_->TruncateFile(ids_.fs_ext4, index, rng_);
+  mount_end_ = before;
+  bool saw_journal_frame = false;
+  for (const TraceEvent& e : OpEvents()) {
+    if (e.stack == kInvalidStack) {
+      continue;
+    }
+    if (trace_.FormatStack(e.stack).find("ext4_truncate") != std::string::npos) {
+      saw_journal_frame = true;
+    }
+  }
+  EXPECT_TRUE(saw_journal_frame);
+}
+
+TEST_F(OpShapeTest, UnlinkFreesInodeAndDentry) {
+  size_t index = vfs_->CreateFile(ids_.fs_tmpfs, rng_);
+  size_t before = trace_.size();
+  vfs_->UnlinkFile(ids_.fs_tmpfs, index, rng_);
+  mount_end_ = before;
+  size_t frees = 0;
+  for (const TraceEvent& e : OpEvents()) {
+    frees += e.kind == EventKind::kFree ? 1 : 0;
+  }
+  EXPECT_EQ(frees, 2u);  // Inode + dentry.
+  EXPECT_FALSE(vfs_->file_alive(ids_.fs_tmpfs, index));
+}
+
+TEST_F(OpShapeTest, ReadSymlinkUsesRcu) {
+  size_t index = vfs_->CreateSymlink(ids_.fs_ext4, rng_);
+  size_t before = trace_.size();
+  vfs_->ReadSymlink(ids_.fs_ext4, index, rng_);
+  mount_end_ = before;
+  bool rcu = false;
+  for (const TraceEvent& e : OpEvents()) {
+    if (e.kind == EventKind::kLockAcquire && e.lock_type == LockType::kRcu) {
+      rcu = true;
+    }
+  }
+  EXPECT_TRUE(rcu);
+}
+
+TEST_F(OpShapeTest, MkdirCreatesRemovableEmptyDirectory) {
+  size_t dir = vfs_->MkdirDir(ids_.fs_ext4, rng_);
+  EXPECT_TRUE(vfs_->IsDirectory(ids_.fs_ext4, dir));
+  EXPECT_TRUE(vfs_->CanUnlink(ids_.fs_ext4, dir));
+  EXPECT_TRUE(vfs_->RmdirDir(ids_.fs_ext4, dir, rng_));
+  EXPECT_FALSE(vfs_->file_alive(ids_.fs_ext4, dir));
+  sim_->CheckQuiescent();
+}
+
+TEST_F(OpShapeTest, NonEmptyDirectoryCannotBeRemoved) {
+  size_t dir = vfs_->MkdirDir(ids_.fs_tmpfs, rng_);
+  // Create children until one lands inside the new directory (parent
+  // selection is probabilistic).
+  bool has_child = false;
+  for (int i = 0; i < 200 && !has_child; ++i) {
+    size_t child = vfs_->CreateFile(ids_.fs_tmpfs, rng_);
+    has_child = !vfs_->CanUnlink(ids_.fs_tmpfs, dir);
+    (void)child;
+  }
+  ASSERT_TRUE(has_child);
+  EXPECT_FALSE(vfs_->RmdirDir(ids_.fs_tmpfs, dir, rng_));
+  EXPECT_TRUE(vfs_->file_alive(ids_.fs_tmpfs, dir));
+}
+
+TEST_F(OpShapeTest, HardLinkSharesInodeUntilLastUnlink) {
+  size_t original = vfs_->CreateFile(ids_.fs_ext4, rng_);
+  ObjectRef inode = InodeOf(ids_.fs_ext4, original);
+  ASSERT_TRUE(inode.valid());
+  size_t link = vfs_->LinkFile(ids_.fs_ext4, original, rng_);
+  EXPECT_NE(link, original);
+
+  // Unlinking one name keeps the inode alive (no free event for it).
+  size_t before = trace_.size();
+  vfs_->UnlinkFile(ids_.fs_ext4, original, rng_);
+  mount_end_ = before;
+  for (const TraceEvent& e : OpEvents()) {
+    if (e.kind == EventKind::kFree) {
+      EXPECT_NE(e.addr, inode.addr) << "inode freed while a hard link remains";
+    }
+  }
+  EXPECT_TRUE(vfs_->file_alive(ids_.fs_ext4, link));
+
+  // The last unlink frees it.
+  before = trace_.size();
+  vfs_->UnlinkFile(ids_.fs_ext4, link, rng_);
+  mount_end_ = before;
+  bool inode_freed = false;
+  for (const TraceEvent& e : OpEvents()) {
+    inode_freed |= e.kind == EventKind::kFree && e.addr == inode.addr;
+  }
+  EXPECT_TRUE(inode_freed);
+  sim_->CheckQuiescent();
+}
+
+TEST_F(OpShapeTest, ProcWritesAreLockless) {
+  size_t before = trace_.size();
+  for (int i = 0; i < 20; ++i) {
+    vfs_->ProcReadEntry(rng_);
+  }
+  mount_end_ = before;
+  for (const TraceEvent& e : OpEvents()) {
+    EXPECT_NE(e.kind, EventKind::kLockAcquire)
+        << "proc ops must not take locks (Sec. 5.3 subclassing motivation)";
+  }
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,159 @@
+#include "src/vfs/vfs_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/trace_stats.h"
+
+namespace lockdoc {
+namespace {
+
+struct VfsFixture {
+  VfsFixture() {
+    registry = BuildVfsRegistry(&ids);
+    sim = std::make_unique<SimKernel>(&trace, registry.get());
+    vfs = std::make_unique<VfsKernel>(sim.get(), registry.get(), ids, FaultPlan{});
+    vfs->MountAll();
+  }
+  ~VfsFixture() {
+    if (vfs) {
+      vfs->UnmountAll();
+      sim->CheckQuiescent();
+    }
+  }
+
+  VfsIds ids;
+  std::unique_ptr<TypeRegistry> registry;
+  Trace trace;
+  std::unique_ptr<SimKernel> sim;
+  std::unique_ptr<VfsKernel> vfs;
+};
+
+TEST(VfsKernelTest, MountCreatesSuperblocksAndRoots) {
+  VfsFixture f;
+  TraceStats stats = ComputeTraceStats(f.trace);
+  // 11 super blocks + 11 root inodes + 11 root dentries + journal +
+  // transaction + bdi + 24 buffers + 12 journal heads.
+  EXPECT_GE(stats.allocations, 11u * 3 + 3);
+  EXPECT_EQ(stats.deallocations, 0u);
+}
+
+TEST(VfsKernelTest, EveryOpLeavesKernelQuiescent) {
+  VfsFixture f;
+  Rng rng(5);
+  size_t file = f.vfs->CreateFile(f.ids.fs_ext4, rng);
+  f.sim->CheckQuiescent();
+  f.vfs->WriteFile(f.ids.fs_ext4, file, rng);
+  f.sim->CheckQuiescent();
+  f.vfs->ReadFile(f.ids.fs_ext4, file, rng);
+  f.vfs->StatFile(f.ids.fs_ext4, file, rng);
+  f.vfs->ChmodFile(f.ids.fs_ext4, file, rng);
+  f.vfs->ChownFile(f.ids.fs_ext4, file, rng);
+  f.vfs->LookupFile(f.ids.fs_ext4, file, rng);
+  f.vfs->RenameFile(f.ids.fs_ext4, file, rng);
+  f.sim->CheckQuiescent();
+  f.vfs->JournalCommit(rng);
+  f.vfs->JournalCheckpoint(rng);
+  f.vfs->WritebackRun(rng);
+  f.vfs->SyncFilesystem(f.ids.fs_ext4, rng);
+  f.vfs->JournalStatsProcShow(rng);
+  f.vfs->BufferLruScan(rng);
+  f.sim->CheckQuiescent();
+  f.vfs->UnlinkFile(f.ids.fs_ext4, file, rng);
+  f.sim->CheckQuiescent();
+}
+
+TEST(VfsKernelTest, FileLifecycle) {
+  VfsFixture f;
+  Rng rng(6);
+  size_t file = f.vfs->CreateFile(f.ids.fs_tmpfs, rng);
+  EXPECT_TRUE(f.vfs->file_alive(f.ids.fs_tmpfs, file));
+  f.vfs->UnlinkFile(f.ids.fs_tmpfs, file, rng);
+  EXPECT_FALSE(f.vfs->file_alive(f.ids.fs_tmpfs, file));
+}
+
+TEST(VfsKernelTest, SymlinkLifecycle) {
+  VfsFixture f;
+  Rng rng(7);
+  size_t link = f.vfs->CreateSymlink(f.ids.fs_ext4, rng);
+  EXPECT_TRUE(f.vfs->file_alive(f.ids.fs_ext4, link));
+  f.vfs->ReadSymlink(f.ids.fs_ext4, link, rng);
+  f.sim->CheckQuiescent();
+}
+
+TEST(VfsKernelTest, PipeLifecycle) {
+  VfsFixture f;
+  Rng rng(8);
+  size_t pipe = f.vfs->PipeCreate(rng);
+  EXPECT_TRUE(f.vfs->pipe_alive(pipe));
+  f.vfs->PipeWrite(pipe, rng);
+  f.vfs->PipeRead(pipe, rng);
+  f.vfs->PipePoll(pipe, rng);
+  f.vfs->PipeRelease(pipe, rng);
+  EXPECT_FALSE(f.vfs->pipe_alive(pipe));
+  f.sim->CheckQuiescent();
+}
+
+TEST(VfsKernelTest, SpecialFilesystemsAndDevices) {
+  VfsFixture f;
+  Rng rng(9);
+  f.vfs->ProcReadEntry(rng);
+  f.vfs->SysfsReadAttr(rng);
+  f.vfs->SysfsWriteAttr(rng);
+  f.vfs->SockCreateAndUse(rng);
+  f.vfs->AnonInodeUse(rng);
+  f.vfs->DebugfsCreate(rng);
+  f.vfs->BdevOpen(rng);
+  f.vfs->BdevRelease(rng);
+  f.vfs->CdevAddAndOpen(rng);
+  f.sim->CheckQuiescent();
+  EXPECT_GE(f.vfs->file_count(f.ids.fs_proc), 1u);
+  EXPECT_GE(f.vfs->file_count(f.ids.fs_sockfs), 1u);
+}
+
+TEST(VfsKernelTest, UnmountFreesEverything) {
+  VfsIds ids;
+  auto registry = BuildVfsRegistry(&ids);
+  Trace trace;
+  SimKernel sim(&trace, registry.get());
+  {
+    VfsKernel vfs(&sim, registry.get(), ids, FaultPlan{});
+    vfs.MountAll();
+    Rng rng(10);
+    size_t file = vfs.CreateFile(ids.fs_ext4, rng);
+    vfs.WriteFile(ids.fs_ext4, file, rng);
+    vfs.PipeCreate(rng);
+    vfs.JournalCommit(rng);
+    vfs.UnmountAll();
+    sim.CheckQuiescent();
+  }
+  TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_EQ(stats.allocations, stats.deallocations);
+}
+
+TEST(VfsKernelTest, DocumentedRulesParseTo142Rules) {
+  auto rules = RuleSet::ParseText(VfsKernel::DocumentedRulesText());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_EQ(rules.value().size(), 142u);  // Sec. 7.3: "142 locking rules".
+}
+
+TEST(VfsKernelTest, FilterConfigCoversLifecycleFunctions) {
+  FilterConfig config = VfsKernel::MakeFilterConfig();
+  EXPECT_TRUE(config.init_teardown_functions.count("inode_init_always"));
+  EXPECT_TRUE(config.init_teardown_functions.count("alloc_pipe_info"));
+  EXPECT_TRUE(config.ignored_functions.count("atomic_read"));
+}
+
+TEST(FaultPlanTest, CleanDisablesEverything) {
+  FaultPlan clean = FaultPlan::Clean();
+  EXPECT_FALSE(clean.inode_set_flags_bug);
+  EXPECT_FALSE(clean.remove_inode_hash_neighbors);
+  EXPECT_FALSE(clean.libfs_d_subdirs_rcu_walk);
+  EXPECT_FALSE(clean.ext4_committing_txn_peek);
+  EXPECT_EQ(clean.buffer_head_sloppiness, 0.0);
+  EXPECT_EQ(clean.bdi_stats_sloppiness, 0.0);
+  EXPECT_EQ(clean.journal_stats_sloppiness, 0.0);
+  EXPECT_EQ(clean.sb_flags_sloppiness, 0.0);
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,134 @@
+#include "src/workload/script.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/trace/trace_stats.h"
+
+namespace lockdoc {
+namespace {
+
+struct ScriptFixture {
+  ScriptFixture() {
+    registry = BuildVfsRegistry(&ids);
+    sim = std::make_unique<SimKernel>(&trace, registry.get());
+    vfs = std::make_unique<VfsKernel>(sim.get(), registry.get(), ids, FaultPlan::Clean());
+    vfs->MountAll();
+  }
+  ~ScriptFixture() {
+    vfs->UnmountAll();
+    sim->CheckQuiescent();
+  }
+
+  Status RunText(const std::string& text) {
+    auto script = WorkloadScript::Parse(text);
+    if (!script.ok()) {
+      return script.status();
+    }
+    Rng rng(7);
+    return script.value().Run(*vfs, rng);
+  }
+
+  VfsIds ids;
+  std::unique_ptr<TypeRegistry> registry;
+  Trace trace;
+  std::unique_ptr<SimKernel> sim;
+  std::unique_ptr<VfsKernel> vfs;
+};
+
+TEST(WorkloadScriptTest, ParseAcceptsAllShapes) {
+  auto script = WorkloadScript::Parse(
+      "# comment\n"
+      "create ext4\n"
+      "write ext4 0   # trailing comment\n"
+      "pipe-create\n"
+      "pipe-write 0\n"
+      "commit\n"
+      "\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ(script.value().steps().size(), 5u);
+  EXPECT_EQ(script.value().steps()[1].verb, "write");
+  EXPECT_EQ(script.value().steps()[1].fs, "ext4");
+  EXPECT_EQ(script.value().steps()[1].index, 0u);
+}
+
+TEST(WorkloadScriptTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(WorkloadScript::Parse("explode ext4\n").ok());      // Unknown verb.
+  EXPECT_FALSE(WorkloadScript::Parse("create\n").ok());            // Missing fs.
+  EXPECT_FALSE(WorkloadScript::Parse("write ext4\n").ok());        // Missing index.
+  EXPECT_FALSE(WorkloadScript::Parse("write ext4 zero\n").ok());   // Bad index.
+  EXPECT_FALSE(WorkloadScript::Parse("commit now\n").ok());        // Extra arg.
+}
+
+TEST(WorkloadScriptTest, EndToEndScenario) {
+  ScriptFixture f;
+  Status status = f.RunText(
+      "create ext4\n"
+      "write ext4 0\n"
+      "mkdir ext4\n"
+      "link ext4 0\n"
+      "stat ext4 0\n"
+      "unlink ext4 0\n"
+      "read ext4 2\n"      // The hard link still works.
+      "unlink ext4 2\n"
+      "rmdir ext4 1\n"
+      "pipe-create\n"
+      "pipe-write 0\n"
+      "pipe-read 0\n"
+      "pipe-release 0\n"
+      "commit\n"
+      "writeback\n"
+      "sync ext4\n");
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  TraceStats stats = ComputeTraceStats(f.trace);
+  EXPECT_EQ(stats.lock_acquires, stats.lock_releases);
+}
+
+TEST(WorkloadScriptTest, RuntimeErrorsNameTheLine) {
+  ScriptFixture f;
+  Status status = f.RunText("write ext4 0\n");  // No file 0 yet.
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 1"), std::string::npos);
+
+  status = f.RunText("create nosuchfs\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown filesystem"), std::string::npos);
+}
+
+TEST(WorkloadScriptTest, LinkOfDirectoryRefused) {
+  ScriptFixture f;
+  Status status = f.RunText(
+      "mkdir tmpfs\n"
+      "link tmpfs 0\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("hard-link a directory"), std::string::npos);
+}
+
+TEST(WorkloadScriptTest, ScriptedTraceAnalyzes) {
+  ScriptFixture f;
+  ASSERT_TRUE(f.RunText(
+                   "create tmpfs\n"
+                   "write tmpfs 0\n"
+                   "write tmpfs 0\n"
+                   "read tmpfs 0\n"
+                   "unlink tmpfs 0\n")
+                  .ok());
+  PipelineOptions options;
+  options.filter = VfsKernel::MakeFilterConfig();
+  PipelineResult result = RunPipeline(f.trace, *f.registry, options);
+  EXPECT_FALSE(result.rules.empty());
+}
+
+TEST(WorkloadScriptTest, KnownVerbsListIsComplete) {
+  // Every verb in the list must parse with dummy arguments of its shape.
+  for (const std::string& verb : WorkloadScript::KnownVerbs()) {
+    bool parsed = WorkloadScript::Parse(verb + "\n").ok() ||
+                  WorkloadScript::Parse(verb + " ext4\n").ok() ||
+                  WorkloadScript::Parse(verb + " 0\n").ok() ||
+                  WorkloadScript::Parse(verb + " ext4 0\n").ok();
+    EXPECT_TRUE(parsed) << verb;
+  }
+}
+
+}  // namespace
+}  // namespace lockdoc

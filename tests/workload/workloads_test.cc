@@ -1,0 +1,105 @@
+#include "src/workload/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_stats.h"
+
+namespace lockdoc {
+namespace {
+
+TEST(WorkloadsTest, MixContainsSevenWorkloads) {
+  auto mix = MakeBenchmarkMix();
+  EXPECT_EQ(mix.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& workload : mix) {
+    names.insert(std::string(workload->name()));
+  }
+  EXPECT_TRUE(names.count("fsstress"));
+  EXPECT_TRUE(names.count("fs_inod"));
+  EXPECT_TRUE(names.count("fs-bench-test2"));
+  EXPECT_TRUE(names.count("pipe-test"));
+  EXPECT_TRUE(names.count("symlink-test"));
+  EXPECT_TRUE(names.count("chmod-test"));
+  EXPECT_TRUE(names.count("misc-fs"));
+}
+
+TEST(WorkloadsTest, SimulationRunsRequestedOps) {
+  MixOptions options;
+  options.ops = 500;
+  options.seed = 3;
+  SimulationResult result = SimulateKernelRun(options, FaultPlan{});
+  EXPECT_EQ(result.mix.ops_executed, 500u);
+  EXPECT_GT(result.trace.size(), 1000u);
+}
+
+TEST(WorkloadsTest, SameSeedYieldsIdenticalTrace) {
+  MixOptions options;
+  options.ops = 400;
+  options.seed = 77;
+  SimulationResult a = SimulateKernelRun(options, FaultPlan{});
+  SimulationResult b = SimulateKernelRun(options, FaultPlan{});
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  // Byte-identical serialized traces: the whole simulation is deterministic.
+  std::ostringstream out_a;
+  std::ostringstream out_b;
+  WriteTrace(a.trace, out_a);
+  WriteTrace(b.trace, out_b);
+  EXPECT_EQ(out_a.str(), out_b.str());
+}
+
+TEST(WorkloadsTest, DifferentSeedsDiverge) {
+  MixOptions options;
+  options.ops = 400;
+  options.seed = 1;
+  SimulationResult a = SimulateKernelRun(options, FaultPlan{});
+  options.seed = 2;
+  SimulationResult b = SimulateKernelRun(options, FaultPlan{});
+  std::ostringstream out_a;
+  std::ostringstream out_b;
+  WriteTrace(a.trace, out_a);
+  WriteTrace(b.trace, out_b);
+  EXPECT_NE(out_a.str(), out_b.str());
+}
+
+TEST(WorkloadsTest, AllObservedTypesAppearInTrace) {
+  MixOptions options;
+  options.ops = 4000;
+  options.seed = 5;
+  SimulationResult result = SimulateKernelRun(options, FaultPlan{});
+  std::set<TypeId> allocated;
+  for (const TraceEvent& e : result.trace.events()) {
+    if (e.kind == EventKind::kAlloc) {
+      allocated.insert(e.type);
+    }
+  }
+  EXPECT_EQ(allocated.size(), result.registry->type_count());
+}
+
+TEST(WorkloadsTest, InterruptsAppearInTrace) {
+  MixOptions options;
+  options.ops = 2000;
+  options.seed = 5;
+  SimulationResult result = SimulateKernelRun(options, FaultPlan{});
+  bool softirq = false;
+  bool hardirq = false;
+  for (const TraceEvent& e : result.trace.events()) {
+    softirq |= e.context == ContextKind::kSoftirq;
+    hardirq |= e.context == ContextKind::kHardirq;
+  }
+  EXPECT_TRUE(softirq);
+  EXPECT_TRUE(hardirq);
+}
+
+TEST(WorkloadsTest, TraceIsBalanced) {
+  MixOptions options;
+  options.ops = 1000;
+  options.seed = 9;
+  SimulationResult result = SimulateKernelRun(options, FaultPlan{});
+  TraceStats stats = ComputeTraceStats(result.trace);
+  EXPECT_EQ(stats.lock_acquires, stats.lock_releases);
+  EXPECT_EQ(stats.allocations, stats.deallocations);
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,446 @@
+// lockdoc — the command-line front end to the whole pipeline, operating on
+// archived trace files (the paper's ex-post analysis workflow, Sec. 3.3:
+// "recorded execution traces can be easily archived and analyzed in
+// arbitrary ways").
+//
+//   lockdoc simulate --out run.trace [--ops N] [--seed S] [--clean]
+//                    [--script FILE]
+//   lockdoc stats run.trace
+//   lockdoc derive run.trace [--tac 0.9] [--type inode [--subclass ext4]]
+//                            [--spec] [--support]
+//   lockdoc check run.trace [--rules rules.txt]
+//   lockdoc violations run.trace [--limit N] [--tac 0.9]
+//   lockdoc lock-order run.trace
+//   lockdoc modes run.trace [--all]
+//   lockdoc diff old.trace new.trace [--all]
+//   lockdoc export-csv run.trace --dir DIR
+//
+// Traces must come from the built-in simulated kernel (the type registry is
+// part of the contract between tracer and analyzer, as in the paper where
+// the kernel's DWARF layout plays that role).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/doc_generator.h"
+#include "src/core/lock_order.h"
+#include "src/core/mode_analysis.h"
+#include "src/core/pipeline.h"
+#include "src/core/report.h"
+#include "src/core/rule_diff.h"
+#include "src/core/rule_checker.h"
+#include "src/core/violation_finder.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_stats.h"
+#include "src/util/flags.h"
+#include "src/util/stats.h"
+#include "src/util/string_util.h"
+#include "src/vfs/vfs_kernel.h"
+#include "src/workload/script.h"
+#include "src/workload/workloads.h"
+
+using namespace lockdoc;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lockdoc <command> [args]\n"
+               "commands:\n"
+               "  simulate --out FILE [--ops N] [--seed S] [--clean] [--script FILE]\n"
+               "  stats FILE\n"
+               "  derive FILE [--tac T] [--type NAME [--subclass NAME]] [--spec] [--support]\n"
+               "  check FILE [--rules RULES.txt]\n"
+               "  violations FILE [--limit N] [--tac T]\n"
+               "  lock-order FILE\n"
+               "  modes FILE [--all]\n"
+               "  report FILE [--full]\n"
+               "  diff OLD.trace NEW.trace [--all]\n"
+               "  export-csv FILE --dir DIR\n");
+  return 2;
+}
+
+struct LoadedTrace {
+  VfsIds ids;
+  std::unique_ptr<TypeRegistry> registry;
+  Trace trace;
+};
+
+bool LoadTrace(const FlagSet& flags, LoadedTrace* out) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "lockdoc: missing trace file\n");
+    return false;
+  }
+  out->registry = BuildVfsRegistry(&out->ids);
+  auto loaded = ReadTraceFromFile(flags.positional()[1]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "lockdoc: %s\n", loaded.status().message().c_str());
+    return false;
+  }
+  out->trace = std::move(loaded).value();
+  return true;
+}
+
+PipelineResult Analyze(const LoadedTrace& input, const FlagSet& flags) {
+  PipelineOptions options;
+  options.filter = VfsKernel::MakeFilterConfig();
+  options.derivator.accept_threshold = flags.GetDouble("tac", 0.9);
+  return RunPipeline(input.trace, *input.registry, options);
+}
+
+int CmdSimulate(const FlagSet& flags) {
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "lockdoc simulate: --out is required\n");
+    return 2;
+  }
+  FaultPlan plan = flags.GetBool("clean", false) ? FaultPlan::Clean() : FaultPlan{};
+
+  // --script FILE: run an exact operation sequence instead of the mix.
+  std::string script_path = flags.GetString("script", "");
+  if (!script_path.empty()) {
+    std::ifstream in(script_path);
+    if (!in) {
+      std::fprintf(stderr, "lockdoc: cannot open %s\n", script_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto script = WorkloadScript::Parse(buffer.str());
+    if (!script.ok()) {
+      std::fprintf(stderr, "lockdoc: %s\n", script.status().message().c_str());
+      return 1;
+    }
+    VfsIds ids;
+    std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
+    Trace trace;
+    SimKernel sim(&trace, registry.get());
+    VfsKernel vfs(&sim, registry.get(), ids, plan);
+    vfs.MountAll();
+    Rng rng(flags.GetUint64("seed", 1));
+    Status run = script.value().Run(vfs, rng);
+    if (!run.ok()) {
+      std::fprintf(stderr, "lockdoc: %s\n", run.message().c_str());
+      return 1;
+    }
+    vfs.UnmountAll();
+    Status status = WriteTraceToFile(trace, out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "lockdoc: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu events (%zu scripted ops) to %s\n", trace.size(),
+                script.value().steps().size(), out.c_str());
+    return 0;
+  }
+
+  MixOptions mix;
+  mix.ops = flags.GetUint64("ops", 20000);
+  mix.seed = flags.GetUint64("seed", 1);
+  SimulationResult sim = SimulateKernelRun(mix, plan);
+  Status status = WriteTraceToFile(sim.trace, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "lockdoc: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu events to %s\n", sim.trace.size(), out.c_str());
+  return 0;
+}
+
+int CmdStats(const FlagSet& flags) {
+  LoadedTrace input;
+  if (!LoadTrace(flags, &input)) {
+    return 1;
+  }
+  std::printf("%s", ComputeTraceStats(input.trace).ToString().c_str());
+  return 0;
+}
+
+int CmdDerive(const FlagSet& flags) {
+  LoadedTrace input;
+  if (!LoadTrace(flags, &input)) {
+    return 1;
+  }
+  PipelineResult result = Analyze(input, flags);
+
+  DocGenOptions doc_options;
+  doc_options.include_support = flags.GetBool("support", false);
+  DocGenerator generator(input.registry.get(), doc_options);
+  bool spec = flags.GetBool("spec", false);
+
+  // --out-dir: write the full documentation bundle instead of stdout.
+  std::string out_dir = flags.GetString("out-dir", "");
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    auto written = generator.GenerateAll(result.rules, out_dir);
+    if (!written.ok()) {
+      std::fprintf(stderr, "lockdoc: %s\n", written.status().message().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu documentation files to %s\n", written.value(), out_dir.c_str());
+    return 0;
+  }
+
+  std::string type_filter = flags.GetString("type", "");
+  std::string subclass_filter = flags.GetString("subclass", "");
+
+  for (TypeId type = 0; type < input.registry->type_count(); ++type) {
+    const std::string& name = input.registry->layout(type).name();
+    if (!type_filter.empty() && name != type_filter) {
+      continue;
+    }
+    std::vector<SubclassId> subclasses = {kNoSubclass};
+    for (SubclassId sub : input.registry->SubclassesOf(type)) {
+      subclasses.push_back(sub);
+    }
+    for (SubclassId sub : subclasses) {
+      if (!subclass_filter.empty() &&
+          input.registry->SubclassName(type, sub) != subclass_filter) {
+        continue;
+      }
+      std::string text = spec ? generator.GenerateRuleSpec(type, sub, result.rules)
+                              : generator.Generate(type, sub, result.rules);
+      // Skip populations with no mined rules to keep the output readable.
+      bool has_rules = false;
+      for (const DerivationResult& rule : result.rules) {
+        if (rule.key.type == type && rule.key.subclass == sub) {
+          has_rules = true;
+          break;
+        }
+      }
+      if (has_rules) {
+        std::printf("%s\n", text.c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdCheck(const FlagSet& flags) {
+  LoadedTrace input;
+  if (!LoadTrace(flags, &input)) {
+    return 1;
+  }
+  std::string rules_text = VfsKernel::DocumentedRulesText();
+  std::string rules_path = flags.GetString("rules", "");
+  if (!rules_path.empty()) {
+    std::ifstream in(rules_path);
+    if (!in) {
+      std::fprintf(stderr, "lockdoc: cannot open %s\n", rules_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    rules_text = buffer.str();
+  }
+  auto rules = RuleSet::ParseText(rules_text);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "lockdoc: %s\n", rules.status().message().c_str());
+    return 1;
+  }
+
+  PipelineResult result = Analyze(input, flags);
+  RuleChecker checker(input.registry.get(), &result.observations);
+  std::vector<RuleCheckResult> checked = checker.CheckAll(rules.value());
+  for (const RuleCheckResult& r : checked) {
+    std::printf("%s  %-70s sr=%7s (%llu/%llu)\n",
+                std::string(RuleVerdictSymbol(r.verdict)).c_str(), r.rule.ToString().c_str(),
+                r.total == 0 ? "n/a" : FormatPercent(r.sr).c_str(),
+                static_cast<unsigned long long>(r.sa), static_cast<unsigned long long>(r.total));
+  }
+  TextTable table({"Data Type", "#R", "#No", "#Ob", "! (%)", "~ (%)", "# (%)"});
+  for (const RuleCheckSummary& s : RuleChecker::Summarize(checked)) {
+    table.AddRow({s.type_name, std::to_string(s.documented), std::to_string(s.unobserved),
+                  std::to_string(s.observed), StrFormat("%.2f", s.correct_pct()),
+                  StrFormat("%.2f", s.ambivalent_pct()), StrFormat("%.2f", s.incorrect_pct())});
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  return 0;
+}
+
+int CmdViolations(const FlagSet& flags) {
+  LoadedTrace input;
+  if (!LoadTrace(flags, &input)) {
+    return 1;
+  }
+  PipelineResult result = Analyze(input, flags);
+  ViolationFinder finder(&input.trace, input.registry.get(), &result.observations);
+  std::vector<Violation> violations = finder.FindAll(result.rules);
+
+  TextTable table({"Data Type", "Events", "Members", "Contexts"});
+  for (const ViolationSummaryRow& row : finder.Summarize(violations)) {
+    table.AddRow({row.type_name, std::to_string(row.events), std::to_string(row.members),
+                  std::to_string(row.contexts)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  for (const ViolationExample& ex :
+       finder.Examples(violations, flags.GetUint64("limit", 10))) {
+    std::printf("%s [%s]\n  rule: %s\n  held: %s\n  at %s (%llu events)\n  stack: %s\n\n",
+                ex.member.c_str(), ex.access.c_str(), ex.rule.c_str(), ex.held.c_str(),
+                ex.location.c_str(), static_cast<unsigned long long>(ex.events),
+                ex.stack.c_str());
+  }
+  return 0;
+}
+
+int CmdLockOrder(const FlagSet& flags) {
+  LoadedTrace input;
+  if (!LoadTrace(flags, &input)) {
+    return 1;
+  }
+  Database db;
+  TraceImporter importer(input.registry.get(), VfsKernel::MakeFilterConfig());
+  importer.Import(input.trace, &db);
+  LockOrderGraph graph = LockOrderGraph::Build(db, input.trace, *input.registry);
+  std::printf("%s\n", graph.Report(input.trace).c_str());
+  std::printf("potential deadlock cycles:\n");
+  auto cycles = graph.FindCycles();
+  if (cycles.empty()) {
+    std::printf("  none\n");
+  }
+  for (const LockOrderCycle& cycle : cycles) {
+    std::printf("  %s\n", cycle.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdReport(const FlagSet& flags) {
+  LoadedTrace input;
+  if (!LoadTrace(flags, &input)) {
+    return 1;
+  }
+  PipelineResult result = Analyze(input, flags);
+  ReportOptions options;
+  options.documented_rules_text = VfsKernel::DocumentedRulesText();
+  options.full_documentation = flags.GetBool("full", false);
+  std::printf("%s", RenderReport(input.trace, *input.registry, result, options).c_str());
+  return 0;
+}
+
+int CmdModes(const FlagSet& flags) {
+  LoadedTrace input;
+  if (!LoadTrace(flags, &input)) {
+    return 1;
+  }
+  PipelineResult result = Analyze(input, flags);
+  ModeAnalyzer analyzer(&result.db, &input.trace, input.registry.get(),
+                        &result.observations);
+  auto entries = flags.GetBool("all", false) ? analyzer.Analyze(result.rules)
+                                             : analyzer.FindSharedModeWrites(result.rules);
+  if (entries.empty()) {
+    std::printf("no %s found\n",
+                flags.GetBool("all", false) ? "lock rules" : "shared-mode writes");
+    return 0;
+  }
+  std::printf("%s", analyzer.Render(entries).c_str());
+  return 0;
+}
+
+int CmdDiff(const FlagSet& flags) {
+  if (flags.positional().size() < 3) {
+    std::fprintf(stderr, "lockdoc diff: need two trace files\n");
+    return 2;
+  }
+  VfsIds ids;
+  std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
+  auto load = [&](const std::string& path, Trace* out) {
+    auto loaded = ReadTraceFromFile(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "lockdoc: %s\n", loaded.status().message().c_str());
+      return false;
+    }
+    *out = std::move(loaded).value();
+    return true;
+  };
+  Trace old_trace;
+  Trace new_trace;
+  if (!load(flags.positional()[1], &old_trace) || !load(flags.positional()[2], &new_trace)) {
+    return 1;
+  }
+  PipelineOptions options;
+  options.filter = VfsKernel::MakeFilterConfig();
+  options.derivator.accept_threshold = flags.GetDouble("tac", 0.9);
+  PipelineResult old_result = RunPipeline(old_trace, *registry, options);
+  PipelineResult new_result = RunPipeline(new_trace, *registry, options);
+
+  RuleDiffOptions diff_options;
+  diff_options.include_unchanged = flags.GetBool("all", false);
+  auto drifts = DiffRules(old_result.rules, new_result.rules, diff_options);
+  if (drifts.empty()) {
+    std::printf("no rule drift\n");
+    return 0;
+  }
+  std::printf("%s", RenderRuleDiff(drifts, *registry).c_str());
+  return 0;
+}
+
+int CmdExportCsv(const FlagSet& flags) {
+  LoadedTrace input;
+  if (!LoadTrace(flags, &input)) {
+    return 1;
+  }
+  std::string dir = flags.GetString("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "lockdoc export-csv: --dir is required\n");
+    return 2;
+  }
+  std::filesystem::create_directories(dir);
+  Database db;
+  TraceImporter importer(input.registry.get(), VfsKernel::MakeFilterConfig());
+  importer.Import(input.trace, &db);
+  Status status = db.ExportDirectory(dir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "lockdoc: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::printf("exported %zu tables to %s\n", db.TableNames().size(), dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  std::string error;
+  if (!flags.Parse(argc, argv, &error)) {
+    std::fprintf(stderr, "lockdoc: %s\n", error.c_str());
+    return 2;
+  }
+  if (flags.positional().empty()) {
+    return Usage();
+  }
+  const std::string& command = flags.positional()[0];
+  if (command == "simulate") {
+    return CmdSimulate(flags);
+  }
+  if (command == "stats") {
+    return CmdStats(flags);
+  }
+  if (command == "derive") {
+    return CmdDerive(flags);
+  }
+  if (command == "check") {
+    return CmdCheck(flags);
+  }
+  if (command == "violations") {
+    return CmdViolations(flags);
+  }
+  if (command == "lock-order") {
+    return CmdLockOrder(flags);
+  }
+  if (command == "modes") {
+    return CmdModes(flags);
+  }
+  if (command == "report") {
+    return CmdReport(flags);
+  }
+  if (command == "diff") {
+    return CmdDiff(flags);
+  }
+  if (command == "export-csv") {
+    return CmdExportCsv(flags);
+  }
+  return Usage();
+}
