@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_lock_order"
+  "../bench/ext_lock_order.pdb"
+  "CMakeFiles/ext_lock_order.dir/ext_lock_order.cc.o"
+  "CMakeFiles/ext_lock_order.dir/ext_lock_order.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lock_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

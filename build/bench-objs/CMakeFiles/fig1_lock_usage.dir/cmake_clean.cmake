@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_lock_usage"
+  "../bench/fig1_lock_usage.pdb"
+  "CMakeFiles/fig1_lock_usage.dir/fig1_lock_usage.cc.o"
+  "CMakeFiles/fig1_lock_usage.dir/fig1_lock_usage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_lock_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_threshold_sweep"
+  "../bench/fig7_threshold_sweep.pdb"
+  "CMakeFiles/fig7_threshold_sweep.dir/fig7_threshold_sweep.cc.o"
+  "CMakeFiles/fig7_threshold_sweep.dir/fig7_threshold_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

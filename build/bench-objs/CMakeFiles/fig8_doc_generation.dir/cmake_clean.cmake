@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_doc_generation"
+  "../bench/fig8_doc_generation.pdb"
+  "CMakeFiles/fig8_doc_generation.dir/fig8_doc_generation.cc.o"
+  "CMakeFiles/fig8_doc_generation.dir/fig8_doc_generation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_doc_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_derivator"
+  "../bench/micro_derivator.pdb"
+  "CMakeFiles/micro_derivator.dir/micro_derivator.cc.o"
+  "CMakeFiles/micro_derivator.dir/micro_derivator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_derivator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_trace"
+  "../bench/micro_trace.pdb"
+  "CMakeFiles/micro_trace.dir/micro_trace.cc.o"
+  "CMakeFiles/micro_trace.dir/micro_trace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_txn_builder"
+  "../bench/micro_txn_builder.pdb"
+  "CMakeFiles/micro_txn_builder.dir/micro_txn_builder.cc.o"
+  "CMakeFiles/micro_txn_builder.dir/micro_txn_builder.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_txn_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

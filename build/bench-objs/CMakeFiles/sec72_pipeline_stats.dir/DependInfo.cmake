@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec72_pipeline_stats.cc" "bench-objs/CMakeFiles/sec72_pipeline_stats.dir/sec72_pipeline_stats.cc.o" "gcc" "bench-objs/CMakeFiles/sec72_pipeline_stats.dir/sec72_pipeline_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lockdoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lockdoc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/lockdoc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/lockdoc_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/lockdoc_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdoc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/lockdoc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/lockdoc_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lockdoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lockdoc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lockdoc_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec72_pipeline_stats"
+  "../bench/sec72_pipeline_stats.pdb"
+  "CMakeFiles/sec72_pipeline_stats.dir/sec72_pipeline_stats.cc.o"
+  "CMakeFiles/sec72_pipeline_stats.dir/sec72_pipeline_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec72_pipeline_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab1_clock_observations"
+  "../bench/tab1_clock_observations.pdb"
+  "CMakeFiles/tab1_clock_observations.dir/tab1_clock_observations.cc.o"
+  "CMakeFiles/tab1_clock_observations.dir/tab1_clock_observations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_clock_observations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab2_clock_hypotheses"
+  "../bench/tab2_clock_hypotheses.pdb"
+  "CMakeFiles/tab2_clock_hypotheses.dir/tab2_clock_hypotheses.cc.o"
+  "CMakeFiles/tab2_clock_hypotheses.dir/tab2_clock_hypotheses.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_clock_hypotheses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

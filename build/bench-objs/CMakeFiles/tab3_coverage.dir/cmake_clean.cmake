@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab3_coverage"
+  "../bench/tab3_coverage.pdb"
+  "CMakeFiles/tab3_coverage.dir/tab3_coverage.cc.o"
+  "CMakeFiles/tab3_coverage.dir/tab3_coverage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

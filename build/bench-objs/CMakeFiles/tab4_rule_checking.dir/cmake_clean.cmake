@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab4_rule_checking"
+  "../bench/tab4_rule_checking.pdb"
+  "CMakeFiles/tab4_rule_checking.dir/tab4_rule_checking.cc.o"
+  "CMakeFiles/tab4_rule_checking.dir/tab4_rule_checking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_rule_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

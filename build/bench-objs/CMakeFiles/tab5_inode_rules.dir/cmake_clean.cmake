@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab5_inode_rules"
+  "../bench/tab5_inode_rules.pdb"
+  "CMakeFiles/tab5_inode_rules.dir/tab5_inode_rules.cc.o"
+  "CMakeFiles/tab5_inode_rules.dir/tab5_inode_rules.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_inode_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

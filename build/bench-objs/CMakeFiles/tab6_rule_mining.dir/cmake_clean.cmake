@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab6_rule_mining"
+  "../bench/tab6_rule_mining.pdb"
+  "CMakeFiles/tab6_rule_mining.dir/tab6_rule_mining.cc.o"
+  "CMakeFiles/tab6_rule_mining.dir/tab6_rule_mining.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_rule_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

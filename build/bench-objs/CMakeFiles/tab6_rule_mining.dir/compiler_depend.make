@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab6_rule_mining.
+# This may be replaced when dependencies are built.

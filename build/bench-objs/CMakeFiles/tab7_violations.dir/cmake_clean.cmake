@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab7_violations"
+  "../bench/tab7_violations.pdb"
+  "CMakeFiles/tab7_violations.dir/tab7_violations.cc.o"
+  "CMakeFiles/tab7_violations.dir/tab7_violations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab8_violation_examples"
+  "../bench/tab8_violation_examples.pdb"
+  "CMakeFiles/tab8_violation_examples.dir/tab8_violation_examples.cc.o"
+  "CMakeFiles/tab8_violation_examples.dir/tab8_violation_examples.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab8_violation_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

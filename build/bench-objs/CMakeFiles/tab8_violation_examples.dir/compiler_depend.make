@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab8_violation_examples.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench-objs
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig1_lock_usage "/root/repo/build/bench/fig1_lock_usage")
+set_tests_properties(bench_smoke_fig1_lock_usage PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab1_clock_observations "/root/repo/build/bench/tab1_clock_observations")
+set_tests_properties(bench_smoke_tab1_clock_observations PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab2_clock_hypotheses "/root/repo/build/bench/tab2_clock_hypotheses")
+set_tests_properties(bench_smoke_tab2_clock_hypotheses PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab3_coverage "/root/repo/build/bench/tab3_coverage")
+set_tests_properties(bench_smoke_tab3_coverage PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab4_rule_checking "/root/repo/build/bench/tab4_rule_checking")
+set_tests_properties(bench_smoke_tab4_rule_checking PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab5_inode_rules "/root/repo/build/bench/tab5_inode_rules")
+set_tests_properties(bench_smoke_tab5_inode_rules PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab6_rule_mining "/root/repo/build/bench/tab6_rule_mining")
+set_tests_properties(bench_smoke_tab6_rule_mining PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig7_threshold_sweep "/root/repo/build/bench/fig7_threshold_sweep")
+set_tests_properties(bench_smoke_fig7_threshold_sweep PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig8_doc_generation "/root/repo/build/bench/fig8_doc_generation")
+set_tests_properties(bench_smoke_fig8_doc_generation PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab7_violations "/root/repo/build/bench/tab7_violations")
+set_tests_properties(bench_smoke_tab7_violations PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab8_violation_examples "/root/repo/build/bench/tab8_violation_examples")
+set_tests_properties(bench_smoke_tab8_violation_examples PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_sec72_pipeline_stats "/root/repo/build/bench/sec72_pipeline_stats")
+set_tests_properties(bench_smoke_sec72_pipeline_stats PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ext_lock_order "/root/repo/build/bench/ext_lock_order")
+set_tests_properties(bench_smoke_ext_lock_order PROPERTIES  ENVIRONMENT "LOCKDOC_BENCH_OPS=2500" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")

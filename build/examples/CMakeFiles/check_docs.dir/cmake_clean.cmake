@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_docs.dir/check_docs.cpp.o"
+  "CMakeFiles/check_docs.dir/check_docs.cpp.o.d"
+  "check_docs"
+  "check_docs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_docs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_audit.dir/deadlock_audit.cpp.o"
+  "CMakeFiles/deadlock_audit.dir/deadlock_audit.cpp.o.d"
+  "deadlock_audit"
+  "deadlock_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_audit.dir/vfs_audit.cpp.o"
+  "CMakeFiles/vfs_audit.dir/vfs_audit.cpp.o.d"
+  "vfs_audit"
+  "vfs_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

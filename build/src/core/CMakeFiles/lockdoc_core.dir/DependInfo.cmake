@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clock_example.cc" "src/core/CMakeFiles/lockdoc_core.dir/clock_example.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/clock_example.cc.o.d"
+  "/root/repo/src/core/derivator.cc" "src/core/CMakeFiles/lockdoc_core.dir/derivator.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/derivator.cc.o.d"
+  "/root/repo/src/core/doc_generator.cc" "src/core/CMakeFiles/lockdoc_core.dir/doc_generator.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/doc_generator.cc.o.d"
+  "/root/repo/src/core/filter_config.cc" "src/core/CMakeFiles/lockdoc_core.dir/filter_config.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/filter_config.cc.o.d"
+  "/root/repo/src/core/importer.cc" "src/core/CMakeFiles/lockdoc_core.dir/importer.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/importer.cc.o.d"
+  "/root/repo/src/core/lock_order.cc" "src/core/CMakeFiles/lockdoc_core.dir/lock_order.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/lock_order.cc.o.d"
+  "/root/repo/src/core/mode_analysis.cc" "src/core/CMakeFiles/lockdoc_core.dir/mode_analysis.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/mode_analysis.cc.o.d"
+  "/root/repo/src/core/observations.cc" "src/core/CMakeFiles/lockdoc_core.dir/observations.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/observations.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/lockdoc_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/lockdoc_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/report.cc.o.d"
+  "/root/repo/src/core/rule.cc" "src/core/CMakeFiles/lockdoc_core.dir/rule.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/rule.cc.o.d"
+  "/root/repo/src/core/rule_checker.cc" "src/core/CMakeFiles/lockdoc_core.dir/rule_checker.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/rule_checker.cc.o.d"
+  "/root/repo/src/core/rule_diff.cc" "src/core/CMakeFiles/lockdoc_core.dir/rule_diff.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/rule_diff.cc.o.d"
+  "/root/repo/src/core/violation_finder.cc" "src/core/CMakeFiles/lockdoc_core.dir/violation_finder.cc.o" "gcc" "src/core/CMakeFiles/lockdoc_core.dir/violation_finder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/lockdoc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/lockdoc_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lockdoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lockdoc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lockdoc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdoc_core.dir/clock_example.cc.o"
+  "CMakeFiles/lockdoc_core.dir/clock_example.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/derivator.cc.o"
+  "CMakeFiles/lockdoc_core.dir/derivator.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/doc_generator.cc.o"
+  "CMakeFiles/lockdoc_core.dir/doc_generator.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/filter_config.cc.o"
+  "CMakeFiles/lockdoc_core.dir/filter_config.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/importer.cc.o"
+  "CMakeFiles/lockdoc_core.dir/importer.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/lock_order.cc.o"
+  "CMakeFiles/lockdoc_core.dir/lock_order.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/mode_analysis.cc.o"
+  "CMakeFiles/lockdoc_core.dir/mode_analysis.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/observations.cc.o"
+  "CMakeFiles/lockdoc_core.dir/observations.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/pipeline.cc.o"
+  "CMakeFiles/lockdoc_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/report.cc.o"
+  "CMakeFiles/lockdoc_core.dir/report.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/rule.cc.o"
+  "CMakeFiles/lockdoc_core.dir/rule.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/rule_checker.cc.o"
+  "CMakeFiles/lockdoc_core.dir/rule_checker.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/rule_diff.cc.o"
+  "CMakeFiles/lockdoc_core.dir/rule_diff.cc.o.d"
+  "CMakeFiles/lockdoc_core.dir/violation_finder.cc.o"
+  "CMakeFiles/lockdoc_core.dir/violation_finder.cc.o.d"
+  "liblockdoc_core.a"
+  "liblockdoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdoc_corpus.dir/corpus_model.cc.o"
+  "CMakeFiles/lockdoc_corpus.dir/corpus_model.cc.o.d"
+  "CMakeFiles/lockdoc_corpus.dir/scanner.cc.o"
+  "CMakeFiles/lockdoc_corpus.dir/scanner.cc.o.d"
+  "liblockdoc_corpus.a"
+  "liblockdoc_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdoc_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

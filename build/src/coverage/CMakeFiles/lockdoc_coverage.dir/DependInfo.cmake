@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coverage/coverage.cc" "src/coverage/CMakeFiles/lockdoc_coverage.dir/coverage.cc.o" "gcc" "src/coverage/CMakeFiles/lockdoc_coverage.dir/coverage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lockdoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdoc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lockdoc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lockdoc_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

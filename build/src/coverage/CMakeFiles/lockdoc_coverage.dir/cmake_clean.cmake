@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdoc_coverage.dir/coverage.cc.o"
+  "CMakeFiles/lockdoc_coverage.dir/coverage.cc.o.d"
+  "liblockdoc_coverage.a"
+  "liblockdoc_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdoc_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

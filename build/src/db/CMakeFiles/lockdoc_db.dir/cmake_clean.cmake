@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdoc_db.dir/database.cc.o"
+  "CMakeFiles/lockdoc_db.dir/database.cc.o.d"
+  "CMakeFiles/lockdoc_db.dir/schema.cc.o"
+  "CMakeFiles/lockdoc_db.dir/schema.cc.o.d"
+  "CMakeFiles/lockdoc_db.dir/table.cc.o"
+  "CMakeFiles/lockdoc_db.dir/table.cc.o.d"
+  "liblockdoc_db.a"
+  "liblockdoc_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdoc_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

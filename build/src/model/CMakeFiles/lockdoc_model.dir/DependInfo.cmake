@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/lock_class.cc" "src/model/CMakeFiles/lockdoc_model.dir/lock_class.cc.o" "gcc" "src/model/CMakeFiles/lockdoc_model.dir/lock_class.cc.o.d"
+  "/root/repo/src/model/lock_type.cc" "src/model/CMakeFiles/lockdoc_model.dir/lock_type.cc.o" "gcc" "src/model/CMakeFiles/lockdoc_model.dir/lock_type.cc.o.d"
+  "/root/repo/src/model/type_layout.cc" "src/model/CMakeFiles/lockdoc_model.dir/type_layout.cc.o" "gcc" "src/model/CMakeFiles/lockdoc_model.dir/type_layout.cc.o.d"
+  "/root/repo/src/model/type_registry.cc" "src/model/CMakeFiles/lockdoc_model.dir/type_registry.cc.o" "gcc" "src/model/CMakeFiles/lockdoc_model.dir/type_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lockdoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdoc_model.dir/lock_class.cc.o"
+  "CMakeFiles/lockdoc_model.dir/lock_class.cc.o.d"
+  "CMakeFiles/lockdoc_model.dir/lock_type.cc.o"
+  "CMakeFiles/lockdoc_model.dir/lock_type.cc.o.d"
+  "CMakeFiles/lockdoc_model.dir/type_layout.cc.o"
+  "CMakeFiles/lockdoc_model.dir/type_layout.cc.o.d"
+  "CMakeFiles/lockdoc_model.dir/type_registry.cc.o"
+  "CMakeFiles/lockdoc_model.dir/type_registry.cc.o.d"
+  "liblockdoc_model.a"
+  "liblockdoc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdoc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/allocation_tracker.cc" "src/monitor/CMakeFiles/lockdoc_monitor.dir/allocation_tracker.cc.o" "gcc" "src/monitor/CMakeFiles/lockdoc_monitor.dir/allocation_tracker.cc.o.d"
+  "/root/repo/src/monitor/lock_resolver.cc" "src/monitor/CMakeFiles/lockdoc_monitor.dir/lock_resolver.cc.o" "gcc" "src/monitor/CMakeFiles/lockdoc_monitor.dir/lock_resolver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lockdoc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lockdoc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdoc_monitor.dir/allocation_tracker.cc.o"
+  "CMakeFiles/lockdoc_monitor.dir/allocation_tracker.cc.o.d"
+  "CMakeFiles/lockdoc_monitor.dir/lock_resolver.cc.o"
+  "CMakeFiles/lockdoc_monitor.dir/lock_resolver.cc.o.d"
+  "liblockdoc_monitor.a"
+  "liblockdoc_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdoc_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdoc_sim.dir/kernel.cc.o"
+  "CMakeFiles/lockdoc_sim.dir/kernel.cc.o.d"
+  "liblockdoc_sim.a"
+  "liblockdoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/event.cc" "src/trace/CMakeFiles/lockdoc_trace.dir/event.cc.o" "gcc" "src/trace/CMakeFiles/lockdoc_trace.dir/event.cc.o.d"
+  "/root/repo/src/trace/string_pool.cc" "src/trace/CMakeFiles/lockdoc_trace.dir/string_pool.cc.o" "gcc" "src/trace/CMakeFiles/lockdoc_trace.dir/string_pool.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/lockdoc_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/lockdoc_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/trace_csv.cc" "src/trace/CMakeFiles/lockdoc_trace.dir/trace_csv.cc.o" "gcc" "src/trace/CMakeFiles/lockdoc_trace.dir/trace_csv.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/lockdoc_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/lockdoc_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/trace_stats.cc" "src/trace/CMakeFiles/lockdoc_trace.dir/trace_stats.cc.o" "gcc" "src/trace/CMakeFiles/lockdoc_trace.dir/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/lockdoc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

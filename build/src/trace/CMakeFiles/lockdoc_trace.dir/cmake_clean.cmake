@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdoc_trace.dir/event.cc.o"
+  "CMakeFiles/lockdoc_trace.dir/event.cc.o.d"
+  "CMakeFiles/lockdoc_trace.dir/string_pool.cc.o"
+  "CMakeFiles/lockdoc_trace.dir/string_pool.cc.o.d"
+  "CMakeFiles/lockdoc_trace.dir/trace.cc.o"
+  "CMakeFiles/lockdoc_trace.dir/trace.cc.o.d"
+  "CMakeFiles/lockdoc_trace.dir/trace_csv.cc.o"
+  "CMakeFiles/lockdoc_trace.dir/trace_csv.cc.o.d"
+  "CMakeFiles/lockdoc_trace.dir/trace_io.cc.o"
+  "CMakeFiles/lockdoc_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/lockdoc_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/lockdoc_trace.dir/trace_stats.cc.o.d"
+  "liblockdoc_trace.a"
+  "liblockdoc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdoc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

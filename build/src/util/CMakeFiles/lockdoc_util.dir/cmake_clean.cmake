@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdoc_util.dir/csv.cc.o"
+  "CMakeFiles/lockdoc_util.dir/csv.cc.o.d"
+  "CMakeFiles/lockdoc_util.dir/flags.cc.o"
+  "CMakeFiles/lockdoc_util.dir/flags.cc.o.d"
+  "CMakeFiles/lockdoc_util.dir/logging.cc.o"
+  "CMakeFiles/lockdoc_util.dir/logging.cc.o.d"
+  "CMakeFiles/lockdoc_util.dir/stats.cc.o"
+  "CMakeFiles/lockdoc_util.dir/stats.cc.o.d"
+  "CMakeFiles/lockdoc_util.dir/status.cc.o"
+  "CMakeFiles/lockdoc_util.dir/status.cc.o.d"
+  "CMakeFiles/lockdoc_util.dir/string_util.cc.o"
+  "CMakeFiles/lockdoc_util.dir/string_util.cc.o.d"
+  "liblockdoc_util.a"
+  "liblockdoc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdoc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/coverage_table.cc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/coverage_table.cc.o" "gcc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/coverage_table.cc.o.d"
+  "/root/repo/src/vfs/dentry_ops.cc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/dentry_ops.cc.o" "gcc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/dentry_ops.cc.o.d"
+  "/root/repo/src/vfs/device_ops.cc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/device_ops.cc.o" "gcc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/device_ops.cc.o.d"
+  "/root/repo/src/vfs/documented_rules.cc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/documented_rules.cc.o" "gcc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/documented_rules.cc.o.d"
+  "/root/repo/src/vfs/inode_ops.cc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/inode_ops.cc.o" "gcc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/inode_ops.cc.o.d"
+  "/root/repo/src/vfs/journal_ops.cc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/journal_ops.cc.o" "gcc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/journal_ops.cc.o.d"
+  "/root/repo/src/vfs/misc_ops.cc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/misc_ops.cc.o" "gcc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/misc_ops.cc.o.d"
+  "/root/repo/src/vfs/types.cc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/types.cc.o" "gcc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/types.cc.o.d"
+  "/root/repo/src/vfs/vfs_kernel.cc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/vfs_kernel.cc.o" "gcc" "src/vfs/CMakeFiles/lockdoc_vfs.dir/vfs_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lockdoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/lockdoc_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lockdoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lockdoc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdoc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/lockdoc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/lockdoc_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lockdoc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdoc_vfs.dir/coverage_table.cc.o"
+  "CMakeFiles/lockdoc_vfs.dir/coverage_table.cc.o.d"
+  "CMakeFiles/lockdoc_vfs.dir/dentry_ops.cc.o"
+  "CMakeFiles/lockdoc_vfs.dir/dentry_ops.cc.o.d"
+  "CMakeFiles/lockdoc_vfs.dir/device_ops.cc.o"
+  "CMakeFiles/lockdoc_vfs.dir/device_ops.cc.o.d"
+  "CMakeFiles/lockdoc_vfs.dir/documented_rules.cc.o"
+  "CMakeFiles/lockdoc_vfs.dir/documented_rules.cc.o.d"
+  "CMakeFiles/lockdoc_vfs.dir/inode_ops.cc.o"
+  "CMakeFiles/lockdoc_vfs.dir/inode_ops.cc.o.d"
+  "CMakeFiles/lockdoc_vfs.dir/journal_ops.cc.o"
+  "CMakeFiles/lockdoc_vfs.dir/journal_ops.cc.o.d"
+  "CMakeFiles/lockdoc_vfs.dir/misc_ops.cc.o"
+  "CMakeFiles/lockdoc_vfs.dir/misc_ops.cc.o.d"
+  "CMakeFiles/lockdoc_vfs.dir/types.cc.o"
+  "CMakeFiles/lockdoc_vfs.dir/types.cc.o.d"
+  "CMakeFiles/lockdoc_vfs.dir/vfs_kernel.cc.o"
+  "CMakeFiles/lockdoc_vfs.dir/vfs_kernel.cc.o.d"
+  "liblockdoc_vfs.a"
+  "liblockdoc_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdoc_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

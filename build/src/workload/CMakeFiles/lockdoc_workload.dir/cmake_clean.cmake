@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdoc_workload.dir/script.cc.o"
+  "CMakeFiles/lockdoc_workload.dir/script.cc.o.d"
+  "CMakeFiles/lockdoc_workload.dir/workloads.cc.o"
+  "CMakeFiles/lockdoc_workload.dir/workloads.cc.o.d"
+  "liblockdoc_workload.a"
+  "liblockdoc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdoc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

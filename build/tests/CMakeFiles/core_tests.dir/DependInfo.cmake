@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/clock_example_test.cc" "tests/CMakeFiles/core_tests.dir/core/clock_example_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/clock_example_test.cc.o.d"
+  "/root/repo/tests/core/derivator_property_test.cc" "tests/CMakeFiles/core_tests.dir/core/derivator_property_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/derivator_property_test.cc.o.d"
+  "/root/repo/tests/core/derivator_test.cc" "tests/CMakeFiles/core_tests.dir/core/derivator_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/derivator_test.cc.o.d"
+  "/root/repo/tests/core/doc_generator_test.cc" "tests/CMakeFiles/core_tests.dir/core/doc_generator_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/doc_generator_test.cc.o.d"
+  "/root/repo/tests/core/docgen_roundtrip_test.cc" "tests/CMakeFiles/core_tests.dir/core/docgen_roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/docgen_roundtrip_test.cc.o.d"
+  "/root/repo/tests/core/importer_fuzz_test.cc" "tests/CMakeFiles/core_tests.dir/core/importer_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/importer_fuzz_test.cc.o.d"
+  "/root/repo/tests/core/importer_test.cc" "tests/CMakeFiles/core_tests.dir/core/importer_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/importer_test.cc.o.d"
+  "/root/repo/tests/core/lock_order_test.cc" "tests/CMakeFiles/core_tests.dir/core/lock_order_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lock_order_test.cc.o.d"
+  "/root/repo/tests/core/mode_analysis_test.cc" "tests/CMakeFiles/core_tests.dir/core/mode_analysis_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mode_analysis_test.cc.o.d"
+  "/root/repo/tests/core/observations_test.cc" "tests/CMakeFiles/core_tests.dir/core/observations_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/observations_test.cc.o.d"
+  "/root/repo/tests/core/report_test.cc" "tests/CMakeFiles/core_tests.dir/core/report_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/report_test.cc.o.d"
+  "/root/repo/tests/core/rule_checker_test.cc" "tests/CMakeFiles/core_tests.dir/core/rule_checker_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rule_checker_test.cc.o.d"
+  "/root/repo/tests/core/rule_diff_test.cc" "tests/CMakeFiles/core_tests.dir/core/rule_diff_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rule_diff_test.cc.o.d"
+  "/root/repo/tests/core/rule_test.cc" "tests/CMakeFiles/core_tests.dir/core/rule_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rule_test.cc.o.d"
+  "/root/repo/tests/core/violation_finder_test.cc" "tests/CMakeFiles/core_tests.dir/core/violation_finder_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/violation_finder_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lockdoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lockdoc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/lockdoc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/lockdoc_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/lockdoc_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/lockdoc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/lockdoc_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lockdoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lockdoc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lockdoc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_tests.dir/corpus/corpus_test.cc.o"
+  "CMakeFiles/corpus_tests.dir/corpus/corpus_test.cc.o.d"
+  "corpus_tests"
+  "corpus_tests.pdb"
+  "corpus_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_tests.dir/coverage/coverage_test.cc.o"
+  "CMakeFiles/coverage_tests.dir/coverage/coverage_test.cc.o.d"
+  "coverage_tests"
+  "coverage_tests.pdb"
+  "coverage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

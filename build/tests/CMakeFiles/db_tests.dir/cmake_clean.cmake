@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_tests.dir/db/database_test.cc.o"
+  "CMakeFiles/db_tests.dir/db/database_test.cc.o.d"
+  "CMakeFiles/db_tests.dir/db/schema_test.cc.o"
+  "CMakeFiles/db_tests.dir/db/schema_test.cc.o.d"
+  "CMakeFiles/db_tests.dir/db/table_test.cc.o"
+  "CMakeFiles/db_tests.dir/db/table_test.cc.o.d"
+  "db_tests"
+  "db_tests.pdb"
+  "db_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

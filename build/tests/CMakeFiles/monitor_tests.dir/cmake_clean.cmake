@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_tests.dir/monitor/allocation_tracker_test.cc.o"
+  "CMakeFiles/monitor_tests.dir/monitor/allocation_tracker_test.cc.o.d"
+  "CMakeFiles/monitor_tests.dir/monitor/lock_resolver_test.cc.o"
+  "CMakeFiles/monitor_tests.dir/monitor/lock_resolver_test.cc.o.d"
+  "monitor_tests"
+  "monitor_tests.pdb"
+  "monitor_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

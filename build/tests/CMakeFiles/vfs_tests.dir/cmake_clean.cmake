@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_tests.dir/vfs/documented_rules_test.cc.o"
+  "CMakeFiles/vfs_tests.dir/vfs/documented_rules_test.cc.o.d"
+  "CMakeFiles/vfs_tests.dir/vfs/ground_truth_test.cc.o"
+  "CMakeFiles/vfs_tests.dir/vfs/ground_truth_test.cc.o.d"
+  "CMakeFiles/vfs_tests.dir/vfs/op_shape_test.cc.o"
+  "CMakeFiles/vfs_tests.dir/vfs/op_shape_test.cc.o.d"
+  "CMakeFiles/vfs_tests.dir/vfs/stability_test.cc.o"
+  "CMakeFiles/vfs_tests.dir/vfs/stability_test.cc.o.d"
+  "CMakeFiles/vfs_tests.dir/vfs/types_test.cc.o"
+  "CMakeFiles/vfs_tests.dir/vfs/types_test.cc.o.d"
+  "CMakeFiles/vfs_tests.dir/vfs/vfs_kernel_test.cc.o"
+  "CMakeFiles/vfs_tests.dir/vfs/vfs_kernel_test.cc.o.d"
+  "vfs_tests"
+  "vfs_tests.pdb"
+  "vfs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdoc_cli.dir/lockdoc.cc.o"
+  "CMakeFiles/lockdoc_cli.dir/lockdoc.cc.o.d"
+  "lockdoc"
+  "lockdoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdoc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_end_to_end "sh" "-c" "    /root/repo/build/tools/lockdoc simulate --out /root/repo/build/cli_test.trace --ops 1500 --seed 3 &&     /root/repo/build/tools/lockdoc stats /root/repo/build/cli_test.trace &&     /root/repo/build/tools/lockdoc derive /root/repo/build/cli_test.trace --type cdev &&     /root/repo/build/tools/lockdoc check /root/repo/build/cli_test.trace > /dev/null &&     /root/repo/build/tools/lockdoc violations /root/repo/build/cli_test.trace --limit 2 &&     /root/repo/build/tools/lockdoc lock-order /root/repo/build/cli_test.trace > /dev/null &&     /root/repo/build/tools/lockdoc modes /root/repo/build/cli_test.trace     /root/repo/build/tools/lockdoc modes /root/repo/build/cli_test.trace &&     /root/repo/build/tools/lockdoc modes /root/repo/build/cli_test.trace &&      /root/repo/build/tools/lockdoc report /root/repo/build/cli_test.trace > /dev/null &&     /root/repo/build/tools/lockdoc export-csv /root/repo/build/cli_test.trace --dir /root/repo/build/cli_test_csv")
+set_tests_properties(cli_end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_diff "sh" "-c" "    /root/repo/build/tools/lockdoc simulate --out /root/repo/build/cli_clean.trace --ops 1500 --seed 3 --clean &&     /root/repo/build/tools/lockdoc diff /root/repo/build/cli_clean.trace /root/repo/build/cli_test.trace")
+set_tests_properties(cli_diff PROPERTIES  DEPENDS "cli_end_to_end" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/lockdoc")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_trace "/root/repo/build/tools/lockdoc" "stats" "/nonexistent.trace")
+set_tests_properties(cli_missing_trace PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_script "sh" "-c" "    printf 'create ext4\\nwrite ext4 0\\nmkdir ext4\\nlink ext4 0\\nunlink ext4 0\\nread ext4 2\\ncommit\\n' > /root/repo/build/cli_script.lds &&     /root/repo/build/tools/lockdoc simulate --out /root/repo/build/cli_script.trace --script /root/repo/build/cli_script.lds &&     /root/repo/build/tools/lockdoc violations /root/repo/build/cli_script.trace --limit 2 > /dev/null")
+set_tests_properties(cli_script PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_script_error "sh" "-c" "    printf 'write ext4 0\\n' > /root/repo/build/cli_bad.lds &&     /root/repo/build/tools/lockdoc simulate --out /root/repo/build/cli_bad.trace --script /root/repo/build/cli_bad.lds")
+set_tests_properties(cli_script_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
