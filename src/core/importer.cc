@@ -155,8 +155,22 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
   for (const TraceEvent& e : trace.events()) {
     switch (e.kind) {
       case EventKind::kAlloc: {
-        AllocationId id = tracker.OnAlloc(e);
+        if (e.type == kInvalidTypeId || e.type >= registry_->type_count()) {
+          // Only reachable with damaged traces: without a layout the
+          // allocation cannot be interpreted, so it stays untracked and
+          // its accesses fall into the untracked-memory filter bucket.
+          ++stats.unknown_type_allocs;
+          break;
+        }
+        std::optional<AllocationId> displaced;
+        AllocationId id = tracker.OnAlloc(e, &displaced);
         LOCKDOC_CHECK(id == allocations.row_count());
+        if (displaced.has_value()) {
+          // The free event for the previous lifetime was lost (salvaged
+          // trace): retire its row here, where the tracker retired it.
+          allocations.SetUint64(*displaced, kAllocFreeSeqCol, e.seq);
+          ++stats.realloc_overlaps;
+        }
         allocations.Insert({id, static_cast<uint64_t>(e.type), static_cast<uint64_t>(e.subclass),
                             e.addr, static_cast<uint64_t>(e.size), e.seq, kDbNull});
         break;
@@ -211,7 +225,13 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
             break;
           }
         }
-        LOCKDOC_CHECK(frame_index < txn_stack.size());
+        if (frame_index == txn_stack.size()) {
+          // Release of a lock that is not held: the acquire was lost to
+          // corruption (or the trace is malformed). Dropping the event
+          // keeps the held-set reconstruction consistent.
+          ++stats.unmatched_releases;
+          break;
+        }
         if (frame_index == txn_stack.size() - 1) {
           // LIFO release: the enclosing transaction resumes under its
           // original id (the held set is the same again).
@@ -289,7 +309,18 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
       }
     }
   }
-  end_txn(current_txn, trace.size());
+  // Close everything still open. In a well-formed trace only the final
+  // lock-free span remains; a truncated trace can end with locks held, and
+  // their transactions are closed at the truncation point.
+  stats.dangling_locks_closed = txn_stack.size();
+  for (const TxnFrame& frame : txn_stack) {
+    end_txn(frame.txn_id, trace.size());
+  }
+  txn_stack.clear();
+  end_txn(base_txn, trace.size());
+  if (current_txn != base_txn) {
+    end_txn(current_txn, trace.size());
+  }
 
   // --- Stack frames table. ---
   Table& stack_frames = db->table(LockDocSchema::kStackFrames);
@@ -303,6 +334,8 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
 
   stats.lock_instances = resolver.instance_count();
   stats.allocations = tracker.allocation_count();
+  stats.live_allocations_at_end = tracker.live_count();
+  stats.unresolved_lock_ops = resolver.unresolved_count();
   return stats;
 }
 

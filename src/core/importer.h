@@ -34,6 +34,26 @@ struct ImportStats {
   uint64_t locked_txns = 0;
   uint64_t lock_instances = 0;
   uint64_t allocations = 0;
+
+  // Anomaly counters. All zero for a well-formed trace; non-zero values
+  // appear when importing a salvaged (partial) trace, where the replay
+  // repairs what it can instead of aborting.
+  // Locks still held when the trace ended; their transactions were closed
+  // at the last event.
+  uint64_t dangling_locks_closed = 0;
+  // Allocations never freed by the end of the trace.
+  uint64_t live_allocations_at_end = 0;
+  // Alloc events at an address that was still live (lost free event); the
+  // stale allocation was implicitly retired.
+  uint64_t realloc_overlaps = 0;
+  // Release events for locks that were not held; dropped.
+  uint64_t unmatched_releases = 0;
+  // Lock ops inside a tracked allocation but not on a lock member;
+  // attributed to an anonymous static lock.
+  uint64_t unresolved_lock_ops = 0;
+  // Alloc events whose type id has no layout in the registry; left
+  // untracked.
+  uint64_t unknown_type_allocs = 0;
 };
 
 class TraceImporter {

@@ -4,8 +4,12 @@
 
 namespace lockdoc {
 
-AllocationId AllocationTracker::OnAlloc(const TraceEvent& event) {
+AllocationId AllocationTracker::OnAlloc(const TraceEvent& event,
+                                        std::optional<AllocationId>* displaced) {
   LOCKDOC_CHECK(event.kind == EventKind::kAlloc);
+  if (displaced != nullptr) {
+    displaced->reset();
+  }
   AllocationInfo info;
   info.id = allocations_.size();
   info.addr = event.addr;
@@ -13,8 +17,17 @@ AllocationId AllocationTracker::OnAlloc(const TraceEvent& event) {
   info.type = event.type;
   info.subclass = event.subclass;
   info.alloc_seq = event.seq;
-  // The address must not already be live; a trace violating this is corrupt.
-  LOCKDOC_CHECK(live_.find(event.addr) == live_.end());
+  // An already-live address means the free event was lost (salvaged trace)
+  // or the trace is corrupt: retire the stale allocation at this point so
+  // later accesses attribute to the new lifetime.
+  auto it = live_.find(event.addr);
+  if (it != live_.end()) {
+    allocations_[it->second].free_seq = event.seq;
+    if (displaced != nullptr) {
+      *displaced = it->second;
+    }
+    live_.erase(it);
+  }
   live_.emplace(event.addr, info.id);
   allocations_.push_back(info);
   return info.id;

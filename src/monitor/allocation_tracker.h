@@ -28,8 +28,12 @@ struct AllocationInfo {
 
 class AllocationTracker {
  public:
-  // Processes a kAlloc event; returns the new allocation's id.
-  AllocationId OnAlloc(const TraceEvent& event);
+  // Processes a kAlloc event; returns the new allocation's id. If the
+  // address is already live — possible in salvaged traces where the free
+  // event was lost — the stale allocation is implicitly retired first and
+  // its id is stored in `*displaced` (when non-null).
+  AllocationId OnAlloc(const TraceEvent& event,
+                       std::optional<AllocationId>* displaced = nullptr);
 
   // Processes a kFree event; returns the freed allocation's id, or nullopt
   // if the address was not tracked (tolerated: the trace may observe frees
@@ -42,6 +46,8 @@ class AllocationTracker {
   // Lifetime record of any allocation ever seen (live or freed).
   const AllocationInfo& info(AllocationId id) const;
   size_t allocation_count() const { return allocations_.size(); }
+  // Allocations still live (never freed so far).
+  size_t live_count() const { return live_.size(); }
   const std::vector<AllocationInfo>& allocations() const { return allocations_; }
 
  private:

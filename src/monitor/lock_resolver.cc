@@ -30,20 +30,25 @@ LockInstanceId LockResolver::Resolve(const TraceEvent& event) {
     }
     const TypeLayout& layout = registry_->layout(alloc.type);
     std::optional<MemberIndex> member = layout.ResolveOffset(offset);
-    LOCKDOC_CHECK(member.has_value());
-    LOCKDOC_CHECK(layout.member(*member).is_lock);
-
-    LockInstance instance;
-    instance.id = instances_.size();
-    instance.addr = event.addr;
-    instance.type = event.lock_type;
-    instance.is_static = false;
-    instance.owner = *owner;
-    instance.owner_type = alloc.type;
-    instance.owner_member = *member;
-    instances_.push_back(instance);
-    embedded_instances_.emplace(key, instance.id);
-    return instance.id;
+    if (member.has_value() && layout.member(*member).is_lock) {
+      LockInstance instance;
+      instance.id = instances_.size();
+      instance.addr = event.addr;
+      instance.type = event.lock_type;
+      instance.is_static = false;
+      instance.owner = *owner;
+      instance.owner_type = alloc.type;
+      instance.owner_member = *member;
+      instances_.push_back(instance);
+      embedded_instances_.emplace(key, instance.id);
+      return instance.id;
+    }
+    // The address falls inside a tracked allocation but not on a lock
+    // member. In a clean trace this cannot happen; in a salvaged one the
+    // allocation boundary may be wrong (lost free + address reuse). Fall
+    // through and treat the address as an anonymous static lock rather
+    // than rejecting the acquire/release pairing outright.
+    ++unresolved_;
   }
 
   // Static (declared or anonymous).

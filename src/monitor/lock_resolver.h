@@ -47,11 +47,16 @@ class LockResolver {
   const LockInstance& instance(LockInstanceId id) const;
   size_t instance_count() const { return instances_.size(); }
   const std::vector<LockInstance>& instances() const { return instances_; }
+  // Lock operations whose address fell inside a tracked allocation but not
+  // on a lock member (only possible with damaged/salvaged traces); such
+  // operations were attributed to an anonymous static instance instead.
+  uint64_t unresolved_count() const { return unresolved_; }
 
  private:
   const TypeRegistry* registry_;
   const AllocationTracker* tracker_;
   std::vector<LockInstance> instances_;
+  uint64_t unresolved_ = 0;
   // Declared static locks: addr -> name.
   std::map<Address, std::pair<StringId, LockType>> static_defs_;
   // addr -> instance for static locks (stable across the whole trace).

@@ -1,0 +1,184 @@
+#include "src/trace/corruptor.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/trace/trace_io.h"
+#include "src/util/rng.h"
+
+namespace lockdoc {
+namespace {
+
+constexpr size_t kMagicSize = 8;
+
+// Byte offsets of every v2 frame (marker position). Empty for v1 input or
+// when the framing is unrecognizable.
+std::vector<size_t> FindFrames(const std::string& bytes) {
+  std::vector<size_t> frames;
+  const char* marker = reinterpret_cast<const char*>(kTraceFrameMarker);
+  size_t pos = kMagicSize;
+  while (pos + kTraceFrameHeaderSize + kTraceFrameTrailerSize <= bytes.size()) {
+    size_t found = bytes.find(marker, pos, sizeof(kTraceFrameMarker));
+    if (found == std::string::npos) {
+      break;
+    }
+    frames.push_back(found);
+    pos = found + sizeof(kTraceFrameMarker);
+  }
+  return frames;
+}
+
+// [start, end) of the frame beginning at `marker_pos`, clamped to the file.
+std::pair<size_t, size_t> FrameSpan(const std::string& bytes, size_t marker_pos) {
+  uint64_t length = 0;
+  if (marker_pos + kTraceFrameHeaderSize <= bytes.size()) {
+    const auto* b = reinterpret_cast<const unsigned char*>(bytes.data() + marker_pos + 9);
+    length = static_cast<uint64_t>(b[0]) | static_cast<uint64_t>(b[1]) << 8 |
+             static_cast<uint64_t>(b[2]) << 16 | static_cast<uint64_t>(b[3]) << 24;
+  }
+  size_t end = marker_pos + kTraceFrameHeaderSize + length + kTraceFrameTrailerSize;
+  return {marker_pos, std::min(end, bytes.size())};
+}
+
+std::string Truncate(const std::string& bytes, Rng& rng) {
+  // Keep at least the magic so the format is still identified; cut anywhere
+  // after it, including mid-frame and mid-record.
+  size_t keep = rng.Range(kMagicSize, bytes.size() - 1);
+  return bytes.substr(0, keep);
+}
+
+std::string BitFlip(const std::string& bytes, Rng& rng) {
+  std::string out = bytes;
+  uint64_t flips = rng.Range(1, 8);
+  for (uint64_t i = 0; i < flips; ++i) {
+    size_t pos = rng.Range(kMagicSize, out.size() - 1);
+    out[pos] = static_cast<char>(out[pos] ^ (1u << rng.Below(8)));
+  }
+  return out;
+}
+
+std::string ZeroRun(const std::string& bytes, Rng& rng) {
+  std::string out = bytes;
+  size_t start = rng.Range(kMagicSize, out.size() - 1);
+  size_t len = std::min<size_t>(rng.Range(1, 256), out.size() - start);
+  // All-zero bytes may coincide with zero payload bytes; force a change by
+  // also flipping the first byte of the run if zeroing it was a no-op.
+  bool changed = false;
+  for (size_t i = 0; i < len; ++i) {
+    changed = changed || out[start + i] != 0;
+    out[start + i] = 0;
+  }
+  if (!changed) {
+    out[start] = 1;
+  }
+  return out;
+}
+
+std::string DropRange(const std::string& bytes, size_t start, size_t end) {
+  return bytes.substr(0, start) + bytes.substr(end);
+}
+
+std::string DuplicateRange(const std::string& bytes, size_t start, size_t end) {
+  return bytes.substr(0, end) + bytes.substr(start, end - start) + bytes.substr(end);
+}
+
+std::string FrameDrop(const std::string& bytes, Rng& rng) {
+  std::vector<size_t> frames = FindFrames(bytes);
+  if (frames.empty()) {
+    // v1: no frames; delete a random span instead.
+    size_t start = rng.Range(kMagicSize, bytes.size() - 1);
+    size_t end = std::min(bytes.size(), start + rng.Range(1, 64));
+    return DropRange(bytes, start, end);
+  }
+  auto [start, end] = FrameSpan(bytes, frames[rng.Below(frames.size())]);
+  return DropRange(bytes, start, end);
+}
+
+std::string FrameDuplicate(const std::string& bytes, Rng& rng) {
+  std::vector<size_t> frames = FindFrames(bytes);
+  if (frames.empty()) {
+    size_t start = rng.Range(kMagicSize, bytes.size() - 1);
+    size_t end = std::min(bytes.size(), start + rng.Range(1, 64));
+    return DuplicateRange(bytes, start, end);
+  }
+  auto [start, end] = FrameSpan(bytes, frames[rng.Below(frames.size())]);
+  return DuplicateRange(bytes, start, end);
+}
+
+std::string LengthLie(const std::string& bytes, Rng& rng) {
+  std::vector<size_t> frames = FindFrames(bytes);
+  std::string out = bytes;
+  if (frames.empty()) {
+    // v1 has no length fields framing-wise; lie in a random varint byte.
+    size_t pos = rng.Range(kMagicSize, out.size() - 1);
+    char lie = static_cast<char>(rng.Range(0x01, 0x7f));
+    if (out[pos] == lie) {
+      lie = static_cast<char>(lie ^ 0x40);
+    }
+    out[pos] = lie;
+    return out;
+  }
+  size_t marker_pos = frames[rng.Below(frames.size())];
+  size_t len_off = marker_pos + 9;  // marker(4) + type(1) + seq(4)
+  if (len_off + 4 > out.size()) {
+    return Truncate(bytes, rng);
+  }
+  // Write a different length; sometimes enormous (points past EOF),
+  // sometimes small (lands mid-payload). The CRC is left stale on purpose.
+  uint32_t old_len = 0;
+  std::memcpy(&old_len, out.data() + len_off, 4);
+  uint32_t lie = rng.Chance(0.5) ? static_cast<uint32_t>(rng.Next())
+                                 : static_cast<uint32_t>(rng.Below(4096));
+  if (lie == old_len) {
+    ++lie;
+  }
+  out[len_off] = static_cast<char>(lie & 0xff);
+  out[len_off + 1] = static_cast<char>((lie >> 8) & 0xff);
+  out[len_off + 2] = static_cast<char>((lie >> 16) & 0xff);
+  out[len_off + 3] = static_cast<char>((lie >> 24) & 0xff);
+  return out;
+}
+
+}  // namespace
+
+const char* CorruptionKindName(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kTruncate:
+      return "truncate";
+    case CorruptionKind::kBitFlip:
+      return "bit-flip";
+    case CorruptionKind::kZeroRun:
+      return "zero-run";
+    case CorruptionKind::kFrameDrop:
+      return "frame-drop";
+    case CorruptionKind::kFrameDuplicate:
+      return "frame-duplicate";
+    case CorruptionKind::kLengthLie:
+      return "length-lie";
+  }
+  return "unknown";
+}
+
+std::string CorruptTraceBytes(const std::string& bytes, CorruptionKind kind, uint64_t seed) {
+  if (bytes.size() <= kMagicSize) {
+    return bytes.substr(0, bytes.size() / 2);
+  }
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(kind));
+  switch (kind) {
+    case CorruptionKind::kTruncate:
+      return Truncate(bytes, rng);
+    case CorruptionKind::kBitFlip:
+      return BitFlip(bytes, rng);
+    case CorruptionKind::kZeroRun:
+      return ZeroRun(bytes, rng);
+    case CorruptionKind::kFrameDrop:
+      return FrameDrop(bytes, rng);
+    case CorruptionKind::kFrameDuplicate:
+      return FrameDuplicate(bytes, rng);
+    case CorruptionKind::kLengthLie:
+      return LengthLie(bytes, rng);
+  }
+  return bytes;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,48 @@
+// Deterministic fault injection for serialized traces. Each mutator takes
+// the clean bytes of a written trace and returns a damaged copy; the damage
+// site and extent are drawn from a seeded Rng, so every (kind, seed) pair
+// reproduces the identical corruption. The corruption test suite uses this
+// to prove that the reader never crashes, never aborts, and never silently
+// mis-derives from damaged input.
+#ifndef SRC_TRACE_CORRUPTOR_H_
+#define SRC_TRACE_CORRUPTOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lockdoc {
+
+enum class CorruptionKind {
+  // Cut the file at a random point (always keeps the magic, may cut
+  // mid-frame or mid-record).
+  kTruncate,
+  // Flip 1-8 random bits anywhere after the magic.
+  kBitFlip,
+  // Overwrite a random run (up to 256 bytes) with zeros.
+  kZeroRun,
+  // Remove one whole v2 frame (marker to trailer). On v1 input this
+  // degenerates to deleting a random byte range.
+  kFrameDrop,
+  // Duplicate one whole v2 frame in place. On v1: duplicate a byte range.
+  kFrameDuplicate,
+  // Rewrite one v2 frame's length field to a different value without
+  // fixing the CRC. On v1: overwrite one byte with a varint-plausible lie.
+  kLengthLie,
+};
+
+constexpr CorruptionKind kAllCorruptionKinds[] = {
+    CorruptionKind::kTruncate,      CorruptionKind::kBitFlip,
+    CorruptionKind::kZeroRun,       CorruptionKind::kFrameDrop,
+    CorruptionKind::kFrameDuplicate, CorruptionKind::kLengthLie,
+};
+
+const char* CorruptionKindName(CorruptionKind kind);
+
+// Returns a corrupted copy of `bytes`. Deterministic in (kind, seed).
+// Guarantees the result differs from the input whenever the input is large
+// enough to damage (> magic size); tiny inputs are returned truncated.
+std::string CorruptTraceBytes(const std::string& bytes, CorruptionKind kind, uint64_t seed);
+
+}  // namespace lockdoc
+
+#endif  // SRC_TRACE_CORRUPTOR_H_

@@ -1,61 +1,126 @@
 #include "src/trace/trace_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "src/util/crc32.h"
+#include "src/util/string_util.h"
 
 namespace lockdoc {
 namespace {
 
-constexpr char kMagic[8] = {'L', 'D', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr char kMagicV1[8] = {'L', 'D', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr char kMagicV2[8] = {'L', 'D', 'T', 'R', 'A', 'C', 'E', '2'};
 
-void PutVarint(std::ostream& out, uint64_t value) {
-  while (value >= 0x80) {
-    out.put(static_cast<char>((value & 0x7f) | 0x80));
-    value >>= 7;
-  }
-  out.put(static_cast<char>(value));
-}
+enum FrameType : uint8_t {
+  kFrameStrings = 1,
+  kFrameStacks = 2,
+  kFrameEvents = 3,
+  kFrameEnd = 4,
+};
 
-bool GetVarint(std::istream& in, uint64_t* value) {
-  uint64_t result = 0;
-  int shift = 0;
-  while (true) {
-    int c = in.get();
-    if (c == EOF || shift > 63) {
+// Sanity bound on a single frame payload: an event frame is ~100 KiB, and
+// even the string table of a huge trace stays far below this.
+constexpr uint64_t kMaxFramePayload = 1ull << 30;
+// Defensive cap: no interned string in a sane trace exceeds this.
+constexpr uint64_t kMaxStringSize = 1u << 20;
+constexpr uint64_t kMaxStackFrames = 4096;
+// Cap on the placeholder pool built when the string table was lost; the
+// references in CRC-intact event frames can never legitimately exceed it.
+constexpr uint64_t kMaxPlaceholderStrings = 1u << 24;
+
+// ---------------------------------------------------------------------------
+// In-memory cursor. The whole stream is buffered before parsing: salvage
+// needs random access for resynchronization, and absolute byte offsets make
+// every error message actionable.
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+  const char* data = nullptr;
+  size_t size = 0;
+  size_t pos = 0;
+
+  size_t remaining() const { return size - pos; }
+  bool Get(uint8_t* byte) {
+    if (pos >= size) {
       return false;
     }
-    result |= static_cast<uint64_t>(c & 0x7f) << shift;
+    *byte = static_cast<uint8_t>(data[pos++]);
+    return true;
+  }
+  bool Read(void* out, size_t n) {
+    if (remaining() < n) {
+      return false;
+    }
+    std::memcpy(out, data + pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+void PutVarint(std::string& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+// Rejects truncated, overflowing (> 64 bits), and non-canonical (redundant
+// trailing zero byte) encodings.
+bool GetVarint(Cursor& in, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    uint8_t c = 0;
+    if (!in.Get(&c)) {
+      return false;
+    }
+    uint64_t bits = c & 0x7f;
+    if (shift == 63 && bits > 1) {
+      return false;  // Sets bits past bit 63.
+    }
+    result |= bits << shift;
     if ((c & 0x80) == 0) {
-      break;
+      if (i > 0 && bits == 0) {
+        return false;  // Non-canonical: a shorter encoding exists.
+      }
+      *value = result;
+      return true;
     }
     shift += 7;
   }
-  *value = result;
-  return true;
+  return false;  // An 11th byte would be needed: overflow.
 }
 
-void PutString(std::ostream& out, const std::string& text) {
+void PutString(std::string& out, const std::string& text) {
   PutVarint(out, text.size());
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.append(text);
 }
 
-bool GetString(std::istream& in, std::string* text) {
+bool GetString(Cursor& in, std::string* text) {
   uint64_t size = 0;
   if (!GetVarint(in, &size)) {
     return false;
   }
-  // Defensive cap: no interned string in a sane trace exceeds this.
-  if (size > (1u << 20)) {
+  // Cap the allocation *before* resize: a declared size can never exceed
+  // the bytes actually remaining in the input.
+  if (size > kMaxStringSize || size > in.remaining()) {
     return false;
   }
   text->resize(size);
-  in.read(text->data(), static_cast<std::streamsize>(size));
-  return in.good() || (size == 0 && !in.bad());
+  return in.Read(text->data(), size);
 }
 
-void PutEvent(std::ostream& out, const TraceEvent& e) {
+void PutEvent(std::string& out, const TraceEvent& e) {
   PutVarint(out, static_cast<uint64_t>(e.kind));
   PutVarint(out, static_cast<uint64_t>(e.context));
   PutVarint(out, e.task_id);
@@ -71,7 +136,10 @@ void PutEvent(std::ostream& out, const TraceEvent& e) {
   PutVarint(out, e.stack == kInvalidStack ? 0 : static_cast<uint64_t>(e.stack) + 1);
 }
 
-bool GetEvent(std::istream& in, TraceEvent* e) {
+// Decodes one event and validates every field that can be checked without
+// the side tables (enum ranges, id-width bounds). String/stack references
+// are validated by the caller once the tables are known.
+bool GetEvent(Cursor& in, TraceEvent* e) {
   uint64_t kind = 0;
   uint64_t context = 0;
   uint64_t task_id = 0;
@@ -96,6 +164,11 @@ bool GetEvent(std::istream& in, TraceEvent* e) {
       lock_type >= kNumLockTypes || mode > 1) {
     return false;
   }
+  if (task_id > UINT32_MAX || size > UINT32_MAX || type > UINT32_MAX ||
+      subclass > UINT32_MAX || name >= UINT32_MAX || file >= UINT32_MAX ||
+      line > UINT32_MAX || stack > UINT32_MAX) {
+    return false;
+  }
   e->kind = static_cast<EventKind>(kind);
   e->context = static_cast<ContextKind>(context);
   e->task_id = static_cast<uint32_t>(task_id);
@@ -112,107 +185,622 @@ bool GetEvent(std::istream& in, TraceEvent* e) {
   return true;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Writers.
+// ---------------------------------------------------------------------------
 
-void WriteTrace(const Trace& trace, std::ostream& out) {
-  out.write(kMagic, sizeof(kMagic));
-
+std::string EncodeStringsPayload(const Trace& trace) {
+  std::string payload;
   const auto& strings = trace.string_pool().strings();
-  PutVarint(out, strings.size());
+  PutVarint(payload, strings.size());
   for (const std::string& s : strings) {
-    PutString(out, s);
+    PutString(payload, s);
   }
-
-  const auto& stacks = trace.stacks();
-  PutVarint(out, stacks.size());
-  for (const CallStack& stack : stacks) {
-    PutVarint(out, stack.frames.size());
-    for (StringId frame : stack.frames) {
-      PutVarint(out, frame);
-    }
-  }
-
-  PutVarint(out, trace.size());
-  for (const TraceEvent& e : trace.events()) {
-    PutEvent(out, e);
-  }
+  return payload;
 }
 
-Result<Trace> ReadTrace(std::istream& in) {
-  char magic[sizeof(kMagic)];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Error("ReadTrace: bad magic");
+std::string EncodeStacksPayload(const Trace& trace) {
+  std::string payload;
+  const auto& stacks = trace.stacks();
+  PutVarint(payload, stacks.size());
+  for (const CallStack& stack : stacks) {
+    PutVarint(payload, stack.frames.size());
+    for (StringId frame : stack.frames) {
+      PutVarint(payload, frame);
+    }
   }
+  return payload;
+}
 
+void WriteTraceV1(const Trace& trace, std::ostream& out) {
+  out.write(kMagicV1, sizeof(kMagicV1));
+  std::string body = EncodeStringsPayload(trace);
+  body += EncodeStacksPayload(trace);
+  PutVarint(body, trace.size());
+  for (const TraceEvent& e : trace.events()) {
+    PutEvent(body, e);
+  }
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+}
+
+void AppendUint32LE(std::string& out, uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+uint32_t LoadUint32LE(const char* data) {
+  const auto* b = reinterpret_cast<const unsigned char*>(data);
+  return static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+         static_cast<uint32_t>(b[2]) << 16 | static_cast<uint32_t>(b[3]) << 24;
+}
+
+void WriteFrame(std::ostream& out, uint8_t type, uint32_t seq, const std::string& payload) {
+  std::string header;
+  header.reserve(kTraceFrameHeaderSize);
+  header.append(reinterpret_cast<const char*>(kTraceFrameMarker), sizeof(kTraceFrameMarker));
+  header.push_back(static_cast<char>(type));
+  AppendUint32LE(header, seq);
+  AppendUint32LE(header, static_cast<uint32_t>(payload.size()));
+  // The CRC covers everything after the marker: type, seq, length, payload.
+  uint32_t crc = Crc32Update(0, header.data() + sizeof(kTraceFrameMarker),
+                             header.size() - sizeof(kTraceFrameMarker));
+  crc = Crc32Update(crc, payload.data(), payload.size());
+  std::string trailer;
+  AppendUint32LE(trailer, crc);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+}
+
+void WriteTraceV2(const Trace& trace, std::ostream& out) {
+  out.write(kMagicV2, sizeof(kMagicV2));
+  uint32_t seq = 0;
+  WriteFrame(out, kFrameStrings, seq++, EncodeStringsPayload(trace));
+  WriteFrame(out, kFrameStacks, seq++, EncodeStacksPayload(trace));
+  const auto& events = trace.events();
+  for (size_t start = 0; start < events.size(); start += kTraceEventsPerFrame) {
+    size_t count = std::min(kTraceEventsPerFrame, events.size() - start);
+    std::string payload;
+    PutVarint(payload, count);
+    for (size_t i = 0; i < count; ++i) {
+      PutEvent(payload, events[start + i]);
+    }
+    WriteFrame(out, kFrameEvents, seq++, payload);
+  }
+  std::string end_payload;
+  PutVarint(end_payload, events.size());
+  WriteFrame(out, kFrameEnd, seq++, end_payload);
+}
+
+// ---------------------------------------------------------------------------
+// Readers.
+// ---------------------------------------------------------------------------
+
+Status OffsetError(size_t offset, const std::string& what) {
+  return Status::Error(StrFormat("ReadTrace: offset 0x%llx: %s",
+                                 static_cast<unsigned long long>(offset), what.c_str()));
+}
+
+// Validates the string/stack references of `e` against the final tables.
+// Returns false if the event must be dropped. In salvage mode a dangling
+// stack reference is cleared in place instead of dropping the event.
+bool FixupEventRefs(TraceEvent* e, size_t pool_size, const std::vector<bool>& stack_valid,
+                    bool salvage, TraceReadReport& report) {
+  if (e->name >= pool_size || e->loc.file >= pool_size) {
+    return false;
+  }
+  if (e->stack != kInvalidStack &&
+      (e->stack >= stack_valid.size() || !stack_valid[e->stack])) {
+    if (!salvage) {
+      return false;
+    }
+    e->stack = kInvalidStack;
+    ++report.stack_refs_cleared;
+  }
+  return true;
+}
+
+// --- v1: bare record stream. Strict mode fails at the first bad byte; in
+// salvage mode everything before that byte survives (prefix truncation is
+// the only recovery v1 admits — there is no framing to resynchronize on).
+Result<Trace> ReadTraceV1(const std::string& bytes, const TraceReadOptions& options,
+                          TraceReadReport& report) {
+  report.format_version = 1;
+  const bool salvage = options.salvage;
+  Cursor in{bytes.data(), bytes.size(), sizeof(kMagicV1)};
   Trace trace;
 
+  // String table: without it nothing downstream is interpretable, so a
+  // damaged one is unrecoverable even in salvage mode.
   uint64_t string_count = 0;
-  if (!GetVarint(in, &string_count)) {
-    return Status::Error("ReadTrace: truncated string table");
+  if (!GetVarint(in, &string_count) || string_count > in.remaining() + 1) {
+    return OffsetError(in.pos, "truncated string table");
   }
   std::vector<std::string> strings;
   strings.reserve(string_count);
   for (uint64_t i = 0; i < string_count; ++i) {
     std::string s;
     if (!GetString(in, &s)) {
-      return Status::Error("ReadTrace: truncated string entry");
+      return OffsetError(in.pos, "truncated string entry");
     }
     strings.push_back(std::move(s));
   }
   if (strings.empty() || !strings[0].empty()) {
-    return Status::Error("ReadTrace: string table must start with the empty string");
+    return OffsetError(in.pos, "string table must start with the empty string");
   }
   trace.mutable_string_pool().Reset(std::move(strings));
+  const size_t pool_size = trace.string_pool().size();
 
+  auto partial = [&](size_t offset) -> Result<Trace> {
+    report.truncated = true;
+    report.truncation_offset = offset;
+    report.events_salvaged = trace.size();
+    return std::move(trace);
+  };
+
+  // Stack table.
   uint64_t stack_count = 0;
-  if (!GetVarint(in, &stack_count)) {
-    return Status::Error("ReadTrace: truncated stack table");
+  size_t section_start = in.pos;
+  if (!GetVarint(in, &stack_count) || stack_count > in.remaining() + 1) {
+    if (salvage) {
+      report.stack_table_lost = true;
+      return partial(section_start);
+    }
+    return OffsetError(in.pos, "truncated stack table");
   }
   std::vector<CallStack> stacks;
   stacks.reserve(stack_count);
   for (uint64_t i = 0; i < stack_count; ++i) {
+    size_t entry_start = in.pos;
     uint64_t frame_count = 0;
-    if (!GetVarint(in, &frame_count) || frame_count > 4096) {
-      return Status::Error("ReadTrace: bad stack entry");
+    if (!GetVarint(in, &frame_count) || frame_count > kMaxStackFrames) {
+      if (salvage) {
+        report.stack_table_lost = true;
+        return partial(entry_start);
+      }
+      return OffsetError(entry_start, "bad stack entry");
     }
     CallStack stack;
     stack.frames.reserve(frame_count);
+    bool ok = true;
     for (uint64_t f = 0; f < frame_count; ++f) {
       uint64_t frame = 0;
-      if (!GetVarint(in, &frame) || frame >= trace.string_pool().size()) {
-        return Status::Error("ReadTrace: bad stack frame");
+      if (!GetVarint(in, &frame) || frame >= pool_size) {
+        ok = false;
+        break;
       }
       stack.frames.push_back(static_cast<StringId>(frame));
+    }
+    if (!ok) {
+      if (salvage) {
+        report.stack_table_lost = true;
+        return partial(entry_start);
+      }
+      return OffsetError(entry_start, "bad stack frame");
     }
     stacks.push_back(std::move(stack));
   }
   trace.ResetStacks(std::move(stacks));
 
+  // Events.
   uint64_t event_count = 0;
+  section_start = in.pos;
   if (!GetVarint(in, &event_count)) {
-    return Status::Error("ReadTrace: truncated event count");
-  }
-  trace.mutable_events().reserve(event_count);
-  for (uint64_t i = 0; i < event_count; ++i) {
-    TraceEvent e;
-    if (!GetEvent(in, &e)) {
-      return Status::Error("ReadTrace: truncated or malformed event");
+    if (salvage) {
+      return partial(section_start);
     }
-    if (e.stack != kInvalidStack && e.stack >= trace.stack_count()) {
-      return Status::Error("ReadTrace: event references unknown stack");
+    return OffsetError(in.pos, "truncated event count");
+  }
+  std::vector<bool> stack_valid(trace.stack_count(), true);
+  trace.mutable_events().reserve(
+      std::min<uint64_t>(event_count, in.remaining() / 13 + 1));
+  for (uint64_t i = 0; i < event_count; ++i) {
+    size_t record_start = in.pos;
+    TraceEvent e;
+    if (!GetEvent(in, &e) || !FixupEventRefs(&e, pool_size, stack_valid, salvage, report)) {
+      if (salvage) {
+        report.events_dropped = event_count - i;
+        return partial(record_start);
+      }
+      return OffsetError(record_start, "truncated or malformed event");
     }
     trace.Append(e);
   }
-  return trace;
+  report.events_salvaged = trace.size();
+  return std::move(trace);
 }
 
-Status WriteTraceToFile(const Trace& trace, const std::string& path) {
+// --- v2: framed stream with CRC-guarded frames.
+Result<Trace> ReadTraceV2(const std::string& bytes, const TraceReadOptions& options,
+                          TraceReadReport& report) {
+  report.format_version = 2;
+  const bool salvage = options.salvage;
+  const size_t kHeader = kTraceFrameHeaderSize;
+  const size_t kTrailer = kTraceFrameTrailerSize;
+  const char* marker = reinterpret_cast<const char*>(kTraceFrameMarker);
+
+  std::optional<std::pair<size_t, size_t>> strings_frame;  // (payload offset, length)
+  std::optional<std::pair<size_t, size_t>> stacks_frame;
+  std::vector<std::tuple<uint32_t, size_t, size_t>> event_frames;  // (seq, offset, length)
+  std::optional<uint64_t> declared_total;
+  bool saw_end = false;
+  std::set<uint32_t> seen_seqs;
+  uint32_t expected_seq = 0;
+  size_t pos = sizeof(kMagicV2);
+  size_t parse_end = pos;
+
+  // --- Phase 1: frame scan. ---
+  while (pos < bytes.size()) {
+    size_t marker_pos = bytes.find(marker, pos, sizeof(kTraceFrameMarker));
+    if (marker_pos != pos) {
+      if (!salvage) {
+        return OffsetError(pos, "bad frame marker");
+      }
+      if (marker_pos == std::string::npos) {
+        report.bytes_skipped += bytes.size() - pos;
+        break;
+      }
+      report.bytes_skipped += marker_pos - pos;
+    }
+    if (marker_pos + kHeader + kTrailer > bytes.size()) {
+      // Not even a complete header + CRC left: cut mid-frame.
+      if (!salvage) {
+        return OffsetError(marker_pos, "truncated frame");
+      }
+      report.truncated = true;
+      report.truncation_offset = marker_pos;
+      report.bytes_skipped += bytes.size() - marker_pos;
+      break;
+    }
+    uint8_t type = static_cast<uint8_t>(bytes[marker_pos + 4]);
+    uint32_t seq = LoadUint32LE(bytes.data() + marker_pos + 5);
+    uint64_t length = LoadUint32LE(bytes.data() + marker_pos + 9);
+    if (length > kMaxFramePayload || marker_pos + kHeader + length + kTrailer > bytes.size()) {
+      if (!salvage) {
+        return OffsetError(marker_pos,
+                           StrFormat("frame length %llu exceeds remaining bytes",
+                                     static_cast<unsigned long long>(length)));
+      }
+      // A lying length field (or genuine truncation). Rescan just past this
+      // marker: if the rest of the frame is intact, the next marker is real.
+      ++report.frames_bad_length;
+      pos = marker_pos + sizeof(kTraceFrameMarker);
+      continue;
+    }
+    uint32_t crc = Crc32(bytes.data() + marker_pos + sizeof(kTraceFrameMarker),
+                         kHeader - sizeof(kTraceFrameMarker) + length);
+    uint32_t stored = LoadUint32LE(bytes.data() + marker_pos + kHeader + length);
+    if (crc != stored) {
+      if (!salvage) {
+        return OffsetError(marker_pos, "frame CRC mismatch");
+      }
+      ++report.frames_bad_crc;
+      pos = marker_pos + sizeof(kTraceFrameMarker);
+      continue;
+    }
+
+    // Intact frame.
+    size_t payload_off = marker_pos + kHeader;
+    size_t frame_end = payload_off + length + kTrailer;
+    if (salvage && !seen_seqs.insert(seq).second) {
+      ++report.frames_duplicate;
+      pos = frame_end;
+      continue;
+    }
+    ++report.frames_ok;
+    if (!salvage) {
+      // The writer emits strings, stacks, events*, end — strictly in order.
+      if (seq != expected_seq) {
+        return OffsetError(marker_pos, "frame out of sequence");
+      }
+      ++expected_seq;
+      if (saw_end) {
+        return OffsetError(marker_pos, "frame after end frame");
+      }
+      if ((seq == 0 && type != kFrameStrings) || (seq == 1 && type != kFrameStacks) ||
+          (seq >= 2 && type != kFrameEvents && type != kFrameEnd)) {
+        return OffsetError(marker_pos, "unexpected frame type");
+      }
+    }
+    switch (type) {
+      case kFrameStrings:
+        if (!strings_frame.has_value()) {
+          strings_frame = {payload_off, length};
+        }
+        break;
+      case kFrameStacks:
+        if (!stacks_frame.has_value()) {
+          stacks_frame = {payload_off, length};
+        }
+        break;
+      case kFrameEvents:
+        event_frames.emplace_back(seq, payload_off, length);
+        break;
+      case kFrameEnd: {
+        Cursor c{bytes.data(), payload_off + length, payload_off};
+        uint64_t total = 0;
+        if (GetVarint(c, &total)) {
+          declared_total = total;
+          saw_end = true;
+        } else if (!salvage) {
+          return OffsetError(payload_off, "malformed end frame");
+        }
+        break;
+      }
+      default:
+        if (!salvage) {
+          return OffsetError(marker_pos, "unknown frame type");
+        }
+        break;  // Intact but unknown: skip (forward compatibility).
+    }
+    pos = frame_end;
+    parse_end = frame_end;
+  }
+
+  if (!saw_end) {
+    if (!salvage) {
+      return OffsetError(parse_end, "missing end frame (truncated trace)");
+    }
+    report.truncated = true;
+    if (report.truncation_offset == 0) {
+      report.truncation_offset = parse_end;
+    }
+  }
+  if (salvage && report.frames_ok == 0) {
+    return OffsetError(sizeof(kMagicV2), "no intact frames");
+  }
+
+  // --- Phase 2: assemble the trace from the intact frames. ---
+
+  // String table.
+  std::vector<std::string> strings;
+  bool strings_ok = false;
+  if (strings_frame.has_value()) {
+    Cursor c{bytes.data(), strings_frame->first + strings_frame->second, strings_frame->first};
+    uint64_t count = 0;
+    strings_ok = GetVarint(c, &count) && count <= strings_frame->second;
+    if (strings_ok) {
+      strings.reserve(count);
+      for (uint64_t i = 0; i < count && strings_ok; ++i) {
+        std::string s;
+        strings_ok = GetString(c, &s);
+        if (strings_ok) {
+          strings.push_back(std::move(s));
+        }
+      }
+      strings_ok = strings_ok && !strings.empty() && strings[0].empty();
+    }
+    if (!strings_ok && !salvage) {
+      return OffsetError(strings_frame->first, "malformed string table");
+    }
+  } else if (!salvage) {
+    return OffsetError(parse_end, "missing string table");
+  }
+  if (!strings_ok) {
+    strings.clear();
+    report.string_table_lost = true;
+  }
+
+  // Stack table (string references validated after the pool is final).
+  std::vector<CallStack> stacks;
+  bool stacks_ok = false;
+  if (stacks_frame.has_value()) {
+    Cursor c{bytes.data(), stacks_frame->first + stacks_frame->second, stacks_frame->first};
+    uint64_t count = 0;
+    stacks_ok = GetVarint(c, &count) && count <= stacks_frame->second;
+    if (stacks_ok) {
+      stacks.reserve(count);
+      for (uint64_t i = 0; i < count && stacks_ok; ++i) {
+        uint64_t frame_count = 0;
+        stacks_ok = GetVarint(c, &frame_count) && frame_count <= kMaxStackFrames;
+        if (!stacks_ok) {
+          break;
+        }
+        CallStack stack;
+        stack.frames.reserve(frame_count);
+        for (uint64_t f = 0; f < frame_count && stacks_ok; ++f) {
+          uint64_t frame = 0;
+          stacks_ok = GetVarint(c, &frame) && frame < UINT32_MAX;
+          if (stacks_ok) {
+            stack.frames.push_back(static_cast<StringId>(frame));
+          }
+        }
+        if (stacks_ok) {
+          stacks.push_back(std::move(stack));
+        }
+      }
+    }
+    if (!stacks_ok && !salvage) {
+      return OffsetError(stacks_frame->first, "malformed stack table");
+    }
+  } else if (!salvage) {
+    return OffsetError(parse_end, "missing stack table");
+  }
+  if (!stacks_ok) {
+    stacks.clear();
+    report.stack_table_lost = true;
+  }
+
+  // Event records (in writer order; duplicates were already dropped).
+  std::sort(event_frames.begin(), event_frames.end());
+  std::vector<TraceEvent> events;
+  for (const auto& [seq, off, len] : event_frames) {
+    (void)seq;
+    Cursor c{bytes.data(), off + len, off};
+    uint64_t count = 0;
+    if (!GetVarint(c, &count) || count > len) {
+      if (!salvage) {
+        return OffsetError(off, "malformed event frame");
+      }
+      ++report.bad_event_records;
+      continue;
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      size_t record_start = c.pos;
+      TraceEvent e;
+      if (!GetEvent(c, &e)) {
+        if (!salvage) {
+          return OffsetError(record_start, "truncated or malformed event");
+        }
+        report.bad_event_records += count - i;
+        break;
+      }
+      events.push_back(e);
+    }
+  }
+
+  // Decide the final string pool. When the table was lost, CRC-intact event
+  // and stack frames still carry genuine writer-produced ids, so a
+  // placeholder pool bounded by the maximum reference keeps every lookup
+  // safe while preserving the trace's structure.
+  uint64_t max_sid = 0;
+  for (const CallStack& stack : stacks) {
+    for (StringId frame : stack.frames) {
+      max_sid = std::max<uint64_t>(max_sid, frame);
+    }
+  }
+  for (const TraceEvent& e : events) {
+    max_sid = std::max<uint64_t>(max_sid, e.name);
+    max_sid = std::max<uint64_t>(max_sid, e.loc.file);
+  }
+  if (report.string_table_lost) {
+    if (max_sid >= kMaxPlaceholderStrings) {
+      return OffsetError(sizeof(kMagicV2), "string table lost and references unbounded");
+    }
+    strings.reserve(max_sid + 1);
+    strings.emplace_back();
+    for (uint64_t i = 1; i <= max_sid; ++i) {
+      strings.push_back(StrFormat("lost#%llu", static_cast<unsigned long long>(i)));
+    }
+  }
+  const size_t pool_size = strings.size();
+
+  // Validate stack-table string references; a stack with a dangling
+  // reference is dropped (events pointing at it get their reference
+  // cleared below).
+  std::vector<bool> stack_valid(stacks.size(), true);
+  for (size_t i = 0; i < stacks.size(); ++i) {
+    for (StringId frame : stacks[i].frames) {
+      if (frame >= pool_size) {
+        if (!salvage) {
+          return OffsetError(stacks_frame->first, "stack frame references unknown string");
+        }
+        stack_valid[i] = false;
+        stacks[i].frames.clear();
+        break;
+      }
+    }
+  }
+
+  Trace trace;
+  trace.mutable_string_pool().Reset(std::move(strings));
+  trace.ResetStacks(std::move(stacks));
+  for (TraceEvent& e : events) {
+    if (!FixupEventRefs(&e, pool_size, stack_valid, salvage, report)) {
+      if (!salvage) {
+        return OffsetError(parse_end, "event references unknown string");
+      }
+      ++report.bad_event_records;
+      continue;
+    }
+    trace.Append(e);
+  }
+
+  report.events_salvaged = trace.size();
+  if (declared_total.has_value() && *declared_total > report.events_salvaged) {
+    report.events_dropped = *declared_total - report.events_salvaged;
+  } else {
+    report.events_dropped = report.bad_event_records;
+  }
+  if (!salvage && declared_total.has_value() && *declared_total != report.events_salvaged) {
+    return OffsetError(parse_end,
+                       StrFormat("event count mismatch: declared %llu, read %llu",
+                                 static_cast<unsigned long long>(*declared_total),
+                                 static_cast<unsigned long long>(report.events_salvaged)));
+  }
+  return std::move(trace);
+}
+
+}  // namespace
+
+bool TraceReadReport::clean() const {
+  return frames_bad_crc == 0 && frames_bad_length == 0 && frames_duplicate == 0 &&
+         bytes_skipped == 0 && events_dropped == 0 && bad_event_records == 0 &&
+         stack_refs_cleared == 0 && !string_table_lost && !stack_table_lost && !truncated;
+}
+
+std::string TraceReadReport::ToString() const {
+  std::string out;
+  out += StrFormat("format:            v%u\n", format_version);
+  out += StrFormat("file size:         %s bytes\n", FormatWithCommas(file_size).c_str());
+  out += StrFormat("events salvaged:   %s\n", FormatWithCommas(events_salvaged).c_str());
+  out += StrFormat("events dropped:    %s\n", FormatWithCommas(events_dropped).c_str());
+  if (format_version >= 2) {
+    out += StrFormat("frames ok:         %s\n", FormatWithCommas(frames_ok).c_str());
+    out += StrFormat("frames bad CRC:    %s\n", FormatWithCommas(frames_bad_crc).c_str());
+    out += StrFormat("frames bad length: %s\n", FormatWithCommas(frames_bad_length).c_str());
+    out += StrFormat("frames duplicate:  %s\n", FormatWithCommas(frames_duplicate).c_str());
+    out += StrFormat("bytes skipped:     %s\n", FormatWithCommas(bytes_skipped).c_str());
+  }
+  out += StrFormat("bad event records: %s\n", FormatWithCommas(bad_event_records).c_str());
+  out += StrFormat("stack refs lost:   %s\n", FormatWithCommas(stack_refs_cleared).c_str());
+  if (string_table_lost) {
+    out += "string table:      LOST (placeholder names substituted)\n";
+  }
+  if (stack_table_lost) {
+    out += "stack table:       LOST (stack references cleared)\n";
+  }
+  if (truncated) {
+    out += StrFormat("truncated at:      offset 0x%llx\n",
+                     static_cast<unsigned long long>(truncation_offset));
+  }
+  return out;
+}
+
+void WriteTrace(const Trace& trace, std::ostream& out, TraceFormat format) {
+  if (format == TraceFormat::kV1) {
+    WriteTraceV1(trace, out);
+  } else {
+    WriteTraceV2(trace, out);
+  }
+}
+
+Result<Trace> ReadTrace(std::istream& in) { return ReadTrace(in, {}, nullptr); }
+
+Result<Trace> ReadTrace(std::istream& in, const TraceReadOptions& options,
+                        TraceReadReport* report) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string bytes = std::move(buffer).str();
+  if (in.bad()) {
+    return Status::Error("ReadTrace: I/O error while reading stream");
+  }
+
+  TraceReadReport local;
+  TraceReadReport& rep = report != nullptr ? *report : local;
+  rep = TraceReadReport{};
+  rep.file_size = bytes.size();
+
+  if (bytes.size() < sizeof(kMagicV1)) {
+    return Status::Error("ReadTrace: offset 0x0: input shorter than magic");
+  }
+  if (std::memcmp(bytes.data(), kMagicV2, sizeof(kMagicV2)) == 0) {
+    return ReadTraceV2(bytes, options, rep);
+  }
+  if (std::memcmp(bytes.data(), kMagicV1, sizeof(kMagicV1)) == 0) {
+    return ReadTraceV1(bytes, options, rep);
+  }
+  return Status::Error("ReadTrace: offset 0x0: bad magic");
+}
+
+Status WriteTraceToFile(const Trace& trace, const std::string& path, TraceFormat format) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return Status::Error("WriteTraceToFile: cannot open " + path);
   }
-  WriteTrace(trace, out);
+  WriteTrace(trace, out, format);
   out.flush();
   if (!out) {
     return Status::Error("WriteTraceToFile: write failed for " + path);
@@ -221,11 +809,16 @@ Status WriteTraceToFile(const Trace& trace, const std::string& path) {
 }
 
 Result<Trace> ReadTraceFromFile(const std::string& path) {
+  return ReadTraceFromFile(path, {}, nullptr);
+}
+
+Result<Trace> ReadTraceFromFile(const std::string& path, const TraceReadOptions& options,
+                                TraceReadReport* report) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::Error("ReadTraceFromFile: cannot open " + path);
   }
-  return ReadTrace(in);
+  return ReadTrace(in, options, report);
 }
 
 }  // namespace lockdoc

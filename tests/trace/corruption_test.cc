@@ -1,0 +1,182 @@
+// Fault-injection suite: several hundred deterministic corruptions of a
+// realistic serialized trace, proving three properties of the ingestion
+// path end to end:
+//
+//   1. No crash and no LOCKDOC_CHECK abort, ever — in the reader or in the
+//      downstream pipeline fed with salvaged traces.
+//   2. No silent mis-derivation: a strict read of damaged bytes either
+//      fails or yields a trace identical to the original; a salvage read
+//      either fails cleanly or flags the damage in its report.
+//   3. Damage is survivable: truncating the tail still derives rules for
+//      everything observed in the surviving prefix.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/trace/corruptor.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_stats.h"
+#include "src/workload/workloads.h"
+
+namespace lockdoc {
+namespace {
+
+struct Fixture {
+  SimulationResult sim;
+  std::string v1_bytes;
+  std::string v2_bytes;
+  TraceStats baseline;
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture;
+    MixOptions mix;
+    mix.ops = 150;
+    mix.seed = 11;
+    f->sim = SimulateKernelRun(mix, FaultPlan::Clean());
+    std::ostringstream v1;
+    WriteTrace(f->sim.trace, v1, TraceFormat::kV1);
+    f->v1_bytes = std::move(v1).str();
+    std::ostringstream v2;
+    WriteTrace(f->sim.trace, v2, TraceFormat::kV2);
+    f->v2_bytes = std::move(v2).str();
+    f->baseline = ComputeTraceStats(f->sim.trace);
+    return f;
+  }();
+  return *fixture;
+}
+
+bool StatsEqual(const TraceStats& a, const TraceStats& b) {
+  return a.total_events == b.total_events && a.lock_ops == b.lock_ops &&
+         a.memory_accesses == b.memory_accesses && a.allocations == b.allocations &&
+         a.deallocations == b.deallocations && a.static_lock_defs == b.static_lock_defs &&
+         a.distinct_locks == b.distinct_locks;
+}
+
+// One corruption case. `checksummed` is true for v2 input: only the framed
+// format can *guarantee* that silent value mutations are detected — v1 has
+// no redundancy, so a bit flip inside an event payload can parse "validly"
+// into different field values (which is precisely the motivation for v2).
+// The no-crash / no-abort / consistent-report properties hold for both.
+void RunCase(const std::string& clean_bytes, CorruptionKind kind, uint64_t seed,
+             bool checksummed) {
+  SCOPED_TRACE(std::string(CorruptionKindName(kind)) + " seed " + std::to_string(seed));
+  const Fixture& fixture = GetFixture();
+  std::string corrupted = CorruptTraceBytes(clean_bytes, kind, seed);
+  ASSERT_NE(corrupted, clean_bytes);
+
+  // Strict read: must fail, or (v2) reconstruct the original exactly.
+  {
+    std::istringstream in(corrupted);
+    auto strict = ReadTrace(in);
+    if (strict.ok() && checksummed) {
+      EXPECT_TRUE(StatsEqual(ComputeTraceStats(strict.value()), fixture.baseline))
+          << "strict read of corrupted bytes silently produced a different trace";
+    }
+  }
+
+  // Salvage read: a clean failure is acceptable; success must (v2) either
+  // flag the damage in the report or have recovered the identical trace.
+  std::istringstream in(corrupted);
+  TraceReadOptions options;
+  options.salvage = true;
+  TraceReadReport report;
+  auto salvaged = ReadTrace(in, options, &report);
+  if (!salvaged.ok()) {
+    return;
+  }
+  TraceStats stats = ComputeTraceStats(salvaged.value());
+  if (checksummed) {
+    EXPECT_TRUE(!report.clean() || StatsEqual(stats, fixture.baseline))
+        << "salvage reported a clean read but the trace differs";
+  }
+  EXPECT_EQ(report.events_salvaged, salvaged.value().size());
+  EXPECT_LE(stats.total_events, fixture.baseline.total_events + report.frames_duplicate *
+                                                                    kTraceEventsPerFrame);
+
+  // The salvaged trace must survive the full pipeline: import, observation
+  // extraction, rule derivation. Any LOCKDOC_CHECK abort kills the test
+  // binary, so reaching the assertions below proves no abort happened.
+  PipelineResult result = RunPipeline(salvaged.value(), *fixture.sim.registry);
+  for (const DerivationResult& rule : result.rules) {
+    EXPECT_GT(rule.total, 0u);
+    EXPECT_TRUE(rule.winner.has_value());
+  }
+}
+
+class CorruptionSuite : public ::testing::TestWithParam<CorruptionKind> {};
+
+TEST_P(CorruptionSuite, V2FortySeedsEach) {
+  const Fixture& fixture = GetFixture();
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    RunCase(fixture.v2_bytes, GetParam(), seed, /*checksummed=*/true);
+  }
+}
+
+TEST_P(CorruptionSuite, V1TenSeedsEach) {
+  const Fixture& fixture = GetFixture();
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    RunCase(fixture.v1_bytes, GetParam(), seed, /*checksummed=*/false);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, CorruptionSuite, ::testing::ValuesIn(kAllCorruptionKinds),
+                         [](const ::testing::TestParamInfo<CorruptionKind>& info) {
+                           std::string name = CorruptionKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// Acceptance scenario: losing the trailing 10% of the archive must still
+// yield derived rules (each with a winner) for the members observed in the
+// surviving prefix.
+TEST(CorruptionSuite, TruncatedTailStillDerivesRules) {
+  const Fixture& fixture = GetFixture();
+  std::string cut = fixture.v2_bytes.substr(0, fixture.v2_bytes.size() * 9 / 10);
+
+  std::istringstream in(cut);
+  TraceReadOptions options;
+  options.salvage = true;
+  TraceReadReport report;
+  auto salvaged = ReadTrace(in, options, &report);
+  ASSERT_TRUE(salvaged.ok()) << salvaged.status().ToString();
+  EXPECT_TRUE(report.truncated);
+  EXPECT_GT(report.events_salvaged, fixture.baseline.total_events / 2);
+
+  PipelineResult result = RunPipeline(salvaged.value(), *fixture.sim.registry);
+  EXPECT_FALSE(result.rules.empty());
+  for (const DerivationResult& rule : result.rules) {
+    EXPECT_GT(rule.total, 0u);
+    ASSERT_TRUE(rule.winner.has_value());
+  }
+}
+
+// Dropping a whole middle frame loses those events but keeps everything
+// around it; the reader must account for the loss exactly.
+TEST(CorruptionSuite, DroppedEventFrameIsCounted) {
+  const Fixture& fixture = GetFixture();
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    std::string corrupted =
+        CorruptTraceBytes(fixture.v2_bytes, CorruptionKind::kFrameDrop, seed);
+    std::istringstream in(corrupted);
+    TraceReadOptions options;
+    options.salvage = true;
+    TraceReadReport report;
+    auto salvaged = ReadTrace(in, options, &report);
+    if (!salvaged.ok()) {
+      continue;  // Dropped the string table; unrecoverable is acceptable.
+    }
+    EXPECT_EQ(report.events_salvaged + report.events_dropped, fixture.baseline.total_events)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace lockdoc

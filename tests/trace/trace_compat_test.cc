@@ -1,0 +1,74 @@
+// Backward compatibility: traces archived in the v1 format must keep
+// reading exactly, forever. The golden fixture was written by the v1-only
+// writer (lockdoc simulate --ops 400 --seed 42) before the framed v2 format
+// existed; the expected numbers below were recorded from that build.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_stats.h"
+
+namespace lockdoc {
+namespace {
+
+std::string GoldenPath() { return std::string(LOCKDOC_TESTDATA_DIR) + "/golden_v1.trace"; }
+
+void ExpectGoldenStats(const Trace& trace) {
+  TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_EQ(stats.total_events, 17896u);
+  EXPECT_EQ(stats.lock_ops, 4194u);
+  EXPECT_EQ(stats.lock_acquires, 2097u);
+  EXPECT_EQ(stats.lock_releases, 2097u);
+  EXPECT_EQ(stats.memory_accesses, 13043u);
+  EXPECT_EQ(stats.reads, 3213u);
+  EXPECT_EQ(stats.writes, 9830u);
+  EXPECT_EQ(stats.allocations, 323u);
+  EXPECT_EQ(stats.deallocations, 323u);
+  EXPECT_EQ(stats.static_lock_defs, 13u);
+  EXPECT_EQ(stats.distinct_locks, 184u);
+  EXPECT_EQ(stats.distinct_static_locks, 11u);
+  EXPECT_EQ(stats.distinct_embedded_locks, 173u);
+}
+
+TEST(TraceCompatTest, GoldenV1TraceReadsExactly) {
+  TraceReadReport report;
+  auto loaded = ReadTraceFromFile(GoldenPath(), {}, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(report.format_version, 1u);
+  EXPECT_TRUE(report.clean());
+  ExpectGoldenStats(loaded.value());
+}
+
+TEST(TraceCompatTest, GoldenV1RoundTripsThroughV2) {
+  auto loaded = ReadTraceFromFile(GoldenPath());
+  ASSERT_TRUE(loaded.ok());
+  std::ostringstream out;
+  WriteTrace(loaded.value(), out, TraceFormat::kV2);
+  std::istringstream in(out.str());
+  TraceReadReport report;
+  auto restored = ReadTrace(in, {}, &report);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(report.format_version, 2u);
+  EXPECT_TRUE(report.clean());
+  ExpectGoldenStats(restored.value());
+}
+
+TEST(TraceCompatTest, V1RewriteIsByteIdentical) {
+  std::ifstream file(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(file.is_open());
+  std::ostringstream original;
+  original << file.rdbuf();
+
+  std::istringstream in(original.str());
+  auto loaded = ReadTrace(in);
+  ASSERT_TRUE(loaded.ok());
+  std::ostringstream rewritten;
+  WriteTrace(loaded.value(), rewritten, TraceFormat::kV1);
+  EXPECT_EQ(rewritten.str(), original.str());
+}
+
+}  // namespace
+}  // namespace lockdoc

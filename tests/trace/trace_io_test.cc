@@ -132,5 +132,186 @@ TEST(TraceIoTest, MissingFileFails) {
   EXPECT_FALSE(ReadTraceFromFile("/nonexistent/path/trace.bin").ok());
 }
 
+TEST(TraceIoTest, RoundTripExplicitV1) {
+  Trace original = MakeSmallTrace();
+  std::ostringstream out;
+  WriteTrace(original, out, TraceFormat::kV1);
+  std::istringstream in(out.str());
+  TraceReadReport report;
+  auto restored = ReadTrace(in, {}, &report);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(report.format_version, 1u);
+  ExpectTracesEqual(original, restored.value());
+}
+
+TEST(TraceIoTest, V2ReportsCleanOnIntactInput) {
+  Trace original = MakeSmallTrace();
+  std::ostringstream out;
+  WriteTrace(original, out);
+  std::istringstream in(out.str());
+  TraceReadReport report;
+  auto restored = ReadTrace(in, {}, &report);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(report.format_version, 2u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.events_salvaged, original.size());
+  EXPECT_EQ(report.events_dropped, 0u);
+}
+
+TEST(TraceIoTest, ErrorsIncludeByteOffset) {
+  Trace original = MakeSmallTrace();
+  std::ostringstream out;
+  WriteTrace(original, out);
+  std::string bytes = out.str();
+  std::istringstream in(bytes.substr(0, bytes.size() - 7));
+  auto result = ReadTrace(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("offset 0x"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(TraceIoTest, RejectsNonCanonicalVarint) {
+  // v1 stream whose string-table count is 1 encoded in two bytes (0x81 0x00):
+  // a shorter encoding exists, so the reader must reject it.
+  std::string bytes = "LDTRACE1";
+  bytes += '\x81';
+  bytes += '\x00';
+  std::istringstream in(bytes);
+  auto result = ReadTrace(in);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(TraceIoTest, RejectsOverflowingVarint) {
+  // Eleven continuation bytes encode more than 64 bits.
+  std::string bytes = "LDTRACE1";
+  for (int i = 0; i < 11; ++i) {
+    bytes += '\xff';
+  }
+  std::istringstream in(bytes);
+  EXPECT_FALSE(ReadTrace(in).ok());
+}
+
+TEST(TraceIoTest, RejectsStringLengthBeyondInput) {
+  // String table declares one entry of 100000 bytes but the input ends
+  // immediately: the reader must fail before allocating the 100000 bytes.
+  std::string bytes = "LDTRACE1";
+  bytes += '\x01';  // one string
+  bytes += '\xa0';  // varint 100000 = 0xa0 0x8d 0x06
+  bytes += '\x8d';
+  bytes += '\x06';
+  std::istringstream in(bytes);
+  EXPECT_FALSE(ReadTrace(in).ok());
+}
+
+Trace MakeLargerTrace(uint64_t seed) {
+  Rng rng(seed);
+  Trace trace;
+  std::vector<StringId> sids;
+  for (int i = 0; i < 16; ++i) {
+    sids.push_back(trace.InternString("name" + std::to_string(i)));
+  }
+  std::vector<StackId> stacks;
+  for (int i = 0; i < 4; ++i) {
+    CallStack stack;
+    for (uint64_t f = 0; f < rng.Range(1, 5); ++f) {
+      stack.frames.push_back(sids[rng.Below(sids.size())]);
+    }
+    stacks.push_back(trace.InternStack(stack));
+  }
+  // Enough events to span several v2 event frames (4096 events each), so
+  // frame-granular salvage has interior boundaries to recover at.
+  for (int i = 0; i < 12000; ++i) {
+    TraceEvent e;
+    e.kind = static_cast<EventKind>(rng.Below(static_cast<uint64_t>(EventKind::kStaticLockDef) + 1));
+    e.context = static_cast<ContextKind>(rng.Below(3));
+    e.task_id = static_cast<uint32_t>(rng.Below(8));
+    e.addr = rng.Next() & 0xffffffffffull;
+    e.size = static_cast<uint32_t>(rng.Range(1, 64));
+    e.type = rng.Chance(0.5) ? kInvalidTypeId : static_cast<TypeId>(rng.Below(20));
+    e.subclass = static_cast<SubclassId>(rng.Below(4));
+    e.lock_type = static_cast<LockType>(rng.Below(kNumLockTypes));
+    e.mode = static_cast<AcquireMode>(rng.Below(2));
+    e.name = sids[rng.Below(sids.size())];
+    e.loc.file = sids[rng.Below(sids.size())];
+    e.loc.line = static_cast<uint32_t>(rng.Below(10000));
+    e.stack = rng.Chance(0.3) ? kInvalidStack : stacks[rng.Below(stacks.size())];
+    trace.Append(e);
+  }
+  return trace;
+}
+
+TEST(TraceIoTest, RoundTripPropertyBothFormats) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Trace original = MakeLargerTrace(seed);
+    for (TraceFormat format : {TraceFormat::kV1, TraceFormat::kV2}) {
+      std::ostringstream out;
+      WriteTrace(original, out, format);
+      std::istringstream in(out.str());
+      TraceReadReport report;
+      auto restored = ReadTrace(in, {}, &report);
+      ASSERT_TRUE(restored.ok()) << "seed " << seed << ": " << restored.status().ToString();
+      EXPECT_TRUE(report.clean());
+      ExpectTracesEqual(original, restored.value());
+    }
+  }
+}
+
+TEST(TraceIoTest, SalvageRecoversPrefixOfTruncatedV2) {
+  Trace original = MakeLargerTrace(3);
+  std::ostringstream out;
+  WriteTrace(original, out);
+  std::string bytes = out.str();
+
+  std::istringstream in(bytes.substr(0, bytes.size() * 3 / 4));
+  TraceReadOptions options;
+  options.salvage = true;
+  TraceReadReport report;
+  auto salvaged = ReadTrace(in, options, &report);
+  ASSERT_TRUE(salvaged.ok()) << salvaged.status().ToString();
+  EXPECT_TRUE(report.truncated);
+  EXPECT_FALSE(report.clean());
+  ASSERT_GT(salvaged.value().size(), 0u);
+  ASSERT_LT(salvaged.value().size(), original.size());
+  // Whatever survived is a bit-exact prefix.
+  for (size_t i = 0; i < salvaged.value().size(); ++i) {
+    EXPECT_EQ(salvaged.value().event(i).addr, original.event(i).addr);
+    EXPECT_EQ(salvaged.value().event(i).kind, original.event(i).kind);
+  }
+}
+
+TEST(TraceIoTest, SalvageSurvivesStringTableLoss) {
+  Trace original = MakeLargerTrace(5);
+  std::ostringstream out;
+  WriteTrace(original, out);
+  std::string bytes = out.str();
+  // Corrupt one byte inside the first frame's payload (the string table).
+  bytes[8 + kTraceFrameHeaderSize + 3] ^= 0x01;
+
+  std::istringstream in(bytes);
+  EXPECT_FALSE(ReadTrace(in).ok());  // Strict: CRC mismatch.
+
+  std::istringstream again(bytes);
+  TraceReadOptions options;
+  options.salvage = true;
+  TraceReadReport report;
+  auto salvaged = ReadTrace(again, options, &report);
+  ASSERT_TRUE(salvaged.ok()) << salvaged.status().ToString();
+  EXPECT_TRUE(report.string_table_lost);
+  EXPECT_EQ(report.frames_bad_crc, 1u);
+  // All events survive; their names resolve to placeholders.
+  EXPECT_EQ(salvaged.value().size(), original.size());
+  const TraceEvent& e = salvaged.value().event(0);
+  EXPECT_NO_FATAL_FAILURE((void)salvaged.value().String(e.name));
+}
+
+TEST(TraceIoTest, StrictRejectsTrailingGarbage) {
+  Trace original = MakeSmallTrace();
+  std::ostringstream out;
+  WriteTrace(original, out);
+  std::string bytes = out.str() + "garbage after the end frame";
+  std::istringstream in(bytes);
+  EXPECT_FALSE(ReadTrace(in).ok());
+}
+
 }  // namespace
 }  // namespace lockdoc

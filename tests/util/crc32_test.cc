@@ -1,0 +1,40 @@
+#include "src/util/crc32.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard IEEE CRC-32 check values.
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"), 0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::string data = "frame payload with some entropy 0123456789";
+  uint32_t whole = Crc32(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32Update(0, data.data(), split);
+    crc = Crc32Update(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data(64, '\x5a');
+  uint32_t clean = Crc32(data);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = data;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32(mutated), clean);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lockdoc
