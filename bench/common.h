@@ -22,8 +22,10 @@ struct StandardRun {
 };
 
 // Runs the standard evaluation setup. Flags: --ops (default 30000),
-// --seed (default 1), --tac (default 0.9). The LOCKDOC_BENCH_OPS
-// environment variable overrides the default op count (handy for CI).
+// --seed (default 1), --tac (default 0.9), --jobs (default 0 = all
+// hardware threads; results are byte-identical at any value). The
+// LOCKDOC_BENCH_OPS environment variable overrides the default op count
+// (handy for CI).
 inline StandardRun RunStandardEvaluation(int argc, const char* const* argv,
                                          CoverageTracker* coverage = nullptr) {
   FlagSet flags;
@@ -44,6 +46,7 @@ inline StandardRun RunStandardEvaluation(int argc, const char* const* argv,
   PipelineOptions options;
   options.filter = VfsKernel::MakeFilterConfig();
   options.derivator.accept_threshold = flags.GetDouble("tac", 0.9);
+  options.jobs = flags.GetUint64("jobs", 0);
   run.pipeline = RunPipeline(run.sim.trace, *run.sim.registry, options);
   return run;
 }

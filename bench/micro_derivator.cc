@@ -9,6 +9,7 @@
 #include "src/core/observations.h"
 #include "src/util/rng.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 
 namespace lockdoc {
 namespace {
@@ -45,6 +46,60 @@ ObservationStore BuildStore(size_t depth, size_t distinct, size_t observations,
   }
   return store;
 }
+
+// Like BuildStore, but spreads observations over `members` populations so
+// DeriveAll has enough independent work items to distribute across threads.
+ObservationStore BuildWideStore(size_t members, size_t depth, size_t distinct,
+                                size_t observations_per_member) {
+  ObservationStore store;
+  Rng rng(99);
+  std::vector<uint32_t> seq_ids;
+  for (size_t d = 0; d < distinct; ++d) {
+    LockSeq seq;
+    for (size_t i = 0; i < depth; ++i) {
+      seq.push_back(LockClass::Global(StrFormat("lock_%zu_%zu", d, i)));
+    }
+    seq_ids.push_back(store.InternSeq(seq));
+  }
+  for (size_t m = 0; m < members; ++m) {
+    MemberObsKey key;
+    key.type = static_cast<TypeId>(m % 7);
+    key.subclass = kNoSubclass;
+    key.member = static_cast<MemberIndex>(m);
+    auto& groups = store.MutableGroups(key);
+    for (size_t i = 0; i < observations_per_member; ++i) {
+      ObservationGroup group;
+      group.lockseq_id = seq_ids[rng.Below(seq_ids.size())];
+      group.txn_id = m * observations_per_member + i;
+      group.alloc_id = 1;
+      if (i % 3 == 0) {
+        group.n_reads = 1;
+      } else {
+        group.n_writes = 1;
+      }
+      group.seqs.push_back(i);
+      groups.push_back(std::move(group));
+    }
+  }
+  return store;
+}
+
+// The tentpole scaling benchmark: DeriveAll over a wide store at 1/2/4/8
+// threads. Real time (not CPU time) is the interesting axis; the "jobs"
+// counter records the sweep point in the benchmark JSON.
+void BM_DeriveAllJobs(benchmark::State& state) {
+  size_t jobs = static_cast<size_t>(state.range(0));
+  ObservationStore store = BuildWideStore(64, 4, 6, 512);
+  RuleDerivator derivator;
+  ThreadPool pool(jobs);
+  for (auto _ : state) {
+    std::vector<DerivationResult> results = derivator.DeriveAll(store, &pool);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(pool.thread_count());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64 * 2);
+}
+BENCHMARK(BM_DeriveAllJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_DeriveByDepth(benchmark::State& state) {
   size_t depth = static_cast<size_t>(state.range(0));

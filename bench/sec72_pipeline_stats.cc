@@ -11,6 +11,7 @@
 #include "src/trace/trace_stats.h"
 #include "src/util/flags.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 #include "src/vfs/vfs_kernel.h"
 #include "src/workload/workloads.h"
 
@@ -39,6 +40,9 @@ int main(int argc, char** argv) {
     }
   }
   mix.seed = flags.GetUint64("seed", 1);
+  // --jobs N: analysis threads (0 = all hardware threads). Results are
+  // byte-identical at any value; only the phase timings change.
+  ThreadPool pool(flags.GetUint64("jobs", 0));
 
   auto t0 = std::chrono::steady_clock::now();
   SimulationResult sim = SimulateKernelRun(mix, FaultPlan{});
@@ -49,15 +53,15 @@ int main(int argc, char** argv) {
   ImportStats import_stats = importer.Import(sim.trace, &db);
   auto t2 = std::chrono::steady_clock::now();
 
-  ObservationStore observations = ExtractObservations(db, sim.trace, *sim.registry);
+  ObservationStore observations = ExtractObservations(db, sim.trace, *sim.registry, &pool);
   auto t3 = std::chrono::steady_clock::now();
 
   RuleDerivator derivator;
-  std::vector<DerivationResult> rules = derivator.DeriveAll(observations);
+  std::vector<DerivationResult> rules = derivator.DeriveAll(observations, &pool);
   auto t4 = std::chrono::steady_clock::now();
 
   ViolationFinder finder(&sim.trace, sim.registry.get(), &observations);
-  std::vector<Violation> violations = finder.FindAll(rules);
+  std::vector<Violation> violations = finder.FindAll(rules, &pool);
   auto t5 = std::chrono::steady_clock::now();
 
   TraceStats stats = ComputeTraceStats(sim.trace);
@@ -80,7 +84,7 @@ int main(int argc, char** argv) {
   std::printf("counterexample events:         %s\n\n",
               FormatWithCommas(counterexamples).c_str());
 
-  std::printf("phase timings:\n");
+  std::printf("phase timings (%zu jobs):\n", pool.thread_count());
   std::printf("  monitoring/tracing:          %.3f s\n", Seconds(t0, t1));
   std::printf("  filtering + database import: %.3f s\n", Seconds(t1, t2));
   std::printf("  observation extraction:      %.3f s\n", Seconds(t2, t3));

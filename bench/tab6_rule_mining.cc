@@ -3,6 +3,7 @@
 // filtered members, generated rules per access type, and how many of those
 // rules are "no lock needed".
 #include <cstdio>
+#include <fstream>
 #include <map>
 
 #include "bench/common.h"
@@ -13,6 +14,19 @@ using namespace lockdoc;
 int main(int argc, char** argv) {
   StandardRun run = RunStandardEvaluation(argc, argv);
   const TypeRegistry& registry = *run.sim.registry;
+
+  // --timings-json FILE: machine-readable per-phase timings for the bench
+  // harness (jobs count, wall seconds, items/sec per phase).
+  {
+    FlagSet flags;
+    std::string error;
+    flags.Parse(argc, argv, &error);
+    std::string timings_path = flags.GetString("timings-json", "");
+    if (!timings_path.empty()) {
+      std::ofstream out(timings_path);
+      out << run.pipeline.timings.ToJson() << "\n";
+    }
+  }
 
   struct Row {
     uint64_t rules_r = 0, rules_w = 0;
@@ -47,6 +61,7 @@ int main(int argc, char** argv) {
                   std::to_string(row.no_lock_r), std::to_string(row.no_lock_w)});
   }
   std::printf("%s", table.ToString().c_str());
+  std::printf("\n%s", run.pipeline.timings.ToString().c_str());
   std::printf(
       "\npaper Tab. 6 (#M/#Bl): backing_dev_info 43/2, block_device 21/2, buffer_head 13/0,\n"
       "  cdev 6/0, dentry 21/1, inode 65/5 (per filesystem), journal_head 15/0,\n"

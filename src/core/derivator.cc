@@ -57,9 +57,11 @@ void Permute(LockSeq current, std::multiset<LockClass> remaining, std::set<LockS
 std::vector<LockSeq> EnumerateSubsequences(const LockSeq& seq, size_t max_locks) {
   std::set<LockSeq> result;
   result.insert(LockSeq{});
-  if (seq.size() <= max_locks) {
+  // The bitmask powerset cannot represent >= 64 locks; such sequences only
+  // appear in salvaged or adversarial traces with a raised max_locks, and
+  // clamp into the bounded fallback instead of aborting.
+  if (seq.size() <= max_locks && seq.size() < 64) {
     // Full subsequence powerset via bitmask.
-    LOCKDOC_CHECK(seq.size() < 64);
     uint64_t limit = 1ULL << seq.size();
     for (uint64_t mask = 1; mask < limit; ++mask) {
       LockSeq subsequence;
@@ -162,14 +164,39 @@ DerivationResult RuleDerivator::Derive(const ObservationStore& store, const Memb
   return result;
 }
 
-std::vector<DerivationResult> RuleDerivator::DeriveAll(const ObservationStore& store) const {
-  std::vector<DerivationResult> results;
+std::vector<DerivationResult> RuleDerivator::DeriveAll(const ObservationStore& store,
+                                                       ThreadPool* pool) const {
+  // Work items in key order (the groups map is ordered); each item writes
+  // only its own slot, and the observed() filter below runs in item order,
+  // so results are byte-identical at any thread count.
+  struct WorkItem {
+    MemberObsKey key;
+    AccessType access;
+  };
+  std::vector<WorkItem> items;
+  items.reserve(store.groups().size() * 2);
   for (const auto& [key, groups] : store.groups()) {
     for (AccessType access : {AccessType::kRead, AccessType::kWrite}) {
-      DerivationResult result = Derive(store, key, access);
-      if (result.observed()) {
-        results.push_back(std::move(result));
-      }
+      items.push_back({key, access});
+    }
+  }
+
+  std::vector<DerivationResult> slots(items.size());
+  auto derive_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      slots[i] = Derive(store, items[i].key, items[i].access);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(items.size(), derive_range);
+  } else {
+    derive_range(0, items.size());
+  }
+
+  std::vector<DerivationResult> results;
+  for (DerivationResult& result : slots) {
+    if (result.observed()) {
+      results.push_back(std::move(result));
     }
   }
   return results;

@@ -19,6 +19,7 @@
 
 #include "src/core/observations.h"
 #include "src/model/lock_class.h"
+#include "src/util/thread_pool.h"
 
 namespace lockdoc {
 
@@ -71,8 +72,12 @@ class RuleDerivator {
                           AccessType access) const;
 
   // Derives rules for every observed member and both access types (results
-  // with total == 0 are omitted).
-  std::vector<DerivationResult> DeriveAll(const ObservationStore& store) const;
+  // with total == 0 are omitted). Work is distributed over `pool` when one
+  // is given (nullptr runs serially); results are byte-identical at any
+  // thread count — items are processed into per-index slots and merged in
+  // key order.
+  std::vector<DerivationResult> DeriveAll(const ObservationStore& store,
+                                          ThreadPool* pool = nullptr) const;
 
   const DerivatorOptions& options() const { return options_; }
 
@@ -82,8 +87,8 @@ class RuleDerivator {
 
 // Exposed for testing and for the ablation benches: all distinct
 // subsequences of `seq`, including the empty one. If `seq` is longer than
-// `max_locks`, only single locks, contiguous prefixes, ordered pairs, and
-// the full sequence are produced.
+// `max_locks` (or than 63, the bitmask powerset limit), only single locks,
+// contiguous prefixes, ordered pairs, and the full sequence are produced.
 std::vector<LockSeq> EnumerateSubsequences(const LockSeq& seq, size_t max_locks);
 
 }  // namespace lockdoc

@@ -144,6 +144,10 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
   };
   auto end_txn = [&](uint64_t id, uint64_t seq) {
     if (id != kDbNull) {
+      // Every transaction is closed exactly once; a second close would
+      // corrupt the end_seq the open-group eviction in ExtractObservations
+      // relies on.
+      LOCKDOC_CHECK(txns.GetUint64(id, kTxnEndSeqCol) == kDbNull);
       txns.SetUint64(id, kTxnEndSeqCol, seq);
     }
   };
@@ -311,15 +315,17 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
   }
   // Close everything still open. In a well-formed trace only the final
   // lock-free span remains; a truncated trace can end with locks held, and
-  // their transactions are closed at the truncation point.
+  // their transactions are closed at the truncation point. `current_txn` is
+  // always either `base_txn` or the innermost frame's transaction, so these
+  // two paths close every open transaction exactly once.
   stats.dangling_locks_closed = txn_stack.size();
   for (const TxnFrame& frame : txn_stack) {
     end_txn(frame.txn_id, trace.size());
   }
   txn_stack.clear();
   end_txn(base_txn, trace.size());
-  if (current_txn != base_txn) {
-    end_txn(current_txn, trace.size());
+  for (RowId txn = 0; txn < txns.row_count(); ++txn) {
+    LOCKDOC_CHECK(txns.GetUint64(txn, kTxnEndSeqCol) != kDbNull);
   }
 
   // --- Stack frames table. ---

@@ -1,5 +1,9 @@
 #include "src/core/observations.h"
 
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
 #include "src/db/schema.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
@@ -74,14 +78,45 @@ LockClass ClassifyLock(const Table& locks, const Table& members, const Trace& tr
 
 }  // namespace
 
+namespace {
+
+// Open-group key: one folded observation per (txn, alloc, member_row).
+struct GroupKey {
+  uint64_t txn = 0;
+  uint64_t alloc = 0;
+  uint64_t member_row = 0;
+
+  friend auto operator<=>(const GroupKey&, const GroupKey&) = default;
+};
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& key) const {
+    // splitmix64-style mixing of the three fields.
+    uint64_t h = key.txn;
+    for (uint64_t v : {key.alloc, key.member_row}) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// A distinct (txn, alloc) pair whose held-lock classes need classifying.
+struct ClassTask {
+  uint64_t txn = 0;
+  uint64_t alloc = 0;
+};
+
+}  // namespace
+
 ObservationStore ExtractObservations(const Database& db, const Trace& trace,
-                                     const TypeRegistry& registry) {
+                                     const TypeRegistry& registry, ThreadPool* pool) {
   ObservationStore store;
 
   const Table& accesses = db.table(LockDocSchema::kAccesses);
   const Table& allocations = db.table(LockDocSchema::kAllocations);
   const Table& members = db.table(LockDocSchema::kMembers);
   const Table& locks = db.table(LockDocSchema::kLocks);
+  const Table& txns = db.table(LockDocSchema::kTxns);
   const Table& txn_locks = db.table(LockDocSchema::kTxnLocks);
 
   const size_t kAccSeq = accesses.ColumnIndex("seq");
@@ -96,71 +131,78 @@ ObservationStore ExtractObservations(const Database& db, const Trace& trace,
 
   const size_t kMemberIdx = members.ColumnIndex("member_idx");
 
+  const size_t kTxnEndSeq = txns.ColumnIndex("end_seq");
+
   const size_t kTlTxn = txn_locks.ColumnIndex("txn_id");
   const size_t kTlPos = txn_locks.ColumnIndex("position");
   const size_t kTlLock = txn_locks.ColumnIndex("lock_id");
 
-  // Cache of the current transaction's ordered lock rows.
-  uint64_t cached_txn = kDbNull;
-  std::vector<uint64_t> cached_txn_lock_rows;
-  // Cache of the last (txn, alloc) -> interned class sequence.
-  uint64_t cached_class_txn = kDbNull;
-  uint64_t cached_class_alloc = kDbNull;
-  uint32_t cached_lockseq = 0;
+  // --- Pass 1 (serial): fold accesses into groups in trace order. ---
+  //
+  // Classification of held locks is deferred: a newly created group records
+  // the index of its (txn, alloc) classification task in `lockseq_id`; the
+  // real interned ids are patched in after pass 3. Task order is group
+  // first-appearance order — exactly the order the serial implementation
+  // interned sequences in, which keeps interned ids byte-identical.
+  std::vector<ClassTask> tasks;
+  std::unordered_map<uint64_t, std::unordered_map<uint64_t, uint32_t>> task_index;  // txn -> alloc -> task
 
-  // Open group per (txn, alloc, member): index into the per-member vector.
-  using GroupKey = std::tuple<uint64_t, uint64_t, uint64_t>;  // (txn, alloc, member_row)
-  std::map<GroupKey, std::pair<MemberObsKey, size_t>> open_groups;
+  // Open groups only. Accesses arrive in seq order and a transaction id is
+  // never reused after its end_seq, so a group whose txn has ended can be
+  // evicted: it will never receive another access. The expiry heap releases
+  // groups as the scan passes their transaction's end, keeping the map
+  // proportional to *live* transactions instead of the whole trace.
+  std::unordered_map<GroupKey, std::pair<MemberObsKey, size_t>, GroupKeyHash> open_groups;
+  using Expiry = std::pair<uint64_t, GroupKey>;  // (txn end_seq, group)
+  std::priority_queue<Expiry, std::vector<Expiry>, std::greater<Expiry>> expiry;
 
   accesses.Scan([&](RowId row) {
     if (accesses.GetUint64(row, kAccFilter) != static_cast<uint64_t>(FilterReason::kNone)) {
       return true;
     }
+    uint64_t seq = accesses.GetUint64(row, kAccSeq);
     uint64_t txn = accesses.GetUint64(row, kAccTxn);
     uint64_t alloc = accesses.GetUint64(row, kAccAlloc);
     uint64_t member_row = accesses.GetUint64(row, kAccMember);
     LOCKDOC_CHECK(alloc != kDbNull && member_row != kDbNull && txn != kDbNull);
 
-    // Resolve the member population key.
-    MemberObsKey key;
-    key.type = static_cast<TypeId>(allocations.GetUint64(alloc, kAllocType));
-    key.subclass = static_cast<SubclassId>(allocations.GetUint64(alloc, kAllocSubclass));
-    key.member = static_cast<MemberIndex>(members.GetUint64(member_row, kMemberIdx));
+    while (!expiry.empty() && expiry.top().first <= seq) {
+      open_groups.erase(expiry.top().second);
+      task_index.erase(expiry.top().second.txn);  // Its txn id is never reused.
+      expiry.pop();
+    }
 
-    GroupKey group_key = std::make_tuple(txn, alloc, member_row);
+    GroupKey group_key{txn, alloc, member_row};
     auto it = open_groups.find(group_key);
     if (it == open_groups.end()) {
-      // Classify the transaction's locks relative to this allocation.
-      if (txn != cached_txn) {
-        cached_txn = txn;
-        cached_txn_lock_rows.clear();
-        std::vector<RowId> rows = txn_locks.LookupEqual(kTlTxn, txn);
-        cached_txn_lock_rows.resize(rows.size());
-        for (RowId tl_row : rows) {
-          uint64_t pos = txn_locks.GetUint64(tl_row, kTlPos);
-          LOCKDOC_CHECK(pos < cached_txn_lock_rows.size());
-          cached_txn_lock_rows[pos] = txn_locks.GetUint64(tl_row, kTlLock);
-        }
-        cached_class_txn = kDbNull;  // Invalidate the class cache.
-      }
-      if (txn != cached_class_txn || alloc != cached_class_alloc) {
-        LockSeq seq;
-        seq.reserve(cached_txn_lock_rows.size());
-        for (uint64_t lock_row : cached_txn_lock_rows) {
-          seq.push_back(ClassifyLock(locks, members, trace, registry, lock_row, alloc));
-        }
-        cached_lockseq = store.InternSeq(seq);
-        cached_class_txn = txn;
-        cached_class_alloc = alloc;
+      // Resolve the member population key.
+      MemberObsKey key;
+      key.type = static_cast<TypeId>(allocations.GetUint64(alloc, kAllocType));
+      key.subclass = static_cast<SubclassId>(allocations.GetUint64(alloc, kAllocSubclass));
+      key.member = static_cast<MemberIndex>(members.GetUint64(member_row, kMemberIdx));
+
+      auto& by_alloc = task_index[txn];
+      auto task_it = by_alloc.find(alloc);
+      if (task_it == by_alloc.end()) {
+        task_it = by_alloc.emplace(alloc, static_cast<uint32_t>(tasks.size())).first;
+        tasks.push_back({txn, alloc});
       }
 
       std::vector<ObservationGroup>& groups = store.MutableGroups(key);
       ObservationGroup group;
-      group.lockseq_id = cached_lockseq;
+      group.lockseq_id = task_it->second;  // Task index; patched after pass 3.
       group.txn_id = txn;
       group.alloc_id = alloc;
       groups.push_back(std::move(group));
       it = open_groups.emplace(group_key, std::make_pair(key, groups.size() - 1)).first;
+
+      // An access inside a transaction precedes its end, so end_seq > seq
+      // here and the group stays open at least until the txn ends. A null
+      // end_seq (possible only outside the importer) never expires.
+      uint64_t end_seq = txns.GetUint64(txn, kTxnEndSeq);
+      if (end_seq != kDbNull) {
+        expiry.emplace(end_seq, group_key);
+      }
     }
 
     ObservationGroup& group = store.MutableGroups(it->second.first)[it->second.second];
@@ -169,9 +211,55 @@ ObservationStore ExtractObservations(const Database& db, const Trace& trace,
     } else {
       ++group.n_reads;
     }
-    group.seqs.push_back(accesses.GetUint64(row, kAccSeq));
+    group.seqs.push_back(seq);
     return true;
   });
+
+  // --- Pass 2 (parallel): classify each distinct (txn, alloc) pair. ---
+  // Tasks only read the database, trace, and registry (all const, no lazy
+  // state) and write their own slot. Consecutive tasks usually share a
+  // transaction, so each chunk keeps a local cache of its lock rows.
+  std::vector<LockSeq> classified(tasks.size());
+  auto classify_range = [&](size_t begin, size_t end) {
+    uint64_t cached_txn = kDbNull;
+    std::vector<uint64_t> cached_txn_lock_rows;
+    for (size_t i = begin; i < end; ++i) {
+      const ClassTask& task = tasks[i];
+      if (task.txn != cached_txn) {
+        cached_txn = task.txn;
+        cached_txn_lock_rows.clear();
+        std::vector<RowId> rows = txn_locks.LookupEqual(kTlTxn, task.txn);
+        cached_txn_lock_rows.resize(rows.size());
+        for (RowId tl_row : rows) {
+          uint64_t pos = txn_locks.GetUint64(tl_row, kTlPos);
+          LOCKDOC_CHECK(pos < cached_txn_lock_rows.size());
+          cached_txn_lock_rows[pos] = txn_locks.GetUint64(tl_row, kTlLock);
+        }
+      }
+      LockSeq seq;
+      seq.reserve(cached_txn_lock_rows.size());
+      for (uint64_t lock_row : cached_txn_lock_rows) {
+        seq.push_back(ClassifyLock(locks, members, trace, registry, lock_row, task.alloc));
+      }
+      classified[i] = std::move(seq);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(tasks.size(), classify_range);
+  } else {
+    classify_range(0, tasks.size());
+  }
+
+  // --- Pass 3 (serial): intern in task order, then patch group ids. ---
+  std::vector<uint32_t> task_seq_id(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    task_seq_id[i] = store.InternSeq(classified[i]);
+  }
+  for (const auto& [key, groups] : store.groups()) {
+    for (ObservationGroup& group : store.MutableGroups(key)) {
+      group.lockseq_id = task_seq_id[group.lockseq_id];
+    }
+  }
 
   return store;
 }

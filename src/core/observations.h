@@ -16,6 +16,7 @@
 #include "src/model/lock_class.h"
 #include "src/model/type_registry.h"
 #include "src/trace/trace.h"
+#include "src/util/thread_pool.h"
 
 namespace lockdoc {
 
@@ -73,8 +74,13 @@ class ObservationStore {
 
 // Builds the observation store from an imported database. `trace` resolves
 // interned strings; `registry` resolves member names for lock classes.
+// Folding scans accesses serially (they must be visited in seq order), but
+// the lock-classification work — one task per distinct (txn, alloc) pair —
+// is sharded over `pool` when one is given. Lock-sequence ids are interned
+// in task first-appearance order afterwards, so the store contents are
+// byte-identical at any thread count.
 ObservationStore ExtractObservations(const Database& db, const Trace& trace,
-                                     const TypeRegistry& registry);
+                                     const TypeRegistry& registry, ThreadPool* pool = nullptr);
 
 }  // namespace lockdoc
 

@@ -1,15 +1,78 @@
 #include "src/core/pipeline.h"
 
+#include <chrono>
+
+#include "src/util/string_util.h"
+
 namespace lockdoc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+void PipelineTimings::Add(std::string phase, double seconds, uint64_t items) {
+  phases.push_back({std::move(phase), seconds, items});
+}
+
+double PipelineTimings::total_seconds() const {
+  double total = 0.0;
+  for (const PhaseTiming& phase : phases) {
+    total += phase.seconds;
+  }
+  return total;
+}
+
+std::string PipelineTimings::ToString() const {
+  std::string out = StrFormat("pipeline timings (%zu jobs):\n", jobs);
+  for (const PhaseTiming& phase : phases) {
+    out += StrFormat("  %-28s %8.3f s  %12s items  %14s items/s\n", phase.phase.c_str(),
+                     phase.seconds, FormatWithCommas(phase.items).c_str(),
+                     FormatWithCommas(static_cast<uint64_t>(phase.items_per_sec())).c_str());
+  }
+  out += StrFormat("  %-28s %8.3f s\n", "total", total_seconds());
+  return out;
+}
+
+std::string PipelineTimings::ToJson() const {
+  std::string out = StrFormat("{\"jobs\": %zu, \"phases\": [", jobs);
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseTiming& phase = phases[i];
+    out += StrFormat("%s{\"phase\": \"%s\", \"seconds\": %.6f, \"items\": %llu, "
+                     "\"items_per_sec\": %.1f}",
+                     i == 0 ? "" : ", ", phase.phase.c_str(), phase.seconds,
+                     static_cast<unsigned long long>(phase.items), phase.items_per_sec());
+  }
+  out += "]}";
+  return out;
+}
 
 PipelineResult RunPipeline(const Trace& trace, const TypeRegistry& registry,
                            const PipelineOptions& options) {
   PipelineResult result;
+  ThreadPool pool(options.jobs);
+  result.timings.jobs = pool.thread_count();
+
+  auto t0 = Clock::now();
   TraceImporter importer(&registry, options.filter);
   result.import_stats = importer.Import(trace, &result.db);
-  result.observations = ExtractObservations(result.db, trace, registry);
+  auto t1 = Clock::now();
+  result.timings.Add("database import", Seconds(t0, t1), result.import_stats.events);
+
+  result.observations = ExtractObservations(result.db, trace, registry, &pool);
+  auto t2 = Clock::now();
+  result.timings.Add("observation extraction", Seconds(t1, t2),
+                     result.import_stats.accesses_kept);
+
   RuleDerivator derivator(options.derivator);
-  result.rules = derivator.DeriveAll(result.observations);
+  result.rules = derivator.DeriveAll(result.observations, &pool);
+  auto t3 = Clock::now();
+  result.timings.Add("rule derivation", Seconds(t2, t3),
+                     static_cast<uint64_t>(result.observations.groups().size()) * 2);
   return result;
 }
 

@@ -1,9 +1,14 @@
 // End-to-end convenience wrapper: trace -> database import -> observation
 // extraction -> rule derivation. This is the programmatic equivalent of
 // running all three LockDoc phases (Fig. 5) back to back.
+//
+// Phases 2/3 are data-parallel across (member, access) work items; `jobs`
+// controls the thread count. Results are byte-identical at any job count —
+// see the determinism contract in src/util/thread_pool.h and DESIGN.md.
 #ifndef SRC_CORE_PIPELINE_H_
 #define SRC_CORE_PIPELINE_H_
 
+#include <string>
 #include <vector>
 
 #include "src/core/derivator.h"
@@ -13,12 +18,36 @@
 #include "src/db/database.h"
 #include "src/model/type_registry.h"
 #include "src/trace/trace.h"
+#include "src/util/thread_pool.h"
 
 namespace lockdoc {
 
 struct PipelineOptions {
   FilterConfig filter = FilterConfig::Defaults();
   DerivatorOptions derivator;
+  // Analysis threads: 0 selects hardware_concurrency, 1 runs serially.
+  size_t jobs = 0;
+};
+
+// Wall time and throughput of one pipeline phase.
+struct PhaseTiming {
+  std::string phase;
+  double seconds = 0.0;
+  uint64_t items = 0;  // Phase-specific unit (events, accesses, work items).
+
+  double items_per_sec() const { return seconds > 0.0 ? items / seconds : 0.0; }
+};
+
+struct PipelineTimings {
+  size_t jobs = 1;  // Lanes actually used (after resolving jobs = 0).
+  std::vector<PhaseTiming> phases;
+
+  void Add(std::string phase, double seconds, uint64_t items);
+  double total_seconds() const;
+  // Aligned text block for terminals (one line per phase plus a total).
+  std::string ToString() const;
+  // {"jobs": N, "phases": [{"phase": ..., "seconds": ..., ...}]}
+  std::string ToJson() const;
 };
 
 struct PipelineResult {
@@ -26,6 +55,7 @@ struct PipelineResult {
   ImportStats import_stats;
   ObservationStore observations;
   std::vector<DerivationResult> rules;
+  PipelineTimings timings;
 };
 
 // Runs import + extraction + derivation. `trace` and `registry` must

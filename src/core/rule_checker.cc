@@ -103,11 +103,18 @@ RuleCheckResult RuleChecker::Check(const LockingRule& rule) const {
   return result;
 }
 
-std::vector<RuleCheckResult> RuleChecker::CheckAll(const RuleSet& rules) const {
-  std::vector<RuleCheckResult> results;
-  results.reserve(rules.size());
-  for (const LockingRule& rule : rules.rules()) {
-    results.push_back(Check(rule));
+std::vector<RuleCheckResult> RuleChecker::CheckAll(const RuleSet& rules,
+                                                   ThreadPool* pool) const {
+  std::vector<RuleCheckResult> results(rules.size());
+  auto check_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      results[i] = Check(rules.rules()[i]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(rules.size(), check_range);
+  } else {
+    check_range(0, rules.size());
   }
   return results;
 }

@@ -11,6 +11,7 @@
 #include "src/core/observations.h"
 #include "src/core/rule.h"
 #include "src/model/type_registry.h"
+#include "src/util/thread_pool.h"
 
 namespace lockdoc {
 
@@ -54,7 +55,10 @@ class RuleChecker {
   // evaluated against the union of all subclasses of its type.
   RuleCheckResult Check(const LockingRule& rule) const;
 
-  std::vector<RuleCheckResult> CheckAll(const RuleSet& rules) const;
+  // Checks every rule, distributed over `pool` when given (nullptr runs
+  // serially). Each rule writes its own result slot, so the returned vector
+  // is byte-identical at any thread count.
+  std::vector<RuleCheckResult> CheckAll(const RuleSet& rules, ThreadPool* pool = nullptr) const;
 
   // Groups results by the rule's type name (Tab. 4 rows).
   static std::vector<RuleCheckSummary> Summarize(const std::vector<RuleCheckResult>& results);

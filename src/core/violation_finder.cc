@@ -16,34 +16,52 @@ ViolationFinder::ViolationFinder(const Trace* trace, const TypeRegistry* registr
   LOCKDOC_CHECK(store_ != nullptr);
 }
 
-std::vector<Violation> ViolationFinder::FindAll(
-    const std::vector<DerivationResult>& results) const {
-  std::vector<Violation> violations;
-  for (const DerivationResult& result : results) {
-    if (!result.winner.has_value() || result.winner->is_no_lock() || result.winner->sr >= 1.0) {
-      continue;
-    }
-    for (const ObservationGroup& group : store_->GroupsFor(result.key)) {
-      if (group.effective() != result.access) {
+std::vector<Violation> ViolationFinder::FindAll(const std::vector<DerivationResult>& results,
+                                                ThreadPool* pool) const {
+  // Each derivation result fills its own slot; slots are concatenated in
+  // rule order below, keeping output identical at any thread count.
+  std::vector<std::vector<Violation>> slots(results.size());
+  auto find_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const DerivationResult& result = results[i];
+      if (!result.winner.has_value() || result.winner->is_no_lock() ||
+          result.winner->sr >= 1.0) {
         continue;
       }
-      const LockSeq& held = store_->seq(group.lockseq_id);
-      if (IsSubsequence(result.winner->locks, held)) {
-        continue;
-      }
-      Violation violation;
-      violation.key = result.key;
-      violation.access = result.access;
-      violation.rule = result.winner->locks;
-      violation.held = held;
-      for (uint64_t seq : group.seqs) {
-        if (AccessTypeOf(trace_->event(seq)) == result.access) {
-          violation.seqs.push_back(seq);
+      for (const ObservationGroup& group : store_->GroupsFor(result.key)) {
+        if (group.effective() != result.access) {
+          continue;
+        }
+        const LockSeq& held = store_->seq(group.lockseq_id);
+        if (IsSubsequence(result.winner->locks, held)) {
+          continue;
+        }
+        Violation violation;
+        violation.key = result.key;
+        violation.access = result.access;
+        violation.rule = result.winner->locks;
+        violation.held = held;
+        for (uint64_t seq : group.seqs) {
+          if (AccessTypeOf(trace_->event(seq)) == result.access) {
+            violation.seqs.push_back(seq);
+          }
+        }
+        if (!violation.seqs.empty()) {
+          slots[i].push_back(std::move(violation));
         }
       }
-      if (!violation.seqs.empty()) {
-        violations.push_back(std::move(violation));
-      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(results.size(), find_range);
+  } else {
+    find_range(0, results.size());
+  }
+
+  std::vector<Violation> violations;
+  for (std::vector<Violation>& slot : slots) {
+    for (Violation& violation : slot) {
+      violations.push_back(std::move(violation));
     }
   }
   return violations;

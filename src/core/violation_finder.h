@@ -13,6 +13,7 @@
 #include "src/core/observations.h"
 #include "src/model/type_registry.h"
 #include "src/trace/trace.h"
+#include "src/util/thread_pool.h"
 
 namespace lockdoc {
 
@@ -52,8 +53,12 @@ class ViolationFinder {
                   const ObservationStore* store);
 
   // All violations of the winning rules (rules with sr == 1 cannot be
-  // violated; the no-lock rule cannot be violated either).
-  std::vector<Violation> FindAll(const std::vector<DerivationResult>& results) const;
+  // violated; the no-lock rule cannot be violated either). Distributed over
+  // `pool` when given (nullptr runs serially); per-rule violation lists are
+  // concatenated in rule order, so output is byte-identical at any thread
+  // count.
+  std::vector<Violation> FindAll(const std::vector<DerivationResult>& results,
+                                 ThreadPool* pool = nullptr) const;
 
   // Tab. 7: per qualified data type, counting every observed type even when
   // it has zero violations.

@@ -1,0 +1,96 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace lockdoc {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = DefaultThreadCount();
+  }
+  workers_.reserve(threads - 1);
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    body(0, n);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->n = n;
+  // Several chunks per lane so uneven items still balance.
+  job->chunk = std::max<size_t>(1, n / (thread_count() * 8));
+  job->n_chunks = (n + job->chunk - 1) / job->chunk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunChunks(*job);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return job->finished_chunks.load() == job->n_chunks; });
+  job_.reset();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (generation_ != seen_generation && job_ != nullptr);
+      });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;
+    }
+    RunChunks(*job);
+  }
+}
+
+void ThreadPool::RunChunks(Job& job) {
+  for (;;) {
+    size_t index = job.next_chunk.fetch_add(1);
+    if (index >= job.n_chunks) {
+      return;
+    }
+    size_t begin = index * job.chunk;
+    size_t end = std::min(job.n, begin + job.chunk);
+    (*job.body)(begin, end);
+    if (job.finished_chunks.fetch_add(1) + 1 == job.n_chunks) {
+      // Last chunk: wake the caller. Taking the mutex pairs with the
+      // caller's predicate check so the notification cannot be missed.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace lockdoc

@@ -71,6 +71,38 @@ TEST(EnumerateSubsequencesTest, BoundedFallbackForLongSequences) {
   EXPECT_NE(std::find(subsequences.begin(), subsequences.end(), seq), subsequences.end());
 }
 
+TEST(EnumerateSubsequencesTest, SixtyFourLocksWithRaisedLimitDoesNotAbort) {
+  // Regression: a 64-deep sequence with max_locks raised past it used to hit
+  // the 1ULL << 64 overflow CHECK and abort. It must clamp into the bounded
+  // fallback instead.
+  LockSeq seq;
+  for (int i = 0; i < 64; ++i) {
+    seq.push_back(LockClass::Global(StrFormat("deep%d", i)));
+  }
+  auto subsequences = EnumerateSubsequences(seq, 100);
+  EXPECT_GE(subsequences.size(), 64u);           // At least every single.
+  EXPECT_LT(subsequences.size(), 64u * 64u);     // Far below any powerset.
+  EXPECT_NE(std::find(subsequences.begin(), subsequences.end(), seq), subsequences.end());
+}
+
+TEST(DerivatorTest, DeepLockSequenceWithRaisedLimitDerives) {
+  // End-to-end version of the 64-lock regression: derivation over a store
+  // whose only observation holds 64 locks, with max_subset_locks raised.
+  LockSeq deep;
+  for (int i = 0; i < 64; ++i) {
+    deep.push_back(LockClass::Global(StrFormat("deep%d", i)));
+  }
+  MemberObsKey key;
+  ObservationStore store = MakeStore({{deep, 3}}, &key);
+  DerivatorOptions options;
+  options.max_subset_locks = 128;
+  RuleDerivator derivator(options);
+  DerivationResult result = derivator.Derive(store, key, AccessType::kWrite);
+  ASSERT_TRUE(result.winner.has_value());
+  EXPECT_EQ(result.winner->locks, deep);  // The full sequence still wins.
+  EXPECT_EQ(result.winner->sa, 3u);
+}
+
 TEST(DerivatorTest, UnobservedMemberYieldsNoWinner) {
   MemberObsKey key;
   ObservationStore store = MakeStore({}, &key);

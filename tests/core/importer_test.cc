@@ -193,5 +193,50 @@ TEST(ImporterTest, StatsCountEvents) {
   EXPECT_EQ(stats.locked_txns, 1u);
 }
 
+// Every transaction row must end up with a non-null end_seq exactly once —
+// the eviction logic in ExtractObservations depends on it.
+void ExpectAllTxnsClosed(const Database& db) {
+  const Table& txns = db.table(LockDocSchema::kTxns);
+  const size_t kEnd = txns.ColumnIndex("end_seq");
+  for (RowId txn = 0; txn < txns.row_count(); ++txn) {
+    EXPECT_NE(txns.GetUint64(txn, kEnd), kDbNull) << "txn " << txn;
+  }
+}
+
+TEST(ImporterTest, TraceEndingWithLocksHeldClosesEveryTransactionOnce) {
+  // Regression: the EOF path used to close `current_txn` through two code
+  // paths when the trace ended inside nested locks, double-writing end_seq.
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->LockGlobal(world.global_a, 2);
+    world.sim->Lock(obj, world.spin, 3);
+    world.sim->Write(obj, world.data, 4);
+    // Trace ends here: both locks still held, as in a truncated archive.
+  }
+  Database db;
+  ImportStats stats = world.Import(&db);
+  EXPECT_EQ(stats.dangling_locks_closed, 2u);
+  ExpectAllTxnsClosed(db);
+}
+
+TEST(ImporterTest, TraceEndingInLockFreeSpanClosesEveryTransactionOnce) {
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->LockGlobal(world.global_a, 2);
+    world.sim->Write(obj, world.data, 3);
+    world.sim->UnlockGlobal(world.global_a, 4);
+    world.sim->Write(obj, world.extra, 5);
+    world.sim->Destroy(obj, 6);
+  }
+  Database db;
+  ImportStats stats = world.Import(&db);
+  EXPECT_EQ(stats.dangling_locks_closed, 0u);
+  ExpectAllTxnsClosed(db);
+}
+
 }  // namespace
 }  // namespace lockdoc

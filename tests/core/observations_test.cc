@@ -150,5 +150,83 @@ TEST(ObservationsTest, FilteredAccessesProduceNoObservations) {
   EXPECT_TRUE(store.GroupsFor(world.Key(world.atomic)).empty());
 }
 
+TEST(ObservationsTest, ResumedTransactionFoldsIntoItsOriginalGroup) {
+  // Regression for the open-group eviction: after a nested lock is released,
+  // the enclosing transaction resumes under its original id, so a later
+  // access must fold into the group created before the nesting — eviction
+  // keyed on the *nested* transaction's end must not drop it.
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+    world.sim->LockGlobal(world.global_a, 2);
+    world.sim->Write(obj, world.data, 3);   // Group in txn a.
+    world.sim->Lock(obj, world.spin, 4);
+    world.sim->Write(obj, world.data, 5);   // Group in nested txn.
+    world.sim->Unlock(obj, world.spin, 6);  // Nested txn ends; txn a resumes.
+    world.sim->Write(obj, world.data, 7);   // Must fold into the first group.
+    world.sim->UnlockGlobal(world.global_a, 8);
+    world.sim->Destroy(obj, 9);
+  }
+  ObservationStore store = world.Extract();
+  const auto& groups = store.GroupsFor(world.Key(world.data));
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].n_writes, 2u);  // Accesses at seq 3 and 7 folded.
+  EXPECT_EQ(groups[1].n_writes, 1u);  // The nested access.
+  EXPECT_EQ(store.seq(groups[0].lockseq_id).size(), 1u);
+  EXPECT_EQ(store.seq(groups[1].lockseq_id).size(), 2u);
+}
+
+void ExpectStoresIdentical(const ObservationStore& a, const ObservationStore& b) {
+  ASSERT_EQ(a.distinct_seqs(), b.distinct_seqs());
+  for (uint32_t id = 0; id < a.distinct_seqs(); ++id) {
+    EXPECT_EQ(a.seq(id), b.seq(id)) << "seq id " << id;
+  }
+  ASSERT_EQ(a.groups().size(), b.groups().size());
+  auto it_b = b.groups().begin();
+  for (const auto& [key, groups_a] : a.groups()) {
+    ASSERT_TRUE(key == it_b->first);
+    const auto& groups_b = it_b->second;
+    ASSERT_EQ(groups_a.size(), groups_b.size());
+    for (size_t i = 0; i < groups_a.size(); ++i) {
+      EXPECT_EQ(groups_a[i].lockseq_id, groups_b[i].lockseq_id);
+      EXPECT_EQ(groups_a[i].txn_id, groups_b[i].txn_id);
+      EXPECT_EQ(groups_a[i].alloc_id, groups_b[i].alloc_id);
+      EXPECT_EQ(groups_a[i].n_reads, groups_b[i].n_reads);
+      EXPECT_EQ(groups_a[i].n_writes, groups_b[i].n_writes);
+      EXPECT_EQ(groups_a[i].seqs, groups_b[i].seqs);
+    }
+    ++it_b;
+  }
+}
+
+TEST(ObservationsTest, ParallelExtractionMatchesSerialExactly) {
+  // Interned ids, group order, and every group field must be identical
+  // whether classification runs inline or across a pool.
+  TestWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    for (int round = 0; round < 40; ++round) {
+      ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+      world.sim->LockGlobal(world.global_a, 2);
+      world.sim->Write(obj, world.data, 3);
+      world.sim->Lock(obj, round % 2 == 0 ? world.spin : world.mutex, 4);
+      world.sim->Read(obj, world.extra, 5);
+      world.sim->Unlock(obj, round % 2 == 0 ? world.spin : world.mutex, 6);
+      world.sim->UnlockGlobal(world.global_a, 7);
+      world.sim->Read(obj, world.data, 8);  // Lock-free span.
+      world.sim->Destroy(obj, 9);
+    }
+  }
+  Database db;
+  world.Import(&db);
+  ObservationStore serial = ExtractObservations(db, world.trace, *world.registry);
+  for (size_t threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    ObservationStore parallel = ExtractObservations(db, world.trace, *world.registry, &pool);
+    ExpectStoresIdentical(serial, parallel);
+  }
+}
+
 }  // namespace
 }  // namespace lockdoc

@@ -1,0 +1,111 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(ThreadPoolTest, ZeroItemsIsANoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleItemRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> slots(1, 0);
+  pool.ParallelFor(1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      slots[i] = 1;
+    }
+  });
+  EXPECT_EQ(slots[0], 1);
+}
+
+TEST(ThreadPoolTest, PoolOfOneRunsSerially) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<size_t> slots(100, 0);
+  pool.ParallelFor(slots.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      slots[i] = i + 1;
+    }
+  });
+  for (size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], i + 1);
+  }
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10007;  // Prime, so chunks never divide it evenly.
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(kN, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<uint64_t> sum{0};
+    pool.ParallelFor(1000, [&](size_t begin, size_t end) {
+      uint64_t local = 0;
+      for (size_t i = begin; i < end; ++i) {
+        local += i;
+      }
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 1000ull * 999 / 2);
+  }
+}
+
+// The determinism contract: per-index slot writes produce identical output
+// at every pool size.
+TEST(ThreadPoolTest, SlotOutputsIdenticalAcrossPoolSizes) {
+  constexpr size_t kN = 4096;
+  auto run = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> slots(kN);
+    pool.ParallelFor(kN, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        slots[i] = i * 2654435761u;
+      }
+    });
+    return slots;
+  };
+  std::vector<uint64_t> serial = run(1);
+  for (size_t threads : {2, 4, 8}) {
+    EXPECT_EQ(run(threads), serial) << threads << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  ThreadPool pool;  // 0 = DefaultThreadCount.
+  EXPECT_EQ(pool.thread_count(), ThreadPool::DefaultThreadCount());
+}
+
+TEST(ThreadPoolTest, StressManySmallJobs) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(17, [&](size_t begin, size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200ull * 17);
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -24,6 +24,7 @@
 // Traces must come from the built-in simulated kernel (the type registry is
 // part of the contract between tracer and analyzer, as in the paper where
 // the kernel's DWARF layout plays that role).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -66,7 +67,10 @@ int Usage() {
                "  diff OLD.trace NEW.trace [--all]\n"
                "  export-csv FILE --dir DIR\n"
                "  doctor FILE [--repair OUT.trace]\n"
-               "analysis commands accept --salvage to read damaged traces\n");
+               "analysis commands accept --salvage to read damaged traces,\n"
+               "--jobs N to set analysis threads (default: all hardware threads;\n"
+               "results are byte-identical at any value), and --timings to print\n"
+               "per-phase wall time and throughput to stderr\n");
   return 2;
 }
 
@@ -106,7 +110,27 @@ PipelineResult Analyze(const LoadedTrace& input, const FlagSet& flags) {
   PipelineOptions options;
   options.filter = VfsKernel::MakeFilterConfig();
   options.derivator.accept_threshold = flags.GetDouble("tac", 0.9);
+  options.jobs = flags.GetUint64("jobs", 0);
   return RunPipeline(input.trace, *input.registry, options);
+}
+
+// Pool for the analysis stages that run after RunPipeline (rule checking,
+// violation finding); same --jobs policy as the pipeline itself.
+ThreadPool MakeAnalysisPool(const FlagSet& flags) {
+  return ThreadPool(flags.GetUint64("jobs", 0));
+}
+
+// --timings: the per-phase block goes to stderr so stdout stays
+// byte-identical across --jobs values (and pipeable).
+void MaybePrintTimings(const FlagSet& flags, const PipelineTimings& timings) {
+  if (flags.GetBool("timings", false)) {
+    std::fprintf(stderr, "%s", timings.ToString().c_str());
+  }
+}
+
+double SecondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
 }
 
 int CmdSimulate(const FlagSet& flags) {
@@ -183,6 +207,7 @@ int CmdDerive(const FlagSet& flags) {
     return 1;
   }
   PipelineResult result = Analyze(input, flags);
+  MaybePrintTimings(flags, result.timings);
 
   DocGenOptions doc_options;
   doc_options.include_support = flags.GetBool("support", false);
@@ -261,8 +286,13 @@ int CmdCheck(const FlagSet& flags) {
   }
 
   PipelineResult result = Analyze(input, flags);
+  ThreadPool pool = MakeAnalysisPool(flags);
   RuleChecker checker(input.registry.get(), &result.observations);
-  std::vector<RuleCheckResult> checked = checker.CheckAll(rules.value());
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<RuleCheckResult> checked = checker.CheckAll(rules.value(), &pool);
+  result.timings.Add("rule checking", SecondsBetween(t0, std::chrono::steady_clock::now()),
+                     rules.value().size());
+  MaybePrintTimings(flags, result.timings);
   for (const RuleCheckResult& r : checked) {
     std::printf("%s  %-70s sr=%7s (%llu/%llu)\n",
                 std::string(RuleVerdictSymbol(r.verdict)).c_str(), r.rule.ToString().c_str(),
@@ -285,8 +315,13 @@ int CmdViolations(const FlagSet& flags) {
     return 1;
   }
   PipelineResult result = Analyze(input, flags);
+  ThreadPool pool = MakeAnalysisPool(flags);
   ViolationFinder finder(&input.trace, input.registry.get(), &result.observations);
-  std::vector<Violation> violations = finder.FindAll(result.rules);
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<Violation> violations = finder.FindAll(result.rules, &pool);
+  result.timings.Add("violation finding", SecondsBetween(t0, std::chrono::steady_clock::now()),
+                     result.rules.size());
+  MaybePrintTimings(flags, result.timings);
 
   TextTable table({"Data Type", "Events", "Members", "Contexts"});
   for (const ViolationSummaryRow& row : finder.Summarize(violations)) {
@@ -331,6 +366,7 @@ int CmdReport(const FlagSet& flags) {
     return 1;
   }
   PipelineResult result = Analyze(input, flags);
+  MaybePrintTimings(flags, result.timings);
   ReportOptions options;
   options.documented_rules_text = VfsKernel::DocumentedRulesText();
   options.full_documentation = flags.GetBool("full", false);
@@ -344,6 +380,7 @@ int CmdModes(const FlagSet& flags) {
     return 1;
   }
   PipelineResult result = Analyze(input, flags);
+  MaybePrintTimings(flags, result.timings);
   ModeAnalyzer analyzer(&result.db, &input.trace, input.registry.get(),
                         &result.observations);
   auto entries = flags.GetBool("all", false) ? analyzer.Analyze(result.rules)
@@ -381,8 +418,11 @@ int CmdDiff(const FlagSet& flags) {
   PipelineOptions options;
   options.filter = VfsKernel::MakeFilterConfig();
   options.derivator.accept_threshold = flags.GetDouble("tac", 0.9);
+  options.jobs = flags.GetUint64("jobs", 0);
   PipelineResult old_result = RunPipeline(old_trace, *registry, options);
   PipelineResult new_result = RunPipeline(new_trace, *registry, options);
+  MaybePrintTimings(flags, old_result.timings);
+  MaybePrintTimings(flags, new_result.timings);
 
   RuleDiffOptions diff_options;
   diff_options.include_unchanged = flags.GetBool("all", false);
