@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Mining benchmark harness: runs the derivator ablation microbenchmarks and
+# the Tab. 6 end-to-end rule-mining bench (fixed seed, jobs 1/2/8) and
+# merges everything into one BENCH_mining.json.
+#
+# Usage: scripts/bench_mining.sh [BUILD_DIR] [OUT_JSON]
+#   BUILD_DIR defaults to "build", OUT_JSON to "BENCH_mining.json".
+#
+# Environment:
+#   LOCKDOC_BENCH_OPS       op count for the tab6 simulated-kernel run
+#                           (bench/common.h; smoke CI uses 2500).
+#   LOCKDOC_BENCH_MIN_TIME  --benchmark_min_time for micro_derivator, as a
+#                           plain double in seconds (unset = library default).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_mining.json}"
+
+MICRO="$BUILD_DIR/bench/micro_derivator"
+TAB6="$BUILD_DIR/bench/tab6_rule_mining"
+for bin in "$MICRO" "$TAB6"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_mining: missing $bin (build the 'micro_derivator' and" \
+         "'tab6_rule_mining' targets first)" >&2
+    exit 1
+  fi
+done
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+MICRO_ARGS=(
+  "--benchmark_filter=BM_Derive|BM_Enumerate"
+  "--benchmark_out=$TMP_DIR/micro.json"
+  "--benchmark_out_format=json"
+)
+if [[ -n "${LOCKDOC_BENCH_MIN_TIME:-}" ]]; then
+  MICRO_ARGS+=("--benchmark_min_time=$LOCKDOC_BENCH_MIN_TIME")
+fi
+echo "bench_mining: micro_derivator ${MICRO_ARGS[*]}" >&2
+"$MICRO" "${MICRO_ARGS[@]}"
+
+JOBS_SWEEP=(1 2 8)
+for jobs in "${JOBS_SWEEP[@]}"; do
+  echo "bench_mining: tab6_rule_mining --seed 1 --jobs $jobs" >&2
+  "$TAB6" --seed 1 --jobs "$jobs" --timings-json "$TMP_DIR/tab6_j$jobs.json" \
+    > "$TMP_DIR/tab6_j$jobs.txt"
+done
+
+python3 - "$TMP_DIR" "$OUT_JSON" <<'PY'
+import json
+import os
+import sys
+
+tmp_dir, out_path = sys.argv[1], sys.argv[2]
+with open(os.path.join(tmp_dir, "micro.json")) as f:
+    micro = json.load(f)
+
+tab6 = {}
+for jobs in (1, 2, 8):
+    with open(os.path.join(tmp_dir, f"tab6_j{jobs}.json")) as f:
+        tab6[f"jobs{jobs}"] = json.load(f)
+
+merged = {
+    "generated_by": "scripts/bench_mining.sh",
+    "seed": 1,
+    "ops": os.environ.get("LOCKDOC_BENCH_OPS", "30000 (default)"),
+    "micro_derivator": {
+        "context": micro.get("context", {}),
+        "benchmarks": micro.get("benchmarks", []),
+    },
+    "tab6_rule_mining": tab6,
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"bench_mining: wrote {out_path}")
+PY

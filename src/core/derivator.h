@@ -39,6 +39,9 @@ struct DerivationResult {
   // All enumerated hypotheses above the cutoff threshold, sorted by
   // descending sr, then ascending lock count, then lexicographically.
   std::vector<Hypothesis> hypotheses;
+  // Candidate hypotheses scored before the report cutoff — feeds the
+  // mining-effectiveness counters in PipelineTimings.
+  uint64_t candidates_scored = 0;
   // The selected rule; nullopt iff total == 0 (member never observed).
   std::optional<Hypothesis> winner;
 
@@ -86,9 +89,12 @@ class RuleDerivator {
 };
 
 // Exposed for testing and for the ablation benches: all distinct
-// subsequences of `seq`, including the empty one. If `seq` is longer than
-// `max_locks` (or than 63, the bitmask powerset limit), only single locks,
-// contiguous prefixes, ordered pairs, and the full sequence are produced.
+// subsequences of `seq`, including the empty one, as a sorted deduplicated
+// vector. If `seq` is longer than `max_locks` (or than 63, the bitmask
+// powerset limit), only single locks, contiguous prefixes, ordered pairs,
+// and the full sequence are produced. This is the string-based reference of
+// the interned EnumerateSubsequenceIds the hot path uses (via the
+// ObservationStore's shared enumeration cache).
 std::vector<LockSeq> EnumerateSubsequences(const LockSeq& seq, size_t max_locks);
 
 }  // namespace lockdoc

@@ -84,11 +84,17 @@ std::vector<ModeReportEntry> ModeAnalyzer::Analyze(
       entry.usages[i].lock = entry.rule[i];
     }
 
+    // Compliance scan on interned ids (string fallback for hand-built
+    // results whose classes were never observed).
+    std::optional<IdSeq> rule_ids = store_->pool().FindSeq(entry.rule);
     for (const ObservationGroup& group : store_->GroupsFor(result.key)) {
       if (group.effective() != result.access) {
         continue;
       }
-      if (!IsSubsequence(entry.rule, store_->seq(group.lockseq_id))) {
+      bool complies = rule_ids.has_value()
+                          ? IsSubsequenceIds(*rule_ids, store_->id_seq(group.lockseq_id))
+                          : IsSubsequence(entry.rule, store_->seq(group.lockseq_id));
+      if (!complies) {
         continue;  // Only complying observations characterize the rule.
       }
       std::vector<HeldClass> held = held_classes(group.txn_id, group.alloc_id);

@@ -1,5 +1,7 @@
 #include "src/core/observations.h"
 
+#include <atomic>
+#include <mutex>
 #include <queue>
 #include <unordered_map>
 #include <utility>
@@ -12,6 +14,28 @@ namespace lockdoc {
 
 const std::vector<ObservationGroup> ObservationStore::kEmptyGroups;
 
+// Per-store subsequence-enumeration cache. Entries are heap-allocated so
+// their once_flags stay put when the store moves; the mutex guards only
+// (re)building the entry table, and call_once makes each entry's fill
+// thread-safe with exactly one computing thread.
+struct ObservationStore::EnumCache {
+  struct Entry {
+    std::once_flag once;
+    std::vector<IdSeq> subseqs;
+  };
+
+  std::mutex mu;
+  size_t max_locks = 0;
+  std::vector<std::unique_ptr<Entry>> entries;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+};
+
+ObservationStore::ObservationStore() : enum_cache_(std::make_unique<EnumCache>()) {}
+ObservationStore::~ObservationStore() = default;
+ObservationStore::ObservationStore(ObservationStore&&) noexcept = default;
+ObservationStore& ObservationStore::operator=(ObservationStore&&) noexcept = default;
+
 uint32_t ObservationStore::InternSeq(const LockSeq& seq) {
   auto it = seq_index_.find(seq);
   if (it != seq_index_.end()) {
@@ -19,6 +43,7 @@ uint32_t ObservationStore::InternSeq(const LockSeq& seq) {
   }
   uint32_t id = static_cast<uint32_t>(seqs_.size());
   seqs_.push_back(seq);
+  id_seqs_.push_back(pool_.InternSeq(seq));
   seq_index_.emplace(seq, id);
   return id;
 }
@@ -26,6 +51,47 @@ uint32_t ObservationStore::InternSeq(const LockSeq& seq) {
 const LockSeq& ObservationStore::seq(uint32_t id) const {
   LOCKDOC_CHECK(id < seqs_.size());
   return seqs_[id];
+}
+
+const IdSeq& ObservationStore::id_seq(uint32_t id) const {
+  LOCKDOC_CHECK(id < id_seqs_.size());
+  return id_seqs_[id];
+}
+
+const std::vector<IdSeq>& ObservationStore::CachedSubsequenceIds(uint32_t seq_id,
+                                                                 size_t max_locks) const {
+  LOCKDOC_CHECK(seq_id < id_seqs_.size());
+  LOCKDOC_CHECK(enum_cache_ != nullptr);  // Absent only in a moved-from store.
+  EnumCache& cache = *enum_cache_;
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (cache.entries.size() != id_seqs_.size() || cache.max_locks != max_locks) {
+      // New sequences were interned or the expansion bound changed: rebuild.
+      // Callers must not hold references across such a change.
+      cache.entries.clear();
+      cache.entries.reserve(id_seqs_.size());
+      for (size_t i = 0; i < id_seqs_.size(); ++i) {
+        cache.entries.push_back(std::make_unique<EnumCache::Entry>());
+      }
+      cache.max_locks = max_locks;
+    }
+  }
+  EnumCache::Entry& entry = *cache.entries[seq_id];
+  bool computed = false;
+  std::call_once(entry.once, [&] {
+    entry.subseqs = EnumerateSubsequenceIds(id_seqs_[seq_id], max_locks);
+    computed = true;
+  });
+  (computed ? cache.misses : cache.hits).fetch_add(1, std::memory_order_relaxed);
+  return entry.subseqs;
+}
+
+uint64_t ObservationStore::enum_cache_hits() const {
+  return enum_cache_ == nullptr ? 0 : enum_cache_->hits.load(std::memory_order_relaxed);
+}
+
+uint64_t ObservationStore::enum_cache_misses() const {
+  return enum_cache_ == nullptr ? 0 : enum_cache_->misses.load(std::memory_order_relaxed);
 }
 
 const std::vector<ObservationGroup>& ObservationStore::GroupsFor(const MemberObsKey& key) const {

@@ -8,12 +8,14 @@
 
 #include <compare>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "src/db/database.h"
 #include "src/model/ids.h"
 #include "src/model/lock_class.h"
+#include "src/model/lock_class_pool.h"
 #include "src/model/type_registry.h"
 #include "src/trace/trace.h"
 #include "src/util/thread_pool.h"
@@ -51,9 +53,37 @@ struct ObservationGroup {
 
 class ObservationStore {
  public:
+  ObservationStore();
+  ~ObservationStore();
+  ObservationStore(ObservationStore&&) noexcept;
+  ObservationStore& operator=(ObservationStore&&) noexcept;
+  ObservationStore(const ObservationStore&) = delete;
+  ObservationStore& operator=(const ObservationStore&) = delete;
+
   uint32_t InternSeq(const LockSeq& seq);
   const LockSeq& seq(uint32_t id) const;
+  // The interned-id form of seq(id); same indexing. The mining hot path
+  // (derivator, checker, violation finder) runs on these.
+  const IdSeq& id_seq(uint32_t id) const;
   size_t distinct_seqs() const { return seqs_.size(); }
+
+  // The lock-class interner shared by every sequence in this store. Ids are
+  // dense and assigned in first-appearance order (deterministic at any
+  // thread count — sequences are interned serially; see DESIGN.md).
+  const LockClassPool& pool() const { return pool_; }
+
+  // Subsequence-enumeration cache: all distinct subsequences of seq(seq_id)
+  // under the `max_locks` expansion bound, as sorted deduplicated id
+  // sequences. Each entry is computed exactly once per store and then
+  // shared read-only across all DeriveAll work items and threads
+  // (thread-safe; concurrent callers must agree on `max_locks` — a changed
+  // bound rebuilds the cache and must not race in-flight readers).
+  const std::vector<IdSeq>& CachedSubsequenceIds(uint32_t seq_id, size_t max_locks) const;
+
+  // Cache effectiveness counters (cumulative across rebuilds): a miss is a
+  // lookup that computed its entry, a hit found it already computed.
+  uint64_t enum_cache_hits() const;
+  uint64_t enum_cache_misses() const;
 
   std::vector<ObservationGroup>& MutableGroups(const MemberObsKey& key) { return groups_[key]; }
   const std::map<MemberObsKey, std::vector<ObservationGroup>>& groups() const { return groups_; }
@@ -65,9 +95,14 @@ class ObservationStore {
   uint64_t CountObservations(const MemberObsKey& key, AccessType access) const;
 
  private:
+  struct EnumCache;  // Defined in observations.cc (holds sync primitives).
+
   std::vector<LockSeq> seqs_;
+  std::vector<IdSeq> id_seqs_;
+  LockClassPool pool_;
   std::unordered_map<LockSeq, uint32_t, LockSeqHash> seq_index_;
   std::map<MemberObsKey, std::vector<ObservationGroup>> groups_;
+  mutable std::unique_ptr<EnumCache> enum_cache_;
 
   static const std::vector<ObservationGroup> kEmptyGroups;
 };

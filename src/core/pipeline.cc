@@ -35,6 +35,12 @@ std::string PipelineTimings::ToString() const {
                      FormatWithCommas(static_cast<uint64_t>(phase.items_per_sec())).c_str());
   }
   out += StrFormat("  %-28s %8.3f s\n", "total", total_seconds());
+  if (mining.any()) {
+    out += StrFormat("  enumeration cache: %s hits, %s misses; %s candidates scored\n",
+                     FormatWithCommas(mining.enum_cache_hits).c_str(),
+                     FormatWithCommas(mining.enum_cache_misses).c_str(),
+                     FormatWithCommas(mining.candidates_scored).c_str());
+  }
   return out;
 }
 
@@ -47,7 +53,11 @@ std::string PipelineTimings::ToJson() const {
                      i == 0 ? "" : ", ", phase.phase.c_str(), phase.seconds,
                      static_cast<unsigned long long>(phase.items), phase.items_per_sec());
   }
-  out += "]}";
+  out += StrFormat("], \"mining\": {\"enum_cache_hits\": %llu, \"enum_cache_misses\": %llu, "
+                   "\"candidates_scored\": %llu}}",
+                   static_cast<unsigned long long>(mining.enum_cache_hits),
+                   static_cast<unsigned long long>(mining.enum_cache_misses),
+                   static_cast<unsigned long long>(mining.candidates_scored));
   return out;
 }
 
@@ -71,8 +81,13 @@ PipelineResult RunPipeline(const Trace& trace, const TypeRegistry& registry,
   RuleDerivator derivator(options.derivator);
   result.rules = derivator.DeriveAll(result.observations, &pool);
   auto t3 = Clock::now();
-  result.timings.Add("rule derivation", Seconds(t2, t3),
+  result.timings.Add("rule derivation (interned)", Seconds(t2, t3),
                      static_cast<uint64_t>(result.observations.groups().size()) * 2);
+  result.timings.mining.enum_cache_hits = result.observations.enum_cache_hits();
+  result.timings.mining.enum_cache_misses = result.observations.enum_cache_misses();
+  for (const DerivationResult& rule : result.rules) {
+    result.timings.mining.candidates_scored += rule.candidates_scored;
+  }
   return result;
 }
 

@@ -38,15 +38,30 @@ struct PhaseTiming {
   double items_per_sec() const { return seconds > 0.0 ? items / seconds : 0.0; }
 };
 
+// Effectiveness counters of the interned-id mining core: how the
+// per-store subsequence-enumeration cache behaved and how many candidate
+// hypotheses were scored. All zero when derivation did not run.
+struct MiningStats {
+  uint64_t enum_cache_hits = 0;    // Lookups served from the shared cache.
+  uint64_t enum_cache_misses = 0;  // Lookups that computed their entry.
+  uint64_t candidates_scored = 0;  // Hypotheses scored across all members.
+
+  bool any() const {
+    return enum_cache_hits != 0 || enum_cache_misses != 0 || candidates_scored != 0;
+  }
+};
+
 struct PipelineTimings {
   size_t jobs = 1;  // Lanes actually used (after resolving jobs = 0).
   std::vector<PhaseTiming> phases;
+  MiningStats mining;
 
   void Add(std::string phase, double seconds, uint64_t items);
   double total_seconds() const;
   // Aligned text block for terminals (one line per phase plus a total).
   std::string ToString() const;
-  // {"jobs": N, "phases": [{"phase": ..., "seconds": ..., ...}]}
+  // {"jobs": N, "phases": [{"phase": ..., "seconds": ..., ...}],
+  //  "mining": {"enum_cache_hits": ..., ...}}
   std::string ToJson() const;
 };
 

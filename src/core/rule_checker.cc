@@ -72,6 +72,10 @@ RuleCheckResult RuleChecker::Check(const LockingRule& rule) const {
     subclasses.push_back(*sub);
   }
 
+  // Intern the documented rule once; a rule naming a lock class that was
+  // never observed cannot comply with any interned observation, so only the
+  // totals count for it.
+  std::optional<IdSeq> rule_ids = store_->pool().FindSeq(rule.locks);
   for (SubclassId sub : subclasses) {
     MemberObsKey key;
     key.type = *type;
@@ -82,7 +86,8 @@ RuleCheckResult RuleChecker::Check(const LockingRule& rule) const {
         continue;
       }
       ++result.total;
-      if (IsSubsequence(rule.locks, store_->seq(group.lockseq_id))) {
+      if (rule_ids.has_value() &&
+          IsSubsequenceIds(*rule_ids, store_->id_seq(group.lockseq_id))) {
         ++result.sa;
       }
     }

@@ -28,12 +28,20 @@ std::vector<Violation> ViolationFinder::FindAll(const std::vector<DerivationResu
           result.winner->sr >= 1.0) {
         continue;
       }
+      // Winners come from observed combinations, so their classes are
+      // always interned; compare ids in the scan and materialize the held
+      // strings only for actual violations. A hand-built result with
+      // unknown classes falls back to the string comparison.
+      std::optional<IdSeq> rule_ids = store_->pool().FindSeq(result.winner->locks);
       for (const ObservationGroup& group : store_->GroupsFor(result.key)) {
         if (group.effective() != result.access) {
           continue;
         }
         const LockSeq& held = store_->seq(group.lockseq_id);
-        if (IsSubsequence(result.winner->locks, held)) {
+        bool complies = rule_ids.has_value()
+                            ? IsSubsequenceIds(*rule_ids, store_->id_seq(group.lockseq_id))
+                            : IsSubsequence(result.winner->locks, held);
+        if (complies) {
           continue;
         }
         Violation violation;

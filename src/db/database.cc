@@ -15,15 +15,17 @@ Table& Database::CreateTable(const std::string& name, std::vector<ColumnDef> col
   return ref;
 }
 
-bool Database::HasTable(const std::string& name) const { return tables_.count(name) != 0; }
+bool Database::HasTable(std::string_view name) const {
+  return tables_.find(name) != tables_.end();
+}
 
-Table& Database::table(const std::string& name) {
+Table& Database::table(std::string_view name) {
   auto it = tables_.find(name);
   LOCKDOC_CHECK(it != tables_.end());
   return *it->second;
 }
 
-const Table& Database::table(const std::string& name) const {
+const Table& Database::table(std::string_view name) const {
   auto it = tables_.find(name);
   LOCKDOC_CHECK(it != tables_.end());
   return *it->second;

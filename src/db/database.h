@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/db/table.h"
@@ -24,10 +25,13 @@ class Database {
   // Creates a table; the name must be unique.
   Table& CreateTable(const std::string& name, std::vector<ColumnDef> columns);
 
-  bool HasTable(const std::string& name) const;
+  // Lookups are heterogeneous (std::less<> on the name map), so the
+  // hot-path `table("accesses")` literals never construct a temporary
+  // std::string.
+  bool HasTable(std::string_view name) const;
   // CHECK-fails on unknown table names.
-  Table& table(const std::string& name);
-  const Table& table(const std::string& name) const;
+  Table& table(std::string_view name);
+  const Table& table(std::string_view name) const;
 
   std::vector<std::string> TableNames() const;
 
@@ -38,7 +42,7 @@ class Database {
   Status ImportDirectory(const std::string& dir);
 
  private:
-  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
 };
 
 }  // namespace lockdoc

@@ -135,9 +135,10 @@ bool IsSubsequence(const LockSeq& rule, const LockSeq& held) {
   return rule_pos == rule.size();
 }
 
-size_t LockSeqHash::operator()(const LockSeq& seq) const {
-  // FNV-1a over the canonical textual forms; sequences are short.
-  size_t hash = 1469598103934665603ULL;
+namespace {
+
+// FNV-1a mixing over one lock class's fields; sequences are short.
+void MixLockClass(size_t& hash, const LockClass& lock) {
   auto mix = [&hash](std::string_view text) {
     for (char c : text) {
       hash ^= static_cast<size_t>(static_cast<unsigned char>(c));
@@ -146,11 +147,24 @@ size_t LockSeqHash::operator()(const LockSeq& seq) const {
     hash ^= 0xff;
     hash *= 1099511628211ULL;
   };
+  mix(lock.lock_name);
+  mix(lock.owner_type);
+  hash ^= static_cast<size_t>(lock.scope) + 0x9e3779b9;
+}
+
+}  // namespace
+
+size_t LockSeqHash::operator()(const LockSeq& seq) const {
+  size_t hash = 1469598103934665603ULL;
   for (const LockClass& lock : seq) {
-    mix(lock.lock_name);
-    mix(lock.owner_type);
-    hash ^= static_cast<size_t>(lock.scope) + 0x9e3779b9;
+    MixLockClass(hash, lock);
   }
+  return hash;
+}
+
+size_t LockClassHash::operator()(const LockClass& cls) const {
+  size_t hash = 1469598103934665603ULL;
+  MixLockClass(hash, cls);
   return hash;
 }
 

@@ -72,6 +72,11 @@ struct LockSeqHash {
   size_t operator()(const LockSeq& seq) const;
 };
 
+// Hash of a single lock class (same mixing as LockSeqHash), for interning.
+struct LockClassHash {
+  size_t operator()(const LockClass& cls) const;
+};
+
 }  // namespace lockdoc
 
 #endif  // SRC_MODEL_LOCK_CLASS_H_

@@ -1,0 +1,130 @@
+#include "src/model/lock_class_pool.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+
+LockId LockClassPool::Intern(const LockClass& cls) {
+  auto it = index_.find(cls);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  LockId id = static_cast<LockId>(classes_.size());
+  classes_.push_back(cls);
+  index_.emplace(cls, id);
+  return id;
+}
+
+IdSeq LockClassPool::InternSeq(const LockSeq& seq) {
+  IdSeq ids;
+  ids.reserve(seq.size());
+  for (const LockClass& cls : seq) {
+    ids.push_back(Intern(cls));
+  }
+  return ids;
+}
+
+std::optional<LockId> LockClassPool::Find(const LockClass& cls) const {
+  auto it = index_.find(cls);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<IdSeq> LockClassPool::FindSeq(const LockSeq& seq) const {
+  IdSeq ids;
+  ids.reserve(seq.size());
+  for (const LockClass& cls : seq) {
+    std::optional<LockId> id = Find(cls);
+    if (!id.has_value()) {
+      return std::nullopt;
+    }
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+const LockClass& LockClassPool::Get(LockId id) const {
+  LOCKDOC_CHECK(id < classes_.size());
+  return classes_[id];
+}
+
+LockSeq LockClassPool::Materialize(const IdSeq& ids) const {
+  LockSeq seq;
+  seq.reserve(ids.size());
+  for (LockId id : ids) {
+    seq.push_back(Get(id));
+  }
+  return seq;
+}
+
+std::vector<uint32_t> LockClassPool::LexicographicRanks() const {
+  std::vector<uint32_t> order(classes_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [this](uint32_t a, uint32_t b) { return classes_[a] < classes_[b]; });
+  std::vector<uint32_t> ranks(classes_.size());
+  for (uint32_t rank = 0; rank < order.size(); ++rank) {
+    ranks[order[rank]] = rank;
+  }
+  return ranks;
+}
+
+bool IsSubsequenceIds(const IdSeq& rule, const IdSeq& held) {
+  size_t rule_pos = 0;
+  for (LockId lock : held) {
+    if (rule_pos == rule.size()) {
+      break;
+    }
+    if (lock == rule[rule_pos]) {
+      ++rule_pos;
+    }
+  }
+  return rule_pos == rule.size();
+}
+
+std::vector<IdSeq> EnumerateSubsequenceIds(const IdSeq& seq, size_t max_locks) {
+  std::vector<IdSeq> result;
+  result.push_back(IdSeq{});
+  // The bitmask powerset cannot represent >= 64 locks; such sequences only
+  // appear in salvaged or adversarial traces with a raised max_locks, and
+  // clamp into the bounded fallback instead of aborting.
+  if (seq.size() <= max_locks && seq.size() < 64) {
+    uint64_t limit = 1ULL << seq.size();
+    result.reserve(static_cast<size_t>(limit));
+    for (uint64_t mask = 1; mask < limit; ++mask) {
+      IdSeq subsequence;
+      subsequence.reserve(static_cast<size_t>(__builtin_popcountll(mask)));
+      for (size_t i = 0; i < seq.size(); ++i) {
+        if ((mask >> i) & 1) {
+          subsequence.push_back(seq[i]);
+        }
+      }
+      result.push_back(std::move(subsequence));
+    }
+  } else {
+    // Bounded fallback: singles, ordered pairs, prefixes, full sequence.
+    result.reserve(1 + seq.size() * (seq.size() + 1) / 2 + seq.size());
+    for (size_t i = 0; i < seq.size(); ++i) {
+      result.push_back(IdSeq{seq[i]});
+      for (size_t j = i + 1; j < seq.size(); ++j) {
+        result.push_back(IdSeq{seq[i], seq[j]});
+      }
+    }
+    IdSeq prefix;
+    prefix.reserve(seq.size());
+    for (LockId lock : seq) {
+      prefix.push_back(lock);
+      result.push_back(prefix);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace lockdoc

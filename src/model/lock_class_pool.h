@@ -1,0 +1,88 @@
+// Dense interning of lock classes — the integer vocabulary the rule-mining
+// hot path runs on.
+//
+// Phase-2 hypothesis enumeration and support scoring (paper Sec. 4.3/5.4)
+// compare lock sequences millions of times; doing that on
+// `std::vector<LockClass>` means deep string comparisons and per-copy
+// allocations. A LockClassPool maps each distinct LockClass to a dense
+// small-integer `LockId` so the mining core can operate on `IdSeq`
+// (`std::vector<LockId>`) with integer comparisons and flat copies,
+// materializing `LockClass` strings only at report/documentation
+// boundaries.
+//
+// Determinism: ids are assigned in first-appearance interning order. The
+// ObservationStore interns classified lock sequences serially in task
+// first-appearance order (see observations.h), so the id assignment — and
+// therefore everything derived from it — is byte-identical at any thread
+// count. Id order is NOT lexicographic; user-visible orderings are computed
+// either on the materialized string forms or on LexicographicRanks (a rank
+// table that reproduces LockClass::operator< exactly), which is why output
+// ordering is unchanged by the interning layer (see DESIGN.md, "Interned-id
+// mining core").
+#ifndef SRC_MODEL_LOCK_CLASS_POOL_H_
+#define SRC_MODEL_LOCK_CLASS_POOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/model/lock_class.h"
+
+namespace lockdoc {
+
+// Dense id of one distinct LockClass within a LockClassPool.
+using LockId = uint32_t;
+
+// An interned lock sequence — the integer mirror of LockSeq.
+using IdSeq = std::vector<LockId>;
+
+class LockClassPool {
+ public:
+  // Returns the id of `cls`, interning it (next dense id) on first sight.
+  LockId Intern(const LockClass& cls);
+
+  // Interns every class of `seq`, preserving order.
+  IdSeq InternSeq(const LockSeq& seq);
+
+  // Lookup without interning; nullopt when the class was never interned.
+  std::optional<LockId> Find(const LockClass& cls) const;
+
+  // Id form of `seq`; nullopt when any class of it was never interned (such
+  // a sequence cannot match any interned observation).
+  std::optional<IdSeq> FindSeq(const LockSeq& seq) const;
+
+  const LockClass& Get(LockId id) const;
+
+  // The string form of an id sequence — the report/doc boundary.
+  LockSeq Materialize(const IdSeq& ids) const;
+
+  // ranks[id] = position of Get(id) under LockClass::operator< across the
+  // whole pool. Comparing two IdSeqs element-wise by rank therefore orders
+  // them exactly as their materialized LockSeqs compare lexicographically —
+  // report and winner tie-breaks can run on ids without string compares.
+  // O(n log n); compute once per mining pass, not per candidate.
+  std::vector<uint32_t> LexicographicRanks() const;
+
+  size_t size() const { return classes_.size(); }
+
+ private:
+  std::vector<LockClass> classes_;
+  std::unordered_map<LockClass, LockId, LockClassHash> index_;
+};
+
+// True iff `rule` is a subsequence of `held` — the integer two-pointer
+// mirror of IsSubsequence(LockSeq, LockSeq). Both sequences must come from
+// the same pool.
+bool IsSubsequenceIds(const IdSeq& rule, const IdSeq& held);
+
+// All distinct subsequences of `seq` (including the empty one) as a sorted
+// deduplicated vector — the id mirror of EnumerateSubsequences with the
+// same bounded fallback: if `seq` is longer than `max_locks` (or than 63,
+// the bitmask powerset limit), only single locks, ordered pairs, contiguous
+// prefixes, and the full sequence are produced.
+std::vector<IdSeq> EnumerateSubsequenceIds(const IdSeq& seq, size_t max_locks);
+
+}  // namespace lockdoc
+
+#endif  // SRC_MODEL_LOCK_CLASS_POOL_H_

@@ -1,0 +1,153 @@
+// The lock-class interner behind the rule-mining hot path: dense
+// first-appearance ids, lossless materialization, and the integer mirrors
+// of the string subsequence primitives.
+#include "src/model/lock_class_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+LockClass RandomClass(Rng& rng) {
+  int scope = static_cast<int>(rng.Below(3));
+  std::string name = StrFormat("lock%d", static_cast<int>(rng.Below(5)));
+  switch (scope) {
+    case 0:
+      return LockClass::Global(name);
+    case 1:
+      return LockClass::Same(name, "inode");
+    default:
+      return LockClass::Other(name, "super_block");
+  }
+}
+
+LockSeq RandomSeq(Rng& rng, size_t max_len) {
+  LockSeq seq;
+  size_t len = rng.Below(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    seq.push_back(RandomClass(rng));
+  }
+  return seq;
+}
+
+TEST(LockClassPoolTest, IdsAreDenseInFirstAppearanceOrder) {
+  LockClassPool pool;
+  LockClass a = LockClass::Global("a");
+  LockClass b = LockClass::Same("b", "inode");
+  LockClass c = LockClass::Global("c");
+  // First sight assigns the next dense id; re-interning returns the original
+  // id. This order is what makes pool ids deterministic at any thread count
+  // (sequences are interned serially), so it is pinned here.
+  EXPECT_EQ(pool.Intern(a), 0u);
+  EXPECT_EQ(pool.Intern(b), 1u);
+  EXPECT_EQ(pool.Intern(a), 0u);
+  EXPECT_EQ(pool.Intern(c), 2u);
+  EXPECT_EQ(pool.Intern(b), 1u);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.Get(0), a);
+  EXPECT_EQ(pool.Get(1), b);
+  EXPECT_EQ(pool.Get(2), c);
+}
+
+TEST(LockClassPoolTest, InternSeqAssignsIdsLeftToRight) {
+  LockClassPool pool;
+  LockClass x = LockClass::Global("x");
+  LockClass y = LockClass::Global("y");
+  LockClass z = LockClass::Global("z");
+  EXPECT_EQ(pool.InternSeq({x, y}), (IdSeq{0, 1}));
+  // A later sequence reuses known ids and extends the pool for new classes.
+  EXPECT_EQ(pool.InternSeq({y, z, x}), (IdSeq{1, 2, 0}));
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(LockClassPoolTest, FindDoesNotIntern) {
+  LockClassPool pool;
+  LockClass a = LockClass::Global("a");
+  EXPECT_EQ(pool.Find(a), std::nullopt);
+  EXPECT_EQ(pool.size(), 0u);
+  pool.Intern(a);
+  EXPECT_EQ(pool.Find(a), std::optional<LockId>(0));
+  EXPECT_EQ(pool.FindSeq({a, LockClass::Global("never-seen")}), std::nullopt);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(LockClassPoolTest, MaterializeRoundTrips) {
+  Rng rng(7);
+  LockClassPool pool;
+  for (int trial = 0; trial < 200; ++trial) {
+    LockSeq seq = RandomSeq(rng, 6);
+    EXPECT_EQ(pool.Materialize(pool.InternSeq(seq)), seq);
+  }
+}
+
+TEST(LockClassPoolTest, IsSubsequenceIdsMatchesStringVersion) {
+  Rng rng(11);
+  LockClassPool pool;
+  for (int trial = 0; trial < 500; ++trial) {
+    LockSeq rule = RandomSeq(rng, 4);
+    LockSeq held = RandomSeq(rng, 6);
+    EXPECT_EQ(IsSubsequenceIds(pool.InternSeq(rule), pool.InternSeq(held)),
+              IsSubsequence(rule, held))
+        << LockSeqToString(rule) << " vs " << LockSeqToString(held);
+  }
+}
+
+TEST(LockClassPoolTest, LexicographicRanksReproduceClassOrder) {
+  Rng rng(23);
+  LockClassPool pool;
+  for (int trial = 0; trial < 100; ++trial) {
+    pool.Intern(RandomClass(rng));
+  }
+  std::vector<uint32_t> ranks = pool.LexicographicRanks();
+  ASSERT_EQ(ranks.size(), pool.size());
+  for (LockId a = 0; a < pool.size(); ++a) {
+    for (LockId b = 0; b < pool.size(); ++b) {
+      EXPECT_EQ(ranks[a] < ranks[b], pool.Get(a) < pool.Get(b));
+    }
+  }
+}
+
+TEST(LockClassPoolTest, RankSequenceCompareMatchesLockSeqCompare) {
+  Rng rng(31);
+  LockClassPool pool;
+  std::vector<std::pair<LockSeq, IdSeq>> seqs;
+  for (int trial = 0; trial < 60; ++trial) {
+    LockSeq seq = RandomSeq(rng, 4);
+    seqs.emplace_back(seq, pool.InternSeq(seq));
+  }
+  std::vector<uint32_t> ranks = pool.LexicographicRanks();
+  auto rank_less = [&](const IdSeq& a, const IdSeq& b) {
+    size_t common = std::min(a.size(), b.size());
+    for (size_t i = 0; i < common; ++i) {
+      if (ranks[a[i]] != ranks[b[i]]) {
+        return ranks[a[i]] < ranks[b[i]];
+      }
+    }
+    return a.size() < b.size();
+  };
+  for (const auto& [seq_a, ids_a] : seqs) {
+    for (const auto& [seq_b, ids_b] : seqs) {
+      EXPECT_EQ(rank_less(ids_a, ids_b), seq_a < seq_b)
+          << LockSeqToString(seq_a) << " vs " << LockSeqToString(seq_b);
+    }
+  }
+}
+
+TEST(LockClassPoolTest, EnumerateSubsequenceIdsIncludesEmptyAndIsSorted) {
+  Rng rng(41);
+  LockClassPool pool;
+  IdSeq seq = pool.InternSeq(RandomSeq(rng, 5));
+  std::vector<IdSeq> subs = EnumerateSubsequenceIds(seq, 10);
+  ASSERT_FALSE(subs.empty());
+  EXPECT_TRUE(subs.front().empty());
+  EXPECT_TRUE(std::is_sorted(subs.begin(), subs.end()));
+  EXPECT_EQ(std::adjacent_find(subs.begin(), subs.end()), subs.end());
+}
+
+}  // namespace
+}  // namespace lockdoc
