@@ -16,13 +16,13 @@ int main(int argc, char** argv) {
 
   auto t0 = std::chrono::steady_clock::now();
   LockOrderGraph graph =
-      LockOrderGraph::Build(run.pipeline.db, run.sim.trace, *run.sim.registry);
+      LockOrderGraph::Build(run.pipeline.snapshot.db, *run.sim.registry);
   auto t1 = std::chrono::steady_clock::now();
   auto cycles = graph.FindCycles();
   auto t2 = std::chrono::steady_clock::now();
 
   std::printf("lock-order analysis (extension; lockdep-style, ex post)\n\n");
-  std::printf("%s\n", graph.Report(run.sim.trace, 25).c_str());
+  std::printf("%s\n", graph.Report(run.pipeline.snapshot.db, 25).c_str());
 
   std::printf("same-class nesting conventions:\n");
   for (const LockOrderEdge& edge : graph.SelfNesting()) {

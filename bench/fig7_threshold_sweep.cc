@@ -35,11 +35,11 @@ int main(int argc, char** argv) {
       DerivatorOptions options;
       options.accept_threshold = thresholds[t];
       RuleDerivator derivator(options);
-      for (const auto& [key, groups] : run.pipeline.observations.groups()) {
+      for (const auto& [key, groups] : run.pipeline.snapshot.observations.groups()) {
         if (key.type == inode_type) {
           continue;  // The paper's Fig. 7 excludes the inode subclasses.
         }
-        DerivationResult result = derivator.Derive(run.pipeline.observations, key, access);
+        DerivationResult result = derivator.Derive(run.pipeline.snapshot.observations, key, access);
         if (!result.observed()) {
           continue;
         }

@@ -1,0 +1,95 @@
+// Micro-benchmark for the .lockdb snapshot layer: serialize/deserialize
+// throughput, the container scan, and the motivating comparison — loading a
+// snapshot vs re-running import + extraction from the trace.
+#include <benchmark/benchmark.h>
+
+#include "src/core/pipeline.h"
+#include "src/core/snapshot.h"
+#include "src/db/snapshot.h"
+#include "src/vfs/vfs_kernel.h"
+#include "src/workload/workloads.h"
+
+namespace lockdoc {
+namespace {
+
+struct Fixture {
+  SimulationResult sim;
+  AnalysisSnapshot snapshot;
+  std::string bytes;
+
+  explicit Fixture(uint64_t ops) {
+    MixOptions mix;
+    mix.ops = ops;
+    mix.seed = 5;
+    sim = SimulateKernelRun(mix, FaultPlan{});
+    PipelineOptions options;
+    options.filter = VfsKernel::MakeFilterConfig();
+    snapshot = BuildSnapshot(sim.trace, *sim.registry, options);
+    bytes = SerializeSnapshot(snapshot, *sim.registry);
+  }
+};
+
+Fixture& SharedFixture(benchmark::State& state) {
+  static Fixture fixture(static_cast<uint64_t>(state.range(0)));
+  return fixture;
+}
+
+void BM_Serialize(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(state);
+  for (auto _ : state) {
+    std::string bytes = SerializeSnapshot(fixture.snapshot, *fixture.sim.registry);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fixture.bytes.size()));
+}
+BENCHMARK(BM_Serialize)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_Deserialize(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(state);
+  for (auto _ : state) {
+    auto snapshot = DeserializeSnapshot(fixture.bytes, *fixture.sim.registry);
+    benchmark::DoNotOptimize(snapshot);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fixture.bytes.size()));
+}
+BENCHMARK(BM_Deserialize)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_ContainerScan(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(state);
+  for (auto _ : state) {
+    auto sections = ScanSnapshotSections(fixture.bytes);
+    benchmark::DoNotOptimize(sections);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fixture.bytes.size()));
+}
+BENCHMARK(BM_ContainerScan)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+// The payoff being bought: import + extraction from the trace...
+void BM_BuildFromTrace(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(state);
+  PipelineOptions options;
+  options.filter = VfsKernel::MakeFilterConfig();
+  for (auto _ : state) {
+    AnalysisSnapshot snapshot = BuildSnapshot(fixture.sim.trace, *fixture.sim.registry, options);
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_BuildFromTrace)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+// ...vs the same analysis-ready state straight from .lockdb bytes.
+void BM_LoadFromSnapshot(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(state);
+  for (auto _ : state) {
+    auto snapshot = DeserializeSnapshot(fixture.bytes, *fixture.sim.registry);
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_LoadFromSnapshot)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lockdoc
+
+BENCHMARK_MAIN();

@@ -53,14 +53,14 @@ int main(int argc, char** argv) {
   ImportStats import_stats = importer.Import(sim.trace, &db);
   auto t2 = std::chrono::steady_clock::now();
 
-  ObservationStore observations = ExtractObservations(db, sim.trace, *sim.registry, &pool);
+  ObservationStore observations = ExtractObservations(db, *sim.registry, &pool);
   auto t3 = std::chrono::steady_clock::now();
 
   RuleDerivator derivator;
   std::vector<DerivationResult> rules = derivator.DeriveAll(observations, &pool);
   auto t4 = std::chrono::steady_clock::now();
 
-  ViolationFinder finder(&sim.trace, sim.registry.get(), &observations);
+  ViolationFinder finder(&db, sim.registry.get(), &observations);
   std::vector<Violation> violations = finder.FindAll(rules, &pool);
   auto t5 = std::chrono::steady_clock::now();
 

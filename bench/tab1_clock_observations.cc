@@ -62,8 +62,8 @@ int main() {
     key.type = example.clock_type;
     key.subclass = kNoSubclass;
     key.member = (member_name == std::string("seconds")) ? example.seconds : example.minutes;
-    Cell a = ExtractCell(result.observations, key, "sec_lock");
-    Cell b = ExtractCell(result.observations, key, "sec_lock -> min_lock");
+    Cell a = ExtractCell(result.snapshot.observations, key, "sec_lock");
+    Cell b = ExtractCell(result.snapshot.observations, key, "sec_lock -> min_lock");
     table.AddRow({member_name, "r", std::to_string(a.observed_r), std::to_string(b.observed_r),
                   std::to_string(a.folded_r), std::to_string(b.folded_r),
                   std::to_string(a.wor_r), std::to_string(b.wor_r)});

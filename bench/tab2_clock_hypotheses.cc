@@ -24,7 +24,7 @@ int main() {
   key.subclass = kNoSubclass;
   key.member = example.minutes;
   RuleDerivator derivator(options.derivator);
-  DerivationResult minutes = derivator.Derive(result.observations, key, AccessType::kWrite);
+  DerivationResult minutes = derivator.Derive(result.snapshot.observations, key, AccessType::kWrite);
 
   std::printf("Tab. 2 — locking hypotheses for writing `minutes`\n\n");
   TextTable table({"ID", "Locking Hypothesis", "sa", "sr"});

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", rules.status().message().c_str());
     return 1;
   }
-  RuleChecker checker(run.sim.registry.get(), &run.pipeline.observations);
+  RuleChecker checker(run.sim.registry.get(), &run.pipeline.snapshot.observations);
 
   std::vector<RuleCheckResult> inode_results;
   for (const LockingRule& rule : rules.value().rules()) {

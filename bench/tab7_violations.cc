@@ -12,7 +12,8 @@ using namespace lockdoc;
 int main(int argc, char** argv) {
   StandardRun run = RunStandardEvaluation(argc, argv);
 
-  ViolationFinder finder(&run.sim.trace, run.sim.registry.get(), &run.pipeline.observations);
+  ViolationFinder finder(&run.pipeline.snapshot.db, run.sim.registry.get(),
+                         &run.pipeline.snapshot.observations);
   std::vector<Violation> violations = finder.FindAll(run.pipeline.rules);
 
   std::printf("Tab. 7 — summary of locking-rule violations\n\n");

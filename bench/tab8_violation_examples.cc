@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv, &error);
   size_t limit = flags.GetUint64("examples", 10);
 
-  ViolationFinder finder(&run.sim.trace, run.sim.registry.get(), &run.pipeline.observations);
+  ViolationFinder finder(&run.pipeline.snapshot.db, run.sim.registry.get(),
+                         &run.pipeline.snapshot.observations);
   std::vector<Violation> violations = finder.FindAll(run.pipeline.rules);
 
   std::printf("Tab. 8 — locking-rule violation examples\n\n");

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   options.derivator.accept_threshold = flags.GetDouble("tac", 0.9);
   PipelineResult result = RunPipeline(sim.trace, *sim.registry, options);
 
-  ViolationFinder finder(&sim.trace, sim.registry.get(), &result.observations);
+  ViolationFinder finder(&result.snapshot.db, sim.registry.get(), &result.snapshot.observations);
   std::vector<Violation> violations = finder.FindAll(result.rules);
 
   std::printf("=== violation summary per data type ===\n");

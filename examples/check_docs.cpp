@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   options.filter = VfsKernel::MakeFilterConfig();
   PipelineResult result = RunPipeline(trace, *registry, options);
 
-  RuleChecker checker(registry.get(), &result.observations);
+  RuleChecker checker(registry.get(), &result.snapshot.observations);
   std::vector<RuleCheckResult> checked = checker.CheckAll(rules.value());
 
   std::printf("=== per-rule results ===\n");

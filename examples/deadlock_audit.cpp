@@ -35,8 +35,8 @@ int main(int argc, char** argv) {
   TraceImporter importer(sim.registry.get(), VfsKernel::MakeFilterConfig());
   importer.Import(sim.trace, &db);
 
-  LockOrderGraph graph = LockOrderGraph::Build(db, sim.trace, *sim.registry);
-  std::printf("%s\n", graph.Report(sim.trace).c_str());
+  LockOrderGraph graph = LockOrderGraph::Build(db, *sim.registry);
+  std::printf("%s\n", graph.Report(db).c_str());
 
   std::printf("same-class nesting conventions (ancestor-before-descendant):\n");
   for (const LockOrderEdge& edge : graph.SelfNesting()) {

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   PipelineResult result = RunPipeline(example.trace, *example.registry, options);
 
   std::printf("clock example: %zu events, %llu transactions\n\n", example.trace.size(),
-              static_cast<unsigned long long>(result.import_stats.txns));
+              static_cast<unsigned long long>(result.snapshot.import_stats.txns));
 
   // Per-variable derivation results.
   for (const DerivationResult& rule : result.rules) {
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   minutes_key.member = example.minutes;
   RuleDerivator derivator(options.derivator);
   DerivationResult minutes =
-      derivator.Derive(result.observations, minutes_key, AccessType::kWrite);
+      derivator.Derive(result.snapshot.observations, minutes_key, AccessType::kWrite);
   TextTable table({"ID", "Locking Hypothesis", "sa", "sr"});
   int id = 0;
   for (const Hypothesis& hypothesis : minutes.hypotheses) {
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   std::printf("%s", table.ToString().c_str());
 
   // The injected bug shows up as a rule violation.
-  ViolationFinder finder(&example.trace, example.registry.get(), &result.observations);
+  ViolationFinder finder(&result.snapshot.db, example.registry.get(), &result.snapshot.observations);
   std::vector<Violation> violations = finder.FindAll(result.rules);
   std::printf("\nrule violations found: %zu\n", violations.size());
   for (const ViolationExample& ex : finder.Examples(violations, 5)) {

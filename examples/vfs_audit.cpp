@@ -48,9 +48,9 @@ int main(int argc, char** argv) {
   options.derivator.accept_threshold = flags.GetDouble("tac", 0.9);
   PipelineResult result = RunPipeline(sim.trace, *sim.registry, options);
   std::printf("=== import ===\naccesses kept: %llu (filtered: %llu), transactions: %llu\n\n",
-              static_cast<unsigned long long>(result.import_stats.accesses_kept),
-              static_cast<unsigned long long>(result.import_stats.accesses_filtered),
-              static_cast<unsigned long long>(result.import_stats.txns));
+              static_cast<unsigned long long>(result.snapshot.import_stats.accesses_kept),
+              static_cast<unsigned long long>(result.snapshot.import_stats.accesses_filtered),
+              static_cast<unsigned long long>(result.snapshot.import_stats.txns));
 
   std::string type_name = flags.GetString("type", "inode");
   std::string subclass_name = flags.GetString("subclass", type_name == "inode" ? "ext4" : "");

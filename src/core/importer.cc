@@ -13,6 +13,8 @@ struct HeldLockState {
   LockInstanceId lock = 0;
   uint64_t acquire_seq = 0;
   AcquireMode mode = AcquireMode::kExclusive;
+  StringId acquire_file = 0;
+  uint32_t acquire_line = 0;
 };
 
 }  // namespace
@@ -27,6 +29,11 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
   CreateLockDocSchema(db);
   ImportStats stats;
   stats.events = trace.size();
+
+  // The database owns a copy of the trace's strings (ids preserved), so
+  // every *_sid column stays resolvable after the trace is gone.
+  db->mutable_strings().Reset(
+      std::vector<std::string>(trace.string_pool().strings()));
 
   // --- Dimension tables: data types, subclasses, members. ---
   Table& data_types = db->table(LockDocSchema::kDataTypes);
@@ -134,7 +141,9 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
     for (size_t i = 0; i < txn_stack.size(); ++i) {
       txn_locks.Insert({id, static_cast<uint64_t>(i), txn_stack[i].lock.lock,
                         txn_stack[i].lock.acquire_seq,
-                        static_cast<uint64_t>(txn_stack[i].lock.mode)});
+                        static_cast<uint64_t>(txn_stack[i].lock.mode),
+                        static_cast<uint64_t>(txn_stack[i].lock.acquire_file),
+                        static_cast<uint64_t>(txn_stack[i].lock.acquire_line)});
     }
     ++stats.txns;
     if (!txn_stack.empty()) {
@@ -213,6 +222,8 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
         frame.lock.lock = lock;
         frame.lock.acquire_seq = e.seq;
         frame.lock.mode = e.mode;
+        frame.lock.acquire_file = e.loc.file;
+        frame.lock.acquire_line = e.loc.line;
         txn_stack.push_back(frame);
         txn_stack.back().txn_id = new_txn(e.seq);
         current_txn = txn_stack.back().txn_id;

@@ -60,9 +60,9 @@ class TraceImporter {
  public:
   TraceImporter(const TypeRegistry* registry, FilterConfig filter);
 
-  // Builds the full LockDoc database from `trace`. The trace must outlive
-  // uses of the returned database only insofar as interned strings are
-  // resolved through it by later analysis stages.
+  // Builds the full LockDoc database from `trace`. The trace's string pool
+  // is copied into the database (ids preserved), so the returned database
+  // is self-contained: the trace can be discarded once Import returns.
   ImportStats Import(const Trace& trace, Database* db);
 
  private:

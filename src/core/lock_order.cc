@@ -13,12 +13,12 @@ namespace {
 
 // Classifies one lock row without a reference object: static locks by name,
 // embedded locks as EO(member in type).
-LockClass ClassifyAbsolute(const Table& locks, const Table& members,
-                           const TypeRegistry& registry, const Trace& trace, uint64_t lock_row) {
+LockClass ClassifyAbsolute(const Database& db, const Table& locks, const Table& members,
+                           const TypeRegistry& registry, uint64_t lock_row) {
   if (locks.GetUint64(lock_row, locks.ColumnIndex("is_static")) != 0) {
     uint64_t name_sid = locks.GetUint64(lock_row, locks.ColumnIndex("name_sid"));
     if (name_sid != 0) {
-      return LockClass::Global(trace.String(static_cast<StringId>(name_sid)));
+      return LockClass::Global(db.String(static_cast<StringId>(name_sid)));
     }
     return LockClass::Global(StrFormat(
         "lock@0x%llx",
@@ -44,8 +44,7 @@ std::string LockOrderCycle::ToString() const {
   return text + StrFormat(" (min support %llu)", static_cast<unsigned long long>(min_support));
 }
 
-LockOrderGraph LockOrderGraph::Build(const Database& db, const Trace& trace,
-                                     const TypeRegistry& registry) {
+LockOrderGraph LockOrderGraph::Build(const Database& db, const TypeRegistry& registry) {
   LockOrderGraph graph;
   const Table& txns = db.table(LockDocSchema::kTxns);
   const Table& txn_locks = db.table(LockDocSchema::kTxnLocks);
@@ -56,6 +55,8 @@ LockOrderGraph LockOrderGraph::Build(const Database& db, const Trace& trace,
   const size_t kTlPos = txn_locks.ColumnIndex("position");
   const size_t kTlLock = txn_locks.ColumnIndex("lock_id");
   const size_t kTlAcq = txn_locks.ColumnIndex("acquire_seq");
+  const size_t kTlFile = txn_locks.ColumnIndex("file_sid");
+  const size_t kTlLine = txn_locks.ColumnIndex("line");
   const size_t kTxnStart = txns.ColumnIndex("start_seq");
   const size_t kTxnNLocks = txns.ColumnIndex("n_locks");
 
@@ -65,13 +66,14 @@ LockOrderGraph LockOrderGraph::Build(const Database& db, const Trace& trace,
     auto it = class_cache.find(lock_row);
     if (it == class_cache.end()) {
       it = class_cache
-               .emplace(lock_row, ClassifyAbsolute(locks, members, registry, trace, lock_row))
+               .emplace(lock_row, ClassifyAbsolute(db, locks, members, registry, lock_row))
                .first;
     }
     return it->second;
   };
 
-  auto add_edge = [&](const LockClass& from, const LockClass& to, uint64_t example_seq) {
+  auto add_edge = [&](const LockClass& from, const LockClass& to, uint64_t example_seq,
+                      uint64_t example_file_sid, uint64_t example_line) {
     auto key = std::make_pair(from, to);
     auto it = graph.edge_index_.find(key);
     if (it == graph.edge_index_.end()) {
@@ -80,6 +82,8 @@ LockOrderGraph LockOrderGraph::Build(const Database& db, const Trace& trace,
       edge.to = to;
       edge.support = 1;
       edge.example_seq = example_seq;
+      edge.example_file_sid = example_file_sid;
+      edge.example_line = example_line;
       graph.edge_index_.emplace(key, graph.edges_.size());
       graph.edges_.push_back(std::move(edge));
     } else {
@@ -95,12 +99,16 @@ LockOrderGraph LockOrderGraph::Build(const Database& db, const Trace& trace,
     std::vector<RowId> rows = txn_locks.LookupEqual(kTlTxn, txn);
     std::vector<uint64_t> ordered(rows.size());
     uint64_t last_acquire = 0;
+    uint64_t last_file_sid = 0;
+    uint64_t last_line = 0;
     for (RowId row : rows) {
       uint64_t pos = txn_locks.GetUint64(row, kTlPos);
       LOCKDOC_CHECK(pos < ordered.size());
       ordered[pos] = txn_locks.GetUint64(row, kTlLock);
       if (pos + 1 == ordered.size()) {
         last_acquire = txn_locks.GetUint64(row, kTlAcq);
+        last_file_sid = txn_locks.GetUint64(row, kTlFile);
+        last_line = txn_locks.GetUint64(row, kTlLine);
       }
     }
     // Only transactions opened by the innermost lock's acquisition count;
@@ -111,7 +119,7 @@ LockOrderGraph LockOrderGraph::Build(const Database& db, const Trace& trace,
     }
     const LockClass& acquired = class_of(ordered.back());
     for (size_t i = 0; i + 1 < ordered.size(); ++i) {
-      add_edge(class_of(ordered[i]), acquired, last_acquire);
+      add_edge(class_of(ordered[i]), acquired, last_acquire, last_file_sid, last_line);
     }
   }
   return graph;
@@ -220,7 +228,7 @@ std::vector<LockOrderEdge> LockOrderGraph::SelfNesting() const {
   return result;
 }
 
-std::string LockOrderGraph::Report(const Trace& trace, size_t max_edges) const {
+std::string LockOrderGraph::Report(const Database& db, size_t max_edges) const {
   std::vector<LockOrderEdge> sorted = edges_;
   std::sort(sorted.begin(), sorted.end(), [](const LockOrderEdge& a, const LockOrderEdge& b) {
     return a.support > b.support;
@@ -230,7 +238,7 @@ std::string LockOrderGraph::Report(const Trace& trace, size_t max_edges) const {
     const LockOrderEdge& edge = sorted[i];
     out += StrFormat("  %-45s -> %-45s n=%-7llu e.g. %s\n", edge.from.ToString().c_str(),
                      edge.to.ToString().c_str(), static_cast<unsigned long long>(edge.support),
-                     trace.FormatLoc(trace.event(edge.example_seq).loc).c_str());
+                     DbFormatLoc(db, edge.example_file_sid, edge.example_line).c_str());
   }
   auto conflicts = ConflictingPairs();
   out += StrFormat("ordering conflicts (ABBA candidates): %zu\n", conflicts.size());
@@ -239,7 +247,7 @@ std::string LockOrderGraph::Report(const Trace& trace, size_t max_edges) const {
                      rare.from.ToString().c_str(), rare.to.ToString().c_str(),
                      static_cast<unsigned long long>(rare.support),
                      static_cast<unsigned long long>(common.support),
-                     trace.FormatLoc(trace.event(rare.example_seq).loc).c_str());
+                     DbFormatLoc(db, rare.example_file_sid, rare.example_line).c_str());
   }
   return out;
 }

@@ -20,7 +20,6 @@
 #include "src/db/database.h"
 #include "src/model/lock_class.h"
 #include "src/model/type_registry.h"
-#include "src/trace/trace.h"
 
 namespace lockdoc {
 
@@ -29,8 +28,12 @@ struct LockOrderEdge {
   LockClass to;
   // Number of acquisitions of `to` while `from` was held.
   uint64_t support = 0;
-  // One example acquisition (trace seq of the `to` acquire) for reporting.
+  // One example acquisition (trace seq of the `to` acquire) for reporting,
+  // plus its source location (from txn_locks) so reports render without the
+  // trace.
   uint64_t example_seq = 0;
+  uint64_t example_file_sid = 0;
+  uint64_t example_line = 0;
 };
 
 // A cyclic chain of distinct lock classes c0 -> c1 -> ... -> c0.
@@ -45,12 +48,11 @@ struct LockOrderCycle {
 
 class LockOrderGraph {
  public:
-  // Builds the graph from an imported database (txn_locks ordering) plus
-  // the trace for example contexts. Lock classes are computed relative to
-  // nothing (there is no accessed object), so embedded locks appear as
-  // EO(member in type) and same-type nesting becomes a self-loop.
-  static LockOrderGraph Build(const Database& db, const Trace& trace,
-                              const TypeRegistry& registry);
+  // Builds the graph from an imported database (txn_locks ordering, which
+  // also carries the example acquire locations). Lock classes are computed
+  // relative to nothing (there is no accessed object), so embedded locks
+  // appear as EO(member in type) and same-type nesting becomes a self-loop.
+  static LockOrderGraph Build(const Database& db, const TypeRegistry& registry);
 
   const std::vector<LockOrderEdge>& edges() const { return edges_; }
 
@@ -67,8 +69,9 @@ class LockOrderGraph {
   // (nested same-class locking, legal under an ancestor-first convention).
   std::vector<LockOrderEdge> SelfNesting() const;
 
-  // Human-readable report of edges sorted by support.
-  std::string Report(const Trace& trace, size_t max_edges = 40) const;
+  // Human-readable report of edges sorted by support; `db` resolves the
+  // example locations' file names.
+  std::string Report(const Database& db, size_t max_edges = 40) const;
 
  private:
   std::vector<LockOrderEdge> edges_;

@@ -15,11 +15,10 @@ struct HeldClass {
 
 }  // namespace
 
-ModeAnalyzer::ModeAnalyzer(const Database* db, const Trace* trace,
-                           const TypeRegistry* registry, const ObservationStore* store)
-    : db_(db), trace_(trace), registry_(registry), store_(store) {
-  LOCKDOC_CHECK(db_ != nullptr && trace_ != nullptr && registry_ != nullptr &&
-                store_ != nullptr);
+ModeAnalyzer::ModeAnalyzer(const Database* db, const TypeRegistry* registry,
+                           const ObservationStore* store)
+    : db_(db), registry_(registry), store_(store) {
+  LOCKDOC_CHECK(db_ != nullptr && registry_ != nullptr && store_ != nullptr);
 }
 
 std::vector<ModeReportEntry> ModeAnalyzer::Analyze(
@@ -50,7 +49,7 @@ std::vector<ModeReportEntry> ModeAnalyzer::Analyze(
         uint64_t name_sid = locks.GetUint64(lock_row, kNameSid);
         entry.lock_class =
             name_sid != 0
-                ? LockClass::Global(trace_->String(static_cast<StringId>(name_sid)))
+                ? LockClass::Global(db_->String(static_cast<StringId>(name_sid)))
                 : LockClass::Global(StrFormat(
                       "lock@0x%llx",
                       static_cast<unsigned long long>(locks.GetUint64(lock_row, kAddr))));

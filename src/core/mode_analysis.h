@@ -16,7 +16,6 @@
 #include "src/core/derivator.h"
 #include "src/db/database.h"
 #include "src/model/type_registry.h"
-#include "src/trace/trace.h"
 
 namespace lockdoc {
 
@@ -44,8 +43,8 @@ struct ModeReportEntry {
 
 class ModeAnalyzer {
  public:
-  // All of `db`, `trace`, `registry`, `store` must outlive the analyzer.
-  ModeAnalyzer(const Database* db, const Trace* trace, const TypeRegistry* registry,
+  // All of `db`, `registry`, `store` must outlive the analyzer.
+  ModeAnalyzer(const Database* db, const TypeRegistry* registry,
                const ObservationStore* store);
 
   // Annotates every derivation result whose winner names at least one
@@ -61,7 +60,6 @@ class ModeAnalyzer {
 
  private:
   const Database* db_;
-  const Trace* trace_;
   const TypeRegistry* registry_;
   const ObservationStore* store_;
 };

@@ -94,6 +94,23 @@ uint64_t ObservationStore::enum_cache_misses() const {
   return enum_cache_ == nullptr ? 0 : enum_cache_->misses.load(std::memory_order_relaxed);
 }
 
+void ObservationStore::ResetForSnapshot(
+    LockClassPool pool, std::vector<IdSeq> id_seqs,
+    std::map<MemberObsKey, std::vector<ObservationGroup>> groups) {
+  pool_ = std::move(pool);
+  id_seqs_ = std::move(id_seqs);
+  groups_ = std::move(groups);
+  seqs_.clear();
+  seqs_.reserve(id_seqs_.size());
+  seq_index_.clear();
+  for (size_t i = 0; i < id_seqs_.size(); ++i) {
+    seqs_.push_back(pool_.Materialize(id_seqs_[i]));
+    bool inserted = seq_index_.emplace(seqs_.back(), static_cast<uint32_t>(i)).second;
+    LOCKDOC_CHECK(inserted && "duplicate sequence in serialized store");
+  }
+  enum_cache_ = std::make_unique<EnumCache>();
+}
+
 const std::vector<ObservationGroup>& ObservationStore::GroupsFor(const MemberObsKey& key) const {
   auto it = groups_.find(key);
   return it == groups_.end() ? kEmptyGroups : it->second;
@@ -113,7 +130,7 @@ namespace {
 
 // Resolves one lock instance (a row of the locks table) to its class
 // relative to the accessed allocation.
-LockClass ClassifyLock(const Table& locks, const Table& members, const Trace& trace,
+LockClass ClassifyLock(const Database& db, const Table& locks, const Table& members,
                        const TypeRegistry& registry, uint64_t lock_row, uint64_t access_alloc) {
   const size_t kIsStatic = locks.ColumnIndex("is_static");
   const size_t kNameSid = locks.ColumnIndex("name_sid");
@@ -124,7 +141,7 @@ LockClass ClassifyLock(const Table& locks, const Table& members, const Trace& tr
   if (locks.GetUint64(lock_row, kIsStatic) != 0) {
     uint64_t name_sid = locks.GetUint64(lock_row, kNameSid);
     if (name_sid != 0) {
-      return LockClass::Global(trace.String(static_cast<StringId>(name_sid)));
+      return LockClass::Global(db.String(static_cast<StringId>(name_sid)));
     }
     return LockClass::Global(
         StrFormat("lock@0x%llx",
@@ -174,8 +191,8 @@ struct ClassTask {
 
 }  // namespace
 
-ObservationStore ExtractObservations(const Database& db, const Trace& trace,
-                                     const TypeRegistry& registry, ThreadPool* pool) {
+ObservationStore ExtractObservations(const Database& db, const TypeRegistry& registry,
+                                     ThreadPool* pool) {
   ObservationStore store;
 
   const Table& accesses = db.table(LockDocSchema::kAccesses);
@@ -282,8 +299,8 @@ ObservationStore ExtractObservations(const Database& db, const Trace& trace,
   });
 
   // --- Pass 2 (parallel): classify each distinct (txn, alloc) pair. ---
-  // Tasks only read the database, trace, and registry (all const, no lazy
-  // state) and write their own slot. Consecutive tasks usually share a
+  // Tasks only read the database and registry (all const, no lazy state)
+  // and write their own slot. Consecutive tasks usually share a
   // transaction, so each chunk keeps a local cache of its lock rows.
   std::vector<LockSeq> classified(tasks.size());
   auto classify_range = [&](size_t begin, size_t end) {
@@ -305,7 +322,7 @@ ObservationStore ExtractObservations(const Database& db, const Trace& trace,
       LockSeq seq;
       seq.reserve(cached_txn_lock_rows.size());
       for (uint64_t lock_row : cached_txn_lock_rows) {
-        seq.push_back(ClassifyLock(locks, members, trace, registry, lock_row, task.alloc));
+        seq.push_back(ClassifyLock(db, locks, members, registry, lock_row, task.alloc));
       }
       classified[i] = std::move(seq);
     }

@@ -17,7 +17,6 @@
 #include "src/model/lock_class.h"
 #include "src/model/lock_class_pool.h"
 #include "src/model/type_registry.h"
-#include "src/trace/trace.h"
 #include "src/util/thread_pool.h"
 
 namespace lockdoc {
@@ -94,6 +93,13 @@ class ObservationStore {
   // the denominator of relative support.
   uint64_t CountObservations(const MemberObsKey& key, AccessType access) const;
 
+  // Rebuilds the store from deserialized snapshot state. The string-form
+  // sequences and both reverse indexes are re-derived from `pool` +
+  // `id_seqs`, so a snapshot only carries the id-level data. The enum cache
+  // starts cold (it is a pure function of the sequences).
+  void ResetForSnapshot(LockClassPool pool, std::vector<IdSeq> id_seqs,
+                        std::map<MemberObsKey, std::vector<ObservationGroup>> groups);
+
  private:
   struct EnumCache;  // Defined in observations.cc (holds sync primitives).
 
@@ -107,15 +113,15 @@ class ObservationStore {
   static const std::vector<ObservationGroup> kEmptyGroups;
 };
 
-// Builds the observation store from an imported database. `trace` resolves
-// interned strings; `registry` resolves member names for lock classes.
-// Folding scans accesses serially (they must be visited in seq order), but
-// the lock-classification work — one task per distinct (txn, alloc) pair —
-// is sharded over `pool` when one is given. Lock-sequence ids are interned
-// in task first-appearance order afterwards, so the store contents are
-// byte-identical at any thread count.
-ObservationStore ExtractObservations(const Database& db, const Trace& trace,
-                                     const TypeRegistry& registry, ThreadPool* pool = nullptr);
+// Builds the observation store from an imported database. The database's
+// own string pool resolves interned strings; `registry` resolves member
+// names for lock classes. Folding scans accesses serially (they must be
+// visited in seq order), but the lock-classification work — one task per
+// distinct (txn, alloc) pair — is sharded over `pool` when one is given.
+// Lock-sequence ids are interned in task first-appearance order afterwards,
+// so the store contents are byte-identical at any thread count.
+ObservationStore ExtractObservations(const Database& db, const TypeRegistry& registry,
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace lockdoc
 

@@ -61,33 +61,61 @@ std::string PipelineTimings::ToJson() const {
   return out;
 }
 
-PipelineResult RunPipeline(const Trace& trace, const TypeRegistry& registry,
-                           const PipelineOptions& options) {
-  PipelineResult result;
+AnalysisSnapshot BuildSnapshot(const Trace& trace, const TypeRegistry& registry,
+                               const PipelineOptions& options, PipelineTimings* timings) {
+  AnalysisSnapshot snapshot;
   ThreadPool pool(options.jobs);
-  result.timings.jobs = pool.thread_count();
+  if (timings != nullptr) {
+    timings->jobs = pool.thread_count();
+  }
 
   auto t0 = Clock::now();
   TraceImporter importer(&registry, options.filter);
-  result.import_stats = importer.Import(trace, &result.db);
+  snapshot.import_stats = importer.Import(trace, &snapshot.db);
+  snapshot.trace_stats = ComputeTraceStats(trace);
   auto t1 = Clock::now();
-  result.timings.Add("database import", Seconds(t0, t1), result.import_stats.events);
-
-  result.observations = ExtractObservations(result.db, trace, registry, &pool);
-  auto t2 = Clock::now();
-  result.timings.Add("observation extraction", Seconds(t1, t2),
-                     result.import_stats.accesses_kept);
-
-  RuleDerivator derivator(options.derivator);
-  result.rules = derivator.DeriveAll(result.observations, &pool);
-  auto t3 = Clock::now();
-  result.timings.Add("rule derivation (interned)", Seconds(t2, t3),
-                     static_cast<uint64_t>(result.observations.groups().size()) * 2);
-  result.timings.mining.enum_cache_hits = result.observations.enum_cache_hits();
-  result.timings.mining.enum_cache_misses = result.observations.enum_cache_misses();
-  for (const DerivationResult& rule : result.rules) {
-    result.timings.mining.candidates_scored += rule.candidates_scored;
+  if (timings != nullptr) {
+    timings->Add("database import", Seconds(t0, t1), snapshot.import_stats.events);
   }
+
+  snapshot.observations = ExtractObservations(snapshot.db, registry, &pool);
+  auto t2 = Clock::now();
+  if (timings != nullptr) {
+    timings->Add("observation extraction", Seconds(t1, t2),
+                 snapshot.import_stats.accesses_kept);
+  }
+  return snapshot;
+}
+
+std::vector<DerivationResult> AnalyzeSnapshot(const AnalysisSnapshot& snapshot,
+                                              const PipelineOptions& options,
+                                              PipelineTimings* timings) {
+  ThreadPool pool(options.jobs);
+  if (timings != nullptr) {
+    timings->jobs = pool.thread_count();
+  }
+
+  auto t0 = Clock::now();
+  RuleDerivator derivator(options.derivator);
+  std::vector<DerivationResult> rules = derivator.DeriveAll(snapshot.observations, &pool);
+  auto t1 = Clock::now();
+  if (timings != nullptr) {
+    timings->Add("rule derivation (interned)", Seconds(t0, t1),
+                 static_cast<uint64_t>(snapshot.observations.groups().size()) * 2);
+    timings->mining.enum_cache_hits = snapshot.observations.enum_cache_hits();
+    timings->mining.enum_cache_misses = snapshot.observations.enum_cache_misses();
+    for (const DerivationResult& rule : rules) {
+      timings->mining.candidates_scored += rule.candidates_scored;
+    }
+  }
+  return rules;
+}
+
+PipelineResult RunPipeline(const Trace& trace, const TypeRegistry& registry,
+                           const PipelineOptions& options) {
+  PipelineResult result;
+  result.snapshot = BuildSnapshot(trace, registry, options, &result.timings);
+  result.rules = AnalyzeSnapshot(result.snapshot, options, &result.timings);
   return result;
 }
 

@@ -1,10 +1,17 @@
-// End-to-end convenience wrapper: trace -> database import -> observation
-// extraction -> rule derivation. This is the programmatic equivalent of
-// running all three LockDoc phases (Fig. 5) back to back.
+// The two-stage analysis pipeline (paper Fig. 5): a trace is imported ONCE
+// into an AnalysisSnapshot — database + folded observations — and every
+// analysis (derivation, checking, violations, lock order, modes, report)
+// runs against that snapshot. BuildSnapshot is the expensive ingest stage;
+// AnalyzeSnapshot is the cheap per-query stage. Snapshots are
+// self-contained (the database owns its strings), so they can be persisted
+// as .lockdb files (src/core/snapshot.h) and re-analyzed without the trace:
+// import-once / analyze-many, like the paper's MariaDB instance.
 //
 // Phases 2/3 are data-parallel across (member, access) work items; `jobs`
-// controls the thread count. Results are byte-identical at any job count —
-// see the determinism contract in src/util/thread_pool.h and DESIGN.md.
+// controls the thread count. Results — including the snapshot contents, and
+// therefore the serialized .lockdb bytes — are byte-identical at any job
+// count; see the determinism contract in src/util/thread_pool.h and
+// DESIGN.md.
 #ifndef SRC_CORE_PIPELINE_H_
 #define SRC_CORE_PIPELINE_H_
 
@@ -18,6 +25,7 @@
 #include "src/db/database.h"
 #include "src/model/type_registry.h"
 #include "src/trace/trace.h"
+#include "src/trace/trace_stats.h"
 #include "src/util/thread_pool.h"
 
 namespace lockdoc {
@@ -65,16 +73,41 @@ struct PipelineTimings {
   std::string ToJson() const;
 };
 
-struct PipelineResult {
+// Everything the ingest stage produces, and everything the analysis stage
+// consumes. Self-contained: the database owns a copy of the trace's string
+// pool, the observation store owns its interned lock classes, and the trace
+// statistics are captured here — neither the Trace nor any other ingest
+// input needs to outlive a snapshot.
+struct AnalysisSnapshot {
   Database db;
   ImportStats import_stats;
+  TraceStats trace_stats;
   ObservationStore observations;
+};
+
+struct PipelineResult {
+  AnalysisSnapshot snapshot;
   std::vector<DerivationResult> rules;
   PipelineTimings timings;
 };
 
-// Runs import + extraction + derivation. `trace` and `registry` must
-// outlive the result (interned strings are resolved through the trace).
+// Stage 1 (ingest): database import + observation extraction. Appends the
+// "database import" and "observation extraction" phases to `timings` when
+// given. `registry` must outlive the snapshot (member/type names for lock
+// classes are resolved through it); the trace is fully consumed.
+AnalysisSnapshot BuildSnapshot(const Trace& trace, const TypeRegistry& registry,
+                               const PipelineOptions& options = {},
+                               PipelineTimings* timings = nullptr);
+
+// Stage 2 (analysis): rule derivation against a snapshot — fresh from
+// BuildSnapshot or loaded from a .lockdb file. Appends the "rule derivation
+// (interned)" phase and the mining counters to `timings` when given.
+std::vector<DerivationResult> AnalyzeSnapshot(const AnalysisSnapshot& snapshot,
+                                              const PipelineOptions& options = {},
+                                              PipelineTimings* timings = nullptr);
+
+// Both stages back to back: the programmatic equivalent of running all
+// LockDoc phases (Fig. 5) in one process.
 PipelineResult RunPipeline(const Trace& trace, const TypeRegistry& registry,
                            const PipelineOptions& options = {});
 

@@ -7,7 +7,7 @@
 #include "src/core/mode_analysis.h"
 #include "src/core/rule_checker.h"
 #include "src/core/violation_finder.h"
-#include "src/trace/trace_stats.h"
+#include "src/db/schema.h"
 #include "src/util/stats.h"
 #include "src/util/string_util.h"
 
@@ -21,18 +21,19 @@ std::string Heading(const std::string& title) {
 
 }  // namespace
 
-std::string RenderReport(const Trace& trace, const TypeRegistry& registry,
-                         const PipelineResult& result, const ReportOptions& options) {
+std::string RenderReport(const TypeRegistry& registry, const PipelineResult& result,
+                         const ReportOptions& options) {
+  const AnalysisSnapshot& snapshot = result.snapshot;
   std::string out = "LockDoc analysis report\n";
 
   // --- Trace statistics (Sec. 7.2) ---
   out += Heading("trace statistics");
-  out += ComputeTraceStats(trace).ToString();
+  out += snapshot.trace_stats.ToString();
   out += StrFormat("accesses kept after filtering: %s (filtered: %s)\n",
-                   FormatWithCommas(result.import_stats.accesses_kept).c_str(),
-                   FormatWithCommas(result.import_stats.accesses_filtered).c_str());
+                   FormatWithCommas(snapshot.import_stats.accesses_kept).c_str(),
+                   FormatWithCommas(snapshot.import_stats.accesses_filtered).c_str());
   out += StrFormat("transactions:                  %s\n",
-                   FormatWithCommas(result.import_stats.txns).c_str());
+                   FormatWithCommas(snapshot.import_stats.txns).c_str());
 
   // --- Documentation validation (Tab. 4) ---
   if (!options.documented_rules_text.empty()) {
@@ -41,7 +42,7 @@ std::string RenderReport(const Trace& trace, const TypeRegistry& registry,
     if (!rules.ok()) {
       out += "rule parse error: " + rules.status().message() + "\n";
     } else {
-      RuleChecker checker(&registry, &result.observations);
+      RuleChecker checker(&registry, &snapshot.observations);
       TextTable table({"Data Type", "#R", "#No", "#Ob", "! (%)", "~ (%)", "# (%)"});
       for (const RuleCheckSummary& s :
            RuleChecker::Summarize(checker.CheckAll(rules.value()))) {
@@ -95,7 +96,7 @@ std::string RenderReport(const Trace& trace, const TypeRegistry& registry,
 
   // --- Violations (Tab. 7/8) ---
   out += Heading("locking-rule violations");
-  ViolationFinder finder(&trace, &registry, &result.observations);
+  ViolationFinder finder(&snapshot.db, &registry, &snapshot.observations);
   std::vector<Violation> violations = finder.FindAll(result.rules);
   {
     TextTable table({"Data Type", "Events", "Members", "Contexts"});
@@ -122,7 +123,7 @@ std::string RenderReport(const Trace& trace, const TypeRegistry& registry,
   // --- Lock ordering ---
   if (options.lock_order) {
     out += Heading("lock ordering");
-    LockOrderGraph graph = LockOrderGraph::Build(result.db, trace, registry);
+    LockOrderGraph graph = LockOrderGraph::Build(snapshot.db, registry);
     auto conflicts = graph.ConflictingPairs();
     out += StrFormat("%zu ordering edges, %zu ABBA conflicts\n", graph.edges().size(),
                      conflicts.size());
@@ -131,14 +132,15 @@ std::string RenderReport(const Trace& trace, const TypeRegistry& registry,
                        rare.from.ToString().c_str(), rare.to.ToString().c_str(),
                        static_cast<unsigned long long>(rare.support),
                        static_cast<unsigned long long>(common.support),
-                       trace.FormatLoc(trace.event(rare.example_seq).loc).c_str());
+                       DbFormatLoc(snapshot.db, rare.example_file_sid, rare.example_line)
+                           .c_str());
     }
   }
 
   // --- Acquisition modes ---
   if (options.modes) {
     out += Heading("reader/writer acquisition modes");
-    ModeAnalyzer analyzer(&result.db, &trace, &registry, &result.observations);
+    ModeAnalyzer analyzer(&snapshot.db, &registry, &snapshot.observations);
     auto suspicious = analyzer.FindSharedModeWrites(result.rules);
     if (suspicious.empty()) {
       out += "no writes under merely-shared holds\n";

@@ -11,7 +11,6 @@
 #include "src/core/pipeline.h"
 #include "src/core/rule.h"
 #include "src/model/type_registry.h"
-#include "src/trace/trace.h"
 
 namespace lockdoc {
 
@@ -29,10 +28,12 @@ struct ReportOptions {
   bool full_documentation = false;
 };
 
-// Renders the complete report for an analyzed trace. `trace` and `registry`
-// must be the ones `result` was produced from.
-std::string RenderReport(const Trace& trace, const TypeRegistry& registry,
-                         const PipelineResult& result, const ReportOptions& options = {});
+// Renders the complete report from an analysis result. The result's
+// snapshot is self-contained (it carries the trace statistics and resolves
+// its own strings), so the original trace is not needed; `registry` must be
+// the one `result` was produced with.
+std::string RenderReport(const TypeRegistry& registry, const PipelineResult& result,
+                         const ReportOptions& options = {});
 
 }  // namespace lockdoc
 

@@ -1,0 +1,384 @@
+#include "src/core/snapshot.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/util/string_util.h"
+#include "src/util/varint.h"
+
+namespace lockdoc {
+namespace {
+
+// Stats structs are serialized as a count-prefixed varint list in member
+// order; the count is pinned by the format version, so adding a field means
+// bumping kSnapshotFormatVersion.
+constexpr uint64_t ImportStats::*kImportStatsFields[] = {
+    &ImportStats::events,
+    &ImportStats::accesses_total,
+    &ImportStats::accesses_kept,
+    &ImportStats::accesses_filtered,
+    &ImportStats::txns,
+    &ImportStats::locked_txns,
+    &ImportStats::lock_instances,
+    &ImportStats::allocations,
+    &ImportStats::dangling_locks_closed,
+    &ImportStats::live_allocations_at_end,
+    &ImportStats::realloc_overlaps,
+    &ImportStats::unmatched_releases,
+    &ImportStats::unresolved_lock_ops,
+    &ImportStats::unknown_type_allocs,
+};
+
+constexpr uint64_t TraceStats::*kTraceStatsFields[] = {
+    &TraceStats::total_events,
+    &TraceStats::lock_ops,
+    &TraceStats::lock_acquires,
+    &TraceStats::lock_releases,
+    &TraceStats::memory_accesses,
+    &TraceStats::reads,
+    &TraceStats::writes,
+    &TraceStats::allocations,
+    &TraceStats::deallocations,
+    &TraceStats::static_lock_defs,
+    &TraceStats::distinct_locks,
+    &TraceStats::distinct_static_locks,
+    &TraceStats::distinct_embedded_locks,
+};
+
+template <typename Stats, size_t N>
+void PutStats(std::string& out, const Stats& stats, uint64_t Stats::*const (&fields)[N]) {
+  PutVarint(out, N);
+  for (auto field : fields) {
+    PutVarint(out, stats.*field);
+  }
+}
+
+template <typename Stats, size_t N>
+bool GetStats(ByteCursor& in, Stats* stats, uint64_t Stats::*const (&fields)[N]) {
+  uint64_t count = 0;
+  if (!GetVarint(in, &count) || count != N) {
+    return false;
+  }
+  for (auto field : fields) {
+    if (!GetVarint(in, &(stats->*field))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string EncodeMetaSection(const AnalysisSnapshot& snapshot, size_t type_count) {
+  std::string payload;
+  PutVarint(payload, kSnapshotFormatVersion);
+  PutStats(payload, snapshot.import_stats, kImportStatsFields);
+  PutStats(payload, snapshot.trace_stats, kTraceStatsFields);
+  PutVarint(payload, type_count);
+  return payload;
+}
+
+Status DecodeMetaSection(std::string_view payload, const TypeRegistry& registry,
+                         AnalysisSnapshot* snapshot) {
+  ByteCursor in{payload.data(), payload.size(), 0};
+  uint64_t version = 0;
+  if (!GetVarint(in, &version)) {
+    return Status::Error("snapshot meta: unreadable version");
+  }
+  if (version != kSnapshotFormatVersion) {
+    return Status::Error(StrFormat("snapshot meta: format version %llu, this build reads %llu",
+                                   static_cast<unsigned long long>(version),
+                                   static_cast<unsigned long long>(kSnapshotFormatVersion)));
+  }
+  if (!GetStats(in, &snapshot->import_stats, kImportStatsFields)) {
+    return Status::Error("snapshot meta: bad import stats");
+  }
+  if (!GetStats(in, &snapshot->trace_stats, kTraceStatsFields)) {
+    return Status::Error("snapshot meta: bad trace stats");
+  }
+  uint64_t type_count = 0;
+  if (!GetVarint(in, &type_count) || in.remaining() != 0) {
+    return Status::Error("snapshot meta: bad registry shape");
+  }
+  if (type_count != registry.type_count()) {
+    return Status::Error(
+        StrFormat("snapshot meta: built against a registry with %llu types, this one has %zu",
+                  static_cast<unsigned long long>(type_count), registry.type_count()));
+  }
+  return Status::Ok();
+}
+
+std::string EncodePoolSection(const LockClassPool& pool) {
+  std::string payload;
+  PutVarint(payload, pool.classes().size());
+  for (const LockClass& cls : pool.classes()) {
+    payload.push_back(static_cast<char>(cls.scope));
+    PutLengthPrefixed(payload, cls.lock_name);
+    PutLengthPrefixed(payload, cls.owner_type);
+  }
+  return payload;
+}
+
+constexpr uint64_t kMaxSnapshotString = 1ull << 20;
+
+Status DecodePoolSection(std::string_view payload, LockClassPool* pool) {
+  ByteCursor in{payload.data(), payload.size(), 0};
+  uint64_t count = 0;
+  if (!GetVarint(in, &count) || count > in.remaining()) {
+    return Status::Error("snapshot pool: bad class count");
+  }
+  std::vector<LockClass> classes;
+  classes.reserve(count);
+  std::set<LockClass> distinct;
+  for (uint64_t i = 0; i < count; ++i) {
+    LockClass cls;
+    uint8_t scope = 0;
+    if (!in.Get(&scope) || scope > static_cast<uint8_t>(LockScope::kEmbeddedOther) ||
+        !GetLengthPrefixed(in, &cls.lock_name, kMaxSnapshotString) ||
+        !GetLengthPrefixed(in, &cls.owner_type, kMaxSnapshotString)) {
+      return Status::Error(StrFormat("snapshot pool: bad class %llu",
+                                     static_cast<unsigned long long>(i)));
+    }
+    cls.scope = static_cast<LockScope>(scope);
+    if (!distinct.insert(cls).second) {
+      return Status::Error("snapshot pool: duplicate class");
+    }
+    classes.push_back(std::move(cls));
+  }
+  if (in.remaining() != 0) {
+    return Status::Error("snapshot pool: trailing bytes");
+  }
+  pool->Reset(std::move(classes));
+  return Status::Ok();
+}
+
+std::string EncodeSeqsSection(const ObservationStore& store) {
+  std::string payload;
+  PutVarint(payload, store.distinct_seqs());
+  for (uint32_t i = 0; i < store.distinct_seqs(); ++i) {
+    const IdSeq& seq = store.id_seq(i);
+    PutVarint(payload, seq.size());
+    for (LockId id : seq) {
+      PutVarint(payload, id);
+    }
+  }
+  return payload;
+}
+
+Status DecodeSeqsSection(std::string_view payload, size_t pool_size,
+                         std::vector<IdSeq>* id_seqs) {
+  ByteCursor in{payload.data(), payload.size(), 0};
+  uint64_t count = 0;
+  if (!GetVarint(in, &count) || count > in.remaining() + 1) {
+    return Status::Error("snapshot seqs: bad sequence count");
+  }
+  id_seqs->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t length = 0;
+    if (!GetVarint(in, &length) || length > in.remaining()) {
+      return Status::Error("snapshot seqs: bad sequence length");
+    }
+    IdSeq seq;
+    seq.reserve(length);
+    for (uint64_t j = 0; j < length; ++j) {
+      uint64_t id = 0;
+      if (!GetVarint(in, &id) || id >= pool_size) {
+        return Status::Error("snapshot seqs: lock id out of range");
+      }
+      seq.push_back(static_cast<LockId>(id));
+    }
+    id_seqs->push_back(std::move(seq));
+  }
+  if (in.remaining() != 0) {
+    return Status::Error("snapshot seqs: trailing bytes");
+  }
+  return Status::Ok();
+}
+
+std::string EncodeGroupsSection(const ObservationStore& store) {
+  std::string payload;
+  PutVarint(payload, store.groups().size());
+  for (const auto& [key, groups] : store.groups()) {
+    PutVarint(payload, key.type);
+    PutVarint(payload, key.subclass);
+    PutVarint(payload, key.member);
+    PutVarint(payload, groups.size());
+    for (const ObservationGroup& group : groups) {
+      PutVarint(payload, group.lockseq_id);
+      PutVarint(payload, group.txn_id);
+      PutVarint(payload, group.alloc_id);
+      PutVarint(payload, group.n_reads);
+      PutVarint(payload, group.n_writes);
+      PutVarint(payload, group.seqs.size());
+      for (uint64_t seq : group.seqs) {
+        PutVarint(payload, seq);
+      }
+    }
+  }
+  return payload;
+}
+
+Status DecodeGroupsSection(std::string_view payload, const TypeRegistry& registry,
+                           size_t seq_count,
+                           std::map<MemberObsKey, std::vector<ObservationGroup>>* groups) {
+  ByteCursor in{payload.data(), payload.size(), 0};
+  uint64_t key_count = 0;
+  if (!GetVarint(in, &key_count) || key_count > in.remaining() + 1) {
+    return Status::Error("snapshot groups: bad key count");
+  }
+  MemberObsKey previous;
+  for (uint64_t i = 0; i < key_count; ++i) {
+    uint64_t type = 0, subclass = 0, member = 0, group_count = 0;
+    if (!GetVarint(in, &type) || !GetVarint(in, &subclass) || !GetVarint(in, &member) ||
+        !GetVarint(in, &group_count)) {
+      return Status::Error("snapshot groups: bad key");
+    }
+    MemberObsKey key;
+    key.type = static_cast<TypeId>(type);
+    key.subclass = static_cast<SubclassId>(subclass);
+    key.member = static_cast<MemberIndex>(member);
+    if (type >= registry.type_count() ||
+        member >= registry.layout(key.type).member_count()) {
+      return Status::Error("snapshot groups: key out of registry range");
+    }
+    if (i > 0 && !(previous < key)) {
+      return Status::Error("snapshot groups: keys out of order");
+    }
+    previous = key;
+    if (group_count > in.remaining()) {
+      return Status::Error("snapshot groups: bad group count");
+    }
+    std::vector<ObservationGroup> member_groups;
+    member_groups.reserve(group_count);
+    for (uint64_t g = 0; g < group_count; ++g) {
+      ObservationGroup group;
+      uint64_t lockseq = 0, n_reads = 0, n_writes = 0, seq_len = 0;
+      if (!GetVarint(in, &lockseq) || lockseq >= seq_count ||
+          !GetVarint(in, &group.txn_id) || !GetVarint(in, &group.alloc_id) ||
+          !GetVarint(in, &n_reads) || !GetVarint(in, &n_writes) ||
+          !GetVarint(in, &seq_len) || seq_len > in.remaining()) {
+        return Status::Error("snapshot groups: bad group");
+      }
+      group.lockseq_id = static_cast<uint32_t>(lockseq);
+      group.n_reads = static_cast<uint32_t>(n_reads);
+      group.n_writes = static_cast<uint32_t>(n_writes);
+      group.seqs.reserve(seq_len);
+      for (uint64_t s = 0; s < seq_len; ++s) {
+        uint64_t seq = 0;
+        if (!GetVarint(in, &seq)) {
+          return Status::Error("snapshot groups: bad access seq");
+        }
+        group.seqs.push_back(seq);
+      }
+      member_groups.push_back(std::move(group));
+    }
+    groups->emplace(key, std::move(member_groups));
+  }
+  if (in.remaining() != 0) {
+    return Status::Error("snapshot groups: trailing bytes");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializeSnapshot(const AnalysisSnapshot& snapshot, const TypeRegistry& registry) {
+  SnapshotWriter writer;
+  writer.AddSection(kSnapshotSectionMeta, EncodeMetaSection(snapshot, registry.type_count()));
+  writer.AddSection(kSnapshotSectionStrings, EncodeStringsSection(snapshot.db.strings()));
+  for (const std::string& name : snapshot.db.TableNames()) {
+    writer.AddSection(kSnapshotSectionTable, EncodeTableSection(snapshot.db.table(name)));
+  }
+  writer.AddSection(kSnapshotSectionPool, EncodePoolSection(snapshot.observations.pool()));
+  writer.AddSection(kSnapshotSectionSeqs, EncodeSeqsSection(snapshot.observations));
+  writer.AddSection(kSnapshotSectionGroups, EncodeGroupsSection(snapshot.observations));
+  return writer.Finish();
+}
+
+Result<AnalysisSnapshot> DeserializeSnapshot(std::string_view bytes,
+                                             const TypeRegistry& registry) {
+  Result<std::vector<SnapshotSection>> scan = ScanSnapshotSections(bytes);
+  if (!scan.ok()) {
+    return scan.status();
+  }
+  const std::vector<SnapshotSection>& sections = scan.value();
+
+  // Enforce the fixed section order: meta, strings, table*, pool, seqs,
+  // groups.
+  if (sections.size() < 5 || sections.front().type != kSnapshotSectionMeta) {
+    return Status::Error("snapshot: missing meta section");
+  }
+  AnalysisSnapshot snapshot;
+  Status status = DecodeMetaSection(sections[0].payload, registry, &snapshot);
+  if (!status.ok()) {
+    return status;
+  }
+  if (sections[1].type != kSnapshotSectionStrings) {
+    return Status::Error("snapshot: missing strings section");
+  }
+  status = DecodeStringsSection(sections[1].payload, &snapshot.db.mutable_strings());
+  if (!status.ok()) {
+    return status;
+  }
+  size_t index = 2;
+  while (index < sections.size() && sections[index].type == kSnapshotSectionTable) {
+    status = DecodeTableSection(sections[index].payload, &snapshot.db);
+    if (!status.ok()) {
+      return status;
+    }
+    ++index;
+  }
+  if (sections.size() - index != 3 || sections[index].type != kSnapshotSectionPool ||
+      sections[index + 1].type != kSnapshotSectionSeqs ||
+      sections[index + 2].type != kSnapshotSectionGroups) {
+    return Status::Error("snapshot: sections out of order");
+  }
+  LockClassPool pool;
+  status = DecodePoolSection(sections[index].payload, &pool);
+  if (!status.ok()) {
+    return status;
+  }
+  std::vector<IdSeq> id_seqs;
+  status = DecodeSeqsSection(sections[index + 1].payload, pool.size(), &id_seqs);
+  if (!status.ok()) {
+    return status;
+  }
+  std::map<MemberObsKey, std::vector<ObservationGroup>> groups;
+  status = DecodeGroupsSection(sections[index + 2].payload, registry, id_seqs.size(), &groups);
+  if (!status.ok()) {
+    return status;
+  }
+  snapshot.observations.ResetForSnapshot(std::move(pool), std::move(id_seqs),
+                                         std::move(groups));
+  return snapshot;
+}
+
+Status SaveSnapshot(const AnalysisSnapshot& snapshot, const TypeRegistry& registry,
+                    const std::string& path) {
+  std::string bytes = SerializeSnapshot(snapshot, registry);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Error("cannot open for writing: " + path);
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::Error("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<AnalysisSnapshot> LoadSnapshot(const std::string& path, const TypeRegistry& registry) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Error("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::Error("read failed: " + path);
+  }
+  std::string bytes = std::move(buffer).str();
+  return DeserializeSnapshot(bytes, registry);
+}
+
+}  // namespace lockdoc

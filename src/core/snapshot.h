@@ -1,0 +1,41 @@
+// Serialization of a full AnalysisSnapshot to and from the .lockdb
+// container (src/db/snapshot.h): the import-once / analyze-many boundary.
+// `lockdoc import` writes one; every analysis command loads one instead of
+// re-importing the trace.
+//
+// Section order is fixed — meta, strings, one table section per database
+// table in name order, pool, seqs, groups, end — and every payload is
+// emitted from deterministically-ordered containers, so serializing the
+// same snapshot always yields byte-identical files regardless of the thread
+// count that built it.
+#ifndef SRC_CORE_SNAPSHOT_H_
+#define SRC_CORE_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/core/pipeline.h"
+#include "src/db/snapshot.h"
+#include "src/model/type_registry.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+// Snapshot -> .lockdb bytes. `registry` is the registry the snapshot was
+// built with; its type count is recorded in the meta section.
+std::string SerializeSnapshot(const AnalysisSnapshot& snapshot, const TypeRegistry& registry);
+
+// .lockdb bytes -> snapshot. `registry` must be the registry the snapshot
+// was built with; its type count is verified against the meta section (a
+// snapshot is only meaningful against its own registry).
+Result<AnalysisSnapshot> DeserializeSnapshot(std::string_view bytes,
+                                             const TypeRegistry& registry);
+
+// File conveniences.
+Status SaveSnapshot(const AnalysisSnapshot& snapshot, const TypeRegistry& registry,
+                    const std::string& path);
+Result<AnalysisSnapshot> LoadSnapshot(const std::string& path, const TypeRegistry& registry);
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_SNAPSHOT_H_

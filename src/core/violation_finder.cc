@@ -4,16 +4,34 @@
 #include <map>
 #include <set>
 
+#include "src/db/schema.h"
 #include "src/util/logging.h"
 
 namespace lockdoc {
 
-ViolationFinder::ViolationFinder(const Trace* trace, const TypeRegistry* registry,
+ViolationFinder::ViolationFinder(const Database* db, const TypeRegistry* registry,
                                  const ObservationStore* store)
-    : trace_(trace), registry_(registry), store_(store) {
-  LOCKDOC_CHECK(trace_ != nullptr);
+    : db_(db), registry_(registry), store_(store) {
+  LOCKDOC_CHECK(db_ != nullptr);
   LOCKDOC_CHECK(registry_ != nullptr);
   LOCKDOC_CHECK(store_ != nullptr);
+}
+
+ViolationFinder::AccessContext ViolationFinder::ContextOf(uint64_t seq) const {
+  const Table& accesses = db_->table(LockDocSchema::kAccesses);
+  static const size_t kSeq = accesses.ColumnIndex("seq");
+  static const size_t kType = accesses.ColumnIndex("access_type");
+  static const size_t kFile = accesses.ColumnIndex("file_sid");
+  static const size_t kLine = accesses.ColumnIndex("line");
+  static const size_t kStack = accesses.ColumnIndex("stack_id");
+  std::vector<RowId> rows = accesses.LookupEqual(kSeq, seq);
+  LOCKDOC_CHECK(rows.size() == 1);  // seq is the accesses table's key.
+  AccessContext context;
+  context.access_type = accesses.GetUint64(rows[0], kType);
+  context.file_sid = accesses.GetUint64(rows[0], kFile);
+  context.line = accesses.GetUint64(rows[0], kLine);
+  context.stack_id = accesses.GetUint64(rows[0], kStack);
+  return context;
 }
 
 std::vector<Violation> ViolationFinder::FindAll(const std::vector<DerivationResult>& results,
@@ -50,7 +68,7 @@ std::vector<Violation> ViolationFinder::FindAll(const std::vector<DerivationResu
         violation.rule = result.winner->locks;
         violation.held = held;
         for (uint64_t seq : group.seqs) {
-          if (AccessTypeOf(trace_->event(seq)) == result.access) {
+          if (static_cast<AccessType>(ContextOf(seq).access_type) == result.access) {
             violation.seqs.push_back(seq);
           }
         }
@@ -80,7 +98,9 @@ std::vector<ViolationSummaryRow> ViolationFinder::Summarize(
   struct Agg {
     uint64_t events = 0;
     std::set<MemberIndex> members;
-    std::set<std::tuple<StringId, uint32_t, StackId>> contexts;
+    // (file_sid, line, stack_id); kDbNull marks a missing stack, which is
+    // as unique a sentinel as kInvalidStack was, so grouping is unchanged.
+    std::set<std::tuple<uint64_t, uint64_t, uint64_t>> contexts;
   };
   // Include every observed (type, subclass) so clean types report zeros,
   // as in the paper's Tab. 7.
@@ -93,8 +113,8 @@ std::vector<ViolationSummaryRow> ViolationFinder::Summarize(
     agg.events += violation.seqs.size();
     agg.members.insert(violation.key.member);
     for (uint64_t seq : violation.seqs) {
-      const TraceEvent& event = trace_->event(seq);
-      agg.contexts.insert({event.loc.file, event.loc.line, event.stack});
+      AccessContext context = ContextOf(seq);
+      agg.contexts.insert({context.file_sid, context.line, context.stack_id});
     }
   }
 
@@ -120,7 +140,8 @@ std::vector<ViolationExample> ViolationFinder::Examples(const std::vector<Violat
   // Aggregate violating events by full context:
   // (member, access, rule, held, file, line, stack).
   using ContextKey =
-      std::tuple<std::string, std::string, std::string, std::string, StringId, uint32_t, StackId>;
+      std::tuple<std::string, std::string, std::string, std::string, uint64_t, uint64_t,
+                 uint64_t>;
   std::map<ContextKey, uint64_t> counts;
   for (const Violation& violation : violations) {
     std::string member =
@@ -129,9 +150,9 @@ std::vector<ViolationExample> ViolationFinder::Examples(const std::vector<Violat
     std::string rule = LockSeqToString(violation.rule);
     std::string held = LockSeqToString(violation.held);
     for (uint64_t seq : violation.seqs) {
-      const TraceEvent& event = trace_->event(seq);
+      AccessContext context = ContextOf(seq);
       ++counts[std::make_tuple(member, std::string(AccessTypeName(violation.access)), rule, held,
-                               event.loc.file, event.loc.line, event.stack)];
+                               context.file_sid, context.line, context.stack_id)];
     }
   }
 
@@ -157,11 +178,8 @@ std::vector<ViolationExample> ViolationFinder::Examples(const std::vector<Violat
     example.access = std::get<1>(*key);
     example.rule = std::get<2>(*key);
     example.held = std::get<3>(*key);
-    SourceLoc loc;
-    loc.file = std::get<4>(*key);
-    loc.line = std::get<5>(*key);
-    example.location = trace_->FormatLoc(loc);
-    example.stack = trace_->FormatStack(std::get<6>(*key));
+    example.location = DbFormatLoc(*db_, std::get<4>(*key), std::get<5>(*key));
+    example.stack = DbFormatStack(*db_, std::get<6>(*key));
     example.events = count;
     examples.push_back(std::move(example));
   }

@@ -11,8 +11,8 @@
 
 #include "src/core/derivator.h"
 #include "src/core/observations.h"
+#include "src/db/database.h"
 #include "src/model/type_registry.h"
-#include "src/trace/trace.h"
 #include "src/util/thread_pool.h"
 
 namespace lockdoc {
@@ -49,7 +49,9 @@ struct ViolationExample {
 
 class ViolationFinder {
  public:
-  ViolationFinder(const Trace* trace, const TypeRegistry* registry,
+  // Violation contexts (access type, source location, stack) are resolved
+  // from the accesses table via its seq index; no trace is needed.
+  ViolationFinder(const Database* db, const TypeRegistry* registry,
                   const ObservationStore* store);
 
   // All violations of the winning rules (rules with sr == 1 cannot be
@@ -69,7 +71,16 @@ class ViolationFinder {
                                          size_t limit) const;
 
  private:
-  const Trace* trace_;
+  // The accesses-table context of one raw trace seq.
+  struct AccessContext {
+    uint64_t access_type = 0;
+    uint64_t file_sid = 0;
+    uint64_t line = 0;
+    uint64_t stack_id = 0;
+  };
+  AccessContext ContextOf(uint64_t seq) const;
+
+  const Database* db_;
   const TypeRegistry* registry_;
   const ObservationStore* store_;
 };

@@ -3,7 +3,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/csv.h"
 #include "src/util/logging.h"
+#include "src/util/string_util.h"
 
 namespace lockdoc {
 
@@ -53,6 +55,21 @@ Status Database::ExportDirectory(const std::string& dir) const {
       return Status::Error("ExportDirectory: write failed for " + path);
     }
   }
+  std::string path = dir + "/strings.csv";
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Error("ExportDirectory: cannot open " + path);
+  }
+  CsvWriter writer(out);
+  writer.WriteRow({"id", "string"});
+  const std::vector<std::string>& pool = strings_.strings();
+  for (size_t id = 0; id < pool.size(); ++id) {
+    writer.WriteRow({std::to_string(id), pool[id]});
+  }
+  out.flush();
+  if (!out) {
+    return Status::Error("ExportDirectory: write failed for " + path);
+  }
   return Status::Ok();
 }
 
@@ -70,6 +87,34 @@ Status Database::ImportDirectory(const std::string& dir) {
       return status;
     }
   }
+  std::string path = dir + "/strings.csv";
+  std::ifstream in(path);
+  if (!in) {
+    return Status::Error("ImportDirectory: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto rows = ParseCsv(buffer.str());
+  if (!rows.ok()) {
+    return rows.status();
+  }
+  const auto& parsed = rows.value();
+  if (parsed.empty() || parsed[0] != std::vector<std::string>{"id", "string"}) {
+    return Status::Error("ImportDirectory: strings.csv missing id,string header");
+  }
+  std::vector<std::string> pool;
+  pool.reserve(parsed.size() - 1);
+  for (size_t r = 1; r < parsed.size(); ++r) {
+    uint64_t id = 0;
+    if (parsed[r].size() != 2 || !ParseUint64(parsed[r][0], &id) || id != r - 1) {
+      return Status::Error(StrFormat("ImportDirectory: strings.csv row %zu malformed", r));
+    }
+    pool.push_back(parsed[r][1]);
+  }
+  if (pool.empty() || !pool[0].empty()) {
+    return Status::Error("ImportDirectory: strings.csv must start with the empty string (id 0)");
+  }
+  strings_.Reset(std::move(pool));
   return Status::Ok();
 }
 

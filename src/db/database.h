@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/db/table.h"
+#include "src/trace/string_pool.h"
 #include "src/util/status.h"
 
 namespace lockdoc {
@@ -35,14 +36,23 @@ class Database {
 
   std::vector<std::string> TableNames() const;
 
-  // Writes each table as <dir>/<table>.csv. The directory must exist.
+  // Writes each table as <dir>/<table>.csv plus <dir>/strings.csv (the
+  // interned pool the *_sid columns reference). The directory must exist.
   Status ExportDirectory(const std::string& dir) const;
-  // Loads each existing table's CSV from <dir>; tables must be created with
-  // their schemas beforehand.
+  // Loads each existing table's CSV from <dir>, plus strings.csv; tables
+  // must be created with their schemas beforehand.
   Status ImportDirectory(const std::string& dir);
+
+  // The database owns the strings its *_sid columns reference. The importer
+  // copies the trace's pool wholesale (ids preserved), so analyses resolve
+  // interned ids here without the trace staying alive.
+  const StringPool& strings() const { return strings_; }
+  StringPool& mutable_strings() { return strings_; }
+  const std::string& String(StringId id) const { return strings_.Lookup(id); }
 
  private:
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+  StringPool strings_;
 };
 
 }  // namespace lockdoc

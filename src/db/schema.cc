@@ -1,5 +1,10 @@
 #include "src/db/schema.h"
 
+#include <algorithm>
+
+#include "src/model/ids.h"
+#include "src/util/string_util.h"
+
 namespace lockdoc {
 
 void CreateLockDocSchema(Database* db) {
@@ -61,7 +66,9 @@ void CreateLockDocSchema(Database* db) {
                                                           {"position", ColumnType::kUint64},
                                                           {"lock_id", ColumnType::kUint64},
                                                           {"acquire_seq", ColumnType::kUint64},
-                                                          {"mode", ColumnType::kUint64}});
+                                                          {"mode", ColumnType::kUint64},
+                                                          {"file_sid", ColumnType::kUint64},
+                                                          {"line", ColumnType::kUint64}});
     t.CreateIndex(t.ColumnIndex("txn_id"));
   }
   {
@@ -85,9 +92,38 @@ void CreateLockDocSchema(Database* db) {
                                 {"line", ColumnType::kUint64},
                                 {"stack_id", ColumnType::kUint64},
                                 {"filter_reason", ColumnType::kUint64}});
+    t.CreateIndex(t.ColumnIndex("seq"));
     t.CreateIndex(t.ColumnIndex("txn_id"));
     t.CreateIndex(t.ColumnIndex("member_id"));
   }
+}
+
+std::string DbFormatLoc(const Database& db, uint64_t file_sid, uint64_t line) {
+  return StrFormat("%s:%u", db.String(static_cast<StringId>(file_sid)).c_str(),
+                   static_cast<uint32_t>(line));
+}
+
+std::string DbFormatStack(const Database& db, uint64_t stack_id) {
+  if (stack_id == kDbNull) {
+    return "<no stack>";
+  }
+  const Table& frames = db.table(LockDocSchema::kStackFrames);
+  const size_t kStackId = frames.ColumnIndex("stack_id");
+  const size_t kPosition = frames.ColumnIndex("position");
+  const size_t kFunctionSid = frames.ColumnIndex("function_sid");
+  std::vector<std::pair<uint64_t, uint64_t>> ordered;  // (position, function_sid)
+  for (RowId row : frames.LookupEqual(kStackId, stack_id)) {
+    ordered.emplace_back(frames.GetUint64(row, kPosition), frames.GetUint64(row, kFunctionSid));
+  }
+  std::sort(ordered.begin(), ordered.end());
+  std::string result;
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    if (i != 0) {
+      result += " <- ";
+    }
+    result += db.String(static_cast<StringId>(ordered[i].second));
+  }
+  return result;
 }
 
 }  // namespace lockdoc

@@ -5,7 +5,8 @@
 // All cross-table references are uint64 row ids; kDbNull encodes SQL NULL.
 // Strings that originate in a trace (file names, function names, lock names)
 // are stored as interned StringIds to keep the fact tables compact; the
-// owning Trace's string pool resolves them.
+// Database's own string pool (copied from the trace at import, ids
+// preserved) resolves them, so analyses never need the trace after import.
 #ifndef SRC_DB_SCHEMA_H_
 #define SRC_DB_SCHEMA_H_
 
@@ -27,7 +28,8 @@ struct LockDocSchema {
                                                                // owner_member_id
   static constexpr const char* kTxns = "txns";                 // id, start_seq, end_seq, n_locks
   static constexpr const char* kTxnLocks = "txn_locks";        // txn_id, position, lock_id,
-                                                               // acquire_seq, mode
+                                                               // acquire_seq, mode,
+                                                               // file_sid, line
   static constexpr const char* kStackFrames = "stack_frames";  // stack_id, position, function_sid
   static constexpr const char* kAccesses = "accesses";         // seq, alloc_id, member_id,
                                                                // access_type, size, txn_id,
@@ -48,6 +50,15 @@ enum class FilterReason : uint64_t {
 
 // Creates all LockDoc tables (with indexes on join columns) in `db`.
 void CreateLockDocSchema(Database* db);
+
+// Renders "file:line", resolving `file_sid` through the database pool —
+// byte-identical to Trace::FormatLoc on the imported trace.
+std::string DbFormatLoc(const Database& db, uint64_t file_sid, uint64_t line);
+
+// Renders "f1 <- f2 <- f3" (innermost first) from the stack_frames table,
+// or "<no stack>" for a kDbNull stack id — byte-identical to
+// Trace::FormatStack on the imported trace.
+std::string DbFormatStack(const Database& db, uint64_t stack_id);
 
 }  // namespace lockdoc
 

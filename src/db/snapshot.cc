@@ -1,0 +1,458 @@
+#include "src/db/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/util/crc32.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+#include "src/util/varint.h"
+
+namespace lockdoc {
+namespace {
+
+// Caps mirror the trace reader's: large enough for any real snapshot, small
+// enough that corrupt lengths cannot drive allocations.
+constexpr uint64_t kMaxSectionPayload = 1ull << 30;
+constexpr uint64_t kMaxStringSize = 1ull << 20;
+constexpr uint64_t kMaxColumns = 4096;
+
+void AppendUint64LE(std::string& out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+uint64_t LoadUint64LE(const char* data) {
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<uint8_t>(data[i]);
+  }
+  return value;
+}
+
+Status SectionError(uint64_t offset, const std::string& what) {
+  return Status::Error(StrFormat("snapshot: offset 0x%llx: %s",
+                                 static_cast<unsigned long long>(offset), what.c_str()));
+}
+
+}  // namespace
+
+const char* SnapshotSectionName(uint8_t type) {
+  switch (type) {
+    case kSnapshotSectionMeta:
+      return "meta";
+    case kSnapshotSectionStrings:
+      return "strings";
+    case kSnapshotSectionTable:
+      return "table";
+    case kSnapshotSectionPool:
+      return "pool";
+    case kSnapshotSectionSeqs:
+      return "seqs";
+    case kSnapshotSectionGroups:
+      return "groups";
+    case kSnapshotSectionEnd:
+      return "end";
+    default:
+      return "unknown";
+  }
+}
+
+SnapshotWriter::SnapshotWriter() { out_.append(kSnapshotMagic, sizeof(kSnapshotMagic)); }
+
+void SnapshotWriter::AddSection(SnapshotSectionType type, std::string_view payload) {
+  LOCKDOC_CHECK(payload.size() <= kMaxSectionPayload);
+  size_t header_start = out_.size();
+  out_.append(reinterpret_cast<const char*>(kSnapshotFrameMarker),
+              sizeof(kSnapshotFrameMarker));
+  out_.push_back(static_cast<char>(type));
+  AppendUint32LE(out_, next_seq_++);
+  AppendUint32LE(out_, static_cast<uint32_t>(payload.size()));
+  out_.append(payload.data(), payload.size());
+  // The CRC covers everything after the marker: type, seq, length, payload.
+  uint32_t crc = Crc32(out_.data() + header_start + sizeof(kSnapshotFrameMarker),
+                       out_.size() - header_start - sizeof(kSnapshotFrameMarker));
+  AppendUint32LE(out_, crc);
+}
+
+std::string SnapshotWriter::Finish() {
+  std::string payload;
+  PutVarint(payload, next_seq_);
+  AddSection(kSnapshotSectionEnd, payload);
+  return std::move(out_);
+}
+
+Result<std::vector<SnapshotSection>> ScanSnapshotSections(std::string_view bytes) {
+  if (bytes.size() < sizeof(kSnapshotMagic) ||
+      std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::Error("snapshot: bad magic (not a .lockdb file)");
+  }
+  std::vector<SnapshotSection> sections;
+  size_t pos = sizeof(kSnapshotMagic);
+  while (true) {
+    if (bytes.size() - pos < kSnapshotFrameHeaderSize + kSnapshotFrameTrailerSize) {
+      return SectionError(pos, "truncated: no end section");
+    }
+    if (std::memcmp(bytes.data() + pos, kSnapshotFrameMarker,
+                    sizeof(kSnapshotFrameMarker)) != 0) {
+      return SectionError(pos, "bad section marker");
+    }
+    uint8_t type = static_cast<uint8_t>(bytes[pos + 4]);
+    uint32_t seq = LoadUint32LE(bytes.data() + pos + 5);
+    uint32_t length = LoadUint32LE(bytes.data() + pos + 9);
+    if (length > kMaxSectionPayload ||
+        bytes.size() - pos - kSnapshotFrameHeaderSize - kSnapshotFrameTrailerSize < length) {
+      return SectionError(pos, StrFormat("implausible section length %u", length));
+    }
+    uint32_t crc = Crc32(bytes.data() + pos + sizeof(kSnapshotFrameMarker),
+                         kSnapshotFrameHeaderSize - sizeof(kSnapshotFrameMarker) + length);
+    uint32_t stored = LoadUint32LE(bytes.data() + pos + kSnapshotFrameHeaderSize + length);
+    if (crc != stored) {
+      return SectionError(pos, StrFormat("section %s crc mismatch",
+                                         SnapshotSectionName(type)));
+    }
+    if (seq != sections.size()) {
+      return SectionError(pos, StrFormat("section out of order (seq %u, expected %zu)", seq,
+                                         sections.size()));
+    }
+    std::string_view payload = bytes.substr(pos + kSnapshotFrameHeaderSize, length);
+    pos += kSnapshotFrameHeaderSize + length + kSnapshotFrameTrailerSize;
+    if (type == kSnapshotSectionEnd) {
+      ByteCursor in{payload.data(), payload.size(), 0};
+      uint64_t declared = 0;
+      if (!GetVarint(in, &declared) || in.remaining() != 0) {
+        return SectionError(pos, "malformed end section");
+      }
+      if (declared != sections.size()) {
+        return SectionError(pos, StrFormat("end section declares %llu sections, found %zu",
+                                           static_cast<unsigned long long>(declared),
+                                           sections.size()));
+      }
+      if (pos != bytes.size()) {
+        return SectionError(pos, "trailing bytes after end section");
+      }
+      return sections;
+    }
+    sections.push_back(SnapshotSection{type, seq, payload});
+  }
+}
+
+size_t SnapshotInspection::sections_ok() const {
+  size_t n = 0;
+  for (const SnapshotSectionReport& s : sections) {
+    n += s.ok() ? 1 : 0;
+  }
+  return n;
+}
+
+size_t SnapshotInspection::sections_bad() const { return sections.size() - sections_ok(); }
+
+bool SnapshotInspection::clean() const {
+  return magic_ok && end_ok && sections_bad() == 0 && declared_sections == sections.size() &&
+         stray_bytes == 0;
+}
+
+std::string SnapshotInspection::ToString() const {
+  std::string out = StrFormat("snapshot size:    %s bytes\n",
+                              FormatWithCommas(file_size).c_str());
+  out += StrFormat("magic:            %s\n", magic_ok ? "ok" : "BAD");
+  out += StrFormat("sections:         %zu ok, %zu damaged\n", sections_ok(), sections_bad());
+  for (const SnapshotSectionReport& s : sections) {
+    out += StrFormat("  [%u] offset 0x%llx %-8s %10s bytes  %s\n", s.seq,
+                     static_cast<unsigned long long>(s.offset), SnapshotSectionName(s.type),
+                     FormatWithCommas(s.payload_size).c_str(),
+                     s.ok() ? "ok" : s.problem.c_str());
+  }
+  if (end_ok) {
+    out += StrFormat("end section:      ok (%llu sections declared, %zu found)\n",
+                     static_cast<unsigned long long>(declared_sections), sections.size());
+  } else {
+    out += "end section:      MISSING or damaged\n";
+  }
+  if (stray_bytes > 0) {
+    out += StrFormat("stray bytes:      %s outside any verified frame\n",
+                     FormatWithCommas(stray_bytes).c_str());
+  }
+  return out;
+}
+
+SnapshotInspection InspectSnapshot(std::string_view bytes) {
+  SnapshotInspection report;
+  report.file_size = bytes.size();
+  report.magic_ok = bytes.size() >= sizeof(kSnapshotMagic) &&
+                    std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) == 0;
+  if (!report.magic_ok) {
+    return report;
+  }
+  const char* marker = reinterpret_cast<const char*>(kSnapshotFrameMarker);
+  std::string_view haystack = bytes;
+  size_t pos = sizeof(kSnapshotMagic);
+  while (pos < bytes.size()) {
+    size_t marker_pos = haystack.find(std::string_view(marker, sizeof(kSnapshotFrameMarker)),
+                                      pos);
+    if (marker_pos == std::string_view::npos) {
+      report.stray_bytes += bytes.size() - pos;
+      break;
+    }
+    report.stray_bytes += marker_pos - pos;
+    SnapshotSectionReport section;
+    section.offset = marker_pos;
+    if (bytes.size() - marker_pos < kSnapshotFrameHeaderSize + kSnapshotFrameTrailerSize) {
+      section.problem = "truncated header";
+      report.sections.push_back(section);
+      break;
+    }
+    section.type = static_cast<uint8_t>(bytes[marker_pos + 4]);
+    section.seq = LoadUint32LE(bytes.data() + marker_pos + 5);
+    uint32_t length = LoadUint32LE(bytes.data() + marker_pos + 9);
+    section.payload_size = length;
+    if (length > kMaxSectionPayload ||
+        bytes.size() - marker_pos - kSnapshotFrameHeaderSize - kSnapshotFrameTrailerSize <
+            length) {
+      section.problem = StrFormat("implausible length %u (truncated?)", length);
+      report.sections.push_back(section);
+      pos = marker_pos + sizeof(kSnapshotFrameMarker);
+      continue;
+    }
+    uint32_t crc = Crc32(bytes.data() + marker_pos + sizeof(kSnapshotFrameMarker),
+                         kSnapshotFrameHeaderSize - sizeof(kSnapshotFrameMarker) + length);
+    uint32_t stored =
+        LoadUint32LE(bytes.data() + marker_pos + kSnapshotFrameHeaderSize + length);
+    if (crc != stored) {
+      section.problem = "crc mismatch";
+      report.sections.push_back(section);
+      pos = marker_pos + sizeof(kSnapshotFrameMarker);
+      continue;
+    }
+    if (section.type == 0 || section.type > kSnapshotSectionEnd) {
+      section.problem = StrFormat("unknown section type %u", section.type);
+      report.sections.push_back(section);
+      pos = marker_pos + kSnapshotFrameHeaderSize + length + kSnapshotFrameTrailerSize;
+      continue;
+    }
+    pos = marker_pos + kSnapshotFrameHeaderSize + length + kSnapshotFrameTrailerSize;
+    if (section.type == kSnapshotSectionEnd) {
+      std::string_view payload = bytes.substr(marker_pos + kSnapshotFrameHeaderSize, length);
+      ByteCursor in{payload.data(), payload.size(), 0};
+      uint64_t declared = 0;
+      if (GetVarint(in, &declared) && in.remaining() == 0) {
+        report.end_ok = true;
+        report.declared_sections = declared;
+      } else {
+        section.problem = "malformed end section";
+        report.sections.push_back(section);
+      }
+      continue;  // Keep scanning: trailing sections after end are damage.
+    }
+    report.sections.push_back(section);
+  }
+  return report;
+}
+
+bool LooksLikeSnapshot(std::string_view bytes) {
+  return bytes.size() >= sizeof(kSnapshotMagic) &&
+         std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) == 0;
+}
+
+bool IsSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  char magic[sizeof(kSnapshotMagic)];
+  in.read(magic, sizeof(magic));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(magic)) &&
+         std::memcmp(magic, kSnapshotMagic, sizeof(magic)) == 0;
+}
+
+std::string EncodeStringsSection(const StringPool& pool) {
+  std::string payload;
+  PutVarint(payload, pool.strings().size());
+  for (const std::string& text : pool.strings()) {
+    PutLengthPrefixed(payload, text);
+  }
+  return payload;
+}
+
+Status DecodeStringsSection(std::string_view payload, StringPool* pool) {
+  ByteCursor in{payload.data(), payload.size(), 0};
+  uint64_t count = 0;
+  if (!GetVarint(in, &count)) {
+    return Status::Error("snapshot strings: bad count");
+  }
+  if (count == 0 || count > in.remaining() + 1) {
+    // Every string costs at least its one length byte; id 0 must exist.
+    return Status::Error("snapshot strings: implausible count");
+  }
+  std::vector<std::string> strings;
+  strings.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string text;
+    if (!GetLengthPrefixed(in, &text, kMaxStringSize)) {
+      return Status::Error(StrFormat("snapshot strings: bad string %llu",
+                                     static_cast<unsigned long long>(i)));
+    }
+    strings.push_back(std::move(text));
+  }
+  if (in.remaining() != 0) {
+    return Status::Error("snapshot strings: trailing bytes");
+  }
+  if (!strings[0].empty()) {
+    return Status::Error("snapshot strings: id 0 is not the empty string");
+  }
+  pool->Reset(std::move(strings));
+  return Status::Ok();
+}
+
+std::string EncodeTableSection(const Table& table) {
+  std::string payload;
+  PutLengthPrefixed(payload, table.name());
+  PutVarint(payload, table.column_count());
+  for (const ColumnDef& column : table.columns()) {
+    PutLengthPrefixed(payload, column.name);
+    payload.push_back(static_cast<char>(column.type));
+  }
+  std::vector<size_t> indexed = table.IndexedColumns();
+  PutVarint(payload, indexed.size());
+  for (size_t column : indexed) {
+    PutVarint(payload, column);
+  }
+  PutVarint(payload, table.row_count());
+  for (size_t column = 0; column < table.column_count(); ++column) {
+    const ColumnData& data = table.column_data(column);
+    switch (table.columns()[column].type) {
+      case ColumnType::kUint64:
+        for (uint64_t value : data.u64) {
+          PutVarint(payload, value);
+        }
+        break;
+      case ColumnType::kDouble:
+        for (double value : data.f64) {
+          uint64_t bits = 0;
+          std::memcpy(&bits, &value, sizeof(bits));
+          AppendUint64LE(payload, bits);
+        }
+        break;
+      case ColumnType::kString:
+        for (const std::string& value : data.str) {
+          PutLengthPrefixed(payload, value);
+        }
+        break;
+    }
+  }
+  return payload;
+}
+
+Status DecodeTableSection(std::string_view payload, Database* db) {
+  ByteCursor in{payload.data(), payload.size(), 0};
+  std::string name;
+  if (!GetLengthPrefixed(in, &name, kMaxStringSize) || name.empty()) {
+    return Status::Error("snapshot table: bad name");
+  }
+  auto fail = [&name](const std::string& what) {
+    return Status::Error(StrFormat("snapshot table %s: %s", name.c_str(), what.c_str()));
+  };
+  if (db->HasTable(name)) {
+    return fail("duplicate table");
+  }
+  uint64_t column_count = 0;
+  if (!GetVarint(in, &column_count) || column_count == 0 || column_count > kMaxColumns) {
+    return fail("bad column count");
+  }
+  std::vector<ColumnDef> columns;
+  columns.reserve(column_count);
+  for (uint64_t i = 0; i < column_count; ++i) {
+    ColumnDef def;
+    if (!GetLengthPrefixed(in, &def.name, kMaxStringSize) || def.name.empty()) {
+      return fail("bad column name");
+    }
+    uint8_t type = 0;
+    if (!in.Get(&type) || type > static_cast<uint8_t>(ColumnType::kString)) {
+      return fail("bad column type");
+    }
+    def.type = static_cast<ColumnType>(type);
+    columns.push_back(std::move(def));
+  }
+  uint64_t indexed_count = 0;
+  if (!GetVarint(in, &indexed_count) || indexed_count > column_count) {
+    return fail("bad index count");
+  }
+  std::vector<size_t> indexed;
+  indexed.reserve(indexed_count);
+  for (uint64_t i = 0; i < indexed_count; ++i) {
+    uint64_t column = 0;
+    if (!GetVarint(in, &column) || column >= column_count ||
+        columns[column].type != ColumnType::kUint64 ||
+        (!indexed.empty() && column <= indexed.back())) {
+      return fail("bad indexed column");
+    }
+    indexed.push_back(column);
+  }
+  uint64_t row_count = 0;
+  if (!GetVarint(in, &row_count)) {
+    return fail("bad row count");
+  }
+  std::vector<ColumnData> storage(columns.size());
+  for (size_t column = 0; column < columns.size(); ++column) {
+    ColumnData& data = storage[column];
+    switch (columns[column].type) {
+      case ColumnType::kUint64: {
+        if (row_count > in.remaining()) {  // Each varint costs >= 1 byte.
+          return fail("truncated u64 column");
+        }
+        data.u64.reserve(row_count);
+        for (uint64_t row = 0; row < row_count; ++row) {
+          uint64_t value = 0;
+          if (!GetVarint(in, &value)) {
+            return fail("truncated u64 column");
+          }
+          data.u64.push_back(value);
+        }
+        break;
+      }
+      case ColumnType::kDouble: {
+        if (row_count > in.remaining() / sizeof(uint64_t)) {
+          return fail("truncated f64 column");
+        }
+        data.f64.reserve(row_count);
+        for (uint64_t row = 0; row < row_count; ++row) {
+          char raw[sizeof(uint64_t)];
+          if (!in.Read(raw, sizeof(raw))) {
+            return fail("truncated f64 column");
+          }
+          uint64_t bits = LoadUint64LE(raw);
+          double value = 0.0;
+          std::memcpy(&value, &bits, sizeof(value));
+          data.f64.push_back(value);
+        }
+        break;
+      }
+      case ColumnType::kString: {
+        if (row_count > in.remaining()) {
+          return fail("truncated string column");
+        }
+        data.str.reserve(row_count);
+        for (uint64_t row = 0; row < row_count; ++row) {
+          std::string value;
+          if (!GetLengthPrefixed(in, &value, kMaxStringSize)) {
+            return fail("truncated string column");
+          }
+          data.str.push_back(std::move(value));
+        }
+        break;
+      }
+    }
+  }
+  if (in.remaining() != 0) {
+    return fail("trailing bytes");
+  }
+  Table& table = db->CreateTable(name, std::move(columns));
+  table.ResetRows(row_count, std::move(storage));
+  for (size_t column : indexed) {
+    table.CreateIndex(column);
+  }
+  return Status::Ok();
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,142 @@
+// The .lockdb snapshot container: a versioned, sectioned, CRC-checksummed
+// binary format persisting an imported analysis database so traces are
+// imported ONCE and analyzed many times (the paper keeps its MariaDB
+// instance around for the same reason, Sec. 5.3).
+//
+// Layout mirrors the framed v2 trace format (src/trace/trace_io.h) with its
+// own magic and frame marker:
+//
+//   magic "LOCKDB01" (8 bytes)
+//   section*:  marker {0xAB,'L','D',0xF3} | type (1) | seq (4 LE)
+//              | length (4 LE) | payload | crc32 (4 LE)
+//   end section (type kSnapshotSectionEnd, payload = varint section count)
+//
+// The CRC covers everything after the marker (type, seq, length, payload),
+// so every section is independently verifiable and corruption is localized
+// — `lockdoc doctor` reports per-section damage. Sections are written in a
+// fixed deterministic order by src/core/snapshot.cc; a snapshot's bytes are
+// identical no matter how many threads built the analysis.
+//
+// This layer knows containers and the db-level payloads (string pool,
+// tables); the analysis-level payloads (lock-class pool, interned
+// sequences, observation groups) live in src/core/snapshot.h, keeping the
+// db -> core dependency direction intact.
+#ifndef SRC_DB_SNAPSHOT_H_
+#define SRC_DB_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/trace/string_pool.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+constexpr char kSnapshotMagic[8] = {'L', 'O', 'C', 'K', 'D', 'B', '0', '1'};
+constexpr uint8_t kSnapshotFrameMarker[4] = {0xAB, 'L', 'D', 0xF3};
+// marker + type + seq + length.
+constexpr size_t kSnapshotFrameHeaderSize = 4 + 1 + 4 + 4;
+constexpr size_t kSnapshotFrameTrailerSize = 4;  // crc32
+// Bumped on any incompatible payload change; checked by the meta section.
+constexpr uint64_t kSnapshotFormatVersion = 1;
+
+enum SnapshotSectionType : uint8_t {
+  kSnapshotSectionMeta = 1,     // Version, import/trace stats, registry shape.
+  kSnapshotSectionStrings = 2,  // The database's string pool.
+  kSnapshotSectionTable = 3,    // One database table (repeats, name order).
+  kSnapshotSectionPool = 4,     // Interned lock classes, id order.
+  kSnapshotSectionSeqs = 5,     // Interned lock sequences, id order.
+  kSnapshotSectionGroups = 6,   // Folded observation groups, key order.
+  kSnapshotSectionEnd = 7,      // Terminator carrying the section count.
+};
+
+// Human name for diagnostics ("meta", "table", ...; "unknown" otherwise).
+const char* SnapshotSectionName(uint8_t type);
+
+// One parsed section; `payload` points into the scanned buffer.
+struct SnapshotSection {
+  uint8_t type = 0;
+  uint32_t seq = 0;
+  std::string_view payload;
+};
+
+// Serializes sections into the container format. Usage: AddSection for each
+// payload in order, then Finish exactly once.
+class SnapshotWriter {
+ public:
+  SnapshotWriter();
+
+  void AddSection(SnapshotSectionType type, std::string_view payload);
+
+  // Appends the end section and returns the complete file bytes.
+  std::string Finish();
+
+ private:
+  std::string out_;
+  uint32_t next_seq_ = 0;
+};
+
+// Strict parse of a whole snapshot: magic, every CRC, contiguous sequence
+// numbers, and a correct end section are all required. Returns the sections
+// in file order, end section excluded; payloads view into `bytes`.
+Result<std::vector<SnapshotSection>> ScanSnapshotSections(std::string_view bytes);
+
+// Lenient walk for diagnostics (lockdoc doctor): records every section's
+// status instead of stopping at the first fault, resynchronizing on the
+// frame marker after damage like the trace salvage reader.
+struct SnapshotSectionReport {
+  uint64_t offset = 0;  // Of the frame marker.
+  uint8_t type = 0;
+  uint32_t seq = 0;
+  uint64_t payload_size = 0;
+  std::string problem;  // Empty when the section verified.
+
+  bool ok() const { return problem.empty(); }
+};
+
+struct SnapshotInspection {
+  uint64_t file_size = 0;
+  bool magic_ok = false;
+  std::vector<SnapshotSectionReport> sections;
+  bool end_ok = false;           // Intact end section with a correct count.
+  uint64_t declared_sections = 0;  // From the end section when readable.
+  // Bytes not covered by any verified frame: gaps between sections or
+  // trailing garbage after the end section. The strict reader rejects both.
+  uint64_t stray_bytes = 0;
+
+  size_t sections_ok() const;
+  size_t sections_bad() const;
+  // True when the snapshot would load: magic, all sections, and the
+  // terminator verified.
+  bool clean() const;
+  // Multi-line diagnostic block.
+  std::string ToString() const;
+};
+
+SnapshotInspection InspectSnapshot(std::string_view bytes);
+
+// Magic sniffers so CLI commands accept a trace or a snapshot and decide by
+// content, not file extension.
+bool LooksLikeSnapshot(std::string_view bytes);
+// Reads just the first bytes of `path`; false on unreadable files.
+bool IsSnapshotFile(const std::string& path);
+
+// --- Section payload codecs for the db layer ---
+
+// Strings section: varint count, then each string length-prefixed, id order.
+std::string EncodeStringsSection(const StringPool& pool);
+Status DecodeStringsSection(std::string_view payload, StringPool* pool);
+
+// Table section: name, column definitions, indexed columns, then the rows
+// column-major (u64 varints, f64 raw 8-byte LE bits, strings
+// length-prefixed). Decoding creates the table in `db` (the name must not
+// exist yet) and rebuilds its hash indexes.
+std::string EncodeTableSection(const Table& table);
+Status DecodeTableSection(std::string_view payload, Database* db);
+
+}  // namespace lockdoc
+
+#endif  // SRC_DB_SNAPSHOT_H_

@@ -1,5 +1,6 @@
 #include "src/db/table.h"
 
+#include <algorithm>
 #include <ostream>
 
 #include "src/util/csv.h"
@@ -167,7 +168,7 @@ Status Table::ImportCsv(std::string_view document) {
   }
 
   // Clear current contents.
-  for (ColumnStorage& column : storage_) {
+  for (ColumnData& column : storage_) {
     column.u64.clear();
     column.f64.clear();
     column.str.clear();
@@ -215,6 +216,49 @@ Status Table::ImportCsv(std::string_view document) {
     CreateIndex(column);
   }
   return Status::Ok();
+}
+
+const ColumnData& Table::column_data(size_t column) const {
+  LOCKDOC_CHECK(column < columns_.size());
+  return storage_[column];
+}
+
+void Table::ResetRows(size_t row_count, std::vector<ColumnData> storage) {
+  LOCKDOC_CHECK(storage.size() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const ColumnData& column = storage[i];
+    switch (columns_[i].type) {
+      case ColumnType::kUint64:
+        LOCKDOC_CHECK(column.u64.size() == row_count && column.f64.empty() &&
+                      column.str.empty());
+        break;
+      case ColumnType::kDouble:
+        LOCKDOC_CHECK(column.f64.size() == row_count && column.u64.empty() &&
+                      column.str.empty());
+        break;
+      case ColumnType::kString:
+        LOCKDOC_CHECK(column.str.size() == row_count && column.u64.empty() &&
+                      column.f64.empty());
+        break;
+    }
+  }
+  storage_ = std::move(storage);
+  row_count_ = row_count;
+  std::vector<size_t> indexed = IndexedColumns();
+  indexes_.clear();
+  for (size_t column : indexed) {
+    CreateIndex(column);
+  }
+}
+
+std::vector<size_t> Table::IndexedColumns() const {
+  std::vector<size_t> columns;
+  columns.reserve(indexes_.size());
+  for (const auto& [column, index] : indexes_) {
+    columns.push_back(column);
+  }
+  std::sort(columns.begin(), columns.end());
+  return columns;
 }
 
 }  // namespace lockdoc

@@ -19,6 +19,14 @@ struct ColumnDef {
   ColumnType type = ColumnType::kUint64;
 };
 
+// Column-major storage for one column; only the vector matching the
+// column's declared type is populated.
+struct ColumnData {
+  std::vector<uint64_t> u64;
+  std::vector<double> f64;
+  std::vector<std::string> str;
+};
+
 class Table {
  public:
   Table(std::string name, std::vector<ColumnDef> columns);
@@ -58,16 +66,22 @@ class Table {
   void ExportCsv(std::ostream& out) const;
   Status ImportCsv(std::string_view document);
 
- private:
-  struct ColumnStorage {
-    std::vector<uint64_t> u64;
-    std::vector<double> f64;
-    std::vector<std::string> str;
-  };
+  // Raw column-major storage, for binary serialization (.lockdb snapshots).
+  const ColumnData& column_data(size_t column) const;
 
+  // Replaces all rows with column-major storage; `storage` must have one
+  // entry per column whose populated vector matches the column type and has
+  // `row_count` elements. Indexes registered via CreateIndex are rebuilt.
+  void ResetRows(size_t row_count, std::vector<ColumnData> storage);
+
+  // Columns with a hash index, ascending — part of a snapshot so a loaded
+  // table answers LookupEqual exactly like the one that was saved.
+  std::vector<size_t> IndexedColumns() const;
+
+ private:
   std::string name_;
   std::vector<ColumnDef> columns_;
-  std::vector<ColumnStorage> storage_;
+  std::vector<ColumnData> storage_;
   size_t row_count_ = 0;
   // column index -> (value -> row ids)
   std::unordered_map<size_t, std::unordered_map<uint64_t, std::vector<RowId>>> indexes_;

@@ -48,6 +48,16 @@ std::optional<IdSeq> LockClassPool::FindSeq(const LockSeq& seq) const {
   return ids;
 }
 
+void LockClassPool::Reset(std::vector<LockClass> classes) {
+  classes_ = std::move(classes);
+  index_.clear();
+  index_.reserve(classes_.size());
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    bool inserted = index_.emplace(classes_[i], static_cast<LockId>(i)).second;
+    LOCKDOC_CHECK(inserted && "duplicate class in serialized pool");
+  }
+}
+
 const LockClass& LockClassPool::Get(LockId id) const {
   LOCKDOC_CHECK(id < classes_.size());
   return classes_[id];

@@ -66,6 +66,14 @@ class LockClassPool {
 
   size_t size() const { return classes_.size(); }
 
+  // The interned classes in id order — the serialization boundary for
+  // .lockdb snapshots.
+  const std::vector<LockClass>& classes() const { return classes_; }
+
+  // Rebuilds the pool from a serialized table (index == id); classes must
+  // be distinct.
+  void Reset(std::vector<LockClass> classes);
+
  private:
   std::vector<LockClass> classes_;
   std::unordered_map<LockClass, LockId, LockClassHash> index_;

@@ -13,6 +13,7 @@
 
 #include "src/util/crc32.h"
 #include "src/util/string_util.h"
+#include "src/util/varint.h"
 
 namespace lockdoc {
 namespace {
@@ -37,87 +38,17 @@ constexpr uint64_t kMaxStackFrames = 4096;
 // references in CRC-intact event frames can never legitimately exceed it.
 constexpr uint64_t kMaxPlaceholderStrings = 1u << 24;
 
-// ---------------------------------------------------------------------------
-// In-memory cursor. The whole stream is buffered before parsing: salvage
-// needs random access for resynchronization, and absolute byte offsets make
-// every error message actionable.
-// ---------------------------------------------------------------------------
-
-struct Cursor {
-  const char* data = nullptr;
-  size_t size = 0;
-  size_t pos = 0;
-
-  size_t remaining() const { return size - pos; }
-  bool Get(uint8_t* byte) {
-    if (pos >= size) {
-      return false;
-    }
-    *byte = static_cast<uint8_t>(data[pos++]);
-    return true;
-  }
-  bool Read(void* out, size_t n) {
-    if (remaining() < n) {
-      return false;
-    }
-    std::memcpy(out, data + pos, n);
-    pos += n;
-    return true;
-  }
-};
-
-void PutVarint(std::string& out, uint64_t value) {
-  while (value >= 0x80) {
-    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
-    value >>= 7;
-  }
-  out.push_back(static_cast<char>(value));
-}
-
-// Rejects truncated, overflowing (> 64 bits), and non-canonical (redundant
-// trailing zero byte) encodings.
-bool GetVarint(Cursor& in, uint64_t* value) {
-  uint64_t result = 0;
-  int shift = 0;
-  for (int i = 0; i < 10; ++i) {
-    uint8_t c = 0;
-    if (!in.Get(&c)) {
-      return false;
-    }
-    uint64_t bits = c & 0x7f;
-    if (shift == 63 && bits > 1) {
-      return false;  // Sets bits past bit 63.
-    }
-    result |= bits << shift;
-    if ((c & 0x80) == 0) {
-      if (i > 0 && bits == 0) {
-        return false;  // Non-canonical: a shorter encoding exists.
-      }
-      *value = result;
-      return true;
-    }
-    shift += 7;
-  }
-  return false;  // An 11th byte would be needed: overflow.
-}
+// The whole stream is buffered before parsing (ByteCursor over the bytes):
+// salvage needs random access for resynchronization, and absolute byte
+// offsets make every error message actionable. The varint/string decoders
+// live in src/util/varint.h, shared with the .lockdb snapshot reader.
 
 void PutString(std::string& out, const std::string& text) {
-  PutVarint(out, text.size());
-  out.append(text);
+  PutLengthPrefixed(out, text);
 }
 
-bool GetString(Cursor& in, std::string* text) {
-  uint64_t size = 0;
-  if (!GetVarint(in, &size)) {
-    return false;
-  }
-  // Cap the allocation *before* resize: a declared size can never exceed
-  // the bytes actually remaining in the input.
-  if (size > kMaxStringSize || size > in.remaining()) {
-    return false;
-  }
-  text->resize(size);
-  return in.Read(text->data(), size);
+bool GetString(ByteCursor& in, std::string* text) {
+  return GetLengthPrefixed(in, text, kMaxStringSize);
 }
 
 void PutEvent(std::string& out, const TraceEvent& e) {
@@ -139,7 +70,7 @@ void PutEvent(std::string& out, const TraceEvent& e) {
 // Decodes one event and validates every field that can be checked without
 // the side tables (enum ranges, id-width bounds). String/stack references
 // are validated by the caller once the tables are known.
-bool GetEvent(Cursor& in, TraceEvent* e) {
+bool GetEvent(ByteCursor& in, TraceEvent* e) {
   uint64_t kind = 0;
   uint64_t context = 0;
   uint64_t task_id = 0;
@@ -223,19 +154,6 @@ void WriteTraceV1(const Trace& trace, std::ostream& out) {
   out.write(body.data(), static_cast<std::streamsize>(body.size()));
 }
 
-void AppendUint32LE(std::string& out, uint32_t value) {
-  out.push_back(static_cast<char>(value & 0xff));
-  out.push_back(static_cast<char>((value >> 8) & 0xff));
-  out.push_back(static_cast<char>((value >> 16) & 0xff));
-  out.push_back(static_cast<char>((value >> 24) & 0xff));
-}
-
-uint32_t LoadUint32LE(const char* data) {
-  const auto* b = reinterpret_cast<const unsigned char*>(data);
-  return static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
-         static_cast<uint32_t>(b[2]) << 16 | static_cast<uint32_t>(b[3]) << 24;
-}
-
 void WriteFrame(std::ostream& out, uint8_t type, uint32_t seq, const std::string& payload) {
   std::string header;
   header.reserve(kTraceFrameHeaderSize);
@@ -309,7 +227,7 @@ Result<Trace> ReadTraceV1(const std::string& bytes, const TraceReadOptions& opti
                           TraceReadReport& report) {
   report.format_version = 1;
   const bool salvage = options.salvage;
-  Cursor in{bytes.data(), bytes.size(), sizeof(kMagicV1)};
+  ByteCursor in{bytes.data(), bytes.size(), sizeof(kMagicV1)};
   Trace trace;
 
   // String table: without it nothing downstream is interpretable, so a
@@ -519,7 +437,7 @@ Result<Trace> ReadTraceV2(const std::string& bytes, const TraceReadOptions& opti
         event_frames.emplace_back(seq, payload_off, length);
         break;
       case kFrameEnd: {
-        Cursor c{bytes.data(), payload_off + length, payload_off};
+        ByteCursor c{bytes.data(), payload_off + length, payload_off};
         uint64_t total = 0;
         if (GetVarint(c, &total)) {
           declared_total = total;
@@ -558,7 +476,8 @@ Result<Trace> ReadTraceV2(const std::string& bytes, const TraceReadOptions& opti
   std::vector<std::string> strings;
   bool strings_ok = false;
   if (strings_frame.has_value()) {
-    Cursor c{bytes.data(), strings_frame->first + strings_frame->second, strings_frame->first};
+    ByteCursor c{bytes.data(), strings_frame->first + strings_frame->second,
+                 strings_frame->first};
     uint64_t count = 0;
     strings_ok = GetVarint(c, &count) && count <= strings_frame->second;
     if (strings_ok) {
@@ -587,7 +506,8 @@ Result<Trace> ReadTraceV2(const std::string& bytes, const TraceReadOptions& opti
   std::vector<CallStack> stacks;
   bool stacks_ok = false;
   if (stacks_frame.has_value()) {
-    Cursor c{bytes.data(), stacks_frame->first + stacks_frame->second, stacks_frame->first};
+    ByteCursor c{bytes.data(), stacks_frame->first + stacks_frame->second,
+                 stacks_frame->first};
     uint64_t count = 0;
     stacks_ok = GetVarint(c, &count) && count <= stacks_frame->second;
     if (stacks_ok) {
@@ -628,7 +548,7 @@ Result<Trace> ReadTraceV2(const std::string& bytes, const TraceReadOptions& opti
   std::vector<TraceEvent> events;
   for (const auto& [seq, off, len] : event_frames) {
     (void)seq;
-    Cursor c{bytes.data(), off + len, off};
+    ByteCursor c{bytes.data(), off + len, off};
     uint64_t count = 0;
     if (!GetVarint(c, &count) || count > len) {
       if (!salvage) {

@@ -1,0 +1,68 @@
+#include "src/util/varint.h"
+
+namespace lockdoc {
+
+void PutVarint(std::string& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+bool GetVarint(ByteCursor& in, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    uint8_t c = 0;
+    if (!in.Get(&c)) {
+      return false;
+    }
+    uint64_t bits = c & 0x7f;
+    if (shift == 63 && bits > 1) {
+      return false;  // Sets bits past bit 63.
+    }
+    result |= bits << shift;
+    if ((c & 0x80) == 0) {
+      if (i > 0 && bits == 0) {
+        return false;  // Non-canonical: a shorter encoding exists.
+      }
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // An 11th byte would be needed: overflow.
+}
+
+void PutLengthPrefixed(std::string& out, const std::string& text) {
+  PutVarint(out, text.size());
+  out.append(text);
+}
+
+bool GetLengthPrefixed(ByteCursor& in, std::string* text, uint64_t max_size) {
+  uint64_t size = 0;
+  if (!GetVarint(in, &size)) {
+    return false;
+  }
+  if (size > max_size || size > in.remaining()) {
+    return false;
+  }
+  text->resize(size);
+  return in.Read(text->data(), size);
+}
+
+void AppendUint32LE(std::string& out, uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+uint32_t LoadUint32LE(const char* data) {
+  const auto* b = reinterpret_cast<const unsigned char*>(data);
+  return static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+         static_cast<uint32_t>(b[2]) << 16 | static_cast<uint32_t>(b[3]) << 24;
+}
+
+}  // namespace lockdoc

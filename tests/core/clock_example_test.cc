@@ -17,7 +17,7 @@ TEST(ClockExampleTest, SecondsRuleIsSecLock) {
   key.subclass = kNoSubclass;
   key.member = example.seconds;
   RuleDerivator derivator;
-  DerivationResult seconds = derivator.Derive(result.observations, key, AccessType::kWrite);
+  DerivationResult seconds = derivator.Derive(result.snapshot.observations, key, AccessType::kWrite);
   ASSERT_TRUE(seconds.winner.has_value());
   EXPECT_EQ(LockSeqToString(seconds.winner->locks), "sec_lock");
   EXPECT_DOUBLE_EQ(seconds.winner->sr, 1.0);
@@ -31,14 +31,14 @@ TEST(ClockExampleTest, MinutesWinnerIsFullChainDespiteBug) {
   key.subclass = kNoSubclass;
   key.member = example.minutes;
   RuleDerivator derivator;
-  DerivationResult minutes = derivator.Derive(result.observations, key, AccessType::kWrite);
+  DerivationResult minutes = derivator.Derive(result.snapshot.observations, key, AccessType::kWrite);
   EXPECT_EQ(LockSeqToString(minutes.winner->locks), "sec_lock -> min_lock");
 }
 
 TEST(ClockExampleTest, FaultyExecutionDetectedAsViolation) {
   ClockExample example = BuildClockExample();
   PipelineResult result = RunPipeline(example.trace, *example.registry);
-  ViolationFinder finder(&example.trace, example.registry.get(), &result.observations);
+  ViolationFinder finder(&result.snapshot.db, example.registry.get(), &result.snapshot.observations);
   std::vector<Violation> violations = finder.FindAll(result.rules);
   ASSERT_EQ(violations.size(), 1u);
   EXPECT_EQ(LockSeqToString(violations[0].held), "sec_lock");
@@ -56,7 +56,7 @@ TEST(ClockExampleTest, WithoutFaultEverythingIsPerfect) {
     ASSERT_TRUE(rule.winner.has_value());
     EXPECT_DOUBLE_EQ(rule.winner->sr, 1.0);
   }
-  ViolationFinder finder(&example.trace, example.registry.get(), &result.observations);
+  ViolationFinder finder(&result.snapshot.db, example.registry.get(), &result.snapshot.observations);
   EXPECT_TRUE(finder.FindAll(result.rules).empty());
 }
 
@@ -67,9 +67,9 @@ TEST(ClockExampleTest, MinutesObservationCountMatchesPaper) {
   key.type = example.clock_type;
   key.subclass = kNoSubclass;
   key.member = example.minutes;
-  EXPECT_EQ(result.observations.CountObservations(key, AccessType::kWrite), 17u);
+  EXPECT_EQ(result.snapshot.observations.CountObservations(key, AccessType::kWrite), 17u);
   // All reads of minutes are folded away by write-over-read.
-  EXPECT_EQ(result.observations.CountObservations(key, AccessType::kRead), 0u);
+  EXPECT_EQ(result.snapshot.observations.CountObservations(key, AccessType::kRead), 0u);
 }
 
 }  // namespace

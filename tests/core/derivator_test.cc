@@ -214,7 +214,7 @@ TEST(DerivatorTest, ReproducesPaperTable2Exactly) {
   key.subclass = kNoSubclass;
   key.member = example.minutes;
   RuleDerivator derivator(options.derivator);
-  DerivationResult minutes = derivator.Derive(result.observations, key, AccessType::kWrite);
+  DerivationResult minutes = derivator.Derive(result.snapshot.observations, key, AccessType::kWrite);
 
   EXPECT_EQ(minutes.total, 17u);
   ASSERT_EQ(minutes.hypotheses.size(), 5u);

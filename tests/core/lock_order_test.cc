@@ -10,7 +10,7 @@ namespace {
 LockOrderGraph BuildGraph(TestWorld& world) {
   Database db;
   world.Import(&db);
-  return LockOrderGraph::Build(db, world.trace, *world.registry);
+  return LockOrderGraph::Build(db, *world.registry);
 }
 
 const LockOrderEdge* FindEdge(const LockOrderGraph& graph, const std::string& from,
@@ -163,8 +163,10 @@ TEST(LockOrderTest, ReportMentionsEdgesAndConflicts) {
     world.sim->UnlockGlobal(world.global_b, 4);
     world.sim->UnlockGlobal(world.global_a, 5);
   }
-  LockOrderGraph graph = BuildGraph(world);
-  std::string report = graph.Report(world.trace);
+  Database db;
+  world.Import(&db);
+  LockOrderGraph graph = LockOrderGraph::Build(db, *world.registry);
+  std::string report = graph.Report(db);
   EXPECT_NE(report.find("global_a"), std::string::npos);
   EXPECT_NE(report.find("ordering conflicts"), std::string::npos);
   EXPECT_NE(report.find("t.c:3"), std::string::npos);  // Example location.

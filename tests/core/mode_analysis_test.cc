@@ -15,7 +15,7 @@ struct ModeWorld {
 
   void Finish() {
     world.Import(&db);
-    store = ExtractObservations(db, world.trace, *world.registry);
+    store = ExtractObservations(db, *world.registry);
     RuleDerivator derivator;
     rules = derivator.DeriveAll(store);
   }
@@ -35,7 +35,7 @@ TEST(ModeAnalysisTest, ExclusiveOnlyWritesAreNotSuspicious) {
     m.world.sim->Destroy(obj, 5);
   }
   m.Finish();
-  ModeAnalyzer analyzer(&m.db, &m.world.trace, m.world.registry.get(), &m.store);
+  ModeAnalyzer analyzer(&m.db, m.world.registry.get(), &m.store);
   auto entries = analyzer.Analyze(m.rules);
   ASSERT_FALSE(entries.empty());
   for (const ModeReportEntry& entry : entries) {
@@ -63,7 +63,7 @@ TEST(ModeAnalysisTest, WriteUnderSharedHoldIsFlagged) {
     m.world.sim->Destroy(obj, 8);
   }
   m.Finish();
-  ModeAnalyzer analyzer(&m.db, &m.world.trace, m.world.registry.get(), &m.store);
+  ModeAnalyzer analyzer(&m.db, m.world.registry.get(), &m.store);
   auto suspicious = analyzer.FindSharedModeWrites(m.rules);
   ASSERT_EQ(suspicious.size(), 1u);
   ASSERT_EQ(suspicious[0].usages.size(), 1u);
@@ -90,7 +90,7 @@ TEST(ModeAnalysisTest, SharedReadsAreFine) {
     m.world.sim->Destroy(obj, 5);
   }
   m.Finish();
-  ModeAnalyzer analyzer(&m.db, &m.world.trace, m.world.registry.get(), &m.store);
+  ModeAnalyzer analyzer(&m.db, m.world.registry.get(), &m.store);
   auto entries = analyzer.Analyze(m.rules);
   ASSERT_EQ(entries.size(), 1u);
   EXPECT_EQ(entries[0].access, AccessType::kRead);
@@ -107,7 +107,7 @@ TEST(ModeAnalysisTest, NoLockWinnersAreSkipped) {
     m.world.sim->Destroy(obj, 3);
   }
   m.Finish();
-  ModeAnalyzer analyzer(&m.db, &m.world.trace, m.world.registry.get(), &m.store);
+  ModeAnalyzer analyzer(&m.db, m.world.registry.get(), &m.store);
   EXPECT_TRUE(analyzer.Analyze(m.rules).empty());
 }
 

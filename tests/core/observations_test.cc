@@ -220,10 +220,10 @@ TEST(ObservationsTest, ParallelExtractionMatchesSerialExactly) {
   }
   Database db;
   world.Import(&db);
-  ObservationStore serial = ExtractObservations(db, world.trace, *world.registry);
+  ObservationStore serial = ExtractObservations(db, *world.registry);
   for (size_t threads : {2, 4, 8}) {
     ThreadPool pool(threads);
-    ObservationStore parallel = ExtractObservations(db, world.trace, *world.registry, &pool);
+    ObservationStore parallel = ExtractObservations(db, *world.registry, &pool);
     ExpectStoresIdentical(serial, parallel);
   }
 }

@@ -1,0 +1,200 @@
+// Analysis-snapshot serialization: .lockdb round trips must preserve every
+// store (database, string pool, lock classes, interned sequences,
+// observation groups), re-serialization must be byte-identical, the on-disk
+// bytes are pinned by a golden fixture, and corrupt input of any shape must
+// come back as a Status error — never an abort.
+#include "src/core/snapshot.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "tests/core/test_helpers.h"
+
+namespace lockdoc {
+namespace {
+
+std::string GoldenPath() { return std::string(LOCKDOC_TESTDATA_DIR) + "/golden_mini.lockdb"; }
+
+// A deterministic little world that populates every section: strings,
+// tables, a global and an embedded lock, and several observation groups.
+TestWorld MakeWorld() {
+  TestWorld world;
+  FunctionScope fn(*world.sim, "fs/widget.c", "widget_ops", 1, 90);
+  ObjectRef obj = world.sim->Create(world.type, kNoSubclass, 1);
+  for (int i = 0; i < 6; ++i) {
+    world.sim->LockGlobal(world.global_a, 10);
+    world.sim->Lock(obj, world.spin, 11);
+    world.sim->Write(obj, world.data, 12);
+    world.sim->Read(obj, world.extra, 13);
+    world.sim->Unlock(obj, world.spin, 14);
+    world.sim->UnlockGlobal(world.global_a, 15);
+  }
+  world.sim->Write(obj, world.data, 66);  // Lockless outlier.
+  world.sim->Destroy(obj, 89);
+  return world;
+}
+
+void ExpectSameRules(const std::vector<DerivationResult>& a,
+                     const std::vector<DerivationResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].access, b[i].access);
+    EXPECT_EQ(a[i].total, b[i].total);
+    ASSERT_EQ(a[i].winner.has_value(), b[i].winner.has_value());
+    if (a[i].winner.has_value()) {
+      EXPECT_EQ(LockSeqToString(a[i].winner->locks), LockSeqToString(b[i].winner->locks));
+      EXPECT_EQ(a[i].winner->sa, b[i].winner->sa);
+    }
+  }
+}
+
+TEST(SnapshotTest, RoundTripPreservesEveryStore) {
+  TestWorld world = MakeWorld();
+  AnalysisSnapshot snapshot = BuildSnapshot(world.trace, *world.registry);
+  std::string bytes = SerializeSnapshot(snapshot, *world.registry);
+
+  auto restored = DeserializeSnapshot(bytes, *world.registry);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  const AnalysisSnapshot& loaded = restored.value();
+
+  // Database: same tables, same shapes, same strings.
+  ASSERT_EQ(loaded.db.TableNames(), snapshot.db.TableNames());
+  for (const std::string& name : snapshot.db.TableNames()) {
+    EXPECT_EQ(loaded.db.table(name).row_count(), snapshot.db.table(name).row_count()) << name;
+  }
+  ASSERT_EQ(loaded.db.strings().size(), snapshot.db.strings().size());
+  for (StringId id = 0; id < snapshot.db.strings().size(); ++id) {
+    EXPECT_EQ(loaded.db.String(id), snapshot.db.String(id));
+  }
+
+  // Stats.
+  EXPECT_EQ(loaded.import_stats.accesses_kept, snapshot.import_stats.accesses_kept);
+  EXPECT_EQ(loaded.import_stats.txns, snapshot.import_stats.txns);
+  EXPECT_EQ(loaded.trace_stats.total_events, snapshot.trace_stats.total_events);
+  EXPECT_EQ(loaded.trace_stats.ToString(), snapshot.trace_stats.ToString());
+
+  // Observations: identical groups, identical derived rules.
+  EXPECT_EQ(loaded.observations.groups().size(), snapshot.observations.groups().size());
+  ExpectSameRules(AnalyzeSnapshot(loaded), AnalyzeSnapshot(snapshot));
+}
+
+TEST(SnapshotTest, ReserializationIsByteIdentical) {
+  TestWorld world = MakeWorld();
+  AnalysisSnapshot snapshot = BuildSnapshot(world.trace, *world.registry);
+  std::string bytes = SerializeSnapshot(snapshot, *world.registry);
+  auto restored = DeserializeSnapshot(bytes, *world.registry);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(SerializeSnapshot(restored.value(), *world.registry), bytes);
+}
+
+// Pins the exact on-disk bytes. If this fails, the format changed: bump
+// kSnapshotFormatVersion and regenerate the fixture by running this binary
+// with LOCKDOC_REGEN_GOLDEN=1 from the source tree.
+TEST(SnapshotTest, GoldenFixtureBytesArePinned) {
+  TestWorld world = MakeWorld();
+  AnalysisSnapshot snapshot = BuildSnapshot(world.trace, *world.registry);
+  std::string bytes = SerializeSnapshot(snapshot, *world.registry);
+
+  if (std::getenv("LOCKDOC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary);
+    ASSERT_TRUE(out.is_open());
+    out << bytes;
+    GTEST_SKIP() << "regenerated " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing fixture " << GoldenPath();
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  ASSERT_EQ(bytes.size(), golden.str().size());
+  EXPECT_EQ(bytes, golden.str());
+
+  auto restored = DeserializeSnapshot(golden.str(), *world.registry);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_EQ(restored.value().observations.groups().size(),
+            snapshot.observations.groups().size());
+}
+
+TEST(SnapshotTest, RegistryShapeMismatchIsRejected) {
+  TestWorld world = MakeWorld();
+  std::string bytes =
+      SerializeSnapshot(BuildSnapshot(world.trace, *world.registry), *world.registry);
+
+  TypeRegistry other;
+  auto restored = DeserializeSnapshot(bytes, other);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.status().message().find("registry"), std::string::npos);
+}
+
+TEST(SnapshotTest, EveryByteFlipFailsAsStatusNotAbort) {
+  TestWorld world = MakeWorld();
+  std::string pristine =
+      SerializeSnapshot(BuildSnapshot(world.trace, *world.registry), *world.registry);
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    std::string bytes = pristine;
+    bytes[i] ^= 0x20;
+    auto restored = DeserializeSnapshot(bytes, *world.registry);
+    EXPECT_FALSE(restored.ok()) << "undetected flip at offset " << i;
+  }
+}
+
+TEST(SnapshotTest, ReorderedAndMissingSectionsAreRejected) {
+  TestWorld world = MakeWorld();
+  std::string pristine =
+      SerializeSnapshot(BuildSnapshot(world.trace, *world.registry), *world.registry);
+  auto sections = ScanSnapshotSections(pristine);
+  ASSERT_TRUE(sections.ok());
+  const auto& parsed = sections.value();
+  ASSERT_GE(parsed.size(), 4u);
+
+  {
+    // Swap the first two sections: container-valid, semantically wrong.
+    SnapshotWriter writer;
+    writer.AddSection(static_cast<SnapshotSectionType>(parsed[1].type), parsed[1].payload);
+    writer.AddSection(static_cast<SnapshotSectionType>(parsed[0].type), parsed[0].payload);
+    for (size_t i = 2; i < parsed.size(); ++i) {
+      writer.AddSection(static_cast<SnapshotSectionType>(parsed[i].type), parsed[i].payload);
+    }
+    EXPECT_FALSE(DeserializeSnapshot(writer.Finish(), *world.registry).ok());
+  }
+  {
+    // Drop the last section.
+    SnapshotWriter writer;
+    for (size_t i = 0; i + 1 < parsed.size(); ++i) {
+      writer.AddSection(static_cast<SnapshotSectionType>(parsed[i].type), parsed[i].payload);
+    }
+    EXPECT_FALSE(DeserializeSnapshot(writer.Finish(), *world.registry).ok());
+  }
+}
+
+TEST(SnapshotTest, SaveAndLoadFileRoundTrip) {
+  TestWorld world = MakeWorld();
+  AnalysisSnapshot snapshot = BuildSnapshot(world.trace, *world.registry);
+  std::string path = ::testing::TempDir() + "/snapshot_test_roundtrip.lockdb";
+
+  ASSERT_TRUE(SaveSnapshot(snapshot, *world.registry, path).ok());
+  EXPECT_TRUE(IsSnapshotFile(path));
+  auto loaded = LoadSnapshot(path, *world.registry);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ExpectSameRules(AnalyzeSnapshot(loaded.value()), AnalyzeSnapshot(snapshot));
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotTest, LoadRejectsMissingAndNonSnapshotFiles) {
+  TestWorld world = MakeWorld();
+  EXPECT_FALSE(LoadSnapshot("/nonexistent/path.lockdb", *world.registry).ok());
+  std::string path = ::testing::TempDir() + "/snapshot_test_not_a_snapshot";
+  std::ofstream(path) << "plain text";
+  EXPECT_FALSE(IsSnapshotFile(path));
+  EXPECT_FALSE(LoadSnapshot(path, *world.registry).ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace lockdoc

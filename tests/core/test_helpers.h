@@ -53,7 +53,7 @@ struct TestWorld {
   ObservationStore Extract(FilterConfig filter = FilterConfig::Defaults()) {
     Database db;
     Import(&db, std::move(filter));
-    return ExtractObservations(db, trace, *registry);
+    return ExtractObservations(db, *registry);
   }
 
   MemberObsKey Key(MemberIndex member) const {

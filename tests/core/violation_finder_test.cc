@@ -28,10 +28,12 @@ TestWorld MakeBuggyWorld() {
 
 TEST(ViolationFinderTest, FindsTheLocklessWrite) {
   TestWorld world = MakeBuggyWorld();
-  ObservationStore store = world.Extract();
+  Database db;
+  world.Import(&db);
+  ObservationStore store = ExtractObservations(db, *world.registry);
   RuleDerivator derivator;
   std::vector<DerivationResult> rules = derivator.DeriveAll(store);
-  ViolationFinder finder(&world.trace, world.registry.get(), &store);
+  ViolationFinder finder(&db, world.registry.get(), &store);
   std::vector<Violation> violations = finder.FindAll(rules);
 
   ASSERT_EQ(violations.size(), 1u);
@@ -43,10 +45,12 @@ TEST(ViolationFinderTest, FindsTheLocklessWrite) {
 
 TEST(ViolationFinderTest, ExamplesCarryContext) {
   TestWorld world = MakeBuggyWorld();
-  ObservationStore store = world.Extract();
+  Database db;
+  world.Import(&db);
+  ObservationStore store = ExtractObservations(db, *world.registry);
   RuleDerivator derivator;
   std::vector<DerivationResult> rules = derivator.DeriveAll(store);
-  ViolationFinder finder(&world.trace, world.registry.get(), &store);
+  ViolationFinder finder(&db, world.registry.get(), &store);
   auto examples = finder.Examples(finder.FindAll(rules), 10);
 
   ASSERT_EQ(examples.size(), 1u);
@@ -58,10 +62,12 @@ TEST(ViolationFinderTest, ExamplesCarryContext) {
 
 TEST(ViolationFinderTest, SummaryCountsEventsMembersContexts) {
   TestWorld world = MakeBuggyWorld();
-  ObservationStore store = world.Extract();
+  Database db;
+  world.Import(&db);
+  ObservationStore store = ExtractObservations(db, *world.registry);
   RuleDerivator derivator;
   std::vector<DerivationResult> rules = derivator.DeriveAll(store);
-  ViolationFinder finder(&world.trace, world.registry.get(), &store);
+  ViolationFinder finder(&db, world.registry.get(), &store);
   auto summary = finder.Summarize(finder.FindAll(rules));
 
   ASSERT_EQ(summary.size(), 1u);
@@ -83,10 +89,12 @@ TEST(ViolationFinderTest, CleanWorldHasZeroViolationsButSummaryRow) {
     }
     world.sim->Destroy(obj, 5);
   }
-  ObservationStore store = world.Extract();
+  Database db;
+  world.Import(&db);
+  ObservationStore store = ExtractObservations(db, *world.registry);
   RuleDerivator derivator;
   std::vector<DerivationResult> rules = derivator.DeriveAll(store);
-  ViolationFinder finder(&world.trace, world.registry.get(), &store);
+  ViolationFinder finder(&db, world.registry.get(), &store);
   std::vector<Violation> violations = finder.FindAll(rules);
   EXPECT_TRUE(violations.empty());
   auto summary = finder.Summarize(violations);
@@ -108,10 +116,12 @@ TEST(ViolationFinderTest, NoLockWinnersCannotBeViolated) {
     }
     world.sim->Destroy(obj, 6);
   }
-  ObservationStore store = world.Extract();
+  Database db;
+  world.Import(&db);
+  ObservationStore store = ExtractObservations(db, *world.registry);
   RuleDerivator derivator;
   std::vector<DerivationResult> rules = derivator.DeriveAll(store);
-  ViolationFinder finder(&world.trace, world.registry.get(), &store);
+  ViolationFinder finder(&db, world.registry.get(), &store);
   EXPECT_TRUE(finder.FindAll(rules).empty());
 }
 
@@ -133,10 +143,12 @@ TEST(ViolationFinderTest, WoRSuppressedReadsNotCountedAsViolatingEvents) {
     world.sim->UnlockGlobal(world.global_a, 23);
     world.sim->Destroy(obj, 98);
   }
-  ObservationStore store = world.Extract();
+  Database db;
+  world.Import(&db);
+  ObservationStore store = ExtractObservations(db, *world.registry);
   RuleDerivator derivator;
   std::vector<DerivationResult> rules = derivator.DeriveAll(store);
-  ViolationFinder finder(&world.trace, world.registry.get(), &store);
+  ViolationFinder finder(&db, world.registry.get(), &store);
   std::vector<Violation> violations = finder.FindAll(rules);
   ASSERT_EQ(violations.size(), 1u);
   EXPECT_EQ(violations[0].seqs.size(), 1u);  // The write only.

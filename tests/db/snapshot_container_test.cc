@@ -1,0 +1,184 @@
+// The .lockdb container layer: framing, CRC verification, strict scan vs
+// lenient inspection, magic sniffing, and the db-level section codecs
+// (string pool, tables). Corruption here must surface as Status errors and
+// per-section damage reports, never as aborts.
+#include "src/db/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "src/db/database.h"
+
+namespace lockdoc {
+namespace {
+
+std::string TinySnapshot() {
+  SnapshotWriter writer;
+  writer.AddSection(kSnapshotSectionMeta, "meta-payload");
+  writer.AddSection(kSnapshotSectionStrings, "strings-payload");
+  writer.AddSection(kSnapshotSectionTable, "");  // Empty payloads are legal.
+  return writer.Finish();
+}
+
+TEST(SnapshotContainerTest, WriterScanRoundTrip) {
+  std::string bytes = TinySnapshot();
+  auto sections = ScanSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok()) << sections.status().message();
+  ASSERT_EQ(sections.value().size(), 3u);
+  EXPECT_EQ(sections.value()[0].type, kSnapshotSectionMeta);
+  EXPECT_EQ(sections.value()[0].seq, 0u);
+  EXPECT_EQ(sections.value()[0].payload, "meta-payload");
+  EXPECT_EQ(sections.value()[1].type, kSnapshotSectionStrings);
+  EXPECT_EQ(sections.value()[1].seq, 1u);
+  EXPECT_EQ(sections.value()[2].payload, "");
+}
+
+TEST(SnapshotContainerTest, EmptySnapshotIsCleanWithZeroSections) {
+  SnapshotWriter writer;
+  std::string bytes = writer.Finish();
+  auto sections = ScanSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  EXPECT_TRUE(sections.value().empty());
+  EXPECT_TRUE(InspectSnapshot(bytes).clean());
+}
+
+TEST(SnapshotContainerTest, MagicSniffing) {
+  std::string bytes = TinySnapshot();
+  EXPECT_TRUE(LooksLikeSnapshot(bytes));
+  EXPECT_FALSE(LooksLikeSnapshot("LDTRACE2 something"));
+  EXPECT_FALSE(LooksLikeSnapshot(""));
+  EXPECT_FALSE(LooksLikeSnapshot(bytes.substr(1)));
+}
+
+TEST(SnapshotContainerTest, BadMagicFailsScan) {
+  std::string bytes = TinySnapshot();
+  bytes[0] ^= 0x01;
+  EXPECT_FALSE(ScanSnapshotSections(bytes).ok());
+  EXPECT_FALSE(InspectSnapshot(bytes).magic_ok);
+  EXPECT_FALSE(InspectSnapshot(bytes).clean());
+}
+
+TEST(SnapshotContainerTest, EveryByteFlipIsDetected) {
+  std::string pristine = TinySnapshot();
+  // Flip each byte after the magic in turn; the strict scan must fail every
+  // time (CRC, marker, or structural check) and never crash.
+  for (size_t i = sizeof(kSnapshotMagic); i < pristine.size(); ++i) {
+    std::string bytes = pristine;
+    bytes[i] ^= 0x40;
+    auto sections = ScanSnapshotSections(bytes);
+    EXPECT_FALSE(sections.ok()) << "undetected flip at offset " << i;
+  }
+}
+
+TEST(SnapshotContainerTest, InspectionLocalizesDamage) {
+  std::string bytes = TinySnapshot();
+  auto sections = ScanSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  // Corrupt the middle section's payload: its CRC breaks, neighbours stay ok.
+  size_t victim = sections.value()[1].payload.data() - bytes.data();
+  bytes[victim] ^= 0xFF;
+
+  SnapshotInspection inspection = InspectSnapshot(bytes);
+  EXPECT_TRUE(inspection.magic_ok);
+  EXPECT_FALSE(inspection.clean());
+  EXPECT_EQ(inspection.sections_bad(), 1u);
+  EXPECT_EQ(inspection.sections_ok(), 2u);
+  EXPECT_TRUE(inspection.end_ok);
+  ASSERT_EQ(inspection.sections.size(), 3u);
+  EXPECT_TRUE(inspection.sections[0].ok());
+  EXPECT_FALSE(inspection.sections[1].ok());
+  EXPECT_TRUE(inspection.sections[2].ok());
+  std::string text = inspection.ToString();
+  EXPECT_NE(text.find("strings"), std::string::npos);
+  EXPECT_NE(text.find("crc mismatch"), std::string::npos);
+}
+
+TEST(SnapshotContainerTest, TruncationAtEveryOffsetFailsCleanly) {
+  std::string pristine = TinySnapshot();
+  for (size_t keep = 0; keep < pristine.size(); ++keep) {
+    std::string bytes = pristine.substr(0, keep);
+    EXPECT_FALSE(ScanSnapshotSections(bytes).ok()) << "truncated to " << keep;
+    InspectSnapshot(bytes);  // Must not crash.
+  }
+}
+
+TEST(SnapshotContainerTest, TrailingGarbageAfterEndIsRejected) {
+  std::string bytes = TinySnapshot() + "extra";
+  EXPECT_FALSE(ScanSnapshotSections(bytes).ok());
+  EXPECT_FALSE(InspectSnapshot(bytes).clean());
+}
+
+TEST(SnapshotContainerTest, StringsSectionRoundTrip) {
+  StringPool pool;
+  pool.Intern("fs/inode.c");
+  pool.Intern("comma,quote\"newline\n");
+  pool.Intern("i_lock");
+  std::string payload = EncodeStringsSection(pool);
+
+  StringPool restored;
+  ASSERT_TRUE(DecodeStringsSection(payload, &restored).ok());
+  ASSERT_EQ(restored.size(), pool.size());
+  for (StringId id = 0; id < pool.size(); ++id) {
+    EXPECT_EQ(restored.Lookup(id), pool.Lookup(id));
+  }
+  EXPECT_EQ(restored.Find("fs/inode.c"), pool.Find("fs/inode.c"));
+}
+
+TEST(SnapshotContainerTest, StringsSectionRejectsTrailingBytes) {
+  StringPool pool;
+  pool.Intern("x");
+  std::string payload = EncodeStringsSection(pool) + "junk";
+  StringPool restored;
+  EXPECT_FALSE(DecodeStringsSection(payload, &restored).ok());
+}
+
+Table& MakeSampleTable(Database* db) {
+  Table& table = db->CreateTable("sample", {{"id", ColumnType::kUint64},
+                                            {"score", ColumnType::kDouble},
+                                            {"label", ColumnType::kString}});
+  table.Insert({uint64_t{0}, 1.5, std::string("alpha")});
+  table.Insert({uint64_t{7}, -2.25, std::string("beta,\"quoted\"")});
+  table.Insert({kDbNull, 0.0, std::string()});
+  table.CreateIndex(0);
+  return table;
+}
+
+TEST(SnapshotContainerTest, TableSectionRoundTrip) {
+  Database db;
+  Table& table = MakeSampleTable(&db);
+  std::string payload = EncodeTableSection(table);
+
+  Database restored_db;
+  ASSERT_TRUE(DecodeTableSection(payload, &restored_db).ok());
+  ASSERT_TRUE(restored_db.HasTable("sample"));
+  const Table& restored = restored_db.table("sample");
+  ASSERT_EQ(restored.row_count(), table.row_count());
+  ASSERT_EQ(restored.column_count(), table.column_count());
+  EXPECT_EQ(restored.GetUint64(1, 0), 7u);
+  EXPECT_EQ(restored.GetUint64(2, 0), kDbNull);
+  EXPECT_DOUBLE_EQ(restored.GetDouble(1, 1), -2.25);
+  EXPECT_EQ(restored.GetString(1, 2), "beta,\"quoted\"");
+  // The hash index came back with the data.
+  EXPECT_TRUE(restored.HasIndex(0));
+  EXPECT_EQ(restored.LookupEqual(0, 7).size(), 1u);
+}
+
+TEST(SnapshotContainerTest, TableSectionRejectsDuplicateTable) {
+  Database db;
+  std::string payload = EncodeTableSection(MakeSampleTable(&db));
+  Database restored;
+  ASSERT_TRUE(DecodeTableSection(payload, &restored).ok());
+  EXPECT_FALSE(DecodeTableSection(payload, &restored).ok());
+}
+
+TEST(SnapshotContainerTest, TableSectionRejectsTruncatedPayload) {
+  Database db;
+  std::string payload = EncodeTableSection(MakeSampleTable(&db));
+  for (size_t keep : {size_t{0}, size_t{1}, payload.size() / 2, payload.size() - 1}) {
+    Database restored;
+    EXPECT_FALSE(DecodeTableSection(payload.substr(0, keep), &restored).ok())
+        << "truncated to " << keep;
+  }
+}
+
+}  // namespace
+}  // namespace lockdoc

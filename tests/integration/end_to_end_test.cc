@@ -52,8 +52,8 @@ TEST_F(EndToEndTest, ArchivedTraceAnalyzesIdentically) {
   PipelineOptions options;
   options.filter = VfsKernel::MakeFilterConfig();
   PipelineResult replay = RunPipeline(restored.value(), *sim_->registry, options);
-  EXPECT_EQ(replay.import_stats.accesses_kept, result_->import_stats.accesses_kept);
-  EXPECT_EQ(replay.import_stats.txns, result_->import_stats.txns);
+  EXPECT_EQ(replay.snapshot.import_stats.accesses_kept, result_->snapshot.import_stats.accesses_kept);
+  EXPECT_EQ(replay.snapshot.import_stats.txns, result_->snapshot.import_stats.txns);
   ASSERT_EQ(replay.rules.size(), result_->rules.size());
   for (size_t i = 0; i < replay.rules.size(); ++i) {
     EXPECT_EQ(LockSeqToString(replay.rules[i].winner->locks),
@@ -63,8 +63,8 @@ TEST_F(EndToEndTest, ArchivedTraceAnalyzesIdentically) {
 }
 
 TEST_F(EndToEndTest, EveryKeptAccessBelongsToExactlyOneTransaction) {
-  const Table& accesses = result_->db.table(LockDocSchema::kAccesses);
-  const Table& txns = result_->db.table(LockDocSchema::kTxns);
+  const Table& accesses = result_->snapshot.db.table(LockDocSchema::kAccesses);
+  const Table& txns = result_->snapshot.db.table(LockDocSchema::kTxns);
   const size_t kTxnCol = accesses.ColumnIndex("txn_id");
   const size_t kSeqCol = accesses.ColumnIndex("seq");
   const size_t kStart = txns.ColumnIndex("start_seq");
@@ -88,8 +88,8 @@ TEST_F(EndToEndTest, EveryKeptAccessBelongsToExactlyOneTransaction) {
 }
 
 TEST_F(EndToEndTest, TransactionLockListsAreComplete) {
-  const Table& txns = result_->db.table(LockDocSchema::kTxns);
-  const Table& txn_locks = result_->db.table(LockDocSchema::kTxnLocks);
+  const Table& txns = result_->snapshot.db.table(LockDocSchema::kTxns);
+  const Table& txn_locks = result_->snapshot.db.table(LockDocSchema::kTxnLocks);
   const size_t kNLocks = txns.ColumnIndex("n_locks");
   const size_t kTlTxn = txn_locks.ColumnIndex("txn_id");
   for (uint64_t txn = 0; txn < std::min<uint64_t>(txns.row_count(), 2000); ++txn) {
@@ -103,14 +103,14 @@ TEST_F(EndToEndTest, ObservationTotalsConsistentWithSupports) {
     EXPECT_LE(rule.winner->sa, rule.total);
     EXPECT_GE(rule.winner->sr, 0.9 - 1e-9);  // Winner cleared the threshold.
     EXPECT_EQ(rule.total,
-              result_->observations.CountObservations(rule.key, rule.access));
+              result_->snapshot.observations.CountObservations(rule.key, rule.access));
   }
 }
 
 TEST_F(EndToEndTest, DocumentedRulesVerdictsMatchPaperShape) {
   auto rules = RuleSet::ParseText(VfsKernel::DocumentedRulesText());
   ASSERT_TRUE(rules.ok());
-  RuleChecker checker(sim_->registry.get(), &result_->observations);
+  RuleChecker checker(sim_->registry.get(), &result_->snapshot.observations);
   auto summaries = RuleChecker::Summarize(checker.CheckAll(rules.value()));
   ASSERT_EQ(summaries.size(), 5u);
   uint64_t documented = 0;
@@ -125,7 +125,7 @@ TEST_F(EndToEndTest, DocumentedRulesVerdictsMatchPaperShape) {
 }
 
 TEST_F(EndToEndTest, ViolationsReferenceRealTraceEvents) {
-  ViolationFinder finder(&sim_->trace, sim_->registry.get(), &result_->observations);
+  ViolationFinder finder(&result_->snapshot.db, sim_->registry.get(), &result_->snapshot.observations);
   std::vector<Violation> violations = finder.FindAll(result_->rules);
   ASSERT_FALSE(violations.empty());
   for (const Violation& violation : violations) {
@@ -139,7 +139,7 @@ TEST_F(EndToEndTest, ViolationsReferenceRealTraceEvents) {
 }
 
 TEST_F(EndToEndTest, KnownInjectedBugsAreFound) {
-  ViolationFinder finder(&sim_->trace, sim_->registry.get(), &result_->observations);
+  ViolationFinder finder(&result_->snapshot.db, sim_->registry.get(), &result_->snapshot.observations);
   auto examples = finder.Examples(finder.FindAll(result_->rules), SIZE_MAX);
   bool i_hash_at_507 = false;
   bool d_subdirs_rcu = false;
@@ -159,16 +159,16 @@ TEST_F(EndToEndTest, KnownInjectedBugsAreFound) {
 TEST_F(EndToEndTest, DatabaseCsvRoundTrip) {
   std::string dir = ::testing::TempDir() + "/lockdoc_e2e_db";
   std::filesystem::create_directories(dir);
-  ASSERT_TRUE(result_->db.ExportDirectory(dir).ok());
+  ASSERT_TRUE(result_->snapshot.db.ExportDirectory(dir).ok());
 
   Database restored;
   CreateLockDocSchema(&restored);
   ASSERT_TRUE(restored.ImportDirectory(dir).ok());
   EXPECT_EQ(restored.table(LockDocSchema::kAccesses).row_count(),
-            result_->db.table(LockDocSchema::kAccesses).row_count());
+            result_->snapshot.db.table(LockDocSchema::kAccesses).row_count());
 
-  ObservationStore replay = ExtractObservations(restored, sim_->trace, *sim_->registry);
-  EXPECT_EQ(replay.groups().size(), result_->observations.groups().size());
+  ObservationStore replay = ExtractObservations(restored, *sim_->registry);
+  EXPECT_EQ(replay.groups().size(), result_->snapshot.observations.groups().size());
 }
 
 }  // namespace

@@ -38,12 +38,12 @@ std::string AnalyzeToText(const Trace& trace, const TypeRegistry& registry, size
   ReportOptions report_options;
   report_options.documented_rules_text = VfsKernel::DocumentedRulesText();
   report_options.full_documentation = true;
-  out += RenderReport(trace, registry, result, report_options);
+  out += RenderReport(registry, result, report_options);
 
   // 2. Rule checking against the documented rules.
   auto rules = RuleSet::ParseText(VfsKernel::DocumentedRulesText());
   if (rules.ok()) {
-    RuleChecker checker(&registry, &result.observations);
+    RuleChecker checker(&registry, &result.snapshot.observations);
     for (const RuleCheckResult& r : checker.CheckAll(rules.value(), &pool)) {
       out += StrFormat("%s %s sa=%llu total=%llu sr=%.6f\n",
                        std::string(RuleVerdictSymbol(r.verdict)).c_str(),
@@ -53,7 +53,7 @@ std::string AnalyzeToText(const Trace& trace, const TypeRegistry& registry, size
   }
 
   // 3. Violations, raw and as rendered examples.
-  ViolationFinder finder(&trace, &registry, &result.observations);
+  ViolationFinder finder(&result.snapshot.db, &registry, &result.snapshot.observations);
   std::vector<Violation> violations = finder.FindAll(result.rules, &pool);
   for (const Violation& v : violations) {
     out += StrFormat("violation rule=%s held=%s events=%zu first=%llu\n",

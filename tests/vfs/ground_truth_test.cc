@@ -25,7 +25,7 @@ PipelineResult RunCleanKernel(SimulationResult* sim_out, size_t ops = 6000) {
 TEST(GroundTruthTest, CleanKernelHasZeroViolations) {
   SimulationResult sim;
   PipelineResult result = RunCleanKernel(&sim);
-  ViolationFinder finder(&sim.trace, sim.registry.get(), &result.observations);
+  ViolationFinder finder(&result.snapshot.db, sim.registry.get(), &result.snapshot.observations);
   std::vector<Violation> violations = finder.FindAll(result.rules);
   EXPECT_TRUE(violations.empty());
   if (!violations.empty()) {
@@ -49,7 +49,7 @@ TEST(GroundTruthTest, MinedRulesMatchImplementedDiscipline) {
     key.subclass = ext4;
     key.member = *registry.layout(inode).FindMember(member_name);
     RuleDerivator derivator;
-    DerivationResult derived = derivator.Derive(result.observations, key, access);
+    DerivationResult derived = derivator.Derive(result.snapshot.observations, key, access);
     if (!derived.winner.has_value()) {
       return "<unobserved>";
     }
@@ -86,7 +86,7 @@ TEST(GroundTruthTest, CleanJournalDisciplineRecovered) {
   key.subclass = kNoSubclass;
   key.member = *registry.layout(journal).FindMember("j_committing_transaction");
   RuleDerivator derivator;
-  DerivationResult derived = derivator.Derive(result.observations, key, AccessType::kWrite);
+  DerivationResult derived = derivator.Derive(result.snapshot.observations, key, AccessType::kWrite);
   ASSERT_TRUE(derived.winner.has_value());
   std::string rule = LockSeqToString(derived.winner->locks);
   EXPECT_NE(rule.find("ES(j_state_lock in journal_t)"), std::string::npos);
@@ -103,8 +103,8 @@ TEST(GroundTruthTest, FaultPlanCreatesViolationsCleanPlanDoesNot) {
 
   SimulationResult faulty = SimulateKernelRun(mix, FaultPlan{});
   PipelineResult faulty_result = RunPipeline(faulty.trace, *faulty.registry, options);
-  ViolationFinder faulty_finder(&faulty.trace, faulty.registry.get(),
-                                &faulty_result.observations);
+  ViolationFinder faulty_finder(&faulty_result.snapshot.db, faulty.registry.get(),
+                                &faulty_result.snapshot.observations);
   EXPECT_FALSE(faulty_finder.FindAll(faulty_result.rules).empty());
 }
 

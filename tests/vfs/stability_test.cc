@@ -26,7 +26,7 @@ TEST_P(SeedStabilityTest, Tab4VerdictsAndCleanTypesAreSeedIndependent) {
   // Tab. 4 verdict counts for struct inode (the paper's headline row).
   auto rules = RuleSet::ParseText(VfsKernel::DocumentedRulesText());
   ASSERT_TRUE(rules.ok());
-  RuleChecker checker(sim.registry.get(), &result.observations);
+  RuleChecker checker(sim.registry.get(), &result.snapshot.observations);
   auto summaries = RuleChecker::Summarize(checker.CheckAll(rules.value()));
   for (const RuleCheckSummary& summary : summaries) {
     if (summary.type_name == "inode") {
@@ -43,7 +43,7 @@ TEST_P(SeedStabilityTest, Tab4VerdictsAndCleanTypesAreSeedIndependent) {
   }
 
   // Tab. 7's violation-free populations stay violation-free.
-  ViolationFinder finder(&sim.trace, sim.registry.get(), &result.observations);
+  ViolationFinder finder(&result.snapshot.db, sim.registry.get(), &result.snapshot.observations);
   auto rows = finder.Summarize(finder.FindAll(result.rules));
   for (const ViolationSummaryRow& row : rows) {
     for (const char* clean :

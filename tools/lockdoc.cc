@@ -1,29 +1,38 @@
 // lockdoc — the command-line front end to the whole pipeline, operating on
-// archived trace files (the paper's ex-post analysis workflow, Sec. 3.3:
-// "recorded execution traces can be easily archived and analyzed in
-// arbitrary ways").
+// archived trace files and .lockdb analysis snapshots (the paper's ex-post
+// analysis workflow, Sec. 3.3: "recorded execution traces can be easily
+// archived and analyzed in arbitrary ways").
 //
 //   lockdoc simulate --out run.trace [--ops N] [--seed S] [--clean]
 //                    [--script FILE]
-//   lockdoc stats run.trace
-//   lockdoc derive run.trace [--tac 0.9] [--type inode [--subclass ext4]]
-//                            [--spec] [--support]
-//   lockdoc check run.trace [--rules rules.txt]
-//   lockdoc violations run.trace [--limit N] [--tac 0.9]
-//   lockdoc lock-order run.trace
-//   lockdoc modes run.trace [--all]
-//   lockdoc diff old.trace new.trace [--all]
-//   lockdoc export-csv run.trace --dir DIR
-//   lockdoc doctor run.trace [--repair fixed.trace]
+//   lockdoc import run.trace --out db.lockdb
+//   lockdoc stats FILE
+//   lockdoc derive FILE [--tac 0.9] [--type inode [--subclass ext4]]
+//                       [--spec] [--support]
+//   lockdoc check FILE [--rules rules.txt]
+//   lockdoc violations FILE [--limit N] [--tac 0.9]
+//   lockdoc lock-order FILE
+//   lockdoc modes FILE [--all]
+//   lockdoc diff OLD NEW [--all]
+//   lockdoc export-csv FILE --dir DIR
+//   lockdoc doctor FILE [--repair fixed.trace]
 //
-// `doctor` checks an archived trace's health: exit code 0 means clean, 1
-// damaged-but-salvageable (optionally rewriting the salvaged content as a
-// fresh v2 file via --repair), 2 unreadable, 64 usage error. All analysis
-// commands accept --salvage to run on a damaged trace's surviving prefix.
+// Every analysis command takes FILE as either a raw trace or a .lockdb
+// snapshot written by `lockdoc import`, auto-detected by magic bytes. A
+// snapshot skips the import and extraction phases entirely — the
+// import-once / analyze-many workflow — and produces byte-identical output
+// to analyzing the original trace.
+//
+// `doctor` checks an archived file's health (traces and snapshots): exit
+// code 0 means clean, 1 damaged-but-salvageable (for traces, optionally
+// rewriting the salvaged content as a fresh v2 file via --repair), 2
+// unreadable, 64 usage error. All analysis commands accept --salvage to run
+// on a damaged trace's surviving prefix.
 //
 // Traces must come from the built-in simulated kernel (the type registry is
 // part of the contract between tracer and analyzer, as in the paper where
-// the kernel's DWARF layout plays that role).
+// the kernel's DWARF layout plays that role); snapshots record the
+// registry's shape and refuse to load against a different one.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -38,7 +47,9 @@
 #include "src/core/report.h"
 #include "src/core/rule_diff.h"
 #include "src/core/rule_checker.h"
+#include "src/core/snapshot.h"
 #include "src/core/violation_finder.h"
+#include "src/db/snapshot.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
 #include "src/util/flags.h"
@@ -57,6 +68,7 @@ int Usage() {
                "usage: lockdoc <command> [args]\n"
                "commands:\n"
                "  simulate --out FILE [--ops N] [--seed S] [--clean] [--script FILE]\n"
+               "  import TRACE --out DB.lockdb\n"
                "  stats FILE\n"
                "  derive FILE [--tac T] [--type NAME [--subclass NAME]] [--spec] [--support]\n"
                "  check FILE [--rules RULES.txt]\n"
@@ -64,14 +76,30 @@ int Usage() {
                "  lock-order FILE\n"
                "  modes FILE [--all]\n"
                "  report FILE [--full]\n"
-               "  diff OLD.trace NEW.trace [--all]\n"
+               "  diff OLD NEW [--all]\n"
                "  export-csv FILE --dir DIR\n"
                "  doctor FILE [--repair OUT.trace]\n"
+               "FILE is a trace or a .lockdb snapshot (auto-detected by magic);\n"
+               "`import` converts the former into the latter so repeated analyses\n"
+               "skip the import/extraction phases.\n"
                "analysis commands accept --salvage to read damaged traces,\n"
                "--jobs N to set analysis threads (default: all hardware threads;\n"
                "results are byte-identical at any value), and --timings to print\n"
                "per-phase wall time and throughput to stderr\n");
   return 2;
+}
+
+double SecondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+PipelineOptions MakeOptions(const FlagSet& flags) {
+  PipelineOptions options;
+  options.filter = VfsKernel::MakeFilterConfig();
+  options.derivator.accept_threshold = flags.GetDouble("tac", 0.9);
+  options.jobs = flags.GetUint64("jobs", 0);
+  return options;
 }
 
 struct LoadedTrace {
@@ -80,16 +108,12 @@ struct LoadedTrace {
   Trace trace;
 };
 
-bool LoadTrace(const FlagSet& flags, LoadedTrace* out) {
-  if (flags.positional().size() < 2) {
-    std::fprintf(stderr, "lockdoc: missing trace file\n");
-    return false;
-  }
+bool LoadTraceFromPath(const std::string& path, const FlagSet& flags, LoadedTrace* out) {
   out->registry = BuildVfsRegistry(&out->ids);
   TraceReadOptions options;
   options.salvage = flags.GetBool("salvage", false);
   TraceReadReport report;
-  auto loaded = ReadTraceFromFile(flags.positional()[1], options, &report);
+  auto loaded = ReadTraceFromFile(path, options, &report);
   if (!loaded.ok()) {
     std::fprintf(stderr, "lockdoc: %s\n", loaded.status().message().c_str());
     if (!options.salvage) {
@@ -106,15 +130,65 @@ bool LoadTrace(const FlagSet& flags, LoadedTrace* out) {
   return true;
 }
 
-PipelineResult Analyze(const LoadedTrace& input, const FlagSet& flags) {
-  PipelineOptions options;
-  options.filter = VfsKernel::MakeFilterConfig();
-  options.derivator.accept_threshold = flags.GetDouble("tac", 0.9);
-  options.jobs = flags.GetUint64("jobs", 0);
-  return RunPipeline(input.trace, *input.registry, options);
+bool LoadTrace(const FlagSet& flags, LoadedTrace* out) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "lockdoc: missing trace file\n");
+    return false;
+  }
+  return LoadTraceFromPath(flags.positional()[1], flags, out);
 }
 
-// Pool for the analysis stages that run after RunPipeline (rule checking,
+// Analysis-stage input: a self-contained snapshot, either built from a
+// trace (import + extraction phases) or loaded from a .lockdb file
+// ("snapshot load" phase). Either way the downstream analyses are
+// byte-identical.
+struct AnalysisInput {
+  VfsIds ids;
+  std::unique_ptr<TypeRegistry> registry;
+  AnalysisSnapshot snapshot;
+  PipelineTimings timings;
+  bool from_snapshot = false;
+};
+
+bool LoadSnapshotFromPath(const std::string& path, const FlagSet& flags,
+                          const TypeRegistry& registry, AnalysisSnapshot* snapshot,
+                          PipelineTimings* timings, bool* from_snapshot) {
+  if (IsSnapshotFile(path)) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto loaded = LoadSnapshot(path, registry);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "lockdoc: %s\n", loaded.status().message().c_str());
+      std::fprintf(stderr, "lockdoc: (try `lockdoc doctor %s`)\n", path.c_str());
+      return false;
+    }
+    *snapshot = std::move(loaded).value();
+    std::error_code ec;
+    uint64_t size = std::filesystem::file_size(path, ec);
+    timings->Add("snapshot load", SecondsBetween(t0, std::chrono::steady_clock::now()),
+                 ec ? 0 : size);
+    *from_snapshot = true;
+    return true;
+  }
+  LoadedTrace input;
+  if (!LoadTraceFromPath(path, flags, &input)) {
+    return false;
+  }
+  *snapshot = BuildSnapshot(input.trace, registry, MakeOptions(flags), timings);
+  *from_snapshot = false;
+  return true;
+}
+
+bool LoadAnalysisInput(const FlagSet& flags, AnalysisInput* out) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "lockdoc: missing input file (trace or .lockdb)\n");
+    return false;
+  }
+  out->registry = BuildVfsRegistry(&out->ids);
+  return LoadSnapshotFromPath(flags.positional()[1], flags, *out->registry, &out->snapshot,
+                              &out->timings, &out->from_snapshot);
+}
+
+// Pool for the analysis stages that run after derivation (rule checking,
 // violation finding); same --jobs policy as the pipeline itself.
 ThreadPool MakeAnalysisPool(const FlagSet& flags) {
   return ThreadPool(flags.GetUint64("jobs", 0));
@@ -126,11 +200,6 @@ void MaybePrintTimings(const FlagSet& flags, const PipelineTimings& timings) {
   if (flags.GetBool("timings", false)) {
     std::fprintf(stderr, "%s", timings.ToString().c_str());
   }
-}
-
-double SecondsBetween(std::chrono::steady_clock::time_point from,
-                      std::chrono::steady_clock::time_point to) {
-  return std::chrono::duration<double>(to - from).count();
 }
 
 int CmdSimulate(const FlagSet& flags) {
@@ -192,7 +261,61 @@ int CmdSimulate(const FlagSet& flags) {
   return 0;
 }
 
+// Import-once: trace -> .lockdb snapshot. Analyses on the snapshot skip the
+// import/extraction phases and are byte-identical to analyses on the trace.
+int CmdImport(const FlagSet& flags) {
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "lockdoc import: --out is required\n");
+    return 2;
+  }
+  LoadedTrace input;
+  if (!LoadTrace(flags, &input)) {
+    return 1;
+  }
+  PipelineTimings timings;
+  AnalysisSnapshot snapshot = BuildSnapshot(input.trace, *input.registry, MakeOptions(flags),
+                                            &timings);
+  auto t0 = std::chrono::steady_clock::now();
+  std::string bytes = SerializeSnapshot(snapshot, *input.registry);
+  Status written = Status::Ok();
+  {
+    std::ofstream file(out, std::ios::binary | std::ios::trunc);
+    if (!file || !file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+      written = Status::Error("cannot write " + out);
+    }
+  }
+  if (!written.ok()) {
+    std::fprintf(stderr, "lockdoc: %s\n", written.message().c_str());
+    return 1;
+  }
+  timings.Add("snapshot save", SecondsBetween(t0, std::chrono::steady_clock::now()),
+              bytes.size());
+  MaybePrintTimings(flags, timings);
+  std::printf("imported %s events into %s (%s bytes, %s observation groups)\n",
+              FormatWithCommas(snapshot.import_stats.events).c_str(), out.c_str(),
+              FormatWithCommas(bytes.size()).c_str(),
+              FormatWithCommas(snapshot.observations.groups().size()).c_str());
+  return 0;
+}
+
 int CmdStats(const FlagSet& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "lockdoc: missing input file (trace or .lockdb)\n");
+    return 1;
+  }
+  const std::string& path = flags.positional()[1];
+  if (IsSnapshotFile(path)) {
+    VfsIds ids;
+    std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
+    auto loaded = LoadSnapshot(path, *registry);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "lockdoc: %s\n", loaded.status().message().c_str());
+      return 1;
+    }
+    std::printf("%s", loaded.value().trace_stats.ToString().c_str());
+    return 0;
+  }
   LoadedTrace input;
   if (!LoadTrace(flags, &input)) {
     return 1;
@@ -202,12 +325,13 @@ int CmdStats(const FlagSet& flags) {
 }
 
 int CmdDerive(const FlagSet& flags) {
-  LoadedTrace input;
-  if (!LoadTrace(flags, &input)) {
+  AnalysisInput input;
+  if (!LoadAnalysisInput(flags, &input)) {
     return 1;
   }
-  PipelineResult result = Analyze(input, flags);
-  MaybePrintTimings(flags, result.timings);
+  std::vector<DerivationResult> rules =
+      AnalyzeSnapshot(input.snapshot, MakeOptions(flags), &input.timings);
+  MaybePrintTimings(flags, input.timings);
 
   DocGenOptions doc_options;
   doc_options.include_support = flags.GetBool("support", false);
@@ -218,7 +342,7 @@ int CmdDerive(const FlagSet& flags) {
   std::string out_dir = flags.GetString("out-dir", "");
   if (!out_dir.empty()) {
     std::filesystem::create_directories(out_dir);
-    auto written = generator.GenerateAll(result.rules, out_dir);
+    auto written = generator.GenerateAll(rules, out_dir);
     if (!written.ok()) {
       std::fprintf(stderr, "lockdoc: %s\n", written.status().message().c_str());
       return 1;
@@ -244,11 +368,11 @@ int CmdDerive(const FlagSet& flags) {
           input.registry->SubclassName(type, sub) != subclass_filter) {
         continue;
       }
-      std::string text = spec ? generator.GenerateRuleSpec(type, sub, result.rules)
-                              : generator.Generate(type, sub, result.rules);
+      std::string text = spec ? generator.GenerateRuleSpec(type, sub, rules)
+                              : generator.Generate(type, sub, rules);
       // Skip populations with no mined rules to keep the output readable.
       bool has_rules = false;
-      for (const DerivationResult& rule : result.rules) {
+      for (const DerivationResult& rule : rules) {
         if (rule.key.type == type && rule.key.subclass == sub) {
           has_rules = true;
           break;
@@ -263,8 +387,8 @@ int CmdDerive(const FlagSet& flags) {
 }
 
 int CmdCheck(const FlagSet& flags) {
-  LoadedTrace input;
-  if (!LoadTrace(flags, &input)) {
+  AnalysisInput input;
+  if (!LoadAnalysisInput(flags, &input)) {
     return 1;
   }
   std::string rules_text = VfsKernel::DocumentedRulesText();
@@ -285,14 +409,13 @@ int CmdCheck(const FlagSet& flags) {
     return 1;
   }
 
-  PipelineResult result = Analyze(input, flags);
   ThreadPool pool = MakeAnalysisPool(flags);
-  RuleChecker checker(input.registry.get(), &result.observations);
+  RuleChecker checker(input.registry.get(), &input.snapshot.observations);
   auto t0 = std::chrono::steady_clock::now();
   std::vector<RuleCheckResult> checked = checker.CheckAll(rules.value(), &pool);
-  result.timings.Add("rule checking", SecondsBetween(t0, std::chrono::steady_clock::now()),
-                     rules.value().size());
-  MaybePrintTimings(flags, result.timings);
+  input.timings.Add("rule checking", SecondsBetween(t0, std::chrono::steady_clock::now()),
+                    rules.value().size());
+  MaybePrintTimings(flags, input.timings);
   for (const RuleCheckResult& r : checked) {
     std::printf("%s  %-70s sr=%7s (%llu/%llu)\n",
                 std::string(RuleVerdictSymbol(r.verdict)).c_str(), r.rule.ToString().c_str(),
@@ -310,18 +433,20 @@ int CmdCheck(const FlagSet& flags) {
 }
 
 int CmdViolations(const FlagSet& flags) {
-  LoadedTrace input;
-  if (!LoadTrace(flags, &input)) {
+  AnalysisInput input;
+  if (!LoadAnalysisInput(flags, &input)) {
     return 1;
   }
-  PipelineResult result = Analyze(input, flags);
+  std::vector<DerivationResult> rules =
+      AnalyzeSnapshot(input.snapshot, MakeOptions(flags), &input.timings);
   ThreadPool pool = MakeAnalysisPool(flags);
-  ViolationFinder finder(&input.trace, input.registry.get(), &result.observations);
+  ViolationFinder finder(&input.snapshot.db, input.registry.get(),
+                         &input.snapshot.observations);
   auto t0 = std::chrono::steady_clock::now();
-  std::vector<Violation> violations = finder.FindAll(result.rules, &pool);
-  result.timings.Add("violation finding", SecondsBetween(t0, std::chrono::steady_clock::now()),
-                     result.rules.size());
-  MaybePrintTimings(flags, result.timings);
+  std::vector<Violation> violations = finder.FindAll(rules, &pool);
+  input.timings.Add("violation finding", SecondsBetween(t0, std::chrono::steady_clock::now()),
+                    rules.size());
+  MaybePrintTimings(flags, input.timings);
 
   TextTable table({"Data Type", "Events", "Members", "Contexts"});
   for (const ViolationSummaryRow& row : finder.Summarize(violations)) {
@@ -340,15 +465,13 @@ int CmdViolations(const FlagSet& flags) {
 }
 
 int CmdLockOrder(const FlagSet& flags) {
-  LoadedTrace input;
-  if (!LoadTrace(flags, &input)) {
+  AnalysisInput input;
+  if (!LoadAnalysisInput(flags, &input)) {
     return 1;
   }
-  Database db;
-  TraceImporter importer(input.registry.get(), VfsKernel::MakeFilterConfig());
-  importer.Import(input.trace, &db);
-  LockOrderGraph graph = LockOrderGraph::Build(db, input.trace, *input.registry);
-  std::printf("%s\n", graph.Report(input.trace).c_str());
+  MaybePrintTimings(flags, input.timings);
+  LockOrderGraph graph = LockOrderGraph::Build(input.snapshot.db, *input.registry);
+  std::printf("%s\n", graph.Report(input.snapshot.db).c_str());
   std::printf("potential deadlock cycles:\n");
   auto cycles = graph.FindCycles();
   if (cycles.empty()) {
@@ -361,30 +484,34 @@ int CmdLockOrder(const FlagSet& flags) {
 }
 
 int CmdReport(const FlagSet& flags) {
-  LoadedTrace input;
-  if (!LoadTrace(flags, &input)) {
+  AnalysisInput input;
+  if (!LoadAnalysisInput(flags, &input)) {
     return 1;
   }
-  PipelineResult result = Analyze(input, flags);
+  PipelineResult result;
+  result.snapshot = std::move(input.snapshot);
+  result.timings = std::move(input.timings);
+  result.rules = AnalyzeSnapshot(result.snapshot, MakeOptions(flags), &result.timings);
   MaybePrintTimings(flags, result.timings);
   ReportOptions options;
   options.documented_rules_text = VfsKernel::DocumentedRulesText();
   options.full_documentation = flags.GetBool("full", false);
-  std::printf("%s", RenderReport(input.trace, *input.registry, result, options).c_str());
+  std::printf("%s", RenderReport(*input.registry, result, options).c_str());
   return 0;
 }
 
 int CmdModes(const FlagSet& flags) {
-  LoadedTrace input;
-  if (!LoadTrace(flags, &input)) {
+  AnalysisInput input;
+  if (!LoadAnalysisInput(flags, &input)) {
     return 1;
   }
-  PipelineResult result = Analyze(input, flags);
-  MaybePrintTimings(flags, result.timings);
-  ModeAnalyzer analyzer(&result.db, &input.trace, input.registry.get(),
-                        &result.observations);
-  auto entries = flags.GetBool("all", false) ? analyzer.Analyze(result.rules)
-                                             : analyzer.FindSharedModeWrites(result.rules);
+  std::vector<DerivationResult> rules =
+      AnalyzeSnapshot(input.snapshot, MakeOptions(flags), &input.timings);
+  MaybePrintTimings(flags, input.timings);
+  ModeAnalyzer analyzer(&input.snapshot.db, input.registry.get(),
+                        &input.snapshot.observations);
+  auto entries = flags.GetBool("all", false) ? analyzer.Analyze(rules)
+                                             : analyzer.FindSharedModeWrites(rules);
   if (entries.empty()) {
     std::printf("no %s found\n",
                 flags.GetBool("all", false) ? "lock rules" : "shared-mode writes");
@@ -396,37 +523,33 @@ int CmdModes(const FlagSet& flags) {
 
 int CmdDiff(const FlagSet& flags) {
   if (flags.positional().size() < 3) {
-    std::fprintf(stderr, "lockdoc diff: need two trace files\n");
+    std::fprintf(stderr, "lockdoc diff: need two input files\n");
     return 2;
   }
   VfsIds ids;
   std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
-  auto load = [&](const std::string& path, Trace* out) {
-    auto loaded = ReadTraceFromFile(path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "lockdoc: %s\n", loaded.status().message().c_str());
+  PipelineOptions options = MakeOptions(flags);
+  auto analyze = [&](const std::string& path, std::vector<DerivationResult>* rules) {
+    AnalysisSnapshot snapshot;
+    PipelineTimings timings;
+    bool from_snapshot = false;
+    if (!LoadSnapshotFromPath(path, flags, *registry, &snapshot, &timings, &from_snapshot)) {
       return false;
     }
-    *out = std::move(loaded).value();
+    *rules = AnalyzeSnapshot(snapshot, options, &timings);
+    MaybePrintTimings(flags, timings);
     return true;
   };
-  Trace old_trace;
-  Trace new_trace;
-  if (!load(flags.positional()[1], &old_trace) || !load(flags.positional()[2], &new_trace)) {
+  std::vector<DerivationResult> old_rules;
+  std::vector<DerivationResult> new_rules;
+  if (!analyze(flags.positional()[1], &old_rules) ||
+      !analyze(flags.positional()[2], &new_rules)) {
     return 1;
   }
-  PipelineOptions options;
-  options.filter = VfsKernel::MakeFilterConfig();
-  options.derivator.accept_threshold = flags.GetDouble("tac", 0.9);
-  options.jobs = flags.GetUint64("jobs", 0);
-  PipelineResult old_result = RunPipeline(old_trace, *registry, options);
-  PipelineResult new_result = RunPipeline(new_trace, *registry, options);
-  MaybePrintTimings(flags, old_result.timings);
-  MaybePrintTimings(flags, new_result.timings);
 
   RuleDiffOptions diff_options;
   diff_options.include_unchanged = flags.GetBool("all", false);
-  auto drifts = DiffRules(old_result.rules, new_result.rules, diff_options);
+  auto drifts = DiffRules(old_rules, new_rules, diff_options);
   if (drifts.empty()) {
     std::printf("no rule drift\n");
     return 0;
@@ -436,8 +559,8 @@ int CmdDiff(const FlagSet& flags) {
 }
 
 int CmdExportCsv(const FlagSet& flags) {
-  LoadedTrace input;
-  if (!LoadTrace(flags, &input)) {
+  AnalysisInput input;
+  if (!LoadAnalysisInput(flags, &input)) {
     return 1;
   }
   std::string dir = flags.GetString("dir", "");
@@ -446,20 +569,57 @@ int CmdExportCsv(const FlagSet& flags) {
     return 2;
   }
   std::filesystem::create_directories(dir);
-  Database db;
-  TraceImporter importer(input.registry.get(), VfsKernel::MakeFilterConfig());
-  importer.Import(input.trace, &db);
-  Status status = db.ExportDirectory(dir);
+  Status status = input.snapshot.db.ExportDirectory(dir);
   if (!status.ok()) {
     std::fprintf(stderr, "lockdoc: %s\n", status.message().c_str());
     return 1;
   }
-  std::printf("exported %zu tables to %s\n", db.TableNames().size(), dir.c_str());
+  std::printf("exported %zu tables to %s\n", input.snapshot.db.TableNames().size(),
+              dir.c_str());
   return 0;
 }
 
-// Trace health check. Exit codes: 0 = clean, 1 = damaged but salvageable,
-// 2 = unreadable, 64 = usage error.
+// Snapshot health check: container-level per-section verification, then a
+// full load to validate the payloads. Same exit-code contract as the trace
+// doctor.
+int DoctorSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string bytes = std::move(buffer).str();
+
+  SnapshotInspection inspection = InspectSnapshot(bytes);
+  if (!inspection.magic_ok) {
+    std::printf("%s: not a .lockdb snapshot\n", path.c_str());
+    std::printf("verdict: unreadable\n");
+    return 2;
+  }
+  if (!inspection.clean()) {
+    std::printf("%s: damaged\n", path.c_str());
+    std::printf("%s", inspection.ToString().c_str());
+    std::printf("verdict: damaged (%zu of %zu sections intact); re-run `lockdoc import` "
+                "from the original trace\n",
+                inspection.sections_ok(), inspection.sections.size());
+    return 1;
+  }
+
+  VfsIds ids;
+  std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
+  auto loaded = DeserializeSnapshot(bytes, *registry);
+  if (!loaded.ok()) {
+    std::printf("%s: sections intact but payload invalid\n", path.c_str());
+    std::printf("%s", inspection.ToString().c_str());
+    std::printf("load failed: %s\n", loaded.status().message().c_str());
+    std::printf("verdict: unreadable\n");
+    return 2;
+  }
+  std::printf("%s: clean\n", path.c_str());
+  std::printf("%s", inspection.ToString().c_str());
+  return 0;
+}
+
+// File health check (traces and snapshots). Exit codes: 0 = clean, 1 =
+// damaged but salvageable, 2 = unreadable, 64 = usage error.
 int CmdDoctor(const FlagSet& flags) {
   if (flags.positional().size() < 2) {
     std::fprintf(stderr, "usage: lockdoc doctor FILE [--repair OUT.trace]\n");
@@ -471,6 +631,16 @@ int CmdDoctor(const FlagSet& flags) {
   if (flags.GetString("repair", "") == "true") {
     std::fprintf(stderr, "lockdoc: --repair requires an output path\n");
     return 64;
+  }
+
+  if (IsSnapshotFile(path)) {
+    if (!flags.GetString("repair", "").empty()) {
+      std::fprintf(stderr,
+                   "lockdoc: --repair applies to traces; re-run `lockdoc import` to rebuild "
+                   "a damaged snapshot\n");
+      return 64;
+    }
+    return DoctorSnapshot(path);
   }
 
   // Pass 1: strict. A clean trace parses without any anomaly.
@@ -525,6 +695,9 @@ int main(int argc, char** argv) {
   const std::string& command = flags.positional()[0];
   if (command == "simulate") {
     return CmdSimulate(flags);
+  }
+  if (command == "import") {
+    return CmdImport(flags);
   }
   if (command == "stats") {
     return CmdStats(flags);
