@@ -1,0 +1,158 @@
+// Micro-benchmark for the unified analysis-pass framework: the full phase-3
+// suite through one AnalysisContext (`lockdoc analyze` semantics — load the
+// snapshot once, derive rules once, share the member/posting/lock-order
+// indexes) vs the pre-framework cost of running N separate commands, each
+// of which re-loads the snapshot and re-derives everything it needs.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/core/analysis_context.h"
+#include "src/core/analysis_pass.h"
+#include "src/core/pipeline.h"
+#include "src/core/snapshot.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+#include "src/vfs/vfs_kernel.h"
+#include "src/workload/workloads.h"
+
+namespace lockdoc {
+namespace {
+
+uint64_t BenchOps() {
+  uint64_t ops = 100000;
+  if (const char* env = std::getenv("LOCKDOC_BENCH_OPS"); env != nullptr) {
+    uint64_t parsed = 0;
+    if (ParseUint64(env, &parsed) && parsed > 0) {
+      ops = parsed;
+    }
+  }
+  return ops;
+}
+
+struct Fixture {
+  SimulationResult sim;
+  std::string bytes;
+
+  Fixture() {
+    MixOptions mix;
+    mix.ops = BenchOps();
+    mix.seed = 9;
+    sim = SimulateKernelRun(mix, FaultPlan{});
+    PipelineOptions options;
+    options.filter = VfsKernel::MakeFilterConfig();
+    AnalysisSnapshot snapshot = BuildSnapshot(sim.trace, *sim.registry, options);
+    bytes = SerializeSnapshot(snapshot, *sim.registry);
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+AnalysisOptions PassRunOptions() {
+  AnalysisOptions options;
+  options.pipeline.jobs = 1;
+  options.pass.documented_rules_text = VfsKernel::DocumentedRulesText();
+  return options;
+}
+
+// Every registered single-input pass, in canonical order (diff needs a
+// second input and is excluded — exactly what `lockdoc analyze` runs).
+size_t RunPass(const AnalysisPass& pass, AnalysisContext& context) {
+  PassOutput out;
+  Status status = pass.Run(context, out);
+  LOCKDOC_CHECK(status.ok());
+  return out.text.size();
+}
+
+// One `lockdoc analyze` run: a single snapshot load, a single context, all
+// passes sharing its lazily-built indexes.
+void BM_FullSuiteAnalyze(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  for (auto _ : state) {
+    auto snapshot = DeserializeSnapshot(fixture.bytes, *fixture.sim.registry);
+    LOCKDOC_CHECK(snapshot.ok());
+    AnalysisContext context(&snapshot.value(), fixture.sim.registry.get(), PassRunOptions());
+    size_t total = 0;
+    for (const auto& pass : PassRegistry::Default().passes()) {
+      if (pass->name() == "diff") {
+        continue;
+      }
+      total += RunPass(*pass, context);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_FullSuiteAnalyze)->Unit(benchmark::kMillisecond);
+
+// The same suite as N separate commands: every pass pays its own snapshot
+// load and its own context (so rule derivation and the shared indexes are
+// rebuilt per command).
+void BM_SeparateCommands(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  for (auto _ : state) {
+    size_t total = 0;
+    for (const auto& pass : PassRegistry::Default().passes()) {
+      if (pass->name() == "diff") {
+        continue;
+      }
+      auto snapshot = DeserializeSnapshot(fixture.bytes, *fixture.sim.registry);
+      LOCKDOC_CHECK(snapshot.ok());
+      AnalysisContext context(&snapshot.value(), fixture.sim.registry.get(), PassRunOptions());
+      total += RunPass(*pass, context);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_SeparateCommands)->Unit(benchmark::kMillisecond);
+
+// The shared-index payoff in isolation: passes only, snapshot already
+// loaded — cold context (derive + build indexes once) vs warm context
+// (everything memoized).
+void BM_PassesColdContext(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  auto snapshot = DeserializeSnapshot(fixture.bytes, *fixture.sim.registry);
+  LOCKDOC_CHECK(snapshot.ok());
+  for (auto _ : state) {
+    AnalysisContext context(&snapshot.value(), fixture.sim.registry.get(), PassRunOptions());
+    size_t total = 0;
+    for (const auto& pass : PassRegistry::Default().passes()) {
+      if (pass->name() == "diff") {
+        continue;
+      }
+      total += RunPass(*pass, context);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PassesColdContext)->Unit(benchmark::kMillisecond);
+
+void BM_PassesWarmContext(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  auto snapshot = DeserializeSnapshot(fixture.bytes, *fixture.sim.registry);
+  LOCKDOC_CHECK(snapshot.ok());
+  AnalysisContext context(&snapshot.value(), fixture.sim.registry.get(), PassRunOptions());
+  context.rules();
+  context.member_access_index();
+  context.lock_postings();
+  context.lock_order_graph();
+  for (auto _ : state) {
+    size_t total = 0;
+    for (const auto& pass : PassRegistry::Default().passes()) {
+      if (pass->name() == "diff") {
+        continue;
+      }
+      total += RunPass(*pass, context);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PassesWarmContext)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lockdoc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Pass-framework benchmark harness: runs the micro_passes suite (full suite
+# through one AnalysisContext vs N separate commands, plus the cold/warm
+# context ablation) and writes one BENCH_passes.json including the headline
+# full-suite speedup.
+#
+# Usage: scripts/bench_passes.sh [BUILD_DIR] [OUT_JSON]
+#   BUILD_DIR defaults to "build", OUT_JSON to "BENCH_passes.json".
+#
+# Environment:
+#   LOCKDOC_BENCH_OPS       op count for the simulated-kernel snapshot
+#                           (default 100000; smoke CI uses 2500).
+#   LOCKDOC_BENCH_MIN_TIME  --benchmark_min_time for micro_passes, as a
+#                           plain double in seconds (unset = library default).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_passes.json}"
+
+MICRO="$BUILD_DIR/bench/micro_passes"
+if [[ ! -x "$MICRO" ]]; then
+  echo "bench_passes: missing $MICRO (build the 'micro_passes' target first)" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+MICRO_ARGS=(
+  "--benchmark_out=$TMP_DIR/passes.json"
+  "--benchmark_out_format=json"
+)
+if [[ -n "${LOCKDOC_BENCH_MIN_TIME:-}" ]]; then
+  MICRO_ARGS+=("--benchmark_min_time=$LOCKDOC_BENCH_MIN_TIME")
+fi
+echo "bench_passes: micro_passes ${MICRO_ARGS[*]}" >&2
+"$MICRO" "${MICRO_ARGS[@]}"
+
+python3 - "$TMP_DIR" "$OUT_JSON" <<'PY'
+import json
+import os
+import sys
+
+tmp_dir, out_path = sys.argv[1], sys.argv[2]
+with open(os.path.join(tmp_dir, "passes.json")) as f:
+    raw = json.load(f)
+
+times = {}
+for bench in raw.get("benchmarks", []):
+    times[bench["name"]] = bench["real_time"]
+
+def speedup(slow, fast):
+    if slow in times and fast in times and times[fast] > 0:
+        return round(times[slow] / times[fast], 2)
+    return None
+
+merged = {
+    "generated_by": "scripts/bench_passes.sh",
+    "ops": os.environ.get("LOCKDOC_BENCH_OPS", "100000 (default)"),
+    "context": raw.get("context", {}),
+    "benchmarks": raw.get("benchmarks", []),
+    # Headline numbers: how much one shared AnalysisContext saves over
+    # running every analysis as its own command.
+    "full_suite_speedup": speedup("BM_SeparateCommands", "BM_FullSuiteAnalyze"),
+    "warm_context_speedup": speedup("BM_PassesColdContext", "BM_PassesWarmContext"),
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"bench_passes: wrote {out_path} "
+      f"(full-suite speedup {merged['full_suite_speedup']}x)")
+PY

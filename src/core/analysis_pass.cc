@@ -1,0 +1,296 @@
+#include "src/core/analysis_pass.h"
+
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "src/core/doc_generator.h"
+#include "src/core/lock_order.h"
+#include "src/core/mode_analysis.h"
+#include "src/core/report.h"
+#include "src/core/rule_checker.h"
+#include "src/core/rule_diff.h"
+#include "src/core/violation_finder.h"
+#include "src/util/stats.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+// `lockdoc check`: validate documented rules against the observations
+// (paper Tab. 4/5). The documented-rules text is supplied via PassOptions
+// so core stays independent of the simulated kernel.
+class CheckPass : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "check"; }
+  std::string_view description() const override {
+    return "validate documented locking rules against the trace";
+  }
+
+  Status Run(AnalysisContext& context, PassOutput& out) const override {
+    auto rules = RuleSet::ParseText(context.pass_options().documented_rules_text);
+    if (!rules.ok()) {
+      return rules.status();
+    }
+    RuleChecker checker(&context.registry(), &context.observations(),
+                        &context.member_access_index(), &context.lock_postings());
+    auto t0 = Clock::now();
+    std::vector<RuleCheckResult> checked = checker.CheckAll(rules.value(), &context.pool());
+    context.timings().Add("rule checking", Seconds(t0, Clock::now()), rules.value().size());
+    for (const RuleCheckResult& r : checked) {
+      out.text += StrFormat("%s  %-70s sr=%7s (%llu/%llu)\n",
+                            std::string(RuleVerdictSymbol(r.verdict)).c_str(),
+                            r.rule.ToString().c_str(),
+                            r.total == 0 ? "n/a" : FormatPercent(r.sr).c_str(),
+                            static_cast<unsigned long long>(r.sa),
+                            static_cast<unsigned long long>(r.total));
+    }
+    TextTable table({"Data Type", "#R", "#No", "#Ob", "! (%)", "~ (%)", "# (%)"});
+    for (const RuleCheckSummary& s : RuleChecker::Summarize(checked)) {
+      table.AddRow({s.type_name, std::to_string(s.documented), std::to_string(s.unobserved),
+                    std::to_string(s.observed), StrFormat("%.2f", s.correct_pct()),
+                    StrFormat("%.2f", s.ambivalent_pct()),
+                    StrFormat("%.2f", s.incorrect_pct())});
+    }
+    out.text += StrFormat("\n%s", table.ToString().c_str());
+    return Status::Ok();
+  }
+};
+
+// `lockdoc derive`: render the mined winning rules as kernel-style
+// documentation (paper Fig. 8) or as a machine-readable rule spec.
+class DerivePass : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "derive"; }
+  std::string_view description() const override {
+    return "mine winning rules and render generated documentation";
+  }
+
+  Status Run(AnalysisContext& context, PassOutput& out) const override {
+    const std::vector<DerivationResult>& rules = context.rules();
+    const PassOptions& opts = context.pass_options();
+    const TypeRegistry& registry = context.registry();
+
+    DocGenOptions doc_options;
+    doc_options.include_support = opts.doc_support;
+    DocGenerator generator(&registry, doc_options);
+
+    // --out-dir: write the full documentation bundle instead of stdout.
+    if (!opts.doc_out_dir.empty()) {
+      std::filesystem::create_directories(opts.doc_out_dir);
+      auto written = generator.GenerateAll(rules, opts.doc_out_dir);
+      if (!written.ok()) {
+        return written.status();
+      }
+      out.text += StrFormat("wrote %zu documentation files to %s\n", written.value(),
+                            opts.doc_out_dir.c_str());
+      return Status::Ok();
+    }
+
+    for (TypeId type = 0; type < registry.type_count(); ++type) {
+      const std::string& type_name = registry.layout(type).name();
+      if (!opts.doc_type.empty() && type_name != opts.doc_type) {
+        continue;
+      }
+      std::vector<SubclassId> subclasses = {kNoSubclass};
+      for (SubclassId sub : registry.SubclassesOf(type)) {
+        subclasses.push_back(sub);
+      }
+      for (SubclassId sub : subclasses) {
+        if (!opts.doc_subclass.empty() &&
+            registry.SubclassName(type, sub) != opts.doc_subclass) {
+          continue;
+        }
+        std::string text = opts.doc_spec ? generator.GenerateRuleSpec(type, sub, rules)
+                                         : generator.Generate(type, sub, rules);
+        // Skip populations with no mined rules to keep the output readable.
+        bool has_rules = false;
+        for (const DerivationResult& rule : rules) {
+          if (rule.key.type == type && rule.key.subclass == sub) {
+            has_rules = true;
+            break;
+          }
+        }
+        if (has_rules) {
+          out.text += StrFormat("%s\n", text.c_str());
+        }
+      }
+    }
+    return Status::Ok();
+  }
+};
+
+// `lockdoc violations`: locate accesses that break the winning rules
+// (paper Tab. 7/8).
+class ViolationsPass : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "violations"; }
+  std::string_view description() const override {
+    return "find accesses violating the mined winning rules";
+  }
+
+  Status Run(AnalysisContext& context, PassOutput& out) const override {
+    const std::vector<DerivationResult>& rules = context.rules();
+    ViolationFinder finder(&context.db(), &context.registry(), &context.observations(),
+                           &context.member_access_index(), &context.lock_postings());
+    auto t0 = Clock::now();
+    std::vector<Violation> violations = finder.FindAll(rules, &context.pool());
+    context.timings().Add("violation finding", Seconds(t0, Clock::now()), rules.size());
+
+    TextTable table({"Data Type", "Events", "Members", "Contexts"});
+    for (const ViolationSummaryRow& row : finder.Summarize(violations)) {
+      table.AddRow({row.type_name, std::to_string(row.events), std::to_string(row.members),
+                    std::to_string(row.contexts)});
+    }
+    out.text += StrFormat("%s\n", table.ToString().c_str());
+    for (const ViolationExample& ex :
+         finder.Examples(violations, context.pass_options().violation_limit)) {
+      out.text += StrFormat(
+          "%s [%s]\n  rule: %s\n  held: %s\n  at %s (%llu events)\n  stack: %s\n\n",
+          ex.member.c_str(), ex.access.c_str(), ex.rule.c_str(), ex.held.c_str(),
+          ex.location.c_str(), static_cast<unsigned long long>(ex.events), ex.stack.c_str());
+    }
+    return Status::Ok();
+  }
+};
+
+// `lockdoc lock-order`: the lockdep-style ordering graph and its potential
+// deadlock cycles.
+class LockOrderPass : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "lock-order"; }
+  std::string_view description() const override {
+    return "report the lock-ordering graph and potential deadlock cycles";
+  }
+
+  Status Run(AnalysisContext& context, PassOutput& out) const override {
+    const LockOrderGraph& graph = context.lock_order_graph();
+    out.text += StrFormat("%s\n", graph.Report(context.db()).c_str());
+    out.text += "potential deadlock cycles:\n";
+    auto cycles = graph.FindCycles();
+    if (cycles.empty()) {
+      out.text += "  none\n";
+    }
+    for (const LockOrderCycle& cycle : cycles) {
+      out.text += StrFormat("  %s\n", cycle.ToString().c_str());
+    }
+    return Status::Ok();
+  }
+};
+
+// `lockdoc modes`: reader/writer acquisition-mode distributions; by default
+// only the suspicious writes under merely-shared holds.
+class ModesPass : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "modes"; }
+  std::string_view description() const override {
+    return "report reader/writer acquisition modes of the winning rules";
+  }
+
+  Status Run(AnalysisContext& context, PassOutput& out) const override {
+    const std::vector<DerivationResult>& rules = context.rules();
+    bool all = context.pass_options().modes_all;
+    ModeAnalyzer analyzer(&context.db(), &context.registry(), &context.observations(),
+                          &context.member_access_index(), &context.lock_postings());
+    auto entries = all ? analyzer.Analyze(rules) : analyzer.FindSharedModeWrites(rules);
+    if (entries.empty()) {
+      out.text += StrFormat("no %s found\n", all ? "lock rules" : "shared-mode writes");
+      return Status::Ok();
+    }
+    out.text += analyzer.Render(entries);
+    return Status::Ok();
+  }
+};
+
+// `lockdoc report`: the full analysis document. Thin shim over
+// RenderReport, which itself draws everything from the shared context.
+class ReportPass : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "report"; }
+  std::string_view description() const override {
+    return "render the complete analysis report";
+  }
+
+  Status Run(AnalysisContext& context, PassOutput& out) const override {
+    ReportOptions options;
+    options.documented_rules_text = context.pass_options().documented_rules_text;
+    options.full_documentation = context.pass_options().report_full;
+    out.text += RenderReport(context, options);
+    return Status::Ok();
+  }
+};
+
+// `lockdoc diff`: rule drift between a baseline context (the OLD input) and
+// this context (the NEW input).
+class DiffPass : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "diff"; }
+  std::string_view description() const override {
+    return "diff winning rules against a baseline input";
+  }
+
+  Status Run(AnalysisContext& context, PassOutput& out) const override {
+    AnalysisContext* baseline = context.pass_options().baseline;
+    if (baseline == nullptr) {
+      return Status::Error("the diff pass needs a baseline input (--baseline OLD)");
+    }
+    RuleDiffOptions diff_options;
+    diff_options.include_unchanged = context.pass_options().diff_all;
+    auto drifts = DiffRules(baseline->rules(), context.rules(), diff_options);
+    if (drifts.empty()) {
+      out.text += "no rule drift\n";
+      return Status::Ok();
+    }
+    out.text += RenderRuleDiff(drifts, context.registry());
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+const PassRegistry& PassRegistry::Default() {
+  static const PassRegistry* const registry = [] {
+    auto* r = new PassRegistry();
+    r->Register(std::make_unique<CheckPass>());
+    r->Register(std::make_unique<DerivePass>());
+    r->Register(std::make_unique<ViolationsPass>());
+    r->Register(std::make_unique<LockOrderPass>());
+    r->Register(std::make_unique<ModesPass>());
+    r->Register(std::make_unique<ReportPass>());
+    r->Register(std::make_unique<DiffPass>());
+    return r;
+  }();
+  return *registry;
+}
+
+void PassRegistry::Register(std::unique_ptr<AnalysisPass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+const AnalysisPass* PassRegistry::Find(std::string_view name) const {
+  for (const std::unique_ptr<AnalysisPass>& pass : passes_) {
+    if (pass->name() == name) {
+      return pass.get();
+    }
+  }
+  return nullptr;
+}
+
+std::string PassRegistry::JoinedNames() const {
+  std::string out;
+  for (const std::unique_ptr<AnalysisPass>& pass : passes_) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += pass->name();
+  }
+  return out;
+}
+
+}  // namespace lockdoc

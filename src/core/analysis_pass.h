@@ -1,0 +1,79 @@
+// The analysis-pass framework: every phase-3 analysis (rule checking,
+// documentation generation, violation finding, lock ordering, acquisition
+// modes, full report, rule diff) expressed as a uniform pass over one
+// shared AnalysisContext.
+//
+// A pass is a pure rendering of context state: it pulls whatever shared
+// indexes it needs (rules(), member_access_index(), lock_postings(),
+// lock_order_graph()) — each built lazily, at most once per context, no
+// matter how many passes ask — and produces the exact bytes its standalone
+// CLI command prints to stdout. Running N passes through one context
+// therefore loads the snapshot once and derives rules once, while emitting
+// byte-identical output to running the N standalone commands.
+#ifndef SRC_CORE_ANALYSIS_PASS_H_
+#define SRC_CORE_ANALYSIS_PASS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/analysis_context.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+// What one pass produced: the exact bytes the standalone CLI command would
+// have written to stdout.
+struct PassOutput {
+  std::string text;
+};
+
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+
+  // The stable CLI-facing name ("check", "violations", ...). This is both
+  // the standalone command name and the token accepted by
+  // `lockdoc analyze --passes`.
+  virtual std::string_view name() const = 0;
+
+  // One-line description for usage/help output.
+  virtual std::string_view description() const = 0;
+
+  // Runs the pass against `context`, appending nothing to stdout itself:
+  // all user-visible bytes go into `out.text`. Phase timings (e.g. "rule
+  // checking") are appended to context.timings(). An error status maps to
+  // the standalone command's failure path (message to stderr, exit 1).
+  virtual Status Run(AnalysisContext& context, PassOutput& out) const = 0;
+};
+
+// The ordered collection of registered passes. Registration order is the
+// canonical execution order for multi-pass runs.
+class PassRegistry {
+ public:
+  PassRegistry() = default;
+  PassRegistry(const PassRegistry&) = delete;
+  PassRegistry& operator=(const PassRegistry&) = delete;
+
+  // The built-in registry with every phase-3 pass, in canonical order:
+  // check, derive, violations, lock-order, modes, report, diff.
+  static const PassRegistry& Default();
+
+  void Register(std::unique_ptr<AnalysisPass> pass);
+
+  // nullptr when no pass has that name.
+  const AnalysisPass* Find(std::string_view name) const;
+
+  const std::vector<std::unique_ptr<AnalysisPass>>& passes() const { return passes_; }
+
+  // "check, derive, ..." — for error messages and usage text.
+  std::string JoinedNames() const;
+
+ private:
+  std::vector<std::unique_ptr<AnalysisPass>> passes_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_ANALYSIS_PASS_H_

@@ -1,5 +1,7 @@
 #include "src/core/mode_analysis.h"
 
+#include <algorithm>
+
 #include "src/db/schema.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
@@ -16,8 +18,14 @@ struct HeldClass {
 }  // namespace
 
 ModeAnalyzer::ModeAnalyzer(const Database* db, const TypeRegistry* registry,
-                           const ObservationStore* store)
-    : db_(db), registry_(registry), store_(store) {
+                           const ObservationStore* store,
+                           const MemberAccessIndex* member_index,
+                           const LockPostingIndex* postings)
+    : db_(db),
+      registry_(registry),
+      store_(store),
+      member_index_(member_index),
+      postings_(postings) {
   LOCKDOC_CHECK(db_ != nullptr && registry_ != nullptr && store_ != nullptr);
 }
 
@@ -84,17 +92,26 @@ std::vector<ModeReportEntry> ModeAnalyzer::Analyze(
     }
 
     // Compliance scan on interned ids (string fallback for hand-built
-    // results whose classes were never observed).
+    // results whose classes were never observed). The shared posting lists,
+    // when available, precompute the rule's complying sequences once so each
+    // group becomes a binary-search lookup.
     std::optional<IdSeq> rule_ids = store_->pool().FindSeq(entry.rule);
-    for (const ObservationGroup& group : store_->GroupsFor(result.key)) {
-      if (group.effective() != result.access) {
-        continue;
-      }
-      bool complies = rule_ids.has_value()
-                          ? IsSubsequenceIds(*rule_ids, store_->id_seq(group.lockseq_id))
-                          : IsSubsequence(entry.rule, store_->seq(group.lockseq_id));
+    std::vector<uint32_t> complying;
+    bool have_complying = false;
+    if (postings_ != nullptr && rule_ids.has_value()) {
+      complying = postings_->ComplyingSeqs(*store_, *rule_ids);
+      have_complying = true;
+    }
+    const std::vector<ObservationGroup>& groups = store_->GroupsFor(result.key);
+    auto visit_group = [&](const ObservationGroup& group) {
+      bool complies =
+          have_complying
+              ? std::binary_search(complying.begin(), complying.end(), group.lockseq_id)
+              : (rule_ids.has_value()
+                     ? IsSubsequenceIds(*rule_ids, store_->id_seq(group.lockseq_id))
+                     : IsSubsequence(entry.rule, store_->seq(group.lockseq_id)));
       if (!complies) {
-        continue;  // Only complying observations characterize the rule.
+        return;  // Only complying observations characterize the rule.
       }
       std::vector<HeldClass> held = held_classes(group.txn_id, group.alloc_id);
       // Greedy subsequence match to attribute a mode to each rule lock.
@@ -110,6 +127,19 @@ std::vector<ModeReportEntry> ModeAnalyzer::Analyze(
             ++entry.usages[rule_pos].exclusive;
           }
           ++rule_pos;
+        }
+      }
+    };
+    if (member_index_ != nullptr) {
+      if (const MemberAccessIndex::Entry* member_entry = member_index_->Find(result.key)) {
+        for (uint32_t index : member_entry->For(result.access)) {
+          visit_group(groups[index]);
+        }
+      }
+    } else {
+      for (const ObservationGroup& group : groups) {
+        if (group.effective() == result.access) {
+          visit_group(group);
         }
       }
     }

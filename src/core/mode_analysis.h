@@ -43,9 +43,13 @@ struct ModeReportEntry {
 
 class ModeAnalyzer {
  public:
-  // All of `db`, `registry`, `store` must outlive the analyzer.
+  // All of `db`, `registry`, `store` must outlive the analyzer. The optional
+  // shared indexes (typically owned by an AnalysisContext) replace the
+  // per-rule store re-scans; entries are identical with or without them.
   ModeAnalyzer(const Database* db, const TypeRegistry* registry,
-               const ObservationStore* store);
+               const ObservationStore* store,
+               const MemberAccessIndex* member_index = nullptr,
+               const LockPostingIndex* postings = nullptr);
 
   // Annotates every derivation result whose winner names at least one
   // reader/writer-capable lock. Entries are in `results` order.
@@ -62,6 +66,8 @@ class ModeAnalyzer {
   const Database* db_;
   const TypeRegistry* registry_;
   const ObservationStore* store_;
+  const MemberAccessIndex* member_index_;
+  const LockPostingIndex* postings_;
 };
 
 }  // namespace lockdoc

@@ -1,5 +1,6 @@
 #include "src/core/observations.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <queue>
@@ -124,6 +125,88 @@ uint64_t ObservationStore::CountObservations(const MemberObsKey& key, AccessType
     }
   }
   return count;
+}
+
+MemberAccessIndex MemberAccessIndex::Build(const ObservationStore& store) {
+  MemberAccessIndex index;
+  for (const auto& [key, groups] : store.groups()) {
+    Entry& entry = index.entries_[key];
+    for (size_t i = 0; i < groups.size(); ++i) {
+      entry.groups[static_cast<size_t>(groups[i].effective())].push_back(
+          static_cast<uint32_t>(i));
+    }
+  }
+  return index;
+}
+
+const MemberAccessIndex::Entry* MemberAccessIndex::Find(const MemberObsKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+uint64_t MemberAccessIndex::Count(const MemberObsKey& key, AccessType access) const {
+  const Entry* entry = Find(key);
+  return entry == nullptr ? 0 : entry->For(access).size();
+}
+
+const std::vector<uint32_t> LockPostingIndex::kEmptyPostings;
+
+LockPostingIndex LockPostingIndex::Build(const ObservationStore& store) {
+  LockPostingIndex index;
+  index.postings_.resize(store.pool().size());
+  for (uint32_t seq_id = 0; seq_id < store.distinct_seqs(); ++seq_id) {
+    // Dedup in place: a lock appearing twice in one sequence (nested
+    // same-class locking) must post the sequence only once.
+    IdSeq ids = store.id_seq(seq_id);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    for (LockId id : ids) {
+      index.postings_[id].push_back(seq_id);
+    }
+  }
+  return index;
+}
+
+const std::vector<uint32_t>& LockPostingIndex::Postings(LockId id) const {
+  return id < postings_.size() ? postings_[id] : kEmptyPostings;
+}
+
+std::vector<uint32_t> LockPostingIndex::ComplyingSeqs(const ObservationStore& store,
+                                                      const IdSeq& rule_ids) const {
+  if (rule_ids.empty()) {
+    std::vector<uint32_t> all(store.distinct_seqs());
+    for (uint32_t i = 0; i < all.size(); ++i) {
+      all[i] = i;
+    }
+    return all;
+  }
+
+  // Presence filter: intersect the posting lists, rarest lock first.
+  const std::vector<uint32_t>* seed = &Postings(rule_ids[0]);
+  for (LockId id : rule_ids) {
+    const std::vector<uint32_t>& postings = Postings(id);
+    if (postings.size() < seed->size()) {
+      seed = &postings;
+    }
+  }
+  std::vector<uint32_t> candidates;
+  candidates.reserve(seed->size());
+  for (uint32_t seq_id : *seed) {
+    bool present = true;
+    for (LockId id : rule_ids) {
+      const std::vector<uint32_t>& postings = Postings(id);
+      if (!std::binary_search(postings.begin(), postings.end(), seq_id)) {
+        present = false;
+        break;
+      }
+    }
+    // Order filter: presence does not imply the rule's acquisition order
+    // (or multiplicity); the two-pointer subsequence check decides.
+    if (present && IsSubsequenceIds(rule_ids, store.id_seq(seq_id))) {
+      candidates.push_back(seq_id);
+    }
+  }
+  return candidates;
 }
 
 namespace {

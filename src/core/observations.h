@@ -113,6 +113,64 @@ class ObservationStore {
   static const std::vector<ObservationGroup> kEmptyGroups;
 };
 
+// Per-(member, access-type) view over a store's observation groups: for
+// every observed member, the indices (into GroupsFor(key)) of the groups
+// whose *effective* access type is read resp. write. Built once from a
+// store and then shared read-only by every analysis consumer — the checker,
+// the violation finder, and the mode analyzer all need "the write
+// observations of member m" and previously each re-scanned (and re-filtered
+// by effective()) the full group list per query. The index is a pure
+// function of the store, so it is deterministic at any thread count.
+class MemberAccessIndex {
+ public:
+  struct Entry {
+    // groups[static_cast<size_t>(access)]: ascending indices into
+    // store.GroupsFor(key) with that effective access type.
+    std::vector<uint32_t> groups[2];
+
+    const std::vector<uint32_t>& For(AccessType access) const {
+      return groups[static_cast<size_t>(access)];
+    }
+  };
+
+  static MemberAccessIndex Build(const ObservationStore& store);
+
+  // nullptr when the member was never observed.
+  const Entry* Find(const MemberObsKey& key) const;
+
+  // O(1) equivalent of ObservationStore::CountObservations.
+  uint64_t Count(const MemberObsKey& key, AccessType access) const;
+
+ private:
+  std::map<MemberObsKey, Entry> entries_;
+};
+
+// Per-lock-class posting lists over the store's interned lock sequences:
+// postings(id) is the ascending list of lockseq ids whose sequence contains
+// the lock class with dense id `id`. Compliance of a rule against an
+// observation depends only on the observation's interned sequence, so a
+// rule's complying-sequence set can be computed once — by intersecting the
+// posting lists of the rule's locks and order-checking only the survivors —
+// and then applied to every observation group with an O(log n) lookup.
+class LockPostingIndex {
+ public:
+  static LockPostingIndex Build(const ObservationStore& store);
+
+  // Empty for ids with no occurrences (or out of range).
+  const std::vector<uint32_t>& Postings(LockId id) const;
+
+  // Ascending lockseq ids on which `rule_ids` complies (is an
+  // order-preserving subsequence of the sequence). The empty rule complies
+  // with every sequence.
+  std::vector<uint32_t> ComplyingSeqs(const ObservationStore& store,
+                                      const IdSeq& rule_ids) const;
+
+ private:
+  std::vector<std::vector<uint32_t>> postings_;
+
+  static const std::vector<uint32_t> kEmptyPostings;
+};
+
 // Builds the observation store from an imported database. The database's
 // own string pool resolves interned strings; `registry` resolves member
 // names for lock classes. Folding scans accesses serially (they must be

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "src/core/analysis_context.h"
 #include "src/util/string_util.h"
 
 namespace lockdoc {
@@ -90,25 +91,13 @@ AnalysisSnapshot BuildSnapshot(const Trace& trace, const TypeRegistry& registry,
 std::vector<DerivationResult> AnalyzeSnapshot(const AnalysisSnapshot& snapshot,
                                               const PipelineOptions& options,
                                               PipelineTimings* timings) {
-  ThreadPool pool(options.jobs);
-  if (timings != nullptr) {
-    timings->jobs = pool.thread_count();
-  }
-
-  auto t0 = Clock::now();
-  RuleDerivator derivator(options.derivator);
-  std::vector<DerivationResult> rules = derivator.DeriveAll(snapshot.observations, &pool);
-  auto t1 = Clock::now();
-  if (timings != nullptr) {
-    timings->Add("rule derivation (interned)", Seconds(t0, t1),
-                 static_cast<uint64_t>(snapshot.observations.groups().size()) * 2);
-    timings->mining.enum_cache_hits = snapshot.observations.enum_cache_hits();
-    timings->mining.enum_cache_misses = snapshot.observations.enum_cache_misses();
-    for (const DerivationResult& rule : rules) {
-      timings->mining.candidates_scored += rule.candidates_scored;
-    }
-  }
-  return rules;
+  // The derive pass of the analysis-pass framework: a one-shot
+  // AnalysisContext whose memoized rule set is moved out. Multi-pass
+  // consumers should hold the context instead, so derivation happens once.
+  AnalysisOptions context_options;
+  context_options.pipeline = options;
+  AnalysisContext context(&snapshot, nullptr, std::move(context_options), timings);
+  return context.TakeRules();
 }
 
 PipelineResult RunPipeline(const Trace& trace, const TypeRegistry& registry,

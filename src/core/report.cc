@@ -21,9 +21,10 @@ std::string Heading(const std::string& title) {
 
 }  // namespace
 
-std::string RenderReport(const TypeRegistry& registry, const PipelineResult& result,
-                         const ReportOptions& options) {
-  const AnalysisSnapshot& snapshot = result.snapshot;
+std::string RenderReport(AnalysisContext& context, const ReportOptions& options) {
+  const TypeRegistry& registry = context.registry();
+  const AnalysisSnapshot& snapshot = context.snapshot();
+  const std::vector<DerivationResult>& derived = context.rules();
   std::string out = "LockDoc analysis report\n";
 
   // --- Trace statistics (Sec. 7.2) ---
@@ -42,10 +43,11 @@ std::string RenderReport(const TypeRegistry& registry, const PipelineResult& res
     if (!rules.ok()) {
       out += "rule parse error: " + rules.status().message() + "\n";
     } else {
-      RuleChecker checker(&registry, &snapshot.observations);
+      RuleChecker checker(&registry, &snapshot.observations, &context.member_access_index(),
+                          &context.lock_postings());
       TextTable table({"Data Type", "#R", "#No", "#Ob", "! (%)", "~ (%)", "# (%)"});
       for (const RuleCheckSummary& s :
-           RuleChecker::Summarize(checker.CheckAll(rules.value()))) {
+           RuleChecker::Summarize(checker.CheckAll(rules.value(), &context.pool()))) {
         table.AddRow({s.type_name, std::to_string(s.documented), std::to_string(s.unobserved),
                       std::to_string(s.observed), StrFormat("%.2f", s.correct_pct()),
                       StrFormat("%.2f", s.ambivalent_pct()),
@@ -62,7 +64,7 @@ std::string RenderReport(const TypeRegistry& registry, const PipelineResult& res
       uint64_t rules_r = 0, rules_w = 0, no_lock_r = 0, no_lock_w = 0;
     };
     std::map<std::pair<TypeId, SubclassId>, Row> rows;
-    for (const DerivationResult& rule : result.rules) {
+    for (const DerivationResult& rule : derived) {
       Row& row = rows[{rule.key.type, rule.key.subclass}];
       bool no_lock = rule.winner_is_no_lock();
       if (rule.access == AccessType::kRead) {
@@ -86,18 +88,19 @@ std::string RenderReport(const TypeRegistry& registry, const PipelineResult& res
     out += Heading("generated documentation");
     DocGenerator generator(&registry);
     std::map<std::pair<TypeId, SubclassId>, bool> populations;
-    for (const DerivationResult& rule : result.rules) {
+    for (const DerivationResult& rule : derived) {
       populations[{rule.key.type, rule.key.subclass}] = true;
     }
     for (const auto& [key, present] : populations) {
-      out += generator.Generate(key.first, key.second, result.rules) + "\n";
+      out += generator.Generate(key.first, key.second, derived) + "\n";
     }
   }
 
   // --- Violations (Tab. 7/8) ---
   out += Heading("locking-rule violations");
-  ViolationFinder finder(&snapshot.db, &registry, &snapshot.observations);
-  std::vector<Violation> violations = finder.FindAll(result.rules);
+  ViolationFinder finder(&snapshot.db, &registry, &snapshot.observations,
+                         &context.member_access_index(), &context.lock_postings());
+  std::vector<Violation> violations = finder.FindAll(derived, &context.pool());
   {
     TextTable table({"Data Type", "Events", "Members", "Contexts"});
     uint64_t total = 0;
@@ -123,7 +126,7 @@ std::string RenderReport(const TypeRegistry& registry, const PipelineResult& res
   // --- Lock ordering ---
   if (options.lock_order) {
     out += Heading("lock ordering");
-    LockOrderGraph graph = LockOrderGraph::Build(snapshot.db, registry);
+    const LockOrderGraph& graph = context.lock_order_graph();
     auto conflicts = graph.ConflictingPairs();
     out += StrFormat("%zu ordering edges, %zu ABBA conflicts\n", graph.edges().size(),
                      conflicts.size());
@@ -140,8 +143,9 @@ std::string RenderReport(const TypeRegistry& registry, const PipelineResult& res
   // --- Acquisition modes ---
   if (options.modes) {
     out += Heading("reader/writer acquisition modes");
-    ModeAnalyzer analyzer(&snapshot.db, &registry, &snapshot.observations);
-    auto suspicious = analyzer.FindSharedModeWrites(result.rules);
+    ModeAnalyzer analyzer(&snapshot.db, &registry, &snapshot.observations,
+                          &context.member_access_index(), &context.lock_postings());
+    auto suspicious = analyzer.FindSharedModeWrites(derived);
     if (suspicious.empty()) {
       out += "no writes under merely-shared holds\n";
     } else {
@@ -150,6 +154,17 @@ std::string RenderReport(const TypeRegistry& registry, const PipelineResult& res
   }
 
   return out;
+}
+
+std::string RenderReport(const TypeRegistry& registry, const PipelineResult& result,
+                         const ReportOptions& options) {
+  // Serial one-shot context; output is byte-identical at any jobs value, so
+  // a single thread keeps this convenience path lightweight.
+  AnalysisOptions context_options;
+  context_options.pipeline.jobs = 1;
+  AnalysisContext context(&result.snapshot, &registry, std::move(context_options));
+  context.SeedRules(result.rules);  // Copies; `result` stays usable.
+  return RenderReport(context, options);
 }
 
 }  // namespace lockdoc

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "src/core/analysis_context.h"
 #include "src/core/pipeline.h"
 #include "src/core/rule.h"
 #include "src/model/type_registry.h"
@@ -28,7 +29,14 @@ struct ReportOptions {
   bool full_documentation = false;
 };
 
-// Renders the complete report from an analysis result. The result's
+// Renders the complete report from a shared analysis context: rules,
+// observation indexes, and the lock-order graph all come from (and are
+// memoized in) `context`, so a multi-pass run pays for each at most once.
+// The context must carry a type registry.
+std::string RenderReport(AnalysisContext& context, const ReportOptions& options = {});
+
+// Legacy convenience overload: renders from a completed pipeline result by
+// wrapping it in a one-shot context seeded with the result's rules. The
 // snapshot is self-contained (it carries the trace statistics and resolves
 // its own strings), so the original trace is not needed; `registry` must be
 // the one `result` was produced with.

@@ -1,5 +1,6 @@
 #include "src/core/rule_checker.h"
 
+#include <algorithm>
 #include <map>
 
 #include "src/util/logging.h"
@@ -32,8 +33,10 @@ double RuleCheckSummary::incorrect_pct() const {
                        : 100.0 * static_cast<double>(incorrect) / static_cast<double>(observed);
 }
 
-RuleChecker::RuleChecker(const TypeRegistry* registry, const ObservationStore* store)
-    : registry_(registry), store_(store) {
+RuleChecker::RuleChecker(const TypeRegistry* registry, const ObservationStore* store,
+                         const MemberAccessIndex* member_index,
+                         const LockPostingIndex* postings)
+    : registry_(registry), store_(store), member_index_(member_index), postings_(postings) {
   LOCKDOC_CHECK(registry_ != nullptr);
   LOCKDOC_CHECK(store_ != nullptr);
 }
@@ -74,20 +77,49 @@ RuleCheckResult RuleChecker::Check(const LockingRule& rule) const {
 
   // Intern the documented rule once; a rule naming a lock class that was
   // never observed cannot comply with any interned observation, so only the
-  // totals count for it.
+  // totals count for it. With the shared posting lists, the rule's
+  // complying-sequence set is computed once here and each group below is a
+  // binary-search lookup instead of a subsequence scan.
   std::optional<IdSeq> rule_ids = store_->pool().FindSeq(rule.locks);
+  std::vector<uint32_t> complying;
+  bool have_complying = false;
+  if (postings_ != nullptr && rule_ids.has_value()) {
+    complying = postings_->ComplyingSeqs(*store_, *rule_ids);
+    have_complying = true;
+  }
+  auto group_complies = [&](const ObservationGroup& group) {
+    if (!rule_ids.has_value()) {
+      return false;
+    }
+    return have_complying
+               ? std::binary_search(complying.begin(), complying.end(), group.lockseq_id)
+               : IsSubsequenceIds(*rule_ids, store_->id_seq(group.lockseq_id));
+  };
   for (SubclassId sub : subclasses) {
     MemberObsKey key;
     key.type = *type;
     key.subclass = sub;
     key.member = *member;
-    for (const ObservationGroup& group : store_->GroupsFor(key)) {
+    const std::vector<ObservationGroup>& groups = store_->GroupsFor(key);
+    if (member_index_ != nullptr) {
+      const MemberAccessIndex::Entry* entry = member_index_->Find(key);
+      if (entry == nullptr) {
+        continue;
+      }
+      for (uint32_t index : entry->For(rule.access)) {
+        ++result.total;
+        if (group_complies(groups[index])) {
+          ++result.sa;
+        }
+      }
+      continue;
+    }
+    for (const ObservationGroup& group : groups) {
       if (group.effective() != rule.access) {
         continue;
       }
       ++result.total;
-      if (rule_ids.has_value() &&
-          IsSubsequenceIds(*rule_ids, store_->id_seq(group.lockseq_id))) {
+      if (group_complies(group)) {
         ++result.sa;
       }
     }

@@ -49,7 +49,13 @@ struct RuleCheckSummary {
 
 class RuleChecker {
  public:
-  RuleChecker(const TypeRegistry* registry, const ObservationStore* store);
+  // The index pair is optional and shared (typically owned by an
+  // AnalysisContext): `member_index` serves the per-access observation
+  // split, `postings` the per-rule complying-sequence precompute. Verdicts
+  // are identical with or without them — the indexes only skip re-scans.
+  RuleChecker(const TypeRegistry* registry, const ObservationStore* store,
+              const MemberAccessIndex* member_index = nullptr,
+              const LockPostingIndex* postings = nullptr);
 
   // Checks one documented rule. A rule without a subclass qualifier is
   // evaluated against the union of all subclasses of its type.
@@ -66,6 +72,8 @@ class RuleChecker {
  private:
   const TypeRegistry* registry_;
   const ObservationStore* store_;
+  const MemberAccessIndex* member_index_;
+  const LockPostingIndex* postings_;
 };
 
 }  // namespace lockdoc

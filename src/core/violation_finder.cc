@@ -10,8 +10,14 @@
 namespace lockdoc {
 
 ViolationFinder::ViolationFinder(const Database* db, const TypeRegistry* registry,
-                                 const ObservationStore* store)
-    : db_(db), registry_(registry), store_(store) {
+                                 const ObservationStore* store,
+                                 const MemberAccessIndex* member_index,
+                                 const LockPostingIndex* postings)
+    : db_(db),
+      registry_(registry),
+      store_(store),
+      member_index_(member_index),
+      postings_(postings) {
   LOCKDOC_CHECK(db_ != nullptr);
   LOCKDOC_CHECK(registry_ != nullptr);
   LOCKDOC_CHECK(store_ != nullptr);
@@ -49,18 +55,27 @@ std::vector<Violation> ViolationFinder::FindAll(const std::vector<DerivationResu
       // Winners come from observed combinations, so their classes are
       // always interned; compare ids in the scan and materialize the held
       // strings only for actual violations. A hand-built result with
-      // unknown classes falls back to the string comparison.
+      // unknown classes falls back to the string comparison. With the
+      // shared posting lists the rule's complying sequences are computed
+      // once up front and each group is a binary-search lookup.
       std::optional<IdSeq> rule_ids = store_->pool().FindSeq(result.winner->locks);
-      for (const ObservationGroup& group : store_->GroupsFor(result.key)) {
-        if (group.effective() != result.access) {
-          continue;
-        }
+      std::vector<uint32_t> complying;
+      bool have_complying = false;
+      if (postings_ != nullptr && rule_ids.has_value()) {
+        complying = postings_->ComplyingSeqs(*store_, *rule_ids);
+        have_complying = true;
+      }
+      const std::vector<ObservationGroup>& groups = store_->GroupsFor(result.key);
+      auto visit_group = [&](const ObservationGroup& group) {
         const LockSeq& held = store_->seq(group.lockseq_id);
-        bool complies = rule_ids.has_value()
-                            ? IsSubsequenceIds(*rule_ids, store_->id_seq(group.lockseq_id))
-                            : IsSubsequence(result.winner->locks, held);
+        bool complies =
+            have_complying
+                ? std::binary_search(complying.begin(), complying.end(), group.lockseq_id)
+                : (rule_ids.has_value()
+                       ? IsSubsequenceIds(*rule_ids, store_->id_seq(group.lockseq_id))
+                       : IsSubsequence(result.winner->locks, held));
         if (complies) {
-          continue;
+          return;
         }
         Violation violation;
         violation.key = result.key;
@@ -74,6 +89,19 @@ std::vector<Violation> ViolationFinder::FindAll(const std::vector<DerivationResu
         }
         if (!violation.seqs.empty()) {
           slots[i].push_back(std::move(violation));
+        }
+      };
+      if (member_index_ != nullptr) {
+        if (const MemberAccessIndex::Entry* entry = member_index_->Find(result.key)) {
+          for (uint32_t index : entry->For(result.access)) {
+            visit_group(groups[index]);
+          }
+        }
+      } else {
+        for (const ObservationGroup& group : groups) {
+          if (group.effective() == result.access) {
+            visit_group(group);
+          }
         }
       }
     }

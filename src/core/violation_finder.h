@@ -50,9 +50,13 @@ struct ViolationExample {
 class ViolationFinder {
  public:
   // Violation contexts (access type, source location, stack) are resolved
-  // from the accesses table via its seq index; no trace is needed.
+  // from the accesses table via its seq index; no trace is needed. The
+  // optional shared indexes (typically owned by an AnalysisContext) replace
+  // the per-rule store re-scans; results are identical with or without.
   ViolationFinder(const Database* db, const TypeRegistry* registry,
-                  const ObservationStore* store);
+                  const ObservationStore* store,
+                  const MemberAccessIndex* member_index = nullptr,
+                  const LockPostingIndex* postings = nullptr);
 
   // All violations of the winning rules (rules with sr == 1 cannot be
   // violated; the no-lock rule cannot be violated either). Distributed over
@@ -83,6 +87,8 @@ class ViolationFinder {
   const Database* db_;
   const TypeRegistry* registry_;
   const ObservationStore* store_;
+  const MemberAccessIndex* member_index_;
+  const LockPostingIndex* postings_;
 };
 
 }  // namespace lockdoc

@@ -43,6 +43,15 @@ bool FlagSet::Parse(int argc, const char* const* argv, std::string* error) {
 
 bool FlagSet::Has(const std::string& name) const { return values_.count(name) != 0; }
 
+std::vector<std::string> FlagSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, value] : values_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
 std::string FlagSet::GetString(const std::string& name, const std::string& default_value) const {
   auto it = values_.find(name);
   return it == values_.end() ? default_value : it->second;

@@ -25,6 +25,10 @@ class FlagSet {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // Every flag name present on the command line, in sorted order — for
+  // strict per-command validation of accepted flags.
+  std::vector<std::string> names() const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

@@ -1,0 +1,95 @@
+#!/bin/sh
+# CLI exit-code matrix: every analysis command against a good trace, a good
+# .lockdb snapshot, a damaged input, and a missing path — plus the strict
+# flag-validation contract (unknown or inapplicable flag = usage error 64).
+#
+# Exit codes: 0 ok, 1 input/analysis error, 2 bad command line (usage),
+# 64 strict usage error (bad flag, bad pass name, doctor misuse).
+#
+# Usage: exit_code_matrix_test.sh <lockdoc-binary> <scratch-dir>
+set -u
+
+LOCKDOC="$1"
+DIR="$2"
+mkdir -p "$DIR"
+failures=0
+
+expect() {
+  want="$1"
+  shift
+  "$@" > /dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: expected exit $want, got $got: $*" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# Fixtures: good trace + snapshot, damaged trace (truncated), damaged
+# snapshot (flipped bytes), garbage file, missing path.
+"$LOCKDOC" simulate --out "$DIR/mx.trace" --ops 1500 --seed 5 || exit 1
+"$LOCKDOC" import "$DIR/mx.trace" --out "$DIR/mx.lockdb" || exit 1
+head -c 50000 "$DIR/mx.trace" > "$DIR/mx_damaged.trace"
+cp "$DIR/mx.lockdb" "$DIR/mx_damaged.lockdb"
+printf '\377\377\377\377' | dd of="$DIR/mx_damaged.lockdb" bs=1 seek=4000 conv=notrunc 2> /dev/null
+echo garbage > "$DIR/mx_garbage.trace"
+MISSING="$DIR/does_not_exist.trace"
+
+# Every analysis command: good inputs succeed, damaged and missing fail 1.
+for cmd in stats derive check violations lock-order modes report analyze; do
+  expect 0 "$LOCKDOC" "$cmd" "$DIR/mx.trace"
+  expect 0 "$LOCKDOC" "$cmd" "$DIR/mx.lockdb"
+  expect 1 "$LOCKDOC" "$cmd" "$DIR/mx_damaged.trace"
+  expect 1 "$LOCKDOC" "$cmd" "$DIR/mx_damaged.lockdb"
+  expect 1 "$LOCKDOC" "$cmd" "$MISSING"
+done
+expect 0 "$LOCKDOC" export-csv "$DIR/mx.trace" --dir "$DIR/mx_csv"
+expect 1 "$LOCKDOC" export-csv "$MISSING" --dir "$DIR/mx_csv"
+expect 0 "$LOCKDOC" diff "$DIR/mx.trace" "$DIR/mx.lockdb"
+expect 1 "$LOCKDOC" diff "$MISSING" "$DIR/mx.trace"
+expect 1 "$LOCKDOC" import "$MISSING" --out "$DIR/x.lockdb"
+expect 1 "$LOCKDOC" import "$DIR/mx_damaged.trace" --out "$DIR/x.lockdb"
+
+# Damaged traces are salvageable; damaged snapshots are not (checksums).
+expect 0 "$LOCKDOC" stats "$DIR/mx_damaged.trace" --salvage
+expect 1 "$LOCKDOC" stats "$DIR/mx_damaged.lockdb" --salvage
+
+# doctor: 0 clean, 1 salvageable damage, 2 unreadable, 64 usage.
+expect 0 "$LOCKDOC" doctor "$DIR/mx.trace"
+expect 0 "$LOCKDOC" doctor "$DIR/mx.lockdb"
+expect 1 "$LOCKDOC" doctor "$DIR/mx_damaged.trace"
+expect 1 "$LOCKDOC" doctor "$DIR/mx_damaged.lockdb"
+expect 2 "$LOCKDOC" doctor "$DIR/mx_garbage.trace"
+expect 2 "$LOCKDOC" doctor "$MISSING"
+expect 64 "$LOCKDOC" doctor
+expect 64 "$LOCKDOC" doctor "$DIR/mx_damaged.lockdb" --repair "$DIR/x.trace"
+
+# No command line at all / unknown command: usage, exit 2.
+expect 2 "$LOCKDOC"
+expect 2 "$LOCKDOC" frobnicate "$DIR/mx.trace"
+
+# Strict flag validation: a flag the command does not accept is exit 64,
+# even when the input is perfectly fine.
+expect 64 "$LOCKDOC" stats "$DIR/mx.trace" --tac 0.9
+expect 64 "$LOCKDOC" derive "$DIR/mx.trace" --limit 3
+expect 64 "$LOCKDOC" check "$DIR/mx.trace" --full
+expect 64 "$LOCKDOC" violations "$DIR/mx.trace" --rules /dev/null
+expect 64 "$LOCKDOC" lock-order "$DIR/mx.trace" --all
+expect 64 "$LOCKDOC" modes "$DIR/mx.trace" --spec
+expect 64 "$LOCKDOC" report "$DIR/mx.trace" --out-dir "$DIR/x"
+expect 64 "$LOCKDOC" simulate --out "$DIR/x.trace" --salvage
+expect 64 "$LOCKDOC" import "$DIR/mx.trace" --out "$DIR/x.lockdb" --bogus-flag
+expect 64 "$LOCKDOC" doctor "$DIR/mx.trace" --jobs 2
+expect 64 "$LOCKDOC" analyze "$DIR/mx.trace" --unknown-flag 1
+
+# analyze-specific usage errors.
+expect 64 "$LOCKDOC" analyze "$DIR/mx.trace" --passes bogus
+expect 64 "$LOCKDOC" analyze "$DIR/mx.trace" --passes diff
+expect 64 "$LOCKDOC" analyze "$DIR/mx.trace" --baseline
+expect 64 "$LOCKDOC" check "$DIR/mx.trace" --timings-json
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures exit-code expectations failed" >&2
+  exit 1
+fi
+echo "exit-code matrix OK"

@@ -1,0 +1,95 @@
+#!/bin/sh
+# Golden equivalence: `lockdoc analyze INPUT --passes P` must be
+# byte-identical (cmp) to the standalone `lockdoc P INPUT` command, for
+# every registered pass, on both a raw trace and a .lockdb snapshot, and
+# a multi-pass run must equal the concatenation of the standalone outputs
+# at --jobs 1, 2 and 8.
+#
+# Usage: pass_equivalence_test.sh <lockdoc-binary> <scratch-dir>
+set -eu
+
+LOCKDOC="$1"
+DIR="$2"
+mkdir -p "$DIR"
+
+"$LOCKDOC" simulate --out "$DIR/eq.trace" --ops 2000 --seed 7
+"$LOCKDOC" simulate --out "$DIR/eq_old.trace" --ops 2000 --seed 7 --clean
+"$LOCKDOC" import "$DIR/eq.trace" --out "$DIR/eq.lockdb"
+"$LOCKDOC" import "$DIR/eq_old.trace" --out "$DIR/eq_old.lockdb"
+
+# Every single-input pass, standalone vs analyze, trace and snapshot.
+for input in "$DIR/eq.trace" "$DIR/eq.lockdb"; do
+  for pass in check derive violations lock-order modes report; do
+    "$LOCKDOC" "$pass" "$input" > "$DIR/standalone.txt"
+    "$LOCKDOC" analyze "$input" --passes "$pass" > "$DIR/via_analyze.txt"
+    cmp "$DIR/standalone.txt" "$DIR/via_analyze.txt" || {
+      echo "FAIL: analyze --passes $pass differs from standalone $pass on $input" >&2
+      exit 1
+    }
+  done
+done
+
+# Pass flags are honored identically.
+"$LOCKDOC" violations "$DIR/eq.trace" --limit 3 > "$DIR/standalone.txt"
+"$LOCKDOC" analyze "$DIR/eq.trace" --passes violations --limit 3 > "$DIR/via_analyze.txt"
+cmp "$DIR/standalone.txt" "$DIR/via_analyze.txt"
+"$LOCKDOC" modes "$DIR/eq.trace" --all > "$DIR/standalone.txt"
+"$LOCKDOC" analyze "$DIR/eq.trace" --passes modes --all > "$DIR/via_analyze.txt"
+cmp "$DIR/standalone.txt" "$DIR/via_analyze.txt"
+"$LOCKDOC" report "$DIR/eq.trace" --full > "$DIR/standalone.txt"
+"$LOCKDOC" analyze "$DIR/eq.trace" --passes report --full > "$DIR/via_analyze.txt"
+cmp "$DIR/standalone.txt" "$DIR/via_analyze.txt"
+
+# The diff pass against a baseline input equals the standalone diff.
+"$LOCKDOC" diff "$DIR/eq_old.trace" "$DIR/eq.trace" > "$DIR/standalone.txt"
+"$LOCKDOC" analyze "$DIR/eq.trace" --passes diff --baseline "$DIR/eq_old.trace" \
+  > "$DIR/via_analyze.txt"
+cmp "$DIR/standalone.txt" "$DIR/via_analyze.txt"
+"$LOCKDOC" analyze "$DIR/eq.lockdb" --passes diff --baseline "$DIR/eq_old.lockdb" \
+  > "$DIR/via_analyze_db.txt"
+cmp "$DIR/standalone.txt" "$DIR/via_analyze_db.txt"
+
+# A multi-pass run is the concatenation of the standalone outputs, and is
+# byte-identical at any thread count.
+"$LOCKDOC" check "$DIR/eq.lockdb" > "$DIR/concat.txt"
+"$LOCKDOC" violations "$DIR/eq.lockdb" >> "$DIR/concat.txt"
+"$LOCKDOC" report "$DIR/eq.lockdb" >> "$DIR/concat.txt"
+for jobs in 1 2 8; do
+  "$LOCKDOC" analyze "$DIR/eq.lockdb" --passes check,violations,report --jobs "$jobs" \
+    > "$DIR/multi_j$jobs.txt"
+  cmp "$DIR/concat.txt" "$DIR/multi_j$jobs.txt" || {
+    echo "FAIL: multi-pass analyze at --jobs $jobs differs" >&2
+    exit 1
+  }
+done
+
+# A full-suite run (no --passes) covers every pass except diff, in
+# registry order, at any jobs value.
+"$LOCKDOC" analyze "$DIR/eq.lockdb" --jobs 1 > "$DIR/full_j1.txt"
+"$LOCKDOC" analyze "$DIR/eq.lockdb" --jobs 8 > "$DIR/full_j8.txt"
+cmp "$DIR/full_j1.txt" "$DIR/full_j8.txt"
+
+# --out-dir: per-pass files match the stdout of the standalone command.
+"$LOCKDOC" analyze "$DIR/eq.lockdb" --passes check,lock-order --out-dir "$DIR/passes_out" \
+  > /dev/null
+"$LOCKDOC" check "$DIR/eq.lockdb" > "$DIR/standalone.txt"
+cmp "$DIR/standalone.txt" "$DIR/passes_out/check.txt"
+"$LOCKDOC" lock-order "$DIR/eq.lockdb" > "$DIR/standalone.txt"
+cmp "$DIR/standalone.txt" "$DIR/passes_out/lock-order.txt"
+
+# --timings-json emits machine-readable timings without disturbing stdout.
+"$LOCKDOC" analyze "$DIR/eq.lockdb" --passes check --timings-json "$DIR/timings.json" \
+  > "$DIR/via_analyze.txt" 2> /dev/null
+"$LOCKDOC" check "$DIR/eq.lockdb" > "$DIR/standalone.txt"
+cmp "$DIR/standalone.txt" "$DIR/via_analyze.txt"
+grep -q '"phases"' "$DIR/timings.json"
+
+# The full suite derives rules exactly once.
+derivations=$("$LOCKDOC" analyze "$DIR/eq.lockdb" --timings 2>&1 > /dev/null |
+  grep -c "rule derivation (interned)")
+if [ "$derivations" -ne 1 ]; then
+  echo "FAIL: expected exactly 1 rule derivation in full analyze, got $derivations" >&2
+  exit 1
+fi
+
+echo "pass equivalence OK"

@@ -74,5 +74,11 @@ TEST(FlagsTest, EmptyValueViaEquals) {
   EXPECT_EQ(flags.GetString("name", "default"), "");
 }
 
+TEST(FlagsTest, NamesAreSortedAndSkipPositionals) {
+  FlagSet flags = ParseOk({"input.trace", "--zeta=1", "--alpha", "--mid", "5"});
+  EXPECT_EQ(flags.names(), (std::vector<std::string>{"alpha", "mid", "zeta"}));
+  EXPECT_TRUE(ParseOk({"positional-only"}).names().empty());
+}
+
 }  // namespace
 }  // namespace lockdoc

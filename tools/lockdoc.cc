@@ -14,6 +14,8 @@
 //   lockdoc lock-order FILE
 //   lockdoc modes FILE [--all]
 //   lockdoc diff OLD NEW [--all]
+//   lockdoc analyze FILE [--passes check,violations,...] [--baseline OLD]
+//                        [--out-dir DIR]
 //   lockdoc export-csv FILE --dir DIR
 //   lockdoc doctor FILE [--repair fixed.trace]
 //
@@ -22,6 +24,17 @@
 // snapshot skips the import and extraction phases entirely — the
 // import-once / analyze-many workflow — and produces byte-identical output
 // to analyzing the original trace.
+//
+// The phase-3 analysis commands (derive, check, violations, lock-order,
+// modes, report, diff) are thin shells around the registered AnalysisPasses
+// (src/core/analysis_pass.h), all sharing one AnalysisContext. `analyze`
+// runs any subset of those passes over a single context: the input is
+// loaded once, rules are derived once, the shared indexes are built at most
+// once, and each selected pass's output — byte-identical to its standalone
+// command — is emitted in pass order (or to per-pass files via --out-dir).
+//
+// Flags are validated strictly: a flag a command does not accept is a usage
+// error (exit 64), not a silent no-op.
 //
 // `doctor` checks an archived file's health (traces and snapshots): exit
 // code 0 means clean, 1 damaged-but-salvageable (for traces, optionally
@@ -38,22 +51,18 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 
-#include "src/core/doc_generator.h"
-#include "src/core/lock_order.h"
-#include "src/core/mode_analysis.h"
+#include "src/core/analysis_pass.h"
 #include "src/core/pipeline.h"
-#include "src/core/report.h"
-#include "src/core/rule_diff.h"
-#include "src/core/rule_checker.h"
 #include "src/core/snapshot.h"
-#include "src/core/violation_finder.h"
 #include "src/db/snapshot.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
 #include "src/util/flags.h"
-#include "src/util/stats.h"
+#include "src/util/logging.h"
 #include "src/util/string_util.h"
 #include "src/vfs/vfs_kernel.h"
 #include "src/workload/script.h"
@@ -77,15 +86,23 @@ int Usage() {
                "  modes FILE [--all]\n"
                "  report FILE [--full]\n"
                "  diff OLD NEW [--all]\n"
+               "  analyze FILE [--passes P1,P2,...] [--baseline OLD] [--out-dir DIR]\n"
                "  export-csv FILE --dir DIR\n"
                "  doctor FILE [--repair OUT.trace]\n"
                "FILE is a trace or a .lockdb snapshot (auto-detected by magic);\n"
                "`import` converts the former into the latter so repeated analyses\n"
                "skip the import/extraction phases.\n"
+               "`analyze` runs several analysis passes (%s)\n"
+               "over one shared context: the input is loaded and rules are derived\n"
+               "only once, and each pass's output is byte-identical to its\n"
+               "standalone command.\n"
                "analysis commands accept --salvage to read damaged traces,\n"
                "--jobs N to set analysis threads (default: all hardware threads;\n"
-               "results are byte-identical at any value), and --timings to print\n"
-               "per-phase wall time and throughput to stderr\n");
+               "results are byte-identical at any value), --timings to print\n"
+               "per-phase wall time and throughput to stderr, and\n"
+               "--timings-json PATH to write the same data as JSON.\n"
+               "a flag a command does not accept is a usage error (exit 64)\n",
+               PassRegistry::Default().JoinedNames().c_str());
   return 2;
 }
 
@@ -188,18 +205,140 @@ bool LoadAnalysisInput(const FlagSet& flags, AnalysisInput* out) {
                               &out->timings, &out->from_snapshot);
 }
 
-// Pool for the analysis stages that run after derivation (rule checking,
-// violation finding); same --jobs policy as the pipeline itself.
-ThreadPool MakeAnalysisPool(const FlagSet& flags) {
-  return ThreadPool(flags.GetUint64("jobs", 0));
+// The flags each command accepts. Anything else is a usage error (exit 64)
+// — silently ignoring `lockdoc stats --tac 0.5` would let a typo change
+// nothing while looking like it did.
+const std::map<std::string, std::set<std::string>>& CommandFlagTable() {
+  static const auto* const table = [] {
+    const std::set<std::string> common = {"salvage", "jobs", "timings", "timings-json"};
+    auto with = [&common](std::set<std::string> extra) {
+      extra.insert(common.begin(), common.end());
+      return extra;
+    };
+    return new std::map<std::string, std::set<std::string>>{
+        {"simulate", {"out", "ops", "seed", "clean", "script"}},
+        {"import", with({"out"})},
+        {"stats", {"salvage"}},
+        {"derive", with({"tac", "type", "subclass", "spec", "support", "out-dir"})},
+        {"check", with({"rules"})},
+        {"violations", with({"limit", "tac"})},
+        {"lock-order", with({})},
+        {"modes", with({"all", "tac"})},
+        {"report", with({"full", "tac"})},
+        {"diff", with({"all", "tac"})},
+        {"export-csv", with({"dir"})},
+        {"doctor", {"repair"}},
+        {"analyze", with({"passes", "baseline", "out-dir", "tac", "rules", "limit", "all",
+                          "full", "spec", "support", "type", "subclass"})},
+    };
+  }();
+  return *table;
+}
+
+// Returns 0 when every flag is accepted by `command`, 64 (with a message on
+// stderr) otherwise. Unknown commands are left for Usage().
+int ValidateFlags(const std::string& command, const FlagSet& flags) {
+  const auto& table = CommandFlagTable();
+  auto it = table.find(command);
+  if (it == table.end()) {
+    return 0;
+  }
+  for (const std::string& name : flags.names()) {
+    if (it->second.count(name) == 0) {
+      std::fprintf(stderr, "lockdoc %s: unknown flag --%s\n", command.c_str(), name.c_str());
+      return 64;
+    }
+  }
+  // A bare "--timings-json" with no path parses as the boolean value "true";
+  // writing JSON to a file named "true" is never what the user meant.
+  if (flags.Has("timings-json") && flags.GetString("timings-json", "") == "true") {
+    std::fprintf(stderr, "lockdoc: --timings-json requires an output path\n");
+    return 64;
+  }
+  return 0;
 }
 
 // --timings: the per-phase block goes to stderr so stdout stays
-// byte-identical across --jobs values (and pipeable).
-void MaybePrintTimings(const FlagSet& flags, const PipelineTimings& timings) {
+// byte-identical across --jobs values (and pipeable). --timings-json PATH
+// writes the same data as JSON for machine consumption (set write_json
+// false when a command emits several timing blocks and this is not the
+// primary one).
+bool EmitTimings(const FlagSet& flags, const PipelineTimings& timings,
+                 bool write_json = true) {
   if (flags.GetBool("timings", false)) {
     std::fprintf(stderr, "%s", timings.ToString().c_str());
   }
+  std::string json_path = flags.GetString("timings-json", "");
+  if (write_json && !json_path.empty()) {
+    std::string json = timings.ToJson();
+    std::ofstream file(json_path, std::ios::trunc);
+    if (!file || !(file << json << "\n")) {
+      std::fprintf(stderr, "lockdoc: cannot write %s\n", json_path.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Fills the per-pass knobs from CLI flags. The documented-rules text comes
+// from the simulated kernel unless --rules overrides it; only `derive`
+// routes --out-dir to the documentation-bundle writer (for `analyze`,
+// --out-dir means per-pass output files instead).
+bool FillPassOptions(const std::string& command, const FlagSet& flags, PassOptions* pass) {
+  pass->documented_rules_text = VfsKernel::DocumentedRulesText();
+  std::string rules_path = flags.GetString("rules", "");
+  if (!rules_path.empty()) {
+    std::ifstream in(rules_path);
+    if (!in) {
+      std::fprintf(stderr, "lockdoc: cannot open %s\n", rules_path.c_str());
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    pass->documented_rules_text = buffer.str();
+  }
+  pass->violation_limit = flags.GetUint64("limit", 10);
+  pass->modes_all = flags.GetBool("all", false);
+  pass->diff_all = flags.GetBool("all", false);
+  pass->report_full = flags.GetBool("full", false);
+  pass->doc_spec = flags.GetBool("spec", false);
+  pass->doc_support = flags.GetBool("support", false);
+  pass->doc_type = flags.GetString("type", "");
+  pass->doc_subclass = flags.GetString("subclass", "");
+  if (command == "derive") {
+    pass->doc_out_dir = flags.GetString("out-dir", "");
+  }
+  return true;
+}
+
+// The shared shell of every single-input analysis command: load the input
+// into a snapshot, wrap it in an AnalysisContext, run the registered pass
+// of the same name, emit its bytes.
+int RunPassCommand(const std::string& command, const FlagSet& flags) {
+  const AnalysisPass* pass = PassRegistry::Default().Find(command);
+  LOCKDOC_CHECK(pass != nullptr);
+  AnalysisInput input;
+  if (!LoadAnalysisInput(flags, &input)) {
+    return 1;
+  }
+  AnalysisOptions options;
+  options.pipeline = MakeOptions(flags);
+  if (!FillPassOptions(command, flags, &options.pass)) {
+    return 1;
+  }
+  AnalysisContext context(&input.snapshot, input.registry.get(), std::move(options),
+                          &input.timings);
+  PassOutput out;
+  Status status = pass->Run(context, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "lockdoc: %s\n", status.message().c_str());
+    return 1;
+  }
+  if (!EmitTimings(flags, input.timings)) {
+    return 1;
+  }
+  std::fwrite(out.text.data(), 1, out.text.size(), stdout);
+  return 0;
 }
 
 int CmdSimulate(const FlagSet& flags) {
@@ -291,7 +430,9 @@ int CmdImport(const FlagSet& flags) {
   }
   timings.Add("snapshot save", SecondsBetween(t0, std::chrono::steady_clock::now()),
               bytes.size());
-  MaybePrintTimings(flags, timings);
+  if (!EmitTimings(flags, timings)) {
+    return 1;
+  }
   std::printf("imported %s events into %s (%s bytes, %s observation groups)\n",
               FormatWithCommas(snapshot.import_stats.events).c_str(), out.c_str(),
               FormatWithCommas(bytes.size()).c_str(),
@@ -324,237 +465,174 @@ int CmdStats(const FlagSet& flags) {
   return 0;
 }
 
-int CmdDerive(const FlagSet& flags) {
-  AnalysisInput input;
-  if (!LoadAnalysisInput(flags, &input)) {
-    return 1;
-  }
-  std::vector<DerivationResult> rules =
-      AnalyzeSnapshot(input.snapshot, MakeOptions(flags), &input.timings);
-  MaybePrintTimings(flags, input.timings);
-
-  DocGenOptions doc_options;
-  doc_options.include_support = flags.GetBool("support", false);
-  DocGenerator generator(input.registry.get(), doc_options);
-  bool spec = flags.GetBool("spec", false);
-
-  // --out-dir: write the full documentation bundle instead of stdout.
-  std::string out_dir = flags.GetString("out-dir", "");
-  if (!out_dir.empty()) {
-    std::filesystem::create_directories(out_dir);
-    auto written = generator.GenerateAll(rules, out_dir);
-    if (!written.ok()) {
-      std::fprintf(stderr, "lockdoc: %s\n", written.status().message().c_str());
-      return 1;
-    }
-    std::printf("wrote %zu documentation files to %s\n", written.value(), out_dir.c_str());
-    return 0;
-  }
-
-  std::string type_filter = flags.GetString("type", "");
-  std::string subclass_filter = flags.GetString("subclass", "");
-
-  for (TypeId type = 0; type < input.registry->type_count(); ++type) {
-    const std::string& name = input.registry->layout(type).name();
-    if (!type_filter.empty() && name != type_filter) {
-      continue;
-    }
-    std::vector<SubclassId> subclasses = {kNoSubclass};
-    for (SubclassId sub : input.registry->SubclassesOf(type)) {
-      subclasses.push_back(sub);
-    }
-    for (SubclassId sub : subclasses) {
-      if (!subclass_filter.empty() &&
-          input.registry->SubclassName(type, sub) != subclass_filter) {
-        continue;
-      }
-      std::string text = spec ? generator.GenerateRuleSpec(type, sub, rules)
-                              : generator.Generate(type, sub, rules);
-      // Skip populations with no mined rules to keep the output readable.
-      bool has_rules = false;
-      for (const DerivationResult& rule : rules) {
-        if (rule.key.type == type && rule.key.subclass == sub) {
-          has_rules = true;
-          break;
-        }
-      }
-      if (has_rules) {
-        std::printf("%s\n", text.c_str());
-      }
-    }
-  }
-  return 0;
-}
-
-int CmdCheck(const FlagSet& flags) {
-  AnalysisInput input;
-  if (!LoadAnalysisInput(flags, &input)) {
-    return 1;
-  }
-  std::string rules_text = VfsKernel::DocumentedRulesText();
-  std::string rules_path = flags.GetString("rules", "");
-  if (!rules_path.empty()) {
-    std::ifstream in(rules_path);
-    if (!in) {
-      std::fprintf(stderr, "lockdoc: cannot open %s\n", rules_path.c_str());
-      return 1;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    rules_text = buffer.str();
-  }
-  auto rules = RuleSet::ParseText(rules_text);
-  if (!rules.ok()) {
-    std::fprintf(stderr, "lockdoc: %s\n", rules.status().message().c_str());
-    return 1;
-  }
-
-  ThreadPool pool = MakeAnalysisPool(flags);
-  RuleChecker checker(input.registry.get(), &input.snapshot.observations);
-  auto t0 = std::chrono::steady_clock::now();
-  std::vector<RuleCheckResult> checked = checker.CheckAll(rules.value(), &pool);
-  input.timings.Add("rule checking", SecondsBetween(t0, std::chrono::steady_clock::now()),
-                    rules.value().size());
-  MaybePrintTimings(flags, input.timings);
-  for (const RuleCheckResult& r : checked) {
-    std::printf("%s  %-70s sr=%7s (%llu/%llu)\n",
-                std::string(RuleVerdictSymbol(r.verdict)).c_str(), r.rule.ToString().c_str(),
-                r.total == 0 ? "n/a" : FormatPercent(r.sr).c_str(),
-                static_cast<unsigned long long>(r.sa), static_cast<unsigned long long>(r.total));
-  }
-  TextTable table({"Data Type", "#R", "#No", "#Ob", "! (%)", "~ (%)", "# (%)"});
-  for (const RuleCheckSummary& s : RuleChecker::Summarize(checked)) {
-    table.AddRow({s.type_name, std::to_string(s.documented), std::to_string(s.unobserved),
-                  std::to_string(s.observed), StrFormat("%.2f", s.correct_pct()),
-                  StrFormat("%.2f", s.ambivalent_pct()), StrFormat("%.2f", s.incorrect_pct())});
-  }
-  std::printf("\n%s", table.ToString().c_str());
-  return 0;
-}
-
-int CmdViolations(const FlagSet& flags) {
-  AnalysisInput input;
-  if (!LoadAnalysisInput(flags, &input)) {
-    return 1;
-  }
-  std::vector<DerivationResult> rules =
-      AnalyzeSnapshot(input.snapshot, MakeOptions(flags), &input.timings);
-  ThreadPool pool = MakeAnalysisPool(flags);
-  ViolationFinder finder(&input.snapshot.db, input.registry.get(),
-                         &input.snapshot.observations);
-  auto t0 = std::chrono::steady_clock::now();
-  std::vector<Violation> violations = finder.FindAll(rules, &pool);
-  input.timings.Add("violation finding", SecondsBetween(t0, std::chrono::steady_clock::now()),
-                    rules.size());
-  MaybePrintTimings(flags, input.timings);
-
-  TextTable table({"Data Type", "Events", "Members", "Contexts"});
-  for (const ViolationSummaryRow& row : finder.Summarize(violations)) {
-    table.AddRow({row.type_name, std::to_string(row.events), std::to_string(row.members),
-                  std::to_string(row.contexts)});
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  for (const ViolationExample& ex :
-       finder.Examples(violations, flags.GetUint64("limit", 10))) {
-    std::printf("%s [%s]\n  rule: %s\n  held: %s\n  at %s (%llu events)\n  stack: %s\n\n",
-                ex.member.c_str(), ex.access.c_str(), ex.rule.c_str(), ex.held.c_str(),
-                ex.location.c_str(), static_cast<unsigned long long>(ex.events),
-                ex.stack.c_str());
-  }
-  return 0;
-}
-
-int CmdLockOrder(const FlagSet& flags) {
-  AnalysisInput input;
-  if (!LoadAnalysisInput(flags, &input)) {
-    return 1;
-  }
-  MaybePrintTimings(flags, input.timings);
-  LockOrderGraph graph = LockOrderGraph::Build(input.snapshot.db, *input.registry);
-  std::printf("%s\n", graph.Report(input.snapshot.db).c_str());
-  std::printf("potential deadlock cycles:\n");
-  auto cycles = graph.FindCycles();
-  if (cycles.empty()) {
-    std::printf("  none\n");
-  }
-  for (const LockOrderCycle& cycle : cycles) {
-    std::printf("  %s\n", cycle.ToString().c_str());
-  }
-  return 0;
-}
-
-int CmdReport(const FlagSet& flags) {
-  AnalysisInput input;
-  if (!LoadAnalysisInput(flags, &input)) {
-    return 1;
-  }
-  PipelineResult result;
-  result.snapshot = std::move(input.snapshot);
-  result.timings = std::move(input.timings);
-  result.rules = AnalyzeSnapshot(result.snapshot, MakeOptions(flags), &result.timings);
-  MaybePrintTimings(flags, result.timings);
-  ReportOptions options;
-  options.documented_rules_text = VfsKernel::DocumentedRulesText();
-  options.full_documentation = flags.GetBool("full", false);
-  std::printf("%s", RenderReport(*input.registry, result, options).c_str());
-  return 0;
-}
-
-int CmdModes(const FlagSet& flags) {
-  AnalysisInput input;
-  if (!LoadAnalysisInput(flags, &input)) {
-    return 1;
-  }
-  std::vector<DerivationResult> rules =
-      AnalyzeSnapshot(input.snapshot, MakeOptions(flags), &input.timings);
-  MaybePrintTimings(flags, input.timings);
-  ModeAnalyzer analyzer(&input.snapshot.db, input.registry.get(),
-                        &input.snapshot.observations);
-  auto entries = flags.GetBool("all", false) ? analyzer.Analyze(rules)
-                                             : analyzer.FindSharedModeWrites(rules);
-  if (entries.empty()) {
-    std::printf("no %s found\n",
-                flags.GetBool("all", false) ? "lock rules" : "shared-mode writes");
-    return 0;
-  }
-  std::printf("%s", analyzer.Render(entries).c_str());
-  return 0;
-}
-
+// diff takes two inputs, so it cannot go through RunPassCommand: the OLD
+// side becomes a baseline AnalysisContext handed to the diff pass via
+// PassOptions.
 int CmdDiff(const FlagSet& flags) {
   if (flags.positional().size() < 3) {
     std::fprintf(stderr, "lockdoc diff: need two input files\n");
     return 2;
   }
+  const AnalysisPass* pass = PassRegistry::Default().Find("diff");
+  LOCKDOC_CHECK(pass != nullptr);
   VfsIds ids;
   std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
-  PipelineOptions options = MakeOptions(flags);
-  auto analyze = [&](const std::string& path, std::vector<DerivationResult>* rules) {
-    AnalysisSnapshot snapshot;
-    PipelineTimings timings;
-    bool from_snapshot = false;
-    if (!LoadSnapshotFromPath(path, flags, *registry, &snapshot, &timings, &from_snapshot)) {
-      return false;
+
+  AnalysisSnapshot old_snapshot;
+  PipelineTimings old_timings;
+  bool from_snapshot = false;
+  if (!LoadSnapshotFromPath(flags.positional()[1], flags, *registry, &old_snapshot,
+                            &old_timings, &from_snapshot)) {
+    return 1;
+  }
+  AnalysisOptions baseline_options;
+  baseline_options.pipeline = MakeOptions(flags);
+  AnalysisContext baseline(&old_snapshot, registry.get(), std::move(baseline_options),
+                           &old_timings);
+
+  AnalysisSnapshot new_snapshot;
+  PipelineTimings new_timings;
+  if (!LoadSnapshotFromPath(flags.positional()[2], flags, *registry, &new_snapshot,
+                            &new_timings, &from_snapshot)) {
+    return 1;
+  }
+  AnalysisOptions options;
+  options.pipeline = MakeOptions(flags);
+  if (!FillPassOptions("diff", flags, &options.pass)) {
+    return 1;
+  }
+  options.pass.baseline = &baseline;
+  AnalysisContext context(&new_snapshot, registry.get(), std::move(options), &new_timings);
+
+  PassOutput out;
+  Status status = pass->Run(context, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "lockdoc: %s\n", status.message().c_str());
+    return 1;
+  }
+  // Two timing blocks (OLD then NEW) as before the pass framework; the JSON
+  // file gets the NEW input's timings.
+  if (!EmitTimings(flags, old_timings, /*write_json=*/false) ||
+      !EmitTimings(flags, new_timings)) {
+    return 1;
+  }
+  std::fwrite(out.text.data(), 1, out.text.size(), stdout);
+  return 0;
+}
+
+// The tentpole command: run any subset of the registered analysis passes
+// over ONE shared AnalysisContext. The input is loaded once, rules are
+// derived once ("rule derivation (interned)" appears exactly once in
+// --timings), the shared indexes are built at most once, and each pass's
+// output — byte-identical to its standalone command — goes to stdout in
+// pass order, or to DIR/<pass>.txt with --out-dir.
+int CmdAnalyze(const FlagSet& flags) {
+  const PassRegistry& passes = PassRegistry::Default();
+  bool has_baseline = flags.Has("baseline");
+  if (has_baseline && flags.GetString("baseline", "") == "true") {
+    std::fprintf(stderr, "lockdoc analyze: --baseline requires an input file\n");
+    return 64;
+  }
+
+  // Resolve the pass list before touching any input, so a bogus --passes is
+  // a usage error rather than a half-done run. Default: every single-input
+  // pass, plus diff when a baseline was given.
+  std::vector<const AnalysisPass*> selected;
+  std::string spec = flags.GetString("passes", "");
+  if (spec.empty()) {
+    for (const auto& pass : passes.passes()) {
+      if (pass->name() != "diff" || has_baseline) {
+        selected.push_back(pass.get());
+      }
     }
-    *rules = AnalyzeSnapshot(snapshot, options, &timings);
-    MaybePrintTimings(flags, timings);
-    return true;
-  };
-  std::vector<DerivationResult> old_rules;
-  std::vector<DerivationResult> new_rules;
-  if (!analyze(flags.positional()[1], &old_rules) ||
-      !analyze(flags.positional()[2], &new_rules)) {
+  } else {
+    for (const std::string& token : SplitAndTrim(spec, ',')) {
+      const AnalysisPass* pass = passes.Find(token);
+      if (pass == nullptr) {
+        std::fprintf(stderr, "lockdoc analyze: unknown pass '%s' (available: %s)\n",
+                     token.c_str(), passes.JoinedNames().c_str());
+        return 64;
+      }
+      selected.push_back(pass);
+    }
+    if (selected.empty()) {
+      std::fprintf(stderr, "lockdoc analyze: --passes names no passes (available: %s)\n",
+                   passes.JoinedNames().c_str());
+      return 64;
+    }
+  }
+  for (const AnalysisPass* pass : selected) {
+    if (pass->name() == "diff" && !has_baseline) {
+      std::fprintf(stderr, "lockdoc analyze: the diff pass needs --baseline OLD\n");
+      return 64;
+    }
+  }
+
+  AnalysisInput input;
+  if (!LoadAnalysisInput(flags, &input)) {
+    return 1;
+  }
+  AnalysisOptions options;
+  options.pipeline = MakeOptions(flags);
+  if (!FillPassOptions("analyze", flags, &options.pass)) {
     return 1;
   }
 
-  RuleDiffOptions diff_options;
-  diff_options.include_unchanged = flags.GetBool("all", false);
-  auto drifts = DiffRules(old_rules, new_rules, diff_options);
-  if (drifts.empty()) {
-    std::printf("no rule drift\n");
-    return 0;
+  // The OLD side for the diff pass, sharing the main input's registry.
+  AnalysisSnapshot baseline_snapshot;
+  PipelineTimings baseline_timings;
+  std::unique_ptr<AnalysisContext> baseline;
+  if (has_baseline) {
+    bool from_snapshot = false;
+    if (!LoadSnapshotFromPath(flags.GetString("baseline", ""), flags, *input.registry,
+                              &baseline_snapshot, &baseline_timings, &from_snapshot)) {
+      return 1;
+    }
+    AnalysisOptions baseline_options;
+    baseline_options.pipeline = MakeOptions(flags);
+    baseline = std::make_unique<AnalysisContext>(&baseline_snapshot, input.registry.get(),
+                                                 std::move(baseline_options),
+                                                 &baseline_timings);
+    options.pass.baseline = baseline.get();
   }
-  std::printf("%s", RenderRuleDiff(drifts, *registry).c_str());
+
+  AnalysisContext context(&input.snapshot, input.registry.get(), std::move(options),
+                          &input.timings);
+
+  std::string out_dir = flags.GetString("out-dir", "");
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+  }
+  size_t files_written = 0;
+  for (const AnalysisPass* pass : selected) {
+    PassOutput out;
+    Status status = pass->Run(context, out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "lockdoc: %s\n", status.message().c_str());
+      return 1;
+    }
+    if (out_dir.empty()) {
+      std::fwrite(out.text.data(), 1, out.text.size(), stdout);
+    } else {
+      std::string path = out_dir + "/" + std::string(pass->name()) + ".txt";
+      std::ofstream file(path, std::ios::binary | std::ios::trunc);
+      if (!file ||
+          !file.write(out.text.data(), static_cast<std::streamsize>(out.text.size()))) {
+        std::fprintf(stderr, "lockdoc: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      ++files_written;
+    }
+  }
+  if (baseline != nullptr && !EmitTimings(flags, baseline_timings, /*write_json=*/false)) {
+    return 1;
+  }
+  if (!EmitTimings(flags, input.timings)) {
+    return 1;
+  }
+  if (!out_dir.empty()) {
+    std::printf("wrote %zu pass outputs to %s\n", files_written, out_dir.c_str());
+  }
   return 0;
 }
 
@@ -693,6 +771,9 @@ int main(int argc, char** argv) {
     return Usage();
   }
   const std::string& command = flags.positional()[0];
+  if (int usage_error = ValidateFlags(command, flags); usage_error != 0) {
+    return usage_error;
+  }
   if (command == "simulate") {
     return CmdSimulate(flags);
   }
@@ -702,26 +783,17 @@ int main(int argc, char** argv) {
   if (command == "stats") {
     return CmdStats(flags);
   }
-  if (command == "derive") {
-    return CmdDerive(flags);
-  }
-  if (command == "check") {
-    return CmdCheck(flags);
-  }
-  if (command == "violations") {
-    return CmdViolations(flags);
-  }
-  if (command == "lock-order") {
-    return CmdLockOrder(flags);
-  }
-  if (command == "modes") {
-    return CmdModes(flags);
-  }
-  if (command == "report") {
-    return CmdReport(flags);
+  // The single-input phase-3 analyses are all registered passes sharing one
+  // command shell.
+  if (command == "derive" || command == "check" || command == "violations" ||
+      command == "lock-order" || command == "modes" || command == "report") {
+    return RunPassCommand(command, flags);
   }
   if (command == "diff") {
     return CmdDiff(flags);
+  }
+  if (command == "analyze") {
+    return CmdAnalyze(flags);
   }
   if (command == "export-csv") {
     return CmdExportCsv(flags);
