@@ -1,0 +1,127 @@
+// Micro-benchmark for the serve resident store: one full request round-trip
+// through the spool (request file in, ProcessOnce, response bytes out)
+// against a warm resident AnalysisContext vs a cold one that must reload
+// the .lockdb from disk and rebuild the context. The gap is what
+// --max-resident buys a long-lived service — and what every LRU eviction
+// costs.
+#include <benchmark/benchmark.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/serve/service.h"
+#include "src/serve/spool.h"
+#include "src/trace/trace_io.h"
+#include "src/util/file_io.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+#include "src/vfs/vfs_kernel.h"
+#include "src/workload/workloads.h"
+
+namespace lockdoc {
+namespace {
+
+uint64_t BenchOps() {
+  uint64_t ops = 100000;
+  if (const char* env = std::getenv("LOCKDOC_BENCH_OPS"); env != nullptr) {
+    uint64_t parsed = 0;
+    if (ParseUint64(env, &parsed) && parsed > 0) {
+      ops = parsed;
+    }
+  }
+  return ops;
+}
+
+ServeServiceOptions ServiceOptions() {
+  ServeServiceOptions options;
+  options.pipeline.filter = VfsKernel::MakeFilterConfig();
+  options.documented_rules_text = VfsKernel::DocumentedRulesText();
+  return options;
+}
+
+// One spool with two ingested snapshots ("a" and "b"): warm runs keep both
+// resident, cold runs cap the store at one so every alternating request
+// pays a full disk reload + context rebuild.
+struct Fixture {
+  SimulationResult sim;
+  std::string root;
+  SpoolLayout layout;
+
+  Fixture() {
+    MixOptions mix;
+    mix.ops = BenchOps();
+    mix.seed = 9;
+    sim = SimulateKernelRun(mix, FaultPlan{});
+
+    char pattern[] = "/tmp/lockdoc_micro_serve_XXXXXX";
+    LOCKDOC_CHECK(::mkdtemp(pattern) != nullptr);
+    root = pattern;
+    layout = MakeSpoolLayout(root, "");
+    LOCKDOC_CHECK(EnsureSpoolLayout(layout).ok());
+    LOCKDOC_CHECK(WriteTraceToFile(sim.trace, layout.incoming_dir + "/a.trace").ok());
+    LOCKDOC_CHECK(WriteTraceToFile(sim.trace, layout.incoming_dir + "/b.trace").ok());
+    ServeService service(layout, sim.registry.get(), ServiceOptions());
+    LOCKDOC_CHECK(service.Recover().ok());
+    LOCKDOC_CHECK(service.ProcessOnce().ok());
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+// Drops a request, drains it, asserts it was answered ok, and clears the
+// response so the next iteration starts from the same spool state.
+void RoundTrip(const Fixture& fixture, ServeService& service, const std::string& input,
+               uint64_t iteration) {
+  std::string id = "r" + std::to_string(iteration);
+  LOCKDOC_CHECK(WriteFileAtomic(fixture.layout.requests_dir + "/" + id + ".req",
+                                "pass=check\ninput=" + input + "\n")
+                    .ok());
+  auto handled = service.ProcessOnce();
+  LOCKDOC_CHECK(handled.ok() && handled.value() == 1);
+  auto meta = ReadFileToString(fixture.layout.responses_dir + "/" + id + ".meta");
+  LOCKDOC_CHECK(meta.ok() && meta.value().find("status=ok\n") != std::string::npos);
+  LOCKDOC_CHECK(RemoveFileIfExists(fixture.layout.responses_dir + "/" + id + ".meta").ok());
+  LOCKDOC_CHECK(RemoveFileIfExists(fixture.layout.responses_dir + "/" + id + ".out").ok());
+}
+
+// Warm: the snapshot stays resident, so a request is spool I/O plus a pass
+// over memoized indexes.
+void BM_ServeRequestWarmResident(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  ServeService service(fixture.layout, fixture.sim.registry.get(), ServiceOptions());
+  LOCKDOC_CHECK(service.Recover().ok());
+  uint64_t iteration = 0;
+  RoundTrip(fixture, service, "a", iteration++);  // Prime the resident store.
+  for (auto _ : state) {
+    RoundTrip(fixture, service, "a", iteration++);
+  }
+}
+BENCHMARK(BM_ServeRequestWarmResident)->Unit(benchmark::kMillisecond);
+
+// Cold: --max-resident 1 with alternating inputs evicts on every request,
+// so each answer pays DeserializeSnapshot + a fresh AnalysisContext.
+void BM_ServeRequestColdReload(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  ServeServiceOptions options = ServiceOptions();
+  options.max_resident = 1;
+  ServeService service(fixture.layout, fixture.sim.registry.get(), options);
+  LOCKDOC_CHECK(service.Recover().ok());
+  uint64_t iteration = 0;
+  for (auto _ : state) {
+    RoundTrip(fixture, service, iteration % 2 == 0 ? "a" : "b", iteration);
+    ++iteration;
+  }
+}
+BENCHMARK(BM_ServeRequestColdReload)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lockdoc
+
+BENCHMARK_MAIN();

@@ -254,6 +254,65 @@ class DiffPass : public AnalysisPass {
 
 }  // namespace
 
+Status ApplyPassOption(PassOptions& opts, std::string_view key, std::string_view value) {
+  auto bad = [&key](const char* what) {
+    return Status::Error(StrFormat("pass option %.*s: %s", static_cast<int>(key.size()),
+                                   key.data(), what));
+  };
+  auto parse_bool = [&](bool* out) {
+    if (value == "1" || value == "true") {
+      *out = true;
+      return Status::Ok();
+    }
+    if (value == "0" || value == "false") {
+      *out = false;
+      return Status::Ok();
+    }
+    return bad("expected a boolean (0/1/true/false)");
+  };
+  if (key == "limit") {
+    size_t limit = 0;
+    for (char c : value) {
+      if (c < '0' || c > '9') {
+        return bad("expected an unsigned integer");
+      }
+      limit = limit * 10 + static_cast<size_t>(c - '0');
+    }
+    if (value.empty()) {
+      return bad("expected an unsigned integer");
+    }
+    opts.violation_limit = limit;
+    return Status::Ok();
+  }
+  if (key == "all") {
+    bool all = false;
+    Status status = parse_bool(&all);
+    if (status.ok()) {
+      opts.modes_all = all;
+      opts.diff_all = all;
+    }
+    return status;
+  }
+  if (key == "full") {
+    return parse_bool(&opts.report_full);
+  }
+  if (key == "spec") {
+    return parse_bool(&opts.doc_spec);
+  }
+  if (key == "support") {
+    return parse_bool(&opts.doc_support);
+  }
+  if (key == "type") {
+    opts.doc_type = std::string(value);
+    return Status::Ok();
+  }
+  if (key == "subclass") {
+    opts.doc_subclass = std::string(value);
+    return Status::Ok();
+  }
+  return bad("unknown pass option");
+}
+
 const PassRegistry& PassRegistry::Default() {
   static const PassRegistry* const registry = [] {
     auto* r = new PassRegistry();

@@ -48,6 +48,15 @@ class AnalysisPass {
   virtual Status Run(AnalysisContext& context, PassOutput& out) const = 0;
 };
 
+// Applies one textual key=value knob onto PassOptions — the shared plumbing
+// between CLI flags and serve request files, so a spool request renders the
+// exact bytes the equivalent command line would. Accepted keys: "limit"
+// (unsigned), "all", "full", "spec", "support" (booleans "0"/"1"/"true"/
+// "false"), "type", "subclass" (strings). "all" sets both modes_all and
+// diff_all, exactly like the --all flag. Unknown keys and unparseable
+// values are errors naming the key.
+Status ApplyPassOption(PassOptions& opts, std::string_view key, std::string_view value);
+
 // The ordered collection of registered passes. Registration order is the
 // canonical execution order for multi-pass runs.
 class PassRegistry {

@@ -1,9 +1,8 @@
 #include "src/core/snapshot.h"
 
-#include <fstream>
 #include <set>
-#include <sstream>
 
+#include "src/util/file_io.h"
 #include "src/util/string_util.h"
 #include "src/util/varint.h"
 
@@ -354,31 +353,19 @@ Result<AnalysisSnapshot> DeserializeSnapshot(std::string_view bytes,
 
 Status SaveSnapshot(const AnalysisSnapshot& snapshot, const TypeRegistry& registry,
                     const std::string& path) {
+  // Atomic (temp + fsync + rename): a crash mid-save leaves the previous
+  // snapshot intact instead of a half-written .lockdb the checksums would
+  // then reject.
   std::string bytes = SerializeSnapshot(snapshot, registry);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Error("cannot open for writing: " + path);
-  }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) {
-    return Status::Error("write failed: " + path);
-  }
-  return Status::Ok();
+  return WriteFileAtomic(path, bytes);
 }
 
 Result<AnalysisSnapshot> LoadSnapshot(const std::string& path, const TypeRegistry& registry) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::Error("cannot open: " + path);
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) {
+    return bytes.status();
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (!in.good() && !in.eof()) {
-    return Status::Error("read failed: " + path);
-  }
-  std::string bytes = std::move(buffer).str();
-  return DeserializeSnapshot(bytes, registry);
+  return DeserializeSnapshot(bytes.value(), registry);
 }
 
 }  // namespace lockdoc

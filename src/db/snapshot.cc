@@ -2,6 +2,8 @@
 
 #include <cstring>
 #include <fstream>
+#include <set>
+#include <utility>
 
 #include "src/util/crc32.h"
 #include "src/util/logging.h"
@@ -248,6 +250,76 @@ SnapshotInspection InspectSnapshot(std::string_view bytes) {
     report.sections.push_back(section);
   }
   return report;
+}
+
+SnapshotRepairResult RepairSnapshotBytes(std::string_view bytes) {
+  SnapshotRepairResult result;
+  if (!LooksLikeSnapshot(bytes)) {
+    result.dropped.push_back("bad magic (not a .lockdb file)");
+    return result;
+  }
+  // Walk with the same lenient resynchronization as InspectSnapshot,
+  // carrying over every verified payload. End sections are never carried
+  // (the writer appends a fresh one); duplicated frames — the corruptor's
+  // kFrameDuplicate — are dropped after their first occurrence.
+  SnapshotWriter writer;
+  std::set<std::pair<uint8_t, uint32_t>> seen;
+  const char* marker = reinterpret_cast<const char*>(kSnapshotFrameMarker);
+  size_t pos = sizeof(kSnapshotMagic);
+  while (pos < bytes.size()) {
+    size_t marker_pos =
+        bytes.find(std::string_view(marker, sizeof(kSnapshotFrameMarker)), pos);
+    if (marker_pos == std::string_view::npos) {
+      break;
+    }
+    auto drop = [&](uint32_t seq, uint8_t type, const char* why) {
+      result.dropped.push_back(StrFormat("[%u] offset 0x%llx %s: %s", seq,
+                                         static_cast<unsigned long long>(marker_pos),
+                                         SnapshotSectionName(type), why));
+    };
+    if (bytes.size() - marker_pos < kSnapshotFrameHeaderSize + kSnapshotFrameTrailerSize) {
+      drop(0, 0, "truncated header");
+      break;
+    }
+    uint8_t type = static_cast<uint8_t>(bytes[marker_pos + 4]);
+    uint32_t seq = LoadUint32LE(bytes.data() + marker_pos + 5);
+    uint32_t length = LoadUint32LE(bytes.data() + marker_pos + 9);
+    if (length > kMaxSectionPayload ||
+        bytes.size() - marker_pos - kSnapshotFrameHeaderSize - kSnapshotFrameTrailerSize <
+            length) {
+      drop(seq, type, "implausible length (truncated?)");
+      pos = marker_pos + sizeof(kSnapshotFrameMarker);
+      continue;
+    }
+    uint32_t crc = Crc32(bytes.data() + marker_pos + sizeof(kSnapshotFrameMarker),
+                         kSnapshotFrameHeaderSize - sizeof(kSnapshotFrameMarker) + length);
+    uint32_t stored =
+        LoadUint32LE(bytes.data() + marker_pos + kSnapshotFrameHeaderSize + length);
+    if (crc != stored) {
+      drop(seq, type, "crc mismatch");
+      pos = marker_pos + sizeof(kSnapshotFrameMarker);
+      continue;
+    }
+    pos = marker_pos + kSnapshotFrameHeaderSize + length + kSnapshotFrameTrailerSize;
+    if (type == kSnapshotSectionEnd) {
+      continue;  // The writer appends its own terminator.
+    }
+    if (type == 0 || type > kSnapshotSectionEnd) {
+      drop(seq, type, "unknown section type");
+      continue;
+    }
+    if (!seen.insert({type, seq}).second) {
+      drop(seq, type, "duplicate frame");
+      continue;
+    }
+    writer.AddSection(static_cast<SnapshotSectionType>(type),
+                      bytes.substr(marker_pos + kSnapshotFrameHeaderSize, length));
+    ++result.sections_kept;
+  }
+  if (result.sections_kept > 0) {
+    result.bytes = writer.Finish();
+  }
+  return result;
 }
 
 bool LooksLikeSnapshot(std::string_view bytes) {

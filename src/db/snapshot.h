@@ -118,6 +118,26 @@ struct SnapshotInspection {
 
 SnapshotInspection InspectSnapshot(std::string_view bytes);
 
+// Container-level repair (`lockdoc doctor FILE.lockdb --repair OUT`): walks
+// the damaged container like InspectSnapshot, keeps every section whose CRC
+// verifies, and re-emits them in file order with fresh contiguous sequence
+// numbers, CRCs, and end section. The result is always a *structurally*
+// clean container; whether it still loads depends on which sections
+// survived (a dropped meta or strings section is fatal to payload decoding,
+// a dropped table section is not). Mirrors the trace doctor's --repair,
+// which re-writes the salvaged events as a fresh v2 file.
+struct SnapshotRepairResult {
+  std::string bytes;         // Empty when not even the magic survived.
+  size_t sections_kept = 0;
+  // One human-readable line per section that could not be carried over
+  // ("[3] offset 0x... table: crc mismatch").
+  std::vector<std::string> dropped;
+
+  bool salvageable() const { return !bytes.empty() && sections_kept > 0; }
+};
+
+SnapshotRepairResult RepairSnapshotBytes(std::string_view bytes);
+
 // Magic sniffers so CLI commands accept a trace or a snapshot and decide by
 // content, not file extension.
 bool LooksLikeSnapshot(std::string_view bytes);

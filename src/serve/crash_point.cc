@@ -1,0 +1,28 @@
+#include "src/serve/crash_point.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include <unistd.h>
+
+namespace lockdoc {
+
+void ServeCrashPoint(const char* tag) {
+  static const long armed_at = [] {
+    const char* env = std::getenv("LOCKDOC_SERVE_CRASH_AT");
+    return env != nullptr ? std::atol(env) : 0L;
+  }();
+  if (armed_at <= 0) {
+    return;
+  }
+  static std::atomic<long> hits{0};
+  long hit = hits.fetch_add(1) + 1;
+  if (hit == armed_at) {
+    std::fprintf(stderr, "lockdoc serve: armed crash point #%ld (%s)\n", hit, tag);
+    std::fflush(nullptr);
+    _exit(kServeCrashExitCode);
+  }
+}
+
+}  // namespace lockdoc

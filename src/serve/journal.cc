@@ -1,0 +1,57 @@
+#include "src/serve/journal.h"
+
+#include <cstdlib>
+
+#include "src/util/file_io.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+
+namespace {
+constexpr char kJournalSuffix[] = ".job";
+}  // namespace
+
+std::string ImportJournal::PathFor(const std::string& name) const {
+  return layout_->journal_dir + "/" + name + kJournalSuffix;
+}
+
+Status ImportJournal::Record(const JournalEntry& entry) {
+  std::string text;
+  text += KeyValueLine("source", entry.source);
+  text += KeyValueLine("attempts", std::to_string(entry.attempts));
+  return WriteFileAtomic(PathFor(entry.name), text);
+}
+
+Status ImportJournal::Clear(const std::string& name) {
+  return RemoveFileIfExists(PathFor(name));
+}
+
+Result<std::vector<JournalEntry>> ImportJournal::Load() const {
+  auto names = ListSpoolFiles(layout_->journal_dir, kJournalSuffix);
+  if (!names.ok()) {
+    return names.status();
+  }
+  std::vector<JournalEntry> entries;
+  for (const std::string& file : names.value()) {
+    JournalEntry entry;
+    entry.name = file.substr(0, file.size() - (sizeof(kJournalSuffix) - 1));
+    entry.attempts = kMaxImportAttempts;  // Saturated unless parseable below.
+    auto text = ReadFileToString(layout_->journal_dir + "/" + file);
+    if (text.ok()) {
+      auto pairs = ParseKeyValueText(text.value());
+      if (pairs.ok()) {
+        for (const auto& [key, value] : pairs.value()) {
+          if (key == "source") {
+            entry.source = value;
+          } else if (key == "attempts") {
+            entry.attempts = static_cast<uint32_t>(std::atol(value.c_str()));
+          }
+        }
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,64 @@
+// The import journal: what makes a kill mid-import recoverable.
+//
+// Before the service touches an incoming file it records an intent entry
+// (`journal/<name>.job`, published atomically). The entry lives until the
+// import has fully completed — snapshot renamed into place, acknowledgement
+// published, source removed — or until the input was quarantined. On
+// restart, every surviving entry is replayed:
+//
+//   - source still present, snapshot + ack present  -> finish the tail
+//     steps (remove source, clear entry)
+//   - source still present otherwise                -> retry the import
+//     with the attempt counter bumped; past kMaxImportAttempts the source
+//     is quarantined instead (a deterministic crasher must not crash-loop
+//     the service forever)
+//   - source gone (ack or quarantine present)       -> clear the entry
+//
+// Import is deterministic, so a retry that succeeds produces byte-identical
+// snapshots and responses to a run that never crashed — the chaos harness
+// pins exactly that.
+#ifndef SRC_SERVE_JOURNAL_H_
+#define SRC_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serve/spool.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+// Imports that crashed this many times get quarantined, not retried.
+inline constexpr uint32_t kMaxImportAttempts = 3;
+
+struct JournalEntry {
+  std::string name;    // Snapshot name (journal file stem).
+  std::string source;  // Basename of the incoming file being imported.
+  uint32_t attempts = 0;
+};
+
+class ImportJournal {
+ public:
+  explicit ImportJournal(const SpoolLayout* layout) : layout_(layout) {}
+
+  // Publishes (or overwrites) the entry for `name` atomically.
+  Status Record(const JournalEntry& entry);
+
+  // Removes the entry; idempotent (recovery may re-clear).
+  Status Clear(const std::string& name);
+
+  // Every pending entry, sorted by name. Unreadable or malformed entries
+  // are returned with attempts saturated so recovery quarantines their
+  // source instead of crash-looping on a corrupt journal file.
+  Result<std::vector<JournalEntry>> Load() const;
+
+ private:
+  std::string PathFor(const std::string& name) const;
+
+  const SpoolLayout* layout_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_SERVE_JOURNAL_H_

@@ -1,0 +1,83 @@
+#include "src/serve/request.h"
+
+#include <cstdlib>
+
+#include "src/core/analysis_pass.h"
+#include "src/util/file_io.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+
+Result<ServeRequest> ParseServeRequest(const std::string& id, std::string_view text) {
+  auto pairs = ParseKeyValueText(text);
+  if (!pairs.ok()) {
+    return pairs.status();
+  }
+  ServeRequest request;
+  request.id = id;
+  for (const auto& [key, value] : pairs.value()) {
+    if (key == "pass") {
+      request.pass = value;
+    } else if (key == "input") {
+      request.input = value;
+    } else if (key == "baseline") {
+      request.baseline = value;
+    } else if (key == "tac") {
+      char* end = nullptr;
+      request.tac = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || request.tac < 0.0 || request.tac > 1.0) {
+        return Status::Error("tac: expected a number in [0, 1]");
+      }
+    } else {
+      // Everything else is a per-pass knob with CLI-flag semantics.
+      Status status = ApplyPassOption(request.pass_options, key, value);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+  }
+  if (request.pass.empty()) {
+    return Status::Error("missing required key: pass");
+  }
+  if (request.input.empty()) {
+    return Status::Error("missing required key: input");
+  }
+  // Snapshot names are file stems; refuse anything that could escape the
+  // snapshots directory.
+  for (const std::string* name : {&request.input, &request.baseline}) {
+    if (name->find('/') != std::string::npos || *name == "." || *name == "..") {
+      return Status::Error("input names must be bare snapshot names");
+    }
+  }
+  return request;
+}
+
+Status WriteResponseMeta(const SpoolLayout& layout, const std::string& stem,
+                         const ServeResponseMeta& meta) {
+  std::string text;
+  text += KeyValueLine("status", meta.ok ? "ok" : "error");
+  if (!meta.ok) {
+    text += KeyValueLine("kind", meta.kind.empty() ? kServeErrorAnalysis : meta.kind);
+    text += KeyValueLine("error", OneLine(meta.error));
+  }
+  for (const auto& [key, value] : meta.extra) {
+    text += KeyValueLine(key, OneLine(value));
+  }
+  return WriteFileAtomic(layout.responses_dir + "/" + stem + ".meta", text);
+}
+
+std::string OneLine(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') {
+      c = ' ';
+    }
+  }
+  // Trailing separators read like damage; trim them.
+  while (!out.empty() && out.back() == ' ') {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace lockdoc

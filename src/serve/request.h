@@ -1,0 +1,73 @@
+// Serve request/response records.
+//
+// A request is a key=value file `requests/<id>.req`:
+//
+//   pass=check            # any registered analysis pass
+//   input=<name>          # a snapshot ingested from the spool
+//   baseline=<name>       # diff only: the OLD side
+//   tac=0.9               # derivation acceptance threshold
+//   limit=3 all=1 full=1 spec=1 support=1 type=... subclass=...
+//
+// The service answers with `responses/<id>.out` — the exact stdout bytes of
+// the equivalent standalone CLI command — and `responses/<id>.meta`, the
+// commit record. A request is "answered" once its meta exists, whether the
+// outcome was ok or a typed error; requests are never quarantined (unlike
+// incoming files, a request always has an id to respond to).
+#ifndef SRC_SERVE_REQUEST_H_
+#define SRC_SERVE_REQUEST_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/core/analysis_context.h"
+#include "src/serve/spool.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+// The typed failure taxonomy carried in a meta's kind= line.
+inline constexpr char kServeErrorBadRequest[] = "bad-request";
+inline constexpr char kServeErrorUnknownInput[] = "unknown-input";
+inline constexpr char kServeErrorUnknownPass[] = "unknown-pass";
+inline constexpr char kServeErrorTimeout[] = "timeout";
+inline constexpr char kServeErrorOversized[] = "oversized";
+inline constexpr char kServeErrorAnalysis[] = "analysis";
+inline constexpr char kServeErrorIo[] = "io";
+
+struct ServeRequest {
+  std::string id;        // File stem (without ".req").
+  std::string pass;
+  std::string input;
+  std::string baseline;  // Empty unless pass=diff.
+  double tac = 0.9;      // Matches the CLI's --tac default.
+  PassOptions pass_options;  // limit/all/full/... ; rules text filled by the service.
+};
+
+// Parses a request file's text. Unknown keys and malformed values are
+// errors (answered as kind=bad-request, mirroring the CLI's strict flag
+// validation).
+Result<ServeRequest> ParseServeRequest(const std::string& id, std::string_view text);
+
+// The commit record for one answered request (or one ingested file, with
+// stem "<name>.ingest").
+struct ServeResponseMeta {
+  bool ok = false;
+  std::string kind;   // One of the kServeError* constants when !ok.
+  std::string error;  // Human-readable detail when !ok.
+  // Additional key=value lines (ingest stats, salvage damage report).
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+// Publishes `responses/<stem>.meta` atomically. This is the commit point of
+// the answered state: recovery treats a request with a meta as done.
+Status WriteResponseMeta(const SpoolLayout& layout, const std::string& stem,
+                         const ServeResponseMeta& meta);
+
+// Newlines collapsed so any message fits a single key=value line.
+std::string OneLine(std::string_view text);
+
+}  // namespace lockdoc
+
+#endif  // SRC_SERVE_REQUEST_H_

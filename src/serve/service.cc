@@ -1,0 +1,587 @@
+#include "src/serve/service.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "src/core/snapshot.h"
+#include "src/db/snapshot.h"
+#include "src/serve/crash_point.h"
+#include "src/trace/trace_io.h"
+#include "src/util/file_io.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+
+namespace {
+
+constexpr char kRequestSuffix[] = ".req";
+constexpr char kSnapshotSuffix[] = ".lockdb";
+
+bool PathExists(const std::string& path) { return ::access(path.c_str(), F_OK) == 0; }
+
+// "web.trace" and "web.lockdb" both ingest as snapshot "web"; dotless names
+// pass through unchanged.
+std::string SnapshotNameFor(const std::string& source) {
+  size_t dot = source.rfind('.');
+  if (dot == std::string::npos || dot == 0) {
+    return source;
+  }
+  return source.substr(0, dot);
+}
+
+void SleepMs(uint64_t ms) { std::this_thread::sleep_for(std::chrono::milliseconds(ms)); }
+
+// Unlinks crash debris: in-flight WriteFileAtomic temp files that a kill
+// stranded. Their rename never happened, so they are garbage by contract.
+void SweepTempFiles(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return;
+  }
+  std::vector<std::string> victims;
+  while (struct dirent* entry = ::readdir(handle)) {
+    if (StartsWith(entry->d_name, kAtomicTempPrefix)) {
+      victims.push_back(entry->d_name);
+    }
+  }
+  ::closedir(handle);
+  for (const std::string& name : victims) {
+    RemoveFileIfExists(dir + "/" + name);
+  }
+}
+
+}  // namespace
+
+std::string ServeStats::ToString() const {
+  return StrFormat(
+      "ingested=%llu salvaged=%llu quarantined=%llu answered_ok=%llu "
+      "answered_error=%llu timeouts=%llu evictions=%llu recovered=%llu",
+      static_cast<unsigned long long>(ingested),
+      static_cast<unsigned long long>(ingested_salvaged),
+      static_cast<unsigned long long>(quarantined),
+      static_cast<unsigned long long>(answered_ok),
+      static_cast<unsigned long long>(answered_error),
+      static_cast<unsigned long long>(timeouts),
+      static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(recovered));
+}
+
+// One analysis context over one resident snapshot at one tac value. Holds
+// shared ownership of the snapshot so an abandoned deadline worker (or a
+// concurrent diff baseline) stays valid after the resident entry is evicted.
+struct ServeService::ContextBox {
+  std::shared_ptr<AnalysisSnapshot> snapshot;
+  PipelineTimings timings;
+  std::unique_ptr<AnalysisContext> context;
+};
+
+struct ServeService::Resident {
+  std::string name;
+  std::shared_ptr<AnalysisSnapshot> snapshot;
+  uint64_t bytes = 0;  // Serialized .lockdb size: the eviction currency.
+  // Contexts keyed by formatted tac; memoized rules depend on it.
+  std::map<std::string, std::shared_ptr<ContextBox>> contexts;
+};
+
+// The rendezvous between the watchdog and one pass execution.
+struct ServeService::WorkerHandle {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  std::string text;
+};
+
+ServeService::ServeService(const SpoolLayout& layout, const TypeRegistry* registry,
+                           ServeServiceOptions options)
+    : layout_(layout), registry_(registry), options_(std::move(options)), journal_(&layout_) {}
+
+ServeService::~ServeService() = default;
+
+Status ServeService::Recover() {
+  for (const std::string* dir :
+       {&layout_.incoming_dir, &layout_.requests_dir, &layout_.responses_dir,
+        &layout_.snapshots_dir, &layout_.journal_dir, &layout_.quarantine_dir}) {
+    SweepTempFiles(*dir);
+  }
+
+  auto entries = journal_.Load();
+  if (!entries.ok()) {
+    return entries.status();
+  }
+  for (const JournalEntry& entry : entries.value()) {
+    ++stats_.recovered;
+    const std::string source = entry.source.empty() ? entry.name : entry.source;
+    if (!PathExists(layout_.incoming_dir + "/" + source)) {
+      // The import completed through source removal (the ack or quarantine
+      // is already published); only the journal clear was lost.
+      journal_.Clear(entry.name);
+      continue;
+    }
+    if (entry.attempts >= kMaxImportAttempts) {
+      QuarantineIncoming(source, entry.name, "crash-loop",
+                         StrFormat("import attempted %u times without completing",
+                                   entry.attempts),
+                         "inspect with lockdoc doctor, then re-drop the file");
+      continue;
+    }
+    IngestOne(source, entry.attempts + 1);
+  }
+
+  // Requests answered before the crash but whose .req removal was lost.
+  auto requests = ListSpoolFiles(layout_.requests_dir, kRequestSuffix);
+  if (requests.ok()) {
+    for (const std::string& file : requests.value()) {
+      const std::string stem = file.substr(0, file.size() - (sizeof(kRequestSuffix) - 1));
+      if (PathExists(layout_.responses_dir + "/" + stem + ".meta")) {
+        RemoveFileIfExists(layout_.requests_dir + "/" + file);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<size_t> ServeService::ProcessOnce() {
+  size_t handled = 0;
+  auto incoming = ListSpoolFiles(layout_.incoming_dir);
+  if (!incoming.ok()) {
+    return incoming.status();
+  }
+  for (const std::string& source : incoming.value()) {
+    IngestOne(source, 1);
+    ++handled;
+  }
+  auto requests = ListSpoolFiles(layout_.requests_dir, kRequestSuffix);
+  if (!requests.ok()) {
+    return requests.status();
+  }
+  for (const std::string& file : requests.value()) {
+    AnswerOne(file);
+    ++handled;
+  }
+  return handled;
+}
+
+Status ServeService::RunLoop(const std::atomic<bool>& stop, uint64_t poll_ms) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    auto handled = ProcessOnce();
+    if (!handled.ok()) {
+      return handled.status();
+    }
+    if (stop.load(std::memory_order_relaxed)) {
+      break;
+    }
+    if (handled.value() == 0) {
+      SleepMs(poll_ms == 0 ? 50 : poll_ms);
+    }
+  }
+  return Status::Ok();
+}
+
+bool ServeService::DrainZombies(uint64_t grace_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(grace_ms);
+  for (;;) {
+    bool alive = false;
+    for (const auto& worker : zombies_) {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      if (!worker->done) {
+        alive = true;
+        break;
+      }
+    }
+    if (!alive) {
+      // `done` flips just before the detached thread unwinds; give it a
+      // beat to actually leave our code before the caller tears down.
+      if (!zombies_.empty()) {
+        SleepMs(20);
+      }
+      zombies_.clear();
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    SleepMs(10);
+  }
+}
+
+// --- ingest ---
+
+void ServeService::IngestOne(const std::string& source, uint32_t attempts) {
+  const std::string name = SnapshotNameFor(source);
+  const std::string source_path = layout_.incoming_dir + "/" + source;
+
+  JournalEntry entry;
+  entry.name = name;
+  entry.source = source;
+  entry.attempts = attempts;
+  if (Status status = journal_.Record(entry); !status.ok()) {
+    // Transient state-dir trouble; the file stays in incoming and the next
+    // scan retries the whole import.
+    std::fprintf(stderr, "lockdoc serve: journal %s: %s\n", name.c_str(),
+                 status.message().c_str());
+    return;
+  }
+  ServeCrashPoint("journal-recorded");
+
+  auto size = FileSize(source_path);
+  if (!size.ok()) {
+    // Vanished between the scan and now (an operator took it back).
+    journal_.Clear(name);
+    return;
+  }
+  if (options_.max_trace_bytes != 0 && size.value() > options_.max_trace_bytes) {
+    QuarantineIncoming(source, name, kServeErrorOversized,
+                       StrFormat("%llu bytes exceeds --max-trace-bytes %llu",
+                                 static_cast<unsigned long long>(size.value()),
+                                 static_cast<unsigned long long>(options_.max_trace_bytes)),
+                       "raise --max-trace-bytes or split the trace");
+    return;
+  }
+
+  auto bytes = ReadSpoolFileWithRetry(source_path);
+  if (!bytes.ok()) {
+    QuarantineIncoming(source, name, kServeErrorIo, bytes.status().message(),
+                       "check spool filesystem health");
+    return;
+  }
+  if (bytes.value().empty()) {
+    QuarantineIncoming(source, name, "empty", "zero-byte file",
+                       "re-export the trace; producers must publish into "
+                       "incoming/ with an atomic rename");
+    return;
+  }
+
+  ServeResponseMeta ack;
+  ack.ok = true;
+  bool salvaged = false;
+  std::string snapshot_bytes;
+  if (LooksLikeSnapshot(bytes.value())) {
+    // Pre-imported .lockdb: validate fully before publication so a damaged
+    // snapshot never enters the resident store.
+    auto snapshot = DeserializeSnapshot(bytes.value(), *registry_);
+    if (!snapshot.ok()) {
+      QuarantineIncoming(source, name, "damaged-snapshot", snapshot.status().message(),
+                         StrFormat("lockdoc doctor %s --repair %s.lockdb", source.c_str(),
+                                   name.c_str()));
+      return;
+    }
+    snapshot_bytes = std::move(bytes.value());
+    ack.extra.emplace_back("kind", "snapshot");
+  } else {
+    TraceReadOptions read_options;
+    read_options.salvage = true;
+    TraceReadReport report;
+    auto trace = ReadTraceFromBytes(bytes.value(), read_options, &report);
+    if (!trace.ok()) {
+      QuarantineIncoming(source, name, "unreadable", trace.status().message(),
+                         "not a readable trace or snapshot; lockdoc doctor "
+                         "itemizes the damage");
+      return;
+    }
+    PipelineTimings timings;
+    AnalysisSnapshot snapshot =
+        BuildSnapshot(trace.value(), *registry_, options_.pipeline, &timings);
+    snapshot_bytes = SerializeSnapshot(snapshot, *registry_);
+    ServeCrashPoint("snapshot-serialized");
+    ack.extra.emplace_back("kind", "trace");
+    ack.extra.emplace_back("events", std::to_string(trace.value().events().size()));
+    if (!report.clean()) {
+      // Graceful degradation: answer from what survived, but say so.
+      salvaged = true;
+      ack.extra.emplace_back("salvaged", "1");
+      ack.extra.emplace_back("damage", OneLine(report.ToString()));
+    }
+  }
+  ack.extra.emplace_back("snapshot_bytes", std::to_string(snapshot_bytes.size()));
+
+  ServeCrashPoint("pre-snapshot-publish");
+  const std::string snapshot_path = layout_.snapshots_dir + "/" + name + kSnapshotSuffix;
+  if (Status status = WriteFileAtomic(snapshot_path, snapshot_bytes); !status.ok()) {
+    QuarantineIncoming(source, name, kServeErrorIo, status.message(),
+                       "check state filesystem health");
+    return;
+  }
+  ServeCrashPoint("snapshot-published");
+  // A re-import replaces any stale resident copy.
+  EvictResident(name);
+
+  FinishIngest(source, name, ack);
+  ++stats_.ingested;
+  if (salvaged) {
+    ++stats_.ingested_salvaged;
+  }
+}
+
+void ServeService::QuarantineIncoming(const std::string& source, const std::string& name,
+                                      const std::string& kind, const std::string& detail,
+                                      const std::string& hint) {
+  Status status = QuarantineFile(layout_, layout_.incoming_dir, source, kind, detail, hint);
+  if (!status.ok()) {
+    std::fprintf(stderr, "lockdoc serve: quarantine %s: %s\n", source.c_str(),
+                 status.message().c_str());
+  }
+  ++stats_.quarantined;
+  journal_.Clear(name);
+  ServeCrashPoint("quarantine-journal-cleared");
+}
+
+void ServeService::FinishIngest(const std::string& source, const std::string& name,
+                                const ServeResponseMeta& ack) {
+  // The ack is the commit point of the answered state; everything after it
+  // is idempotent cleanup that recovery can replay.
+  WriteResponseMeta(layout_, name + ".ingest", ack);
+  ServeCrashPoint("ingest-acked");
+  RemoveFileIfExists(layout_.incoming_dir + "/" + source);
+  ServeCrashPoint("source-removed");
+  journal_.Clear(name);
+  ServeCrashPoint("journal-cleared");
+}
+
+// --- requests ---
+
+void ServeService::AnswerOne(const std::string& request_file) {
+  const std::string stem =
+      request_file.substr(0, request_file.size() - (sizeof(kRequestSuffix) - 1));
+  const std::string request_path = layout_.requests_dir + "/" + request_file;
+  if (PathExists(layout_.responses_dir + "/" + stem + ".meta")) {
+    // Already answered (crash between meta publication and .req removal).
+    RemoveFileIfExists(request_path);
+    return;
+  }
+
+  auto text = ReadSpoolFileWithRetry(request_path);
+  if (!text.ok()) {
+    AnswerError(stem, request_file, kServeErrorIo, text.status().message());
+    return;
+  }
+  auto parsed = ParseServeRequest(stem, text.value());
+  if (!parsed.ok()) {
+    AnswerError(stem, request_file, kServeErrorBadRequest, parsed.status().message());
+    return;
+  }
+  const ServeRequest& request = parsed.value();
+
+  const AnalysisPass* pass = PassRegistry::Default().Find(request.pass);
+  if (pass == nullptr) {
+    AnswerError(stem, request_file, kServeErrorUnknownPass,
+                StrFormat("unknown pass '%s' (expected one of: %s)", request.pass.c_str(),
+                          PassRegistry::Default().JoinedNames().c_str()));
+    return;
+  }
+
+  std::string error;
+  auto resident = GetResident(request.input, &error);
+  if (resident == nullptr) {
+    AnswerError(stem, request_file, kServeErrorUnknownInput, error);
+    return;
+  }
+  std::shared_ptr<ContextBox> baseline_box;
+  if (request.pass == "diff") {
+    if (request.baseline.empty()) {
+      AnswerError(stem, request_file, kServeErrorBadRequest,
+                  "pass=diff requires baseline=<name>");
+      return;
+    }
+    auto baseline = GetResident(request.baseline, &error);
+    if (baseline == nullptr) {
+      AnswerError(stem, request_file, kServeErrorUnknownInput, error);
+      return;
+    }
+    baseline_box = GetContext(baseline, request.tac);
+  }
+  auto box = GetContext(resident, request.tac);
+
+  // Per-request knobs over the CLI's defaults; the documented-rules text is
+  // service configuration, exactly as the standalone commands wire it.
+  PassOptions pass_options = request.pass_options;
+  pass_options.documented_rules_text = options_.documented_rules_text;
+  pass_options.baseline = baseline_box ? baseline_box->context.get() : nullptr;
+  box->context->pass_options() = pass_options;
+
+  auto worker = std::make_shared<WorkerHandle>();
+  auto work = [worker, pass, box, baseline_box]() {
+    PassOutput out;
+    Status status = pass->Run(*box->context, out);
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    worker->done = true;
+    worker->status = std::move(status);
+    worker->text = std::move(out.text);
+    worker->cv.notify_all();
+  };
+
+  bool finished = true;
+  if (options_.deadline_ms == 0) {
+    work();
+  } else {
+    std::thread thread(work);
+    std::unique_lock<std::mutex> lock(worker->mutex);
+    if (worker->cv.wait_for(lock, std::chrono::milliseconds(options_.deadline_ms),
+                            [&worker] { return worker->done; })) {
+      lock.unlock();
+      thread.join();
+    } else {
+      lock.unlock();
+      thread.detach();
+      finished = false;
+    }
+  }
+
+  if (!finished) {
+    ++stats_.timeouts;
+    zombies_.push_back(worker);
+    // The abandoned worker may still be building this context's indexes;
+    // poison the entries out of the cache so no later request shares its
+    // state (the worker's shared ownership keeps the memory valid).
+    EvictResident(request.input);
+    if (!request.baseline.empty()) {
+      EvictResident(request.baseline);
+    }
+    AnswerError(stem, request_file, kServeErrorTimeout,
+                StrFormat("pass '%s' exceeded the %llu ms deadline", request.pass.c_str(),
+                          static_cast<unsigned long long>(options_.deadline_ms)));
+    return;
+  }
+
+  if (!worker->status.ok()) {
+    AnswerError(stem, request_file, kServeErrorAnalysis, worker->status.message());
+    return;
+  }
+
+  if (Status status =
+          WriteFileAtomic(layout_.responses_dir + "/" + stem + ".out", worker->text);
+      !status.ok()) {
+    AnswerError(stem, request_file, kServeErrorIo, status.message());
+    return;
+  }
+  ServeCrashPoint("response-out-written");
+  ServeResponseMeta meta;
+  meta.ok = true;
+  meta.extra.emplace_back("pass", request.pass);
+  meta.extra.emplace_back("input", request.input);
+  WriteResponseMeta(layout_, stem, meta);
+  ++stats_.answered_ok;
+  ServeCrashPoint("response-meta-written");
+  RemoveFileIfExists(request_path);
+  ServeCrashPoint("request-removed");
+}
+
+void ServeService::AnswerError(const std::string& stem, const std::string& request_file,
+                               const std::string& kind, const std::string& error) {
+  ServeResponseMeta meta;
+  meta.ok = false;
+  meta.kind = kind;
+  meta.error = error;
+  WriteResponseMeta(layout_, stem, meta);
+  ++stats_.answered_error;
+  RemoveFileIfExists(layout_.requests_dir + "/" + request_file);
+}
+
+// --- resident store ---
+
+std::shared_ptr<ServeService::Resident> ServeService::GetResident(const std::string& name,
+                                                                  std::string* error) {
+  auto it = residents_.find(name);
+  if (it != residents_.end()) {
+    TouchResident(name);
+    return it->second;
+  }
+
+  const std::string path = layout_.snapshots_dir + "/" + name + kSnapshotSuffix;
+  if (!PathExists(path)) {
+    *error = StrFormat("no snapshot named '%s' in the resident store", name.c_str());
+    return nullptr;
+  }
+  auto bytes = ReadSpoolFileWithRetry(path);
+  if (!bytes.ok()) {
+    *error = bytes.status().message();
+    return nullptr;
+  }
+  auto snapshot = DeserializeSnapshot(bytes.value(), *registry_);
+  if (!snapshot.ok()) {
+    *error = StrFormat("snapshot '%s' is damaged (%s); try lockdoc doctor --repair",
+                       name.c_str(), snapshot.status().message().c_str());
+    return nullptr;
+  }
+
+  auto resident = std::make_shared<Resident>();
+  resident->name = name;
+  resident->snapshot = std::make_shared<AnalysisSnapshot>(std::move(snapshot.value()));
+  resident->bytes = bytes.value().size();
+  residents_[name] = resident;
+  lru_.push_front(name);
+  resident_bytes_ += resident->bytes;
+  EnforceResidencyBudget();
+  return resident;
+}
+
+std::shared_ptr<ServeService::ContextBox> ServeService::GetContext(
+    const std::shared_ptr<Resident>& resident, double tac) {
+  const std::string key = StrFormat("%.17g", tac);
+  auto it = resident->contexts.find(key);
+  if (it != resident->contexts.end()) {
+    return it->second;
+  }
+  auto box = std::make_shared<ContextBox>();
+  box->snapshot = resident->snapshot;
+  AnalysisOptions options;
+  options.pipeline = options_.pipeline;
+  options.pipeline.derivator.accept_threshold = tac;
+  box->context = std::make_unique<AnalysisContext>(box->snapshot.get(), registry_,
+                                                   std::move(options), &box->timings);
+  resident->contexts[key] = box;
+  return box;
+}
+
+void ServeService::TouchResident(const std::string& name) {
+  lru_.remove(name);
+  lru_.push_front(name);
+}
+
+void ServeService::EvictResident(const std::string& name) {
+  auto it = residents_.find(name);
+  if (it == residents_.end()) {
+    return;
+  }
+  resident_bytes_ -= it->second->bytes;
+  residents_.erase(it);
+  lru_.remove(name);
+}
+
+void ServeService::EnforceResidencyBudget() {
+  const size_t max_resident = options_.max_resident == 0 ? 1 : options_.max_resident;
+  // The most recent entry (front) always survives: a request being answered
+  // right now must not evict its own snapshot.
+  while (residents_.size() > 1 &&
+         (residents_.size() > max_resident ||
+          (options_.max_resident_bytes != 0 && resident_bytes_ > options_.max_resident_bytes))) {
+    const std::string victim = lru_.back();
+    ++stats_.evictions;
+    EvictResident(victim);
+  }
+}
+
+Result<std::string> ServeService::ReadSpoolFileWithRetry(const std::string& path) {
+  std::string bytes;
+  Status status = RetryWithBackoff(options_.retry, [&]() -> Status {
+    auto read = ReadFileToString(path);
+    if (!read.ok()) {
+      return read.status();
+    }
+    bytes = std::move(read.value());
+    return Status::Ok();
+  });
+  if (!status.ok()) {
+    return status;
+  }
+  return bytes;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,156 @@
+// ServeService — the long-lived, fault-tolerant analysis service behind
+// `lockdoc serve` (ROADMAP: "a fleet of instrumented machines uploading
+// traces, one service answering locking-rule queries").
+//
+// One scan cycle (ProcessOnce) ingests every file in SPOOL/incoming — each
+// import journaled, crash-safe, and ending in exactly one of {acknowledged,
+// quarantined} — then answers every SPOOL/requests/*.req against the
+// resident snapshot store. Responses are byte-identical to the standalone
+// CLI: the same registered AnalysisPass renders the same bytes from the
+// same AnalysisContext; only the transport differs.
+//
+// Robustness machinery:
+//   - crash safety: every state change is an atomic publish; the import
+//     journal (src/serve/journal.h) replays or quarantines interrupted
+//     imports on Recover()
+//   - graceful degradation: damaged traces are salvaged with the damage
+//     report attached to the acknowledgement; unreadable/oversized/empty
+//     inputs are quarantined with a typed reason file, never deleted,
+//     never retried forever
+//   - deadlines: a request running past --deadline-ms gets a typed timeout
+//     response from the watchdog while the worker is abandoned (its shared
+//     ownership keeps memory valid) and the service keeps answering
+//   - memory guardrails: resident snapshots are LRU-evicted beyond
+//     --max-resident / --max-resident-bytes; oversized traces are rejected
+//     before a byte is parsed
+//   - transient I/O failures retry with bounded exponential backoff
+#ifndef SRC_SERVE_SERVICE_H_
+#define SRC_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/analysis_context.h"
+#include "src/core/analysis_pass.h"
+#include "src/core/pipeline.h"
+#include "src/serve/journal.h"
+#include "src/serve/request.h"
+#include "src/serve/spool.h"
+#include "src/util/backoff.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+struct ServeServiceOptions {
+  // Analysis knobs shared with the CLI (filter, derivator defaults, jobs).
+  // The per-request tac overrides derivator.accept_threshold.
+  PipelineOptions pipeline;
+  // Documented-rules text for check/report, as the CLI default supplies it.
+  std::string documented_rules_text;
+
+  // Memory guardrails.
+  size_t max_resident = 8;               // Resident snapshot count cap (>= 1).
+  uint64_t max_resident_bytes = 1ull << 30;  // Byte budget; 0 = unlimited.
+  uint64_t max_trace_bytes = 1ull << 30;     // Larger incoming files: quarantined.
+
+  // Per-request deadline; 0 disables the watchdog.
+  uint64_t deadline_ms = 0;
+
+  // Transient-I/O retry schedule.
+  BackoffPolicy retry;
+};
+
+// Monotonic counters, printed by `serve --once` and on shutdown.
+struct ServeStats {
+  uint64_t ingested = 0;          // Incoming files acknowledged ok.
+  uint64_t ingested_salvaged = 0; // ... of which needed the salvage reader.
+  uint64_t quarantined = 0;
+  uint64_t answered_ok = 0;
+  uint64_t answered_error = 0;    // Typed error responses (incl. timeouts).
+  uint64_t timeouts = 0;
+  uint64_t evictions = 0;         // LRU evictions (not counting timeout poisoning).
+  uint64_t recovered = 0;         // Journal entries replayed by Recover().
+
+  std::string ToString() const;
+};
+
+class ServeService {
+ public:
+  // `registry` must outlive the service; `layout` is copied.
+  ServeService(const SpoolLayout& layout, const TypeRegistry* registry,
+               ServeServiceOptions options);
+  ~ServeService();
+
+  ServeService(const ServeService&) = delete;
+  ServeService& operator=(const ServeService&) = delete;
+
+  // Replays the import journal, finishes half-answered requests, and sweeps
+  // crash debris. Call once before the first ProcessOnce.
+  Status Recover();
+
+  // One spool scan: ingest everything in incoming/, answer every request.
+  // Returns the number of items handled (0 = spool was idle).
+  Result<size_t> ProcessOnce();
+
+  // Drives ProcessOnce until `stop` becomes true, sleeping `poll_ms`
+  // between idle scans. Returns Ok on a clean stop.
+  Status RunLoop(const std::atomic<bool>& stop, uint64_t poll_ms);
+
+  const ServeStats& stats() const { return stats_; }
+
+  // True while an abandoned (timed-out) worker thread is still running.
+  // Waits up to `grace_ms` for them to finish; callers that still see
+  // zombies should _exit rather than run static destructors under a live
+  // thread.
+  bool DrainZombies(uint64_t grace_ms);
+
+ private:
+  struct ContextBox;
+  struct Resident;
+  struct WorkerHandle;
+
+  // --- ingest ---
+  void IngestOne(const std::string& source, uint32_t attempts);
+  void QuarantineIncoming(const std::string& source, const std::string& name,
+                          const std::string& kind, const std::string& detail,
+                          const std::string& hint);
+  void FinishIngest(const std::string& source, const std::string& name,
+                    const ServeResponseMeta& ack);
+
+  // --- requests ---
+  void AnswerOne(const std::string& request_file);
+  void AnswerError(const std::string& stem, const std::string& request_file,
+                   const std::string& kind, const std::string& error);
+
+  // --- resident store ---
+  std::shared_ptr<Resident> GetResident(const std::string& name, std::string* error);
+  std::shared_ptr<ContextBox> GetContext(const std::shared_ptr<Resident>& resident,
+                                         double tac);
+  void TouchResident(const std::string& name);
+  void EvictResident(const std::string& name);
+  void EnforceResidencyBudget();
+
+  Result<std::string> ReadSpoolFileWithRetry(const std::string& path);
+
+  SpoolLayout layout_;
+  const TypeRegistry* registry_;
+  ServeServiceOptions options_;
+  ImportJournal journal_;
+  ServeStats stats_;
+
+  // Resident snapshots in LRU order (front = most recently used).
+  std::list<std::string> lru_;
+  std::map<std::string, std::shared_ptr<Resident>> residents_;
+  uint64_t resident_bytes_ = 0;
+
+  std::vector<std::shared_ptr<WorkerHandle>> zombies_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_SERVE_SERVICE_H_

@@ -1,0 +1,132 @@
+#include "src/serve/spool.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "src/serve/crash_point.h"
+#include "src/util/file_io.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+
+namespace fs = std::filesystem;
+
+SpoolLayout MakeSpoolLayout(const std::string& spool_dir, const std::string& state_dir) {
+  SpoolLayout layout;
+  layout.spool_dir = spool_dir;
+  layout.incoming_dir = spool_dir + "/incoming";
+  layout.requests_dir = spool_dir + "/requests";
+  layout.responses_dir = spool_dir + "/responses";
+  layout.state_dir = state_dir.empty() ? spool_dir + "/state" : state_dir;
+  layout.snapshots_dir = layout.state_dir + "/snapshots";
+  layout.journal_dir = layout.state_dir + "/journal";
+  layout.quarantine_dir = layout.state_dir + "/quarantine";
+  return layout;
+}
+
+Status EnsureSpoolLayout(const SpoolLayout& layout) {
+  std::error_code ec;
+  if (!fs::is_directory(layout.spool_dir, ec)) {
+    return Status::Error("spool dir is not a directory: " + layout.spool_dir);
+  }
+  for (const std::string* dir :
+       {&layout.incoming_dir, &layout.requests_dir, &layout.responses_dir, &layout.state_dir,
+        &layout.snapshots_dir, &layout.journal_dir, &layout.quarantine_dir}) {
+    fs::create_directories(*dir, ec);
+    if (ec || !fs::is_directory(*dir)) {
+      return Status::Error("cannot create directory: " + *dir);
+    }
+  }
+  // Probe writability once up front: discovering a read-only state dir on
+  // the first import would turn every input into a spurious quarantine.
+  std::string probe = layout.state_dir + "/.probe";
+  Status status = WriteFileAtomic(probe, "probe\n");
+  if (!status.ok()) {
+    return Status::Error("state dir is not writable: " + status.message());
+  }
+  return RemoveFileIfExists(probe);
+}
+
+Result<std::vector<std::string>> ListSpoolFiles(const std::string& dir,
+                                                std::string_view suffix) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::Error(StrFormat("cannot list %s: %s", dir.c_str(),
+                                   ec.message().c_str()));
+  }
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) {
+      continue;
+    }
+    std::string name = entry.path().filename().string();
+    if (name.rfind(kAtomicTempPrefix, 0) == 0) {
+      continue;  // In-flight atomic write (or debris from a crash).
+    }
+    if (!suffix.empty()) {
+      if (name.size() <= suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+        continue;
+      }
+    }
+    names.push_back(std::move(name));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status QuarantineFile(const SpoolLayout& layout, const std::string& dir,
+                      const std::string& name, const std::string& kind,
+                      const std::string& detail, const std::string& hint) {
+  std::string reason;
+  reason += KeyValueLine("kind", kind);
+  reason += KeyValueLine("file", name);
+  reason += KeyValueLine("detail", detail);
+  if (!hint.empty()) {
+    reason += KeyValueLine("hint", hint);
+  }
+  Status status = WriteFileAtomic(layout.quarantine_dir + "/" + name + ".reason", reason);
+  if (!status.ok()) {
+    return status;
+  }
+  ServeCrashPoint("quarantine-reason-written");
+  status = RenameFile(dir + "/" + name, layout.quarantine_dir + "/" + name);
+  if (!status.ok()) {
+    return status;
+  }
+  ServeCrashPoint("quarantined");
+  return Status::Ok();
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> ParseKeyValueText(
+    std::string_view text) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  size_t line_no = 0;
+  for (const std::string& raw : SplitAndTrim(text, '\n')) {
+    ++line_no;
+    if (raw.empty() || raw[0] == '#') {
+      continue;
+    }
+    size_t eq = raw.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::Error(StrFormat("line %zu: expected key=value, got \"%s\"", line_no,
+                                     raw.c_str()));
+    }
+    pairs.emplace_back(raw.substr(0, eq), raw.substr(eq + 1));
+  }
+  return pairs;
+}
+
+std::string KeyValueLine(std::string_view key, std::string_view value) {
+  LOCKDOC_CHECK(value.find('\n') == std::string_view::npos);
+  std::string line(key);
+  line += '=';
+  line += value;
+  line += '\n';
+  return line;
+}
+
+}  // namespace lockdoc

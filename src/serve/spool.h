@@ -1,0 +1,78 @@
+// The serve spool: the on-disk contract between a fleet of trace producers
+// and one long-lived analysis service. Everything is plain files so clients
+// need nothing but a shared directory:
+//
+//   SPOOL/
+//     incoming/    traces or .lockdb snapshots, dropped by producers
+//     requests/    <id>.req key=value files naming a pass and a snapshot
+//     responses/   <id>.out  exact pass stdout bytes (byte-identical to the
+//                            standalone CLI command)
+//                  <id>.meta key=value status record (commit point)
+//                  <name>.ingest.meta ingest acknowledgements
+//   STATE/         (default SPOOL/state; same filesystem as SPOOL)
+//     snapshots/   <name>.lockdb — the resident store
+//     journal/     <name>.job — pending-import journal entries
+//     quarantine/  damaged originals + <file>.reason
+//
+// Publication is always write-temp + fsync + rename (WriteFileAtomic), so a
+// reader never observes a half-written response, journal entry, or
+// snapshot; in-flight temp files carry kAtomicTempPrefix and are ignored by
+// every scan and swept on recovery.
+#ifndef SRC_SERVE_SPOOL_H_
+#define SRC_SERVE_SPOOL_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+struct SpoolLayout {
+  std::string spool_dir;
+  std::string incoming_dir;
+  std::string requests_dir;
+  std::string responses_dir;
+  std::string state_dir;
+  std::string snapshots_dir;
+  std::string journal_dir;
+  std::string quarantine_dir;
+};
+
+// Resolves the directory layout. `state_dir` empty selects SPOOL/state.
+SpoolLayout MakeSpoolLayout(const std::string& spool_dir, const std::string& state_dir);
+
+// Creates every missing subdirectory and probes that the state side is
+// writable. `spool_dir` itself must already exist (a typo'd spool path must
+// be a usage error, not a silently created empty spool).
+Status EnsureSpoolLayout(const SpoolLayout& layout);
+
+// Sorted basenames of the regular files in `dir`, excluding in-flight
+// atomic temp files and (optionally) anything without `suffix`. Sorted so
+// processing order — and therefore every response — is deterministic.
+Result<std::vector<std::string>> ListSpoolFiles(const std::string& dir,
+                                                std::string_view suffix = {});
+
+// Moves `dir/name` into quarantine with an adjacent `<name>.reason` file
+// (typed kind + human detail + recovery hint). The reason file is published
+// first so a crash between the two steps is recoverable; quarantined files
+// are never deleted and never rescanned.
+Status QuarantineFile(const SpoolLayout& layout, const std::string& dir,
+                      const std::string& name, const std::string& kind,
+                      const std::string& detail, const std::string& hint);
+
+// --- key=value text records (journal entries, requests, response metas) ---
+
+// Parses "key=value" lines; blank lines and '#' comments are skipped.
+// Returns pairs in file order (duplicate keys preserved).
+Result<std::vector<std::pair<std::string, std::string>>> ParseKeyValueText(
+    std::string_view text);
+
+// One "key=value\n" line; the value must not contain newlines (CHECKed).
+std::string KeyValueLine(std::string_view key, std::string_view value);
+
+}  // namespace lockdoc
+
+#endif  // SRC_SERVE_SPOOL_H_

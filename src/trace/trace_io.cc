@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/util/crc32.h"
+#include "src/util/file_io.h"
 #include "src/util/string_util.h"
 #include "src/util/varint.h"
 
@@ -223,7 +224,7 @@ bool FixupEventRefs(TraceEvent* e, size_t pool_size, const std::vector<bool>& st
 // --- v1: bare record stream. Strict mode fails at the first bad byte; in
 // salvage mode everything before that byte survives (prefix truncation is
 // the only recovery v1 admits — there is no framing to resynchronize on).
-Result<Trace> ReadTraceV1(const std::string& bytes, const TraceReadOptions& options,
+Result<Trace> ReadTraceV1(std::string_view bytes, const TraceReadOptions& options,
                           TraceReadReport& report) {
   report.format_version = 1;
   const bool salvage = options.salvage;
@@ -331,7 +332,7 @@ Result<Trace> ReadTraceV1(const std::string& bytes, const TraceReadOptions& opti
 }
 
 // --- v2: framed stream with CRC-guarded frames.
-Result<Trace> ReadTraceV2(const std::string& bytes, const TraceReadOptions& options,
+Result<Trace> ReadTraceV2(std::string_view bytes, const TraceReadOptions& options,
                           TraceReadReport& report) {
   report.format_version = 2;
   const bool salvage = options.salvage;
@@ -697,7 +698,11 @@ Result<Trace> ReadTrace(std::istream& in, const TraceReadOptions& options,
   if (in.bad()) {
     return Status::Error("ReadTrace: I/O error while reading stream");
   }
+  return ReadTraceFromBytes(bytes, options, report);
+}
 
+Result<Trace> ReadTraceFromBytes(std::string_view bytes, const TraceReadOptions& options,
+                                 TraceReadReport* report) {
   TraceReadReport local;
   TraceReadReport& rep = report != nullptr ? *report : local;
   rep = TraceReadReport{};
@@ -716,14 +721,17 @@ Result<Trace> ReadTrace(std::istream& in, const TraceReadOptions& options,
 }
 
 Status WriteTraceToFile(const Trace& trace, const std::string& path, TraceFormat format) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::Error("WriteTraceToFile: cannot open " + path);
-  }
+  // Serialize in memory, then land on disk atomically (temp + fsync +
+  // rename): a crash mid-write leaves the old file or no file, never a torn
+  // trace that would need salvaging.
+  std::ostringstream out;
   WriteTrace(trace, out, format);
-  out.flush();
   if (!out) {
-    return Status::Error("WriteTraceToFile: write failed for " + path);
+    return Status::Error("WriteTraceToFile: serialization failed for " + path);
+  }
+  Status written = WriteFileAtomic(path, out.str());
+  if (!written.ok()) {
+    return Status::Error("WriteTraceToFile: " + written.message());
   }
   return Status::Ok();
 }
@@ -734,11 +742,13 @@ Result<Trace> ReadTraceFromFile(const std::string& path) {
 
 Result<Trace> ReadTraceFromFile(const std::string& path, const TraceReadOptions& options,
                                 TraceReadReport* report) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::Error("ReadTraceFromFile: cannot open " + path);
+  // Hardened slurp (EINTR + short-read loops) so pipes and pseudo-files
+  // deliver the same bytes a regular file would.
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) {
+    return Status::Error("ReadTraceFromFile: " + bytes.status().message());
   }
-  return ReadTrace(in, options, report);
+  return ReadTraceFromBytes(bytes.value(), options, report);
 }
 
 }  // namespace lockdoc

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "src/trace/trace.h"
 #include "src/util/status.h"
@@ -106,6 +107,11 @@ Result<Trace> ReadTrace(std::istream& in);
 // strict and salvage mode.
 Result<Trace> ReadTrace(std::istream& in, const TraceReadOptions& options,
                         TraceReadReport* report);
+
+// Parses a trace already resident in memory (the serve spool reads files
+// with the hardened loop in src/util/file_io.h and then parses the bytes).
+Result<Trace> ReadTraceFromBytes(std::string_view bytes, const TraceReadOptions& options,
+                                 TraceReadReport* report);
 
 // Convenience file wrappers.
 Status WriteTraceToFile(const Trace& trace, const std::string& path,

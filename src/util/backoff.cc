@@ -1,0 +1,41 @@
+#include "src/util/backoff.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lockdoc {
+
+uint64_t BackoffDelayMs(const BackoffPolicy& policy, uint32_t retry) {
+  uint64_t delay = policy.base_delay_ms;
+  for (uint32_t i = 1; i < retry; ++i) {
+    if (policy.multiplier != 0 && delay > policy.max_delay_ms / policy.multiplier) {
+      return policy.max_delay_ms;  // Next multiply would overflow the cap.
+    }
+    delay *= policy.multiplier;
+  }
+  return delay < policy.max_delay_ms ? delay : policy.max_delay_ms;
+}
+
+Status RetryWithBackoff(const BackoffPolicy& policy, const std::function<Status()>& attempt,
+                        const std::function<void(uint64_t)>& sleep_ms) {
+  Status last = Status::Error("RetryWithBackoff: zero attempts");
+  uint32_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  for (uint32_t k = 1; k <= attempts; ++k) {
+    last = attempt();
+    if (last.ok()) {
+      return last;
+    }
+    if (k == attempts) {
+      break;
+    }
+    uint64_t delay = BackoffDelayMs(policy, k);
+    if (sleep_ms) {
+      sleep_ms(delay);
+    } else if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+  return last;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,40 @@
+// Bounded retry with exponential backoff for transient I/O failures.
+//
+// A long-lived service hitting a momentary failure (file briefly locked, a
+// writer still mid-rename, an NFS hiccup) should not quarantine the input
+// on the first try — and must not spin forever either. The policy is
+// deterministic: attempt k sleeps base * multiplier^(k-1), capped, with no
+// jitter, so test runs reproduce exactly. The sleeper is injectable so unit
+// tests observe the schedule without wall-clock time.
+#ifndef SRC_UTIL_BACKOFF_H_
+#define SRC_UTIL_BACKOFF_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+struct BackoffPolicy {
+  // Total tries including the first one; 1 disables retrying.
+  uint32_t max_attempts = 3;
+  uint64_t base_delay_ms = 10;
+  uint64_t max_delay_ms = 250;
+  uint64_t multiplier = 4;
+};
+
+// Delay before retry number `retry` (1-based): base * multiplier^(retry-1),
+// capped at max_delay_ms. Pure function of the policy — the schedule a test
+// asserts on.
+uint64_t BackoffDelayMs(const BackoffPolicy& policy, uint32_t retry);
+
+// Runs `attempt` up to policy.max_attempts times, sleeping the backoff
+// schedule between failures, and returns the first OK status or the last
+// failure. `sleep_ms` defaults to a real sleep; tests pass a recorder.
+Status RetryWithBackoff(const BackoffPolicy& policy, const std::function<Status()>& attempt,
+                        const std::function<void(uint64_t)>& sleep_ms = nullptr);
+
+}  // namespace lockdoc
+
+#endif  // SRC_UTIL_BACKOFF_H_

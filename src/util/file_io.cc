@@ -1,0 +1,165 @@
+#include "src/util/file_io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+std::string ErrnoText() { return std::string(strerror(errno)); }
+
+// open() with EINTR retry.
+int OpenRetry(const char* path, int flags, mode_t mode = 0) {
+  int fd;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+void CloseQuietly(int fd) {
+  // close() after a successful fsync: EINTR here means the descriptor state
+  // is unspecified on some systems, but retrying a close risks closing a
+  // reused fd. POSIX (and Linux) free the fd even on EINTR; do not retry.
+  ::close(fd);
+}
+
+Status FsyncRetry(int fd, const std::string& name) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::Error(StrFormat("fsync %s: %s", name.c_str(), ErrnoText().c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::string> ReadFdToString(int fd, const std::string& name) {
+  std::string out;
+  char buffer[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;  // A signal mid-read is not damage.
+      }
+      return Status::Error(StrFormat("read %s: %s", name.c_str(), ErrnoText().c_str()));
+    }
+    if (n == 0) {
+      return out;
+    }
+    // Short reads are normal (pipes, NFS, signals): keep looping until EOF.
+    out.append(buffer, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = OpenRetry(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Error(StrFormat("open %s: %s", path.c_str(), ErrnoText().c_str()));
+  }
+  auto result = ReadFdToString(fd, path);
+  CloseQuietly(fd);
+  return result;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  int rc;
+  do {
+    rc = ::stat(path.c_str(), &st);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::Error(StrFormat("stat %s: %s", path.c_str(), ErrnoText().c_str()));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status WriteAllToFd(int fd, std::string_view bytes, const std::string& name) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Error(StrFormat("write %s: %s", name.c_str(), ErrnoText().c_str()));
+    }
+    written += static_cast<size_t>(n);  // Partial writes: keep going.
+  }
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  std::filesystem::path target(path);
+  std::string dir = target.parent_path().empty() ? "." : target.parent_path().string();
+  std::string temp = dir + "/" + kAtomicTempPrefix + target.filename().string() + "." +
+                     std::to_string(static_cast<long long>(::getpid()));
+
+  int fd = OpenRetry(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Error(StrFormat("open %s: %s", temp.c_str(), ErrnoText().c_str()));
+  }
+  Status status = WriteAllToFd(fd, bytes, temp);
+  if (status.ok()) {
+    status = FsyncRetry(fd, temp);
+  }
+  CloseQuietly(fd);
+  if (!status.ok()) {
+    ::unlink(temp.c_str());
+    return status;
+  }
+  status = RenameFile(temp, path);
+  if (!status.ok()) {
+    ::unlink(temp.c_str());
+    return status;
+  }
+  // The rename itself must reach disk, or a crash can forget the new name.
+  return SyncDirectory(dir);
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  int rc;
+  do {
+    rc = ::rename(from.c_str(), to.c_str());
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::Error(StrFormat("rename %s -> %s: %s", from.c_str(), to.c_str(),
+                                   ErrnoText().c_str()));
+  }
+  return Status::Ok();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  int rc;
+  do {
+    rc = ::unlink(path.c_str());
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != ENOENT) {
+    return Status::Error(StrFormat("unlink %s: %s", path.c_str(), ErrnoText().c_str()));
+  }
+  return Status::Ok();
+}
+
+Status SyncDirectory(const std::string& dir) {
+  int fd = OpenRetry(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Error(StrFormat("open dir %s: %s", dir.c_str(), ErrnoText().c_str()));
+  }
+  Status status = FsyncRetry(fd, dir);
+  CloseQuietly(fd);
+  return status;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,64 @@
+// Hardened low-level file I/O for everything that touches archived traces,
+// .lockdb snapshots, and the serve spool. The std::fstream paths used
+// before this layer silently conflate "short read", "EINTR", and "disk
+// died"; a long-lived service cannot. Every function here:
+//
+//   - loops partial read()/write() until the full byte count moved,
+//   - retries EINTR (a SIGCHLD from a watchdog must not corrupt an import),
+//   - reports failures as Status with the errno text attached.
+//
+// WriteFileAtomic is the durability primitive the crash-safety story rests
+// on: bytes land in a temp file in the destination directory, the temp file
+// is fsync'd, then rename()d over the target, then the directory is fsync'd
+// — so after a crash the target is either the complete old file or the
+// complete new file, never a torn write. A temp file left by a crash is
+// harmless garbage (prefix kAtomicTempPrefix) that callers may sweep.
+#ifndef SRC_UTIL_FILE_IO_H_
+#define SRC_UTIL_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+// Prefix of in-flight WriteFileAtomic temp files, exposed so spool/journal
+// scans can ignore (and crash recovery can sweep) them.
+inline constexpr char kAtomicTempPrefix[] = ".tmp.";
+
+// Reads the whole file behind `fd`, looping short reads and retrying EINTR.
+// Does not close `fd`.
+Result<std::string> ReadFdToString(int fd, const std::string& name_for_errors);
+
+// Opens `path` read-only and slurps it. Works on pipes and other
+// pseudo-files that return short reads.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Size of `path` without reading it; errors surface as Status (a spool
+// scanner must distinguish "vanished" from "empty").
+Result<uint64_t> FileSize(const std::string& path);
+
+// Writes all of `bytes` to `fd`, looping partial writes and EINTR.
+Status WriteAllToFd(int fd, std::string_view bytes, const std::string& name_for_errors);
+
+// Atomically replaces `path` with `bytes`: temp file in the same directory,
+// full write, fsync, rename, directory fsync. On any failure the temp file
+// is unlinked and `path` is untouched.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+// rename() with EINTR retry and Status errors. Both paths must be on the
+// same filesystem (spool and state dirs are co-located for this reason).
+Status RenameFile(const std::string& from, const std::string& to);
+
+// unlink() that treats ENOENT as success (idempotent cleanup after crash
+// recovery may race its own earlier attempt).
+Status RemoveFileIfExists(const std::string& path);
+
+// fsync() on a directory so a rename into it survives power loss.
+Status SyncDirectory(const std::string& dir);
+
+}  // namespace lockdoc
+
+#endif  // SRC_UTIL_FILE_IO_H_

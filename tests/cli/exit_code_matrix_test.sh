@@ -62,7 +62,13 @@ expect 1 "$LOCKDOC" doctor "$DIR/mx_damaged.lockdb"
 expect 2 "$LOCKDOC" doctor "$DIR/mx_garbage.trace"
 expect 2 "$LOCKDOC" doctor "$MISSING"
 expect 64 "$LOCKDOC" doctor
-expect 64 "$LOCKDOC" doctor "$DIR/mx_damaged.lockdb" --repair "$DIR/x.trace"
+# Snapshot repair: salvageable damage still reports 1, and the repaired
+# container comes out structurally clean (doctor exit 0 modulo payload).
+expect 1 "$LOCKDOC" doctor "$DIR/mx_damaged.lockdb" --repair "$DIR/mx_repaired.lockdb"
+[ -f "$DIR/mx_repaired.lockdb" ] || {
+  echo "FAIL: doctor --repair did not write the repaired snapshot" >&2
+  failures=$((failures + 1))
+}
 
 # No command line at all / unknown command: usage, exit 2.
 expect 2 "$LOCKDOC"
@@ -87,6 +93,19 @@ expect 64 "$LOCKDOC" analyze "$DIR/mx.trace" --passes bogus
 expect 64 "$LOCKDOC" analyze "$DIR/mx.trace" --passes diff
 expect 64 "$LOCKDOC" analyze "$DIR/mx.trace" --baseline
 expect 64 "$LOCKDOC" check "$DIR/mx.trace" --timings-json
+
+# serve: strict usage validation up front (64), clean --once runs exit 0.
+mkdir -p "$DIR/mx_spool/incoming"
+expect 0 "$LOCKDOC" serve "$DIR/mx_spool" --once
+expect 64 "$LOCKDOC" serve
+expect 64 "$LOCKDOC" serve "$DIR/mx_missing_spool" --once
+expect 64 "$LOCKDOC" serve "$DIR/mx_spool" --once --state
+expect 64 "$LOCKDOC" serve "$DIR/mx_spool" --state "$DIR/mx_garbage.trace/state" --once
+expect 64 "$LOCKDOC" serve "$DIR/mx_spool" --once --poll-ms 50
+expect 64 "$LOCKDOC" serve "$DIR/mx_spool" --once --max-resident 0
+expect 64 "$LOCKDOC" serve "$DIR/mx_spool" --once --max-resident abc
+expect 64 "$LOCKDOC" serve "$DIR/mx_spool" --once --deadline-ms -5
+expect 64 "$LOCKDOC" serve "$DIR/mx_spool" --once --bogus-flag 1
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures exit-code expectations failed" >&2

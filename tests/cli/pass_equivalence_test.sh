@@ -84,6 +84,24 @@ cmp "$DIR/standalone.txt" "$DIR/passes_out/lock-order.txt"
 cmp "$DIR/standalone.txt" "$DIR/via_analyze.txt"
 grep -q '"phases"' "$DIR/timings.json"
 
+# Salvage x snapshot: importing a damaged trace with --salvage must produce
+# a snapshot whose analysis is byte-identical to analyzing the damaged
+# trace directly in salvage mode, for every pass, at any thread count.
+head -c 60000 "$DIR/eq.trace" > "$DIR/eq_damaged.trace"
+"$LOCKDOC" import "$DIR/eq_damaged.trace" --out "$DIR/eq_salvaged.lockdb" --salvage \
+  > /dev/null
+for pass in check derive violations lock-order modes report; do
+  "$LOCKDOC" "$pass" "$DIR/eq_damaged.trace" --salvage > "$DIR/standalone.txt"
+  for jobs in 1 2 8; do
+    "$LOCKDOC" analyze "$DIR/eq_salvaged.lockdb" --passes "$pass" --jobs "$jobs" \
+      > "$DIR/via_snapshot.txt"
+    cmp "$DIR/standalone.txt" "$DIR/via_snapshot.txt" || {
+      echo "FAIL: $pass on salvaged snapshot differs from --salvage trace at --jobs $jobs" >&2
+      exit 1
+    }
+  done
+done
+
 # The full suite derives rules exactly once.
 derivations=$("$LOCKDOC" analyze "$DIR/eq.lockdb" --timings 2>&1 > /dev/null |
   grep -c "rule derivation (interned)")

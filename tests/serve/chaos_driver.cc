@@ -1,0 +1,70 @@
+// Fault-injection sidecar for the serve chaos harness (chaos_test.sh).
+// Wraps the deterministic trace corruptor so the shell harness can damage
+// fixtures reproducibly from a scenario seed:
+//
+//   chaos_driver corrupt IN OUT KIND SEED   damage IN with corruption kind
+//                                           KIND (index, modulo the kind
+//                                           count) and the given seed
+//   chaos_driver truncate IN OUT BYTES      keep the first BYTES bytes
+//   chaos_driver kinds                      print the kind count
+//
+// Works on any framed file — serialized traces and .lockdb snapshots share
+// the frame layout, so the same mutators exercise both readers.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/trace/corruptor.h"
+#include "src/util/file_io.h"
+
+using namespace lockdoc;
+
+namespace {
+
+constexpr size_t kKindCount = sizeof(kAllCorruptionKinds) / sizeof(kAllCorruptionKinds[0]);
+
+int Die(const char* message) {
+  std::fprintf(stderr, "chaos_driver: %s\n", message);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "kinds") {
+    std::printf("%zu\n", kKindCount);
+    return 0;
+  }
+  if (argc == 6 && std::string(argv[1]) == "corrupt") {
+    auto bytes = ReadFileToString(argv[2]);
+    if (!bytes.ok()) {
+      return Die(bytes.status().message().c_str());
+    }
+    CorruptionKind kind =
+        kAllCorruptionKinds[std::strtoull(argv[4], nullptr, 10) % kKindCount];
+    uint64_t seed = std::strtoull(argv[5], nullptr, 10);
+    std::string damaged = CorruptTraceBytes(bytes.value(), kind, seed);
+    Status written = WriteFileAtomic(argv[3], damaged);
+    if (!written.ok()) {
+      return Die(written.message().c_str());
+    }
+    std::printf("%s\n", CorruptionKindName(kind));
+    return 0;
+  }
+  if (argc == 5 && std::string(argv[1]) == "truncate") {
+    auto bytes = ReadFileToString(argv[2]);
+    if (!bytes.ok()) {
+      return Die(bytes.status().message().c_str());
+    }
+    uint64_t keep = std::strtoull(argv[4], nullptr, 10);
+    if (keep > bytes.value().size()) {
+      keep = bytes.value().size();
+    }
+    Status written = WriteFileAtomic(argv[3], bytes.value().substr(0, keep));
+    if (!written.ok()) {
+      return Die(written.message().c_str());
+    }
+    return 0;
+  }
+  return Die("usage: corrupt IN OUT KIND SEED | truncate IN OUT BYTES | kinds");
+}

@@ -1,0 +1,102 @@
+// Deterministic retry schedule: the backoff curve is a pure function of the
+// policy, and RetryWithBackoff stops at the first success or the attempt
+// cap. A recorded sleeper keeps the tests off the wall clock.
+#include "src/util/backoff.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace lockdoc {
+namespace {
+
+TEST(BackoffTest, DelayScheduleIsExponentialAndCapped) {
+  BackoffPolicy policy;  // base 10, multiplier 4, cap 250.
+  EXPECT_EQ(BackoffDelayMs(policy, 1), 10u);
+  EXPECT_EQ(BackoffDelayMs(policy, 2), 40u);
+  EXPECT_EQ(BackoffDelayMs(policy, 3), 160u);
+  EXPECT_EQ(BackoffDelayMs(policy, 4), 250u);  // 640 hits the cap.
+  EXPECT_EQ(BackoffDelayMs(policy, 10), 250u);
+}
+
+TEST(BackoffTest, DelayScheduleHonorsCustomPolicy) {
+  BackoffPolicy policy;
+  policy.base_delay_ms = 3;
+  policy.multiplier = 2;
+  policy.max_delay_ms = 20;
+  EXPECT_EQ(BackoffDelayMs(policy, 1), 3u);
+  EXPECT_EQ(BackoffDelayMs(policy, 2), 6u);
+  EXPECT_EQ(BackoffDelayMs(policy, 3), 12u);
+  EXPECT_EQ(BackoffDelayMs(policy, 4), 20u);
+}
+
+TEST(BackoffTest, FirstSuccessSkipsAllSleeps) {
+  std::vector<uint64_t> sleeps;
+  int calls = 0;
+  Status status = RetryWithBackoff(
+      BackoffPolicy{},
+      [&] {
+        ++calls;
+        return Status::Ok();
+      },
+      [&](uint64_t ms) { sleeps.push_back(ms); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(BackoffTest, TransientFailureRecoversAfterOneSleep) {
+  std::vector<uint64_t> sleeps;
+  int calls = 0;
+  Status status = RetryWithBackoff(
+      BackoffPolicy{},
+      [&] {
+        ++calls;
+        return calls < 2 ? Status::Error("transient") : Status::Ok();
+      },
+      [&](uint64_t ms) { sleeps.push_back(ms); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 2);
+  ASSERT_EQ(sleeps.size(), 1u);
+  EXPECT_EQ(sleeps[0], 10u);
+}
+
+TEST(BackoffTest, ExhaustionReturnsLastFailure) {
+  std::vector<uint64_t> sleeps;
+  int calls = 0;
+  Status status = RetryWithBackoff(
+      BackoffPolicy{},
+      [&] {
+        ++calls;
+        return Status::Error("attempt " + std::to_string(calls));
+      },
+      [&](uint64_t ms) { sleeps.push_back(ms); });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "attempt 3");
+  EXPECT_EQ(calls, 3);
+  // Sleeps happen between attempts only: 2 sleeps for 3 attempts.
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], 10u);
+  EXPECT_EQ(sleeps[1], 40u);
+}
+
+TEST(BackoffTest, SingleAttemptPolicyDisablesRetrying) {
+  BackoffPolicy policy;
+  policy.max_attempts = 1;
+  std::vector<uint64_t> sleeps;
+  int calls = 0;
+  Status status = RetryWithBackoff(
+      policy,
+      [&] {
+        ++calls;
+        return Status::Error("nope");
+      },
+      [&](uint64_t ms) { sleeps.push_back(ms); });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+}  // namespace
+}  // namespace lockdoc

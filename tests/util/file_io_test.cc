@@ -1,0 +1,126 @@
+// Hardened file I/O: the regression suite for short reads, partial writes,
+// and atomic publication. The pipe-based tests reproduce exactly the
+// conditions that broke the old std::fstream paths — a reader that gets
+// fewer bytes than asked must loop, not truncate.
+#include "src/util/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace lockdoc {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "lockdoc_file_io_" + name;
+}
+
+TEST(FileIoTest, ReadFdLoopsShortReadsOnPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // A pipe writer dribbling small chunks guarantees the reader sees short
+  // reads: every read() returns at most one chunk, never the whole payload.
+  std::string payload;
+  for (int i = 0; i < 1000; ++i) {
+    payload += "chunk-" + std::to_string(i) + ";";
+  }
+  std::thread writer([&] {
+    size_t offset = 0;
+    while (offset < payload.size()) {
+      size_t n = std::min<size_t>(113, payload.size() - offset);
+      ASSERT_EQ(::write(fds[1], payload.data() + offset, n), static_cast<ssize_t>(n));
+      offset += n;
+    }
+    ::close(fds[1]);
+  });
+  auto read = ReadFdToString(fds[0], "pipe");
+  writer.join();
+  ::close(fds[0]);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value(), payload);
+}
+
+TEST(FileIoTest, WriteAllLoopsPartialWritesOnPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // 1 MiB through a 64 KiB pipe buffer: write() cannot take it in one call.
+  std::string payload(1 << 20, 'x');
+  for (size_t i = 0; i < payload.size(); i += 4096) {
+    payload[i] = static_cast<char>('a' + (i / 4096) % 26);
+  }
+  std::string received;
+  std::thread reader([&] {
+    char buffer[8192];
+    ssize_t n;
+    while ((n = ::read(fds[0], buffer, sizeof(buffer))) > 0) {
+      received.append(buffer, static_cast<size_t>(n));
+    }
+  });
+  Status status = WriteAllToFd(fds[1], payload, "pipe");
+  ::close(fds[1]);
+  reader.join();
+  ::close(fds[0]);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(received, payload);
+}
+
+TEST(FileIoTest, ReadFileToStringHandlesProcPseudoFiles) {
+  // /proc files stat as size 0 but stream real content; a size-based
+  // preallocation-and-single-read would come back empty.
+  auto read = ReadFileToString("/proc/self/status");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_NE(read.value().find("Pid:"), std::string::npos);
+}
+
+TEST(FileIoTest, WriteFileAtomicRoundTrip) {
+  std::string path = TestPath("atomic.bin");
+  std::string bytes = "first\0version", updated = "second";
+  bytes.resize(13);  // Keep the embedded NUL.
+  ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), bytes);
+  // Atomic replace of an existing file.
+  ASSERT_TRUE(WriteFileAtomic(path, updated).ok());
+  read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), updated);
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), updated.size());
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(FileIoTest, WriteFileAtomicLeavesNoTempOnFailure) {
+  // Unwritable destination directory: the write must fail cleanly, and the
+  // target must not exist.
+  std::string path = TestPath("no_such_dir") + "/file.bin";
+  Status status = WriteFileAtomic(path, "bytes");
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(FileSize(path).ok());
+}
+
+TEST(FileIoTest, FileSizeReportsMissingAsError) {
+  auto size = FileSize(TestPath("missing.bin"));
+  EXPECT_FALSE(size.ok());
+}
+
+TEST(FileIoTest, RemoveFileIfExistsIsIdempotent) {
+  std::string path = TestPath("removable.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "x").ok());
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+  // Second removal: ENOENT is success by contract.
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(FileIoTest, ReadMissingFileIsError) {
+  auto read = ReadFileToString(TestPath("absent.bin"));
+  EXPECT_FALSE(read.ok());
+}
+
+}  // namespace
+}  // namespace lockdoc

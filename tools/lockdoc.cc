@@ -46,7 +46,11 @@
 // part of the contract between tracer and analyzer, as in the paper where
 // the kernel's DWARF layout plays that role); snapshots record the
 // registry's shape and refuse to load against a different one.
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -59,8 +63,11 @@
 #include "src/core/pipeline.h"
 #include "src/core/snapshot.h"
 #include "src/db/snapshot.h"
+#include "src/serve/service.h"
+#include "src/serve/spool.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
+#include "src/util/file_io.h"
 #include "src/util/flags.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
@@ -88,7 +95,10 @@ int Usage() {
                "  diff OLD NEW [--all]\n"
                "  analyze FILE [--passes P1,P2,...] [--baseline OLD] [--out-dir DIR]\n"
                "  export-csv FILE --dir DIR\n"
-               "  doctor FILE [--repair OUT.trace]\n"
+               "  doctor FILE [--repair OUT]\n"
+               "  serve SPOOL_DIR [--state DIR] [--once] [--poll-ms T]\n"
+               "        [--max-resident N] [--max-resident-bytes B]\n"
+               "        [--deadline-ms T] [--max-trace-bytes B] [--jobs N]\n"
                "FILE is a trace or a .lockdb snapshot (auto-detected by magic);\n"
                "`import` converts the former into the latter so repeated analyses\n"
                "skip the import/extraction phases.\n"
@@ -228,6 +238,8 @@ const std::map<std::string, std::set<std::string>>& CommandFlagTable() {
         {"diff", with({"all", "tac"})},
         {"export-csv", with({"dir"})},
         {"doctor", {"repair"}},
+        {"serve", {"state", "once", "poll-ms", "max-resident", "max-resident-bytes",
+                   "deadline-ms", "max-trace-bytes", "jobs"}},
         {"analyze", with({"passes", "baseline", "out-dir", "tac", "rules", "limit", "all",
                           "full", "spec", "support", "type", "subclass"})},
     };
@@ -417,13 +429,9 @@ int CmdImport(const FlagSet& flags) {
                                             &timings);
   auto t0 = std::chrono::steady_clock::now();
   std::string bytes = SerializeSnapshot(snapshot, *input.registry);
-  Status written = Status::Ok();
-  {
-    std::ofstream file(out, std::ios::binary | std::ios::trunc);
-    if (!file || !file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
-      written = Status::Error("cannot write " + out);
-    }
-  }
+  // Atomic publication: a crash mid-import must never leave a torn .lockdb
+  // that a later analysis (or the serve spool) would trip over.
+  Status written = WriteFileAtomic(out, bytes);
   if (!written.ok()) {
     std::fprintf(stderr, "lockdoc: %s\n", written.message().c_str());
     return 1;
@@ -657,14 +665,40 @@ int CmdExportCsv(const FlagSet& flags) {
   return 0;
 }
 
+// Container-level snapshot repair: keep every CRC-verified section, re-emit
+// them with fresh sequence numbers and a fresh end section, report what was
+// dropped. Returns false when nothing survived or the output is unwritable.
+bool RepairSnapshotInto(const std::string& bytes, const std::string& out) {
+  SnapshotRepairResult repair = RepairSnapshotBytes(bytes);
+  if (!repair.salvageable()) {
+    std::printf("repair failed: no intact section survived\n");
+    return false;
+  }
+  Status written = WriteFileAtomic(out, repair.bytes);
+  if (!written.ok()) {
+    std::fprintf(stderr, "lockdoc: %s\n", written.message().c_str());
+    return false;
+  }
+  for (const std::string& line : repair.dropped) {
+    std::printf("dropped %s\n", line.c_str());
+  }
+  std::printf("repaired snapshot written to %s (%zu sections kept, %zu dropped)\n",
+              out.c_str(), repair.sections_kept, repair.dropped.size());
+  return true;
+}
+
 // Snapshot health check: container-level per-section verification, then a
 // full load to validate the payloads. Same exit-code contract as the trace
-// doctor.
-int DoctorSnapshot(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  std::string bytes = std::move(buffer).str();
+// doctor; --repair re-emits the intact sections as a structurally clean
+// container (whether it loads depends on which sections survived).
+int DoctorSnapshot(const std::string& path, const std::string& repair_out) {
+  auto read = ReadFileToString(path);
+  if (!read.ok()) {
+    std::printf("%s: %s\n", path.c_str(), read.status().message().c_str());
+    std::printf("verdict: unreadable\n");
+    return 2;
+  }
+  const std::string& bytes = read.value();
 
   SnapshotInspection inspection = InspectSnapshot(bytes);
   if (!inspection.magic_ok) {
@@ -675,9 +709,13 @@ int DoctorSnapshot(const std::string& path) {
   if (!inspection.clean()) {
     std::printf("%s: damaged\n", path.c_str());
     std::printf("%s", inspection.ToString().c_str());
-    std::printf("verdict: damaged (%zu of %zu sections intact); re-run `lockdoc import` "
-                "from the original trace\n",
+    std::printf("verdict: damaged (%zu of %zu sections intact); repair the container "
+                "with --repair OUT.lockdb or re-run `lockdoc import` from the "
+                "original trace\n",
                 inspection.sections_ok(), inspection.sections.size());
+    if (!repair_out.empty() && !RepairSnapshotInto(bytes, repair_out)) {
+      return 2;
+    }
     return 1;
   }
 
@@ -693,6 +731,9 @@ int DoctorSnapshot(const std::string& path) {
   }
   std::printf("%s: clean\n", path.c_str());
   std::printf("%s", inspection.ToString().c_str());
+  if (!repair_out.empty() && !RepairSnapshotInto(bytes, repair_out)) {
+    return 2;
+  }
   return 0;
 }
 
@@ -712,13 +753,7 @@ int CmdDoctor(const FlagSet& flags) {
   }
 
   if (IsSnapshotFile(path)) {
-    if (!flags.GetString("repair", "").empty()) {
-      std::fprintf(stderr,
-                   "lockdoc: --repair applies to traces; re-run `lockdoc import` to rebuild "
-                   "a damaged snapshot\n");
-      return 64;
-    }
-    return DoctorSnapshot(path);
+    return DoctorSnapshot(path, flags.GetString("repair", ""));
   }
 
   // Pass 1: strict. A clean trace parses without any anomaly.
@@ -756,6 +791,114 @@ int CmdDoctor(const FlagSet& flags) {
   std::printf("verdict: salvageable (%llu events recovered)\n",
               static_cast<unsigned long long>(report.events_salvaged));
   return 1;
+}
+
+std::atomic<bool> g_serve_stop{false};
+
+void HandleServeSignal(int /*signum*/) { g_serve_stop.store(true); }
+
+// Strictly-parsed unsigned serve flag: a value like "--max-resident lots"
+// must be a usage error, not silently the default.
+bool GetServeUint(const FlagSet& flags, const char* name, uint64_t default_value,
+                  uint64_t* out) {
+  if (!flags.Has(name)) {
+    *out = default_value;
+    return true;
+  }
+  if (!ParseUint64(flags.GetString(name, ""), out)) {
+    std::fprintf(stderr, "lockdoc serve: --%s requires a non-negative integer\n", name);
+    return false;
+  }
+  return true;
+}
+
+// The long-lived analysis service (src/serve/service.h): watch a spool
+// directory, import arriving traces into crash-safe .lockdb snapshots, and
+// answer pass requests byte-identically to the standalone commands. --once
+// drains the spool and exits (CI smoke and the chaos harness); otherwise
+// runs until SIGINT/SIGTERM.
+int CmdServe(const FlagSet& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "usage: lockdoc serve SPOOL_DIR [--state DIR] [--once] ...\n");
+    return 64;
+  }
+  if (flags.Has("state") && flags.GetString("state", "") == "true") {
+    std::fprintf(stderr, "lockdoc serve: --state requires a directory path\n");
+    return 64;
+  }
+  const bool once = flags.GetBool("once", false);
+  if (once && flags.Has("poll-ms")) {
+    std::fprintf(stderr, "lockdoc serve: --once and --poll-ms conflict\n");
+    return 64;
+  }
+  ServeServiceOptions options;
+  uint64_t max_resident = 0;
+  uint64_t poll_ms = 0;
+  if (!GetServeUint(flags, "max-resident", 8, &max_resident) ||
+      !GetServeUint(flags, "max-resident-bytes", options.max_resident_bytes,
+                    &options.max_resident_bytes) ||
+      !GetServeUint(flags, "max-trace-bytes", options.max_trace_bytes,
+                    &options.max_trace_bytes) ||
+      !GetServeUint(flags, "deadline-ms", 0, &options.deadline_ms) ||
+      !GetServeUint(flags, "poll-ms", 200, &poll_ms) ||
+      !GetServeUint(flags, "jobs", 0, &options.pipeline.jobs)) {
+    return 64;
+  }
+  if (max_resident == 0) {
+    std::fprintf(stderr, "lockdoc serve: --max-resident must be at least 1\n");
+    return 64;
+  }
+  options.max_resident = static_cast<size_t>(max_resident);
+  options.pipeline.filter = VfsKernel::MakeFilterConfig();
+  options.documented_rules_text = VfsKernel::DocumentedRulesText();
+
+  SpoolLayout layout = MakeSpoolLayout(flags.positional()[1], flags.GetString("state", ""));
+  if (Status status = EnsureSpoolLayout(layout); !status.ok()) {
+    std::fprintf(stderr, "lockdoc serve: %s\n", status.message().c_str());
+    return 64;
+  }
+
+  VfsIds ids;
+  std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
+  ServeService service(layout, registry.get(), std::move(options));
+  if (Status status = service.Recover(); !status.ok()) {
+    std::fprintf(stderr, "lockdoc serve: recovery: %s\n", status.message().c_str());
+    return 1;
+  }
+
+  int exit_code = 0;
+  if (once) {
+    // Drain until idle: a request may target a snapshot ingested this run.
+    for (;;) {
+      auto handled = service.ProcessOnce();
+      if (!handled.ok()) {
+        std::fprintf(stderr, "lockdoc serve: %s\n", handled.status().message().c_str());
+        exit_code = 1;
+        break;
+      }
+      if (handled.value() == 0) {
+        break;
+      }
+    }
+  } else {
+    g_serve_stop.store(false);
+    std::signal(SIGINT, HandleServeSignal);
+    std::signal(SIGTERM, HandleServeSignal);
+    Status status = service.RunLoop(g_serve_stop, poll_ms);
+    if (!status.ok()) {
+      std::fprintf(stderr, "lockdoc serve: %s\n", status.message().c_str());
+      exit_code = 1;
+    }
+  }
+  std::printf("%s\n", service.stats().ToString().c_str());
+  if (!service.DrainZombies(200)) {
+    // A timed-out worker is still running; unwinding static destructors
+    // under a live thread would crash, so flush and leave directly.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    _exit(exit_code);
+  }
+  return exit_code;
 }
 
 }  // namespace
@@ -800,6 +943,9 @@ int main(int argc, char** argv) {
   }
   if (command == "doctor") {
     return CmdDoctor(flags);
+  }
+  if (command == "serve") {
+    return CmdServe(flags);
   }
   return Usage();
 }
