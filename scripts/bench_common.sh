@@ -1,0 +1,39 @@
+# Shared helpers for the bench_*.sh harnesses. Sourced, not executed.
+#
+# The one job of this file: refuse to record benchmark numbers from an
+# unoptimized build. Committed BENCH_*.json files have been polluted by
+# debug-build runs before; the guard makes that an explicit opt-in
+# (LOCKDOC_BENCH_ALLOW_DEBUG=1) and stamps the build type into the output
+# JSON either way so a polluted file is at least self-describing.
+
+# Prints the CMAKE_BUILD_TYPE of the build tree at $1 ("unknown" when the
+# cache is missing or the variable is unset).
+lockdoc_bench_build_type() {
+  local cache="$1/CMakeCache.txt"
+  local build_type=""
+  if [[ -f "$cache" ]]; then
+    build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$cache" | head -n 1)"
+  fi
+  echo "${build_type:-unknown}"
+}
+
+# Exports LOCKDOC_BENCH_BUILD_TYPE and exits unless the build tree at $1 is
+# an optimized build (Release / RelWithDebInfo / MinSizeRel) or the caller
+# set LOCKDOC_BENCH_ALLOW_DEBUG=1. $2 names the harness for the error text.
+lockdoc_bench_require_release() {
+  LOCKDOC_BENCH_BUILD_TYPE="$(lockdoc_bench_build_type "$1")"
+  export LOCKDOC_BENCH_BUILD_TYPE
+  case "$LOCKDOC_BENCH_BUILD_TYPE" in
+    Release|RelWithDebInfo|MinSizeRel) ;;
+    *)
+      if [[ "${LOCKDOC_BENCH_ALLOW_DEBUG:-0}" != "1" ]]; then
+        echo "$2: refusing to benchmark a '$LOCKDOC_BENCH_BUILD_TYPE' build tree ($1);" \
+             "reconfigure with -DCMAKE_BUILD_TYPE=Release (or RelWithDebInfo)," \
+             "or set LOCKDOC_BENCH_ALLOW_DEBUG=1 to record annotated debug numbers" >&2
+        exit 1
+      fi
+      echo "$2: WARNING benchmarking a '$LOCKDOC_BENCH_BUILD_TYPE' build" \
+           "(LOCKDOC_BENCH_ALLOW_DEBUG=1); numbers are not comparable" >&2
+      ;;
+  esac
+}

@@ -16,6 +16,10 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_mining.json}"
 
+# shellcheck source=scripts/bench_common.sh
+source "$(dirname "$0")/bench_common.sh"
+lockdoc_bench_require_release "$BUILD_DIR" bench_mining
+
 MICRO="$BUILD_DIR/bench/micro_derivator"
 TAB6="$BUILD_DIR/bench/tab6_rule_mining"
 for bin in "$MICRO" "$TAB6"; do
@@ -61,8 +65,10 @@ for jobs in (1, 2, 8):
     with open(os.path.join(tmp_dir, f"tab6_j{jobs}.json")) as f:
         tab6[f"jobs{jobs}"] = json.load(f)
 
+build_type = os.environ.get("LOCKDOC_BENCH_BUILD_TYPE", "unknown")
 merged = {
     "generated_by": "scripts/bench_mining.sh",
+    "build_type": build_type,
     "seed": 1,
     "ops": os.environ.get("LOCKDOC_BENCH_OPS", "30000 (default)"),
     "micro_derivator": {
@@ -71,6 +77,8 @@ merged = {
     },
     "tab6_rule_mining": tab6,
 }
+if build_type not in ("Release", "RelWithDebInfo", "MinSizeRel"):
+    merged["warning"] = "unoptimized build; numbers are not comparable"
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")

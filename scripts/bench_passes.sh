@@ -17,6 +17,10 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_passes.json}"
 
+# shellcheck source=scripts/bench_common.sh
+source "$(dirname "$0")/bench_common.sh"
+lockdoc_bench_require_release "$BUILD_DIR" bench_passes
+
 MICRO="$BUILD_DIR/bench/micro_passes"
 if [[ ! -x "$MICRO" ]]; then
   echo "bench_passes: missing $MICRO (build the 'micro_passes' target first)" >&2
@@ -54,8 +58,10 @@ def speedup(slow, fast):
         return round(times[slow] / times[fast], 2)
     return None
 
+build_type = os.environ.get("LOCKDOC_BENCH_BUILD_TYPE", "unknown")
 merged = {
     "generated_by": "scripts/bench_passes.sh",
+    "build_type": build_type,
     "ops": os.environ.get("LOCKDOC_BENCH_OPS", "100000 (default)"),
     "context": raw.get("context", {}),
     "benchmarks": raw.get("benchmarks", []),
@@ -64,6 +70,8 @@ merged = {
     "full_suite_speedup": speedup("BM_SeparateCommands", "BM_FullSuiteAnalyze"),
     "warm_context_speedup": speedup("BM_PassesColdContext", "BM_PassesWarmContext"),
 }
+if build_type not in ("Release", "RelWithDebInfo", "MinSizeRel"):
+    merged["warning"] = "unoptimized build; numbers are not comparable"
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")

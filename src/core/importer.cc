@@ -1,5 +1,6 @@
 #include "src/core/importer.h"
 
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -17,6 +18,16 @@ struct HeldLockState {
   uint32_t acquire_line = 0;
 };
 
+// A memory access after the sequential replay attributed it: which
+// allocation contained the address at that moment, and which transaction
+// was current. Member resolution and filter classification are pure
+// functions of this record, so they run in the parallel phase below.
+struct StagedAccess {
+  uint32_t event_index = 0;
+  uint64_t alloc_id = 0;
+  uint64_t txn_id = 0;
+};
+
 }  // namespace
 
 TraceImporter::TraceImporter(const TypeRegistry* registry, FilterConfig filter)
@@ -24,7 +35,7 @@ TraceImporter::TraceImporter(const TypeRegistry* registry, FilterConfig filter)
   LOCKDOC_CHECK(registry_ != nullptr);
 }
 
-ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
+ImportStats TraceImporter::Import(const Trace& trace, Database* db, ThreadPool* pool) {
   LOCKDOC_CHECK(db != nullptr);
   CreateLockDocSchema(db);
   ImportStats stats;
@@ -165,7 +176,11 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
   base_txn = new_txn(0);
   current_txn = base_txn;
 
-  for (const TraceEvent& e : trace.events()) {
+  std::vector<StagedAccess> staged;
+  staged.reserve(trace.size());
+  const std::vector<TraceEvent>& events = trace.events();
+  for (size_t event_index = 0; event_index < events.size(); ++event_index) {
+    const TraceEvent& e = events[event_index];
     switch (e.kind) {
       case EventKind::kAlloc: {
         if (e.type == kInvalidTypeId || e.type >= registry_->type_count()) {
@@ -278,17 +293,49 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
       }
       case EventKind::kMemRead:
       case EventKind::kMemWrite: {
+        // The only replay-dependent facts about an access are which
+        // allocation was live at its address and which transaction was
+        // current; record them and defer the rest to the parallel phase.
         ++stats.accesses_total;
-        FilterReason reason = FilterReason::kNone;
-        uint64_t alloc_id = kDbNull;
-        uint64_t member_id = kDbNull;
-
         std::optional<AllocationId> found = tracker.Find(e.addr);
-        if (!found.has_value()) {
+        staged.push_back({static_cast<uint32_t>(event_index),
+                          found.has_value() ? *found : kDbNull, current_txn});
+        break;
+      }
+    }
+  }
+
+  // --- Parallel phase: member resolution + filter classification. ---
+  // Each staged access fills its own row slot; rows land in event order, so
+  // the table is identical to the sequential build at any thread count.
+  {
+    // classify_stack memoizes lazily; warm the whole cache up front so the
+    // parallel workers only read it.
+    for (StackId stack = 0; stack < trace.stack_count(); ++stack) {
+      classify_stack(stack);
+    }
+    const size_t n = staged.size();
+    std::vector<ColumnData> storage(accesses.column_count());
+    for (ColumnData& column : storage) {
+      column.u64.resize(n);
+    }
+    enum AccessColumn {
+      kColSeq, kColAlloc, kColMember, kColType, kColSize, kColTxn,
+      kColContext, kColTask, kColFile, kColLine, kColStack, kColReason,
+    };
+    std::vector<uint64_t> kept_per_chunk;
+    std::mutex kept_mu;
+    auto fill = [&](size_t begin, size_t end) {
+      uint64_t kept = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const StagedAccess& s = staged[i];
+        const TraceEvent& e = events[s.event_index];
+        FilterReason reason = FilterReason::kNone;
+        uint64_t member_id = kDbNull;
+        if (s.alloc_id == kDbNull) {
           reason = FilterReason::kUntrackedMemory;
         } else {
-          alloc_id = *found;
-          const AllocationInfo& alloc = tracker.info(*found);
+          const AllocationInfo& alloc = tracker.info(s.alloc_id);
           const TypeLayout& layout = registry_->layout(alloc.type);
           auto member = layout.ResolveOffset(static_cast<uint32_t>(e.addr - alloc.addr));
           if (!member.has_value()) {
@@ -307,22 +354,36 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db) {
             }
           }
         }
-
         if (reason == FilterReason::kNone) {
-          ++stats.accesses_kept;
-        } else {
-          ++stats.accesses_filtered;
+          ++kept;
         }
-        accesses.Insert({e.seq, alloc_id, member_id,
-                         static_cast<uint64_t>(AccessTypeOf(e)), static_cast<uint64_t>(e.size),
-                         current_txn, static_cast<uint64_t>(e.context),
-                         static_cast<uint64_t>(e.task_id), static_cast<uint64_t>(e.loc.file),
-                         static_cast<uint64_t>(e.loc.line),
-                         e.stack == kInvalidStack ? kDbNull : static_cast<uint64_t>(e.stack),
-                         static_cast<uint64_t>(reason)});
-        break;
+        storage[kColSeq].u64[i] = e.seq;
+        storage[kColAlloc].u64[i] = s.alloc_id;
+        storage[kColMember].u64[i] = member_id;
+        storage[kColType].u64[i] = static_cast<uint64_t>(AccessTypeOf(e));
+        storage[kColSize].u64[i] = static_cast<uint64_t>(e.size);
+        storage[kColTxn].u64[i] = s.txn_id;
+        storage[kColContext].u64[i] = static_cast<uint64_t>(e.context);
+        storage[kColTask].u64[i] = static_cast<uint64_t>(e.task_id);
+        storage[kColFile].u64[i] = static_cast<uint64_t>(e.loc.file);
+        storage[kColLine].u64[i] = static_cast<uint64_t>(e.loc.line);
+        storage[kColStack].u64[i] =
+            e.stack == kInvalidStack ? kDbNull : static_cast<uint64_t>(e.stack);
+        storage[kColReason].u64[i] = static_cast<uint64_t>(reason);
       }
+      std::lock_guard<std::mutex> guard(kept_mu);
+      kept_per_chunk.push_back(kept);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(n, fill);
+    } else {
+      fill(0, n);
     }
+    for (uint64_t kept : kept_per_chunk) {
+      stats.accesses_kept += kept;
+    }
+    stats.accesses_filtered = n - stats.accesses_kept;
+    accesses.ResetRows(n, std::move(storage));
   }
   // Close everything still open. In a well-formed trace only the final
   // lock-free span remains; a truncated trace can end with locks held, and

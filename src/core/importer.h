@@ -22,6 +22,7 @@
 #include "src/monitor/allocation_tracker.h"
 #include "src/monitor/lock_resolver.h"
 #include "src/trace/trace.h"
+#include "src/util/thread_pool.h"
 
 namespace lockdoc {
 
@@ -63,7 +64,13 @@ class TraceImporter {
   // Builds the full LockDoc database from `trace`. The trace's string pool
   // is copied into the database (ids preserved), so the returned database
   // is self-contained: the trace can be discarded once Import returns.
-  ImportStats Import(const Trace& trace, Database* db);
+  //
+  // The replay that reconstructs transactions and allocation lifetimes is
+  // inherently sequential, but per-access member resolution and filter
+  // classification are pure given the replay's attributions; with a pool
+  // they run chunked in parallel. The database is identical (row for row)
+  // at any thread count.
+  ImportStats Import(const Trace& trace, Database* db, ThreadPool* pool = nullptr);
 
  private:
   const TypeRegistry* registry_;

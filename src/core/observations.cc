@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <queue>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -322,14 +324,37 @@ ObservationStore ExtractObservations(const Database& db, const TypeRegistry& reg
   using Expiry = std::pair<uint64_t, GroupKey>;  // (txn end_seq, group)
   std::priority_queue<Expiry, std::vector<Expiry>, std::greater<Expiry>> expiry;
 
-  accesses.Scan([&](RowId row) {
-    if (accesses.GetUint64(row, kAccFilter) != static_cast<uint64_t>(FilterReason::kNone)) {
-      return true;
+  // Pass 2's lookups all hit txn_locks.txn_id; build that index on a spare
+  // thread while the serial fold below runs, so the lookups start against a
+  // ready index. (The build is internally synchronized; with no spare
+  // thread it simply happens at the first lookup as usual.)
+  std::optional<std::thread> index_warmer;
+  if (pool != nullptr && pool->thread_count() > 1) {
+    index_warmer.emplace([&txn_locks, kTlTxn] { txn_locks.WarmIndex(kTlTxn); });
+  }
+
+  // The fold touches six access columns per row; raw column pointers keep
+  // the per-row cost at array reads (columns built by the importer are
+  // always owned and contiguous).
+  const uint64_t* acc_filter = accesses.ColumnU64Data(kAccFilter);
+  const uint64_t* acc_seq = accesses.ColumnU64Data(kAccSeq);
+  const uint64_t* acc_txn = accesses.ColumnU64Data(kAccTxn);
+  const uint64_t* acc_alloc = accesses.ColumnU64Data(kAccAlloc);
+  const uint64_t* acc_member = accesses.ColumnU64Data(kAccMember);
+  const uint64_t* acc_type = accesses.ColumnU64Data(kAccType);
+  const uint64_t* alloc_type = allocations.ColumnU64Data(kAllocType);
+  const uint64_t* alloc_subclass = allocations.ColumnU64Data(kAllocSubclass);
+  const uint64_t* member_idx = members.ColumnU64Data(kMemberIdx);
+  const uint64_t* txn_end_seq = txns.ColumnU64Data(kTxnEndSeq);
+
+  for (RowId row = 0; row < accesses.row_count(); ++row) {
+    if (acc_filter[row] != static_cast<uint64_t>(FilterReason::kNone)) {
+      continue;
     }
-    uint64_t seq = accesses.GetUint64(row, kAccSeq);
-    uint64_t txn = accesses.GetUint64(row, kAccTxn);
-    uint64_t alloc = accesses.GetUint64(row, kAccAlloc);
-    uint64_t member_row = accesses.GetUint64(row, kAccMember);
+    uint64_t seq = acc_seq[row];
+    uint64_t txn = acc_txn[row];
+    uint64_t alloc = acc_alloc[row];
+    uint64_t member_row = acc_member[row];
     LOCKDOC_CHECK(alloc != kDbNull && member_row != kDbNull && txn != kDbNull);
 
     while (!expiry.empty() && expiry.top().first <= seq) {
@@ -343,9 +368,9 @@ ObservationStore ExtractObservations(const Database& db, const TypeRegistry& reg
     if (it == open_groups.end()) {
       // Resolve the member population key.
       MemberObsKey key;
-      key.type = static_cast<TypeId>(allocations.GetUint64(alloc, kAllocType));
-      key.subclass = static_cast<SubclassId>(allocations.GetUint64(alloc, kAllocSubclass));
-      key.member = static_cast<MemberIndex>(members.GetUint64(member_row, kMemberIdx));
+      key.type = static_cast<TypeId>(alloc_type[alloc]);
+      key.subclass = static_cast<SubclassId>(alloc_subclass[alloc]);
+      key.member = static_cast<MemberIndex>(member_idx[member_row]);
 
       auto& by_alloc = task_index[txn];
       auto task_it = by_alloc.find(alloc);
@@ -365,21 +390,23 @@ ObservationStore ExtractObservations(const Database& db, const TypeRegistry& reg
       // An access inside a transaction precedes its end, so end_seq > seq
       // here and the group stays open at least until the txn ends. A null
       // end_seq (possible only outside the importer) never expires.
-      uint64_t end_seq = txns.GetUint64(txn, kTxnEndSeq);
+      uint64_t end_seq = txn_end_seq[txn];
       if (end_seq != kDbNull) {
         expiry.emplace(end_seq, group_key);
       }
     }
 
     ObservationGroup& group = store.MutableGroups(it->second.first)[it->second.second];
-    if (accesses.GetUint64(row, kAccType) == static_cast<uint64_t>(AccessType::kWrite)) {
+    if (acc_type[row] == static_cast<uint64_t>(AccessType::kWrite)) {
       ++group.n_writes;
     } else {
       ++group.n_reads;
     }
     group.seqs.push_back(seq);
-    return true;
-  });
+  }
+  if (index_warmer.has_value()) {
+    index_warmer->join();
+  }
 
   // --- Pass 2 (parallel): classify each distinct (txn, alloc) pair. ---
   // Tasks only read the database and registry (all const, no lazy state)

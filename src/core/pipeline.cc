@@ -72,7 +72,7 @@ AnalysisSnapshot BuildSnapshot(const Trace& trace, const TypeRegistry& registry,
 
   auto t0 = Clock::now();
   TraceImporter importer(&registry, options.filter);
-  snapshot.import_stats = importer.Import(trace, &snapshot.db);
+  snapshot.import_stats = importer.Import(trace, &snapshot.db, &pool);
   snapshot.trace_stats = ComputeTraceStats(trace);
   auto t1 = Clock::now();
   if (timings != nullptr) {

@@ -15,7 +15,9 @@
 #ifndef SRC_CORE_PIPELINE_H_
 #define SRC_CORE_PIPELINE_H_
 
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/derivator.h"
@@ -73,6 +75,16 @@ struct PipelineTimings {
   std::string ToJson() const;
 };
 
+// Keeps the bytes behind a zero-copy snapshot load alive: the v2 .lockdb
+// loader attaches table columns as views into an mmap-ed file (or an
+// aligned in-memory buffer), and the AnalysisSnapshot pins the backing so
+// those views stay valid for the snapshot's lifetime. Null for snapshots
+// built from a trace or loaded from v1 files (fully owned storage).
+struct SnapshotBacking {
+  virtual ~SnapshotBacking() = default;
+  std::string_view bytes;
+};
+
 // Everything the ingest stage produces, and everything the analysis stage
 // consumes. Self-contained: the database owns a copy of the trace's string
 // pool, the observation store owns its interned lock classes, and the trace
@@ -83,6 +95,8 @@ struct AnalysisSnapshot {
   ImportStats import_stats;
   TraceStats trace_stats;
   ObservationStore observations;
+  // Set by the zero-copy .lockdb v2 load path; see SnapshotBacking.
+  std::shared_ptr<const SnapshotBacking> backing;
 };
 
 struct PipelineResult {

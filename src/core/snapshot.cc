@@ -1,8 +1,15 @@
 #include "src/core/snapshot.h"
 
+#include <chrono>
+#include <cstring>
+#include <memory>
 #include <set>
+#include <thread>
+#include <utility>
 
+#include "src/db/schema.h"
 #include "src/util/file_io.h"
+#include "src/util/mmap_file.h"
 #include "src/util/string_util.h"
 #include "src/util/varint.h"
 
@@ -11,7 +18,7 @@ namespace {
 
 // Stats structs are serialized as a count-prefixed varint list in member
 // order; the count is pinned by the format version, so adding a field means
-// bumping kSnapshotFormatVersion.
+// bumping the snapshot format versions.
 constexpr uint64_t ImportStats::*kImportStatsFields[] = {
     &ImportStats::events,
     &ImportStats::accesses_total,
@@ -67,9 +74,10 @@ bool GetStats(ByteCursor& in, Stats* stats, uint64_t Stats::*const (&fields)[N])
   return true;
 }
 
-std::string EncodeMetaSection(const AnalysisSnapshot& snapshot, size_t type_count) {
+std::string EncodeMetaSection(const AnalysisSnapshot& snapshot, size_t type_count,
+                              uint64_t format_version) {
   std::string payload;
-  PutVarint(payload, kSnapshotFormatVersion);
+  PutVarint(payload, format_version);
   PutStats(payload, snapshot.import_stats, kImportStatsFields);
   PutStats(payload, snapshot.trace_stats, kTraceStatsFields);
   PutVarint(payload, type_count);
@@ -77,16 +85,16 @@ std::string EncodeMetaSection(const AnalysisSnapshot& snapshot, size_t type_coun
 }
 
 Status DecodeMetaSection(std::string_view payload, const TypeRegistry& registry,
-                         AnalysisSnapshot* snapshot) {
+                         uint64_t expected_version, AnalysisSnapshot* snapshot) {
   ByteCursor in{payload.data(), payload.size(), 0};
   uint64_t version = 0;
   if (!GetVarint(in, &version)) {
     return Status::Error("snapshot meta: unreadable version");
   }
-  if (version != kSnapshotFormatVersion) {
-    return Status::Error(StrFormat("snapshot meta: format version %llu, this build reads %llu",
+  if (version != expected_version) {
+    return Status::Error(StrFormat("snapshot meta: format version %llu, this container reads %llu",
                                    static_cast<unsigned long long>(version),
-                                   static_cast<unsigned long long>(kSnapshotFormatVersion)));
+                                   static_cast<unsigned long long>(expected_version)));
   }
   if (!GetStats(in, &snapshot->import_stats, kImportStatsFields)) {
     return Status::Error("snapshot meta: bad import stats");
@@ -193,6 +201,67 @@ Status DecodeSeqsSection(std::string_view payload, size_t pool_size,
   return Status::Ok();
 }
 
+// v2 seqs section: columnar fixed-width arrays instead of varints —
+//   u64 seq_count | u64 total_ids | u32 len[seq_count] | u32 ids[total_ids]
+// Decoding is a bounds-checked linear sweep with no varint branches.
+std::string EncodeSeqsSectionV2(const ObservationStore& store) {
+  std::string payload;
+  uint64_t total_ids = 0;
+  for (uint32_t i = 0; i < store.distinct_seqs(); ++i) {
+    total_ids += store.id_seq(i).size();
+  }
+  AppendUint64LE(payload, store.distinct_seqs());
+  AppendUint64LE(payload, total_ids);
+  for (uint32_t i = 0; i < store.distinct_seqs(); ++i) {
+    AppendUint32LE(payload, static_cast<uint32_t>(store.id_seq(i).size()));
+  }
+  for (uint32_t i = 0; i < store.distinct_seqs(); ++i) {
+    for (LockId id : store.id_seq(i)) {
+      AppendUint32LE(payload, id);
+    }
+  }
+  return payload;
+}
+
+Status DecodeSeqsSectionV2(std::string_view payload, size_t pool_size,
+                           std::vector<IdSeq>* id_seqs) {
+  if (payload.size() < 16) {
+    return Status::Error("snapshot seqs: bad sequence count");
+  }
+  uint64_t count = LoadUint64LE(payload.data());
+  uint64_t total_ids = LoadUint64LE(payload.data() + 8);
+  // Exact size up front: corrupt counts cannot drive allocations.
+  if (count > payload.size() || total_ids > payload.size() ||
+      payload.size() != 16 + 4 * count + 4 * total_ids) {
+    return Status::Error("snapshot seqs: bad sequence count");
+  }
+  const char* lens = payload.data() + 16;
+  const char* ids = lens + 4 * count;
+  id_seqs->reserve(count);
+  uint64_t consumed = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t length = LoadUint32LE(lens + 4 * i);
+    if (length > total_ids - consumed) {
+      return Status::Error("snapshot seqs: bad sequence length");
+    }
+    IdSeq seq;
+    seq.reserve(length);
+    for (uint32_t j = 0; j < length; ++j) {
+      uint32_t id = LoadUint32LE(ids + 4 * (consumed + j));
+      if (id >= pool_size) {
+        return Status::Error("snapshot seqs: lock id out of range");
+      }
+      seq.push_back(id);
+    }
+    consumed += length;
+    id_seqs->push_back(std::move(seq));
+  }
+  if (consumed != total_ids) {
+    return Status::Error("snapshot seqs: trailing bytes");
+  }
+  return Status::Ok();
+}
+
 std::string EncodeGroupsSection(const ObservationStore& store) {
   std::string payload;
   PutVarint(payload, store.groups().size());
@@ -278,28 +347,171 @@ Status DecodeGroupsSection(std::string_view payload, const TypeRegistry& registr
   return Status::Ok();
 }
 
-}  // namespace
-
-std::string SerializeSnapshot(const AnalysisSnapshot& snapshot, const TypeRegistry& registry) {
-  SnapshotWriter writer;
-  writer.AddSection(kSnapshotSectionMeta, EncodeMetaSection(snapshot, registry.type_count()));
-  writer.AddSection(kSnapshotSectionStrings, EncodeStringsSection(snapshot.db.strings()));
-  for (const std::string& name : snapshot.db.TableNames()) {
-    writer.AddSection(kSnapshotSectionTable, EncodeTableSection(snapshot.db.table(name)));
+// v2 groups section: one struct-of-arrays block (all little-endian) —
+//   u64 key_count K | u64 group_count G | u64 seq_total S
+//   u32 type[K] | u32 subclass[K] | u32 member[K] | u32 groups_per_key[K]
+//   u32 lockseq[G] | u32 n_reads[G] | u32 n_writes[G]
+//   u64 txn[G] | u64 alloc[G] | u32 seqs_per_group[G]
+//   u64 seqs[S]
+std::string EncodeGroupsSectionV2(const ObservationStore& store) {
+  uint64_t key_count = store.groups().size();
+  uint64_t group_count = 0;
+  uint64_t seq_total = 0;
+  for (const auto& [key, groups] : store.groups()) {
+    group_count += groups.size();
+    for (const ObservationGroup& group : groups) {
+      seq_total += group.seqs.size();
+    }
   }
-  writer.AddSection(kSnapshotSectionPool, EncodePoolSection(snapshot.observations.pool()));
-  writer.AddSection(kSnapshotSectionSeqs, EncodeSeqsSection(snapshot.observations));
-  writer.AddSection(kSnapshotSectionGroups, EncodeGroupsSection(snapshot.observations));
-  return writer.Finish();
+  std::string payload;
+  payload.reserve(24 + 16 * key_count + 32 * group_count + 8 * seq_total);
+  AppendUint64LE(payload, key_count);
+  AppendUint64LE(payload, group_count);
+  AppendUint64LE(payload, seq_total);
+  auto per_key = [&](auto&& fn) {
+    for (const auto& [key, groups] : store.groups()) {
+      fn(key, groups);
+    }
+  };
+  per_key([&](const MemberObsKey& key, const auto&) { AppendUint32LE(payload, key.type); });
+  per_key(
+      [&](const MemberObsKey& key, const auto&) { AppendUint32LE(payload, key.subclass); });
+  per_key([&](const MemberObsKey& key, const auto&) { AppendUint32LE(payload, key.member); });
+  per_key([&](const MemberObsKey&, const auto& groups) {
+    AppendUint32LE(payload, static_cast<uint32_t>(groups.size()));
+  });
+  auto per_group = [&](auto&& fn) {
+    for (const auto& [key, groups] : store.groups()) {
+      for (const ObservationGroup& group : groups) {
+        fn(group);
+      }
+    }
+  };
+  per_group([&](const ObservationGroup& g) { AppendUint32LE(payload, g.lockseq_id); });
+  per_group([&](const ObservationGroup& g) { AppendUint32LE(payload, g.n_reads); });
+  per_group([&](const ObservationGroup& g) { AppendUint32LE(payload, g.n_writes); });
+  per_group([&](const ObservationGroup& g) { AppendUint64LE(payload, g.txn_id); });
+  per_group([&](const ObservationGroup& g) { AppendUint64LE(payload, g.alloc_id); });
+  per_group([&](const ObservationGroup& g) {
+    AppendUint32LE(payload, static_cast<uint32_t>(g.seqs.size()));
+  });
+  per_group([&](const ObservationGroup& g) {
+    for (uint64_t seq : g.seqs) {
+      AppendUint64LE(payload, seq);
+    }
+  });
+  return payload;
 }
 
-Result<AnalysisSnapshot> DeserializeSnapshot(std::string_view bytes,
-                                             const TypeRegistry& registry) {
-  Result<std::vector<SnapshotSection>> scan = ScanSnapshotSections(bytes);
+Status DecodeGroupsSectionV2(std::string_view payload, const TypeRegistry& registry,
+                             size_t seq_count,
+                             std::map<MemberObsKey, std::vector<ObservationGroup>>* groups) {
+  if (payload.size() < 24) {
+    return Status::Error("snapshot groups: bad key count");
+  }
+  uint64_t key_count = LoadUint64LE(payload.data());
+  uint64_t group_count = LoadUint64LE(payload.data() + 8);
+  uint64_t seq_total = LoadUint64LE(payload.data() + 16);
+  if (key_count > payload.size() || group_count > payload.size() ||
+      seq_total > payload.size() ||
+      payload.size() != 24 + 16 * key_count + 32 * group_count + 8 * seq_total) {
+    return Status::Error("snapshot groups: bad key count");
+  }
+  const char* base = payload.data() + 24;
+  const char* key_type = base;
+  const char* key_subclass = key_type + 4 * key_count;
+  const char* key_member = key_subclass + 4 * key_count;
+  const char* groups_per_key = key_member + 4 * key_count;
+  const char* lockseq = groups_per_key + 4 * key_count;
+  const char* n_reads = lockseq + 4 * group_count;
+  const char* n_writes = n_reads + 4 * group_count;
+  const char* txn = n_writes + 4 * group_count;
+  const char* alloc = txn + 8 * group_count;
+  const char* seqs_per_group = alloc + 8 * group_count;
+  const char* seqs = seqs_per_group + 4 * group_count;
+
+  MemberObsKey previous;
+  uint64_t group_cursor = 0;
+  uint64_t seq_cursor = 0;
+  for (uint64_t i = 0; i < key_count; ++i) {
+    MemberObsKey key;
+    key.type = LoadUint32LE(key_type + 4 * i);
+    key.subclass = LoadUint32LE(key_subclass + 4 * i);
+    key.member = LoadUint32LE(key_member + 4 * i);
+    if (key.type >= registry.type_count() ||
+        key.member >= registry.layout(key.type).member_count()) {
+      return Status::Error("snapshot groups: key out of registry range");
+    }
+    if (i > 0 && !(previous < key)) {
+      return Status::Error("snapshot groups: keys out of order");
+    }
+    previous = key;
+    uint32_t member_group_count = LoadUint32LE(groups_per_key + 4 * i);
+    if (member_group_count > group_count - group_cursor) {
+      return Status::Error("snapshot groups: bad group count");
+    }
+    std::vector<ObservationGroup> member_groups;
+    member_groups.reserve(member_group_count);
+    for (uint32_t g = 0; g < member_group_count; ++g) {
+      uint64_t row = group_cursor + g;
+      ObservationGroup group;
+      group.lockseq_id = LoadUint32LE(lockseq + 4 * row);
+      if (group.lockseq_id >= seq_count) {
+        return Status::Error("snapshot groups: bad group");
+      }
+      group.n_reads = LoadUint32LE(n_reads + 4 * row);
+      group.n_writes = LoadUint32LE(n_writes + 4 * row);
+      group.txn_id = LoadUint64LE(txn + 8 * row);
+      group.alloc_id = LoadUint64LE(alloc + 8 * row);
+      uint32_t seq_len = LoadUint32LE(seqs_per_group + 4 * row);
+      if (seq_len > seq_total - seq_cursor) {
+        return Status::Error("snapshot groups: bad group");
+      }
+      group.seqs.resize(seq_len);
+      // The seq ids are contiguous LE u64s and the host is little-endian
+      // (static_assert in src/db/snapshot.cc), so the whole span copies
+      // flat — this loop dominates the groups decode on big snapshots.
+      std::memcpy(group.seqs.data(), seqs + 8 * seq_cursor, 8 * size_t{seq_len});
+      seq_cursor += seq_len;
+      member_groups.push_back(std::move(group));
+    }
+    group_cursor += member_group_count;
+    groups->emplace(key, std::move(member_groups));
+  }
+  if (group_cursor != group_count || seq_cursor != seq_total) {
+    return Status::Error("snapshot groups: trailing bytes");
+  }
+  return Status::Ok();
+}
+
+// Owned aligned backing for in-memory v2 deserialization: std::string data
+// has no alignment guarantee, so the bytes are copied once into a
+// uint64-aligned buffer the views can point into.
+struct OwnedBacking : SnapshotBacking {
+  std::unique_ptr<uint64_t[]> buffer;
+};
+
+// File-mapped backing for the zero-copy LoadSnapshot path.
+struct MappedBacking : SnapshotBacking {
+  MappedFile file;
+};
+
+// Shared decode across container versions; `backing` is non-null when
+// numeric table columns may be attached as views into `bytes`.
+Result<AnalysisSnapshot> DeserializeImpl(std::string_view bytes, const TypeRegistry& registry,
+                                         const SnapshotLoadOptions& options,
+                                         std::shared_ptr<const SnapshotBacking> backing) {
+  uint64_t container_version = SnapshotContainerVersion(bytes);
+  SnapshotScanMode mode = (container_version == 2 && !options.verify_payload_crcs)
+                              ? SnapshotScanMode::kVerifyHeaders
+                              : SnapshotScanMode::kVerifyAll;
+  Result<std::vector<SnapshotSection>> scan = ScanSnapshotSections(bytes, mode);
   if (!scan.ok()) {
     return scan.status();
   }
   const std::vector<SnapshotSection>& sections = scan.value();
+  const bool v2 = container_version == 2;
+  const uint64_t meta_version = v2 ? kSnapshotFormatVersionV2 : kSnapshotFormatVersion;
 
   // Enforce the fixed section order: meta, strings, table*, pool, seqs,
   // groups.
@@ -307,7 +519,7 @@ Result<AnalysisSnapshot> DeserializeSnapshot(std::string_view bytes,
     return Status::Error("snapshot: missing meta section");
   }
   AnalysisSnapshot snapshot;
-  Status status = DecodeMetaSection(sections[0].payload, registry, &snapshot);
+  Status status = DecodeMetaSection(sections[0].payload, registry, meta_version, &snapshot);
   if (!status.ok()) {
     return status;
   }
@@ -320,11 +532,22 @@ Result<AnalysisSnapshot> DeserializeSnapshot(std::string_view bytes,
   }
   size_t index = 2;
   while (index < sections.size() && sections[index].type == kSnapshotSectionTable) {
-    status = DecodeTableSection(sections[index].payload, &snapshot.db);
+    status = v2 ? DecodeTableSectionV2(sections[index].payload,
+                                       /*zero_copy=*/backing != nullptr, &snapshot.db)
+                : DecodeTableSection(sections[index].payload, &snapshot.db);
     if (!status.ok()) {
       return status;
     }
     ++index;
+  }
+  // A structurally clean container can still be semantically incomplete —
+  // doctor --repair drops damaged sections wholesale. Catch a missing table
+  // here rather than CHECK-failing at the first analysis lookup.
+  for (const char* name : LockDocSchema::kAllTables) {
+    if (!snapshot.db.HasTable(name)) {
+      return Status::Error(
+          StrFormat("snapshot: required table '%s' missing (truncated or repaired file?)", name));
+    }
   }
   if (sections.size() - index != 3 || sections[index].type != kSnapshotSectionPool ||
       sections[index + 1].type != kSnapshotSectionSeqs ||
@@ -337,35 +560,265 @@ Result<AnalysisSnapshot> DeserializeSnapshot(std::string_view bytes,
     return status;
   }
   std::vector<IdSeq> id_seqs;
-  status = DecodeSeqsSection(sections[index + 1].payload, pool.size(), &id_seqs);
+  status = v2 ? DecodeSeqsSectionV2(sections[index + 1].payload, pool.size(), &id_seqs)
+              : DecodeSeqsSection(sections[index + 1].payload, pool.size(), &id_seqs);
   if (!status.ok()) {
     return status;
   }
   std::map<MemberObsKey, std::vector<ObservationGroup>> groups;
-  status = DecodeGroupsSection(sections[index + 2].payload, registry, id_seqs.size(), &groups);
+  status = v2 ? DecodeGroupsSectionV2(sections[index + 2].payload, registry, id_seqs.size(),
+                                      &groups)
+              : DecodeGroupsSection(sections[index + 2].payload, registry, id_seqs.size(),
+                                    &groups);
   if (!status.ok()) {
     return status;
   }
   snapshot.observations.ResetForSnapshot(std::move(pool), std::move(id_seqs),
                                          std::move(groups));
+  snapshot.backing = std::move(backing);
+  return snapshot;
+}
+
+}  // namespace
+
+Result<std::string> SerializeSnapshotBytes(const AnalysisSnapshot& snapshot,
+                                           const TypeRegistry& registry,
+                                           const SnapshotWriteOptions& options) {
+  LOCKDOC_CHECK(options.container_version == 1 || options.container_version == 2);
+  const bool v2 = options.container_version == 2;
+  const std::vector<std::string> names = snapshot.db.TableNames();
+  // Section payloads are independent, so they encode in parallel; the
+  // container assembly below stays serial and deterministic.
+  const size_t section_count = names.size() + 5;
+  std::vector<std::string> payloads(section_count);
+  auto encode_one = [&](size_t i) {
+    if (i == 0) {
+      payloads[i] = EncodeMetaSection(snapshot, registry.type_count(),
+                                      v2 ? kSnapshotFormatVersionV2 : kSnapshotFormatVersion);
+    } else if (i == 1) {
+      payloads[i] = EncodeStringsSection(snapshot.db.strings());
+    } else if (i < 2 + names.size()) {
+      const Table& table = snapshot.db.table(names[i - 2]);
+      payloads[i] = v2 ? EncodeTableSectionV2(table) : EncodeTableSection(table);
+    } else if (i == 2 + names.size()) {
+      payloads[i] = EncodePoolSection(snapshot.observations.pool());
+    } else if (i == 3 + names.size()) {
+      payloads[i] =
+          v2 ? EncodeSeqsSectionV2(snapshot.observations) : EncodeSeqsSection(snapshot.observations);
+    } else {
+      payloads[i] = v2 ? EncodeGroupsSectionV2(snapshot.observations)
+                       : EncodeGroupsSection(snapshot.observations);
+    }
+  };
+  if (options.pool != nullptr) {
+    options.pool->ParallelFor(section_count, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        encode_one(i);
+      }
+    });
+  } else {
+    for (size_t i = 0; i < section_count; ++i) {
+      encode_one(i);
+    }
+  }
+  SnapshotWriter writer(options.container_version);
+  writer.set_crc_pool(options.pool);
+  size_t framed = 0;
+  for (const std::string& payload : payloads) {
+    // Upper bound on per-section framing overhead for either version.
+    framed += kSnapshotV2FrameHeaderSize + PaddedPayloadSize(payload.size()) + 16;
+  }
+  writer.Reserve(framed);
+  writer.AddSection(kSnapshotSectionMeta, payloads[0]);
+  writer.AddSection(kSnapshotSectionStrings, payloads[1]);
+  for (size_t i = 0; i < names.size(); ++i) {
+    writer.AddSection(kSnapshotSectionTable, payloads[2 + i]);
+  }
+  writer.AddSection(kSnapshotSectionPool, payloads[2 + names.size()]);
+  writer.AddSection(kSnapshotSectionSeqs, payloads[3 + names.size()]);
+  writer.AddSection(kSnapshotSectionGroups, payloads[4 + names.size()]);
+  return writer.Finish();
+}
+
+std::string SerializeSnapshot(const AnalysisSnapshot& snapshot, const TypeRegistry& registry,
+                              const SnapshotWriteOptions& options) {
+  Result<std::string> bytes = SerializeSnapshotBytes(snapshot, registry, options);
+  LOCKDOC_CHECK(bytes.ok());
+  return std::move(bytes).value();
+}
+
+Result<AnalysisSnapshot> DeserializeSnapshot(std::string_view bytes,
+                                             const TypeRegistry& registry,
+                                             const SnapshotLoadOptions& options) {
+  if (SnapshotContainerVersion(bytes) != 2) {
+    return DeserializeImpl(bytes, registry, options, nullptr);
+  }
+  // v2 numeric columns view into the container bytes; copy them once into
+  // an aligned owned buffer the snapshot keeps alive (a caller's
+  // std::string has no alignment guarantee and no pinned lifetime).
+  auto backing = std::make_shared<OwnedBacking>();
+  backing->buffer = std::make_unique<uint64_t[]>((bytes.size() + 7) / 8);
+  std::memcpy(backing->buffer.get(), bytes.data(), bytes.size());
+  backing->bytes =
+      std::string_view(reinterpret_cast<const char*>(backing->buffer.get()), bytes.size());
+  std::string_view view = backing->bytes;
+  return DeserializeImpl(view, registry, options, std::move(backing));
+}
+
+Result<AnalysisSnapshot> BuildAndSaveSnapshot(const Trace& trace, const TypeRegistry& registry,
+                                              const PipelineOptions& options,
+                                              const SnapshotWriteOptions& write_options,
+                                              const std::string& path,
+                                              PipelineTimings* timings) {
+  LOCKDOC_CHECK(write_options.container_version == 1 || write_options.container_version == 2);
+  const bool v2 = write_options.container_version == 2;
+  using Clock = std::chrono::steady_clock;
+  auto seconds = [](Clock::time_point from, Clock::time_point to) {
+    return std::chrono::duration<double>(to - from).count();
+  };
+
+  AnalysisSnapshot snapshot;
+  ThreadPool pool(options.jobs);
+  if (timings != nullptr) {
+    timings->jobs = pool.thread_count();
+  }
+
+  auto t0 = Clock::now();
+  TraceImporter importer(&registry, options.filter);
+  snapshot.import_stats = importer.Import(trace, &snapshot.db, &pool);
+  snapshot.trace_stats = ComputeTraceStats(trace);
+  auto t1 = Clock::now();
+  if (timings != nullptr) {
+    timings->Add("database import", seconds(t0, t1), snapshot.import_stats.events);
+  }
+
+  AtomicFileWriter file;
+  Status io = file.Open(path);
+  if (!io.ok()) {
+    return io;
+  }
+
+  SnapshotWriter writer(write_options.container_version);
+  size_t flushed = 0;
+  auto flush = [&]() -> Status {
+    std::string_view pending = writer.pending();
+    Status status = file.Append(pending.substr(flushed));
+    flushed = pending.size();
+    file.FlushHint();
+    return status;
+  };
+
+  // Everything up to the observation sections is fully determined by the
+  // import, so the head of the file — meta, strings, and the table sections
+  // that dominate its size — can encode and stream to disk while extraction
+  // runs. The head writer only *reads* the database (encode + CRC); the
+  // extraction threads also only read it, so the two proceed without
+  // synchronization beyond the join below.
+  const std::vector<std::string> names = snapshot.db.TableNames();
+  Status head_io;
+  auto write_head = [&]() {
+    writer.AddSection(kSnapshotSectionMeta,
+                      EncodeMetaSection(snapshot, registry.type_count(),
+                                        v2 ? kSnapshotFormatVersionV2 : kSnapshotFormatVersion));
+    writer.AddSection(kSnapshotSectionStrings, EncodeStringsSection(snapshot.db.strings()));
+    head_io = flush();
+    for (const std::string& name : names) {
+      if (!head_io.ok()) {
+        return;
+      }
+      const Table& table = snapshot.db.table(name);
+      writer.AddSection(kSnapshotSectionTable,
+                        v2 ? EncodeTableSectionV2(table) : EncodeTableSection(table));
+      head_io = flush();
+    }
+  };
+
+  // With one job the contract is a strictly serial pipeline; the overlap is
+  // only taken when the caller asked for parallelism.
+  const bool overlap = pool.thread_count() > 1;
+  std::thread head_thread;
+  if (overlap) {
+    head_thread = std::thread(write_head);
+  }
+
+  snapshot.observations = ExtractObservations(snapshot.db, registry, &pool);
+  auto t2 = Clock::now();
+  if (timings != nullptr) {
+    timings->Add("observation extraction", seconds(t1, t2),
+                 snapshot.import_stats.accesses_kept);
+  }
+
+  if (overlap) {
+    head_thread.join();
+  } else {
+    write_head();
+  }
+  if (!head_io.ok()) {
+    return head_io;  // Append already removed the temp file.
+  }
+
+  // Tail sections depend on the extracted observations. The pool is idle
+  // again, so the payload CRCs may use it.
+  writer.set_crc_pool(&pool);
+  writer.AddSection(kSnapshotSectionPool, EncodePoolSection(snapshot.observations.pool()));
+  writer.AddSection(kSnapshotSectionSeqs, v2 ? EncodeSeqsSectionV2(snapshot.observations)
+                                             : EncodeSeqsSection(snapshot.observations));
+  writer.AddSection(kSnapshotSectionGroups, v2 ? EncodeGroupsSectionV2(snapshot.observations)
+                                               : EncodeGroupsSection(snapshot.observations));
+  Result<std::string> bytes = writer.Finish();
+  if (!bytes.ok()) {
+    file.Abort();
+    return bytes.status();
+  }
+  io = file.Append(std::string_view(bytes.value()).substr(flushed));
+  if (!io.ok()) {
+    return io;
+  }
+  io = file.Commit();
+  if (!io.ok()) {
+    return io;
+  }
+  auto t3 = Clock::now();
+  if (timings != nullptr) {
+    // Only the tail that could not hide behind extraction; the overlapped
+    // head writing is already accounted inside the extraction wall time.
+    timings->Add("snapshot save", seconds(t2, t3), bytes.value().size());
+  }
   return snapshot;
 }
 
 Status SaveSnapshot(const AnalysisSnapshot& snapshot, const TypeRegistry& registry,
-                    const std::string& path) {
+                    const std::string& path, const SnapshotWriteOptions& options) {
   // Atomic (temp + fsync + rename): a crash mid-save leaves the previous
   // snapshot intact instead of a half-written .lockdb the checksums would
   // then reject.
-  std::string bytes = SerializeSnapshot(snapshot, registry);
-  return WriteFileAtomic(path, bytes);
-}
-
-Result<AnalysisSnapshot> LoadSnapshot(const std::string& path, const TypeRegistry& registry) {
-  auto bytes = ReadFileToString(path);
+  Result<std::string> bytes = SerializeSnapshotBytes(snapshot, registry, options);
   if (!bytes.ok()) {
     return bytes.status();
   }
-  return DeserializeSnapshot(bytes.value(), registry);
+  return WriteFileAtomic(path, bytes.value());
+}
+
+Result<AnalysisSnapshot> LoadSnapshot(const std::string& path, const TypeRegistry& registry,
+                                      const SnapshotLoadOptions& options) {
+  Result<MappedFile> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) {
+    return mapped.status();
+  }
+  auto backing = std::make_shared<MappedBacking>();
+  backing->file = std::move(mapped).value();
+  backing->bytes = backing->file.bytes();
+  std::string_view bytes = backing->bytes;
+  if (options.verify_payload_crcs) {
+    // The CRC sweep is about to read every page front to back; batch the
+    // faults. The trusted load skips this so untouched pages never fault.
+    backing->file.AdviseSequentialScan();
+  }
+  if (SnapshotContainerVersion(bytes) != 2) {
+    // v1 decodes into owned storage; the mapping is released on return.
+    return DeserializeImpl(bytes, registry, options, nullptr);
+  }
+  return DeserializeImpl(bytes, registry, options, std::move(backing));
 }
 
 }  // namespace lockdoc

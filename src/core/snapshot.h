@@ -7,7 +7,17 @@
 // table in name order, pool, seqs, groups, end — and every payload is
 // emitted from deterministically-ordered containers, so serializing the
 // same snapshot always yields byte-identical files regardless of the thread
-// count that built it.
+// count that built it. Payload encoding per section is parallelized over
+// the optional thread pool; the concatenation stays serial, preserving the
+// byte-identity contract.
+//
+// Two container versions are written and read (docs/lockdb-format.md):
+// v1 keeps the original varint payloads; v2 (the default) lays out numeric
+// table columns and the observation id-sequences/groups as fixed-width
+// little-endian arrays, 8-byte aligned, so LoadSnapshot can mmap the file
+// and attach table columns as in-place views (zero-copy) instead of
+// decoding them. DeserializeSnapshot falls back to the owned-copy path for
+// v1 files automatically.
 #ifndef SRC_CORE_SNAPSHOT_H_
 #define SRC_CORE_SNAPSHOT_H_
 
@@ -18,23 +28,81 @@
 #include "src/db/snapshot.h"
 #include "src/model/type_registry.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace lockdoc {
 
+struct SnapshotWriteOptions {
+  // 2 writes the zero-copy columnar container, 1 the legacy varint one.
+  uint64_t container_version = 2;
+  // When set, section payloads are encoded in parallel (output bytes are
+  // identical either way).
+  ThreadPool* pool = nullptr;
+};
+
+struct SnapshotLoadOptions {
+  // Verify every payload CRC during the load. On v2 containers this is a
+  // straight CRC32 sweep over the mapped bytes — still far cheaper than a
+  // v1 varint decode — and it is the default because every shipped consumer
+  // (CLI analysis, serve, doctor) promises never to compute on corrupt
+  // bytes. Set to false only when the file is trusted (e.g. written moments
+  // ago by the same process, or benchmarking the pure zero-copy path): the
+  // v2 load then defers table payload CRCs entirely and attaches column
+  // views unchecked. v1 files always verify (their frame CRC covers the
+  // payload).
+  bool verify_payload_crcs = true;
+};
+
 // Snapshot -> .lockdb bytes. `registry` is the registry the snapshot was
-// built with; its type count is recorded in the meta section.
-std::string SerializeSnapshot(const AnalysisSnapshot& snapshot, const TypeRegistry& registry);
+// built with; its type count is recorded in the meta section. Fails with a
+// typed error if a section exceeds its container's payload cap (satellite
+// of the 32-bit v1 length field).
+Result<std::string> SerializeSnapshotBytes(const AnalysisSnapshot& snapshot,
+                                           const TypeRegistry& registry,
+                                           const SnapshotWriteOptions& options = {});
 
-// .lockdb bytes -> snapshot. `registry` must be the registry the snapshot
-// was built with; its type count is verified against the meta section (a
-// snapshot is only meaningful against its own registry).
+// Convenience wrapper that CHECK-fails on serialization errors; real
+// snapshots sit far below the caps, so callers that just persist a freshly
+// built snapshot use this.
+std::string SerializeSnapshot(const AnalysisSnapshot& snapshot, const TypeRegistry& registry,
+                              const SnapshotWriteOptions& options = {});
+
+// .lockdb bytes -> snapshot (either container version). `registry` must be
+// the registry the snapshot was built with; its type count is verified
+// against the meta section (a snapshot is only meaningful against its own
+// registry). v2 bytes are copied once into an aligned owned buffer so
+// numeric table columns can be viewed in place; use LoadSnapshot to map a
+// file without that copy.
 Result<AnalysisSnapshot> DeserializeSnapshot(std::string_view bytes,
-                                             const TypeRegistry& registry);
+                                             const TypeRegistry& registry,
+                                             const SnapshotLoadOptions& options = {});
 
-// File conveniences.
+// Ingest + persist in one overlapped pass: imports `trace`, then streams
+// the meta/strings/table sections of the .lockdb file to disk on a writer
+// thread *while* the main thread extracts observations; only the three
+// observation sections wait for extraction. The file is written atomically
+// (temp + fsync + rename) and its bytes are identical to
+// SaveSnapshot(BuildSnapshot(...)) — the overlap changes when bytes reach
+// the disk, never which bytes. With jobs == 1 the phases run strictly
+// sequentially (the serial baseline stays honest). Appends the "database
+// import", "observation extraction", and "snapshot save" phases to
+// `timings`; the save phase reports only the wall time not hidden behind
+// extraction. On any error `path` is untouched.
+Result<AnalysisSnapshot> BuildAndSaveSnapshot(const Trace& trace, const TypeRegistry& registry,
+                                              const PipelineOptions& options,
+                                              const SnapshotWriteOptions& write_options,
+                                              const std::string& path,
+                                              PipelineTimings* timings = nullptr);
+
+// File conveniences. SaveSnapshot writes atomically (temp + fsync +
+// rename). LoadSnapshot mmaps the file: for v2 containers the mapping
+// becomes the snapshot's backing and numeric columns are zero-copy views
+// into it; v1 containers decode into owned storage and the mapping is
+// released before returning.
 Status SaveSnapshot(const AnalysisSnapshot& snapshot, const TypeRegistry& registry,
-                    const std::string& path);
-Result<AnalysisSnapshot> LoadSnapshot(const std::string& path, const TypeRegistry& registry);
+                    const std::string& path, const SnapshotWriteOptions& options = {});
+Result<AnalysisSnapshot> LoadSnapshot(const std::string& path, const TypeRegistry& registry,
+                                      const SnapshotLoadOptions& options = {});
 
 }  // namespace lockdoc
 

@@ -35,6 +35,15 @@ struct LockDocSchema {
                                                                // access_type, size, txn_id,
                                                                // context, task, file_sid, line,
                                                                // stack_id, filter_reason
+
+  // Every table the analyses assume exists. Snapshot loads check the decoded
+  // database against this list so a partial file (e.g. doctor --repair
+  // dropped a damaged table section) fails with a typed error instead of
+  // tripping a CHECK at first lookup.
+  static constexpr const char* kAllTables[] = {
+      kDataTypes, kSubclasses, kMembers,     kAllocations, kLocks,
+      kTxns,      kTxnLocks,   kStackFrames, kAccesses,
+  };
 };
 
 // Reasons an access row is excluded from rule derivation (Sec. 5.3).

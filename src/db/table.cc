@@ -14,6 +14,27 @@ Table::Table(std::string name, std::vector<ColumnDef> columns)
   LOCKDOC_CHECK(!columns_.empty());
 }
 
+Table::Table(Table&& other) noexcept
+    : name_(std::move(other.name_)),
+      columns_(std::move(other.columns_)),
+      storage_(std::move(other.storage_)),
+      row_count_(other.row_count_),
+      indexes_(std::move(other.indexes_)) {
+  other.row_count_ = 0;
+}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    columns_ = std::move(other.columns_);
+    storage_ = std::move(other.storage_);
+    row_count_ = other.row_count_;
+    indexes_ = std::move(other.indexes_);
+    other.row_count_ = 0;
+  }
+  return *this;
+}
+
 size_t Table::ColumnIndex(std::string_view column_name) const {
   for (size_t i = 0; i < columns_.size(); ++i) {
     if (columns_[i].name == column_name) {
@@ -24,11 +45,28 @@ size_t Table::ColumnIndex(std::string_view column_name) const {
   return 0;
 }
 
+void Table::MaterializeColumn(size_t column) {
+  ColumnData& data = storage_[column];
+  if (!data.is_view()) {
+    return;
+  }
+  if (data.u64_view != nullptr) {
+    data.u64.assign(data.u64_view, data.u64_view + data.view_rows);
+    data.u64_view = nullptr;
+  }
+  if (data.f64_view != nullptr) {
+    data.f64.assign(data.f64_view, data.f64_view + data.view_rows);
+    data.f64_view = nullptr;
+  }
+  data.view_rows = 0;
+}
+
 RowId Table::Insert(const std::vector<DbValue>& values) {
   LOCKDOC_CHECK(values.size() == columns_.size());
   RowId row = row_count_;
   for (size_t i = 0; i < values.size(); ++i) {
     LOCKDOC_CHECK(DbValueType(values[i]) == columns_[i].type);
+    MaterializeColumn(i);
     switch (columns_[i].type) {
       case ColumnType::kUint64:
         storage_[i].u64.push_back(std::get<uint64_t>(values[i]));
@@ -43,7 +81,9 @@ RowId Table::Insert(const std::vector<DbValue>& values) {
   }
   ++row_count_;
   for (auto& [column, index] : indexes_) {
-    index[storage_[column].u64[row]].push_back(row);
+    if (index->built.load(std::memory_order_acquire)) {
+      index->map[storage_[column].u64[row]].push_back(row);
+    }
   }
   return row;
 }
@@ -51,13 +91,15 @@ RowId Table::Insert(const std::vector<DbValue>& values) {
 uint64_t Table::GetUint64(RowId row, size_t column) const {
   LOCKDOC_CHECK(row < row_count_ && column < columns_.size());
   LOCKDOC_CHECK(columns_[column].type == ColumnType::kUint64);
-  return storage_[column].u64[row];
+  const ColumnData& data = storage_[column];
+  return data.u64_view != nullptr ? data.u64_view[row] : data.u64[row];
 }
 
 double Table::GetDouble(RowId row, size_t column) const {
   LOCKDOC_CHECK(row < row_count_ && column < columns_.size());
   LOCKDOC_CHECK(columns_[column].type == ColumnType::kDouble);
-  return storage_[column].f64[row];
+  const ColumnData& data = storage_[column];
+  return data.f64_view != nullptr ? data.f64_view[row] : data.f64[row];
 }
 
 const std::string& Table::GetString(RowId row, size_t column) const {
@@ -69,48 +111,87 @@ const std::string& Table::GetString(RowId row, size_t column) const {
 void Table::SetUint64(RowId row, size_t column, uint64_t value) {
   LOCKDOC_CHECK(row < row_count_ && column < columns_.size());
   LOCKDOC_CHECK(columns_[column].type == ColumnType::kUint64);
+  MaterializeColumn(column);
   uint64_t old_value = storage_[column].u64[row];
   if (old_value == value) {
     return;
   }
   storage_[column].u64[row] = value;
   auto it = indexes_.find(column);
-  if (it != indexes_.end()) {
-    auto& rows = it->second[old_value];
+  if (it != indexes_.end() && it->second->built.load(std::memory_order_acquire)) {
+    auto& rows = it->second->map[old_value];
     std::erase(rows, row);
-    it->second[value].push_back(row);
+    it->second->map[value].push_back(row);
   }
+}
+
+const uint64_t* Table::ColumnU64Data(size_t column) const {
+  LOCKDOC_CHECK(column < columns_.size());
+  LOCKDOC_CHECK(columns_[column].type == ColumnType::kUint64);
+  const ColumnData& data = storage_[column];
+  return data.u64_view != nullptr ? data.u64_view : data.u64.data();
+}
+
+const double* Table::ColumnF64Data(size_t column) const {
+  LOCKDOC_CHECK(column < columns_.size());
+  LOCKDOC_CHECK(columns_[column].type == ColumnType::kDouble);
+  const ColumnData& data = storage_[column];
+  return data.f64_view != nullptr ? data.f64_view : data.f64.data();
 }
 
 void Table::CreateIndex(size_t column) {
   LOCKDOC_CHECK(column < columns_.size());
   LOCKDOC_CHECK(columns_[column].type == ColumnType::kUint64);
   auto& index = indexes_[column];
-  index.clear();
-  const auto& data = storage_[column].u64;
-  for (RowId row = 0; row < row_count_; ++row) {
-    index[data[row]].push_back(row);
+  if (index == nullptr) {
+    index = std::make_unique<LazyIndex>();
   }
+  index->map.clear();
+  index->built.store(false, std::memory_order_release);
 }
 
 bool Table::HasIndex(size_t column) const { return indexes_.count(column) != 0; }
+
+void Table::EnsureIndexBuilt(size_t column, LazyIndex& index) const {
+  if (index.built.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(index_build_mu_);
+  if (index.built.load(std::memory_order_acquire)) {
+    return;
+  }
+  const uint64_t* data = ColumnU64Data(column);
+  for (RowId row = 0; row < row_count_; ++row) {
+    index.map[data[row]].push_back(row);
+  }
+  index.built.store(true, std::memory_order_release);
+}
 
 std::vector<RowId> Table::LookupEqual(size_t column, uint64_t value) const {
   LOCKDOC_CHECK(column < columns_.size());
   LOCKDOC_CHECK(columns_[column].type == ColumnType::kUint64);
   auto index_it = indexes_.find(column);
   if (index_it != indexes_.end()) {
-    auto it = index_it->second.find(value);
-    return it == index_it->second.end() ? std::vector<RowId>{} : it->second;
+    EnsureIndexBuilt(column, *index_it->second);
+    auto it = index_it->second->map.find(value);
+    return it == index_it->second->map.end() ? std::vector<RowId>{} : it->second;
   }
   std::vector<RowId> result;
-  const auto& data = storage_[column].u64;
+  const uint64_t* data = ColumnU64Data(column);
   for (RowId row = 0; row < row_count_; ++row) {
     if (data[row] == value) {
       result.push_back(row);
     }
   }
   return result;
+}
+
+void Table::WarmIndex(size_t column) const {
+  LOCKDOC_CHECK(column < columns_.size());
+  auto index_it = indexes_.find(column);
+  if (index_it != indexes_.end()) {
+    EnsureIndexBuilt(column, *index_it->second);
+  }
 }
 
 void Table::Scan(const std::function<bool(RowId)>& fn) const {
@@ -134,10 +215,10 @@ void Table::ExportCsv(std::ostream& out) const {
     for (size_t i = 0; i < columns_.size(); ++i) {
       switch (columns_[i].type) {
         case ColumnType::kUint64:
-          row_text[i] = std::to_string(storage_[i].u64[row]);
+          row_text[i] = std::to_string(GetUint64(row, i));
           break;
         case ColumnType::kDouble:
-          row_text[i] = StrFormat("%.17g", storage_[i].f64[row]);
+          row_text[i] = StrFormat("%.17g", GetDouble(row, i));
           break;
         case ColumnType::kString:
           row_text[i] = storage_[i].str[row];
@@ -167,18 +248,15 @@ Status Table::ImportCsv(std::string_view document) {
     }
   }
 
-  // Clear current contents.
+  // Clear current contents (views included).
   for (ColumnData& column : storage_) {
-    column.u64.clear();
-    column.f64.clear();
-    column.str.clear();
+    column = ColumnData{};
   }
   row_count_ = 0;
-  std::vector<size_t> indexed_columns;
-  for (const auto& [column, index] : indexes_) {
-    indexed_columns.push_back(column);
+  for (auto& [column, index] : indexes_) {
+    index->map.clear();
+    index->built.store(false, std::memory_order_release);
   }
-  indexes_.clear();
 
   for (size_t r = 1; r < rows.size(); ++r) {
     const auto& row = rows[r];
@@ -212,9 +290,6 @@ Status Table::ImportCsv(std::string_view document) {
     }
     Insert(values);
   }
-  for (size_t column : indexed_columns) {
-    CreateIndex(column);
-  }
   return Status::Ok();
 }
 
@@ -227,27 +302,37 @@ void Table::ResetRows(size_t row_count, std::vector<ColumnData> storage) {
   LOCKDOC_CHECK(storage.size() == columns_.size());
   for (size_t i = 0; i < columns_.size(); ++i) {
     const ColumnData& column = storage[i];
+    size_t rows = column.is_view() ? column.view_rows : 0;
     switch (columns_[i].type) {
       case ColumnType::kUint64:
-        LOCKDOC_CHECK(column.u64.size() == row_count && column.f64.empty() &&
-                      column.str.empty());
+        if (column.is_view()) {
+          LOCKDOC_CHECK(column.u64_view != nullptr && rows == row_count &&
+                        column.u64.empty() && column.f64.empty() && column.str.empty());
+        } else {
+          LOCKDOC_CHECK(column.u64.size() == row_count && column.f64.empty() &&
+                        column.str.empty());
+        }
         break;
       case ColumnType::kDouble:
-        LOCKDOC_CHECK(column.f64.size() == row_count && column.u64.empty() &&
-                      column.str.empty());
+        if (column.is_view()) {
+          LOCKDOC_CHECK(column.f64_view != nullptr && rows == row_count &&
+                        column.f64.empty() && column.u64.empty() && column.str.empty());
+        } else {
+          LOCKDOC_CHECK(column.f64.size() == row_count && column.u64.empty() &&
+                        column.str.empty());
+        }
         break;
       case ColumnType::kString:
-        LOCKDOC_CHECK(column.str.size() == row_count && column.u64.empty() &&
-                      column.f64.empty());
+        LOCKDOC_CHECK(!column.is_view() && column.str.size() == row_count &&
+                      column.u64.empty() && column.f64.empty());
         break;
     }
   }
   storage_ = std::move(storage);
   row_count_ = row_count;
-  std::vector<size_t> indexed = IndexedColumns();
-  indexes_.clear();
-  for (size_t column : indexed) {
-    CreateIndex(column);
+  for (auto& [column, index] : indexes_) {
+    index->map.clear();
+    index->built.store(false, std::memory_order_release);
   }
 }
 

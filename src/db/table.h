@@ -1,9 +1,27 @@
 // A column-oriented table with equality hash indexes.
+//
+// Numeric columns can be *view-backed*: instead of owning a vector they
+// point into an externally owned buffer (an mmap-ed .lockdb v2 snapshot).
+// Views are copy-on-write — any mutation (Insert, SetUint64, ImportCsv)
+// materializes the affected columns into owned vectors first — so readers
+// never observe a half-owned column. The buffer behind a view must outlive
+// the table; src/core keeps the snapshot backing alive on AnalysisSnapshot.
+//
+// Hash indexes are declared eagerly but built lazily on the first
+// LookupEqual that needs them (loading a snapshot declares every persisted
+// index without paying for rebuilds the analysis may never use). Builds are
+// guarded by a mutex and published with an atomic flag, so concurrent
+// read-only lookups from the parallel extraction phase are safe; mutation
+// remains single-threaded, as before.
 #ifndef SRC_DB_TABLE_H_
 #define SRC_DB_TABLE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -19,17 +37,30 @@ struct ColumnDef {
   ColumnType type = ColumnType::kUint64;
 };
 
-// Column-major storage for one column; only the vector matching the
-// column's declared type is populated.
+// Column-major storage for one column; only the vector (or view) matching
+// the column's declared type is populated. A numeric column is view-backed
+// when its view pointer is set; `view_rows` then gives its length and the
+// owned vector is empty.
 struct ColumnData {
   std::vector<uint64_t> u64;
   std::vector<double> f64;
   std::vector<std::string> str;
+  const uint64_t* u64_view = nullptr;
+  const double* f64_view = nullptr;
+  size_t view_rows = 0;
+
+  bool is_view() const { return u64_view != nullptr || f64_view != nullptr; }
 };
 
 class Table {
  public:
   Table(std::string name, std::vector<ColumnDef> columns);
+
+  // Movable (the build mutex is freshly constructed; index pointers move).
+  // Moving a table that another thread is concurrently reading is a data
+  // race, same as any other mutation.
+  Table(Table&& other) noexcept;
+  Table& operator=(Table&& other) noexcept;
 
   const std::string& name() const { return name_; }
   size_t column_count() const { return columns_.size(); }
@@ -41,6 +72,7 @@ class Table {
   size_t ColumnIndex(std::string_view column_name) const;
 
   // Appends a row; values must match the schema's arity and types.
+  // Materializes any view-backed columns.
   RowId Insert(const std::vector<DbValue>& values);
 
   // Typed accessors; column type must match.
@@ -50,14 +82,27 @@ class Table {
 
   void SetUint64(RowId row, size_t column, uint64_t value);
 
-  // Creates (or refreshes) a hash index over a kUint64 column. Indexes are
-  // maintained incrementally by Insert afterwards.
+  // Contiguous storage of a numeric column (owned or view), valid for
+  // row_count() elements — the zero-copy serialization path.
+  const uint64_t* ColumnU64Data(size_t column) const;
+  const double* ColumnF64Data(size_t column) const;
+
+  // Declares a hash index over a kUint64 column. The index is built lazily
+  // by the first LookupEqual against the column; until then Insert/SetUint64
+  // skip maintenance (the eventual build sees the final rows).
   void CreateIndex(size_t column);
   bool HasIndex(size_t column) const;
 
-  // All rows whose `column` equals `value`; uses the index when present,
-  // otherwise scans.
+  // All rows whose `column` equals `value`; uses the index when declared
+  // (building it on first use), otherwise scans. Safe to call concurrently
+  // with other const methods.
   std::vector<RowId> LookupEqual(size_t column, uint64_t value) const;
+
+  // Forces a declared index to build now. Parallel lookup phases call this
+  // up front (possibly from a different thread than the lookups) so the
+  // one-time build does not serialize their first wave of LookupEqual
+  // calls. No-op for columns without a declared index.
+  void WarmIndex(size_t column) const;
 
   // Calls `fn` for each row id; returning false stops the scan.
   void Scan(const std::function<bool(RowId)>& fn) const;
@@ -70,21 +115,36 @@ class Table {
   const ColumnData& column_data(size_t column) const;
 
   // Replaces all rows with column-major storage; `storage` must have one
-  // entry per column whose populated vector matches the column type and has
-  // `row_count` elements. Indexes registered via CreateIndex are rebuilt.
+  // entry per column whose populated vector *or view* matches the column
+  // type and has `row_count` elements. Declared indexes are reset to
+  // unbuilt (they rebuild lazily from the new rows).
   void ResetRows(size_t row_count, std::vector<ColumnData> storage);
 
-  // Columns with a hash index, ascending — part of a snapshot so a loaded
-  // table answers LookupEqual exactly like the one that was saved.
+  // Columns with a declared hash index, ascending — part of a snapshot so a
+  // loaded table answers LookupEqual exactly like the one that was saved.
   std::vector<size_t> IndexedColumns() const;
 
  private:
+  // One lazily built equality index. `built` is the publication flag:
+  // set with release order after `map` is complete, read with acquire.
+  struct LazyIndex {
+    std::atomic<bool> built{false};
+    std::unordered_map<uint64_t, std::vector<RowId>> map;
+  };
+
+  // Copies a view-backed column into owned storage (no-op when owned).
+  void MaterializeColumn(size_t column);
+  // Builds `index` from the column's current rows if not built yet.
+  void EnsureIndexBuilt(size_t column, LazyIndex& index) const;
+
   std::string name_;
   std::vector<ColumnDef> columns_;
   std::vector<ColumnData> storage_;
   size_t row_count_ = 0;
-  // column index -> (value -> row ids)
-  std::unordered_map<size_t, std::unordered_map<uint64_t, std::vector<RowId>>> indexes_;
+  // column index -> lazy index. unique_ptr keeps LazyIndex addresses stable
+  // (atomics are not movable).
+  std::unordered_map<size_t, std::unique_ptr<LazyIndex>> indexes_;
+  mutable std::mutex index_build_mu_;
 };
 
 }  // namespace lockdoc

@@ -84,7 +84,10 @@ struct ServeService::ContextBox {
 struct ServeService::Resident {
   std::string name;
   std::shared_ptr<AnalysisSnapshot> snapshot;
-  uint64_t bytes = 0;  // Serialized .lockdb size: the eviction currency.
+  // The eviction currency charged against --max-resident-bytes: the mapped
+  // backing size for zero-copy v2 snapshots (their table columns live in
+  // the mmap, not the heap), the on-disk size otherwise.
+  uint64_t bytes = 0;
   // Contexts keyed by formatted tac; memoized rules depend on it.
   std::map<std::string, std::shared_ptr<ContextBox>> contexts;
 };
@@ -499,12 +502,11 @@ std::shared_ptr<ServeService::Resident> ServeService::GetResident(const std::str
     *error = StrFormat("no snapshot named '%s' in the resident store", name.c_str());
     return nullptr;
   }
-  auto bytes = ReadSpoolFileWithRetry(path);
-  if (!bytes.ok()) {
-    *error = bytes.status().message();
-    return nullptr;
-  }
-  auto snapshot = DeserializeSnapshot(bytes.value(), *registry_);
+  // Zero-copy load: v2 snapshots keep their table columns in the mapping.
+  // Payload CRCs are verified during the load (the SnapshotLoadOptions
+  // default) — the no-wrong-answer invariant does not bend for speed, and a
+  // CRC sweep over mapped bytes is still far cheaper than a v1 decode.
+  auto snapshot = LoadSnapshot(path, *registry_);
   if (!snapshot.ok()) {
     *error = StrFormat("snapshot '%s' is damaged (%s); try lockdoc doctor --repair",
                        name.c_str(), snapshot.status().message().c_str());
@@ -514,7 +516,12 @@ std::shared_ptr<ServeService::Resident> ServeService::GetResident(const std::str
   auto resident = std::make_shared<Resident>();
   resident->name = name;
   resident->snapshot = std::make_shared<AnalysisSnapshot>(std::move(snapshot.value()));
-  resident->bytes = bytes.value().size();
+  if (resident->snapshot->backing != nullptr) {
+    resident->bytes = resident->snapshot->backing->bytes.size();
+  } else {
+    auto size = FileSize(path);
+    resident->bytes = size.ok() ? size.value() : 0;
+  }
   residents_[name] = resident;
   lru_.push_front(name);
   resident_bytes_ += resident->bytes;

@@ -331,7 +331,288 @@ Result<Trace> ReadTraceV1(std::string_view bytes, const TraceReadOptions& option
   return std::move(trace);
 }
 
-// --- v2: framed stream with CRC-guarded frames.
+// --- v2 strict: one serial header walk, then CRC verification and
+// event-frame decoding fanned out over the thread pool (inline when no pool
+// is given). Error behavior is bit-for-bit the serial reader's: every check
+// the serial loop runs *before* a frame's CRC fires immediately during the
+// walk, and every check it runs *after* the CRC is recorded as a pending
+// error that only surfaces if no earlier frame's CRC failed — so the first
+// error the serial reader would report is the one returned, at the same
+// offset, regardless of thread count.
+Result<Trace> ReadTraceV2Strict(std::string_view bytes, ThreadPool* pool,
+                                TraceReadReport& report) {
+  report.format_version = 2;
+  const size_t kHeader = kTraceFrameHeaderSize;
+  const size_t kTrailer = kTraceFrameTrailerSize;
+  const char* marker = reinterpret_cast<const char*>(kTraceFrameMarker);
+
+  struct FrameRef {
+    size_t marker_pos = 0;
+    uint8_t type = 0;
+    uint32_t seq = 0;
+    size_t payload_off = 0;
+    size_t length = 0;
+  };
+
+  // --- Phase A: serial header walk (no CRCs). ---
+  std::vector<FrameRef> frames;
+  std::optional<Status> pending;  // First post-CRC structural error.
+  std::optional<std::pair<size_t, size_t>> strings_frame;  // (payload offset, length)
+  std::optional<std::pair<size_t, size_t>> stacks_frame;
+  std::vector<std::pair<size_t, size_t>> event_frames;
+  std::optional<uint64_t> declared_total;
+  bool saw_end = false;
+  uint32_t expected_seq = 0;
+  size_t pos = sizeof(kMagicV2);
+  size_t parse_end = pos;
+
+  while (pos < bytes.size()) {
+    if (bytes.compare(pos, sizeof(kTraceFrameMarker), marker, sizeof(kTraceFrameMarker)) !=
+        0) {
+      return OffsetError(pos, "bad frame marker");
+    }
+    if (pos + kHeader + kTrailer > bytes.size()) {
+      return OffsetError(pos, "truncated frame");
+    }
+    uint8_t type = static_cast<uint8_t>(bytes[pos + 4]);
+    uint32_t seq = LoadUint32LE(bytes.data() + pos + 5);
+    uint64_t length = LoadUint32LE(bytes.data() + pos + 9);
+    if (length > kMaxFramePayload || pos + kHeader + length + kTrailer > bytes.size()) {
+      return OffsetError(pos, StrFormat("frame length %llu exceeds remaining bytes",
+                                        static_cast<unsigned long long>(length)));
+    }
+    size_t payload_off = pos + kHeader;
+    size_t frame_end = payload_off + length + kTrailer;
+    frames.push_back({pos, type, seq, payload_off, length});
+
+    if (seq != expected_seq) {
+      pending = OffsetError(pos, "frame out of sequence");
+      break;
+    }
+    ++expected_seq;
+    if (saw_end) {
+      pending = OffsetError(pos, "frame after end frame");
+      break;
+    }
+    if ((seq == 0 && type != kFrameStrings) || (seq == 1 && type != kFrameStacks) ||
+        (seq >= 2 && type != kFrameEvents && type != kFrameEnd)) {
+      pending = OffsetError(pos, "unexpected frame type");
+      break;
+    }
+    switch (type) {
+      case kFrameStrings:
+        strings_frame = {payload_off, length};
+        break;
+      case kFrameStacks:
+        stacks_frame = {payload_off, length};
+        break;
+      case kFrameEvents:
+        event_frames.emplace_back(payload_off, length);
+        break;
+      case kFrameEnd: {
+        ByteCursor c{bytes.data(), payload_off + length, payload_off};
+        uint64_t total = 0;
+        if (!GetVarint(c, &total)) {
+          pending = OffsetError(payload_off, "malformed end frame");
+        } else {
+          declared_total = total;
+          saw_end = true;
+        }
+        break;
+      }
+    }
+    if (pending.has_value()) {
+      break;
+    }
+    pos = frame_end;
+    parse_end = frame_end;
+  }
+
+  // --- Parallel CRC sweep over every frame the walk admitted (including a
+  // frame whose structural error is pending: its CRC check came first in
+  // the serial order). Earliest failure wins. ---
+  std::vector<uint8_t> crc_good(frames.size(), 1);
+  auto crc_body = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const FrameRef& f = frames[i];
+      uint32_t crc = Crc32(bytes.data() + f.marker_pos + sizeof(kTraceFrameMarker),
+                           kHeader - sizeof(kTraceFrameMarker) + f.length);
+      crc_good[i] = crc == LoadUint32LE(bytes.data() + f.payload_off + f.length) ? 1 : 0;
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(frames.size(), crc_body);
+  } else {
+    crc_body(0, frames.size());
+  }
+  for (size_t i = 0; i < frames.size(); ++i) {
+    if (!crc_good[i]) {
+      return OffsetError(frames[i].marker_pos, "frame CRC mismatch");
+    }
+  }
+  if (pending.has_value()) {
+    return *pending;
+  }
+  if (!saw_end) {
+    return OffsetError(parse_end, "missing end frame (truncated trace)");
+  }
+  report.frames_ok = frames.size();
+
+  // --- Phase B: payload decoding. Strings and stacks are small and stay
+  // serial; event frames decode in parallel into per-frame slots merged in
+  // writer order. ---
+  if (!strings_frame.has_value()) {
+    return OffsetError(parse_end, "missing string table");
+  }
+  std::vector<std::string> strings;
+  {
+    ByteCursor c{bytes.data(), strings_frame->first + strings_frame->second,
+                 strings_frame->first};
+    uint64_t count = 0;
+    bool strings_ok = GetVarint(c, &count) && count <= strings_frame->second;
+    if (strings_ok) {
+      strings.reserve(count);
+      for (uint64_t i = 0; i < count && strings_ok; ++i) {
+        std::string s;
+        strings_ok = GetString(c, &s);
+        if (strings_ok) {
+          strings.push_back(std::move(s));
+        }
+      }
+      strings_ok = strings_ok && !strings.empty() && strings[0].empty();
+    }
+    if (!strings_ok) {
+      return OffsetError(strings_frame->first, "malformed string table");
+    }
+  }
+
+  if (!stacks_frame.has_value()) {
+    return OffsetError(parse_end, "missing stack table");
+  }
+  std::vector<CallStack> stacks;
+  {
+    ByteCursor c{bytes.data(), stacks_frame->first + stacks_frame->second,
+                 stacks_frame->first};
+    uint64_t count = 0;
+    bool stacks_ok = GetVarint(c, &count) && count <= stacks_frame->second;
+    if (stacks_ok) {
+      stacks.reserve(count);
+      for (uint64_t i = 0; i < count && stacks_ok; ++i) {
+        uint64_t frame_count = 0;
+        stacks_ok = GetVarint(c, &frame_count) && frame_count <= kMaxStackFrames;
+        if (!stacks_ok) {
+          break;
+        }
+        CallStack stack;
+        stack.frames.reserve(frame_count);
+        for (uint64_t f = 0; f < frame_count && stacks_ok; ++f) {
+          uint64_t frame = 0;
+          stacks_ok = GetVarint(c, &frame) && frame < UINT32_MAX;
+          if (stacks_ok) {
+            stack.frames.push_back(static_cast<StringId>(frame));
+          }
+        }
+        if (stacks_ok) {
+          stacks.push_back(std::move(stack));
+        }
+      }
+    }
+    if (!stacks_ok) {
+      return OffsetError(stacks_frame->first, "malformed stack table");
+    }
+  }
+  const size_t pool_size = strings.size();
+  for (const CallStack& stack : stacks) {
+    for (StringId frame : stack.frames) {
+      if (frame >= pool_size) {
+        return OffsetError(stacks_frame->first, "stack frame references unknown string");
+      }
+    }
+  }
+
+  const size_t stack_count = stacks.size();
+  struct FrameDecode {
+    std::vector<TraceEvent> events;
+    size_t error_offset = 0;
+    const char* error = nullptr;
+    // String/stack references are validated during the parallel decode
+    // (pool_size and stack_count are fixed by then); decode errors keep
+    // priority over reference errors below, matching the serial order.
+    bool bad_reference = false;
+  };
+  std::vector<FrameDecode> slots(event_frames.size());
+  auto decode_body = [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      const auto& [off, len] = event_frames[j];
+      FrameDecode& slot = slots[j];
+      ByteCursor c{bytes.data(), off + len, off};
+      uint64_t count = 0;
+      if (!GetVarint(c, &count) || count > len) {
+        slot.error_offset = off;
+        slot.error = "malformed event frame";
+        continue;
+      }
+      slot.events.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        size_t record_start = c.pos;
+        TraceEvent e;
+        if (!GetEvent(c, &e)) {
+          slot.error_offset = record_start;
+          slot.error = "truncated or malformed event";
+          break;
+        }
+        if (e.name >= pool_size || e.loc.file >= pool_size ||
+            (e.stack != kInvalidStack && e.stack >= stack_count)) {
+          slot.bad_reference = true;
+        }
+        slot.events.push_back(e);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(slots.size(), decode_body);
+  } else {
+    decode_body(0, slots.size());
+  }
+  for (const FrameDecode& slot : slots) {
+    if (slot.error != nullptr) {
+      return OffsetError(slot.error_offset, slot.error);
+    }
+  }
+  for (const FrameDecode& slot : slots) {
+    if (slot.bad_reference) {
+      return OffsetError(parse_end, "event references unknown string");
+    }
+  }
+
+  Trace trace;
+  trace.mutable_string_pool().Reset(std::move(strings));
+  trace.ResetStacks(std::move(stacks));
+  size_t total_events = 0;
+  for (const FrameDecode& slot : slots) {
+    total_events += slot.events.size();
+  }
+  std::vector<TraceEvent>& merged = trace.mutable_events();
+  merged.reserve(total_events);
+  for (const FrameDecode& slot : slots) {
+    merged.insert(merged.end(), slot.events.begin(), slot.events.end());
+  }
+  // Append() would have renumbered each event as it landed; do the same.
+  for (size_t i = 0; i < merged.size(); ++i) {
+    merged[i].seq = i;
+  }
+
+  report.events_salvaged = trace.size();
+  if (*declared_total != report.events_salvaged) {
+    return OffsetError(parse_end,
+                       StrFormat("event count mismatch: declared %llu, read %llu",
+                                 static_cast<unsigned long long>(*declared_total),
+                                 static_cast<unsigned long long>(report.events_salvaged)));
+  }
+  return std::move(trace);
+}
+
+// --- v2 salvage: sequential scan with marker resynchronization.
 Result<Trace> ReadTraceV2(std::string_view bytes, const TraceReadOptions& options,
                           TraceReadReport& report) {
   report.format_version = 2;
@@ -712,6 +993,9 @@ Result<Trace> ReadTraceFromBytes(std::string_view bytes, const TraceReadOptions&
     return Status::Error("ReadTrace: offset 0x0: input shorter than magic");
   }
   if (std::memcmp(bytes.data(), kMagicV2, sizeof(kMagicV2)) == 0) {
+    if (!options.salvage) {
+      return ReadTraceV2Strict(bytes, options.pool, rep);
+    }
     return ReadTraceV2(bytes, options, rep);
   }
   if (std::memcmp(bytes.data(), kMagicV1, sizeof(kMagicV1)) == 0) {

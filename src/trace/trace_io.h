@@ -32,6 +32,7 @@
 
 #include "src/trace/trace.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace lockdoc {
 
@@ -55,6 +56,11 @@ struct TraceReadOptions {
   // frame marker) and a partial trace is returned instead of an error.
   // Reading fails only if nothing interpretable survives.
   bool salvage = false;
+  // When set, the strict v2 read runs frame CRCs and event-frame decoding
+  // on the pool. Results — the trace and every error message — are
+  // identical to the serial read at any thread count; salvage mode ignores
+  // the pool (resynchronization is inherently sequential).
+  ThreadPool* pool = nullptr;
 };
 
 // What the reader saw. In strict mode a non-clean report never escapes (the

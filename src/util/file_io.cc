@@ -9,6 +9,7 @@
 
 #include <filesystem>
 
+#include "src/util/logging.h"
 #include "src/util/string_util.h"
 
 namespace lockdoc {
@@ -102,31 +103,81 @@ Status WriteAllToFd(int fd, std::string_view bytes, const std::string& name) {
 }
 
 Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
-  std::filesystem::path target(path);
-  std::string dir = target.parent_path().empty() ? "." : target.parent_path().string();
-  std::string temp = dir + "/" + kAtomicTempPrefix + target.filename().string() + "." +
-                     std::to_string(static_cast<long long>(::getpid()));
-
-  int fd = OpenRetry(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::Error(StrFormat("open %s: %s", temp.c_str(), ErrnoText().c_str()));
-  }
-  Status status = WriteAllToFd(fd, bytes, temp);
+  AtomicFileWriter writer;
+  Status status = writer.Open(path);
   if (status.ok()) {
-    status = FsyncRetry(fd, temp);
+    status = writer.Append(bytes);
   }
-  CloseQuietly(fd);
+  if (status.ok()) {
+    status = writer.Commit();
+  }
+  return status;
+}
+
+Status AtomicFileWriter::Open(const std::string& path) {
+  LOCKDOC_CHECK(fd_ < 0 && "AtomicFileWriter reused while open");
+  std::filesystem::path target(path);
+  dir_ = target.parent_path().empty() ? "." : target.parent_path().string();
+  temp_ = dir_ + "/" + kAtomicTempPrefix + target.filename().string() + "." +
+          std::to_string(static_cast<long long>(::getpid()));
+  path_ = path;
+  written_ = 0;
+  hinted_ = 0;
+  fd_ = OpenRetry(temp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return Status::Error(StrFormat("open %s: %s", temp_.c_str(), ErrnoText().c_str()));
+  }
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::Append(std::string_view bytes) {
+  LOCKDOC_CHECK(fd_ >= 0 && "Append on a writer that is not open");
+  Status status = WriteAllToFd(fd_, bytes, temp_);
   if (!status.ok()) {
-    ::unlink(temp.c_str());
+    Abort();
     return status;
   }
-  status = RenameFile(temp, path);
+  written_ += bytes.size();
+  return Status::Ok();
+}
+
+void AtomicFileWriter::FlushHint() {
+#ifdef __linux__
+  if (fd_ >= 0 && written_ > hinted_) {
+    // Kick off writeback for the freshly appended range so the Commit-time
+    // fsync finds most pages already on their way to disk. Errors are
+    // ignored on purpose: the fsync in Commit is the actual barrier.
+    ::sync_file_range(fd_, static_cast<off64_t>(hinted_),
+                      static_cast<off64_t>(written_ - hinted_), SYNC_FILE_RANGE_WRITE);
+    hinted_ = written_;
+  }
+#endif
+}
+
+Status AtomicFileWriter::Commit() {
+  LOCKDOC_CHECK(fd_ >= 0 && "Commit on a writer that is not open");
+  Status status = FsyncRetry(fd_, temp_);
+  CloseQuietly(fd_);
+  fd_ = -1;
   if (!status.ok()) {
-    ::unlink(temp.c_str());
+    ::unlink(temp_.c_str());
+    return status;
+  }
+  status = RenameFile(temp_, path_);
+  if (!status.ok()) {
+    ::unlink(temp_.c_str());
     return status;
   }
   // The rename itself must reach disk, or a crash can forget the new name.
-  return SyncDirectory(dir);
+  return SyncDirectory(dir_);
+}
+
+void AtomicFileWriter::Abort() {
+  if (fd_ >= 0) {
+    CloseQuietly(fd_);
+    fd_ = -1;
+    ::unlink(temp_.c_str());
+  }
 }
 
 Status RenameFile(const std::string& from, const std::string& to) {

@@ -48,6 +48,52 @@ Status WriteAllToFd(int fd, std::string_view bytes, const std::string& name_for_
 // is unlinked and `path` is untouched.
 Status WriteFileAtomic(const std::string& path, std::string_view bytes);
 
+// Incremental WriteFileAtomic for producers that want disk I/O overlapped
+// with the computation still generating bytes: Open() creates the temp
+// file, Append() streams chunks as they become available, FlushHint() asks
+// the kernel to start writing dirty pages behind the producer, and
+// Commit() performs the fsync + rename + directory fsync handshake. Until
+// Commit() returns Ok the target path is untouched; Abort() (or the
+// destructor) unlinks the temp file. The durability guarantee is exactly
+// WriteFileAtomic's — FlushHint only moves writeback earlier, it adds no
+// ordering or persistence promise of its own.
+class AtomicFileWriter {
+ public:
+  AtomicFileWriter() = default;
+  ~AtomicFileWriter() { Abort(); }
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  // Creates the temp file next to `path`. One open writer per target path
+  // per process (the temp name is derived from the target and the pid).
+  Status Open(const std::string& path);
+
+  // Streams `bytes` to the temp file, looping partial writes and EINTR.
+  // After an error the writer is unusable except for Abort().
+  Status Append(std::string_view bytes);
+
+  // Advises the kernel to begin writeback of bytes appended since the last
+  // hint. Purely advisory and never fails the write; no-op off Linux.
+  void FlushHint();
+
+  // fsync + rename over the target + directory fsync. On failure the temp
+  // file is removed and the target is untouched.
+  Status Commit();
+
+  // Removes the temp file; the target is untouched. Safe to call twice.
+  void Abort();
+
+  uint64_t bytes_written() const { return written_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::string temp_;
+  std::string dir_;
+  uint64_t written_ = 0;
+  uint64_t hinted_ = 0;
+};
+
 // rename() with EINTR retry and Status errors. Both paths must be on the
 // same filesystem (spool and state dirs are co-located for this reason).
 Status RenameFile(const std::string& from, const std::string& to);

@@ -1,0 +1,86 @@
+#include "src/util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+}  // namespace
+
+MappedFile::~MappedFile() { Release(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MappedFile::AdviseSequentialScan() const {
+  if (data_ != nullptr) {
+    ::madvise(const_cast<void*>(data_), size_, MADV_SEQUENTIAL);
+    ::madvise(const_cast<void*>(data_), size_, MADV_WILLNEED);
+  }
+}
+
+void MappedFile::Release() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<void*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::Error(StrFormat("mmap open %s: %s", path.c_str(), ErrnoText().c_str()));
+  }
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = Status::Error(StrFormat("mmap fstat %s: %s", path.c_str(), ErrnoText().c_str()));
+    ::close(fd);
+    return status;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::Error(StrFormat("mmap %s: not a regular file", path.c_str()));
+  }
+
+  MappedFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      Status status = Status::Error(StrFormat("mmap %s: %s", path.c_str(), ErrnoText().c_str()));
+      ::close(fd);
+      file.size_ = 0;
+      return status;
+    }
+    file.data_ = addr;
+  }
+  ::close(fd);
+  return file;
+}
+
+}  // namespace lockdoc

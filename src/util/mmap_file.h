@@ -1,0 +1,59 @@
+// Read-only memory-mapped files for the zero-copy .lockdb v2 load path.
+//
+// A MappedFile owns an mmap(PROT_READ, MAP_PRIVATE) of a whole file; the
+// mapping stays valid for the object's lifetime and is released by the
+// destructor. Mappings returned by mmap are page-aligned, which is what the
+// v2 snapshot container's 8-byte alignment contract relies on.
+//
+// Zero-byte files are representable (mmap rejects length 0, so an empty
+// file maps to an empty view with no kernel mapping behind it). Move-only:
+// the mapping has a single owner, and consumers that need shared lifetime
+// wrap it in a shared_ptr (see SnapshotBacking in src/core/pipeline.h).
+#ifndef SRC_UTIL_MMAP_FILE_H_
+#define SRC_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  // Maps `path` read-only. Fails with the errno text if the file cannot be
+  // opened, stat'd, or mapped. Regular files only (a FIFO or device would
+  // make the "mapping reflects the file at open time" contract meaningless).
+  static Result<MappedFile> Open(const std::string& path);
+
+  std::string_view bytes() const {
+    return std::string_view(static_cast<const char*>(data_), size_);
+  }
+  size_t size() const { return size_; }
+
+  // Tells the kernel the whole mapping is about to be read front to back
+  // (madvise MADV_SEQUENTIAL + MADV_WILLNEED), so readahead batches the
+  // page faults a byte-by-byte sweep would otherwise take one at a time.
+  // Callers that want lazy faulting — the trusted zero-copy load — simply
+  // don't call it. Purely advisory; failures are ignored.
+  void AdviseSequentialScan() const;
+
+ private:
+  void Release();
+
+  const void* data_ = nullptr;  // nullptr iff empty.
+  size_t size_ = 0;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_UTIL_MMAP_FILE_H_

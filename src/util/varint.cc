@@ -65,4 +65,19 @@ uint32_t LoadUint32LE(const char* data) {
          static_cast<uint32_t>(b[2]) << 16 | static_cast<uint32_t>(b[3]) << 24;
 }
 
+void AppendUint64LE(std::string& out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+uint64_t LoadUint64LE(const char* data) {
+  const auto* b = reinterpret_cast<const unsigned char*>(data);
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(b[i]) << (8 * i);
+  }
+  return value;
+}
+
 }  // namespace lockdoc

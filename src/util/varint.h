@@ -54,6 +54,9 @@ bool GetLengthPrefixed(ByteCursor& in, std::string* text, uint64_t max_size);
 void AppendUint32LE(std::string& out, uint32_t value);
 uint32_t LoadUint32LE(const char* data);
 
+void AppendUint64LE(std::string& out, uint64_t value);
+uint64_t LoadUint64LE(const char* data);
+
 }  // namespace lockdoc
 
 #endif  // SRC_UTIL_VARINT_H_

@@ -19,6 +19,9 @@ namespace lockdoc {
 namespace {
 
 std::string GoldenPath() { return std::string(LOCKDOC_TESTDATA_DIR) + "/golden_mini.lockdb"; }
+std::string GoldenPathV2() {
+  return std::string(LOCKDOC_TESTDATA_DIR) + "/golden_mini_v2.lockdb";
+}
 
 // A deterministic little world that populates every section: strings,
 // tables, a global and an embedded lock, and several observation groups.
@@ -93,32 +96,43 @@ TEST(SnapshotTest, ReserializationIsByteIdentical) {
   EXPECT_EQ(SerializeSnapshot(restored.value(), *world.registry), bytes);
 }
 
-// Pins the exact on-disk bytes. If this fails, the format changed: bump
-// kSnapshotFormatVersion and regenerate the fixture by running this binary
-// with LOCKDOC_REGEN_GOLDEN=1 from the source tree.
+// Pins the exact on-disk bytes of BOTH container versions. If this fails,
+// the format changed: bump the corresponding format version and regenerate
+// the fixtures by running this binary with LOCKDOC_REGEN_GOLDEN=1 from the
+// source tree.
 TEST(SnapshotTest, GoldenFixtureBytesArePinned) {
   TestWorld world = MakeWorld();
   AnalysisSnapshot snapshot = BuildSnapshot(world.trace, *world.registry);
-  std::string bytes = SerializeSnapshot(snapshot, *world.registry);
+  SnapshotWriteOptions v1;
+  v1.container_version = 1;
+  const std::string bytes_v1 = SerializeSnapshot(snapshot, *world.registry, v1);
+  const std::string bytes_v2 = SerializeSnapshot(snapshot, *world.registry);
 
   if (std::getenv("LOCKDOC_REGEN_GOLDEN") != nullptr) {
-    std::ofstream out(GoldenPath(), std::ios::binary);
-    ASSERT_TRUE(out.is_open());
-    out << bytes;
-    GTEST_SKIP() << "regenerated " << GoldenPath();
+    std::ofstream out1(GoldenPath(), std::ios::binary);
+    ASSERT_TRUE(out1.is_open());
+    out1 << bytes_v1;
+    std::ofstream out2(GoldenPathV2(), std::ios::binary);
+    ASSERT_TRUE(out2.is_open());
+    out2 << bytes_v2;
+    GTEST_SKIP() << "regenerated " << GoldenPath() << " and " << GoldenPathV2();
   }
 
-  std::ifstream in(GoldenPath(), std::ios::binary);
-  ASSERT_TRUE(in.is_open()) << "missing fixture " << GoldenPath();
-  std::ostringstream golden;
-  golden << in.rdbuf();
-  ASSERT_EQ(bytes.size(), golden.str().size());
-  EXPECT_EQ(bytes, golden.str());
+  for (const auto& [path, bytes] :
+       {std::pair(GoldenPath(), bytes_v1), std::pair(GoldenPathV2(), bytes_v2)}) {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << "missing fixture " << path;
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    ASSERT_EQ(bytes.size(), golden.str().size()) << path;
+    EXPECT_EQ(bytes, golden.str()) << path;
 
-  auto restored = DeserializeSnapshot(golden.str(), *world.registry);
-  ASSERT_TRUE(restored.ok()) << restored.status().message();
-  EXPECT_EQ(restored.value().observations.groups().size(),
-            snapshot.observations.groups().size());
+    auto restored = DeserializeSnapshot(golden.str(), *world.registry);
+    ASSERT_TRUE(restored.ok()) << path << ": " << restored.status().message();
+    EXPECT_EQ(restored.value().observations.groups().size(),
+              snapshot.observations.groups().size())
+        << path;
+  }
 }
 
 TEST(SnapshotTest, RegistryShapeMismatchIsRejected) {
@@ -161,7 +175,7 @@ TEST(SnapshotTest, ReorderedAndMissingSectionsAreRejected) {
     for (size_t i = 2; i < parsed.size(); ++i) {
       writer.AddSection(static_cast<SnapshotSectionType>(parsed[i].type), parsed[i].payload);
     }
-    EXPECT_FALSE(DeserializeSnapshot(writer.Finish(), *world.registry).ok());
+    EXPECT_FALSE(DeserializeSnapshot(writer.Finish().value(), *world.registry).ok());
   }
   {
     // Drop the last section.
@@ -169,7 +183,115 @@ TEST(SnapshotTest, ReorderedAndMissingSectionsAreRejected) {
     for (size_t i = 0; i + 1 < parsed.size(); ++i) {
       writer.AddSection(static_cast<SnapshotSectionType>(parsed[i].type), parsed[i].payload);
     }
-    EXPECT_FALSE(DeserializeSnapshot(writer.Finish(), *world.registry).ok());
+    EXPECT_FALSE(DeserializeSnapshot(writer.Finish().value(), *world.registry).ok());
+  }
+}
+
+// doctor --repair keeps only CRC-intact sections, so a repaired file can be
+// container-clean yet missing a whole table. Loading such a file must come
+// back as a typed error naming the table — not a CHECK abort at the first
+// analysis lookup.
+TEST(SnapshotTest, RepairedSnapshotMissingATableFailsTyped) {
+  TestWorld world = MakeWorld();
+  AnalysisSnapshot snapshot = BuildSnapshot(world.trace, *world.registry);
+  for (uint64_t version : {uint64_t{1}, uint64_t{2}}) {
+    SnapshotWriteOptions write_options;
+    write_options.container_version = version;
+    std::string bytes = SerializeSnapshot(snapshot, *world.registry, write_options);
+    auto sections = ScanSnapshotSections(bytes);
+    ASSERT_TRUE(sections.ok());
+    // Corrupt one payload byte of the first table section; repair then
+    // drops that section wholesale.
+    const SnapshotSection* table = nullptr;
+    for (const auto& section : sections.value()) {
+      if (section.type == kSnapshotSectionTable) {
+        table = &section;
+        break;
+      }
+    }
+    ASSERT_NE(table, nullptr) << "v" << version;
+    size_t victim = static_cast<size_t>(table->payload.data() - bytes.data());
+    bytes[victim] ^= 0x20;
+    SnapshotRepairResult repaired = RepairSnapshotBytes(bytes);
+    ASSERT_TRUE(repaired.salvageable()) << "v" << version;
+    ASSERT_EQ(repaired.dropped.size(), 1u) << "v" << version;
+    auto restored = DeserializeSnapshot(repaired.bytes, *world.registry);
+    ASSERT_FALSE(restored.ok()) << "v" << version;
+    EXPECT_NE(restored.status().message().find("required table"), std::string::npos)
+        << "v" << version << ": " << restored.status().message();
+  }
+}
+
+// The lazy-CRC contract of the v2 zero-copy load: by default every payload
+// CRC is verified (a flipped padding byte — which no decoder ever reads —
+// must still fail the load), and only an explicit verify_payload_crcs=false
+// opt-out defers table CRCs, in which case the analysis still comes out
+// identical because padding bytes carry no data.
+TEST(SnapshotTest, V2DefaultLoadVerifiesPayloadsLazyLoadDefersThem) {
+  TestWorld world = MakeWorld();
+  AnalysisSnapshot snapshot = BuildSnapshot(world.trace, *world.registry);
+  std::string bytes = SerializeSnapshot(snapshot, *world.registry);
+
+  auto sections = ScanSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  size_t victim = 0;
+  for (const SnapshotSection& section : sections.value()) {
+    if (section.type == kSnapshotSectionTable &&
+        section.padded_payload.size() > section.payload.size()) {
+      // Last padding byte of the section: inside the CRC domain, outside
+      // every decoder's read set.
+      victim = (section.padded_payload.data() - bytes.data()) +
+               section.padded_payload.size() - 1;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0u) << "no padded table section in the fixture";
+  bytes[victim] ^= 0x5A;
+
+  std::string path = ::testing::TempDir() + "/snapshot_test_lazy_crc.lockdb";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << bytes;
+  }
+  auto strict = LoadSnapshot(path, *world.registry);
+  EXPECT_FALSE(strict.ok()) << "default load must verify padded payload CRCs";
+
+  SnapshotLoadOptions trusting;
+  trusting.verify_payload_crcs = false;
+  auto lazy = LoadSnapshot(path, *world.registry, trusting);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().message();
+  ExpectSameRules(AnalyzeSnapshot(lazy.value()), AnalyzeSnapshot(snapshot));
+  std::filesystem::remove(path);
+}
+
+// BuildAndSaveSnapshot overlaps the head-section disk write with
+// observation extraction, but the bytes on disk must be exactly what the
+// serial build-then-serialize path produces — at any job count and for both
+// container versions.
+TEST(SnapshotTest, BuildAndSaveSnapshotMatchesSerialBytesAtAnyJobCount) {
+  TestWorld world = MakeWorld();
+  AnalysisSnapshot snapshot = BuildSnapshot(world.trace, *world.registry);
+  for (uint64_t version : {uint64_t{1}, uint64_t{2}}) {
+    SnapshotWriteOptions write_options;
+    write_options.container_version = version;
+    const std::string expected = SerializeSnapshot(snapshot, *world.registry, write_options);
+    for (size_t jobs : {size_t{1}, size_t{2}, size_t{8}}) {
+      PipelineOptions options;
+      options.jobs = jobs;
+      std::string path = ::testing::TempDir() + "/snapshot_test_build_save_v" +
+                         std::to_string(version) + "_j" + std::to_string(jobs) + ".lockdb";
+      auto built =
+          BuildAndSaveSnapshot(world.trace, *world.registry, options, write_options, path);
+      ASSERT_TRUE(built.ok()) << built.status().message();
+      std::ifstream in(path, std::ios::binary);
+      ASSERT_TRUE(in.is_open()) << path;
+      std::ostringstream actual;
+      actual << in.rdbuf();
+      EXPECT_EQ(actual.str(), expected)
+          << "v" << version << " jobs=" << jobs << " diverged from the serial bytes";
+      ExpectSameRules(AnalyzeSnapshot(built.value()), AnalyzeSnapshot(snapshot));
+      std::filesystem::remove(path);
+    }
   }
 }
 

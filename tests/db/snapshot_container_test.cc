@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "src/db/database.h"
+#include "src/util/crc32.h"
+#include "src/util/varint.h"
 
 namespace lockdoc {
 namespace {
@@ -16,7 +18,7 @@ std::string TinySnapshot() {
   writer.AddSection(kSnapshotSectionMeta, "meta-payload");
   writer.AddSection(kSnapshotSectionStrings, "strings-payload");
   writer.AddSection(kSnapshotSectionTable, "");  // Empty payloads are legal.
-  return writer.Finish();
+  return writer.Finish().value();
 }
 
 TEST(SnapshotContainerTest, WriterScanRoundTrip) {
@@ -34,7 +36,7 @@ TEST(SnapshotContainerTest, WriterScanRoundTrip) {
 
 TEST(SnapshotContainerTest, EmptySnapshotIsCleanWithZeroSections) {
   SnapshotWriter writer;
-  std::string bytes = writer.Finish();
+  std::string bytes = writer.Finish().value();
   auto sections = ScanSnapshotSections(bytes);
   ASSERT_TRUE(sections.ok());
   EXPECT_TRUE(sections.value().empty());
@@ -67,6 +69,152 @@ TEST(SnapshotContainerTest, EveryByteFlipIsDetected) {
     auto sections = ScanSnapshotSections(bytes);
     EXPECT_FALSE(sections.ok()) << "undetected flip at offset " << i;
   }
+}
+
+void PatchU32(std::string* bytes, size_t pos, uint32_t value) {
+  std::string le;
+  AppendUint32LE(le, value);
+  bytes->replace(pos, le.size(), le);
+}
+
+void PatchU64(std::string* bytes, size_t pos, uint64_t value) {
+  std::string le;
+  AppendUint64LE(le, value);
+  bytes->replace(pos, le.size(), le);
+}
+
+std::string TinySnapshotV2() {
+  SnapshotWriter writer(/*container_version=*/2);
+  writer.AddSection(kSnapshotSectionMeta, "meta-payload");
+  writer.AddSection(kSnapshotSectionStrings, "strings-payload");
+  writer.AddSection(kSnapshotSectionTable, "table-bytes");
+  return writer.Finish().value();
+}
+
+TEST(SnapshotContainerTest, V2WriterScanRoundTripIsAligned) {
+  std::string bytes = TinySnapshotV2();
+  auto sections = ScanSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok()) << sections.status().message();
+  ASSERT_EQ(sections.value().size(), 3u);
+  EXPECT_EQ(sections.value()[0].payload, "meta-payload");
+  EXPECT_EQ(sections.value()[1].payload, "strings-payload");
+  EXPECT_EQ(sections.value()[2].payload, "table-bytes");
+  for (const SnapshotSection& section : sections.value()) {
+    // The zero-copy contract: every frame (and therefore every payload,
+    // after the fixed 32-byte header) sits on an 8-byte boundary, and the
+    // CRC domain is the payload padded out to the next boundary.
+    EXPECT_EQ(section.offset % 8, 0u);
+    EXPECT_EQ((section.offset + kSnapshotV2FrameHeaderSize) % 8, 0u);
+    EXPECT_EQ(section.padded_payload.size() % 8, 0u);
+    EXPECT_GE(section.padded_payload.size(), section.payload.size());
+  }
+}
+
+TEST(SnapshotContainerTest, V2EveryByteFlipIsDetected) {
+  std::string pristine = TinySnapshotV2();
+  // Padding bytes included: header pads are covered by the header CRC and
+  // payload pads by the padded-payload CRC, so no flipped byte may pass.
+  for (size_t i = sizeof(kSnapshotMagicV2); i < pristine.size(); ++i) {
+    std::string bytes = pristine;
+    bytes[i] ^= 0x40;
+    EXPECT_FALSE(ScanSnapshotSections(bytes).ok()) << "undetected flip at offset " << i;
+  }
+}
+
+TEST(SnapshotContainerTest, V2HeaderModeDefersTablePayloadCrcOnly) {
+  std::string bytes = TinySnapshotV2();
+  auto pristine = ScanSnapshotSections(bytes, SnapshotScanMode::kVerifyHeaders);
+  ASSERT_TRUE(pristine.ok());
+  EXPECT_TRUE(pristine.value()[0].crc_checked);   // meta
+  EXPECT_TRUE(pristine.value()[1].crc_checked);   // strings
+  EXPECT_FALSE(pristine.value()[2].crc_checked);  // table: deferred
+  EXPECT_TRUE(VerifySectionPayloadCrc(pristine.value()[2]).ok());
+
+  // A flip inside the table payload passes the header-only scan but is
+  // caught by the deferred verification (and by the full scan).
+  size_t victim = pristine.value()[2].payload.data() - bytes.data();
+  bytes[victim] ^= 0xFF;
+  EXPECT_FALSE(ScanSnapshotSections(bytes, SnapshotScanMode::kVerifyAll).ok());
+  auto lazy = ScanSnapshotSections(bytes, SnapshotScanMode::kVerifyHeaders);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().message();
+  Status deferred = VerifySectionPayloadCrc(lazy.value()[2]);
+  EXPECT_FALSE(deferred.ok());
+  EXPECT_NE(deferred.message().find("crc mismatch"), std::string::npos);
+}
+
+TEST(SnapshotContainerTest, OversizedSectionFailsWithTypedError) {
+  // The guard against the 32-bit v1 length field: an oversized payload must
+  // poison the writer with a typed error, never truncate silently. The cap
+  // is injected tiny so the test does not materialize gigabytes.
+  SnapshotWriter writer(/*container_version=*/1, /*max_section_payload=*/16);
+  writer.AddSection(kSnapshotSectionMeta, "fits");
+  writer.AddSection(kSnapshotSectionTable, std::string(17, 'x'));
+  EXPECT_FALSE(writer.status().ok());
+  writer.AddSection(kSnapshotSectionPool, "ignored after the failure");
+  auto finished = writer.Finish();
+  ASSERT_FALSE(finished.ok());
+  EXPECT_NE(finished.status().message().find("table"), std::string::npos);
+  EXPECT_NE(finished.status().message().find("exceeds the v1 container cap"),
+            std::string::npos);
+
+  // v2 honors an injected cap the same way (its default cap is the 64-bit
+  // length itself, which a test cannot reach).
+  SnapshotWriter v2(/*container_version=*/2, /*max_section_payload=*/8);
+  v2.AddSection(kSnapshotSectionMeta, std::string(9, 'y'));
+  EXPECT_FALSE(v2.Finish().ok());
+}
+
+TEST(SnapshotContainerTest, CorruptV1LengthIsClampedAndLaterFramesSurvive) {
+  std::string bytes = TinySnapshot();
+  auto sections = ScanSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  // Forge the strings section's length field to point far past the next
+  // frame. The strict scan must reject the file, and the lenient inspection
+  // must clamp the reported size to the bytes before the next marker
+  // instead of swallowing the frames the length pretends to cover.
+  size_t frame = sections.value()[1].offset;
+  PatchU32(&bytes, frame + 9, 0x7FFFFFFF);
+
+  EXPECT_FALSE(ScanSnapshotSections(bytes).ok());
+  SnapshotInspection inspection = InspectSnapshot(bytes);
+  EXPECT_FALSE(inspection.clean());
+  ASSERT_EQ(inspection.sections.size(), 3u);
+  EXPECT_TRUE(inspection.sections[0].ok());
+  EXPECT_FALSE(inspection.sections[1].ok());
+  EXPECT_NE(inspection.sections[1].problem.find("implausible length"), std::string::npos);
+  EXPECT_NE(inspection.sections[1].problem.find("clamped"), std::string::npos);
+  EXPECT_LT(inspection.sections[1].payload_size, uint64_t{0x7FFFFFFF});
+  // The table section after the damage is still found and verifies.
+  EXPECT_TRUE(inspection.sections[2].ok());
+  EXPECT_EQ(inspection.sections[2].type, kSnapshotSectionTable);
+  EXPECT_TRUE(inspection.end_ok);
+}
+
+TEST(SnapshotContainerTest, CorruptV2LengthIsClampedAndLaterFramesSurvive) {
+  std::string bytes = TinySnapshotV2();
+  auto sections = ScanSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  // v2 lengths are covered by the header CRC, so a blind flip reports
+  // "header crc mismatch". Forging the CRC along with the length exercises
+  // the deeper failure mode: a self-consistent header whose length points
+  // past later valid frames.
+  size_t frame = sections.value()[1].offset;
+  PatchU64(&bytes, frame + kSnapshotV2LengthOffset, uint64_t{1} << 40);
+  uint32_t forged_crc = Crc32(bytes.data() + frame + kSnapshotV2TypeOffset,
+                              kSnapshotV2HeaderCrcOffset - kSnapshotV2TypeOffset);
+  PatchU32(&bytes, frame + kSnapshotV2HeaderCrcOffset, forged_crc);
+
+  EXPECT_FALSE(ScanSnapshotSections(bytes).ok());
+  SnapshotInspection inspection = InspectSnapshot(bytes);
+  EXPECT_FALSE(inspection.clean());
+  ASSERT_EQ(inspection.sections.size(), 3u);
+  EXPECT_FALSE(inspection.sections[1].ok());
+  EXPECT_NE(inspection.sections[1].problem.find("implausible length"), std::string::npos);
+  EXPECT_NE(inspection.sections[1].problem.find("clamped"), std::string::npos);
+  EXPECT_LT(inspection.sections[1].payload_size, uint64_t{1} << 40);
+  EXPECT_TRUE(inspection.sections[2].ok());
+  EXPECT_EQ(inspection.sections[2].type, kSnapshotSectionTable);
+  EXPECT_TRUE(inspection.end_ok);
 }
 
 TEST(SnapshotContainerTest, InspectionLocalizesDamage) {

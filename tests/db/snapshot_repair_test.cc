@@ -21,7 +21,7 @@ std::string BuildContainer() {
   writer.AddSection(kSnapshotSectionStrings, std::string(300, 's'));
   writer.AddSection(kSnapshotSectionTable, std::string(500, 't'));
   writer.AddSection(kSnapshotSectionPool, "pool");
-  return writer.Finish();
+  return writer.Finish().value();
 }
 
 // Offset of the n-th (0-based) frame marker.

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
 namespace lockdoc {
 namespace {
 
@@ -33,6 +36,105 @@ TEST(Crc32Test, DetectsSingleBitFlips) {
       mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
       EXPECT_NE(Crc32(mutated), clean);
     }
+  }
+}
+
+TEST(Crc32Test, UnalignedStartsMatchAlignedResult) {
+  // The slice-by-8 inner loop peels unaligned leading bytes; the CRC must
+  // not depend on where in memory the buffer happens to live.
+  std::string data(1024 + 16, '\0');
+  Rng rng(11);
+  for (char& c : data) {
+    c = static_cast<char>(rng.Next());
+  }
+  for (size_t shift = 0; shift < 8; ++shift) {
+    std::string_view window(data.data() + shift, 1024);
+    uint32_t direct = Crc32(window);
+    uint32_t incremental = 0;
+    for (size_t pos = 0; pos < window.size(); pos += 7) {
+      incremental = Crc32Update(incremental, window.data() + pos,
+                                std::min<size_t>(7, window.size() - pos));
+    }
+    EXPECT_EQ(direct, incremental) << "shift " << shift;
+  }
+}
+
+TEST(Crc32Test, EverySizeAcrossTheSimdThresholdMatchesBitwiseReference) {
+  // The bulk path switches implementation (table loop vs carry-less
+  // multiply folding) at an internal size threshold. Pin every length
+  // through and well past it against a first-principles bit-at-a-time CRC
+  // so no vectorized variant can diverge on any size or tail shape.
+  auto reference = [](std::string_view bytes) {
+    uint32_t crc = ~0u;
+    for (unsigned char byte : bytes) {
+      crc ^= byte;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+      }
+    }
+    return ~crc;
+  };
+  Rng rng(17);
+  std::string data(1024, '\0');
+  for (char& c : data) {
+    c = static_cast<char>(rng.Next());
+  }
+  for (size_t size = 0; size <= data.size(); ++size) {
+    std::string_view window(data.data(), size);
+    ASSERT_EQ(Crc32(window), reference(window)) << "size " << size;
+  }
+}
+
+TEST(Crc32Test, CombineMatchesConcatenation) {
+  Rng rng(23);
+  std::string a(12345, '\0');
+  std::string b(54321, '\0');
+  for (char& c : a) {
+    c = static_cast<char>(rng.Next());
+  }
+  for (char& c : b) {
+    c = static_cast<char>(rng.Next());
+  }
+  uint32_t whole = Crc32(a + b);
+  EXPECT_EQ(Crc32Combine(Crc32(a), Crc32(b), b.size()), whole);
+  // Degenerate pieces.
+  EXPECT_EQ(Crc32Combine(Crc32(a), Crc32(""), 0), Crc32(a));
+  EXPECT_EQ(Crc32Combine(Crc32(""), Crc32(b), b.size()), Crc32(b));
+}
+
+TEST(Crc32Test, CombineChainsAcrossManyChunks) {
+  Rng rng(31);
+  std::string data(100000, '\0');
+  for (char& c : data) {
+    c = static_cast<char>(rng.Next());
+  }
+  uint32_t whole = Crc32(data);
+  for (size_t chunk : {1u, 13u, 4096u, 99999u}) {
+    uint32_t crc = 0;
+    bool first = true;
+    for (size_t pos = 0; pos < data.size(); pos += chunk) {
+      size_t len = std::min(chunk, data.size() - pos);
+      uint32_t piece = Crc32(data.data() + pos, len);
+      crc = first ? piece : Crc32Combine(crc, piece, len);
+      first = false;
+    }
+    EXPECT_EQ(crc, whole) << "chunk " << chunk;
+  }
+}
+
+TEST(Crc32Test, ParallelMatchesSerialAtAnyThreadCount) {
+  Rng rng(47);
+  // Larger than the parallel cutoff so the pooled path actually runs.
+  std::string data(5 << 20, '\0');
+  for (char& c : data) {
+    c = static_cast<char>(rng.Next());
+  }
+  uint32_t serial = Crc32(data);
+  EXPECT_EQ(Crc32Parallel(data.data(), data.size(), nullptr), serial);
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(Crc32Parallel(data.data(), data.size(), &pool), serial)
+        << threads << " threads";
   }
 }
 

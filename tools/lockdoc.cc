@@ -57,6 +57,7 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <memory>
 #include <sstream>
 
 #include "src/core/analysis_pass.h"
@@ -139,6 +140,13 @@ bool LoadTraceFromPath(const std::string& path, const FlagSet& flags, LoadedTrac
   out->registry = BuildVfsRegistry(&out->ids);
   TraceReadOptions options;
   options.salvage = flags.GetBool("salvage", false);
+  // Strict reads fan frame CRCs and event decoding out over --jobs lanes;
+  // the resulting trace (and any error) is identical at any job count.
+  std::unique_ptr<ThreadPool> pool;
+  if (!options.salvage) {
+    pool = std::make_unique<ThreadPool>(flags.GetUint64("jobs", 0));
+    options.pool = pool.get();
+  }
   TraceReadReport report;
   auto loaded = ReadTraceFromFile(path, options, &report);
   if (!loaded.ok()) {
@@ -227,7 +235,7 @@ const std::map<std::string, std::set<std::string>>& CommandFlagTable() {
     };
     return new std::map<std::string, std::set<std::string>>{
         {"simulate", {"out", "ops", "seed", "clean", "script"}},
-        {"import", with({"out"})},
+        {"import", with({"out", "format"})},
         {"stats", {"salvage"}},
         {"derive", with({"tac", "type", "subclass", "spec", "support", "out-dir"})},
         {"check", with({"rules"})},
@@ -420,30 +428,40 @@ int CmdImport(const FlagSet& flags) {
     std::fprintf(stderr, "lockdoc import: --out is required\n");
     return 2;
   }
+  std::string format = flags.GetString("format", "v2");
+  if (format != "v1" && format != "v2") {
+    std::fprintf(stderr, "lockdoc import: --format must be v1 or v2 (got '%s')\n",
+                 format.c_str());
+    return 64;
+  }
+  PipelineTimings timings;
+  auto t_read = std::chrono::steady_clock::now();
   LoadedTrace input;
   if (!LoadTrace(flags, &input)) {
     return 1;
   }
-  PipelineTimings timings;
-  AnalysisSnapshot snapshot = BuildSnapshot(input.trace, *input.registry, MakeOptions(flags),
-                                            &timings);
-  auto t0 = std::chrono::steady_clock::now();
-  std::string bytes = SerializeSnapshot(snapshot, *input.registry);
-  // Atomic publication: a crash mid-import must never leave a torn .lockdb
-  // that a later analysis (or the serve spool) would trip over.
-  Status written = WriteFileAtomic(out, bytes);
-  if (!written.ok()) {
-    std::fprintf(stderr, "lockdoc: %s\n", written.message().c_str());
+  timings.Add("trace read", SecondsBetween(t_read, std::chrono::steady_clock::now()),
+              input.trace.size());
+  SnapshotWriteOptions write_options;
+  write_options.container_version = format == "v1" ? 1 : 2;
+  // Build + atomic publication in one overlapped pass: the bulky table
+  // sections stream to disk while observation extraction still runs, and a
+  // crash mid-import never leaves a torn .lockdb that a later analysis (or
+  // the serve spool) would trip over.
+  auto built = BuildAndSaveSnapshot(input.trace, *input.registry, MakeOptions(flags),
+                                    write_options, out, &timings);
+  if (!built.ok()) {
+    std::fprintf(stderr, "lockdoc: %s\n", built.status().message().c_str());
     return 1;
   }
-  timings.Add("snapshot save", SecondsBetween(t0, std::chrono::steady_clock::now()),
-              bytes.size());
+  const AnalysisSnapshot& snapshot = built.value();
   if (!EmitTimings(flags, timings)) {
     return 1;
   }
+  Result<uint64_t> written_size = FileSize(out);
   std::printf("imported %s events into %s (%s bytes, %s observation groups)\n",
               FormatWithCommas(snapshot.import_stats.events).c_str(), out.c_str(),
-              FormatWithCommas(bytes.size()).c_str(),
+              FormatWithCommas(written_size.ok() ? written_size.value() : 0).c_str(),
               FormatWithCommas(snapshot.observations.groups().size()).c_str());
   return 0;
 }
