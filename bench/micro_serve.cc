@@ -1,9 +1,13 @@
-// Micro-benchmark for the serve resident store: one full request round-trip
-// through the spool (request file in, ProcessOnce, response bytes out)
-// against a warm resident AnalysisContext vs a cold one that must reload
-// the .lockdb from disk and rebuild the context. The gap is what
-// --max-resident buys a long-lived service — and what every LRU eviction
-// costs.
+// Micro-benchmark for the serve request path:
+//
+//  - warm resident round-trip vs cold reload (what --max-resident buys a
+//    long-lived service, and what every LRU eviction costs),
+//  - batch throughput over a mixed hot/cold resident set at --workers
+//    1/2/4 (what the request scheduler buys; on a single-core host the
+//    sweep measures scheduling overhead, not scaling — BENCH_serve.json
+//    records num_cpus so the ratio is read in context),
+//  - socket round-trip latency (the framing + scheduler hand-off tax of
+//    the TCP front-end over the same in-process answer path).
 #include <benchmark/benchmark.h>
 
 #include <sys/stat.h>
@@ -14,7 +18,9 @@
 #include <string>
 
 #include "src/serve/service.h"
+#include "src/serve/socket.h"
 #include "src/serve/spool.h"
+#include "src/util/socket.h"
 #include "src/trace/trace_io.h"
 #include "src/util/file_io.h"
 #include "src/util/logging.h"
@@ -43,9 +49,10 @@ ServeServiceOptions ServiceOptions() {
   return options;
 }
 
-// One spool with two ingested snapshots ("a" and "b"): warm runs keep both
-// resident, cold runs cap the store at one so every alternating request
-// pays a full disk reload + context rebuild.
+// One spool with four ingested snapshots ("a".."d"): warm runs keep their
+// input resident, cold runs cap the store at one so every alternating
+// request pays a full disk reload + context rebuild, and the batch sweep
+// cycles all four against --max-resident 2 (half the set hot, half cold).
 struct Fixture {
   SimulationResult sim;
   std::string root;
@@ -62,8 +69,10 @@ struct Fixture {
     root = pattern;
     layout = MakeSpoolLayout(root, "");
     LOCKDOC_CHECK(EnsureSpoolLayout(layout).ok());
-    LOCKDOC_CHECK(WriteTraceToFile(sim.trace, layout.incoming_dir + "/a.trace").ok());
-    LOCKDOC_CHECK(WriteTraceToFile(sim.trace, layout.incoming_dir + "/b.trace").ok());
+    for (const char* name : {"a", "b", "c", "d"}) {
+      LOCKDOC_CHECK(
+          WriteTraceToFile(sim.trace, layout.incoming_dir + "/" + name + ".trace").ok());
+    }
     ServeService service(layout, sim.registry.get(), ServiceOptions());
     LOCKDOC_CHECK(service.Recover().ok());
     LOCKDOC_CHECK(service.ProcessOnce().ok());
@@ -120,6 +129,68 @@ void BM_ServeRequestColdReload(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeRequestColdReload)->Unit(benchmark::kMillisecond);
+
+// Batch throughput at --workers N: one scan answers 8 requests cycling the
+// four snapshots with only two resident, so each batch mixes memoized-index
+// hits with evict-and-reload misses — the steady state of a busy spool.
+void BM_ServeBatchMixed(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  ServeServiceOptions options = ServiceOptions();
+  options.workers = static_cast<size_t>(state.range(0));
+  options.max_resident = 2;
+  ServeService service(fixture.layout, fixture.sim.registry.get(), options);
+  LOCKDOC_CHECK(service.Recover().ok());
+  static const char* kInputs[] = {"a", "b", "c", "d"};
+  uint64_t iteration = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i) {
+      std::string id = StrFormat("b%llu_%d", static_cast<unsigned long long>(iteration), i);
+      LOCKDOC_CHECK(WriteFileAtomic(fixture.layout.requests_dir + "/" + id + ".req",
+                                    std::string("pass=check\ninput=") + kInputs[i % 4] + "\n")
+                        .ok());
+    }
+    auto handled = service.ProcessOnce();
+    LOCKDOC_CHECK(handled.ok() && handled.value() == 8);
+    state.PauseTiming();
+    for (int i = 0; i < 8; ++i) {
+      std::string id = StrFormat("b%llu_%d", static_cast<unsigned long long>(iteration), i);
+      LOCKDOC_CHECK(RemoveFileIfExists(fixture.layout.responses_dir + "/" + id + ".meta").ok());
+      LOCKDOC_CHECK(RemoveFileIfExists(fixture.layout.responses_dir + "/" + id + ".out").ok());
+    }
+    state.ResumeTiming();
+    ++iteration;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_ServeBatchMixed)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Socket round-trip: one request/response exchange over a live TCP
+// connection against a warm resident. The delta over the warm spool
+// round-trip is the framing + connection-handling tax.
+void BM_ServeSocketRoundTrip(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  ServeServiceOptions options = ServiceOptions();
+  options.workers = 2;
+  ServeService service(fixture.layout, fixture.sim.registry.get(), options);
+  LOCKDOC_CHECK(service.Recover().ok());
+  ServeSocketOptions socket_options;
+  socket_options.port = 0;
+  ServeSocketServer server(&service, socket_options);
+  LOCKDOC_CHECK(server.Start().ok());
+  auto conn = ConnectTcp("127.0.0.1", server.port());
+  LOCKDOC_CHECK(conn.ok());
+  const int fd = conn.value().get();
+  for (auto _ : state) {
+    LOCKDOC_CHECK(WriteFrame(fd, "pass=check\ninput=a\n").ok());
+    FrameRead meta = ReadFrame(fd, 60000, 60000, 0);
+    LOCKDOC_CHECK(meta.status == FrameStatus::kOk &&
+                  meta.payload.find("status=ok\n") != std::string::npos);
+    FrameRead out = ReadFrame(fd, 60000, 60000, 0);
+    LOCKDOC_CHECK(out.status == FrameStatus::kOk && !out.payload.empty());
+  }
+  server.Stop();
+}
+BENCHMARK(BM_ServeSocketRoundTrip)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace lockdoc

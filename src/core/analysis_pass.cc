@@ -33,8 +33,9 @@ class CheckPass : public AnalysisPass {
     return "validate documented locking rules against the trace";
   }
 
-  Status Run(AnalysisContext& context, PassOutput& out) const override {
-    auto rules = RuleSet::ParseText(context.pass_options().documented_rules_text);
+  Status Run(AnalysisContext& context, const PassOptions& opts,
+             PassOutput& out) const override {
+    auto rules = RuleSet::ParseText(opts.documented_rules_text);
     if (!rules.ok()) {
       return rules.status();
     }
@@ -72,9 +73,9 @@ class DerivePass : public AnalysisPass {
     return "mine winning rules and render generated documentation";
   }
 
-  Status Run(AnalysisContext& context, PassOutput& out) const override {
+  Status Run(AnalysisContext& context, const PassOptions& opts,
+             PassOutput& out) const override {
     const std::vector<DerivationResult>& rules = context.rules();
-    const PassOptions& opts = context.pass_options();
     const TypeRegistry& registry = context.registry();
 
     DocGenOptions doc_options;
@@ -135,7 +136,8 @@ class ViolationsPass : public AnalysisPass {
     return "find accesses violating the mined winning rules";
   }
 
-  Status Run(AnalysisContext& context, PassOutput& out) const override {
+  Status Run(AnalysisContext& context, const PassOptions& opts,
+             PassOutput& out) const override {
     const std::vector<DerivationResult>& rules = context.rules();
     ViolationFinder finder(&context.db(), &context.registry(), &context.observations(),
                            &context.member_access_index(), &context.lock_postings());
@@ -150,7 +152,7 @@ class ViolationsPass : public AnalysisPass {
     }
     out.text += StrFormat("%s\n", table.ToString().c_str());
     for (const ViolationExample& ex :
-         finder.Examples(violations, context.pass_options().violation_limit)) {
+         finder.Examples(violations, opts.violation_limit)) {
       out.text += StrFormat(
           "%s [%s]\n  rule: %s\n  held: %s\n  at %s (%llu events)\n  stack: %s\n\n",
           ex.member.c_str(), ex.access.c_str(), ex.rule.c_str(), ex.held.c_str(),
@@ -169,7 +171,8 @@ class LockOrderPass : public AnalysisPass {
     return "report the lock-ordering graph and potential deadlock cycles";
   }
 
-  Status Run(AnalysisContext& context, PassOutput& out) const override {
+  Status Run(AnalysisContext& context, const PassOptions& /*opts*/,
+             PassOutput& out) const override {
     const LockOrderGraph& graph = context.lock_order_graph();
     out.text += StrFormat("%s\n", graph.Report(context.db()).c_str());
     out.text += "potential deadlock cycles:\n";
@@ -193,9 +196,10 @@ class ModesPass : public AnalysisPass {
     return "report reader/writer acquisition modes of the winning rules";
   }
 
-  Status Run(AnalysisContext& context, PassOutput& out) const override {
+  Status Run(AnalysisContext& context, const PassOptions& opts,
+             PassOutput& out) const override {
     const std::vector<DerivationResult>& rules = context.rules();
-    bool all = context.pass_options().modes_all;
+    bool all = opts.modes_all;
     ModeAnalyzer analyzer(&context.db(), &context.registry(), &context.observations(),
                           &context.member_access_index(), &context.lock_postings());
     auto entries = all ? analyzer.Analyze(rules) : analyzer.FindSharedModeWrites(rules);
@@ -217,10 +221,11 @@ class ReportPass : public AnalysisPass {
     return "render the complete analysis report";
   }
 
-  Status Run(AnalysisContext& context, PassOutput& out) const override {
+  Status Run(AnalysisContext& context, const PassOptions& opts,
+             PassOutput& out) const override {
     ReportOptions options;
-    options.documented_rules_text = context.pass_options().documented_rules_text;
-    options.full_documentation = context.pass_options().report_full;
+    options.documented_rules_text = opts.documented_rules_text;
+    options.full_documentation = opts.report_full;
     out.text += RenderReport(context, options);
     return Status::Ok();
   }
@@ -235,13 +240,14 @@ class DiffPass : public AnalysisPass {
     return "diff winning rules against a baseline input";
   }
 
-  Status Run(AnalysisContext& context, PassOutput& out) const override {
-    AnalysisContext* baseline = context.pass_options().baseline;
+  Status Run(AnalysisContext& context, const PassOptions& opts,
+             PassOutput& out) const override {
+    AnalysisContext* baseline = opts.baseline;
     if (baseline == nullptr) {
       return Status::Error("the diff pass needs a baseline input (--baseline OLD)");
     }
     RuleDiffOptions diff_options;
-    diff_options.include_unchanged = context.pass_options().diff_all;
+    diff_options.include_unchanged = opts.diff_all;
     auto drifts = DiffRules(baseline->rules(), context.rules(), diff_options);
     if (drifts.empty()) {
       out.text += "no rule drift\n";

@@ -41,11 +41,24 @@ class AnalysisPass {
   // One-line description for usage/help output.
   virtual std::string_view description() const = 0;
 
-  // Runs the pass against `context`, appending nothing to stdout itself:
-  // all user-visible bytes go into `out.text`. Phase timings (e.g. "rule
-  // checking") are appended to context.timings(). An error status maps to
-  // the standalone command's failure path (message to stderr, exit 1).
-  virtual Status Run(AnalysisContext& context, PassOutput& out) const = 0;
+  // Runs the pass against `context` with `opts` as the per-run knobs,
+  // appending nothing to stdout itself: all user-visible bytes go into
+  // `out.text`. Phase timings (e.g. "rule checking") are appended to
+  // context.timings(). An error status maps to the standalone command's
+  // failure path (message to stderr, exit 1).
+  //
+  // Options are a per-run parameter — not context state — so several
+  // requests can run passes over one shared context concurrently, each with
+  // its own knobs (the serve scheduler relies on this; the shared indexes a
+  // pass pulls are option-independent and memoized thread-safely).
+  virtual Status Run(AnalysisContext& context, const PassOptions& opts,
+                     PassOutput& out) const = 0;
+
+  // Convenience for single-request callers (CLI, tests): runs with the
+  // options baked into the context at construction time.
+  Status Run(AnalysisContext& context, PassOutput& out) const {
+    return Run(context, context.pass_options(), out);
+  }
 };
 
 // Applies one textual key=value knob onto PassOptions — the shared plumbing

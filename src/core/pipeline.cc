@@ -17,10 +17,12 @@ double Seconds(Clock::time_point from, Clock::time_point to) {
 }  // namespace
 
 void PipelineTimings::Add(std::string phase, double seconds, uint64_t items) {
+  std::lock_guard<std::mutex> lock(*mu_);
   phases.push_back({std::move(phase), seconds, items});
 }
 
 double PipelineTimings::total_seconds() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   double total = 0.0;
   for (const PhaseTiming& phase : phases) {
     total += phase.seconds;
@@ -29,13 +31,16 @@ double PipelineTimings::total_seconds() const {
 }
 
 std::string PipelineTimings::ToString() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   std::string out = StrFormat("pipeline timings (%zu jobs):\n", jobs);
+  double total = 0.0;
   for (const PhaseTiming& phase : phases) {
+    total += phase.seconds;
     out += StrFormat("  %-28s %8.3f s  %12s items  %14s items/s\n", phase.phase.c_str(),
                      phase.seconds, FormatWithCommas(phase.items).c_str(),
                      FormatWithCommas(static_cast<uint64_t>(phase.items_per_sec())).c_str());
   }
-  out += StrFormat("  %-28s %8.3f s\n", "total", total_seconds());
+  out += StrFormat("  %-28s %8.3f s\n", "total", total);
   if (mining.any()) {
     out += StrFormat("  enumeration cache: %s hits, %s misses; %s candidates scored\n",
                      FormatWithCommas(mining.enum_cache_hits).c_str(),
@@ -46,6 +51,7 @@ std::string PipelineTimings::ToString() const {
 }
 
 std::string PipelineTimings::ToJson() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   std::string out = StrFormat("{\"jobs\": %zu, \"phases\": [", jobs);
   for (size_t i = 0; i < phases.size(); ++i) {
     const PhaseTiming& phase = phases[i];

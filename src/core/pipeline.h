@@ -16,6 +16,7 @@
 #define SRC_CORE_PIPELINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -66,6 +67,11 @@ struct PipelineTimings {
   std::vector<PhaseTiming> phases;
   MiningStats mining;
 
+  // Thread-safe: passes running concurrently over one shared context (the
+  // serve scheduler) append phases to the same record. The mutex lives
+  // behind a shared_ptr so the struct stays copyable; copies made while no
+  // writer is active (the only sane time to copy a timings record) share
+  // the lock with their original.
   void Add(std::string phase, double seconds, uint64_t items);
   double total_seconds() const;
   // Aligned text block for terminals (one line per phase plus a total).
@@ -73,6 +79,9 @@ struct PipelineTimings {
   // {"jobs": N, "phases": [{"phase": ..., "seconds": ..., ...}],
   //  "mining": {"enum_cache_hits": ..., ...}}
   std::string ToJson() const;
+
+ private:
+  std::shared_ptr<std::mutex> mu_ = std::make_shared<std::mutex>();
 };
 
 // Keeps the bytes behind a zero-copy snapshot load alive: the v2 .lockdb

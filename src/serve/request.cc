@@ -52,8 +52,7 @@ Result<ServeRequest> ParseServeRequest(const std::string& id, std::string_view t
   return request;
 }
 
-Status WriteResponseMeta(const SpoolLayout& layout, const std::string& stem,
-                         const ServeResponseMeta& meta) {
+std::string FormatResponseMeta(const ServeResponseMeta& meta) {
   std::string text;
   text += KeyValueLine("status", meta.ok ? "ok" : "error");
   if (!meta.ok) {
@@ -63,7 +62,13 @@ Status WriteResponseMeta(const SpoolLayout& layout, const std::string& stem,
   for (const auto& [key, value] : meta.extra) {
     text += KeyValueLine(key, OneLine(value));
   }
-  return WriteFileAtomic(layout.responses_dir + "/" + stem + ".meta", text);
+  return text;
+}
+
+Status WriteResponseMeta(const SpoolLayout& layout, const std::string& stem,
+                         const ServeResponseMeta& meta) {
+  return WriteFileAtomic(layout.responses_dir + "/" + stem + ".meta",
+                         FormatResponseMeta(meta));
 }
 
 std::string OneLine(std::string_view text) {

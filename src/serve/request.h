@@ -60,6 +60,11 @@ struct ServeResponseMeta {
   std::vector<std::pair<std::string, std::string>> extra;
 };
 
+// The meta record's exact key=value text. The spool writes these bytes to
+// `responses/<stem>.meta`; the socket front-end sends the same bytes as the
+// response's meta frame, so the two transports are byte-identical.
+std::string FormatResponseMeta(const ServeResponseMeta& meta);
+
 // Publishes `responses/<stem>.meta` atomically. This is the commit point of
 // the answered state: recovery treats a request with a meta as done.
 Status WriteResponseMeta(const SpoolLayout& layout, const std::string& stem,

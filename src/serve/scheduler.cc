@@ -1,0 +1,89 @@
+#include "src/serve/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lockdoc {
+
+RequestScheduler::RequestScheduler(size_t workers) {
+  if (workers == 0) {
+    workers = DefaultWorkerCount();
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RequestScheduler::~RequestScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+size_t RequestScheduler::DefaultWorkerCount() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 1;
+  }
+  return std::min<size_t>(4, hw);
+}
+
+void RequestScheduler::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void RequestScheduler::RunAndWait(const std::function<void()>& task) {
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  Submit([&] {
+    task();
+    std::lock_guard<std::mutex> lock(done_mu);
+    done = true;
+    done_cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done; });
+}
+
+void RequestScheduler::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void RequestScheduler::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stop_ set and the queue drained: shut down.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,70 @@
+// The bounded worker pool behind concurrent `lockdoc serve`.
+//
+// One RequestScheduler fans independent analysis requests out over N
+// worker threads (`--workers`, default min(4, hardware)); both transports
+// feed it — the spool scan submits every .req it finds, a socket
+// connection hands its in-flight request over with RunAndWait. Workers
+// drain one FIFO queue, so `--workers 1` answers requests in exactly the
+// order the serial loop did (spool scans are sorted), and determinism at
+// higher counts rests on the byte-identity contract: every answer is a
+// pure function of the request and the resident snapshot, so completion
+// order cannot change response bytes.
+//
+// The scheduler is transport-agnostic and knows nothing about spools or
+// sockets; ServeService owns the shared state (resident store, stats,
+// journal) and its own locking.
+#ifndef SRC_SERVE_SCHEDULER_H_
+#define SRC_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lockdoc {
+
+class RequestScheduler {
+ public:
+  // `workers` >= 1; 0 selects DefaultWorkerCount().
+  explicit RequestScheduler(size_t workers = 0);
+  // Drains the queue (every submitted task runs) and joins the workers.
+  ~RequestScheduler();
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  size_t worker_count() const { return workers_.size(); }
+
+  // Enqueues `task` for some worker; returns immediately.
+  void Submit(std::function<void()> task);
+
+  // Enqueues `task` and blocks until it has run. The transport path for
+  // socket connections: the connection thread waits, a scheduler worker
+  // answers, so sockets and the spool share one bounded pool.
+  void RunAndWait(const std::function<void()>& task);
+
+  // Blocks until the queue is empty and every worker is idle. The spool
+  // scan's end-of-batch barrier.
+  void Wait();
+
+  // min(4, hardware_concurrency), at least 1 — the `--workers` default.
+  static size_t DefaultWorkerCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers wait here for tasks.
+  std::condition_variable idle_cv_;  // Wait()/RunAndWait() callers.
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;  // Tasks currently executing.
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_SERVE_SCHEDULER_H_

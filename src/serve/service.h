@@ -9,6 +9,17 @@
 // CLI: the same registered AnalysisPass renders the same bytes from the
 // same AnalysisContext; only the transport differs.
 //
+// Concurrency model (DESIGN.md 4h): requests are answered by a bounded
+// RequestScheduler (`--workers`); ingestion stays serial on the scan
+// thread, so the journal and quarantine protocol never interleave. Two
+// transports feed the scheduler — the spool scan submits a batch per scan,
+// socket connections (src/serve/socket.h) hand their request over one at a
+// time — and both render answers through the same code path, so the byte-
+// identity contract holds at any workers/jobs combination. Shared state is
+// split across two small mutexes: store_mu_ (resident snapshots, LRU,
+// per-entry pins, context caches) and state_mu_ (stats, zombie workers).
+// Lock order: store_mu_ before state_mu_, never the reverse.
+//
 // Robustness machinery:
 //   - crash safety: every state change is an atomic publish; the import
 //     journal (src/serve/journal.h) replays or quarantines interrupted
@@ -21,18 +32,22 @@
 //     response from the watchdog while the worker is abandoned (its shared
 //     ownership keeps memory valid) and the service keeps answering
 //   - memory guardrails: resident snapshots are LRU-evicted beyond
-//     --max-resident / --max-resident-bytes; oversized traces are rejected
-//     before a byte is parsed
+//     --max-resident / --max-resident-bytes; entries pinned by an
+//     in-flight request are never evicted mid-answer; oversized traces
+//     are rejected before a byte is parsed
 //   - transient I/O failures retry with bounded exponential backoff
 #ifndef SRC_SERVE_SERVICE_H_
 #define SRC_SERVE_SERVICE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/analysis_context.h"
@@ -40,6 +55,7 @@
 #include "src/core/pipeline.h"
 #include "src/serve/journal.h"
 #include "src/serve/request.h"
+#include "src/serve/scheduler.h"
 #include "src/serve/spool.h"
 #include "src/util/backoff.h"
 #include "src/util/status.h"
@@ -52,6 +68,10 @@ struct ServeServiceOptions {
   PipelineOptions pipeline;
   // Documented-rules text for check/report, as the CLI default supplies it.
   std::string documented_rules_text;
+
+  // Request-scheduler lanes; 0 selects RequestScheduler::DefaultWorkerCount()
+  // (min(4, hardware)). 1 reproduces the serial loop exactly.
+  size_t workers = 0;
 
   // Memory guardrails.
   size_t max_resident = 8;               // Resident snapshot count cap (>= 1).
@@ -81,6 +101,14 @@ struct ServeStats {
 
 class ServeService {
  public:
+  // One computed answer, transport-agnostic: the meta commit record plus
+  // the pass output bytes (empty on error). The spool publishes these as
+  // .meta/.out files; the socket sends them as two frames.
+  struct ServeAnswer {
+    ServeResponseMeta meta;
+    std::string text;
+  };
+
   // `registry` must outlive the service; `layout` is copied.
   ServeService(const SpoolLayout& layout, const TypeRegistry* registry,
                ServeServiceOptions options);
@@ -93,15 +121,31 @@ class ServeService {
   // crash debris. Call once before the first ProcessOnce.
   Status Recover();
 
-  // One spool scan: ingest everything in incoming/, answer every request.
-  // Returns the number of items handled (0 = spool was idle).
+  // One spool scan: ingest everything in incoming/ (serial), answer every
+  // request (fanned out over the scheduler, barriered before returning).
+  // Returns the number of items that reached a terminal state — an ingest
+  // acknowledged or quarantined, a request answered with a published meta.
+  // Items that failed before their terminal state (journal write failed,
+  // response dir unwritable) are NOT counted, so an erroring spool reports
+  // 0 and RunLoop backs off instead of busy-looping.
   Result<size_t> ProcessOnce();
 
-  // Drives ProcessOnce until `stop` becomes true, sleeping `poll_ms`
-  // between idle scans. Returns Ok on a clean stop.
-  Status RunLoop(const std::atomic<bool>& stop, uint64_t poll_ms);
+  // Drives ProcessOnce until `stop` becomes true. Idle scans back off
+  // deterministically (src/util/backoff.*): the first idle scan sleeps
+  // poll_ms (50 when 0), each further consecutive idle scan doubles the
+  // sleep, capped at 8x poll_ms; any handled item resets the ramp. Sleeps
+  // are chunked so a stop request is honored within ~50 ms. `sleep_ms` is
+  // injectable for tests; nullptr selects a real sleep.
+  Status RunLoop(const std::atomic<bool>& stop, uint64_t poll_ms,
+                 const std::function<void(uint64_t)>& sleep_ms = nullptr);
 
-  const ServeStats& stats() const { return stats_; }
+  // Computes the answer for one raw request text (the socket transport).
+  // Parsing happens on the calling thread; the analysis itself runs on the
+  // scheduler, so socket and spool requests share one bounded pool. Thread-
+  // safe; many connection threads may call concurrently.
+  ServeAnswer AnswerFromText(const std::string& id, std::string_view text);
+
+  ServeStats stats() const;
 
   // True while an abandoned (timed-out) worker thread is still running.
   // Waits up to `grace_ms` for them to finish; callers that still see
@@ -114,26 +158,66 @@ class ServeService {
   struct Resident;
   struct WorkerHandle;
 
-  // --- ingest ---
-  void IngestOne(const std::string& source, uint32_t attempts);
-  void QuarantineIncoming(const std::string& source, const std::string& name,
+  // Releases one resident pin on destruction (see Resident::pins).
+  class PinGuard {
+   public:
+    PinGuard() = default;
+    PinGuard(ServeService* service, std::shared_ptr<Resident> resident)
+        : service_(service), resident_(std::move(resident)) {}
+    PinGuard(PinGuard&& other) noexcept
+        : service_(other.service_), resident_(std::move(other.resident_)) {
+      other.service_ = nullptr;
+      other.resident_ = nullptr;
+    }
+    PinGuard& operator=(PinGuard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        service_ = other.service_;
+        resident_ = std::move(other.resident_);
+        other.service_ = nullptr;
+        other.resident_ = nullptr;
+      }
+      return *this;
+    }
+    PinGuard(const PinGuard&) = delete;
+    PinGuard& operator=(const PinGuard&) = delete;
+    ~PinGuard() { Release(); }
+    void Release();
+
+   private:
+    ServeService* service_ = nullptr;
+    std::shared_ptr<Resident> resident_;
+  };
+
+  // --- ingest (serial, scan thread only) ---
+  bool IngestOne(const std::string& source, uint32_t attempts);
+  bool QuarantineIncoming(const std::string& source, const std::string& name,
                           const std::string& kind, const std::string& detail,
                           const std::string& hint);
-  void FinishIngest(const std::string& source, const std::string& name,
+  bool FinishIngest(const std::string& source, const std::string& name,
                     const ServeResponseMeta& ack);
 
-  // --- requests ---
-  void AnswerOne(const std::string& request_file);
-  void AnswerError(const std::string& stem, const std::string& request_file,
-                   const std::string& kind, const std::string& error);
+  // --- requests (scheduler workers) ---
+  // Spool transport: read + parse + answer + publish one .req. Returns
+  // true when the request reached its terminal state (meta published).
+  bool AnswerSpool(const std::string& request_file);
+  // The transport-agnostic core: everything after parsing.
+  ServeAnswer AnswerParsed(const ServeRequest& request);
+  static ServeAnswer MakeError(const std::string& kind, const std::string& error);
+  bool PublishSpoolAnswer(const std::string& stem, const std::string& request_path,
+                          ServeAnswer answer);
 
-  // --- resident store ---
+  // --- resident store (store_mu_) ---
+  // Returns the resident pinned (caller must wrap in a PinGuard) or
+  // nullptr with `*error` set. Concurrent requests for the same name share
+  // one load via call_once.
   std::shared_ptr<Resident> GetResident(const std::string& name, std::string* error);
+  void LoadResident(const std::shared_ptr<Resident>& resident);
   std::shared_ptr<ContextBox> GetContext(const std::shared_ptr<Resident>& resident,
                                          double tac);
-  void TouchResident(const std::string& name);
   void EvictResident(const std::string& name);
-  void EnforceResidencyBudget();
+  void EvictResidentLocked(const std::string& name);
+  void EnforceResidencyBudgetLocked();
 
   Result<std::string> ReadSpoolFileWithRetry(const std::string& path);
 
@@ -141,13 +225,18 @@ class ServeService {
   const TypeRegistry* registry_;
   ServeServiceOptions options_;
   ImportJournal journal_;
-  ServeStats stats_;
+  std::unique_ptr<RequestScheduler> scheduler_;
 
-  // Resident snapshots in LRU order (front = most recently used).
-  std::list<std::string> lru_;
+  // Guards the resident store: residents_, lru_, resident_bytes_, and
+  // every Resident's pins/contexts.
+  std::mutex store_mu_;
+  std::list<std::string> lru_;  // Front = most recently used.
   std::map<std::string, std::shared_ptr<Resident>> residents_;
   uint64_t resident_bytes_ = 0;
 
+  // Guards stats_ and zombies_.
+  mutable std::mutex state_mu_;
+  ServeStats stats_;
   std::vector<std::shared_ptr<WorkerHandle>> zombies_;
 };
 

@@ -1,0 +1,98 @@
+// The TCP front-end of `lockdoc serve` (--listen HOST:PORT): a length-
+// prefixed framing of the exact key=value protocol the file spool speaks.
+//
+// Wire protocol (framing in src/util/socket.h; one frame = u32 big-endian
+// payload length + payload bytes):
+//
+//   client -> server   one frame: the request text, byte-identical to what
+//                      would be dropped as requests/<id>.req
+//   server -> client   two frames: the meta record (the exact bytes the
+//                      spool would write to responses/<id>.meta), then the
+//                      pass output (the exact responses/<id>.out bytes;
+//                      zero-length when the meta says status=error)
+//
+// A connection may pipeline any number of request/response exchanges.
+// Robustness: once a frame's first byte arrives, the rest must land within
+// read_deadline_ms or the connection is closed (a stalled peer never wedges
+// a handler); a frame announcing more than max_frame_bytes is answered with
+// a kind=oversized error meta and the connection is closed (the payload is
+// never read, mirroring --max-trace-bytes rejecting before parsing); peers
+// beyond max_connections are accepted and immediately closed. Analysis
+// work runs on the service's RequestScheduler — the same bounded pool the
+// spool uses — so --workers bounds total concurrency across transports.
+//
+// Stop() drains gracefully: in-flight requests finish and their responses
+// are written before handler threads exit.
+#ifndef SRC_SERVE_SOCKET_H_
+#define SRC_SERVE_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/serve/service.h"
+#include "src/util/socket.h"
+#include "src/util/status.h"
+
+namespace lockdoc {
+
+struct ServeSocketOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; port() reports the binding.
+  // Time budget from a frame's first byte to its completion.
+  uint64_t read_deadline_ms = 5000;
+  // Largest accepted request frame; 0 = unlimited. The serve CLI wires
+  // --max-trace-bytes here so both transports reject at the same bound.
+  uint64_t max_frame_bytes = 0;
+  size_t max_connections = 64;
+};
+
+class ServeSocketServer {
+ public:
+  // `service` must outlive the server.
+  ServeSocketServer(ServeService* service, ServeSocketOptions options);
+  ~ServeSocketServer();
+
+  ServeSocketServer(const ServeSocketServer&) = delete;
+  ServeSocketServer& operator=(const ServeSocketServer&) = delete;
+
+  // Binds, listens, and starts the acceptor thread.
+  Status Start();
+
+  // The bound port (after Start); resolves port 0 to the kernel's pick.
+  uint16_t port() const { return port_; }
+
+  // Graceful drain: stops accepting, lets every in-flight request finish
+  // and flush its response, joins all handler threads. Idempotent.
+  void Stop();
+
+ private:
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(UniqueFd fd, uint64_t conn_id, Connection* slot);
+  void ReapFinishedConnections();  // Joins handlers that already exited.
+
+  ServeService* service_;
+  ServeSocketOptions options_;
+  UniqueFd listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread acceptor_;
+
+  std::mutex mu_;  // Guards connections_ and active_.
+  std::list<std::unique_ptr<Connection>> connections_;
+  size_t active_ = 0;
+  uint64_t next_conn_id_ = 0;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_SERVE_SOCKET_H_

@@ -38,6 +38,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t, size_t)>
     body(0, n);
     return;
   }
+  std::lock_guard<std::mutex> driver_lock(driver_mu_);
   auto job = std::make_shared<Job>();
   job->body = &body;
   job->n = n;

@@ -14,8 +14,11 @@
 // per-index output slots and merging in index order afterwards; every
 // parallel stage in src/core follows this pattern.
 //
-// A pool must be driven from one thread at a time; ParallelFor must not be
-// called from inside a body running on the same pool.
+// Concurrent drivers are serialized: when several threads call ParallelFor
+// on one pool (serve answers independent requests over one shared
+// AnalysisContext), an internal driver mutex runs their loops one at a
+// time, so each loop still owns every lane while it runs. ParallelFor must
+// not be called from inside a body running on the same pool.
 #ifndef SRC_UTIL_THREAD_POOL_H_
 #define SRC_UTIL_THREAD_POOL_H_
 
@@ -65,6 +68,10 @@ class ThreadPool {
   void RunChunks(Job& job);
 
   std::vector<std::thread> workers_;
+  // Serializes concurrent ParallelFor callers (held for the whole loop).
+  // The inline path (no workers / n == 1) touches no shared state and
+  // skips it.
+  std::mutex driver_mu_;
   std::mutex mu_;
   std::condition_variable work_cv_;  // Workers wait here for a new job.
   std::condition_variable done_cv_;  // The caller waits here for completion.

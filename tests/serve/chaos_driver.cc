@@ -10,12 +10,27 @@
 //
 // Works on any framed file — serialized traces and .lockdb snapshots share
 // the frame layout, so the same mutators exercise both readers.
+//
+// It is also the abusive TCP peer for the socket front-end:
+//
+//   chaos_driver abuse HOST:PORT MODE       misbehave at the wire level and
+//                                           exit 0 if the server reacted per
+//                                           contract. MODE is one of:
+//     partial-header   send 2 of the 4 length bytes, then vanish
+//     partial-frame    announce 4096 payload bytes, send 16, then vanish
+//     kill-mid-read    send a valid request, read 4 response bytes, vanish
+//     oversized-frame  announce a payload beyond the server's frame cap;
+//                      expect a kind=oversized error meta back
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+
+#include <sys/socket.h>
 
 #include "src/trace/corruptor.h"
 #include "src/util/file_io.h"
+#include "src/util/socket.h"
 
 using namespace lockdoc;
 
@@ -26,6 +41,71 @@ constexpr size_t kKindCount = sizeof(kAllCorruptionKinds) / sizeof(kAllCorruptio
 int Die(const char* message) {
   std::fprintf(stderr, "chaos_driver: %s\n", message);
   return 2;
+}
+
+// Raw send of exactly `len` bytes — the abusive peer bypasses WriteFrame on
+// purpose to produce wire states a correct client never would.
+bool SendRaw(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+int Abuse(const std::string& endpoint, const std::string& mode) {
+  std::string host;
+  uint16_t port = 0;
+  if (Status status = ParseHostPort(endpoint, &host, &port); !status.ok()) {
+    return Die(status.message().c_str());
+  }
+  auto conn = ConnectTcp(host, port);
+  if (!conn.ok()) {
+    return Die(conn.status().message().c_str());
+  }
+  int fd = conn.value().get();
+
+  if (mode == "partial-header") {
+    const unsigned char half[2] = {0x00, 0x00};
+    SendRaw(fd, half, sizeof(half));
+    return 0;  // Vanish: UniqueFd closes with 2 of 4 header bytes sent.
+  }
+  if (mode == "partial-frame") {
+    const unsigned char header[4] = {0x00, 0x00, 0x10, 0x00};  // Claims 4096.
+    if (!SendRaw(fd, header, sizeof(header))) {
+      return Die("partial-frame: header send failed");
+    }
+    SendRaw(fd, "pass=check\ninput=", 16);  // 16 of the promised 4096.
+    return 0;  // Vanish mid-frame.
+  }
+  if (mode == "kill-mid-read") {
+    if (Status status = WriteFrame(fd, "pass=check\ninput=web\n"); !status.ok()) {
+      return Die(status.message().c_str());
+    }
+    char first[4];
+    ::recv(fd, first, sizeof(first), 0);  // Take a bite of the response...
+    return 0;  // ...then vanish; the server's next write must not kill it.
+  }
+  if (mode == "oversized-frame") {
+    const unsigned char header[4] = {0x7f, 0xff, 0xff, 0xff};  // ~2 GiB claim.
+    if (!SendRaw(fd, header, sizeof(header))) {
+      return Die("oversized-frame: header send failed");
+    }
+    FrameRead meta = ReadFrame(fd, 10000, 10000, 1 << 20);
+    if (meta.status != FrameStatus::kOk) {
+      return Die("oversized-frame: no error meta came back");
+    }
+    if (meta.payload.find("kind=oversized\n") == std::string::npos) {
+      return Die("oversized-frame: reply not typed kind=oversized");
+    }
+    return 0;
+  }
+  return Die("unknown abuse mode");
 }
 
 }  // namespace
@@ -51,6 +131,9 @@ int main(int argc, char** argv) {
     std::printf("%s\n", CorruptionKindName(kind));
     return 0;
   }
+  if (argc == 4 && std::string(argv[1]) == "abuse") {
+    return Abuse(argv[2], argv[3]);
+  }
   if (argc == 5 && std::string(argv[1]) == "truncate") {
     auto bytes = ReadFileToString(argv[2]);
     if (!bytes.ok()) {
@@ -66,5 +149,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  return Die("usage: corrupt IN OUT KIND SEED | truncate IN OUT BYTES | kinds");
+  return Die(
+      "usage: corrupt IN OUT KIND SEED | truncate IN OUT BYTES | kinds | "
+      "abuse HOST:PORT MODE");
 }

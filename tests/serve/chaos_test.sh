@@ -46,7 +46,7 @@ done
 # Reference snapshot: what a crash-free import of the fixture publishes.
 mkdir -p "$DIR/refspool/incoming"
 cp "$DIR/fixture.trace" "$DIR/refspool/incoming/web.trace"
-"$LOCKDOC" serve "$DIR/refspool" --once > /dev/null || exit 1
+"$LOCKDOC" serve "$DIR/refspool" --once --workers 4 > /dev/null || exit 1
 REF_SNAPSHOT="$DIR/refspool/state/snapshots/web.lockdb"
 [ -f "$REF_SNAPSHOT" ] || exit 1
 
@@ -62,7 +62,7 @@ check_invariants() {
   spool="$1"
   input="$2"
   req="$3"
-  "$LOCKDOC" serve "$spool" --once > /dev/null 2>&1 || fail "restart not clean"
+  "$LOCKDOC" serve "$spool" --once --workers 4 > /dev/null 2>&1 || fail "restart not clean"
   [ -n "$(ls -A "$spool/incoming" 2> /dev/null)" ] && fail "incoming not drained"
   [ -n "$(ls -A "$spool/requests" 2> /dev/null)" ] && fail "requests not drained"
   [ -n "$(ls -A "$spool/state/journal" 2> /dev/null)" ] && fail "journal not empty"
@@ -121,7 +121,7 @@ while [ "$seed" -lt "$SCENARIOS" ]; do
       cp "$DIR/fixture.trace" "$spool/incoming/web.trace"
       mkdir -p "$spool/requests"
       printf 'pass=%s\ninput=web\n' "$pass" > "$spool/requests/q.req"
-      LOCKDOC_SERVE_CRASH_AT=$p "$LOCKDOC" serve "$spool" --once > /dev/null 2>&1
+      LOCKDOC_SERVE_CRASH_AT=$p "$LOCKDOC" serve "$spool" --once --workers 4 > /dev/null 2>&1
       rc=$?
       [ "$rc" -eq 42 ] || [ "$rc" -eq 0 ] || fail "crash run exited $rc (want 42 or 0)"
       check_invariants "$spool" web.trace q
@@ -137,7 +137,7 @@ while [ "$seed" -lt "$SCENARIOS" ]; do
       cp "$DIR/damaged.trace" "$spool/incoming/web.trace"
       mkdir -p "$spool/requests"
       printf 'pass=%s\ninput=web\n' "$pass" > "$spool/requests/q.req"
-      "$LOCKDOC" serve "$spool" --once > /dev/null 2>&1 || fail "serve crashed on corrupted input"
+      "$LOCKDOC" serve "$spool" --once --workers 4 > /dev/null 2>&1 || fail "serve crashed on corrupted input"
       check_invariants "$spool" web.trace q
       check_answer "$spool" q "$pass" "$DIR/damaged.trace" --salvage
       ;;
@@ -148,14 +148,14 @@ while [ "$seed" -lt "$SCENARIOS" ]; do
       cp "$DIR/damaged.trace" "$spool/incoming/web.trace"
       mkdir -p "$spool/requests"
       printf 'pass=%s\ninput=web\n' "$pass" > "$spool/requests/q.req"
-      "$LOCKDOC" serve "$spool" --once > /dev/null 2>&1 || fail "serve crashed on truncated input"
+      "$LOCKDOC" serve "$spool" --once --workers 4 > /dev/null 2>&1 || fail "serve crashed on truncated input"
       check_invariants "$spool" web.trace q
       check_answer "$spool" q "$pass" "$DIR/damaged.trace" --salvage
       ;;
     3)
       # Zero-byte drop: typed quarantine, not a crash and not a loop.
       : > "$spool/incoming/web.trace"
-      "$LOCKDOC" serve "$spool" --once > /dev/null 2>&1 || fail "serve crashed on empty file"
+      "$LOCKDOC" serve "$spool" --once --workers 4 > /dev/null 2>&1 || fail "serve crashed on empty file"
       check_invariants "$spool" web.trace ''
       grep -q '^kind=empty$' "$spool/state/quarantine/web.trace.reason" 2> /dev/null \
         || fail "zero-byte file not quarantined as kind=empty"
@@ -163,7 +163,7 @@ while [ "$seed" -lt "$SCENARIOS" ]; do
     4)
       # Oversized drop: rejected by the guardrail before a byte is parsed.
       cp "$DIR/fixture.trace" "$spool/incoming/web.trace"
-      "$LOCKDOC" serve "$spool" --once --max-trace-bytes 1000 > /dev/null 2>&1 \
+      "$LOCKDOC" serve "$spool" --once --workers 4 --max-trace-bytes 1000 > /dev/null 2>&1 \
         || fail "serve crashed on oversized file"
       check_invariants "$spool" web.trace ''
       grep -q '^kind=oversized$' "$spool/state/quarantine/web.trace.reason" 2> /dev/null \
@@ -173,7 +173,7 @@ while [ "$seed" -lt "$SCENARIOS" ]; do
       # Damaged .lockdb drop: validated before publication, so the resident
       # store never sees it.
       "$DRIVER" corrupt "$DIR/fixture.lockdb" "$spool/incoming/web.lockdb" "$kind" "$seed" > /dev/null || fail "corruptor failed"
-      "$LOCKDOC" serve "$spool" --once > /dev/null 2>&1 || fail "serve crashed on damaged snapshot"
+      "$LOCKDOC" serve "$spool" --once --workers 4 > /dev/null 2>&1 || fail "serve crashed on damaged snapshot"
       check_invariants "$spool" web.lockdb ''
       ;;
     6)
@@ -182,7 +182,7 @@ while [ "$seed" -lt "$SCENARIOS" ]; do
       cp "$DIR/fixture.trace" "$spool/incoming/web.trace"
       mkdir -p "$spool/requests"
       printf 'pass=%s\ninput=web\n' "$pass" > "$spool/requests/q.req"
-      LOCKDOC_SERVE_CRASH_AT=$p "$LOCKDOC" serve "$spool" --once > /dev/null 2>&1
+      LOCKDOC_SERVE_CRASH_AT=$p "$LOCKDOC" serve "$spool" --once --workers 4 > /dev/null 2>&1
       rc=$?
       [ "$rc" -eq 42 ] || [ "$rc" -eq 0 ] || fail "crash run exited $rc (want 42 or 0)"
       check_invariants "$spool" web.trace q
@@ -197,7 +197,7 @@ while [ "$seed" -lt "$SCENARIOS" ]; do
       cp "$DIR/damaged.trace" "$spool/incoming/web.trace"
       mkdir -p "$spool/requests"
       printf 'pass=%s\ninput=web\n' "$pass" > "$spool/requests/q.req"
-      LOCKDOC_SERVE_CRASH_AT=$p "$LOCKDOC" serve "$spool" --once > /dev/null 2>&1
+      LOCKDOC_SERVE_CRASH_AT=$p "$LOCKDOC" serve "$spool" --once --workers 4 > /dev/null 2>&1
       rc=$?
       [ "$rc" -eq 42 ] || [ "$rc" -eq 0 ] || fail "crash run exited $rc (want 42 or 0)"
       check_invariants "$spool" web.trace q
@@ -206,8 +206,51 @@ while [ "$seed" -lt "$SCENARIOS" ]; do
   esac
 done
 
+# --- socket chaos: abusive TCP peers against a live daemon. After every
+# --- abuse round a well-formed query must still get CLI-identical bytes —
+# --- a misbehaving peer can cost itself, never the service.
+scenario=socket
+SPOOLS="$DIR/spool_socket"
+rm -rf "$SPOOLS"
+mkdir -p "$SPOOLS/incoming"
+cp "$DIR/fixture.trace" "$SPOOLS/incoming/web.trace"
+"$LOCKDOC" serve "$SPOOLS" --listen 127.0.0.1:0 --workers 4 --poll-ms 25 \
+  --max-trace-bytes 10000000 > "$DIR/socket_stats.txt" 2> "$DIR/socket_err.txt" &
+SOCKD=$!
+tries=0
+while ! grep -q 'listening on' "$DIR/socket_err.txt" 2> /dev/null && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1)); sleep 0.1
+done
+PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' "$DIR/socket_err.txt" | head -1)
+tries=0
+while [ ! -f "$SPOOLS/responses/web.ingest.meta" ] && [ "$tries" -lt 200 ]; do
+  tries=$((tries + 1)); sleep 0.1
+done
+if [ -n "$PORT" ]; then
+  printf 'pass=check\ninput=web\n' > "$DIR/good.req"
+  round=0
+  for mode in partial-header partial-frame kill-mid-read oversized-frame \
+              partial-frame oversized-frame kill-mid-read partial-header; do
+    round=$((round + 1))
+    scenario="socket-$round-$mode"
+    "$DRIVER" abuse "127.0.0.1:$PORT" "$mode" || fail "abuse $mode misbehaved"
+    "$LOCKDOC" query "127.0.0.1:$PORT" "$DIR/good.req" \
+      > "$DIR/good.out" 2> /dev/null || fail "service wedged after $mode"
+    cmp -s "$DIR/ref/check.out" "$DIR/good.out" \
+      || fail "WRONG ANSWER over socket after $mode"
+  done
+else
+  fail "socket daemon never announced its port"
+fi
+kill -TERM "$SOCKD" 2> /dev/null
+wait "$SOCKD"
+rc=$?
+scenario=socket
+[ "$rc" -eq 0 ] || fail "socket daemon exited $rc on SIGTERM"
+check_invariants "$SPOOLS" web.trace ''
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures chaos invariant violations across $SCENARIOS scenarios" >&2
   exit 1
 fi
-echo "chaos: $SCENARIOS scenarios OK (no wrong answers, one terminal state each, clean restarts)"
+echo "chaos: $SCENARIOS scenarios OK at --workers 4 (+ socket abuse; no wrong answers, one terminal state each, clean restarts)"

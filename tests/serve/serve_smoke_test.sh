@@ -92,6 +92,90 @@ printf 'pass=check\ninput=big\n' > "$SPOOL3/requests/after.req"
 "$LOCKDOC" serve "$SPOOL3" --once > /dev/null || fail "serve dead after timeout"
 grep -q '^status=ok$' "$SPOOL3/responses/after.meta" || fail "input unanswerable after a timeout"
 
+# --- concurrency matrix: answers are byte-identical at any --workers and
+# --- --jobs combination (the scheduler must not change a single byte) ---
+for workers in 1 2 4; do
+  for jobs in 1 8; do
+    SPOOLM="$DIR/spool_w${workers}_j${jobs}"
+    mkdir -p "$SPOOLM/incoming" "$SPOOLM/requests"
+    cp "$DIR/web.trace" "$SPOOLM/incoming/web.trace"
+    cp "$DIR/base.trace" "$SPOOLM/incoming/base.trace"
+    printf 'pass=check\ninput=web\n' > "$SPOOLM/requests/check.req"
+    printf 'pass=report\ninput=web\n' > "$SPOOLM/requests/report.req"
+    printf 'pass=diff\ninput=web\nbaseline=base\n' > "$SPOOLM/requests/diff.req"
+    printf 'pass=violations\ninput=web\nlimit=2\n' > "$SPOOLM/requests/viol2.req"
+    "$LOCKDOC" serve "$SPOOLM" --once --workers "$workers" --jobs "$jobs" > /dev/null \
+      || fail "serve --workers $workers --jobs $jobs failed"
+    "$LOCKDOC" check "$DIR/web.trace" > "$DIR/expect.out"
+    cmp -s "$DIR/expect.out" "$SPOOLM/responses/check.out" \
+      || fail "check differs at workers=$workers jobs=$jobs"
+    "$LOCKDOC" report "$DIR/web.trace" > "$DIR/expect.out"
+    cmp -s "$DIR/expect.out" "$SPOOLM/responses/report.out" \
+      || fail "report differs at workers=$workers jobs=$jobs"
+    "$LOCKDOC" diff "$DIR/base.trace" "$DIR/web.trace" > "$DIR/expect.out"
+    cmp -s "$DIR/expect.out" "$SPOOLM/responses/diff.out" \
+      || fail "diff differs at workers=$workers jobs=$jobs"
+    "$LOCKDOC" violations "$DIR/web.trace" --limit 2 > "$DIR/expect.out"
+    cmp -s "$DIR/expect.out" "$SPOOLM/responses/viol2.out" \
+      || fail "violations differs at workers=$workers jobs=$jobs"
+  done
+done
+
+# --- socket front-end: the same bytes over TCP, sharing one scheduler ---
+SPOOL6="$DIR/spool_socket"
+mkdir -p "$SPOOL6/incoming"
+cp "$DIR/web.trace" "$SPOOL6/incoming/web.trace"
+cp "$DIR/base.trace" "$SPOOL6/incoming/base.trace"
+"$LOCKDOC" serve "$SPOOL6" --listen 127.0.0.1:0 --workers 4 --poll-ms 25 \
+  > "$DIR/socket_stats.txt" 2> "$DIR/socket_err.txt" &
+SOCKD=$!
+tries=0
+while ! grep -q 'listening on' "$DIR/socket_err.txt" 2> /dev/null && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1)); sleep 0.1
+done
+PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' "$DIR/socket_err.txt" | head -1)
+[ -n "$PORT" ] || fail "socket daemon never announced its port"
+# Wait for the ingest so queries find the snapshots.
+tries=0
+while { [ ! -f "$SPOOL6/responses/base.ingest.meta" ] || \
+        [ ! -f "$SPOOL6/responses/web.ingest.meta" ]; } && [ "$tries" -lt 200 ]; do
+  tries=$((tries + 1)); sleep 0.1
+done
+if [ -n "$PORT" ]; then
+  for pass in check report; do
+    printf 'pass=%s\ninput=web\n' "$pass" > "$DIR/sockq.req"
+    "$LOCKDOC" query "127.0.0.1:$PORT" "$DIR/sockq.req" \
+      > "$DIR/sockq.out" 2> "$DIR/sockq.meta" || fail "socket query $pass failed"
+    "$LOCKDOC" "$pass" "$DIR/web.trace" > "$DIR/expect.out"
+    cmp -s "$DIR/expect.out" "$DIR/sockq.out" || fail "socket $pass != CLI bytes"
+    grep -q '^status=ok$' "$DIR/sockq.meta" || fail "socket $pass meta not ok"
+  done
+  printf 'pass=diff\ninput=web\nbaseline=base\n' > "$DIR/sockq.req"
+  "$LOCKDOC" query "127.0.0.1:$PORT" "$DIR/sockq.req" \
+    > "$DIR/sockq.out" 2> "$DIR/sockq.meta" || fail "socket diff failed"
+  "$LOCKDOC" diff "$DIR/base.trace" "$DIR/web.trace" > "$DIR/expect.out"
+  cmp -s "$DIR/expect.out" "$DIR/sockq.out" || fail "socket diff != CLI bytes"
+  # Typed errors cross the wire with the same taxonomy as the spool.
+  printf 'pass=nope\ninput=web\n' > "$DIR/sockq.req"
+  "$LOCKDOC" query "127.0.0.1:$PORT" "$DIR/sockq.req" \
+    > "$DIR/sockq.out" 2> "$DIR/sockq.meta" && fail "bad socket query exited 0"
+  grep -q '^kind=unknown-pass$' "$DIR/sockq.meta" || fail "socket error not typed"
+  [ -s "$DIR/sockq.out" ] && fail "socket error carried response bytes"
+  # While the socket is live the spool transport still answers (one scheduler).
+  printf 'pass=check\ninput=web\n' > "$SPOOL6/requests/spool_live.req"
+  tries=0
+  while [ ! -f "$SPOOL6/responses/spool_live.meta" ] && [ "$tries" -lt 200 ]; do
+    tries=$((tries + 1)); sleep 0.1
+  done
+  "$LOCKDOC" check "$DIR/web.trace" > "$DIR/expect.out"
+  cmp -s "$DIR/expect.out" "$SPOOL6/responses/spool_live.out" \
+    || fail "spool transport broken while socket live"
+fi
+kill -TERM "$SOCKD" 2> /dev/null
+wait "$SOCKD"
+rc=$?
+[ "$rc" -eq 0 ] || fail "socket daemon exited $rc on SIGTERM"
+
 # --- daemon mode: poll loop picks up late arrivals, stops on SIGTERM ---
 SPOOL4="$DIR/spool_daemon"
 mkdir -p "$SPOOL4/incoming"

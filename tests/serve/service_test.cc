@@ -7,14 +7,19 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/serve/journal.h"
 #include "src/serve/request.h"
+#include "src/serve/socket.h"
 #include "src/serve/spool.h"
+#include "src/util/socket.h"
 #include "src/trace/trace_io.h"
 #include "src/util/file_io.h"
 #include "src/vfs/vfs_kernel.h"
@@ -378,6 +383,160 @@ TEST_F(ServeServiceTest, DeadlineTimesOutAndServiceSurvives) {
   DropRequest("after", "pass=check\ninput=web\n");
   ASSERT_TRUE(service.ProcessOnce().ok());
   EXPECT_TRUE(service.DrainZombies(5000));
+}
+
+TEST_F(ServeServiceTest, FailedDispatchIsNotCountedAsHandled) {
+  // Regression: a journal write failure used to count as "handled", making
+  // the daemon loop believe it made progress and skip its poll sleep — a
+  // busy-loop against a broken state dir. A failed dispatch must count 0
+  // and leave the input in incoming for the next scan.
+  DropTrace("web.trace");
+  ASSERT_EQ(::system(("rm -rf " + layout_.journal_dir).c_str()), 0);
+  // A regular file where the journal dir should be: every Record fails.
+  ASSERT_TRUE(WriteFileAtomic(layout_.journal_dir, "not a directory").ok());
+
+  ServeService service(layout_, sim_.registry.get(), options_);
+  auto handled = service.ProcessOnce();
+  ASSERT_TRUE(handled.ok());
+  EXPECT_EQ(handled.value(), 0u);  // No terminal state reached, no credit.
+  EXPECT_TRUE(FileSize(layout_.incoming_dir + "/web.trace").ok());
+  EXPECT_EQ(service.stats().ingested, 0u);
+  EXPECT_EQ(service.stats().quarantined, 0u);
+
+  // Heal the state dir: the very next scan completes the import.
+  ASSERT_EQ(::unlink(layout_.journal_dir.c_str()), 0);
+  ASSERT_EQ(::mkdir(layout_.journal_dir.c_str(), 0755), 0);
+  handled = service.ProcessOnce();
+  ASSERT_TRUE(handled.ok());
+  EXPECT_EQ(handled.value(), 1u);
+  EXPECT_EQ(service.stats().ingested, 1u);
+}
+
+TEST_F(ServeServiceTest, ParallelWorkersAnswerEveryRequestIdentically) {
+  DropTrace("web.trace");
+  options_.workers = 4;
+  ServeService service(layout_, sim_.registry.get(), options_);
+  ASSERT_TRUE(service.Recover().ok());
+  ASSERT_TRUE(service.ProcessOnce().ok());  // Ingest first.
+
+  for (int i = 0; i < 8; ++i) {
+    DropRequest("q" + std::to_string(i), "pass=check\ninput=web\n");
+  }
+  auto handled = service.ProcessOnce();
+  ASSERT_TRUE(handled.ok());
+  EXPECT_EQ(handled.value(), 8u);
+  EXPECT_EQ(service.stats().answered_ok, 8u);
+
+  auto first = ReadFileToString(layout_.responses_dir + "/q0.out");
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().empty());
+  for (int i = 1; i < 8; ++i) {
+    auto other = ReadFileToString(layout_.responses_dir + "/q" + std::to_string(i) + ".out");
+    ASSERT_TRUE(other.ok());
+    EXPECT_EQ(other.value(), first.value()) << "q" << i << " bytes differ";
+  }
+}
+
+TEST_F(ServeServiceTest, AnswerFromTextSharesTheResidentStore) {
+  // The socket transport's entry point: same taxonomy, same bytes, same
+  // stats as the spool, with no files involved.
+  DropTrace("web.trace");
+  options_.workers = 2;
+  ServeService service(layout_, sim_.registry.get(), options_);
+  ASSERT_TRUE(service.Recover().ok());
+  ASSERT_TRUE(service.ProcessOnce().ok());
+
+  auto ok = service.AnswerFromText("s1", "pass=check\ninput=web\n");
+  EXPECT_TRUE(ok.meta.ok);
+  EXPECT_FALSE(ok.text.empty());
+
+  DropRequest("q", "pass=check\ninput=web\n");
+  ASSERT_TRUE(service.ProcessOnce().ok());
+  auto spooled = ReadFileToString(layout_.responses_dir + "/q.out");
+  ASSERT_TRUE(spooled.ok());
+  EXPECT_EQ(ok.text, spooled.value());  // Transport must not change bytes.
+
+  auto bad = service.AnswerFromText("s2", "pass=check\ninput=ghost\n");
+  EXPECT_FALSE(bad.meta.ok);
+  EXPECT_EQ(bad.meta.kind, kServeErrorUnknownInput);
+  auto malformed = service.AnswerFromText("s3", "no equals\n");
+  EXPECT_FALSE(malformed.meta.ok);
+  EXPECT_EQ(malformed.meta.kind, kServeErrorBadRequest);
+  EXPECT_EQ(service.stats().answered_ok, 2u);
+  EXPECT_EQ(service.stats().answered_error, 2u);
+}
+
+TEST_F(ServeServiceTest, RunLoopBacksOffWhenIdleAndResetsOnWork) {
+  // The injectable sleeper observes the idle schedule without wall-clock
+  // time: consecutive idle scans double the delay (capped at 8x the poll
+  // interval); any handled work resets the ramp.
+  ServeService service(layout_, sim_.registry.get(), options_);
+  ASSERT_TRUE(service.Recover().ok());
+
+  std::vector<uint64_t> delays;
+  std::atomic<bool> stop{false};
+  Status status = service.RunLoop(stop, 50, [&](uint64_t ms) {
+    delays.push_back(ms);
+    if (delays.size() == 6) {
+      // Work arrives after the ramp topped out: the next idle delay must
+      // restart from the base interval.
+      (void)WriteFileAtomic(layout_.requests_dir + "/mid.req", "pass=nope\ninput=x\n");
+    }
+    if (delays.size() >= 8) {
+      stop.store(true);
+    }
+  });
+  ASSERT_TRUE(status.ok());
+  ASSERT_GE(delays.size(), 8u);
+  EXPECT_EQ(delays[0], 50u);   // First idle scan: the base interval.
+  EXPECT_EQ(delays[1], 100u);  // Doubling...
+  EXPECT_EQ(delays[2], 200u);
+  EXPECT_EQ(delays[3], 400u);  // ...capped at 8x.
+  EXPECT_EQ(delays[4], 400u);
+  EXPECT_EQ(delays[5], 400u);
+  EXPECT_EQ(delays[6], 50u);   // Reset: the answered request counted as work.
+  EXPECT_EQ(delays[7], 100u);  // And the ramp restarts from the base.
+}
+
+TEST_F(ServeServiceTest, SocketRoundTripMatchesSpoolBytes) {
+  DropTrace("web.trace");
+  options_.workers = 2;
+  ServeService service(layout_, sim_.registry.get(), options_);
+  ASSERT_TRUE(service.Recover().ok());
+  ASSERT_TRUE(service.ProcessOnce().ok());
+
+  ServeSocketOptions socket_options;
+  socket_options.port = 0;
+  ServeSocketServer server(&service, socket_options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  auto conn = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  ASSERT_TRUE(WriteFrame(conn.value().get(), "pass=check\ninput=web\n").ok());
+  FrameRead meta = ReadFrame(conn.value().get(), 10000, 10000, 0);
+  ASSERT_EQ(meta.status, FrameStatus::kOk) << meta.error;
+  EXPECT_NE(meta.payload.find("status=ok\n"), std::string::npos);
+  FrameRead out = ReadFrame(conn.value().get(), 10000, 10000, 0);
+  ASSERT_EQ(out.status, FrameStatus::kOk) << out.error;
+
+  // Byte-identity across transports, meta and payload both.
+  DropRequest("q", "pass=check\ninput=web\n");
+  ASSERT_TRUE(service.ProcessOnce().ok());
+  auto spool_out = ReadFileToString(layout_.responses_dir + "/q.out");
+  ASSERT_TRUE(spool_out.ok());
+  EXPECT_EQ(out.payload, spool_out.value());
+
+  // A second exchange on the same connection (pipelining).
+  ASSERT_TRUE(WriteFrame(conn.value().get(), "pass=nope\ninput=web\n").ok());
+  meta = ReadFrame(conn.value().get(), 10000, 10000, 0);
+  ASSERT_EQ(meta.status, FrameStatus::kOk);
+  EXPECT_NE(meta.payload.find("kind=unknown-pass\n"), std::string::npos);
+  out = ReadFrame(conn.value().get(), 10000, 10000, 0);
+  ASSERT_EQ(out.status, FrameStatus::kOk);
+  EXPECT_TRUE(out.payload.empty());  // Errors never carry response bytes.
+
+  server.Stop();
 }
 
 }  // namespace

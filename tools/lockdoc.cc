@@ -65,6 +65,7 @@
 #include "src/core/snapshot.h"
 #include "src/db/snapshot.h"
 #include "src/serve/service.h"
+#include "src/serve/socket.h"
 #include "src/serve/spool.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
@@ -100,6 +101,8 @@ int Usage() {
                "  serve SPOOL_DIR [--state DIR] [--once] [--poll-ms T]\n"
                "        [--max-resident N] [--max-resident-bytes B]\n"
                "        [--deadline-ms T] [--max-trace-bytes B] [--jobs N]\n"
+               "        [--workers N] [--listen HOST:PORT]\n"
+               "  query HOST:PORT REQUEST.req\n"
                "FILE is a trace or a .lockdb snapshot (auto-detected by magic);\n"
                "`import` converts the former into the latter so repeated analyses\n"
                "skip the import/extraction phases.\n"
@@ -247,7 +250,8 @@ const std::map<std::string, std::set<std::string>>& CommandFlagTable() {
         {"export-csv", with({"dir"})},
         {"doctor", {"repair"}},
         {"serve", {"state", "once", "poll-ms", "max-resident", "max-resident-bytes",
-                   "deadline-ms", "max-trace-bytes", "jobs"}},
+                   "deadline-ms", "max-trace-bytes", "jobs", "workers", "listen"}},
+        {"query", {}},
         {"analyze", with({"passes", "baseline", "out-dir", "tac", "rules", "limit", "all",
                           "full", "spec", "support", "type", "subclass"})},
     };
@@ -849,9 +853,16 @@ int CmdServe(const FlagSet& flags) {
     std::fprintf(stderr, "lockdoc serve: --once and --poll-ms conflict\n");
     return 64;
   }
+  if (once && flags.Has("listen")) {
+    // A socket endpoint needs a long-lived process; a drain-and-exit run
+    // would tear it down mid-connection.
+    std::fprintf(stderr, "lockdoc serve: --once and --listen conflict\n");
+    return 64;
+  }
   ServeServiceOptions options;
   uint64_t max_resident = 0;
   uint64_t poll_ms = 0;
+  uint64_t workers = 0;
   if (!GetServeUint(flags, "max-resident", 8, &max_resident) ||
       !GetServeUint(flags, "max-resident-bytes", options.max_resident_bytes,
                     &options.max_resident_bytes) ||
@@ -859,14 +870,31 @@ int CmdServe(const FlagSet& flags) {
                     &options.max_trace_bytes) ||
       !GetServeUint(flags, "deadline-ms", 0, &options.deadline_ms) ||
       !GetServeUint(flags, "poll-ms", 200, &poll_ms) ||
-      !GetServeUint(flags, "jobs", 0, &options.pipeline.jobs)) {
+      !GetServeUint(flags, "jobs", 0, &options.pipeline.jobs) ||
+      !GetServeUint(flags, "workers", 0, &workers)) {
     return 64;
   }
   if (max_resident == 0) {
     std::fprintf(stderr, "lockdoc serve: --max-resident must be at least 1\n");
     return 64;
   }
+  if (flags.Has("workers") && workers == 0) {
+    std::fprintf(stderr, "lockdoc serve: --workers must be at least 1\n");
+    return 64;
+  }
   options.max_resident = static_cast<size_t>(max_resident);
+  options.workers = static_cast<size_t>(workers);
+  ServeSocketOptions socket_options;
+  const bool listen = flags.Has("listen");
+  if (listen) {
+    Status status = ParseHostPort(flags.GetString("listen", ""), &socket_options.host,
+                                  &socket_options.port);
+    if (!status.ok()) {
+      std::fprintf(stderr, "lockdoc serve: --listen: %s\n", status.message().c_str());
+      return 64;
+    }
+    socket_options.max_frame_bytes = options.max_trace_bytes;
+  }
   options.pipeline.filter = VfsKernel::MakeFilterConfig();
   options.documented_rules_text = VfsKernel::DocumentedRulesText();
 
@@ -902,7 +930,23 @@ int CmdServe(const FlagSet& flags) {
     g_serve_stop.store(false);
     std::signal(SIGINT, HandleServeSignal);
     std::signal(SIGTERM, HandleServeSignal);
+    std::unique_ptr<ServeSocketServer> socket_server;
+    if (listen) {
+      socket_server = std::make_unique<ServeSocketServer>(&service, socket_options);
+      if (Status status = socket_server->Start(); !status.ok()) {
+        std::fprintf(stderr, "lockdoc serve: --listen: %s\n", status.message().c_str());
+        return 1;
+      }
+      // Announce the bound endpoint (resolving port 0) so clients and tests
+      // can find an ephemeral port. Flushed: daemons get backgrounded.
+      std::fprintf(stderr, "lockdoc serve: listening on %s:%u\n",
+                   socket_options.host.c_str(), socket_server->port());
+      std::fflush(stderr);
+    }
     Status status = service.RunLoop(g_serve_stop, poll_ms);
+    if (socket_server != nullptr) {
+      socket_server->Stop();
+    }
     if (!status.ok()) {
       std::fprintf(stderr, "lockdoc serve: %s\n", status.message().c_str());
       exit_code = 1;
@@ -917,6 +961,57 @@ int CmdServe(const FlagSet& flags) {
     _exit(exit_code);
   }
   return exit_code;
+}
+
+// Socket client for a serve instance started with --listen: sends one
+// request file over the framed protocol and prints the response. The pass
+// output goes to stdout byte-identically to the standalone command (and to
+// the spool's .out file) so tests can cmp all three; the meta record goes
+// to stderr. Exit 0 on status=ok, 1 on a typed error or transport failure.
+int CmdQuery(const FlagSet& flags) {
+  if (flags.positional().size() < 3) {
+    std::fprintf(stderr, "usage: lockdoc query HOST:PORT REQUEST.req\n");
+    return 64;
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (Status status = ParseHostPort(flags.positional()[1], &host, &port); !status.ok()) {
+    std::fprintf(stderr, "lockdoc query: %s\n", status.message().c_str());
+    return 64;
+  }
+  auto request = ReadFileToString(flags.positional()[2]);
+  if (!request.ok()) {
+    std::fprintf(stderr, "lockdoc query: %s\n", request.status().message().c_str());
+    return 1;
+  }
+  auto connection = ConnectTcp(host, port);
+  if (!connection.ok()) {
+    std::fprintf(stderr, "lockdoc query: %s\n", connection.status().message().c_str());
+    return 1;
+  }
+  const int fd = connection.value().get();
+  if (Status status = WriteFrame(fd, request.value()); !status.ok()) {
+    std::fprintf(stderr, "lockdoc query: %s\n", status.message().c_str());
+    return 1;
+  }
+  // The server computes arbitrary-sized analyses; allow it a generous
+  // window per response frame once bytes start flowing.
+  constexpr uint64_t kResponseDeadlineMs = 600000;
+  FrameRead meta = ReadFrame(fd, kResponseDeadlineMs, kResponseDeadlineMs, 0);
+  if (meta.status != FrameStatus::kOk) {
+    std::fprintf(stderr, "lockdoc query: no response meta (%s)\n",
+                 meta.error.empty() ? "connection closed" : meta.error.c_str());
+    return 1;
+  }
+  FrameRead out = ReadFrame(fd, kResponseDeadlineMs, kResponseDeadlineMs, 0);
+  if (out.status != FrameStatus::kOk) {
+    std::fprintf(stderr, "lockdoc query: no response body (%s)\n",
+                 out.error.empty() ? "connection closed" : out.error.c_str());
+    return 1;
+  }
+  std::fputs(meta.payload.c_str(), stderr);
+  std::fwrite(out.payload.data(), 1, out.payload.size(), stdout);
+  return StartsWith(meta.payload, "status=ok") ? 0 : 1;
 }
 
 }  // namespace
@@ -964,6 +1059,9 @@ int main(int argc, char** argv) {
   }
   if (command == "serve") {
     return CmdServe(flags);
+  }
+  if (command == "query") {
+    return CmdQuery(flags);
   }
   return Usage();
 }
