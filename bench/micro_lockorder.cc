@@ -1,0 +1,113 @@
+// Micro-benchmark for the lock-order pass: graph construction from an
+// imported database, the Tarjan SCC condensation, the bounded cycle-path
+// enumeration, and the full report. The fixture is an mm workload with the
+// seeded lock-order inversion enabled, so the graph actually contains a
+// nontrivial SCC and the path search does real work — a purely acyclic
+// graph would make FindCyclePaths measure only the condensation.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/core/lock_order.h"
+#include "src/core/pipeline.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+#include "src/vfs/vfs_kernel.h"
+#include "src/workload/workloads.h"
+
+namespace lockdoc {
+namespace {
+
+uint64_t BenchOps() {
+  uint64_t ops = 100000;
+  if (const char* env = std::getenv("LOCKDOC_BENCH_OPS"); env != nullptr) {
+    uint64_t parsed = 0;
+    if (ParseUint64(env, &parsed) && parsed > 0) {
+      ops = parsed;
+    }
+  }
+  return ops;
+}
+
+struct Fixture {
+  SimulationResult sim;
+  AnalysisSnapshot snapshot;
+
+  Fixture() {
+    MixOptions mix;
+    mix.ops = BenchOps();
+    mix.seed = 5;
+    // Default FaultPlan keeps the mm lock-order inversion on: the graph gets
+    // a real cycle (mmap_lock -> page_table_lock -> vm_committed_lock plus
+    // the inverted direction), range-lock witnesses included.
+    sim = SimulateMmRun(mix, FaultPlan{});
+    PipelineOptions options;
+    options.filter = VfsKernel::MakeFilterConfig();
+    snapshot = BuildSnapshot(sim.trace, *sim.registry, options);
+    // The benchmarks below assume a cyclic graph; fail loudly if the
+    // workload mix ever stops producing one.
+    LockOrderGraph graph = LockOrderGraph::Build(snapshot.db, *sim.registry);
+    LOCKDOC_CHECK(!graph.StronglyConnectedComponents().empty());
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+// Graph construction: one sweep over txn_locks (plus the optional
+// txn_lock_ranges join for witnesses), deduplicating class-level edges.
+void BM_BuildGraph(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  for (auto _ : state) {
+    LockOrderGraph graph =
+        LockOrderGraph::Build(fixture.snapshot.db, *fixture.sim.registry);
+    benchmark::DoNotOptimize(graph.edges().data());
+  }
+}
+BENCHMARK(BM_BuildGraph)->Unit(benchmark::kMillisecond);
+
+// Tarjan condensation alone, on a prebuilt graph.
+void BM_Scc(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  LockOrderGraph graph =
+      LockOrderGraph::Build(fixture.snapshot.db, *fixture.sim.registry);
+  for (auto _ : state) {
+    auto sccs = graph.StronglyConnectedComponents();
+    benchmark::DoNotOptimize(sccs.data());
+  }
+}
+BENCHMARK(BM_Scc)->Unit(benchmark::kMicrosecond);
+
+// Bounded cycle-path enumeration (per-SCC, rarest-first) at the default
+// caps — the cost the `lock-order` pass adds over plain cycle listing.
+void BM_FindCyclePaths(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  LockOrderGraph graph =
+      LockOrderGraph::Build(fixture.snapshot.db, *fixture.sim.registry);
+  for (auto _ : state) {
+    auto paths = graph.FindCyclePaths();
+    benchmark::DoNotOptimize(paths.data());
+  }
+}
+BENCHMARK(BM_FindCyclePaths)->Unit(benchmark::kMicrosecond);
+
+// The full pass as the CLI runs it: build + conflicts + SCCs + paths +
+// report text with witness/site resolution.
+void BM_FullReport(benchmark::State& state) {
+  Fixture& fixture = SharedFixture();
+  for (auto _ : state) {
+    LockOrderGraph graph =
+        LockOrderGraph::Build(fixture.snapshot.db, *fixture.sim.registry);
+    std::string report = graph.Report(fixture.snapshot.db);
+    benchmark::DoNotOptimize(report.data());
+  }
+}
+BENCHMARK(BM_FullReport)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lockdoc
+
+BENCHMARK_MAIN();

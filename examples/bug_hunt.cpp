@@ -4,8 +4,13 @@
 // including the i_flags bug a kernel developer confirmed for the paper.
 //
 // Usage: bug_hunt [--ops=20000] [--seed=1] [--tac=0.9] [--examples=12]
-//                 [--clean] (disable all injected faults)
+//                 [--workload=vfs|mm] [--clean] (disable all injected faults)
+//
+// --workload mm runs the address-space mix instead: mmap_lock is a range
+// lock, and the seeded fault writes a vm_area_struct while holding the
+// lock over a non-overlapping span, so the finder must reason by overlap.
 #include <cstdio>
+#include <string>
 
 #include "src/core/pipeline.h"
 #include "src/core/violation_finder.h"
@@ -27,8 +32,14 @@ int main(int argc, char** argv) {
   MixOptions mix;
   mix.ops = flags.GetUint64("ops", 20000);
   mix.seed = flags.GetUint64("seed", 1);
+  std::string workload = flags.GetString("workload", "vfs");
+  if (workload != "vfs" && workload != "mm") {
+    std::fprintf(stderr, "bug_hunt: --workload must be vfs or mm\n");
+    return 1;
+  }
   FaultPlan plan = flags.GetBool("clean", false) ? FaultPlan::Clean() : FaultPlan{};
-  SimulationResult sim = SimulateKernelRun(mix, plan);
+  SimulationResult sim =
+      workload == "mm" ? SimulateMmRun(mix, plan) : SimulateKernelRun(mix, plan);
 
   PipelineOptions options;
   options.filter = VfsKernel::MakeFilterConfig();

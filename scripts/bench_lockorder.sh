@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Lock-order benchmark harness: runs micro_lockorder (graph build, Tarjan
+# SCC condensation, bounded cycle-path enumeration, full report) on an mm
+# workload with the seeded lock-order inversion, and writes one
+# BENCH_lockorder.json with the headline ratios. The interesting number is
+# how little the SCC + bounded-path machinery adds on top of building the
+# graph — the condensation is what keeps cycle search off the acyclic bulk.
+#
+# Usage: scripts/bench_lockorder.sh [BUILD_DIR] [OUT_JSON]
+#   BUILD_DIR defaults to "build", OUT_JSON to "BENCH_lockorder.json".
+#
+# Environment:
+#   LOCKDOC_BENCH_OPS         op count for the simulated mm trace
+#                             (default 100000; smoke CI uses 2500).
+#   LOCKDOC_BENCH_MIN_TIME    --benchmark_min_time for micro_lockorder, as a
+#                             plain double in seconds (unset = library default).
+#   LOCKDOC_BENCH_ALLOW_DEBUG set to 1 to benchmark an unoptimized build
+#                             anyway (the JSON is annotated).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_lockorder.json}"
+
+# shellcheck source=scripts/bench_common.sh
+source "$(dirname "$0")/bench_common.sh"
+lockdoc_bench_require_release "$BUILD_DIR" bench_lockorder
+
+MICRO="$BUILD_DIR/bench/micro_lockorder"
+if [[ ! -x "$MICRO" ]]; then
+  echo "bench_lockorder: missing $MICRO (build the 'micro_lockorder' target first)" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+MICRO_ARGS=(
+  "--benchmark_out=$TMP_DIR/lockorder.json"
+  "--benchmark_out_format=json"
+)
+if [[ -n "${LOCKDOC_BENCH_MIN_TIME:-}" ]]; then
+  MICRO_ARGS+=("--benchmark_min_time=$LOCKDOC_BENCH_MIN_TIME")
+fi
+echo "bench_lockorder: micro_lockorder ${MICRO_ARGS[*]}" >&2
+"$MICRO" "${MICRO_ARGS[@]}"
+
+python3 - "$TMP_DIR" "$OUT_JSON" <<'PY'
+import json
+import os
+import sys
+
+tmp_dir, out_path = sys.argv[1], sys.argv[2]
+with open(os.path.join(tmp_dir, "lockorder.json")) as f:
+    raw = json.load(f)
+
+times = {}
+for bench in raw.get("benchmarks", []):
+    # Normalize everything to nanoseconds; micro_lockorder mixes ms and us
+    # units across benchmarks.
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[bench.get("time_unit", "ns")]
+    times[bench["name"]] = bench["real_time"] * scale
+
+def ratio(slow, fast):
+    if slow in times and fast in times and times[fast] > 0:
+        return round(times[slow] / times[fast], 2)
+    return None
+
+build_type = os.environ.get("LOCKDOC_BENCH_BUILD_TYPE", "unknown")
+merged = {
+    "generated_by": "scripts/bench_lockorder.sh",
+    "build_type": build_type,
+    "ops": os.environ.get("LOCKDOC_BENCH_OPS", "100000 (default)"),
+    "context": raw.get("context", {}),
+    "benchmarks": raw.get("benchmarks", []),
+    # Headline ratios. Build dominates; the condensation and the bounded
+    # path search should be small fractions of it (large values here mean
+    # the cycle search escaped the SCC bound).
+    "build_vs_scc": ratio("BM_BuildGraph", "BM_Scc"),
+    "build_vs_cycle_paths": ratio("BM_BuildGraph", "BM_FindCyclePaths"),
+    "report_vs_build": ratio("BM_FullReport", "BM_BuildGraph"),
+}
+if build_type not in ("Release", "RelWithDebInfo", "MinSizeRel"):
+    merged["warning"] = "unoptimized build; numbers are not comparable"
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"bench_lockorder: wrote {out_path} "
+      f"(build vs cycle paths {merged['build_vs_cycle_paths']}x, "
+      f"full report vs build {merged['report_vs_build']}x)")
+PY

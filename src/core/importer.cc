@@ -16,6 +16,11 @@ struct HeldLockState {
   AcquireMode mode = AcquireMode::kExclusive;
   StringId acquire_file = 0;
   uint32_t acquire_line = 0;
+  // Range-lock holds: the locked [start, end) span. A release names the
+  // exact span it acquired, so (lock, range) identifies the hold.
+  bool has_range = false;
+  uint64_t range_start = 0;
+  uint64_t range_end = 0;
 };
 
 // A memory access after the sequential replay attributed it: which
@@ -40,6 +45,21 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db, ThreadPool* 
   CreateLockDocSchema(db);
   ImportStats stats;
   stats.events = trace.size();
+
+  // Range-lock tables exist only when the trace uses ranges, so databases
+  // (and their snapshots) of legacy traces are byte-identical to before.
+  bool any_range = false;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.has_range) {
+      any_range = true;
+      break;
+    }
+  }
+  if (any_range) {
+    CreateRangeTables(db);
+  }
+  Table* alloc_ranges = any_range ? &db->table(LockDocSchema::kAllocRanges) : nullptr;
+  Table* txn_lock_ranges = any_range ? &db->table(LockDocSchema::kTxnLockRanges) : nullptr;
 
   // The database owns a copy of the trace's strings (ids preserved), so
   // every *_sid column stays resolvable after the trace is gone.
@@ -155,6 +175,10 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db, ThreadPool* 
                         static_cast<uint64_t>(txn_stack[i].lock.mode),
                         static_cast<uint64_t>(txn_stack[i].lock.acquire_file),
                         static_cast<uint64_t>(txn_stack[i].lock.acquire_line)});
+      if (txn_stack[i].lock.has_range) {
+        txn_lock_ranges->Insert({id, static_cast<uint64_t>(i), txn_stack[i].lock.range_start,
+                                 txn_stack[i].lock.range_end});
+      }
     }
     ++stats.txns;
     if (!txn_stack.empty()) {
@@ -201,6 +225,12 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db, ThreadPool* 
         }
         allocations.Insert({id, static_cast<uint64_t>(e.type), static_cast<uint64_t>(e.subclass),
                             e.addr, static_cast<uint64_t>(e.size), e.seq, kDbNull});
+        if (e.has_range) {
+          // The object's ground-truth resource span (e.g. a vma's
+          // [vm_start, vm_end)); overlap analysis matches held ranges
+          // against it.
+          alloc_ranges->Insert({id, e.range_start, e.range_end});
+        }
         break;
       }
       case EventKind::kFree: {
@@ -239,6 +269,9 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db, ThreadPool* 
         frame.lock.mode = e.mode;
         frame.lock.acquire_file = e.loc.file;
         frame.lock.acquire_line = e.loc.line;
+        frame.lock.has_range = e.has_range;
+        frame.lock.range_start = e.range_start;
+        frame.lock.range_end = e.range_end;
         txn_stack.push_back(frame);
         txn_stack.back().txn_id = new_txn(e.seq);
         current_txn = txn_stack.back().txn_id;
@@ -247,13 +280,21 @@ ImportStats TraceImporter::Import(const Trace& trace, Database* db, ThreadPool* 
       case EventKind::kLockRelease: {
         LockInstanceId lock = resolver.Resolve(e);
         // Find the frame holding this lock (innermost first); releases may
-        // happen out of LIFO order.
+        // happen out of LIFO order. A range lock admits several simultaneous
+        // holds of the same instance, so the release's span must match the
+        // hold's span exactly.
         size_t frame_index = txn_stack.size();
         for (size_t i = txn_stack.size(); i > 0; --i) {
-          if (txn_stack[i - 1].lock.lock == lock) {
-            frame_index = i - 1;
-            break;
+          const HeldLockState& held = txn_stack[i - 1].lock;
+          if (held.lock != lock || held.has_range != e.has_range) {
+            continue;
           }
+          if (held.has_range &&
+              (held.range_start != e.range_start || held.range_end != e.range_end)) {
+            continue;
+          }
+          frame_index = i - 1;
+          break;
         }
         if (frame_index == txn_stack.size()) {
           // Release of a lock that is not held: the acquire was lost to

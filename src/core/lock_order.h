@@ -10,6 +10,14 @@
 // — including the deliberate ancestor-before-descendant ordering of
 // same-class locks (e.g. parent d_lock before child d_lock), which appears
 // as a self-loop and is reported separately rather than as a deadlock.
+//
+// Each class-level edge additionally carries an *instance witness*: the
+// concrete lock addresses (and, for range locks, the held spans) of the
+// first observation of that ordering, so a report line can always be traced
+// back to real objects. Cycle detection scales by first condensing the
+// graph into strongly connected components (Tarjan) — only nodes inside a
+// nontrivial SCC can lie on a cycle, so the bounded path enumeration never
+// explores the (typically acyclic) bulk of the graph.
 #ifndef SRC_CORE_LOCK_ORDER_H_
 #define SRC_CORE_LOCK_ORDER_H_
 
@@ -23,6 +31,19 @@
 
 namespace lockdoc {
 
+// One end of an observed instance-level ordering: the concrete lock
+// instance the class-level edge was first witnessed on.
+struct LockWitness {
+  uint64_t addr = 0;
+  // Range-lock holds carry the held [start, end) span.
+  bool has_range = false;
+  uint64_t range_start = 0;
+  uint64_t range_end = 0;
+
+  // "0x1234" or "0x1234[0x10000,0x14000)".
+  std::string ToString() const;
+};
+
 struct LockOrderEdge {
   LockClass from;
   LockClass to;
@@ -34,6 +55,9 @@ struct LockOrderEdge {
   uint64_t example_seq = 0;
   uint64_t example_file_sid = 0;
   uint64_t example_line = 0;
+  // Instance witnesses of the first observation of this ordering.
+  LockWitness witness_from;
+  LockWitness witness_to;
 };
 
 // A cyclic chain of distinct lock classes c0 -> c1 -> ... -> c0.
@@ -46,12 +70,25 @@ struct LockOrderCycle {
   std::string ToString() const;
 };
 
+// A concrete cycle *path*: the full edges (with supports, example sites and
+// instance witnesses) closing a cycle. edges[i].to == edges[i+1].from and
+// edges.back().to == edges.front().from.
+struct LockOrderCyclePath {
+  std::vector<LockOrderEdge> edges;
+  uint64_t min_support = 0;
+
+  // One line per cycle: "A -> B -> A (min support n)".
+  std::string ToString() const;
+};
+
 class LockOrderGraph {
  public:
   // Builds the graph from an imported database (txn_locks ordering, which
-  // also carries the example acquire locations). Lock classes are computed
-  // relative to nothing (there is no accessed object), so embedded locks
-  // appear as EO(member in type) and same-type nesting becomes a self-loop.
+  // also carries the example acquire locations; the optional
+  // txn_lock_ranges table supplies held spans for range-lock witnesses).
+  // Lock classes are computed relative to nothing (there is no accessed
+  // object), so embedded locks appear as EO(member in type) and same-type
+  // nesting becomes a self-loop.
   static LockOrderGraph Build(const Database& db, const TypeRegistry& registry);
 
   const std::vector<LockOrderEdge>& edges() const { return edges_; }
@@ -65,11 +102,26 @@ class LockOrderGraph {
   // is small). Self-loops are excluded — see SelfNesting().
   std::vector<LockOrderCycle> FindCycles(size_t max_length = 4) const;
 
+  // Strongly connected components (Tarjan) of the class graph that can
+  // carry a cycle, i.e. components with at least two classes. Classes
+  // within a component and the components themselves are sorted, so the
+  // output is independent of graph construction order.
+  std::vector<std::vector<LockClass>> StronglyConnectedComponents() const;
+
+  // Bounded enumeration of elementary cycle paths with their full edges.
+  // The search runs per nontrivial SCC (cross-component edges can never
+  // close a cycle), capped at `max_length` edges per cycle and `max_paths`
+  // paths overall; rarest (lowest min-support) paths are reported first.
+  std::vector<LockOrderCyclePath> FindCyclePaths(size_t max_length = 6,
+                                                 size_t max_paths = 64) const;
+
   // Classes acquired while another instance of the same class was held
   // (nested same-class locking, legal under an ancestor-first convention).
   std::vector<LockOrderEdge> SelfNesting() const;
 
-  // Human-readable report of edges sorted by support; `db` resolves the
+  // Human-readable report: edges sorted by support (with instance
+  // witnesses), ABBA conflicts, SCC condensation, and the enumerated cycle
+  // paths with per-edge example acquisition sites. `db` resolves the
   // example locations' file names.
   std::string Report(const Database& db, size_t max_edges = 40) const;
 

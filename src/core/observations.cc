@@ -305,6 +305,35 @@ ObservationStore ExtractObservations(const Database& db, const TypeRegistry& reg
   const size_t kTlPos = txn_locks.ColumnIndex("position");
   const size_t kTlLock = txn_locks.ColumnIndex("lock_id");
 
+  // Range-lock support (optional tables, present only for ranged traces).
+  // A held range lock covers an access only when its span overlaps the
+  // accessed allocation's ground-truth span; a non-overlapping hold is
+  // dropped from that access's held sequence — it is neither compliance
+  // nor violation, the access is simply not protected by it. Allocations
+  // without a recorded span are conservatively covered by every hold, and
+  // non-range holds always cover, so range-free traces take the exact
+  // pre-range path.
+  const bool has_ranges =
+      db.HasTable(LockDocSchema::kAllocRanges) && db.HasTable(LockDocSchema::kTxnLockRanges);
+  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> alloc_span;
+  const Table* txn_lock_ranges = nullptr;
+  size_t kTlrTxn = 0, kTlrPos = 0, kTlrStart = 0, kTlrEnd = 0;
+  if (has_ranges) {
+    const Table& alloc_ranges = db.table(LockDocSchema::kAllocRanges);
+    const size_t kArAlloc = alloc_ranges.ColumnIndex("alloc_id");
+    const size_t kArStart = alloc_ranges.ColumnIndex("range_start");
+    const size_t kArEnd = alloc_ranges.ColumnIndex("range_end");
+    for (RowId row = 0; row < alloc_ranges.row_count(); ++row) {
+      alloc_span[alloc_ranges.GetUint64(row, kArAlloc)] = {
+          alloc_ranges.GetUint64(row, kArStart), alloc_ranges.GetUint64(row, kArEnd)};
+    }
+    txn_lock_ranges = &db.table(LockDocSchema::kTxnLockRanges);
+    kTlrTxn = txn_lock_ranges->ColumnIndex("txn_id");
+    kTlrPos = txn_lock_ranges->ColumnIndex("position");
+    kTlrStart = txn_lock_ranges->ColumnIndex("range_start");
+    kTlrEnd = txn_lock_ranges->ColumnIndex("range_end");
+  }
+
   // --- Pass 1 (serial): fold accesses into groups in trace order. ---
   //
   // Classification of held locks is deferred: a newly created group records
@@ -413,26 +442,53 @@ ObservationStore ExtractObservations(const Database& db, const TypeRegistry& reg
   // and write their own slot. Consecutive tasks usually share a
   // transaction, so each chunk keeps a local cache of its lock rows.
   std::vector<LockSeq> classified(tasks.size());
+  struct HeldPosition {
+    uint64_t lock_row = 0;
+    bool has_range = false;
+    uint64_t range_start = 0;
+    uint64_t range_end = 0;
+  };
   auto classify_range = [&](size_t begin, size_t end) {
     uint64_t cached_txn = kDbNull;
-    std::vector<uint64_t> cached_txn_lock_rows;
+    std::vector<HeldPosition> cached_positions;
     for (size_t i = begin; i < end; ++i) {
       const ClassTask& task = tasks[i];
       if (task.txn != cached_txn) {
         cached_txn = task.txn;
-        cached_txn_lock_rows.clear();
+        cached_positions.clear();
         std::vector<RowId> rows = txn_locks.LookupEqual(kTlTxn, task.txn);
-        cached_txn_lock_rows.resize(rows.size());
+        cached_positions.resize(rows.size());
         for (RowId tl_row : rows) {
           uint64_t pos = txn_locks.GetUint64(tl_row, kTlPos);
-          LOCKDOC_CHECK(pos < cached_txn_lock_rows.size());
-          cached_txn_lock_rows[pos] = txn_locks.GetUint64(tl_row, kTlLock);
+          LOCKDOC_CHECK(pos < cached_positions.size());
+          cached_positions[pos].lock_row = txn_locks.GetUint64(tl_row, kTlLock);
+        }
+        if (txn_lock_ranges != nullptr) {
+          for (RowId tlr_row : txn_lock_ranges->LookupEqual(kTlrTxn, task.txn)) {
+            uint64_t pos = txn_lock_ranges->GetUint64(tlr_row, kTlrPos);
+            LOCKDOC_CHECK(pos < cached_positions.size());
+            cached_positions[pos].has_range = true;
+            cached_positions[pos].range_start = txn_lock_ranges->GetUint64(tlr_row, kTlrStart);
+            cached_positions[pos].range_end = txn_lock_ranges->GetUint64(tlr_row, kTlrEnd);
+          }
+        }
+      }
+      // The accessed allocation's ground-truth span, if it has one.
+      const std::pair<uint64_t, uint64_t>* span = nullptr;
+      if (has_ranges) {
+        auto span_it = alloc_span.find(task.alloc);
+        if (span_it != alloc_span.end()) {
+          span = &span_it->second;
         }
       }
       LockSeq seq;
-      seq.reserve(cached_txn_lock_rows.size());
-      for (uint64_t lock_row : cached_txn_lock_rows) {
-        seq.push_back(ClassifyLock(db, locks, members, registry, lock_row, task.alloc));
+      seq.reserve(cached_positions.size());
+      for (const HeldPosition& held : cached_positions) {
+        if (held.has_range && span != nullptr &&
+            !RangesOverlap(held.range_start, held.range_end, span->first, span->second)) {
+          continue;  // The hold does not cover this object.
+        }
+        seq.push_back(ClassifyLock(db, locks, members, registry, held.lock_row, task.alloc));
       }
       classified[i] = std::move(seq);
     }

@@ -509,7 +509,17 @@ Result<AnalysisSnapshot> DeserializeImpl(std::string_view bytes, const TypeRegis
   if (!scan.ok()) {
     return scan.status();
   }
-  const std::vector<SnapshotSection>& sections = scan.value();
+  // Skip section types this reader does not know about: a future writer may
+  // append new sections, and every section frame is self-delimiting with its
+  // own CRC, so an old reader can load everything it understands and ignore
+  // the rest (doctor reports them as "unrecognized (skipped)").
+  std::vector<SnapshotSection> sections;
+  sections.reserve(scan.value().size());
+  for (const SnapshotSection& section : scan.value()) {
+    if (section.type >= kSnapshotSectionMeta && section.type <= kSnapshotSectionGroups) {
+      sections.push_back(section);
+    }
+  }
   const bool v2 = container_version == 2;
   const uint64_t meta_version = v2 ? kSnapshotFormatVersionV2 : kSnapshotFormatVersion;
 
@@ -663,6 +673,40 @@ Result<AnalysisSnapshot> DeserializeSnapshot(std::string_view bytes,
       std::string_view(reinterpret_cast<const char*>(backing->buffer.get()), bytes.size());
   std::string_view view = backing->bytes;
   return DeserializeImpl(view, registry, options, std::move(backing));
+}
+
+Result<uint64_t> PeekSnapshotTypeCount(const std::string& path) {
+  auto read = ReadFileToString(path);
+  if (!read.ok()) {
+    return read.status();
+  }
+  return PeekSnapshotTypeCountFromBytes(read.value());
+}
+
+Result<uint64_t> PeekSnapshotTypeCountFromBytes(std::string_view bytes) {
+  SnapshotScanMode mode = SnapshotContainerVersion(bytes) == 2
+                              ? SnapshotScanMode::kVerifyHeaders
+                              : SnapshotScanMode::kVerifyAll;
+  Result<std::vector<SnapshotSection>> scan = ScanSnapshotSections(bytes, mode);
+  if (!scan.ok()) {
+    return scan.status();
+  }
+  if (scan.value().empty() || scan.value().front().type != kSnapshotSectionMeta) {
+    return Status::Error("snapshot: missing meta section");
+  }
+  // Parse the meta payload structurally (version, two stats blocks, type
+  // count); the version itself is not checked here — the subsequent
+  // LoadSnapshot does that with a proper typed error.
+  std::string_view payload = scan.value().front().payload;
+  ByteCursor in{payload.data(), payload.size(), 0};
+  uint64_t version = 0;
+  AnalysisSnapshot scratch;
+  uint64_t type_count = 0;
+  if (!GetVarint(in, &version) || !GetStats(in, &scratch.import_stats, kImportStatsFields) ||
+      !GetStats(in, &scratch.trace_stats, kTraceStatsFields) || !GetVarint(in, &type_count)) {
+    return Status::Error("snapshot meta: bad registry shape");
+  }
+  return type_count;
 }
 
 Result<AnalysisSnapshot> BuildAndSaveSnapshot(const Trace& trace, const TypeRegistry& registry,

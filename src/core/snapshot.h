@@ -77,6 +77,14 @@ Result<AnalysisSnapshot> DeserializeSnapshot(std::string_view bytes,
                                              const TypeRegistry& registry,
                                              const SnapshotLoadOptions& options = {});
 
+// Reads just the registry type count from a .lockdb file's meta section,
+// without loading (or validating) the rest of the snapshot. Callers use it
+// to pick the matching registry before LoadSnapshot — e.g. a snapshot of an
+// address-space (mm) workload records more types than the base VFS
+// registry.
+Result<uint64_t> PeekSnapshotTypeCount(const std::string& path);
+Result<uint64_t> PeekSnapshotTypeCountFromBytes(std::string_view bytes);
+
 // Ingest + persist in one overlapped pass: imports `trace`, then streams
 // the meta/strings/table sections of the .lockdb file to disk on a writer
 // thread *while* the main thread extracts observations; only the three

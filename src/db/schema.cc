@@ -98,6 +98,24 @@ void CreateLockDocSchema(Database* db) {
   }
 }
 
+void CreateRangeTables(Database* db) {
+  {
+    Table& t = db->CreateTable(LockDocSchema::kAllocRanges,
+                               {{"alloc_id", ColumnType::kUint64},
+                                {"range_start", ColumnType::kUint64},
+                                {"range_end", ColumnType::kUint64}});
+    t.CreateIndex(t.ColumnIndex("alloc_id"));
+  }
+  {
+    Table& t = db->CreateTable(LockDocSchema::kTxnLockRanges,
+                               {{"txn_id", ColumnType::kUint64},
+                                {"position", ColumnType::kUint64},
+                                {"range_start", ColumnType::kUint64},
+                                {"range_end", ColumnType::kUint64}});
+    t.CreateIndex(t.ColumnIndex("txn_id"));
+  }
+}
+
 std::string DbFormatLoc(const Database& db, uint64_t file_sid, uint64_t line) {
   return StrFormat("%s:%u", db.String(static_cast<StringId>(file_sid)).c_str(),
                    static_cast<uint32_t>(line));

@@ -36,6 +36,15 @@ struct LockDocSchema {
                                                                // context, task, file_sid, line,
                                                                // stack_id, filter_reason
 
+  // Optional range-lock tables, present only when the imported trace
+  // contains ranged events (kEventRangeFlag). Analyses probe for them with
+  // Database::HasTable; snapshot loads do not require them, so legacy
+  // snapshots (and snapshots of range-free traces) are byte-identical to
+  // before these tables existed.
+  static constexpr const char* kAllocRanges = "alloc_ranges";  // alloc_id, range_start, range_end
+  static constexpr const char* kTxnLockRanges = "txn_lock_ranges";  // txn_id, position,
+                                                                    // range_start, range_end
+
   // Every table the analyses assume exists. Snapshot loads check the decoded
   // database against this list so a partial file (e.g. doctor --repair
   // dropped a damaged table section) fails with a typed error instead of
@@ -59,6 +68,10 @@ enum class FilterReason : uint64_t {
 
 // Creates all LockDoc tables (with indexes on join columns) in `db`.
 void CreateLockDocSchema(Database* db);
+
+// Creates the optional alloc_ranges/txn_lock_ranges tables. The importer
+// calls this only for traces that carry ranged events.
+void CreateRangeTables(Database* db);
 
 // Renders "file:line", resolving `file_sid` through the database pool —
 // byte-identical to Trace::FormatLoc on the imported trace.

@@ -319,10 +319,13 @@ std::string SnapshotInspection::ToString() const {
                             : "BAD");
   out += StrFormat("sections:         %zu ok, %zu damaged\n", sections_ok(), sections_bad());
   for (const SnapshotSectionReport& s : sections) {
+    const char* verdict = s.ok() ? (s.unrecognized ? "unrecognized (skipped)" : "ok")
+                                 : s.problem.c_str();
     out += StrFormat("  [%u] offset 0x%llx %-8s %10s bytes  %s\n", s.seq,
-                     static_cast<unsigned long long>(s.offset), SnapshotSectionName(s.type),
-                     FormatWithCommas(s.payload_size).c_str(),
-                     s.ok() ? "ok" : s.problem.c_str());
+                     static_cast<unsigned long long>(s.offset),
+                     s.unrecognized ? StrFormat("type %u", s.type).c_str()
+                                    : SnapshotSectionName(s.type),
+                     FormatWithCommas(s.payload_size).c_str(), verdict);
   }
   if (end_ok) {
     out += StrFormat("end section:      ok (%llu sections declared, %zu found)\n",
@@ -385,7 +388,9 @@ void InspectSnapshotV1(std::string_view bytes, SnapshotInspection* report) {
       continue;
     }
     if (section.type == 0 || section.type > kSnapshotSectionEnd) {
-      section.problem = StrFormat("unknown section type %u", section.type);
+      // CRC verified but the type is from a newer writer: the loader skips
+      // it wholesale, so it is forward compatibility, not damage.
+      section.unrecognized = true;
       report->sections.push_back(section);
       pos = marker_pos + kSnapshotFrameHeaderSize + length + kSnapshotFrameTrailerSize;
       continue;
@@ -465,7 +470,9 @@ void InspectSnapshotV2(std::string_view bytes, SnapshotInspection* report) {
       continue;
     }
     if (section.type == 0 || section.type > kSnapshotSectionEnd) {
-      section.problem = StrFormat("unknown section type %u", section.type);
+      // CRC verified but the type is from a newer writer: the loader skips
+      // it wholesale, so it is forward compatibility, not damage.
+      section.unrecognized = true;
       report->sections.push_back(section);
       pos = marker_pos + kSnapshotV2FrameHeaderSize + PaddedPayloadSize(length);
       continue;

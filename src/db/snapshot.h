@@ -188,6 +188,10 @@ struct SnapshotSectionReport {
   uint32_t seq = 0;
   uint64_t payload_size = 0;
   std::string problem;  // Empty when the section verified.
+  // CRC-intact section of a type this build does not know (a future
+  // writer's extension). Skipped by the loader, reported as "unrecognized
+  // (skipped)" by doctor — forward compatibility, not damage.
+  bool unrecognized = false;
 
   bool ok() const { return problem.empty(); }
 };

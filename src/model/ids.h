@@ -41,6 +41,35 @@ inline const char* AccessTypeName(AccessType type) {
   return type == AccessType::kRead ? "r" : "w";
 }
 
+// A half-open span [start, end) over the resource a range lock protects
+// (e.g. the user address space under mmap_lock). A default-constructed
+// range is "whole": it stands for a non-range acquisition and covers
+// everything. Empty non-whole ranges (start >= end) cover nothing.
+struct LockRange {
+  uint64_t start = 0;
+  uint64_t end = 0;
+
+  // True when this stands for a plain (non-range) acquisition.
+  bool whole() const { return start == 0 && end == 0; }
+
+  friend bool operator==(const LockRange&, const LockRange&) = default;
+};
+
+// Half-open interval overlap. Empty intervals (start >= end) overlap
+// nothing; adjacent intervals ([0,4) vs [4,8)) do not overlap.
+inline bool RangesOverlap(uint64_t a_start, uint64_t a_end, uint64_t b_start,
+                          uint64_t b_end) {
+  return a_start < a_end && b_start < b_end && a_start < b_end && b_start < a_end;
+}
+
+// Overlap with "whole" semantics: a whole range covers every non-empty span.
+inline bool RangeCovers(const LockRange& held, uint64_t span_start, uint64_t span_end) {
+  if (held.whole()) {
+    return true;
+  }
+  return RangesOverlap(held.start, held.end, span_start, span_end);
+}
+
 // A source-code position in the simulated kernel; files and functions are
 // interned strings resolved via the trace's string table.
 struct SourceLoc {

@@ -1,6 +1,7 @@
 #include "src/model/lock_class_pool.h"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 
 #include "src/util/logging.h"
@@ -117,8 +118,9 @@ std::vector<IdSeq> EnumerateSubsequenceIds(const IdSeq& seq, size_t max_locks) {
       result.push_back(std::move(subsequence));
     }
   } else {
-    // Bounded fallback: singles, ordered pairs, prefixes, full sequence.
-    result.reserve(1 + seq.size() * (seq.size() + 1) / 2 + seq.size());
+    // Bounded fallback: singles, ordered pairs, prefixes, full sequence,
+    // and per-class multiplicity runs (mirrors EnumerateSubsequences).
+    result.reserve(1 + seq.size() * (seq.size() + 1) / 2 + 2 * seq.size());
     for (size_t i = 0; i < seq.size(); ++i) {
       result.push_back(IdSeq{seq[i]});
       for (size_t j = i + 1; j < seq.size(); ++j) {
@@ -130,6 +132,24 @@ std::vector<IdSeq> EnumerateSubsequenceIds(const IdSeq& seq, size_t max_locks) {
     for (LockId lock : seq) {
       prefix.push_back(lock);
       result.push_back(prefix);
+    }
+    // A class held k >= 3 times in one group (e.g. the same range lock over
+    // several spans) must yield the k-fold repeat as a candidate even when
+    // the copies are not a prefix: {x, a, a, a} needs {a, a, a}. Runs of 1
+    // and 2 are already covered by the singles and ordered pairs above.
+    std::map<LockId, size_t> multiplicity;
+    for (LockId lock : seq) {
+      ++multiplicity[lock];
+    }
+    for (const auto& [lock, count] : multiplicity) {
+      IdSeq run;
+      run.reserve(count);
+      for (size_t k = 1; k <= count; ++k) {
+        run.push_back(lock);
+        if (k >= 3) {
+          result.push_back(run);
+        }
+      }
     }
   }
   std::sort(result.begin(), result.end());

@@ -22,6 +22,8 @@ std::string_view LockTypeName(LockType type) {
       return "softirq";
     case LockType::kHardirq:
       return "hardirq";
+    case LockType::kRangeLock:
+      return "range_lock";
   }
   return "?";
 }
@@ -41,12 +43,13 @@ bool IsPseudoLockType(LockType type) {
 }
 
 bool IsReaderWriterLockType(LockType type) {
-  return type == LockType::kRwlock || type == LockType::kRwSemaphore;
+  return type == LockType::kRwlock || type == LockType::kRwSemaphore ||
+         type == LockType::kRangeLock;
 }
 
 bool IsBlockingLockType(LockType type) {
   return type == LockType::kSemaphore || type == LockType::kRwSemaphore ||
-         type == LockType::kMutex;
+         type == LockType::kMutex || type == LockType::kRangeLock;
 }
 
 }  // namespace lockdoc

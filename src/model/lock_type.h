@@ -21,9 +21,10 @@ enum class LockType : uint8_t {
   kSeqlock = 6,   // write_seqlock side is traced; readers are lock-free.
   kSoftirq = 7,   // Synthetic: local_bh_disable() .. local_bh_enable().
   kHardirq = 8,   // Synthetic: local_irq_disable() .. local_irq_enable().
+  kRangeLock = 9, // Range lock over [start, end), mmap_lock-style.
 };
 
-inline constexpr int kNumLockTypes = 9;
+inline constexpr int kNumLockTypes = 10;
 
 // How a lock was taken. Reader/writer locks distinguish shared vs exclusive;
 // everything else is exclusive.

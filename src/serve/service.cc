@@ -93,6 +93,9 @@ struct ServeService::Resident {
   bool load_ok = false;
   std::string load_error;
   std::shared_ptr<AnalysisSnapshot> snapshot;
+  // The registry this snapshot loaded against (base or extended); contexts
+  // and documented rules must use the same one.
+  const TypeRegistry* registry = nullptr;
   // The eviction currency charged against --max-resident-bytes: the mapped
   // backing size for zero-copy v2 snapshots (their table columns live in
   // the mmap, not the heap), the on-disk size otherwise.
@@ -126,12 +129,41 @@ void ServeService::PinGuard::Release() {
 }
 
 ServeService::ServeService(const SpoolLayout& layout, const TypeRegistry* registry,
-                           ServeServiceOptions options)
+                           ServeServiceOptions options, const TypeRegistry* extended_registry)
     : layout_(layout),
       registry_(registry),
+      extended_registry_(extended_registry),
       options_(std::move(options)),
       journal_(&layout_),
       scheduler_(std::make_unique<RequestScheduler>(options_.workers)) {}
+
+const TypeRegistry* ServeService::RegistryForTrace(const Trace& trace) const {
+  if (extended_registry_ == nullptr) {
+    return registry_;
+  }
+  for (const TraceEvent& e : trace.events()) {
+    if (e.has_range) {
+      return extended_registry_;
+    }
+    if (e.kind == EventKind::kAlloc && e.type != kInvalidTypeId &&
+        e.type >= registry_->type_count()) {
+      return extended_registry_;
+    }
+  }
+  return registry_;
+}
+
+const TypeRegistry* ServeService::RegistryForSnapshotBytes(std::string_view bytes) const {
+  if (extended_registry_ == nullptr) {
+    return registry_;
+  }
+  auto type_count = PeekSnapshotTypeCountFromBytes(bytes);
+  if (type_count.ok() && type_count.value() == extended_registry_->type_count() &&
+      type_count.value() != registry_->type_count()) {
+    return extended_registry_;
+  }
+  return registry_;
+}
 
 ServeService::~ServeService() = default;
 
@@ -357,7 +389,7 @@ bool ServeService::IngestOne(const std::string& source, uint32_t attempts) {
   if (LooksLikeSnapshot(bytes.value())) {
     // Pre-imported .lockdb: validate fully before publication so a damaged
     // snapshot never enters the resident store.
-    auto snapshot = DeserializeSnapshot(bytes.value(), *registry_);
+    auto snapshot = DeserializeSnapshot(bytes.value(), *RegistryForSnapshotBytes(bytes.value()));
     if (!snapshot.ok()) {
       return QuarantineIncoming(
           source, name, "damaged-snapshot", snapshot.status().message(),
@@ -376,9 +408,10 @@ bool ServeService::IngestOne(const std::string& source, uint32_t attempts) {
                                 "itemizes the damage");
     }
     PipelineTimings timings;
+    const TypeRegistry& trace_registry = *RegistryForTrace(trace.value());
     AnalysisSnapshot snapshot =
-        BuildSnapshot(trace.value(), *registry_, options_.pipeline, &timings);
-    snapshot_bytes = SerializeSnapshot(snapshot, *registry_);
+        BuildSnapshot(trace.value(), trace_registry, options_.pipeline, &timings);
+    snapshot_bytes = SerializeSnapshot(snapshot, trace_registry);
     ServeCrashPoint("snapshot-serialized");
     ack.extra.emplace_back("kind", "trace");
     ack.extra.emplace_back("events", std::to_string(trace.value().events().size()));
@@ -583,7 +616,11 @@ ServeService::ServeAnswer ServeService::AnswerParsed(const ServeRequest& request
   // options ride along as a Run() parameter — the shared context is never
   // mutated, so concurrent requests with different knobs cannot interfere.
   PassOptions pass_options = request.pass_options;
-  pass_options.documented_rules_text = options_.documented_rules_text;
+  pass_options.documented_rules_text =
+      (resident->registry == extended_registry_ && extended_registry_ != nullptr &&
+       !options_.extended_documented_rules_text.empty())
+          ? options_.extended_documented_rules_text
+          : options_.documented_rules_text;
   pass_options.baseline = baseline_box ? baseline_box->context.get() : nullptr;
 
   auto worker = std::make_shared<WorkerHandle>();
@@ -701,13 +738,22 @@ void ServeService::LoadResident(const std::shared_ptr<Resident>& resident) {
   // Payload CRCs are verified during the load (the SnapshotLoadOptions
   // default) — the no-wrong-answer invariant does not bend for speed, and a
   // CRC sweep over mapped bytes is still far cheaper than a v1 decode.
-  auto snapshot = LoadSnapshot(path, *registry_);
+  const TypeRegistry* registry = registry_;
+  if (extended_registry_ != nullptr) {
+    auto type_count = PeekSnapshotTypeCount(path);
+    if (type_count.ok() && type_count.value() == extended_registry_->type_count() &&
+        type_count.value() != registry_->type_count()) {
+      registry = extended_registry_;
+    }
+  }
+  auto snapshot = LoadSnapshot(path, *registry);
   if (!snapshot.ok()) {
     resident->load_error =
         StrFormat("snapshot '%s' is damaged (%s); try lockdoc doctor --repair",
                   name.c_str(), snapshot.status().message().c_str());
     return;
   }
+  resident->registry = registry;
   resident->snapshot = std::make_shared<AnalysisSnapshot>(std::move(snapshot.value()));
   if (resident->snapshot->backing != nullptr) {
     resident->bytes = resident->snapshot->backing->bytes.size();
@@ -739,8 +785,9 @@ std::shared_ptr<ServeService::ContextBox> ServeService::GetContext(
   AnalysisOptions options;
   options.pipeline = options_.pipeline;
   options.pipeline.derivator.accept_threshold = tac;
-  box->context = std::make_unique<AnalysisContext>(box->snapshot.get(), registry_,
-                                                   std::move(options), &box->timings);
+  box->context = std::make_unique<AnalysisContext>(
+      box->snapshot.get(), resident->registry != nullptr ? resident->registry : registry_,
+      std::move(options), &box->timings);
   resident->contexts[key] = box;
   return box;
 }

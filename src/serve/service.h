@@ -68,6 +68,10 @@ struct ServeServiceOptions {
   PipelineOptions pipeline;
   // Documented-rules text for check/report, as the CLI default supplies it.
   std::string documented_rules_text;
+  // Rules text for inputs that load against the extended registry (see the
+  // extended_registry constructor parameter); empty falls back to
+  // documented_rules_text.
+  std::string extended_documented_rules_text;
 
   // Request-scheduler lanes; 0 selects RequestScheduler::DefaultWorkerCount()
   // (min(4, hardware)). 1 reproduces the serial loop exactly.
@@ -110,8 +114,13 @@ class ServeService {
   };
 
   // `registry` must outlive the service; `layout` is copied.
+  // `extended_registry` (optional, same lifetime) is a strict superset of
+  // `registry` — extra types appended past the base set. Inputs that
+  // reference types beyond the base registry (or carry ranged lock events)
+  // are imported and loaded against it; everything else keeps using the
+  // base registry bit-exactly.
   ServeService(const SpoolLayout& layout, const TypeRegistry* registry,
-               ServeServiceOptions options);
+               ServeServiceOptions options, const TypeRegistry* extended_registry = nullptr);
   ~ServeService();
 
   ServeService(const ServeService&) = delete;
@@ -221,8 +230,14 @@ class ServeService {
 
   Result<std::string> ReadSpoolFileWithRetry(const std::string& path);
 
+  // Picks the registry an input belongs to (base unless the extended
+  // registry is configured and the input needs it).
+  const TypeRegistry* RegistryForTrace(const Trace& trace) const;
+  const TypeRegistry* RegistryForSnapshotBytes(std::string_view bytes) const;
+
   SpoolLayout layout_;
   const TypeRegistry* registry_;
+  const TypeRegistry* extended_registry_ = nullptr;
   ServeServiceOptions options_;
   ImportJournal journal_;
   std::unique_ptr<RequestScheduler> scheduler_;

@@ -120,6 +120,41 @@ ObjectRef SimKernel::Create(TypeId type, SubclassId subclass, uint32_t line) {
   return ref;
 }
 
+ObjectRef SimKernel::CreateWithSpan(TypeId type, SubclassId subclass, uint64_t span_start,
+                                    uint64_t span_end, uint32_t line) {
+  LOCKDOC_CHECK(span_start < span_end);
+  const TypeLayout& layout = registry_->layout(type);
+  uint32_t size = layout.size();
+  LOCKDOC_CHECK(size > 0);
+
+  Address addr = 0;
+  auto it = free_lists_.find(size);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    addr = it->second.back();
+    it->second.pop_back();
+  } else {
+    addr = next_heap_addr_;
+    next_heap_addr_ = AlignUp(next_heap_addr_ + size, kHeapAlign);
+  }
+  live_allocations_[addr] = size;
+
+  TraceEvent event = BaseEvent(EventKind::kAlloc, line);
+  event.addr = addr;
+  event.size = size;
+  event.type = type;
+  event.subclass = subclass;
+  event.has_range = true;
+  event.range_start = span_start;
+  event.range_end = span_end;
+  Emit(event);
+
+  ObjectRef ref;
+  ref.addr = addr;
+  ref.type = type;
+  ref.subclass = subclass;
+  return ref;
+}
+
 void SimKernel::Destroy(const ObjectRef& obj, uint32_t line) {
   auto it = live_allocations_.find(obj.addr);
   LOCKDOC_CHECK(it != live_allocations_.end());
@@ -161,6 +196,22 @@ bool SimKernel::TryLock(const ObjectRef& obj, MemberIndex lock_member, uint32_t 
   }
   AcquireInternal(obj.addr + def.offset, def.lock_type, mode, line);
   return true;
+}
+
+void SimKernel::AcquireRange(const ObjectRef& obj, MemberIndex lock_member, uint64_t start,
+                             uint64_t end, uint32_t line, AcquireMode mode) {
+  const MemberDef& def = registry_->layout(obj.type).member(lock_member);
+  LOCKDOC_CHECK(def.is_lock);
+  LOCKDOC_CHECK(def.lock_type == LockType::kRangeLock);
+  AcquireRangeInternal(obj.addr + def.offset, start, end, mode, line);
+}
+
+void SimKernel::ReleaseRange(const ObjectRef& obj, MemberIndex lock_member, uint64_t start,
+                             uint64_t end, uint32_t line) {
+  const MemberDef& def = registry_->layout(obj.type).member(lock_member);
+  LOCKDOC_CHECK(def.is_lock);
+  LOCKDOC_CHECK(def.lock_type == LockType::kRangeLock);
+  ReleaseRangeInternal(obj.addr + def.offset, start, end, line);
 }
 
 bool SimKernel::IsHeld(const ObjectRef& obj, MemberIndex lock_member) const {
@@ -325,6 +376,63 @@ void SimKernel::ReleaseInternal(Address lock_addr, LockType type, uint32_t line)
   TraceEvent event = BaseEvent(EventKind::kLockRelease, line);
   event.addr = lock_addr;
   event.lock_type = type;
+  Emit(event);
+}
+
+void SimKernel::AcquireRangeInternal(Address lock_addr, uint64_t start, uint64_t end,
+                                     AcquireMode mode, uint32_t line) {
+  // Range locks block, so never from interrupt context.
+  LOCKDOC_CHECK(current_context() == ContextKind::kTask);
+  LOCKDOC_CHECK(start < end);
+  for (const HeldLock& held : held_locks_) {
+    if (held.addr != lock_addr) {
+      continue;
+    }
+    // Mixing whole-instance and ranged holds of one instance is a bug in
+    // the simulated kernel code.
+    LOCKDOC_CHECK(held.has_range);
+    // An overlapping hold from the same (single-CPU) control flow would
+    // self-deadlock unless both sides are readers.
+    if (RangesOverlap(held.range_start, held.range_end, start, end)) {
+      LOCKDOC_CHECK(held.mode == AcquireMode::kShared && mode == AcquireMode::kShared);
+    }
+  }
+  HeldLock held;
+  held.addr = lock_addr;
+  held.type = LockType::kRangeLock;
+  held.context_depth = static_cast<uint32_t>(context_stack_.size());
+  held.has_range = true;
+  held.range_start = start;
+  held.range_end = end;
+  held.mode = mode;
+  held_locks_.push_back(held);
+
+  TraceEvent event = BaseEvent(EventKind::kLockAcquire, line);
+  event.addr = lock_addr;
+  event.lock_type = LockType::kRangeLock;
+  event.mode = mode;
+  event.has_range = true;
+  event.range_start = start;
+  event.range_end = end;
+  Emit(event);
+}
+
+void SimKernel::ReleaseRangeInternal(Address lock_addr, uint64_t start, uint64_t end,
+                                     uint32_t line) {
+  // Innermost matching hold first, mirroring the importer's release rule.
+  auto it = std::find_if(held_locks_.rbegin(), held_locks_.rend(), [&](const HeldLock& held) {
+    return held.addr == lock_addr && held.has_range && held.range_start == start &&
+           held.range_end == end;
+  });
+  LOCKDOC_CHECK(it != held_locks_.rend());
+  held_locks_.erase(std::next(it).base());
+
+  TraceEvent event = BaseEvent(EventKind::kLockRelease, line);
+  event.addr = lock_addr;
+  event.lock_type = LockType::kRangeLock;
+  event.has_range = true;
+  event.range_start = start;
+  event.range_end = end;
   Emit(event);
 }
 

@@ -83,6 +83,11 @@ class SimKernel {
   // --- Objects (instrumented allocator) ---
 
   ObjectRef Create(TypeId type, SubclassId subclass, uint32_t line);
+  // Like Create, but records the ground-truth resource span the object
+  // represents (e.g. a vma's [vm_start, vm_end)) on the kAlloc event, so
+  // analysis can decide which range-lock holds cover accesses to it.
+  ObjectRef CreateWithSpan(TypeId type, SubclassId subclass, uint64_t span_start,
+                           uint64_t span_end, uint32_t line);
   void Destroy(const ObjectRef& obj, uint32_t line);
 
   // --- Embedded locks (lock members of live objects) ---
@@ -95,6 +100,18 @@ class SimKernel {
                AcquireMode mode = AcquireMode::kExclusive);
   // True if the given embedded lock is currently held.
   bool IsHeld(const ObjectRef& obj, MemberIndex lock_member) const;
+
+  // --- Range locks (embedded members of LockType::kRangeLock) ---
+  //
+  // One lock instance admits several simultaneous holds from the same
+  // control flow as long as their [start, end) spans do not overlap (or
+  // all overlapping holds are shared). Releases name the exact span they
+  // acquired; the innermost matching hold is released.
+
+  void AcquireRange(const ObjectRef& obj, MemberIndex lock_member, uint64_t start,
+                    uint64_t end, uint32_t line, AcquireMode mode = AcquireMode::kExclusive);
+  void ReleaseRange(const ObjectRef& obj, MemberIndex lock_member, uint64_t start,
+                    uint64_t end, uint32_t line);
 
   // --- Member accesses ---
 
@@ -146,6 +163,12 @@ class SimKernel {
     // Context-stack depth at acquisition, to detect locks leaking out of
     // interrupt handlers.
     uint32_t context_depth = 0;
+    // Range-lock holds: the locked span and its acquisition mode. Non-range
+    // holds keep has_range false and lock the whole instance.
+    bool has_range = false;
+    uint64_t range_start = 0;
+    uint64_t range_end = 0;
+    AcquireMode mode = AcquireMode::kExclusive;
   };
 
   void PushFrame(std::string_view file, std::string_view function);
@@ -158,6 +181,9 @@ class SimKernel {
 
   void AcquireInternal(Address lock_addr, LockType type, AcquireMode mode, uint32_t line);
   void ReleaseInternal(Address lock_addr, LockType type, uint32_t line);
+  void AcquireRangeInternal(Address lock_addr, uint64_t start, uint64_t end, AcquireMode mode,
+                            uint32_t line);
+  void ReleaseRangeInternal(Address lock_addr, uint64_t start, uint64_t end, uint32_t line);
   bool IsHeldAddr(Address lock_addr) const;
   void AccessInternal(const ObjectRef& obj, MemberIndex member, bool is_write, uint32_t line);
 

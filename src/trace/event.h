@@ -70,6 +70,17 @@ struct TraceEvent {
   // Interned call stack at the moment of the event (kInvalidStack if not
   // recorded).
   StackId stack = kInvalidStack;
+
+  // Optional [start, end) span. On kLockAcquire/kLockRelease of a range
+  // lock: the locked span. On kAlloc: the ground-truth resource span the
+  // object represents (e.g. a vma's user-address range). Events without a
+  // range (has_range false) mean a whole-instance lock / spanless object;
+  // they serialize exactly as before the range extension.
+  bool has_range = false;
+  uint64_t range_start = 0;
+  uint64_t range_end = 0;
+
+  LockRange range() const { return has_range ? LockRange{range_start, range_end} : LockRange{}; }
 };
 
 inline bool IsMemAccess(const TraceEvent& e) {

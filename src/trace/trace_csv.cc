@@ -104,7 +104,7 @@ Status WriteTraceCsvBundle(const Trace& trace, const std::string& dir) {
     std::ostringstream out;
     CsvWriter writer(out);
     writer.WriteRow({"kind", "context", "task", "addr", "size", "type", "subclass", "lock_type",
-                     "mode", "name_sid", "file_sid", "line", "stack"});
+                     "mode", "name_sid", "file_sid", "line", "stack", "range"});
     for (const TraceEvent& e : trace.events()) {
       writer.WriteRow(
           {std::to_string(static_cast<int>(e.kind)), std::to_string(static_cast<int>(e.context)),
@@ -113,7 +113,10 @@ Status WriteTraceCsvBundle(const Trace& trace, const std::string& dir) {
            std::to_string(static_cast<int>(e.lock_type)),
            std::to_string(static_cast<int>(e.mode)), std::to_string(e.name),
            std::to_string(e.loc.file), std::to_string(e.loc.line),
-           e.stack == kInvalidStack ? "" : std::to_string(e.stack)});
+           e.stack == kInvalidStack ? "" : std::to_string(e.stack),
+           e.has_range ? StrFormat("%llu:%llu", static_cast<unsigned long long>(e.range_start),
+                                   static_cast<unsigned long long>(e.range_end))
+                       : ""});
     }
     Status status = WriteFileContent(dir + "/events.csv", out.str());
     if (!status.ok()) {
@@ -195,7 +198,8 @@ Result<Trace> ReadTraceCsvBundle(const std::string& dir) {
   }
   for (size_t i = 1; i < events_rows.value().size(); ++i) {
     const auto& row = events_rows.value()[i];
-    if (row.size() != 13) {
+    // 13 columns is the pre-range layout; 14 adds the optional range column.
+    if (row.size() != 13 && row.size() != 14) {
       return Status::Error("events.csv: bad arity");
     }
     auto parse_field = [&](size_t index, uint64_t* value) {
@@ -250,6 +254,18 @@ Result<Trace> ReadTraceCsvBundle(const std::string& dir) {
         return Status::Error(StrFormat("events.csv: bad stack in row %zu", i));
       }
       e.stack = static_cast<StackId>(stack);
+    }
+    if (row.size() == 14 && !row[13].empty()) {
+      size_t colon = row[13].find(':');
+      uint64_t start = 0;
+      uint64_t end = 0;
+      if (colon == std::string::npos || !ParseUint64(row[13].substr(0, colon), &start) ||
+          !ParseUint64(row[13].substr(colon + 1), &end)) {
+        return Status::Error(StrFormat("events.csv: bad range in row %zu", i));
+      }
+      e.has_range = true;
+      e.range_start = start;
+      e.range_end = end;
     }
     trace.Append(e);
   }

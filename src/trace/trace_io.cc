@@ -52,8 +52,15 @@ bool GetString(ByteCursor& in, std::string* text) {
   return GetLengthPrefixed(in, text, kMaxStringSize);
 }
 
+// Bit 8 of the kind varint flags an event that carries a [start, end) range
+// (kinds occupy bits 0..2). Rangeless events — which includes every event of
+// a pre-range trace — serialize bit-identically to the original layout, so
+// old readers and writers interoperate on rangeless traces and old traces
+// decode unchanged.
+constexpr uint64_t kEventRangeFlag = 8;
+
 void PutEvent(std::string& out, const TraceEvent& e) {
-  PutVarint(out, static_cast<uint64_t>(e.kind));
+  PutVarint(out, static_cast<uint64_t>(e.kind) | (e.has_range ? kEventRangeFlag : 0));
   PutVarint(out, static_cast<uint64_t>(e.context));
   PutVarint(out, e.task_id);
   PutVarint(out, e.addr);
@@ -66,6 +73,10 @@ void PutEvent(std::string& out, const TraceEvent& e) {
   PutVarint(out, e.loc.file);
   PutVarint(out, e.loc.line);
   PutVarint(out, e.stack == kInvalidStack ? 0 : static_cast<uint64_t>(e.stack) + 1);
+  if (e.has_range) {
+    PutVarint(out, e.range_start);
+    PutVarint(out, e.range_end);
+  }
 }
 
 // Decodes one event and validates every field that can be checked without
@@ -92,6 +103,13 @@ bool GetEvent(ByteCursor& in, TraceEvent* e) {
       !GetVarint(in, &stack)) {
     return false;
   }
+  const bool has_range = (kind & kEventRangeFlag) != 0;
+  kind &= ~kEventRangeFlag;
+  uint64_t range_start = 0;
+  uint64_t range_end = 0;
+  if (has_range && (!GetVarint(in, &range_start) || !GetVarint(in, &range_end))) {
+    return false;
+  }
   if (kind > static_cast<uint64_t>(EventKind::kStaticLockDef) || context > 2 ||
       lock_type >= kNumLockTypes || mode > 1) {
     return false;
@@ -114,6 +132,9 @@ bool GetEvent(ByteCursor& in, TraceEvent* e) {
   e->loc.file = static_cast<StringId>(file);
   e->loc.line = static_cast<uint32_t>(line);
   e->stack = stack == 0 ? kInvalidStack : static_cast<StackId>(stack - 1);
+  e->has_range = has_range;
+  e->range_start = range_start;
+  e->range_end = range_end;
   return true;
 }
 

@@ -1,0 +1,352 @@
+#include "src/vfs/mm_kernel.h"
+
+#include <cstdint>
+
+#include "src/util/logging.h"
+
+namespace lockdoc {
+
+namespace {
+constexpr uint64_t kPageSize = 4096;
+// Each task's mappings live in a disjoint slice of the fake user address
+// space so spans never collide across tasks.
+constexpr uint64_t kTaskSliceBase = 0x10000000ULL;
+constexpr uint64_t kTaskSliceSize = 0x10000000ULL;
+}  // namespace
+
+MmKernel::MmKernel(SimKernel* kernel, const TypeRegistry* registry, const VfsIds& ids,
+                   FaultPlan plan)
+    : kernel_(kernel), registry_(registry), ids_(ids), plan_(plan),
+      fault_rng_(plan.seed ^ 0x33aaULL) {
+  LOCKDOC_CHECK(kernel_ != nullptr);
+  LOCKDOC_CHECK(registry_ != nullptr);
+  LOCKDOC_CHECK(ids_.has_mm() && "MmKernel needs BuildVfsMmRegistry ids");
+
+  const TypeRegistry& r = *registry_;
+  auto m = [&](std::string_view name) { return M(r, ids_.mm_struct, name); };
+  mm_ = {m("mmap"),        m("map_count"), m("page_table_lock"), m("mmap_lock"),
+         m("hiwater_rss"), m("total_vm"),  m("locked_vm"),       m("flags"),
+         m("mmap_base"),   m("start_brk"), m("brk"),             m("mm_users")};
+
+  auto v = [&](std::string_view name) { return M(r, ids_.vm_area_struct, name); };
+  va_ = {v("vm_start"), v("vm_end"),   v("vm_next"), v("vm_prev"),         v("vm_mm"),
+         v("vm_page_prot"), v("vm_flags"), v("vm_pgoff"), v("vm_file"),
+         v("vm_private_data")};
+
+  vm_committed_lock_ = kernel_->DefineStaticLock("vm_committed_lock", LockType::kSpinlock);
+}
+
+MmKernel::~MmKernel() = default;
+
+MmKernel::MmState& MmKernel::StateOf(uint32_t task) {
+  for (MmState& state : states_) {
+    if (state.task == task) {
+      return state;
+    }
+  }
+  LOCKDOC_CHECK(false && "task has no mm (ForkMm not called)");
+  static MmState dummy;
+  return dummy;
+}
+
+size_t MmKernel::PickRegion(const MmState& state, Rng& rng) const {
+  size_t count = state.regions.size();
+  if (count == 0) {
+    return SIZE_MAX;
+  }
+  size_t start = rng.Below(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t candidate = (start + i) % count;
+    if (state.regions[candidate].alive) {
+      return candidate;
+    }
+  }
+  return SIZE_MAX;
+}
+
+uint64_t MmKernel::CarveSpan(MmState& state, size_t pages) {
+  uint64_t start = state.next_vaddr;
+  state.next_vaddr += static_cast<uint64_t>(pages + 1) * kPageSize;  // Guard page between vmas.
+  LOCKDOC_CHECK(state.next_vaddr <
+                kTaskSliceBase + (state.task + 1) * kTaskSliceSize);
+  return start;
+}
+
+void MmKernel::ForkMm(uint32_t task) {
+  // Boot-time: mm_alloc is on the init/teardown black list, so the
+  // lock-free initialization writes below are filtered out of the analysis.
+  FunctionScope fn(*kernel_, "kernel/fork.c", "mm_alloc", 1000, 1060);
+  MmState state;
+  state.task = task;
+  state.mm = kernel_->Create(ids_.mm_struct, kNoSubclass, 1005);
+  state.next_vaddr = kTaskSliceBase + task * kTaskSliceSize;
+  kernel_->Write(state.mm, mm_.mmap, 1010);
+  kernel_->Write(state.mm, mm_.map_count, 1011);
+  kernel_->Write(state.mm, mm_.total_vm, 1012);
+  kernel_->Write(state.mm, mm_.locked_vm, 1013);
+  kernel_->Write(state.mm, mm_.hiwater_rss, 1014);
+  kernel_->Write(state.mm, mm_.flags, 1015);
+  kernel_->Write(state.mm, mm_.mmap_base, 1016);
+  kernel_->Write(state.mm, mm_.start_brk, 1017);
+  kernel_->Write(state.mm, mm_.brk, 1018);
+  kernel_->AtomicWrite(state.mm, mm_.mm_users, 1020);
+  states_.push_back(state);
+}
+
+void MmKernel::ExitMm(uint32_t task) {
+  MmState& state = StateOf(task);
+  FunctionScope fn(*kernel_, "mm/mmap.c", "exit_mmap", 2900, 2960);
+  for (Region& region : state.regions) {
+    if (region.alive) {
+      kernel_->Destroy(region.vma, 2920);
+      region.alive = false;
+    }
+  }
+  kernel_->AtomicWrite(state.mm, mm_.mm_users, 2940);
+  kernel_->Destroy(state.mm, 2950);
+  state.mm = ObjectRef{};
+}
+
+MmKernel::Region MmKernel::BuildVma(MmState& state, uint64_t start, uint64_t end,
+                                    uint32_t line) {
+  Region region;
+  region.start = start;
+  region.end = end;
+  region.alive = true;
+  // The vma is allocated with its ground-truth span: analysis later uses it
+  // to decide which mmap_lock holds cover accesses to this object.
+  region.vma = kernel_->CreateWithSpan(ids_.vm_area_struct, kNoSubclass, start, end, line);
+  kernel_->Write(region.vma, va_.vm_start, line + 1);
+  kernel_->Write(region.vma, va_.vm_end, line + 2);
+  kernel_->Write(region.vma, va_.vm_mm, line + 3);
+  kernel_->Write(region.vma, va_.vm_page_prot, line + 4);
+  kernel_->Write(region.vma, va_.vm_flags, line + 5);
+  kernel_->Write(region.vma, va_.vm_pgoff, line + 6);
+  kernel_->Write(region.vma, va_.vm_file, line + 7);
+  kernel_->Write(region.vma, va_.vm_next, line + 8);
+  kernel_->Write(region.vma, va_.vm_prev, line + 9);
+  return region;
+}
+
+void MmKernel::AccountVm(MmState& state, bool grow, uint32_t line) {
+  FunctionScope fn(*kernel_, "mm/util.c", "vm_stat_account", 300, 340);
+  kernel_->Lock(state.mm, mm_.page_table_lock, 305);
+  kernel_->Write(state.mm, mm_.map_count, 310);
+  kernel_->Write(state.mm, mm_.total_vm, 311);
+  if (grow) {
+    kernel_->Write(state.mm, mm_.hiwater_rss, 315);
+  }
+  // Committed-memory accounting nests the global lock innermost.
+  kernel_->LockGlobal(vm_committed_lock_, 320);
+  kernel_->Read(state.mm, mm_.locked_vm, 321);
+  kernel_->Write(state.mm, mm_.locked_vm, 322);
+  kernel_->UnlockGlobal(vm_committed_lock_, 323);
+  kernel_->Unlock(state.mm, mm_.page_table_lock, 330);
+  (void)line;
+}
+
+void MmKernel::NonOverlapWrite(MmState& state, Rng& rng) {
+  // BUG (FaultPlan::mmap_nonoverlap_write): "adjust" a neighbouring vma
+  // while mmap_lock is only held over the freshly mapped span — the hold
+  // does not overlap the neighbour, so the write is effectively unlocked.
+  size_t victim = PickRegion(state, rng);
+  if (victim == SIZE_MAX) {
+    return;
+  }
+  Region& region = state.regions[victim];
+  FunctionScope fn(*kernel_, "mm/mmap.c", "vma_adjust_neighbors", 820, 860);
+  kernel_->Write(region.vma, va_.vm_flags, 830);
+  kernel_->Write(region.vma, va_.vm_private_data, 831);
+}
+
+void MmKernel::CycleStatsRead(MmState& state, Rng& rng) {
+  // BUG (FaultPlan::mm_lock_cycle): takes vm_committed_lock *before*
+  // mmap_lock, the reverse of AccountVm's nesting — together they close the
+  // cycle mmap_lock -> page_table_lock -> vm_committed_lock -> mmap_lock.
+  size_t victim = PickRegion(state, rng);
+  if (victim == SIZE_MAX) {
+    return;
+  }
+  Region& region = state.regions[victim];
+  FunctionScope fn(*kernel_, "mm/util.c", "vm_committed_peek", 420, 470);
+  kernel_->LockGlobal(vm_committed_lock_, 425);
+  kernel_->Read(state.mm, mm_.locked_vm, 430);
+  kernel_->AcquireRange(state.mm, mm_.mmap_lock, region.start, region.end, 435,
+                        AcquireMode::kShared);
+  kernel_->Read(region.vma, va_.vm_start, 440);
+  kernel_->Read(region.vma, va_.vm_end, 441);
+  kernel_->ReleaseRange(state.mm, mm_.mmap_lock, region.start, region.end, 450);
+  kernel_->UnlockGlobal(vm_committed_lock_, 455);
+}
+
+void MmKernel::MmapRegion(uint32_t task, Rng& rng) {
+  MmState& state = StateOf(task);
+  FunctionScope fn(*kernel_, "mm/mmap.c", "do_mmap", 1300, 1390);
+  size_t pages = 1 + rng.Below(8);
+  uint64_t start = CarveSpan(state, pages);
+  uint64_t end = start + pages * kPageSize;
+  kernel_->AcquireRange(state.mm, mm_.mmap_lock, start, end, 1310);
+  Region region = BuildVma(state, start, end, 1320);
+  kernel_->Write(state.mm, mm_.mmap, 1340);
+  if (plan_.mmap_nonoverlap_write && fault_rng_.Chance(0.2)) {
+    NonOverlapWrite(state, rng);
+  }
+  AccountVm(state, /*grow=*/true, 1350);
+  kernel_->ReleaseRange(state.mm, mm_.mmap_lock, start, end, 1380);
+  state.regions.push_back(region);
+}
+
+void MmKernel::MunmapRegion(uint32_t task, Rng& rng) {
+  MmState& state = StateOf(task);
+  size_t index = PickRegion(state, rng);
+  if (index == SIZE_MAX) {
+    return;
+  }
+  Region& region = state.regions[index];
+  FunctionScope fn(*kernel_, "mm/mmap.c", "do_munmap", 2700, 2780);
+  kernel_->AcquireRange(state.mm, mm_.mmap_lock, region.start, region.end, 2710);
+  kernel_->Read(region.vma, va_.vm_start, 2720);
+  kernel_->Read(region.vma, va_.vm_end, 2721);
+  kernel_->Write(region.vma, va_.vm_flags, 2725);  // VM_DEAD.
+  kernel_->Write(region.vma, va_.vm_next, 2726);
+  kernel_->Write(region.vma, va_.vm_prev, 2727);
+  kernel_->Write(state.mm, mm_.mmap, 2730);
+  AccountVm(state, /*grow=*/false, 2740);
+  kernel_->ReleaseRange(state.mm, mm_.mmap_lock, region.start, region.end, 2760);
+  kernel_->Destroy(region.vma, 2770);
+  region.alive = false;
+}
+
+void MmKernel::PageFault(uint32_t task, Rng& rng) {
+  MmState& state = StateOf(task);
+  size_t index = PickRegion(state, rng);
+  if (index == SIZE_MAX) {
+    return;
+  }
+  Region& region = state.regions[index];
+  FunctionScope fn(*kernel_, "mm/memory.c", "handle_mm_fault", 4000, 4090);
+  // Fault locks only the faulting page, not the whole vma.
+  size_t pages = (region.end - region.start) / kPageSize;
+  uint64_t page = region.start + rng.Below(pages) * kPageSize;
+  kernel_->AcquireRange(state.mm, mm_.mmap_lock, page, page + kPageSize, 4010,
+                        AcquireMode::kShared);
+  kernel_->Read(region.vma, va_.vm_start, 4020);
+  kernel_->Read(region.vma, va_.vm_end, 4021);
+  kernel_->Read(region.vma, va_.vm_flags, 4022);
+  kernel_->Read(region.vma, va_.vm_page_prot, 4023);
+  kernel_->Lock(state.mm, mm_.page_table_lock, 4040);
+  kernel_->Write(state.mm, mm_.hiwater_rss, 4045);
+  kernel_->Unlock(state.mm, mm_.page_table_lock, 4050);
+  kernel_->ReleaseRange(state.mm, mm_.mmap_lock, page, page + kPageSize, 4080);
+}
+
+void MmKernel::MprotectRegion(uint32_t task, Rng& rng) {
+  MmState& state = StateOf(task);
+  size_t index = PickRegion(state, rng);
+  if (index == SIZE_MAX) {
+    return;
+  }
+  Region& region = state.regions[index];
+  FunctionScope fn(*kernel_, "mm/mprotect.c", "mprotect_fixup", 500, 570);
+  // Protect a sub-span: hold the lock over just the affected pages.
+  size_t pages = (region.end - region.start) / kPageSize;
+  size_t first = rng.Below(pages);
+  size_t count = 1 + rng.Below(pages - first);
+  uint64_t start = region.start + first * kPageSize;
+  uint64_t end = start + count * kPageSize;
+  kernel_->AcquireRange(state.mm, mm_.mmap_lock, start, end, 510);
+  kernel_->Read(region.vma, va_.vm_flags, 520);
+  kernel_->Write(region.vma, va_.vm_flags, 525);
+  kernel_->Write(region.vma, va_.vm_page_prot, 526);
+  kernel_->ReleaseRange(state.mm, mm_.mmap_lock, start, end, 560);
+}
+
+void MmKernel::MremapRegion(uint32_t task, Rng& rng) {
+  MmState& state = StateOf(task);
+  size_t index = PickRegion(state, rng);
+  if (index == SIZE_MAX) {
+    return;
+  }
+  // Note: `region` may dangle once regions grows; copy what we need.
+  Region old_region = state.regions[index];
+  FunctionScope fn(*kernel_, "mm/mremap.c", "move_vma", 600, 690);
+  size_t pages = (old_region.end - old_region.start) / kPageSize;
+  uint64_t new_start = CarveSpan(state, pages);
+  uint64_t new_end = new_start + pages * kPageSize;
+  // Two simultaneous exclusive holds of the SAME mmap_lock instance over
+  // disjoint spans — the multiplicity case the subsequence enumerator and
+  // lock-order pass must handle.
+  kernel_->AcquireRange(state.mm, mm_.mmap_lock, old_region.start, old_region.end, 610);
+  kernel_->AcquireRange(state.mm, mm_.mmap_lock, new_start, new_end, 611);
+  kernel_->Read(state.regions[index].vma, va_.vm_start, 620);
+  kernel_->Read(state.regions[index].vma, va_.vm_flags, 621);
+  kernel_->Write(state.regions[index].vma, va_.vm_flags, 625);  // VM_DEAD on the old vma.
+  Region moved = BuildVma(state, new_start, new_end, 630);
+  kernel_->Write(state.mm, mm_.mmap, 650);
+  AccountVm(state, /*grow=*/true, 655);
+  kernel_->ReleaseRange(state.mm, mm_.mmap_lock, new_start, new_end, 670);
+  kernel_->ReleaseRange(state.mm, mm_.mmap_lock, old_region.start, old_region.end, 671);
+  kernel_->Destroy(state.regions[index].vma, 680);
+  state.regions[index].alive = false;
+  state.regions.push_back(moved);
+}
+
+void MmKernel::ReadStats(uint32_t task, Rng& rng) {
+  MmState& state = StateOf(task);
+  FunctionScope fn(*kernel_, "fs/proc/task_mmu.c", "task_mem", 50, 120);
+  kernel_->Lock(state.mm, mm_.page_table_lock, 60);
+  kernel_->Read(state.mm, mm_.map_count, 65);
+  kernel_->Read(state.mm, mm_.total_vm, 66);
+  kernel_->Read(state.mm, mm_.hiwater_rss, 67);
+  kernel_->Unlock(state.mm, mm_.page_table_lock, 70);
+  // mm->flags is set once at fork and read lock-free afterwards.
+  kernel_->Read(state.mm, mm_.flags, 80);
+  kernel_->Read(state.mm, mm_.mmap_base, 81);
+  kernel_->AtomicRead(state.mm, mm_.mm_users, 85);
+  if (plan_.mm_lock_cycle && fault_rng_.Chance(0.35)) {
+    CycleStatsRead(state, rng);
+  }
+}
+
+size_t MmKernel::region_count(uint32_t task) const {
+  for (const MmState& state : states_) {
+    if (state.task == task) {
+      size_t alive = 0;
+      for (const Region& region : state.regions) {
+        alive += region.alive ? 1 : 0;
+      }
+      return alive;
+    }
+  }
+  return 0;
+}
+
+std::string MmKernel::DocumentedRulesText() {
+  return R"(# Documented locking rules of the simulated mm subsystem.
+# Same grammar as the vfs rules; mmap_lock is a range lock, so a hold only
+# covers accesses to objects whose span it overlaps.
+
+# --- struct mm_struct (include/linux/mm_types.h) ---
+mm_struct.mmap rw: ES(mmap_lock in mm_struct)
+mm_struct.map_count rw: ES(page_table_lock in mm_struct)
+mm_struct.total_vm rw: ES(page_table_lock in mm_struct)
+mm_struct.hiwater_rss rw: ES(page_table_lock in mm_struct)
+mm_struct.locked_vm rw: vm_committed_lock
+mm_struct.flags r: no lock
+mm_struct.mmap_base r: no lock
+
+# --- struct vm_area_struct (mm/mmap.c header comment) ---
+vm_area_struct.vm_start rw: EO(mmap_lock in mm_struct)
+vm_area_struct.vm_end rw: EO(mmap_lock in mm_struct)
+vm_area_struct.vm_flags rw: EO(mmap_lock in mm_struct)
+vm_area_struct.vm_page_prot rw: EO(mmap_lock in mm_struct)
+vm_area_struct.vm_pgoff w: EO(mmap_lock in mm_struct)
+vm_area_struct.vm_file w: EO(mmap_lock in mm_struct)
+vm_area_struct.vm_mm w: EO(mmap_lock in mm_struct)
+vm_area_struct.vm_next w: EO(mmap_lock in mm_struct)
+vm_area_struct.vm_prev w: EO(mmap_lock in mm_struct)
+vm_area_struct.vm_private_data w: EO(mmap_lock in mm_struct)
+)";
+}
+
+}  // namespace lockdoc

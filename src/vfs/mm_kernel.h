@@ -1,0 +1,133 @@
+// MmKernel — the simulated memory-management subsystem driving the range
+// lock model end-to-end. It models a per-task mm_struct whose address space
+// is guarded by mmap_lock, a range lock over [start, end) spans: operations
+// take mmap_lock only over the virtual-address span they touch, so two
+// operations on disjoint regions of the same address space do not exclude
+// each other. vm_area_structs are allocated with their ground-truth span
+// (CreateWithSpan), which is what the overlap-aware analysis later matches
+// held ranges against.
+//
+// Locking discipline (the ground truth the miner should recover):
+//   - vm_area_struct fields: accessed only while mmap_lock is held over a
+//     span overlapping the vma (shared for reads, exclusive for mutation).
+//   - mm_struct counters (map_count, total_vm, hiwater_rss): under the
+//     mm's page_table_lock spinlock, nested inside mmap_lock.
+//   - mm_struct.locked_vm: under the global vm_committed_lock, nested
+//     inside page_table_lock — giving the lock-order chain
+//     mmap_lock -> page_table_lock -> vm_committed_lock.
+//   - mm_struct.flags: lock-free (set once at fork, read-only afterwards).
+//
+// FaultPlan deviations:
+//   - mmap_nonoverlap_write: writes a vma while mmap_lock is held over a
+//     span that does NOT overlap it — the seeded range-lock bug.
+//   - mm_lock_cycle: a stats path takes vm_committed_lock before mmap_lock,
+//     closing a 3-class cycle for the lock-order pass.
+#ifndef SRC_VFS_MM_KERNEL_H_
+#define SRC_VFS_MM_KERNEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/kernel.h"
+#include "src/util/rng.h"
+#include "src/vfs/types.h"
+#include "src/vfs/vfs_kernel.h"
+
+namespace lockdoc {
+
+class MmKernel {
+ public:
+  // `ids` must come from BuildVfsMmRegistry (has_mm() true).
+  MmKernel(SimKernel* kernel, const TypeRegistry* registry, const VfsIds& ids, FaultPlan plan);
+  ~MmKernel();
+
+  MmKernel(const MmKernel&) = delete;
+  MmKernel& operator=(const MmKernel&) = delete;
+
+  // Allocates the mm_struct for `task` (boot-time, filtered as init).
+  void ForkMm(uint32_t task);
+  // Tears down every vma and the mm itself (filtered as teardown).
+  void ExitMm(uint32_t task);
+
+  // --- Steady-state operations (one op per call, kernel quiescent after) ---
+
+  // Maps a fresh region: mmap_lock exclusive over the new span, vma
+  // created with its ground-truth span, counters updated.
+  void MmapRegion(uint32_t task, Rng& rng);
+  // Unmaps a random live region.
+  void MunmapRegion(uint32_t task, Rng& rng);
+  // Faults one page: mmap_lock shared over just that page, vma fields
+  // read, rss accounting under page_table_lock.
+  void PageFault(uint32_t task, Rng& rng);
+  // Changes protection on a sub-span of a region (exclusive hold over the
+  // sub-span only).
+  void MprotectRegion(uint32_t task, Rng& rng);
+  // Moves a region: two simultaneous non-overlapping exclusive holds of the
+  // SAME mmap_lock instance (old span + destination span).
+  void MremapRegion(uint32_t task, Rng& rng);
+  // /proc/<pid>/status-style read of the mm counters.
+  void ReadStats(uint32_t task, Rng& rng);
+
+  size_t region_count(uint32_t task) const;
+
+  // The documented locking rules for the mm types, same grammar as
+  // VfsKernel::DocumentedRulesText(). Kept separate so base-vfs analyses
+  // are byte-identical to before the mm subsystem existed.
+  static std::string DocumentedRulesText();
+
+ private:
+  struct Region {
+    ObjectRef vma;
+    uint64_t start = 0;
+    uint64_t end = 0;
+    bool alive = false;
+  };
+  struct MmState {
+    uint32_t task = 0;
+    ObjectRef mm;
+    std::vector<Region> regions;
+    uint64_t next_vaddr = 0;
+  };
+
+  MmState& StateOf(uint32_t task);
+  // Picks a live region index, or SIZE_MAX if none.
+  size_t PickRegion(const MmState& state, Rng& rng) const;
+  // Carves a fresh page-aligned span of `pages` pages out of the task's
+  // address space.
+  uint64_t CarveSpan(MmState& state, size_t pages);
+  // Creates the vma + field writes under an already-held exclusive
+  // mmap_lock hold covering [start, end).
+  Region BuildVma(MmState& state, uint64_t start, uint64_t end, uint32_t line);
+  // map_count/total_vm accounting under page_table_lock (+ locked_vm under
+  // vm_committed_lock); caller holds mmap_lock.
+  void AccountVm(MmState& state, bool grow, uint32_t line);
+
+  // FaultPlan-gated deviations, called from the steady-state ops.
+  void NonOverlapWrite(MmState& state, Rng& rng);
+  void CycleStatsRead(MmState& state, Rng& rng);
+
+  SimKernel* kernel_;
+  const TypeRegistry* registry_;
+  VfsIds ids_;
+  FaultPlan plan_;
+  Rng fault_rng_;
+
+  GlobalLock vm_committed_lock_;
+
+  struct MmMembers {
+    MemberIndex mmap, map_count, page_table_lock, mmap_lock, hiwater_rss, total_vm, locked_vm,
+        flags, mmap_base, start_brk, brk, mm_users;
+  };
+  struct VmaMembers {
+    MemberIndex vm_start, vm_end, vm_next, vm_prev, vm_mm, vm_page_prot, vm_flags, vm_pgoff,
+        vm_file, vm_private_data;
+  };
+  MmMembers mm_{};
+  VmaMembers va_{};
+
+  std::vector<MmState> states_;
+};
+
+}  // namespace lockdoc
+
+#endif  // SRC_VFS_MM_KERNEL_H_

@@ -10,6 +10,7 @@ namespace {
 //   b = blacklisted/out-of-scope     s = spinlock_t
 //   m = mutex                        r = rw_semaphore
 //   w = rwlock_t                     q = seqlock_t
+//   R = range lock over [start, end)
 struct MemberSpec {
   const char* name;
   char kind;
@@ -42,6 +43,9 @@ void AddMembers(TypeLayout* layout, const MemberSpec* specs, size_t count) {
         break;
       case 'q':
         layout->AddLockMember(spec.name, LockType::kSeqlock);
+        break;
+      case 'R':
+        layout->AddLockMember(spec.name, LockType::kRangeLock);
         break;
       default:
         LOCKDOC_CHECK(false && "bad member kind");
@@ -235,6 +239,35 @@ constexpr MemberSpec kBdiMembers[] = {
 };
 static_assert(std::size(kBdiMembers) == 43);
 
+// struct mm_struct (trimmed to the address-space core): 32 members,
+// 4 filtered (mmap_lock modelled as a range lock over the user address
+// space, page_table_lock, mm_users, mm_count).
+constexpr MemberSpec kMmStructMembers[] = {
+    {"mmap", 'd'},            {"mm_rb", 'd'},           {"vmacache_seqnum", 'd'},
+    {"mmap_base", 'd'},       {"task_size", 'd'},       {"pgd", 'd'},
+    {"mm_users", 'a'},        {"mm_count", 'a'},        {"map_count", 'd'},
+    {"page_table_lock", 's'}, {"mmap_lock", 'R'},       {"hiwater_rss", 'd'},
+    {"hiwater_vm", 'd'},      {"total_vm", 'd'},        {"locked_vm", 'd'},
+    {"pinned_vm", 'd'},       {"data_vm", 'd'},         {"exec_vm", 'd'},
+    {"stack_vm", 'd'},        {"def_flags", 'd'},       {"start_code", 'd'},
+    {"end_code", 'd'},        {"start_data", 'd'},      {"end_data", 'd'},
+    {"start_brk", 'd'},       {"brk", 'd'},             {"start_stack", 'd'},
+    {"arg_start", 'd'},       {"arg_end", 'd'},         {"env_start", 'd'},
+    {"env_end", 'd'},         {"flags", 'd'},
+};
+static_assert(std::size(kMmStructMembers) == 32);
+
+// struct vm_area_struct: 15 members, 0 filtered (protected externally by
+// the owning mm's mmap_lock / page_table_lock).
+constexpr MemberSpec kVmAreaMembers[] = {
+    {"vm_start", 'd'},        {"vm_end", 'd'},          {"vm_next", 'd'},
+    {"vm_prev", 'd'},         {"vm_rb", 'd'},           {"rb_subtree_gap", 'd'},
+    {"vm_mm", 'd'},           {"vm_page_prot", 'd'},    {"vm_flags", 'd'},
+    {"anon_vma_chain", 'd'},  {"anon_vma", 'd'},        {"vm_ops", 'd'},
+    {"vm_pgoff", 'd'},        {"vm_file", 'd'},         {"vm_private_data", 'd'},
+};
+static_assert(std::size(kVmAreaMembers) == 15);
+
 template <size_t N>
 TypeId RegisterType(TypeRegistry* registry, const char* name, const MemberSpec (&specs)[N]) {
   auto layout = std::make_unique<TypeLayout>(name);
@@ -278,6 +311,17 @@ std::unique_ptr<TypeRegistry> BuildVfsRegistry(VfsIds* ids) {
                           ids->fs_sysfs,        ids->fs_tmpfs};
   return registry;
 }
+
+std::unique_ptr<TypeRegistry> BuildVfsMmRegistry(VfsIds* ids) {
+  // The mm types append strictly after the vfs types so every base id stays
+  // identical — the whole point of the dual-registry scheme.
+  std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(ids);
+  ids->mm_struct = RegisterType(registry.get(), "mm_struct", kMmStructMembers);
+  ids->vm_area_struct = RegisterType(registry.get(), "vm_area_struct", kVmAreaMembers);
+  return registry;
+}
+
+size_t VfsBaseTypeCount() { return 11; }
 
 MemberIndex M(const TypeRegistry& registry, TypeId type, std::string_view member) {
   auto index = registry.layout(type).FindMember(member);

@@ -47,11 +47,29 @@ struct VfsIds {
   SubclassId fs_tmpfs = kNoSubclass;
 
   std::vector<SubclassId> all_filesystems;
+
+  // mm types (extended registry only; see BuildVfsMmRegistry).
+  TypeId mm_struct = kInvalidTypeId;
+  TypeId vm_area_struct = kInvalidTypeId;
+
+  bool has_mm() const { return mm_struct != kInvalidTypeId; }
 };
 
 // Builds the registry with all 11 layouts and subclasses. The returned
 // registry owns the layouts; `ids` receives the cached identifiers.
 std::unique_ptr<TypeRegistry> BuildVfsRegistry(VfsIds* ids);
+
+// Extended registry for the mm (address-space) workloads: the 11 vfs types
+// plus mm_struct and vm_area_struct appended at the end, so every vfs
+// type/subclass/member id is identical to the base registry. Snapshots of
+// base traces keep loading against BuildVfsRegistry bit-exactly; the
+// extended registry only comes into play for traces that use the mm types
+// (registry selection is by the snapshot's recorded type count / the
+// trace's type ids).
+std::unique_ptr<TypeRegistry> BuildVfsMmRegistry(VfsIds* ids);
+
+// Number of types in the base (non-mm) registry.
+size_t VfsBaseTypeCount();
 
 // Looks up a member index by name, CHECK-failing on typos. Thin wrapper used
 // by the kernel ops (hot members should be cached by the caller).

@@ -22,6 +22,8 @@ FaultPlan FaultPlan::Clean() {
   plan.bdev_lockless_reads = false;
   plan.irq_buffer_completion_writes = false;
   plan.lru_lock_inversion = false;
+  plan.mmap_nonoverlap_write = false;
+  plan.mm_lock_cycle = false;
   return plan;
 }
 
@@ -397,6 +399,8 @@ FilterConfig VfsKernel::MakeFilterConfig() {
       // Pipes and devices.
       "alloc_pipe_info", "free_pipe_info", "bdget", "bdev_evict_inode", "cdev_alloc",
       "cdev_del", "sock_alloc_inode", "anon_inode_new",
+      // mm lifecycle (only present in `--workload mm` traces).
+      "mm_alloc", "exit_mmap",
   };
   return config;
 }

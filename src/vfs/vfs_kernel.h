@@ -57,6 +57,16 @@ struct FaultPlan {
   // simulation, but the ordering conflict is real).
   bool lru_lock_inversion = true;
 
+  // mm (address-space) workload deviations; inert outside `--workload mm`.
+  // Overlapping writers under non-overlapping ranges: a path that writes a
+  // vma while mmap_lock is held over a span that does NOT overlap that vma
+  // — the seeded range-lock bug the overlap-aware checker must flag.
+  bool mmap_nonoverlap_write = true;
+  // An occasional stats path takes vm_committed_lock before mmap_lock,
+  // closing the 3-class cycle mmap_lock -> page_table_lock ->
+  // vm_committed_lock -> mmap_lock for the lock-order pass.
+  bool mm_lock_cycle = true;
+
   // A plan with every deviation disabled — the "correct kernel" baseline
   // used by tests to prove the miner recovers the ground truth exactly.
   static FaultPlan Clean();

@@ -4,6 +4,7 @@
 
 #include "src/coverage/coverage.h"
 #include "src/util/logging.h"
+#include "src/vfs/mm_kernel.h"
 
 namespace lockdoc {
 namespace {
@@ -329,6 +330,69 @@ SimulationResult SimulateKernelRun(const MixOptions& options, const FaultPlan& p
   sim.SetInterruptRate(0.0, 0);  // Quiesce interrupts for teardown.
   vfs.UnmountAll();
   sim.CheckQuiescent();
+  return result;
+}
+
+SimulationResult SimulateMmRun(const MixOptions& options, const FaultPlan& plan) {
+  SimulationResult result;
+  result.registry = BuildVfsMmRegistry(&result.ids);
+  SimKernel sim(&result.trace, result.registry.get(), nullptr);
+  MmKernel mm(&sim, result.registry.get(), result.ids, plan);
+
+  Rng master(options.seed);
+  std::vector<Rng> task_rngs;
+  task_rngs.reserve(options.tasks);
+  for (size_t t = 0; t < options.tasks; ++t) {
+    task_rngs.push_back(master.Fork());
+  }
+  for (size_t t = 0; t < options.tasks; ++t) {
+    uint32_t task = static_cast<uint32_t>(t + 1);
+    sim.SetCurrentTask(task);
+    mm.ForkMm(task);
+    sim.CheckQuiescent();
+  }
+
+  for (size_t op = 0; op < options.ops; ++op) {
+    size_t t = op % options.tasks;
+    uint32_t task = static_cast<uint32_t>(t + 1);
+    sim.SetCurrentTask(task);
+    Rng& rng = task_rngs[t];
+    // Keep a floor of live regions so faults and mremaps have targets.
+    if (mm.region_count(task) < 3) {
+      mm.MmapRegion(task, rng);
+    } else {
+      switch (rng.Below(10)) {
+        case 0:
+        case 1:
+          mm.MmapRegion(task, rng);
+          break;
+        case 2:
+          mm.MunmapRegion(task, rng);
+          break;
+        case 3:
+          mm.MprotectRegion(task, rng);
+          break;
+        case 4:
+          mm.MremapRegion(task, rng);
+          break;
+        case 5:
+          mm.ReadStats(task, rng);
+          break;
+        default:
+          mm.PageFault(task, rng);
+          break;
+      }
+    }
+    sim.CheckQuiescent();
+    ++result.mix.ops_executed;
+  }
+
+  for (size_t t = 0; t < options.tasks; ++t) {
+    uint32_t task = static_cast<uint32_t>(t + 1);
+    sim.SetCurrentTask(task);
+    mm.ExitMm(task);
+    sim.CheckQuiescent();
+  }
   return result;
 }
 

@@ -84,6 +84,13 @@ struct SimulationResult {
 SimulationResult SimulateKernelRun(const MixOptions& options, const FaultPlan& plan,
                                    class CoverageTracker* coverage = nullptr);
 
+// The mm (address-space) mix: per-task mm_structs exercised with
+// mmap/munmap/fault/mprotect/mremap/stat operations against MmKernel's
+// range-locked mmap_lock. Uses the extended BuildVfsMmRegistry; traces
+// from this mix carry ranged events and mm type ids, which is what makes
+// the analysis side select the extended registry on load.
+SimulationResult SimulateMmRun(const MixOptions& options, const FaultPlan& plan);
+
 }  // namespace lockdoc
 
 #endif  // SRC_WORKLOAD_WORKLOADS_H_

@@ -119,6 +119,24 @@ for pass in check derive violations lock-order modes report; do
   done
 done
 
+# Range workload: the mm mix exercises range locks (instance-qualified
+# mmap_lock spans). Every pass must be byte-identical between the trace
+# and its .lockdb snapshot, at any thread count.
+"$LOCKDOC" simulate --workload mm --out "$DIR/eq_mm.trace" --ops 2500 --seed 11
+"$LOCKDOC" import "$DIR/eq_mm.trace" --out "$DIR/eq_mm.lockdb" > /dev/null
+for pass in check derive violations lock-order modes report; do
+  "$LOCKDOC" "$pass" "$DIR/eq_mm.trace" > "$DIR/standalone.txt"
+  for input in "$DIR/eq_mm.trace" "$DIR/eq_mm.lockdb"; do
+    for jobs in 1 2 8; do
+      "$LOCKDOC" analyze "$input" --passes "$pass" --jobs "$jobs" > "$DIR/via_mm.txt"
+      cmp "$DIR/standalone.txt" "$DIR/via_mm.txt" || {
+        echo "FAIL: mm $pass on $input differs from the trace at --jobs $jobs" >&2
+        exit 1
+      }
+    done
+  done
+done
+
 # The full suite derives rules exactly once.
 derivations=$("$LOCKDOC" analyze "$DIR/eq.lockdb" --timings 2>&1 > /dev/null |
   grep -c "rule derivation (interned)")

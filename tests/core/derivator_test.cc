@@ -85,6 +85,46 @@ TEST(EnumerateSubsequencesTest, SixtyFourLocksWithRaisedLimitDoesNotAbort) {
   EXPECT_NE(std::find(subsequences.begin(), subsequences.end(), seq), subsequences.end());
 }
 
+TEST(EnumerateSubsequencesTest, BoundedFallbackEmitsMultiplicityRuns) {
+  // Regression: the bounded fallback used to drop k-fold repeats of one
+  // class unless they happened to form a prefix. A range lock held over
+  // three spans inside one group must still yield {a,a,a} as a candidate.
+  LockSeq seq;
+  seq.push_back(kB);  // Non-prefix position for the repeats.
+  for (int i = 0; i < 3; ++i) {
+    seq.push_back(kA);
+  }
+  for (int i = 0; i < 10; ++i) {
+    seq.push_back(LockClass::Global(StrFormat("pad%d", i)));
+  }
+  auto subsequences = EnumerateSubsequences(seq, 10);  // 14 locks -> fallback.
+  LockSeq triple = {kA, kA, kA};
+  EXPECT_NE(std::find(subsequences.begin(), subsequences.end(), triple),
+            subsequences.end());
+  // Runs of 1 and 2 come from the singles / ordered-pairs passes.
+  LockSeq pair = {kA, kA};
+  EXPECT_NE(std::find(subsequences.begin(), subsequences.end(), pair), subsequences.end());
+  EXPECT_NE(std::find(subsequences.begin(), subsequences.end(), LockSeq{kA}),
+            subsequences.end());
+}
+
+TEST(EnumerateSubsequencesTest, BoundedFallbackStaysBounded) {
+  // The multiplicity-run extension must not reintroduce quadratic blowup:
+  // the fallback remains O(n^2) candidates.
+  LockSeq seq;
+  for (int i = 0; i < 12; ++i) {
+    seq.push_back(LockClass::Global(StrFormat("l%d", i % 4)));  // Heavy duplication.
+  }
+  auto subsequences = EnumerateSubsequences(seq, 10);
+  EXPECT_LT(subsequences.size(), 200u);
+  // Each of the four classes repeats three times; every triple run appears.
+  for (int c = 0; c < 4; ++c) {
+    LockClass cls = LockClass::Global(StrFormat("l%d", c));
+    LockSeq run = {cls, cls, cls};
+    EXPECT_NE(std::find(subsequences.begin(), subsequences.end(), run), subsequences.end());
+  }
+}
+
 TEST(DerivatorTest, DeepLockSequenceWithRaisedLimitDerives) {
   // End-to-end version of the 64-lock regression: derivation over a store
   // whose only observation holds 64 locks, with max_subset_locks raised.

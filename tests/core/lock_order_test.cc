@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "tests/core/test_helpers.h"
 
 namespace lockdoc {
@@ -152,6 +154,108 @@ TEST(LockOrderTest, OutOfOrderReleaseDoesNotDoubleCount) {
   ASSERT_NE(edge, nullptr);
   EXPECT_EQ(edge->support, 1u);  // The re-minted [b] txn must not add edges.
   EXPECT_EQ(FindEdge(graph, "global_b", "global_a"), nullptr);
+}
+
+TEST(LockOrderTest, SccCondensationIsolatesTheCycle) {
+  TestWorld world;
+  GlobalLock c = world.sim->DefineStaticLock("global_c", LockType::kSpinlock);
+  GlobalLock d = world.sim->DefineStaticLock("global_d", LockType::kSpinlock);
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    auto pair = [&](const GlobalLock& x, const GlobalLock& y) {
+      world.sim->LockGlobal(x, 2);
+      world.sim->LockGlobal(y, 3);
+      world.sim->UnlockGlobal(y, 4);
+      world.sim->UnlockGlobal(x, 5);
+    };
+    pair(world.global_a, world.global_b);
+    pair(world.global_b, c);
+    pair(c, world.global_a);
+    pair(c, d);  // d hangs off the cycle, acyclically.
+  }
+  LockOrderGraph graph = BuildGraph(world);
+  auto sccs = graph.StronglyConnectedComponents();
+  // Only the nontrivial component is reported: {a, b, c}, not {d}.
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0].size(), 3u);
+  EXPECT_TRUE(std::is_sorted(sccs[0].begin(), sccs[0].end()));
+}
+
+TEST(LockOrderTest, CyclePathsCarryFullEdges) {
+  TestWorld world;
+  GlobalLock c = world.sim->DefineStaticLock("global_c", LockType::kSpinlock);
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    auto pair = [&](const GlobalLock& x, const GlobalLock& y, uint32_t line) {
+      world.sim->LockGlobal(x, line);
+      world.sim->LockGlobal(y, line + 1);
+      world.sim->UnlockGlobal(y, line + 2);
+      world.sim->UnlockGlobal(x, line + 3);
+    };
+    for (int i = 0; i < 4; ++i) {
+      pair(world.global_a, world.global_b, 10);
+    }
+    pair(world.global_b, c, 20);
+    pair(c, world.global_a, 30);
+  }
+  LockOrderGraph graph = BuildGraph(world);
+  auto paths = graph.FindCyclePaths();
+  ASSERT_EQ(paths.size(), 1u);
+  const LockOrderCyclePath& path = paths[0];
+  ASSERT_EQ(path.edges.size(), 3u);
+  EXPECT_EQ(path.min_support, 1u);  // The rare direction bounds the path.
+  for (size_t i = 0; i < path.edges.size(); ++i) {
+    const LockOrderEdge& edge = path.edges[i];
+    const LockOrderEdge& next = path.edges[(i + 1) % path.edges.size()];
+    EXPECT_EQ(edge.to.ToString(), next.from.ToString());
+    EXPECT_GT(edge.example_line, 0u);       // Example acquisition site.
+    EXPECT_NE(edge.witness_from.addr, 0u);  // Instance witnesses resolve.
+    EXPECT_NE(edge.witness_to.addr, 0u);
+  }
+  // The a->b edge kept its first-observation support.
+  const LockOrderEdge* ab = FindEdge(graph, "global_a", "global_b");
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab->support, 4u);
+  // FindCycles (class-level view) agrees with the path enumeration.
+  auto cycles = graph.FindCycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].classes.size(), 3u);
+  EXPECT_EQ(cycles[0].min_support, path.min_support);
+}
+
+TEST(LockOrderTest, CyclePathBoundsRespected) {
+  // Two independent 2-cycles: max_paths = 1 must cap the enumeration.
+  TestWorld world;
+  GlobalLock c = world.sim->DefineStaticLock("global_c", LockType::kSpinlock);
+  GlobalLock d = world.sim->DefineStaticLock("global_d", LockType::kSpinlock);
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    auto pair = [&](const GlobalLock& x, const GlobalLock& y) {
+      world.sim->LockGlobal(x, 2);
+      world.sim->LockGlobal(y, 3);
+      world.sim->UnlockGlobal(y, 4);
+      world.sim->UnlockGlobal(x, 5);
+    };
+    pair(world.global_a, world.global_b);
+    pair(world.global_b, world.global_a);
+    pair(c, d);
+    pair(d, c);
+  }
+  LockOrderGraph graph = BuildGraph(world);
+  EXPECT_EQ(graph.FindCyclePaths(6, 64).size(), 2u);
+  EXPECT_EQ(graph.FindCyclePaths(6, 1).size(), 1u);
+}
+
+TEST(LockOrderTest, WitnessToStringFormatsRanges) {
+  LockWitness plain;
+  plain.addr = 0x1234;
+  EXPECT_EQ(plain.ToString(), "0x1234");
+  LockWitness ranged;
+  ranged.addr = 0x1234;
+  ranged.has_range = true;
+  ranged.range_start = 0x10000;
+  ranged.range_end = 0x14000;
+  EXPECT_EQ(ranged.ToString(), "0x1234[0x10000,0x14000)");
 }
 
 TEST(LockOrderTest, ReportMentionsEdgesAndConflicts) {

@@ -200,6 +200,127 @@ void ExpectStoresIdentical(const ObservationStore& a, const ObservationStore& b)
   }
 }
 
+// A two-type world for the overlap filter: a "space" owning a range lock
+// and "region" objects allocated with ground-truth spans.
+struct RangeWorld {
+  std::unique_ptr<TypeRegistry> registry;
+  Trace trace;
+  std::unique_ptr<SimKernel> sim;
+  TypeId space = kInvalidTypeId;
+  TypeId region = kInvalidTypeId;
+  MemberIndex r_lock = kInvalidMember;
+  MemberIndex data = kInvalidMember;
+
+  RangeWorld() {
+    registry = std::make_unique<TypeRegistry>();
+    auto space_layout = std::make_unique<TypeLayout>("space");
+    r_lock = space_layout->AddLockMember("r_lock", LockType::kRangeLock);
+    space = registry->Register(std::move(space_layout));
+    auto region_layout = std::make_unique<TypeLayout>("region");
+    data = region_layout->AddMember("data", 8);
+    region = registry->Register(std::move(region_layout));
+    sim = std::make_unique<SimKernel>(&trace, registry.get());
+  }
+
+  ObservationStore Extract() {
+    Database db;
+    TraceImporter importer(registry.get(), FilterConfig::Defaults());
+    importer.Import(trace, &db);
+    return ExtractObservations(db, *registry);
+  }
+
+  MemberObsKey RegionKey() const {
+    MemberObsKey key;
+    key.type = region;
+    key.subclass = kNoSubclass;
+    key.member = data;
+    return key;
+  }
+};
+
+TEST(ObservationsTest, OverlappingRangeHoldCoversAccess) {
+  RangeWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef space = world.sim->Create(world.space, kNoSubclass, 1);
+    ObjectRef region =
+        world.sim->CreateWithSpan(world.region, kNoSubclass, 0x1000, 0x2000, 2);
+    world.sim->AcquireRange(space, world.r_lock, 0x1000, 0x2000, 3);
+    world.sim->Write(region, world.data, 4);
+    world.sim->ReleaseRange(space, world.r_lock, 0x1000, 0x2000, 5);
+    world.sim->Destroy(region, 6);
+    world.sim->Destroy(space, 7);
+  }
+  ObservationStore store = world.Extract();
+  const auto& groups = store.GroupsFor(world.RegionKey());
+  ASSERT_EQ(groups.size(), 1u);
+  const LockSeq& held = store.seq(groups[0].lockseq_id);
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].ToString(), "EO(r_lock in space)");
+}
+
+TEST(ObservationsTest, NonOverlappingRangeHoldDoesNotCover) {
+  RangeWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef space = world.sim->Create(world.space, kNoSubclass, 1);
+    ObjectRef region =
+        world.sim->CreateWithSpan(world.region, kNoSubclass, 0x1000, 0x2000, 2);
+    // Held over a disjoint span: covers nothing of the region, so the
+    // access observes as lock-free rather than as a (false) compliance.
+    world.sim->AcquireRange(space, world.r_lock, 0x5000, 0x6000, 3);
+    world.sim->Write(region, world.data, 4);
+    world.sim->ReleaseRange(space, world.r_lock, 0x5000, 0x6000, 5);
+    world.sim->Destroy(region, 6);
+    world.sim->Destroy(space, 7);
+  }
+  ObservationStore store = world.Extract();
+  const auto& groups = store.GroupsFor(world.RegionKey());
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_TRUE(store.seq(groups[0].lockseq_id).empty());
+}
+
+TEST(ObservationsTest, AdjacentRangeHoldDoesNotCover) {
+  RangeWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef space = world.sim->Create(world.space, kNoSubclass, 1);
+    ObjectRef region =
+        world.sim->CreateWithSpan(world.region, kNoSubclass, 0x1000, 0x2000, 2);
+    world.sim->AcquireRange(space, world.r_lock, 0x2000, 0x3000, 3);  // Touches at 0x2000.
+    world.sim->Write(region, world.data, 4);
+    world.sim->ReleaseRange(space, world.r_lock, 0x2000, 0x3000, 5);
+    world.sim->Destroy(region, 6);
+    world.sim->Destroy(space, 7);
+  }
+  ObservationStore store = world.Extract();
+  const auto& groups = store.GroupsFor(world.RegionKey());
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_TRUE(store.seq(groups[0].lockseq_id).empty());  // Half-open spans: no overlap.
+}
+
+TEST(ObservationsTest, SpanlessObjectCoveredByAnyRangeHold) {
+  RangeWorld world;
+  {
+    FunctionScope fn(*world.sim, "t.c", "f", 1, 50);
+    ObjectRef space = world.sim->Create(world.space, kNoSubclass, 1);
+    ObjectRef region = world.sim->Create(world.region, kNoSubclass, 2);  // No span.
+    world.sim->AcquireRange(space, world.r_lock, 0x5000, 0x6000, 3);
+    world.sim->Write(region, world.data, 4);
+    world.sim->ReleaseRange(space, world.r_lock, 0x5000, 0x6000, 5);
+    world.sim->Destroy(region, 6);
+    world.sim->Destroy(space, 7);
+  }
+  ObservationStore store = world.Extract();
+  const auto& groups = store.GroupsFor(world.RegionKey());
+  ASSERT_EQ(groups.size(), 1u);
+  // Conservative: an object without a recorded span is covered by every
+  // hold of the range lock.
+  const LockSeq& held = store.seq(groups[0].lockseq_id);
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].ToString(), "EO(r_lock in space)");
+}
+
 TEST(ObservationsTest, ParallelExtractionMatchesSerialExactly) {
   // Interned ids, group order, and every group field must be identical
   // whether classification runs inline or across a pool.

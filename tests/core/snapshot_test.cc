@@ -187,6 +187,38 @@ TEST(SnapshotTest, ReorderedAndMissingSectionsAreRejected) {
   }
 }
 
+// Forward compatibility: a CRC-intact section of a type this build does
+// not know (written by a future version) is skipped by the loader, not
+// treated as damage or a framing error.
+TEST(SnapshotTest, UnknownSectionTypeIsSkippedOnLoad) {
+  TestWorld world = MakeWorld();
+  AnalysisSnapshot snapshot = BuildSnapshot(world.trace, *world.registry);
+  std::string pristine = SerializeSnapshot(snapshot, *world.registry);
+  auto baseline = DeserializeSnapshot(pristine, *world.registry);
+  ASSERT_TRUE(baseline.ok());
+
+  auto sections = ScanSnapshotSections(pristine);
+  ASSERT_TRUE(sections.ok());
+  const auto& parsed = sections.value();
+  ASSERT_GE(parsed.size(), 4u);
+  // Re-emit with a future-typed section spliced in after the meta section.
+  // SerializeSnapshot defaults to the v2 container, and the meta payload's
+  // format version is coupled to it — re-emit as v2 too.
+  SnapshotWriter writer(/*container_version=*/2);
+  writer.AddSection(static_cast<SnapshotSectionType>(parsed[0].type), parsed[0].payload);
+  writer.AddSection(static_cast<SnapshotSectionType>(9), "future-extension-payload");
+  for (size_t i = 1; i < parsed.size(); ++i) {
+    writer.AddSection(static_cast<SnapshotSectionType>(parsed[i].type), parsed[i].payload);
+  }
+  std::string extended = writer.Finish().value();
+
+  auto restored = DeserializeSnapshot(extended, *world.registry);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  // Everything the loader understands is untouched by the skip.
+  EXPECT_EQ(SerializeSnapshot(restored.value(), *world.registry),
+            SerializeSnapshot(baseline.value(), *world.registry));
+}
+
 // doctor --repair keeps only CRC-intact sections, so a repaired file can be
 // container-clean yet missing a whole table. Loading such a file must come
 // back as a typed error naming the table — not a CHECK abort at the first

@@ -51,6 +51,64 @@ TEST(SnapshotContainerTest, MagicSniffing) {
   EXPECT_FALSE(LooksLikeSnapshot(bytes.substr(1)));
 }
 
+TEST(SnapshotContainerTest, UnknownSectionTypeIsUnrecognizedNotDamage) {
+  SnapshotWriter writer;
+  writer.AddSection(kSnapshotSectionMeta, "meta-payload");
+  writer.AddSection(static_cast<SnapshotSectionType>(9), "future-payload");
+  writer.AddSection(kSnapshotSectionStrings, "strings-payload");
+  std::string bytes = writer.Finish().value();
+
+  // The strict scan keeps the unknown section (its CRC is intact).
+  auto sections = ScanSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok()) << sections.status().message();
+  ASSERT_EQ(sections.value().size(), 3u);
+  EXPECT_EQ(static_cast<uint32_t>(sections.value()[1].type), 9u);
+  EXPECT_EQ(sections.value()[1].payload, "future-payload");
+
+  // doctor reports it as forward compatibility, not as damage.
+  SnapshotInspection inspection = InspectSnapshot(bytes);
+  EXPECT_TRUE(inspection.clean());
+  ASSERT_EQ(inspection.sections.size(), 3u);
+  EXPECT_FALSE(inspection.sections[0].unrecognized);
+  EXPECT_TRUE(inspection.sections[1].unrecognized);
+  EXPECT_TRUE(inspection.sections[1].ok());
+  EXPECT_FALSE(inspection.sections[2].unrecognized);
+  std::string text = inspection.ToString();
+  EXPECT_NE(text.find("unrecognized (skipped)"), std::string::npos);
+  EXPECT_NE(text.find("type 9"), std::string::npos);
+}
+
+TEST(SnapshotContainerTest, V2UnknownSectionTypeIsUnrecognizedNotDamage) {
+  SnapshotWriter writer(/*container_version=*/2);
+  writer.AddSection(kSnapshotSectionMeta, "meta-payload");
+  writer.AddSection(static_cast<SnapshotSectionType>(11), "future-payload");
+  writer.AddSection(kSnapshotSectionStrings, "strings-payload");
+  std::string bytes = writer.Finish().value();
+  SnapshotInspection inspection = InspectSnapshot(bytes);
+  EXPECT_TRUE(inspection.clean());
+  ASSERT_EQ(inspection.sections.size(), 3u);
+  EXPECT_TRUE(inspection.sections[1].unrecognized);
+  EXPECT_TRUE(inspection.sections[1].ok());
+  std::string text = inspection.ToString();
+  EXPECT_NE(text.find("unrecognized (skipped)"), std::string::npos);
+  EXPECT_NE(text.find("type 11"), std::string::npos);
+}
+
+TEST(SnapshotContainerTest, CorruptUnknownSectionIsStillDamage) {
+  SnapshotWriter writer;
+  writer.AddSection(kSnapshotSectionMeta, "meta-payload");
+  writer.AddSection(static_cast<SnapshotSectionType>(9), "future-payload");
+  writer.AddSection(kSnapshotSectionStrings, "strings-payload");
+  std::string bytes = writer.Finish().value();
+  // Flip a byte inside the unknown section's payload: "unrecognized" is
+  // only for intact sections — a bad CRC is damage like anywhere else.
+  size_t pos = bytes.find("future-payload");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] ^= 0x40;
+  SnapshotInspection inspection = InspectSnapshot(bytes);
+  EXPECT_FALSE(inspection.clean());
+}
+
 TEST(SnapshotContainerTest, BadMagicFailsScan) {
   std::string bytes = TinySnapshot();
   bytes[0] ^= 0x01;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "src/core/derivator.h"
 #include "src/util/rng.h"
 #include "src/util/string_util.h"
 
@@ -147,6 +148,45 @@ TEST(LockClassPoolTest, EnumerateSubsequenceIdsIncludesEmptyAndIsSorted) {
   EXPECT_TRUE(subs.front().empty());
   EXPECT_TRUE(std::is_sorted(subs.begin(), subs.end()));
   EXPECT_EQ(std::adjacent_find(subs.begin(), subs.end()), subs.end());
+}
+
+TEST(LockClassPoolTest, BoundedFallbackIdsEmitMultiplicityRuns) {
+  // Mirror of the string-side regression: the bounded fallback must emit
+  // k-fold repeats of one id even when the copies are not a prefix.
+  IdSeq seq = {1};
+  for (int i = 0; i < 3; ++i) {
+    seq.push_back(0);  // {1, 0, 0, 0, pad...}
+  }
+  for (LockId pad = 2; pad < 12; ++pad) {
+    seq.push_back(pad);
+  }
+  std::vector<IdSeq> subs = EnumerateSubsequenceIds(seq, 10);  // 14 ids -> fallback.
+  IdSeq triple = {0, 0, 0};
+  EXPECT_NE(std::find(subs.begin(), subs.end(), triple), subs.end());
+  IdSeq pair = {0, 0};
+  EXPECT_NE(std::find(subs.begin(), subs.end(), pair), subs.end());
+  EXPECT_LT(subs.size(), 200u);
+}
+
+TEST(LockClassPoolTest, BoundedFallbackMatchesStringEnumerator) {
+  // The id enumerator must produce exactly the interned image of the
+  // string enumerator's output, including in the bounded fallback.
+  Rng rng(97);
+  LockClassPool pool;
+  for (int round = 0; round < 20; ++round) {
+    LockSeq seq = RandomSeq(rng, 14);  // Often deep enough to hit the fallback.
+    IdSeq ids = pool.InternSeq(seq);
+    std::vector<LockSeq> by_string = EnumerateSubsequences(seq, 10);
+    std::vector<IdSeq> by_id = EnumerateSubsequenceIds(ids, 10);
+    ASSERT_EQ(by_string.size(), by_id.size()) << "round " << round;
+    std::vector<IdSeq> interned;
+    interned.reserve(by_string.size());
+    for (const LockSeq& sub : by_string) {
+      interned.push_back(*pool.FindSeq(sub));
+    }
+    std::sort(interned.begin(), interned.end());
+    EXPECT_EQ(interned, by_id) << "round " << round;
+  }
 }
 
 }  // namespace

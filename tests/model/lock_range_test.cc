@@ -1,0 +1,79 @@
+// Corner cases of the half-open interval primitives that overlap-based
+// rule derivation stands on: empty, adjacent, nested, exact, and the
+// "whole" (non-range) hold that covers everything.
+#include <gtest/gtest.h>
+
+#include "src/model/ids.h"
+
+namespace lockdoc {
+namespace {
+
+TEST(RangesOverlapTest, DisjointDoNotOverlap) {
+  EXPECT_FALSE(RangesOverlap(0, 4, 8, 12));
+  EXPECT_FALSE(RangesOverlap(8, 12, 0, 4));
+}
+
+TEST(RangesOverlapTest, AdjacentHalfOpenDoNotOverlap) {
+  // [0,4) and [4,8) share only the boundary point, which belongs to
+  // neither under half-open semantics.
+  EXPECT_FALSE(RangesOverlap(0, 4, 4, 8));
+  EXPECT_FALSE(RangesOverlap(4, 8, 0, 4));
+}
+
+TEST(RangesOverlapTest, SingleByteOverlapCounts) {
+  EXPECT_TRUE(RangesOverlap(0, 5, 4, 8));
+  EXPECT_TRUE(RangesOverlap(4, 8, 0, 5));
+}
+
+TEST(RangesOverlapTest, NestedOverlap) {
+  EXPECT_TRUE(RangesOverlap(0, 100, 10, 20));
+  EXPECT_TRUE(RangesOverlap(10, 20, 0, 100));
+}
+
+TEST(RangesOverlapTest, ExactEqualOverlap) {
+  EXPECT_TRUE(RangesOverlap(7, 9, 7, 9));
+}
+
+TEST(RangesOverlapTest, EmptyIntervalsOverlapNothing) {
+  EXPECT_FALSE(RangesOverlap(4, 4, 0, 100));    // Empty vs wide.
+  EXPECT_FALSE(RangesOverlap(0, 100, 4, 4));    // Wide vs empty.
+  EXPECT_FALSE(RangesOverlap(4, 4, 4, 4));      // Empty vs itself.
+  EXPECT_FALSE(RangesOverlap(10, 4, 0, 100));   // Inverted is empty too.
+}
+
+TEST(RangesOverlapTest, MaxBoundary) {
+  const uint64_t kMax = ~0ull;
+  EXPECT_TRUE(RangesOverlap(kMax - 1, kMax, kMax - 2, kMax));
+  EXPECT_FALSE(RangesOverlap(0, kMax - 1, kMax - 1, kMax));
+}
+
+TEST(LockRangeTest, DefaultIsWhole) {
+  LockRange range;
+  EXPECT_TRUE(range.whole());
+  LockRange held{0x1000, 0x2000};
+  EXPECT_FALSE(held.whole());
+}
+
+TEST(RangeCoversTest, WholeCoversEverything) {
+  LockRange whole;
+  EXPECT_TRUE(RangeCovers(whole, 0, 1));
+  EXPECT_TRUE(RangeCovers(whole, 0x1000, 0x2000));
+  EXPECT_TRUE(RangeCovers(whole, ~0ull - 1, ~0ull));
+}
+
+TEST(RangeCoversTest, RangedHoldCoversOnlyOverlap) {
+  LockRange held{0x1000, 0x2000};
+  EXPECT_TRUE(RangeCovers(held, 0x1800, 0x1900));   // Nested.
+  EXPECT_TRUE(RangeCovers(held, 0x0800, 0x1001));   // One-byte overlap.
+  EXPECT_FALSE(RangeCovers(held, 0x2000, 0x3000));  // Adjacent above.
+  EXPECT_FALSE(RangeCovers(held, 0x0800, 0x1000));  // Adjacent below.
+  EXPECT_FALSE(RangeCovers(held, 0x4000, 0x5000));  // Disjoint.
+}
+
+TEST(RangeCoversTest, EmptySpanNeverCoveredByRangedHold) {
+  LockRange held{0x1000, 0x2000};
+  EXPECT_FALSE(RangeCovers(held, 0x1800, 0x1800));
+}
+
+}  // namespace
+}  // namespace lockdoc

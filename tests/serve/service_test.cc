@@ -22,6 +22,7 @@
 #include "src/util/socket.h"
 #include "src/trace/trace_io.h"
 #include "src/util/file_io.h"
+#include "src/vfs/mm_kernel.h"
 #include "src/vfs/vfs_kernel.h"
 #include "src/workload/workloads.h"
 
@@ -257,6 +258,68 @@ TEST_F(ServeServiceTest, IngestsAnswersAndAcks) {
   handled = service.ProcessOnce();
   ASSERT_TRUE(handled.ok());
   EXPECT_EQ(handled.value(), 0u);
+}
+
+TEST_F(ServeServiceTest, MmTracesSelectExtendedRegistry) {
+  MixOptions mix;
+  mix.ops = 800;
+  mix.seed = 7;
+  SimulationResult mm = SimulateMmRun(mix, FaultPlan::Clean());
+  ASSERT_TRUE(WriteTraceToFile(mm.trace, layout_.incoming_dir + "/mm.trace").ok());
+  DropTrace("web.trace");
+  DropRequest("qmm", "pass=derive\ninput=mm\n");
+  DropRequest("qvfs", "pass=derive\ninput=web\n");
+
+  VfsIds mm_ids;
+  std::unique_ptr<TypeRegistry> extended = BuildVfsMmRegistry(&mm_ids);
+  options_.extended_documented_rules_text =
+      VfsKernel::DocumentedRulesText() + MmKernel::DocumentedRulesText();
+  ServeService service(layout_, sim_.registry.get(), options_, extended.get());
+  ASSERT_TRUE(service.Recover().ok());
+  auto handled = service.ProcessOnce();
+  ASSERT_TRUE(handled.ok()) << handled.status().ToString();
+  EXPECT_EQ(handled.value(), 4u);  // Two ingests + two answers.
+
+  // The mm trace was ingested and answered against the extended registry.
+  auto mm_out = ReadFileToString(layout_.responses_dir + "/qmm.out");
+  ASSERT_TRUE(mm_out.ok());
+  EXPECT_NE(mm_out.value().find("mm_struct"), std::string::npos);
+  EXPECT_NE(mm_out.value().find("vm_area_struct"), std::string::npos);
+  // The vfs trace still derives against the base registry only.
+  auto vfs_out = ReadFileToString(layout_.responses_dir + "/qvfs.out");
+  ASSERT_TRUE(vfs_out.ok());
+  EXPECT_EQ(vfs_out.value().find("mm_struct"), std::string::npos);
+}
+
+TEST_F(ServeServiceTest, MmSnapshotReloadsWithExtendedRegistry) {
+  MixOptions mix;
+  mix.ops = 800;
+  mix.seed = 7;
+  SimulationResult mm = SimulateMmRun(mix, FaultPlan::Clean());
+  ASSERT_TRUE(WriteTraceToFile(mm.trace, layout_.incoming_dir + "/mm.trace").ok());
+
+  VfsIds mm_ids;
+  std::unique_ptr<TypeRegistry> extended = BuildVfsMmRegistry(&mm_ids);
+  options_.extended_documented_rules_text =
+      VfsKernel::DocumentedRulesText() + MmKernel::DocumentedRulesText();
+  {
+    ServeService ingest_service(layout_, sim_.registry.get(), options_, extended.get());
+    ASSERT_TRUE(ingest_service.Recover().ok());
+    ASSERT_TRUE(ingest_service.ProcessOnce().ok());
+    ASSERT_TRUE(FileSize(layout_.snapshots_dir + "/mm.lockdb").ok());
+  }
+  // A fresh service must re-pick the extended registry when loading the
+  // published snapshot from disk (the LoadResident path, not ingest).
+  DropRequest("q2", "pass=check\ninput=mm\n");
+  ServeService service(layout_, sim_.registry.get(), options_, extended.get());
+  ASSERT_TRUE(service.Recover().ok());
+  auto handled = service.ProcessOnce();
+  ASSERT_TRUE(handled.ok()) << handled.status().ToString();
+  EXPECT_NE(MetaText("q2").find("status=ok\n"), std::string::npos);
+  auto out = ReadFileToString(layout_.responses_dir + "/q2.out");
+  ASSERT_TRUE(out.ok());
+  // check ran against the extended documented rules, so the mm types show.
+  EXPECT_NE(out.value().find("mm_struct"), std::string::npos);
 }
 
 TEST_F(ServeServiceTest, TypedErrorsForBadRequests) {

@@ -12,6 +12,7 @@ struct SimFixture {
     mutex_member = obj_layout->AddLockMember("mtx", LockType::kMutex);
     data_member = obj_layout->AddMember("data", 8);
     atomic_member = obj_layout->AddAtomicMember("count", 4);
+    range_member = obj_layout->AddLockMember("rng_lock", LockType::kRangeLock);
     type = registry.Register(std::move(obj_layout));
     sim = std::make_unique<SimKernel>(&trace, &registry);
   }
@@ -23,6 +24,7 @@ struct SimFixture {
   MemberIndex mutex_member = kInvalidMember;
   MemberIndex data_member = kInvalidMember;
   MemberIndex atomic_member = kInvalidMember;
+  MemberIndex range_member = kInvalidMember;
   std::unique_ptr<SimKernel> sim;
 };
 
@@ -196,6 +198,90 @@ TEST(SimKernelTest, SharedModeRecordedInTrace) {
   const TraceEvent& acquire = f.trace.event(f.trace.size() - 1);
   EXPECT_EQ(acquire.mode, AcquireMode::kShared);
   f.sim->UnlockGlobal(rwsem, 3);
+}
+
+TEST(SimKernelTest, CreateWithSpanRecordsGroundTruthRange) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->CreateWithSpan(f.type, kNoSubclass, 0x10000, 0x14000, 5);
+  const TraceEvent& alloc = f.trace.event(f.trace.size() - 1);
+  EXPECT_EQ(alloc.kind, EventKind::kAlloc);
+  EXPECT_TRUE(alloc.has_range);
+  EXPECT_EQ(alloc.range_start, 0x10000u);
+  EXPECT_EQ(alloc.range_end, 0x14000u);
+  f.sim->Destroy(obj, 6);
+}
+
+TEST(SimKernelTest, AcquireRangeEmitsRangedEvents) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  f.sim->AcquireRange(obj, f.range_member, 0x1000, 0x2000, 2);
+  const TraceEvent& acquire = f.trace.event(f.trace.size() - 1);
+  EXPECT_EQ(acquire.kind, EventKind::kLockAcquire);
+  EXPECT_EQ(acquire.lock_type, LockType::kRangeLock);
+  EXPECT_TRUE(acquire.has_range);
+  EXPECT_EQ(acquire.range_start, 0x1000u);
+  EXPECT_EQ(acquire.range_end, 0x2000u);
+  f.sim->ReleaseRange(obj, f.range_member, 0x1000, 0x2000, 3);
+  const TraceEvent& release = f.trace.event(f.trace.size() - 1);
+  EXPECT_EQ(release.kind, EventKind::kLockRelease);
+  EXPECT_TRUE(release.has_range);
+  EXPECT_EQ(release.range_start, 0x1000u);
+  EXPECT_EQ(release.range_end, 0x2000u);
+  f.sim->Destroy(obj, 4);
+}
+
+TEST(SimKernelTest, DisjointRangeHoldsOfOneInstanceCoexist) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  f.sim->AcquireRange(obj, f.range_member, 0x1000, 0x2000, 2);
+  f.sim->AcquireRange(obj, f.range_member, 0x3000, 0x4000, 3);  // Disjoint: legal.
+  f.sim->AcquireRange(obj, f.range_member, 0x2000, 0x3000, 4);  // Adjacent: legal.
+  f.sim->ReleaseRange(obj, f.range_member, 0x1000, 0x2000, 5);
+  f.sim->ReleaseRange(obj, f.range_member, 0x2000, 0x3000, 6);
+  f.sim->ReleaseRange(obj, f.range_member, 0x3000, 0x4000, 7);
+  f.sim->Destroy(obj, 8);
+}
+
+TEST(SimKernelTest, OverlappingSharedRangeHoldsCoexist) {
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  f.sim->AcquireRange(obj, f.range_member, 0x1000, 0x3000, 2, AcquireMode::kShared);
+  f.sim->AcquireRange(obj, f.range_member, 0x2000, 0x4000, 3, AcquireMode::kShared);
+  f.sim->ReleaseRange(obj, f.range_member, 0x2000, 0x4000, 4);
+  f.sim->ReleaseRange(obj, f.range_member, 0x1000, 0x3000, 5);
+  f.sim->Destroy(obj, 6);
+}
+
+TEST(SimKernelDeathTest, OverlappingExclusiveRangeHoldsAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  f.sim->AcquireRange(obj, f.range_member, 0x1000, 0x3000, 2);
+  // A second exclusive hold over an overlapping span would self-deadlock.
+  EXPECT_DEATH(f.sim->AcquireRange(obj, f.range_member, 0x2000, 0x4000, 3), "CHECK failed");
+}
+
+TEST(SimKernelDeathTest, ReleaseOfUnmatchedSpanAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  f.sim->AcquireRange(obj, f.range_member, 0x1000, 0x2000, 2);
+  // Releases must name the exact acquired span, not a sub-span.
+  EXPECT_DEATH(f.sim->ReleaseRange(obj, f.range_member, 0x1000, 0x1800, 3), "CHECK failed");
+}
+
+TEST(SimKernelDeathTest, EmptyRangeAcquireAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SimFixture f;
+  FunctionScope fn(*f.sim, "x.c", "f", 1, 10);
+  ObjectRef obj = f.sim->Create(f.type, kNoSubclass, 1);
+  EXPECT_DEATH(f.sim->AcquireRange(obj, f.range_member, 0x2000, 0x2000, 2), "CHECK failed");
 }
 
 TEST(SimKernelDeathTest, DoubleAcquireOfRealLockAborts) {

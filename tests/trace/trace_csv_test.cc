@@ -113,6 +113,46 @@ TEST(TraceCsvBundleTest, LosslessRoundTrip) {
   }
 }
 
+TEST(TraceCsvBundleTest, RangedEventsRoundTrip) {
+  Trace trace;
+  TraceEvent alloc;
+  alloc.kind = EventKind::kAlloc;
+  alloc.addr = 0x3000;
+  alloc.size = 64;
+  alloc.type = 5;
+  alloc.has_range = true;
+  alloc.range_start = 0x10000;
+  alloc.range_end = 0x18000;
+  trace.Append(alloc);
+  TraceEvent acquire;
+  acquire.kind = EventKind::kLockAcquire;
+  acquire.addr = 0x3010;
+  acquire.lock_type = LockType::kRangeLock;
+  acquire.has_range = true;
+  acquire.range_start = 0x12000;
+  acquire.range_end = 0x14000;
+  trace.Append(acquire);
+  TraceEvent plain;
+  plain.kind = EventKind::kMemWrite;
+  plain.addr = 0x3020;
+  plain.size = 8;
+  trace.Append(plain);
+
+  std::string dir = ::testing::TempDir() + "/lockdoc_csv_ranges";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(WriteTraceCsvBundle(trace, dir).ok());
+  auto restored = ReadTraceCsvBundle(dir);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored.value().size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& a = trace.event(i);
+    const TraceEvent& b = restored.value().event(i);
+    EXPECT_EQ(a.has_range, b.has_range) << "event " << i;
+    EXPECT_EQ(a.range_start, b.range_start) << "event " << i;
+    EXPECT_EQ(a.range_end, b.range_end) << "event " << i;
+  }
+}
+
 TEST(TraceCsvBundleTest, MissingDirectoryFails) {
   EXPECT_FALSE(ReadTraceCsvBundle("/nonexistent/lockdoc_bundle").ok());
 }

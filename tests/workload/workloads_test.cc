@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
 
@@ -99,6 +101,66 @@ TEST(WorkloadsTest, TraceIsBalanced) {
   TraceStats stats = ComputeTraceStats(result.trace);
   EXPECT_EQ(stats.lock_acquires, stats.lock_releases);
   EXPECT_EQ(stats.allocations, stats.deallocations);
+}
+
+TEST(WorkloadsTest, MmRunIsDeterministicAndBalanced) {
+  MixOptions options;
+  options.ops = 800;
+  options.seed = 5;
+  SimulationResult a = SimulateMmRun(options, FaultPlan{});
+  SimulationResult b = SimulateMmRun(options, FaultPlan{});
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  std::ostringstream sa;
+  std::ostringstream sb;
+  WriteTrace(a.trace, sa);
+  WriteTrace(b.trace, sb);
+  EXPECT_EQ(sa.str(), sb.str());
+  TraceStats stats = ComputeTraceStats(a.trace);
+  EXPECT_EQ(stats.lock_acquires, stats.lock_releases);
+  EXPECT_EQ(stats.allocations, stats.deallocations);
+}
+
+TEST(WorkloadsTest, MmRunUsesExtendedRegistryAndRanges) {
+  MixOptions options;
+  options.ops = 800;
+  options.seed = 5;
+  SimulationResult result = SimulateMmRun(options, FaultPlan{});
+  ASSERT_TRUE(result.ids.has_mm());
+  EXPECT_EQ(result.registry->type_count(), VfsBaseTypeCount() + 2);
+  bool saw_ranged_acquire = false;
+  bool saw_mm_alloc = false;
+  bool saw_vma_span = false;
+  for (size_t i = 0; i < result.trace.size(); ++i) {
+    const TraceEvent& e = result.trace.event(i);
+    if (e.kind == EventKind::kLockAcquire && e.has_range) {
+      EXPECT_EQ(e.lock_type, LockType::kRangeLock);
+      EXPECT_LT(e.range_start, e.range_end);
+      saw_ranged_acquire = true;
+    }
+    if (e.kind == EventKind::kAlloc && e.type == result.ids.mm_struct) {
+      saw_mm_alloc = true;
+    }
+    if (e.kind == EventKind::kAlloc && e.type == result.ids.vm_area_struct) {
+      EXPECT_TRUE(e.has_range);  // Every vma records its ground-truth span.
+      saw_vma_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_ranged_acquire);
+  EXPECT_TRUE(saw_mm_alloc);
+  EXPECT_TRUE(saw_vma_span);
+}
+
+TEST(WorkloadsTest, MmRunCleanPlanSuppressesFaults) {
+  MixOptions options;
+  options.ops = 800;
+  options.seed = 5;
+  SimulationResult faulty = SimulateMmRun(options, FaultPlan{});
+  SimulationResult clean = SimulateMmRun(options, FaultPlan::Clean());
+  std::ostringstream sf;
+  std::ostringstream sc;
+  WriteTrace(faulty.trace, sf);
+  WriteTrace(clean.trace, sc);
+  EXPECT_NE(sf.str(), sc.str());  // The seeded bugs change the trace.
 }
 
 }  // namespace

@@ -73,6 +73,7 @@
 #include "src/util/flags.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
+#include "src/vfs/mm_kernel.h"
 #include "src/vfs/vfs_kernel.h"
 #include "src/workload/script.h"
 #include "src/workload/workloads.h"
@@ -86,6 +87,7 @@ int Usage() {
                "usage: lockdoc <command> [args]\n"
                "commands:\n"
                "  simulate --out FILE [--ops N] [--seed S] [--clean] [--script FILE]\n"
+               "           [--workload vfs|mm]\n"
                "  import TRACE --out DB.lockdb\n"
                "  stats FILE\n"
                "  derive FILE [--tac T] [--type NAME [--subclass NAME]] [--spec] [--support]\n"
@@ -139,8 +141,41 @@ struct LoadedTrace {
   Trace trace;
 };
 
+// A trace from the mm (address-space) workload references the extended
+// registry: it allocates types past the base VFS set and/or carries ranged
+// events. Everything else — including every pre-existing archived trace —
+// loads against the base registry, keeping legacy analyses byte-identical.
+bool TraceNeedsMmRegistry(const Trace& trace) {
+  const size_t base_types = VfsBaseTypeCount();
+  for (const TraceEvent& e : trace.events()) {
+    if (e.has_range) {
+      return true;
+    }
+    if (e.kind == EventKind::kAlloc && e.type != kInvalidTypeId && e.type >= base_types) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// True when `registry` is the extended (mm) registry; used to append the mm
+// workload's documented rules without touching the base rule text.
+bool IsMmRegistry(const TypeRegistry& registry) {
+  return registry.type_count() > VfsBaseTypeCount();
+}
+
+// Picks the registry matching a .lockdb file by peeking at the recorded
+// type count. Errors fall back to the base registry: LoadSnapshot produces
+// the proper typed error for a damaged file.
+std::unique_ptr<TypeRegistry> RegistryForSnapshotFile(const std::string& path, VfsIds* ids) {
+  auto type_count = PeekSnapshotTypeCount(path);
+  if (type_count.ok() && type_count.value() > VfsBaseTypeCount()) {
+    return BuildVfsMmRegistry(ids);
+  }
+  return BuildVfsRegistry(ids);
+}
+
 bool LoadTraceFromPath(const std::string& path, const FlagSet& flags, LoadedTrace* out) {
-  out->registry = BuildVfsRegistry(&out->ids);
   TraceReadOptions options;
   options.salvage = flags.GetBool("salvage", false);
   // Strict reads fan frame CRCs and event decoding out over --jobs lanes;
@@ -165,6 +200,8 @@ bool LoadTraceFromPath(const std::string& path, const FlagSet& flags, LoadedTrac
                  static_cast<unsigned long long>(report.events_dropped));
   }
   out->trace = std::move(loaded).value();
+  out->registry = TraceNeedsMmRegistry(out->trace) ? BuildVfsMmRegistry(&out->ids)
+                                                   : BuildVfsRegistry(&out->ids);
   return true;
 }
 
@@ -188,31 +225,33 @@ struct AnalysisInput {
   bool from_snapshot = false;
 };
 
-bool LoadSnapshotFromPath(const std::string& path, const FlagSet& flags,
-                          const TypeRegistry& registry, AnalysisSnapshot* snapshot,
-                          PipelineTimings* timings, bool* from_snapshot) {
+// Loads `path` (trace or .lockdb) and the registry matching it into `out`.
+bool LoadSnapshotFromPath(const std::string& path, const FlagSet& flags, AnalysisInput* out) {
   if (IsSnapshotFile(path)) {
+    out->registry = RegistryForSnapshotFile(path, &out->ids);
     auto t0 = std::chrono::steady_clock::now();
-    auto loaded = LoadSnapshot(path, registry);
+    auto loaded = LoadSnapshot(path, *out->registry);
     if (!loaded.ok()) {
       std::fprintf(stderr, "lockdoc: %s\n", loaded.status().message().c_str());
       std::fprintf(stderr, "lockdoc: (try `lockdoc doctor %s`)\n", path.c_str());
       return false;
     }
-    *snapshot = std::move(loaded).value();
+    out->snapshot = std::move(loaded).value();
     std::error_code ec;
     uint64_t size = std::filesystem::file_size(path, ec);
-    timings->Add("snapshot load", SecondsBetween(t0, std::chrono::steady_clock::now()),
-                 ec ? 0 : size);
-    *from_snapshot = true;
+    out->timings.Add("snapshot load", SecondsBetween(t0, std::chrono::steady_clock::now()),
+                     ec ? 0 : size);
+    out->from_snapshot = true;
     return true;
   }
   LoadedTrace input;
   if (!LoadTraceFromPath(path, flags, &input)) {
     return false;
   }
-  *snapshot = BuildSnapshot(input.trace, registry, MakeOptions(flags), timings);
-  *from_snapshot = false;
+  out->ids = input.ids;
+  out->registry = std::move(input.registry);
+  out->snapshot = BuildSnapshot(input.trace, *out->registry, MakeOptions(flags), &out->timings);
+  out->from_snapshot = false;
   return true;
 }
 
@@ -221,9 +260,7 @@ bool LoadAnalysisInput(const FlagSet& flags, AnalysisInput* out) {
     std::fprintf(stderr, "lockdoc: missing input file (trace or .lockdb)\n");
     return false;
   }
-  out->registry = BuildVfsRegistry(&out->ids);
-  return LoadSnapshotFromPath(flags.positional()[1], flags, *out->registry, &out->snapshot,
-                              &out->timings, &out->from_snapshot);
+  return LoadSnapshotFromPath(flags.positional()[1], flags, out);
 }
 
 // The flags each command accepts. Anything else is a usage error (exit 64)
@@ -237,7 +274,7 @@ const std::map<std::string, std::set<std::string>>& CommandFlagTable() {
       return extra;
     };
     return new std::map<std::string, std::set<std::string>>{
-        {"simulate", {"out", "ops", "seed", "clean", "script"}},
+        {"simulate", {"out", "ops", "seed", "clean", "script", "workload"}},
         {"import", with({"out", "format"})},
         {"stats", {"salvage"}},
         {"derive", with({"tac", "type", "subclass", "spec", "support", "out-dir"})},
@@ -305,11 +342,16 @@ bool EmitTimings(const FlagSet& flags, const PipelineTimings& timings,
 }
 
 // Fills the per-pass knobs from CLI flags. The documented-rules text comes
-// from the simulated kernel unless --rules overrides it; only `derive`
-// routes --out-dir to the documentation-bundle writer (for `analyze`,
-// --out-dir means per-pass output files instead).
-bool FillPassOptions(const std::string& command, const FlagSet& flags, PassOptions* pass) {
+// from the simulated kernel unless --rules overrides it (mm inputs append
+// the mm workload's rules to the base text); only `derive` routes --out-dir
+// to the documentation-bundle writer (for `analyze`, --out-dir means
+// per-pass output files instead).
+bool FillPassOptions(const std::string& command, const FlagSet& flags, bool mm_input,
+                     PassOptions* pass) {
   pass->documented_rules_text = VfsKernel::DocumentedRulesText();
+  if (mm_input) {
+    pass->documented_rules_text += MmKernel::DocumentedRulesText();
+  }
   std::string rules_path = flags.GetString("rules", "");
   if (!rules_path.empty()) {
     std::ifstream in(rules_path);
@@ -347,7 +389,7 @@ int RunPassCommand(const std::string& command, const FlagSet& flags) {
   }
   AnalysisOptions options;
   options.pipeline = MakeOptions(flags);
-  if (!FillPassOptions(command, flags, &options.pass)) {
+  if (!FillPassOptions(command, flags, IsMmRegistry(*input.registry), &options.pass)) {
     return 1;
   }
   AnalysisContext context(&input.snapshot, input.registry.get(), std::move(options),
@@ -373,8 +415,21 @@ int CmdSimulate(const FlagSet& flags) {
   }
   FaultPlan plan = flags.GetBool("clean", false) ? FaultPlan::Clean() : FaultPlan{};
 
+  // --workload mm: the address-space workload (range-locked mmap_lock over
+  // vma spans) instead of the default VFS mix.
+  std::string workload = flags.GetString("workload", "vfs");
+  if (workload != "vfs" && workload != "mm") {
+    std::fprintf(stderr, "lockdoc simulate: --workload must be vfs or mm (got '%s')\n",
+                 workload.c_str());
+    return 64;
+  }
+
   // --script FILE: run an exact operation sequence instead of the mix.
   std::string script_path = flags.GetString("script", "");
+  if (workload == "mm" && !script_path.empty()) {
+    std::fprintf(stderr, "lockdoc simulate: --script drives the vfs workload only\n");
+    return 64;
+  }
   if (!script_path.empty()) {
     std::ifstream in(script_path);
     if (!in) {
@@ -414,7 +469,7 @@ int CmdSimulate(const FlagSet& flags) {
   MixOptions mix;
   mix.ops = flags.GetUint64("ops", 20000);
   mix.seed = flags.GetUint64("seed", 1);
-  SimulationResult sim = SimulateKernelRun(mix, plan);
+  SimulationResult sim = workload == "mm" ? SimulateMmRun(mix, plan) : SimulateKernelRun(mix, plan);
   Status status = WriteTraceToFile(sim.trace, out);
   if (!status.ok()) {
     std::fprintf(stderr, "lockdoc: %s\n", status.message().c_str());
@@ -478,7 +533,7 @@ int CmdStats(const FlagSet& flags) {
   const std::string& path = flags.positional()[1];
   if (IsSnapshotFile(path)) {
     VfsIds ids;
-    std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
+    std::unique_ptr<TypeRegistry> registry = RegistryForSnapshotFile(path, &ids);
     auto loaded = LoadSnapshot(path, *registry);
     if (!loaded.ok()) {
       std::fprintf(stderr, "lockdoc: %s\n", loaded.status().message().c_str());
@@ -505,34 +560,30 @@ int CmdDiff(const FlagSet& flags) {
   }
   const AnalysisPass* pass = PassRegistry::Default().Find("diff");
   LOCKDOC_CHECK(pass != nullptr);
-  VfsIds ids;
-  std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
 
-  AnalysisSnapshot old_snapshot;
-  PipelineTimings old_timings;
-  bool from_snapshot = false;
-  if (!LoadSnapshotFromPath(flags.positional()[1], flags, *registry, &old_snapshot,
-                            &old_timings, &from_snapshot)) {
+  // Each side picks its own registry (a base-VFS OLD can be diffed against
+  // an mm NEW; class names render identically across both).
+  AnalysisInput old_input;
+  if (!LoadSnapshotFromPath(flags.positional()[1], flags, &old_input)) {
     return 1;
   }
   AnalysisOptions baseline_options;
   baseline_options.pipeline = MakeOptions(flags);
-  AnalysisContext baseline(&old_snapshot, registry.get(), std::move(baseline_options),
-                           &old_timings);
+  AnalysisContext baseline(&old_input.snapshot, old_input.registry.get(),
+                           std::move(baseline_options), &old_input.timings);
 
-  AnalysisSnapshot new_snapshot;
-  PipelineTimings new_timings;
-  if (!LoadSnapshotFromPath(flags.positional()[2], flags, *registry, &new_snapshot,
-                            &new_timings, &from_snapshot)) {
+  AnalysisInput new_input;
+  if (!LoadSnapshotFromPath(flags.positional()[2], flags, &new_input)) {
     return 1;
   }
   AnalysisOptions options;
   options.pipeline = MakeOptions(flags);
-  if (!FillPassOptions("diff", flags, &options.pass)) {
+  if (!FillPassOptions("diff", flags, IsMmRegistry(*new_input.registry), &options.pass)) {
     return 1;
   }
   options.pass.baseline = &baseline;
-  AnalysisContext context(&new_snapshot, registry.get(), std::move(options), &new_timings);
+  AnalysisContext context(&new_input.snapshot, new_input.registry.get(), std::move(options),
+                          &new_input.timings);
 
   PassOutput out;
   Status status = pass->Run(context, out);
@@ -542,8 +593,8 @@ int CmdDiff(const FlagSet& flags) {
   }
   // Two timing blocks (OLD then NEW) as before the pass framework; the JSON
   // file gets the NEW input's timings.
-  if (!EmitTimings(flags, old_timings, /*write_json=*/false) ||
-      !EmitTimings(flags, new_timings)) {
+  if (!EmitTimings(flags, old_input.timings, /*write_json=*/false) ||
+      !EmitTimings(flags, new_input.timings)) {
     return 1;
   }
   std::fwrite(out.text.data(), 1, out.text.size(), stdout);
@@ -604,25 +655,23 @@ int CmdAnalyze(const FlagSet& flags) {
   }
   AnalysisOptions options;
   options.pipeline = MakeOptions(flags);
-  if (!FillPassOptions("analyze", flags, &options.pass)) {
+  if (!FillPassOptions("analyze", flags, IsMmRegistry(*input.registry), &options.pass)) {
     return 1;
   }
 
-  // The OLD side for the diff pass, sharing the main input's registry.
-  AnalysisSnapshot baseline_snapshot;
-  PipelineTimings baseline_timings;
+  // The OLD side for the diff pass, with its own matching registry.
+  AnalysisInput baseline_input;
   std::unique_ptr<AnalysisContext> baseline;
   if (has_baseline) {
-    bool from_snapshot = false;
-    if (!LoadSnapshotFromPath(flags.GetString("baseline", ""), flags, *input.registry,
-                              &baseline_snapshot, &baseline_timings, &from_snapshot)) {
+    if (!LoadSnapshotFromPath(flags.GetString("baseline", ""), flags, &baseline_input)) {
       return 1;
     }
     AnalysisOptions baseline_options;
     baseline_options.pipeline = MakeOptions(flags);
-    baseline = std::make_unique<AnalysisContext>(&baseline_snapshot, input.registry.get(),
+    baseline = std::make_unique<AnalysisContext>(&baseline_input.snapshot,
+                                                 baseline_input.registry.get(),
                                                  std::move(baseline_options),
-                                                 &baseline_timings);
+                                                 &baseline_input.timings);
     options.pass.baseline = baseline.get();
   }
 
@@ -654,7 +703,7 @@ int CmdAnalyze(const FlagSet& flags) {
       ++files_written;
     }
   }
-  if (baseline != nullptr && !EmitTimings(flags, baseline_timings, /*write_json=*/false)) {
+  if (baseline != nullptr && !EmitTimings(flags, baseline_input.timings, /*write_json=*/false)) {
     return 1;
   }
   if (!EmitTimings(flags, input.timings)) {
@@ -742,7 +791,7 @@ int DoctorSnapshot(const std::string& path, const std::string& repair_out) {
   }
 
   VfsIds ids;
-  std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
+  std::unique_ptr<TypeRegistry> registry = RegistryForSnapshotFile(path, &ids);
   auto loaded = DeserializeSnapshot(bytes, *registry);
   if (!loaded.ok()) {
     std::printf("%s: sections intact but payload invalid\n", path.c_str());
@@ -897,6 +946,8 @@ int CmdServe(const FlagSet& flags) {
   }
   options.pipeline.filter = VfsKernel::MakeFilterConfig();
   options.documented_rules_text = VfsKernel::DocumentedRulesText();
+  options.extended_documented_rules_text =
+      VfsKernel::DocumentedRulesText() + MmKernel::DocumentedRulesText();
 
   SpoolLayout layout = MakeSpoolLayout(flags.positional()[1], flags.GetString("state", ""));
   if (Status status = EnsureSpoolLayout(layout); !status.ok()) {
@@ -906,7 +957,9 @@ int CmdServe(const FlagSet& flags) {
 
   VfsIds ids;
   std::unique_ptr<TypeRegistry> registry = BuildVfsRegistry(&ids);
-  ServeService service(layout, registry.get(), std::move(options));
+  VfsIds mm_ids;
+  std::unique_ptr<TypeRegistry> mm_registry = BuildVfsMmRegistry(&mm_ids);
+  ServeService service(layout, registry.get(), std::move(options), mm_registry.get());
   if (Status status = service.Recover(); !status.ok()) {
     std::fprintf(stderr, "lockdoc serve: recovery: %s\n", status.message().c_str());
     return 1;
