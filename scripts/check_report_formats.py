@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate lockdoc report renderings using only the standard library.
+
+Usage:
+    check_report_formats.py json FILE...   # parses + schema-shape check
+    check_report_formats.py html FILE...   # tag-balance well-formedness check
+
+Exit 0 when every file passes, 1 with a diagnostic on the first failure.
+Used by tests/cli/report_format_test.sh and the CI workflow.
+"""
+
+import json
+import sys
+from html.parser import HTMLParser
+
+SCHEMA = "lockdoc-report-v1"
+NODE_TYPES = {"text", "table", "counterexample-group"}
+
+# Elements that never take a closing tag (the renderer emits a few of these).
+VOID_ELEMENTS = {"br", "hr", "meta", "link", "img", "input", "col", "base"}
+
+
+def check_json(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("pass"), str) or not doc["pass"]:
+        raise ValueError("missing or empty 'pass'")
+    sections = doc.get("sections")
+    if not isinstance(sections, list):
+        raise ValueError("'sections' is not a list")
+    for section in sections:
+        if not isinstance(section.get("id"), str):
+            raise ValueError("section without string 'id'")
+        nodes = section.get("nodes")
+        if not isinstance(nodes, list):
+            raise ValueError(f"section {section['id']}: 'nodes' is not a list")
+        for node in nodes:
+            kind = node.get("type")
+            if kind not in NODE_TYPES:
+                raise ValueError(f"section {section['id']}: bad node type {kind!r}")
+            if kind == "table":
+                if not isinstance(node.get("columns"), list):
+                    raise ValueError("table node without 'columns'")
+                width = len(node["columns"])
+                for row in node.get("rows", []):
+                    if len(row) != width:
+                        raise ValueError(
+                            f"table {node.get('id')}: row width {len(row)} != {width}")
+            elif kind == "counterexample-group":
+                for key in ("rank", "member", "access", "rule", "events"):
+                    if key not in node:
+                        raise ValueError(f"counterexample-group missing {key!r}")
+                nearest = node.get("nearest_complying", "absent")
+                if nearest == "absent":
+                    raise ValueError("counterexample-group missing 'nearest_complying'")
+                if nearest is not None and "distance" not in nearest:
+                    raise ValueError("nearest_complying without 'distance'")
+
+
+class TagBalanceChecker(HTMLParser):
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in VOID_ELEMENTS:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if not self.stack:
+            raise ValueError(f"closing </{tag}> with no open element")
+        top = self.stack.pop()
+        if top != tag:
+            raise ValueError(f"mismatched </{tag}>, open element is <{top}>")
+
+
+def check_html(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if not text.startswith("<!DOCTYPE html>"):
+        raise ValueError("missing <!DOCTYPE html> preamble")
+    checker = TagBalanceChecker()
+    checker.feed(text)
+    checker.close()
+    if checker.stack:
+        raise ValueError(f"unclosed elements at EOF: {checker.stack}")
+
+
+def main(argv):
+    if len(argv) < 3 or argv[1] not in ("json", "html"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    check = check_json if argv[1] == "json" else check_html
+    for path in argv[2:]:
+        try:
+            check(path)
+        except Exception as error:  # diagnostic + fail; any defect is fatal
+            print(f"FAIL {path}: {error}", file=sys.stderr)
+            return 1
+        print(f"ok {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/core/derivator.h"
+#include "src/core/filter_config.h"
 #include "src/core/lock_order.h"
 #include "src/core/observations.h"
 #include "src/core/pipeline.h"
@@ -64,6 +65,10 @@ struct PassOptions {
   std::string doc_subclass;
   // derive: write the full documentation bundle here instead of stdout.
   std::string doc_out_dir;
+  // violations / report: blacklist applied to the counterexample forensics,
+  // with suppressed counts reported (never silent). Null: no suppression,
+  // keeping default output byte-identical to the pre-forensics renderer.
+  std::shared_ptr<const FilterConfig> forensics_filter;
   // diff: the OLD side of the comparison. Not owned.
   AnalysisContext* baseline = nullptr;
 };

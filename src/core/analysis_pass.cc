@@ -11,6 +11,7 @@
 #include "src/core/rule_checker.h"
 #include "src/core/rule_diff.h"
 #include "src/core/violation_finder.h"
+#include "src/report/render_text.h"
 #include "src/util/stats.h"
 #include "src/util/string_util.h"
 
@@ -33,8 +34,8 @@ class CheckPass : public AnalysisPass {
     return "validate documented locking rules against the trace";
   }
 
-  Status Run(AnalysisContext& context, const PassOptions& opts,
-             PassOutput& out) const override {
+  Status Build(AnalysisContext& context, const PassOptions& opts,
+               ReportDocument& doc) const override {
     auto rules = RuleSet::ParseText(opts.documented_rules_text);
     if (!rules.ok()) {
       return rules.status();
@@ -44,22 +45,32 @@ class CheckPass : public AnalysisPass {
     auto t0 = Clock::now();
     std::vector<RuleCheckResult> checked = checker.CheckAll(rules.value(), &context.pool());
     context.timings().Add("rule checking", Seconds(t0, Clock::now()), rules.value().size());
+    ReportSection& section = AddSection(doc, "rule-check");
     for (const RuleCheckResult& r : checked) {
-      out.text += StrFormat("%s  %-70s sr=%7s (%llu/%llu)\n",
-                            std::string(RuleVerdictSymbol(r.verdict)).c_str(),
-                            r.rule.ToString().c_str(),
-                            r.total == 0 ? "n/a" : FormatPercent(r.sr).c_str(),
-                            static_cast<unsigned long long>(r.sa),
-                            static_cast<unsigned long long>(r.total));
+      std::string verdict(RuleVerdictSymbol(r.verdict));
+      std::string sr = r.total == 0 ? "n/a" : FormatPercent(r.sr);
+      ReportNode& node = AddTextNode(
+          section, "rule-verdict",
+          StrFormat("%s  %-70s sr=%7s (%llu/%llu)\n", verdict.c_str(),
+                    r.rule.ToString().c_str(), sr.c_str(),
+                    static_cast<unsigned long long>(r.sa),
+                    static_cast<unsigned long long>(r.total)));
+      node.fields = {{"verdict", verdict},
+                     {"rule", r.rule.ToString()},
+                     {"sr", sr},
+                     {"sa", std::to_string(r.sa)},
+                     {"total", std::to_string(r.total)}};
     }
-    TextTable table({"Data Type", "#R", "#No", "#Ob", "! (%)", "~ (%)", "# (%)"});
+    AddDecoration(section, "\n");
+    ReportNode& table = AddTable(
+        section, "check-summary",
+        {"Data Type", "#R", "#No", "#Ob", "! (%)", "~ (%)", "# (%)"});
     for (const RuleCheckSummary& s : RuleChecker::Summarize(checked)) {
-      table.AddRow({s.type_name, std::to_string(s.documented), std::to_string(s.unobserved),
-                    std::to_string(s.observed), StrFormat("%.2f", s.correct_pct()),
-                    StrFormat("%.2f", s.ambivalent_pct()),
-                    StrFormat("%.2f", s.incorrect_pct())});
+      table.table.rows.push_back(
+          {s.type_name, std::to_string(s.documented), std::to_string(s.unobserved),
+           std::to_string(s.observed), StrFormat("%.2f", s.correct_pct()),
+           StrFormat("%.2f", s.ambivalent_pct()), StrFormat("%.2f", s.incorrect_pct())});
     }
-    out.text += StrFormat("\n%s", table.ToString().c_str());
     return Status::Ok();
   }
 };
@@ -73,10 +84,11 @@ class DerivePass : public AnalysisPass {
     return "mine winning rules and render generated documentation";
   }
 
-  Status Run(AnalysisContext& context, const PassOptions& opts,
-             PassOutput& out) const override {
+  Status Build(AnalysisContext& context, const PassOptions& opts,
+               ReportDocument& doc) const override {
     const std::vector<DerivationResult>& rules = context.rules();
     const TypeRegistry& registry = context.registry();
+    ReportSection& section = AddSection(doc, "documentation");
 
     DocGenOptions doc_options;
     doc_options.include_support = opts.doc_support;
@@ -89,8 +101,12 @@ class DerivePass : public AnalysisPass {
       if (!written.ok()) {
         return written.status();
       }
-      out.text += StrFormat("wrote %zu documentation files to %s\n", written.value(),
-                            opts.doc_out_dir.c_str());
+      ReportNode& node = AddTextNode(
+          section, "bundle",
+          StrFormat("wrote %zu documentation files to %s\n", written.value(),
+                    opts.doc_out_dir.c_str()));
+      node.fields = {{"files", std::to_string(written.value())},
+                     {"dir", opts.doc_out_dir}};
       return Status::Ok();
     }
 
@@ -119,7 +135,10 @@ class DerivePass : public AnalysisPass {
           }
         }
         if (has_rules) {
-          out.text += StrFormat("%s\n", text.c_str());
+          ReportNode& node =
+              AddTextNode(section, "population", StrFormat("%s\n", text.c_str()));
+          node.fields = {{"type", type_name},
+                         {"population", registry.QualifiedName(type, sub)}};
         }
       }
     }
@@ -136,8 +155,8 @@ class ViolationsPass : public AnalysisPass {
     return "find accesses violating the mined winning rules";
   }
 
-  Status Run(AnalysisContext& context, const PassOptions& opts,
-             PassOutput& out) const override {
+  Status Build(AnalysisContext& context, const PassOptions& opts,
+               ReportDocument& doc) const override {
     const std::vector<DerivationResult>& rules = context.rules();
     ViolationFinder finder(&context.db(), &context.registry(), &context.observations(),
                            &context.member_access_index(), &context.lock_postings());
@@ -145,19 +164,21 @@ class ViolationsPass : public AnalysisPass {
     std::vector<Violation> violations = finder.FindAll(rules, &context.pool());
     context.timings().Add("violation finding", Seconds(t0, Clock::now()), rules.size());
 
-    TextTable table({"Data Type", "Events", "Members", "Contexts"});
+    ReportSection& section = AddSection(doc, "violations");
+    ReportNode& table = AddTable(section, "violation-summary",
+                                 {"Data Type", "Events", "Members", "Contexts"});
     for (const ViolationSummaryRow& row : finder.Summarize(violations)) {
-      table.AddRow({row.type_name, std::to_string(row.events), std::to_string(row.members),
-                    std::to_string(row.contexts)});
+      table.table.rows.push_back({row.type_name, std::to_string(row.events),
+                                  std::to_string(row.members),
+                                  std::to_string(row.contexts)});
     }
-    out.text += StrFormat("%s\n", table.ToString().c_str());
-    for (const ViolationExample& ex :
-         finder.Examples(violations, opts.violation_limit)) {
-      out.text += StrFormat(
-          "%s [%s]\n  rule: %s\n  held: %s\n  at %s (%llu events)\n  stack: %s\n\n",
-          ex.member.c_str(), ex.access.c_str(), ex.rule.c_str(), ex.held.c_str(),
-          ex.location.c_str(), static_cast<unsigned long long>(ex.events), ex.stack.c_str());
+    AddDecoration(section, "\n");
+    ViolationForensics forensics = finder.Forensics(violations, opts.violation_limit,
+                                                    opts.forensics_filter.get());
+    for (CexGroupData& group : forensics.groups) {
+      AddCexGroup(section, std::move(group));
     }
+    AppendForensicsNotes(section, forensics, /*report_style=*/false);
     return Status::Ok();
   }
 };
@@ -171,17 +192,20 @@ class LockOrderPass : public AnalysisPass {
     return "report the lock-ordering graph and potential deadlock cycles";
   }
 
-  Status Run(AnalysisContext& context, const PassOptions& /*opts*/,
-             PassOutput& out) const override {
+  Status Build(AnalysisContext& context, const PassOptions& /*opts*/,
+               ReportDocument& doc) const override {
     const LockOrderGraph& graph = context.lock_order_graph();
-    out.text += StrFormat("%s\n", graph.Report(context.db()).c_str());
-    out.text += "potential deadlock cycles:\n";
+    ReportSection& section = AddSection(doc, "lock-order");
+    AddTextNode(section, "graph", StrFormat("%s\n", graph.Report(context.db()).c_str()));
+    AddTextNode(section, "cycles-header", "potential deadlock cycles:\n");
     auto cycles = graph.FindCycles();
     if (cycles.empty()) {
-      out.text += "  none\n";
+      AddTextNode(section, "no-cycles", "  none\n");
     }
     for (const LockOrderCycle& cycle : cycles) {
-      out.text += StrFormat("  %s\n", cycle.ToString().c_str());
+      ReportNode& node =
+          AddTextNode(section, "cycle", StrFormat("  %s\n", cycle.ToString().c_str()));
+      node.fields = {{"path", cycle.ToString()}};
     }
     return Status::Ok();
   }
@@ -196,18 +220,29 @@ class ModesPass : public AnalysisPass {
     return "report reader/writer acquisition modes of the winning rules";
   }
 
-  Status Run(AnalysisContext& context, const PassOptions& opts,
-             PassOutput& out) const override {
+  Status Build(AnalysisContext& context, const PassOptions& opts,
+               ReportDocument& doc) const override {
     const std::vector<DerivationResult>& rules = context.rules();
     bool all = opts.modes_all;
-    ModeAnalyzer analyzer(&context.db(), &context.registry(), &context.observations(),
+    const TypeRegistry& registry = context.registry();
+    ModeAnalyzer analyzer(&context.db(), &registry, &context.observations(),
                           &context.member_access_index(), &context.lock_postings());
     auto entries = all ? analyzer.Analyze(rules) : analyzer.FindSharedModeWrites(rules);
+    ReportSection& section = AddSection(doc, "modes");
     if (entries.empty()) {
-      out.text += StrFormat("no %s found\n", all ? "lock rules" : "shared-mode writes");
+      AddTextNode(section, "empty",
+                  StrFormat("no %s found\n", all ? "lock rules" : "shared-mode writes"));
       return Status::Ok();
     }
-    out.text += analyzer.Render(entries);
+    for (const ModeReportEntry& entry : entries) {
+      ReportNode& node = AddTextNode(section, "mode-entry", analyzer.RenderEntry(entry));
+      node.fields = {
+          {"member", registry.QualifiedName(entry.key.type, entry.key.subclass) + "." +
+                         registry.layout(entry.key.type).member(entry.key.member).name},
+          {"access", std::string(AccessTypeName(entry.access))},
+          {"rule", LockSeqToString(entry.rule)},
+          {"suspicious", entry.suspicious ? "true" : "false"}};
+    }
     return Status::Ok();
   }
 };
@@ -221,12 +256,17 @@ class ReportPass : public AnalysisPass {
     return "render the complete analysis report";
   }
 
-  Status Run(AnalysisContext& context, const PassOptions& opts,
-             PassOutput& out) const override {
+  Status Build(AnalysisContext& context, const PassOptions& opts,
+               ReportDocument& doc) const override {
     ReportOptions options;
     options.documented_rules_text = opts.documented_rules_text;
     options.full_documentation = opts.report_full;
-    out.text += RenderReport(context, options);
+    options.max_violation_examples = opts.violation_limit;
+    options.forensics_filter = opts.forensics_filter;
+    ReportDocument report = BuildReportDocument(context, options);
+    for (ReportSection& section : report.sections) {
+      doc.sections.push_back(std::move(section));
+    }
     return Status::Ok();
   }
 };
@@ -240,8 +280,8 @@ class DiffPass : public AnalysisPass {
     return "diff winning rules against a baseline input";
   }
 
-  Status Run(AnalysisContext& context, const PassOptions& opts,
-             PassOutput& out) const override {
+  Status Build(AnalysisContext& context, const PassOptions& opts,
+               ReportDocument& doc) const override {
     AnalysisContext* baseline = opts.baseline;
     if (baseline == nullptr) {
       return Status::Error("the diff pass needs a baseline input (--baseline OLD)");
@@ -249,16 +289,33 @@ class DiffPass : public AnalysisPass {
     RuleDiffOptions diff_options;
     diff_options.include_unchanged = opts.diff_all;
     auto drifts = DiffRules(baseline->rules(), context.rules(), diff_options);
+    ReportSection& section = AddSection(doc, "rule-diff");
     if (drifts.empty()) {
-      out.text += "no rule drift\n";
+      AddTextNode(section, "no-drift", "no rule drift\n");
       return Status::Ok();
     }
-    out.text += RenderRuleDiff(drifts, context.registry());
+    ReportNode& node =
+        AddTextNode(section, "drift", RenderRuleDiff(drifts, context.registry()));
+    node.fields = {{"drifts", std::to_string(drifts.size())}};
     return Status::Ok();
   }
 };
 
 }  // namespace
+
+Status AnalysisPass::Run(AnalysisContext& context, const PassOptions& opts,
+                         PassOutput& out) const {
+  out.doc = ReportDocument{};
+  out.doc.pass = std::string(name());
+  out.text.clear();
+  Status status = Build(context, opts, out.doc);
+  if (status.ok()) {
+    // The byte-compat contract: `text` is exactly what the pre-IR pass
+    // printed, regenerated from the document by the pinned text renderer.
+    out.text = RenderReportText(out.doc);
+  }
+  return status;
+}
 
 Status ApplyPassOption(PassOptions& opts, std::string_view key, std::string_view value) {
   auto bad = [&key](const char* what) {

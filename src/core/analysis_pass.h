@@ -19,13 +19,17 @@
 #include <vector>
 
 #include "src/core/analysis_context.h"
+#include "src/report/ir.h"
 #include "src/util/status.h"
 
 namespace lockdoc {
 
-// What one pass produced: the exact bytes the standalone CLI command would
-// have written to stdout.
+// What one pass produced: the structured report document, plus its text
+// rendering — the exact bytes the standalone CLI command would have written
+// to stdout before the IR existed (the byte-compat contract lives in
+// src/report/render_text.*). Non-text formats render from `doc`.
 struct PassOutput {
+  ReportDocument doc;
   std::string text;
 };
 
@@ -42,23 +46,28 @@ class AnalysisPass {
   virtual std::string_view description() const = 0;
 
   // Runs the pass against `context` with `opts` as the per-run knobs,
-  // appending nothing to stdout itself: all user-visible bytes go into
-  // `out.text`. Phase timings (e.g. "rule checking") are appended to
-  // context.timings(). An error status maps to the standalone command's
-  // failure path (message to stderr, exit 1).
+  // appending nothing to stdout itself: the pass builds `out.doc` (via
+  // Build) and Run fills `out.text` with its text rendering. Phase timings
+  // (e.g. "rule checking") are appended to context.timings(). An error
+  // status maps to the standalone command's failure path (message to
+  // stderr, exit 1).
   //
   // Options are a per-run parameter — not context state — so several
   // requests can run passes over one shared context concurrently, each with
   // its own knobs (the serve scheduler relies on this; the shared indexes a
   // pass pulls are option-independent and memoized thread-safely).
-  virtual Status Run(AnalysisContext& context, const PassOptions& opts,
-                     PassOutput& out) const = 0;
+  Status Run(AnalysisContext& context, const PassOptions& opts, PassOutput& out) const;
 
   // Convenience for single-request callers (CLI, tests): runs with the
   // options baked into the context at construction time.
   Status Run(AnalysisContext& context, PassOutput& out) const {
     return Run(context, context.pass_options(), out);
   }
+
+ protected:
+  // Builds the pass's report document. `doc.pass` is pre-set to name().
+  virtual Status Build(AnalysisContext& context, const PassOptions& opts,
+                       ReportDocument& doc) const = 0;
 };
 
 // Applies one textual key=value knob onto PassOptions — the shared plumbing

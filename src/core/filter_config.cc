@@ -1,5 +1,8 @@
 #include "src/core/filter_config.h"
 
+#include "src/util/file_io.h"
+#include "src/util/string_util.h"
+
 namespace lockdoc {
 
 FilterConfig FilterConfig::Defaults() {
@@ -13,6 +16,74 @@ FilterConfig FilterConfig::Defaults() {
       "clear_bit",        "test_and_set_bit",  "test_and_clear_bit",
   };
   return config;
+}
+
+Result<FilterConfig> ParseFilterConfigText(std::string_view text) {
+  FilterConfig config;
+  std::set<std::string>* section = nullptr;
+  size_t line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    std::string_view raw = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_number;
+    std::string line = std::string(Trim(raw));
+    // Strip trailing comments; a '#' only ever introduces one.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = std::string(Trim(line.substr(0, hash)));
+    }
+    if (line.empty()) {
+      continue;
+    }
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return Status::Error(StrFormat("filter config line %zu: unterminated section header",
+                                       line_number));
+      }
+      std::string name = line.substr(1, line.size() - 2);
+      if (name == "init-teardown-functions") {
+        section = &config.init_teardown_functions;
+      } else if (name == "ignored-functions") {
+        section = &config.ignored_functions;
+      } else if (name == "blacklisted-members") {
+        section = &config.blacklisted_members;
+      } else {
+        return Status::Error(StrFormat(
+            "filter config line %zu: unknown section '[%s]' (expected "
+            "[init-teardown-functions], [ignored-functions] or [blacklisted-members])",
+            line_number, name.c_str()));
+      }
+      continue;
+    }
+    if (section == nullptr) {
+      return Status::Error(StrFormat(
+          "filter config line %zu: name '%s' before any section header", line_number,
+          line.c_str()));
+    }
+    for (char c : line) {
+      if (c == ' ' || c == '\t' || c == '=') {
+        return Status::Error(StrFormat(
+            "filter config line %zu: '%s' is not a single name (one name per line)",
+            line_number, line.c_str()));
+      }
+    }
+    section->insert(line);
+  }
+  return config;
+}
+
+Result<FilterConfig> LoadFilterConfigFile(const std::string& path) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) {
+    return Status::Error(StrFormat("filter config %s: %s", path.c_str(),
+                                   text.status().message().c_str()));
+  }
+  return ParseFilterConfigText(text.value());
 }
 
 }  // namespace lockdoc

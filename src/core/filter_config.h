@@ -4,12 +4,30 @@
 // global black list of helper functions whose accesses deliberately bypass
 // locking (atomic_read() and friends). Member-level filtering (atomic_t
 // members, lock members, out-of-scope members) is encoded in the type
-// layouts themselves.
+// layouts themselves; `blacklisted_members` adds a per-run overlay consumed
+// by the violation forensics, which reports — never silently drops — what
+// it suppressed.
+//
+// A configuration is loadable from a file: one name per line under
+// bracketed section headers, with '#' comments and blank lines ignored.
+//
+//   [ignored-functions]
+//   atomic_read
+//   [init-teardown-functions]
+//   inode_init_once
+//   [blacklisted-members]
+//   inode.i_count           # type.member, or qualified inode:ext4.i_count
+//
+// Parse failures are typed errors naming the line (the CLI maps them to
+// exit 64, like any other usage error).
 #ifndef SRC_CORE_FILTER_CONFIG_H_
 #define SRC_CORE_FILTER_CONFIG_H_
 
 #include <set>
 #include <string>
+#include <string_view>
+
+#include "src/util/status.h"
 
 namespace lockdoc {
 
@@ -20,10 +38,23 @@ struct FilterConfig {
   // Accesses with any of these functions on the call stack are filtered as
   // kBlacklistedFn. The paper's list has 58 globally ignored functions.
   std::set<std::string> ignored_functions;
+  // Members whose counterexample groups the forensics suppresses (with
+  // suppressed-count accounting). Entries are "type.member" or the
+  // subclass-qualified "type:subclass.member".
+  std::set<std::string> blacklisted_members;
 
   // The default global ignore list every configuration starts from.
   static FilterConfig Defaults();
 };
+
+// Parses the sectioned one-name-per-line format above into a FilterConfig
+// starting from an EMPTY config (not Defaults()), so a file fully describes
+// the resulting lists. Errors name the offending line.
+Result<FilterConfig> ParseFilterConfigText(std::string_view text);
+
+// ParseFilterConfigText over the file's contents; unreadable files are
+// errors naming the path.
+Result<FilterConfig> LoadFilterConfigFile(const std::string& path);
 
 }  // namespace lockdoc
 

@@ -1,0 +1,37 @@
+// Held-lock classification shared by the mode analysis and the violation
+// forensics: the locks a transaction held, in acquisition order, each
+// classified into a LockClass relative to the accessed allocation (same
+// scoping as the rule notation) and carrying its acquisition mode and
+// source site from the txn_locks table. The trace records no acquisition
+// stacks, so the site is a (file_sid, line) pair, not a frame list.
+#ifndef SRC_CORE_HELD_LOCKS_H_
+#define SRC_CORE_HELD_LOCKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/model/lock_class.h"
+#include "src/model/lock_type.h"
+#include "src/model/type_registry.h"
+
+namespace lockdoc {
+
+struct HeldLockInfo {
+  LockClass lock_class;
+  AcquireMode mode = AcquireMode::kExclusive;
+  uint64_t file_sid = 0;  // Acquisition site.
+  uint64_t line = 0;
+};
+
+// The locks held by transaction `txn`, classified relative to
+// `access_alloc` (EMBSAME when the lock lives in the accessed allocation,
+// EMBOTHER when in another instance, global otherwise), in acquisition
+// order. An unnamed static lock renders as "lock@0x<addr>".
+std::vector<HeldLockInfo> ClassifyHeldLocks(const Database& db,
+                                            const TypeRegistry& registry, uint64_t txn,
+                                            uint64_t access_alloc);
+
+}  // namespace lockdoc
+
+#endif  // SRC_CORE_HELD_LOCKS_H_

@@ -2,20 +2,12 @@
 
 #include <algorithm>
 
+#include "src/core/held_locks.h"
 #include "src/db/schema.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
 namespace lockdoc {
-namespace {
-
-// One held lock of a transaction, classified relative to an allocation.
-struct HeldClass {
-  LockClass lock_class;
-  AcquireMode mode = AcquireMode::kExclusive;
-};
-
-}  // namespace
 
 ModeAnalyzer::ModeAnalyzer(const Database* db, const TypeRegistry* registry,
                            const ObservationStore* store,
@@ -31,52 +23,6 @@ ModeAnalyzer::ModeAnalyzer(const Database* db, const TypeRegistry* registry,
 
 std::vector<ModeReportEntry> ModeAnalyzer::Analyze(
     const std::vector<DerivationResult>& results) const {
-  const Table& txn_locks = db_->table(LockDocSchema::kTxnLocks);
-  const Table& locks = db_->table(LockDocSchema::kLocks);
-  const Table& members = db_->table(LockDocSchema::kMembers);
-  const size_t kTlTxn = txn_locks.ColumnIndex("txn_id");
-  const size_t kTlPos = txn_locks.ColumnIndex("position");
-  const size_t kTlLock = txn_locks.ColumnIndex("lock_id");
-  const size_t kTlMode = txn_locks.ColumnIndex("mode");
-  const size_t kIsStatic = locks.ColumnIndex("is_static");
-  const size_t kNameSid = locks.ColumnIndex("name_sid");
-  const size_t kAddr = locks.ColumnIndex("addr");
-  const size_t kOwnerAlloc = locks.ColumnIndex("owner_alloc_id");
-  const size_t kOwnerMember = locks.ColumnIndex("owner_member_id");
-
-  auto held_classes = [&](uint64_t txn, uint64_t access_alloc) {
-    std::vector<RowId> rows = txn_locks.LookupEqual(kTlTxn, txn);
-    std::vector<HeldClass> held(rows.size());
-    for (RowId row : rows) {
-      uint64_t pos = txn_locks.GetUint64(row, kTlPos);
-      LOCKDOC_CHECK(pos < held.size());
-      uint64_t lock_row = txn_locks.GetUint64(row, kTlLock);
-      HeldClass entry;
-      entry.mode = static_cast<AcquireMode>(txn_locks.GetUint64(row, kTlMode));
-      if (locks.GetUint64(lock_row, kIsStatic) != 0) {
-        uint64_t name_sid = locks.GetUint64(lock_row, kNameSid);
-        entry.lock_class =
-            name_sid != 0
-                ? LockClass::Global(db_->String(static_cast<StringId>(name_sid)))
-                : LockClass::Global(StrFormat(
-                      "lock@0x%llx",
-                      static_cast<unsigned long long>(locks.GetUint64(lock_row, kAddr))));
-      } else {
-        uint64_t member_row = locks.GetUint64(lock_row, kOwnerMember);
-        TypeId owner_type =
-            static_cast<TypeId>(members.GetUint64(member_row, members.ColumnIndex("type_id")));
-        const std::string& lock_name =
-            members.GetString(member_row, members.ColumnIndex("name"));
-        const std::string& type_name = registry_->layout(owner_type).name();
-        entry.lock_class = (locks.GetUint64(lock_row, kOwnerAlloc) == access_alloc)
-                               ? LockClass::Same(lock_name, type_name)
-                               : LockClass::Other(lock_name, type_name);
-      }
-      held[pos] = std::move(entry);
-    }
-    return held;
-  };
-
   std::vector<ModeReportEntry> entries;
   for (const DerivationResult& result : results) {
     if (!result.winner.has_value() || result.winner->locks.empty()) {
@@ -113,10 +59,11 @@ std::vector<ModeReportEntry> ModeAnalyzer::Analyze(
       if (!complies) {
         return;  // Only complying observations characterize the rule.
       }
-      std::vector<HeldClass> held = held_classes(group.txn_id, group.alloc_id);
+      std::vector<HeldLockInfo> held =
+          ClassifyHeldLocks(*db_, *registry_, group.txn_id, group.alloc_id);
       // Greedy subsequence match to attribute a mode to each rule lock.
       size_t rule_pos = 0;
-      for (const HeldClass& h : held) {
+      for (const HeldLockInfo& h : held) {
         if (rule_pos == entry.rule.size()) {
           break;
         }
@@ -163,25 +110,31 @@ std::vector<ModeReportEntry> ModeAnalyzer::FindSharedModeWrites(
   return all;
 }
 
+std::string ModeAnalyzer::RenderEntry(const ModeReportEntry& entry) const {
+  std::string member =
+      registry_->QualifiedName(entry.key.type, entry.key.subclass) + "." +
+      registry_->layout(entry.key.type).member(entry.key.member).name;
+  std::string out =
+      StrFormat("%s [%s]: %s%s\n", member.c_str(), AccessTypeName(entry.access),
+                LockSeqToString(entry.rule).c_str(),
+                entry.suspicious ? "   ** write under shared hold **" : "");
+  for (const ModeUsage& usage : entry.usages) {
+    if (usage.shared + usage.exclusive == 0) {
+      continue;
+    }
+    out += StrFormat("    %-45s shared=%llu exclusive=%llu (%.0f%% shared)\n",
+                     usage.lock.ToString().c_str(),
+                     static_cast<unsigned long long>(usage.shared),
+                     static_cast<unsigned long long>(usage.exclusive),
+                     usage.shared_fraction() * 100.0);
+  }
+  return out;
+}
+
 std::string ModeAnalyzer::Render(const std::vector<ModeReportEntry>& entries) const {
   std::string out;
   for (const ModeReportEntry& entry : entries) {
-    std::string member =
-        registry_->QualifiedName(entry.key.type, entry.key.subclass) + "." +
-        registry_->layout(entry.key.type).member(entry.key.member).name;
-    out += StrFormat("%s [%s]: %s%s\n", member.c_str(), AccessTypeName(entry.access),
-                     LockSeqToString(entry.rule).c_str(),
-                     entry.suspicious ? "   ** write under shared hold **" : "");
-    for (const ModeUsage& usage : entry.usages) {
-      if (usage.shared + usage.exclusive == 0) {
-        continue;
-      }
-      out += StrFormat("    %-45s shared=%llu exclusive=%llu (%.0f%% shared)\n",
-                       usage.lock.ToString().c_str(),
-                       static_cast<unsigned long long>(usage.shared),
-                       static_cast<unsigned long long>(usage.exclusive),
-                       usage.shared_fraction() * 100.0);
-    }
+    out += RenderEntry(entry);
   }
   return out;
 }

@@ -59,7 +59,10 @@ class ModeAnalyzer {
   std::vector<ModeReportEntry> FindSharedModeWrites(
       const std::vector<DerivationResult>& results) const;
 
-  // Text rendering of a report.
+  // Text rendering of one entry (the report IR keeps one node per entry).
+  std::string RenderEntry(const ModeReportEntry& entry) const;
+
+  // Text rendering of a report: the concatenated entries.
   std::string Render(const std::vector<ModeReportEntry>& entries) const;
 
  private:

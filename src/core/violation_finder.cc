@@ -4,8 +4,10 @@
 #include <map>
 #include <set>
 
+#include "src/core/held_locks.h"
 #include "src/db/schema.h"
 #include "src/util/logging.h"
+#include "src/util/string_util.h"
 
 namespace lockdoc {
 
@@ -163,14 +165,11 @@ std::vector<ViolationSummaryRow> ViolationFinder::Summarize(
   return rows;
 }
 
-std::vector<ViolationExample> ViolationFinder::Examples(const std::vector<Violation>& violations,
-                                                        size_t limit) const {
+ViolationFinder::ContextMap ViolationFinder::AggregateContexts(
+    const std::vector<Violation>& violations) const {
   // Aggregate violating events by full context:
   // (member, access, rule, held, file, line, stack).
-  using ContextKey =
-      std::tuple<std::string, std::string, std::string, std::string, uint64_t, uint64_t,
-                 uint64_t>;
-  std::map<ContextKey, uint64_t> counts;
+  ContextMap contexts;
   for (const Violation& violation : violations) {
     std::string member =
         registry_->QualifiedName(violation.key.type, violation.key.subclass) + "." +
@@ -179,39 +178,271 @@ std::vector<ViolationExample> ViolationFinder::Examples(const std::vector<Violat
     std::string held = LockSeqToString(violation.held);
     for (uint64_t seq : violation.seqs) {
       AccessContext context = ContextOf(seq);
-      ++counts[std::make_tuple(member, std::string(AccessTypeName(violation.access)), rule, held,
-                               context.file_sid, context.line, context.stack_id)];
+      ContextAgg& agg = contexts[std::make_tuple(
+          member, std::string(AccessTypeName(violation.access)), rule, held,
+          context.file_sid, context.line, context.stack_id)];
+      if (agg.events == 0 || seq < agg.representative_seq) {
+        agg.representative_seq = seq;
+      }
+      if (agg.violation == nullptr) {
+        agg.violation = &violation;
+      }
+      ++agg.events;
     }
   }
+  return contexts;
+}
 
-  std::vector<std::pair<const ContextKey*, uint64_t>> sorted;
-  sorted.reserve(counts.size());
-  for (const auto& [key, count] : counts) {
-    sorted.emplace_back(&key, count);
+std::vector<const ViolationFinder::ContextMap::value_type*> ViolationFinder::SortByEvidence(
+    const ContextMap& map) {
+  std::vector<const ContextMap::value_type*> sorted;
+  sorted.reserve(map.size());
+  for (const auto& entry : map) {
+    sorted.push_back(&entry);
   }
-  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) {
-      return a.second > b.second;
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    if (a->second.events != b->second.events) {
+      return a->second.events > b->second.events;
     }
-    return *a.first < *b.first;
+    return a->first < b->first;
   });
+  return sorted;
+}
 
+std::vector<ViolationExample> ViolationFinder::Examples(const std::vector<Violation>& violations,
+                                                        size_t limit) const {
+  ContextMap contexts = AggregateContexts(violations);
   std::vector<ViolationExample> examples;
-  for (const auto& [key, count] : sorted) {
+  for (const ContextMap::value_type* entry : SortByEvidence(contexts)) {
     if (examples.size() >= limit) {
       break;
     }
+    const ContextKey& key = entry->first;
     ViolationExample example;
-    example.member = std::get<0>(*key);
-    example.access = std::get<1>(*key);
-    example.rule = std::get<2>(*key);
-    example.held = std::get<3>(*key);
-    example.location = DbFormatLoc(*db_, std::get<4>(*key), std::get<5>(*key));
-    example.stack = DbFormatStack(*db_, std::get<6>(*key));
-    example.events = count;
+    example.member = std::get<0>(key);
+    example.access = std::get<1>(key);
+    example.rule = std::get<2>(key);
+    example.held = std::get<3>(key);
+    example.location = DbFormatLoc(*db_, std::get<4>(key), std::get<5>(key));
+    example.stack = DbFormatStack(*db_, std::get<6>(key));
+    example.events = entry->second.events;
     examples.push_back(std::move(example));
   }
   return examples;
+}
+
+namespace {
+
+// The function names of one recorded stack, innermost first; empty for a
+// missing (kDbNull) stack.
+std::vector<std::string> StackFunctionNames(const Database& db, uint64_t stack_id) {
+  std::vector<std::string> names;
+  if (stack_id == kDbNull) {
+    return names;
+  }
+  const Table& frames = db.table(LockDocSchema::kStackFrames);
+  const size_t kStack = frames.ColumnIndex("stack_id");
+  const size_t kPos = frames.ColumnIndex("position");
+  const size_t kFunc = frames.ColumnIndex("function_sid");
+  std::vector<RowId> rows = frames.LookupEqual(kStack, stack_id);
+  names.resize(rows.size());
+  for (RowId row : rows) {
+    uint64_t pos = frames.GetUint64(row, kPos);
+    LOCKDOC_CHECK(pos < names.size());
+    names[pos] = db.String(static_cast<StringId>(frames.GetUint64(row, kFunc)));
+  }
+  return names;
+}
+
+}  // namespace
+
+NearestComplyingAccess ViolationFinder::NearestComplying(const Violation& violation,
+                                                         uint64_t rep_seq) const {
+  // Mirror FindAll's compliance test for this (member, access, rule): a
+  // group complies when the rule is a subsequence of its held locks.
+  std::optional<IdSeq> rule_ids = store_->pool().FindSeq(violation.rule);
+  std::vector<uint32_t> complying;
+  bool have_complying = false;
+  if (postings_ != nullptr && rule_ids.has_value()) {
+    complying = postings_->ComplyingSeqs(*store_, *rule_ids);
+    have_complying = true;
+  }
+  NearestComplyingAccess nearest;
+  uint32_t nearest_lockseq = 0;
+  auto visit_group = [&](const ObservationGroup& group) {
+    bool complies =
+        have_complying
+            ? std::binary_search(complying.begin(), complying.end(), group.lockseq_id)
+            : (rule_ids.has_value()
+                   ? IsSubsequenceIds(*rule_ids, store_->id_seq(group.lockseq_id))
+                   : IsSubsequence(violation.rule, store_->seq(group.lockseq_id)));
+    if (!complies) {
+      return;
+    }
+    for (uint64_t seq : group.seqs) {
+      if (static_cast<AccessType>(ContextOf(seq).access_type) != violation.access) {
+        continue;
+      }
+      uint64_t distance = seq > rep_seq ? seq - rep_seq : rep_seq - seq;
+      if (!nearest.present || distance < nearest.distance ||
+          (distance == nearest.distance && seq < nearest.seq)) {
+        nearest.present = true;
+        nearest.seq = seq;
+        nearest.distance = distance;
+        nearest_lockseq = group.lockseq_id;
+      }
+    }
+  };
+  const std::vector<ObservationGroup>& groups = store_->GroupsFor(violation.key);
+  if (member_index_ != nullptr) {
+    if (const MemberAccessIndex::Entry* entry = member_index_->Find(violation.key)) {
+      for (uint32_t index : entry->For(violation.access)) {
+        visit_group(groups[index]);
+      }
+    }
+  } else {
+    for (const ObservationGroup& group : groups) {
+      if (group.effective() == violation.access) {
+        visit_group(group);
+      }
+    }
+  }
+  if (nearest.present) {
+    AccessContext context = ContextOf(nearest.seq);
+    nearest.location = DbFormatLoc(*db_, context.file_sid, context.line);
+    nearest.stack = DbFormatStack(*db_, context.stack_id);
+    nearest.held = LockSeqToString(store_->seq(nearest_lockseq));
+  }
+  return nearest;
+}
+
+ViolationForensics ViolationFinder::Forensics(const std::vector<Violation>& violations,
+                                              size_t limit,
+                                              const FilterConfig* filter) const {
+  ContextMap contexts = AggregateContexts(violations);
+  std::vector<const ContextMap::value_type*> sorted = SortByEvidence(contexts);
+
+  // Blacklist suppression with accounting: a group is suppressed when its
+  // member (qualified or not) is blacklisted or any stack frame names a
+  // blacklisted function. Never silent — counts survive into the report.
+  ViolationForensics forensics;
+  std::vector<const ContextMap::value_type*> kept;
+  std::map<uint64_t, std::vector<std::string>> frames_cache;
+  for (const ContextMap::value_type* entry : sorted) {
+    bool suppressed = false;
+    if (filter != nullptr) {
+      const std::string& member = std::get<0>(entry->first);
+      if (filter->blacklisted_members.count(member) != 0) {
+        suppressed = true;
+      } else {
+        // "inode:ext4.i_hash" also matches an unqualified "inode.i_hash".
+        size_t colon = member.find(':');
+        size_t dot = member.rfind('.');
+        if (colon != std::string::npos && dot != std::string::npos && dot > colon &&
+            filter->blacklisted_members.count(member.substr(0, colon) +
+                                              member.substr(dot)) != 0) {
+          suppressed = true;
+        }
+      }
+      if (!suppressed &&
+          (!filter->ignored_functions.empty() || !filter->init_teardown_functions.empty())) {
+        uint64_t stack_id = std::get<6>(entry->first);
+        auto [it, inserted] = frames_cache.try_emplace(stack_id);
+        if (inserted) {
+          it->second = StackFunctionNames(*db_, stack_id);
+        }
+        for (const std::string& function : it->second) {
+          if (filter->ignored_functions.count(function) != 0 ||
+              filter->init_teardown_functions.count(function) != 0) {
+            suppressed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (suppressed) {
+      ++forensics.suppressed_groups;
+      forensics.suppressed_events += entry->second.events;
+    } else {
+      kept.push_back(entry);
+    }
+  }
+  forensics.total_groups = kept.size();
+
+  const Table& accesses = db_->table(LockDocSchema::kAccesses);
+  const size_t kSeqCol = accesses.ColumnIndex("seq");
+  const size_t kTxnCol = accesses.ColumnIndex("txn_id");
+  const size_t kAllocCol = accesses.ColumnIndex("alloc_id");
+
+  for (const ContextMap::value_type* entry : kept) {
+    if (forensics.groups.size() >= limit) {
+      break;
+    }
+    const ContextKey& key = entry->first;
+    const ContextAgg& agg = entry->second;
+    CexGroupData group;
+    group.member = std::get<0>(key);
+    group.access = std::get<1>(key);
+    group.rule = std::get<2>(key);
+    group.held = std::get<3>(key);
+    group.location = DbFormatLoc(*db_, std::get<4>(key), std::get<5>(key));
+    group.stack = DbFormatStack(*db_, std::get<6>(key));
+    group.events = agg.events;
+    group.rank = forensics.groups.size() + 1;
+    group.representative_seq = agg.representative_seq;
+    group.frames = StackFunctionNames(*db_, std::get<6>(key));
+
+    // Held-lock provenance of the representative violating access: class,
+    // mode and acquisition site of every lock the transaction held.
+    std::vector<RowId> rows = accesses.LookupEqual(kSeqCol, agg.representative_seq);
+    LOCKDOC_CHECK(rows.size() == 1);
+    uint64_t txn = accesses.GetUint64(rows[0], kTxnCol);
+    uint64_t alloc = accesses.GetUint64(rows[0], kAllocCol);
+    if (txn != kDbNull) {
+      for (const HeldLockInfo& info : ClassifyHeldLocks(*db_, *registry_, txn, alloc)) {
+        HeldLockDetail detail;
+        detail.lock = info.lock_class.ToString();
+        detail.mode = info.mode == AcquireMode::kShared ? "shared" : "exclusive";
+        detail.acquired_at = DbFormatLoc(*db_, info.file_sid, info.line);
+        group.held_locks.push_back(std::move(detail));
+      }
+    }
+
+    group.nearest_complying =
+        NearestComplying(*agg.violation, agg.representative_seq);
+    forensics.groups.push_back(std::move(group));
+  }
+  forensics.shown_groups = forensics.groups.size();
+  return forensics;
+}
+
+void AppendForensicsNotes(ReportSection& section, const ViolationForensics& forensics,
+                          bool report_style) {
+  bool first = true;
+  auto prefix = [&]() {
+    std::string p = (report_style && first) ? "\n" : "";
+    first = false;
+    return p;
+  };
+  if (forensics.shown_groups < forensics.total_groups) {
+    ReportNode& node = AddTextNode(
+        section, "truncation",
+        prefix() + StrFormat("showing %llu of %llu counterexample groups\n",
+                             static_cast<unsigned long long>(forensics.shown_groups),
+                             static_cast<unsigned long long>(forensics.total_groups)));
+    node.fields = {{"shown", std::to_string(forensics.shown_groups)},
+                   {"total", std::to_string(forensics.total_groups)}};
+  }
+  if (forensics.suppressed_groups > 0) {
+    ReportNode& node = AddTextNode(
+        section, "suppressed",
+        prefix() +
+            StrFormat("blacklist suppressed %llu counterexample groups (%llu events)\n",
+                      static_cast<unsigned long long>(forensics.suppressed_groups),
+                      static_cast<unsigned long long>(forensics.suppressed_events)));
+    node.fields = {{"suppressed_groups", std::to_string(forensics.suppressed_groups)},
+                   {"suppressed_events", std::to_string(forensics.suppressed_events)}};
+  }
 }
 
 }  // namespace lockdoc

@@ -6,13 +6,17 @@
 #ifndef SRC_CORE_VIOLATION_FINDER_H_
 #define SRC_CORE_VIOLATION_FINDER_H_
 
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/core/derivator.h"
+#include "src/core/filter_config.h"
 #include "src/core/observations.h"
 #include "src/db/database.h"
 #include "src/model/type_registry.h"
+#include "src/report/ir.h"
 #include "src/util/thread_pool.h"
 
 namespace lockdoc {
@@ -47,6 +51,29 @@ struct ViolationExample {
   uint64_t events = 0;    // Violating events at this context.
 };
 
+// The forensic counterexample report: the same call-site groups as
+// Examples() — identical aggregation, order and truncation — but each
+// enriched with the held-lock provenance, the nearest complying access and
+// an evidence rank, plus blacklist-suppression accounting so filtered
+// groups are counted, never silently dropped.
+struct ViolationForensics {
+  std::vector<CexGroupData> groups;  // At most `limit`, ranked by evidence.
+  uint64_t total_groups = 0;         // Groups surviving the blacklist.
+  uint64_t shown_groups = 0;         // groups.size(), for convenience.
+  uint64_t suppressed_groups = 0;    // Blacklist-suppressed groups.
+  uint64_t suppressed_events = 0;    // Their violating events.
+};
+
+// Appends the forensics accounting notes ("showing N of M counterexample
+// groups", "blacklist suppressed ...") to a report section — shared by the
+// violations pass and the report's violation section so both render the
+// accounting identically. Emits nothing when nothing was clipped or
+// suppressed, keeping untruncated output byte-identical to the pre-IR
+// renderer. `report_style` prefixes the first note with a blank line (the
+// report's groups end without one).
+void AppendForensicsNotes(ReportSection& section, const ViolationForensics& forensics,
+                          bool report_style);
+
 class ViolationFinder {
  public:
   // Violation contexts (access type, source location, stack) are resolved
@@ -74,6 +101,14 @@ class ViolationFinder {
   std::vector<ViolationExample> Examples(const std::vector<Violation>& violations,
                                          size_t limit) const;
 
+  // The forensics pass over the same groups: `filter` (may be null for no
+  // suppression) removes groups whose member is blacklisted or whose stack
+  // contains a blacklisted function, counting what it removed; surviving
+  // groups keep the Examples() order (evidence rank) and the top `limit`
+  // are enriched with held locks and the nearest complying access.
+  ViolationForensics Forensics(const std::vector<Violation>& violations, size_t limit,
+                               const FilterConfig* filter = nullptr) const;
+
  private:
   // The accesses-table context of one raw trace seq.
   struct AccessContext {
@@ -83,6 +118,29 @@ class ViolationFinder {
     uint64_t stack_id = 0;
   };
   AccessContext ContextOf(uint64_t seq) const;
+
+  // (member, access, rule, held, file, line, stack) — the aggregation key
+  // shared by Examples() and Forensics().
+  using ContextKey = std::tuple<std::string, std::string, std::string, std::string,
+                                uint64_t, uint64_t, uint64_t>;
+  struct ContextAgg {
+    uint64_t events = 0;
+    uint64_t representative_seq = 0;       // Smallest violating seq in the group.
+    const Violation* violation = nullptr;  // First violation feeding the group.
+  };
+  using ContextMap = std::map<ContextKey, ContextAgg>;
+  // Aggregates violating events by full context — the single source of
+  // truth behind both Examples() and Forensics().
+  ContextMap AggregateContexts(const std::vector<Violation>& violations) const;
+  // Orders groups by event count (desc), then key (asc) — the canonical
+  // evidence ranking shared by both consumers.
+  static std::vector<const ContextMap::value_type*> SortByEvidence(const ContextMap& map);
+
+  // The complying access of `violation`'s (member, access, rule) nearest to
+  // `rep_seq` by trace distance (ties to the smaller seq); absent when the
+  // rule has no complying access of that type.
+  NearestComplyingAccess NearestComplying(const Violation& violation,
+                                          uint64_t rep_seq) const;
 
   const Database* db_;
   const TypeRegistry* registry_;

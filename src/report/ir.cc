@@ -1,0 +1,59 @@
+#include "src/report/ir.h"
+
+namespace lockdoc {
+
+ReportSection& AddSection(ReportDocument& doc, std::string id) {
+  ReportSection section;
+  section.id = std::move(id);
+  doc.sections.push_back(std::move(section));
+  return doc.sections.back();
+}
+
+ReportSection& AddHeadedSection(ReportDocument& doc, std::string id, std::string title) {
+  ReportSection& section = AddSection(doc, std::move(id));
+  section.title = std::move(title);
+  section.heading = true;
+  return section;
+}
+
+ReportNode& AddText(ReportSection& section, std::string text) {
+  ReportNode node;
+  node.kind = ReportNodeKind::kText;
+  node.text = std::move(text);
+  section.nodes.push_back(std::move(node));
+  return section.nodes.back();
+}
+
+ReportNode& AddTextNode(ReportSection& section, std::string id, std::string text) {
+  ReportNode& node = AddText(section, std::move(text));
+  node.id = std::move(id);
+  return node;
+}
+
+ReportNode& AddDecoration(ReportSection& section, std::string text) {
+  ReportNode& node = AddText(section, std::move(text));
+  node.decoration = true;
+  return node;
+}
+
+ReportNode& AddTable(ReportSection& section, std::string id,
+                     std::vector<std::string> columns) {
+  ReportNode node;
+  node.kind = ReportNodeKind::kTable;
+  node.id = id;
+  node.table.id = std::move(id);
+  node.table.columns = std::move(columns);
+  section.nodes.push_back(std::move(node));
+  return section.nodes.back();
+}
+
+ReportNode& AddCexGroup(ReportSection& section, CexGroupData group) {
+  ReportNode node;
+  node.kind = ReportNodeKind::kCexGroup;
+  node.id = "counterexample-group";
+  node.cex = std::move(group);
+  section.nodes.push_back(std::move(node));
+  return section.nodes.back();
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,135 @@
+// The structured report IR — the single output artifact every analysis
+// pass produces (DESIGN.md 4j).
+//
+// Phase-3 passes used to render ad-hoc std::strings; the IR replaces that
+// with a typed document (sections of text, table and counterexample-group
+// nodes) produced once per pass and consumed by pluggable renderers
+// (render_text / render_json / render_html). The text renderer is the
+// byte-compat anchor: it reproduces the historical stdout bytes exactly,
+// so the IR can carry strictly more structure (fields, forensic payloads)
+// without disturbing any golden or serve cmp-contract.
+//
+// Only three node kinds exist, by design:
+//   kText      — verbatim bytes for the text renderer, plus an optional
+//                key=value `fields` view for the structured renderers and
+//                a `decoration` flag marking pure-layout whitespace that
+//                JSON/HTML omit.
+//   kTable     — columns + rows; each renderer lays the table out itself.
+//   kCexGroup  — one counterexample group of the violation forensics:
+//                the classic member/rule/held/location/stack record plus
+//                held-lock provenance, the nearest complying access, and
+//                an evidence rank. The text renderer prints only the
+//                classic record (byte-compat); JSON/HTML print everything.
+#ifndef SRC_REPORT_IR_H_
+#define SRC_REPORT_IR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lockdoc {
+
+enum class ReportNodeKind {
+  kText,
+  kTable,
+  kCexGroup,
+};
+
+// kTable payload. An empty `id` is allowed but discouraged; stable ids let
+// downstream consumers find a table without parsing its title out of text.
+struct ReportTableData {
+  std::string id;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+// One lock held at the violating access, in acquisition order, classified
+// relative to the accessed allocation (same scoping as the rule notation:
+// EMBSAME/EMBOTHER/global). The acquisition site comes from the txn_locks
+// table; the trace records no acquisition stacks, so `acquired_at` is a
+// "file:line" string (see docs/forensics.md).
+struct HeldLockDetail {
+  std::string lock;         // Lock-class notation, e.g. "ES(i_lock in inode)".
+  std::string mode;         // "shared" or "exclusive".
+  std::string acquired_at;  // "file:line" of the acquisition.
+};
+
+// The complying access nearest (by trace seq distance) to a group's
+// representative violating access — the contrast a developer diffs against.
+struct NearestComplyingAccess {
+  bool present = false;   // False when no complying access of this type exists.
+  uint64_t seq = 0;       // Trace seq of the complying access.
+  uint64_t distance = 0;  // |seq - representative violating seq|.
+  std::string location;   // "file:line".
+  std::string stack;      // Innermost-first call stack.
+  std::string held;       // Locks held at the complying access.
+};
+
+// kCexGroup payload: one (member, access, rule, held, location, stack)
+// context with all violating events aggregated, plus forensics.
+struct CexGroupData {
+  std::string member;    // "inode:ext4.i_hash"
+  std::string access;    // "r"/"w"
+  std::string rule;      // The violated winning rule.
+  std::string held;      // The locks actually held.
+  std::string location;  // "fs/inode.c:507"
+  std::string stack;     // Innermost-first call stack, rendered.
+  uint64_t events = 0;   // Violating events at this context.
+  uint64_t rank = 0;     // 1-based evidence rank (1 = most events).
+  uint64_t representative_seq = 0;       // The earliest violating trace seq.
+  std::vector<std::string> frames;       // Stack frames, innermost first.
+  std::vector<HeldLockDetail> held_locks;
+  NearestComplyingAccess nearest_complying;
+  // Text-renderer style: the report's violation section separates groups
+  // with a leading blank line; the standalone violations pass uses a
+  // trailing one. Bytes, not semantics.
+  bool report_style = false;
+};
+
+struct ReportNode {
+  ReportNodeKind kind = ReportNodeKind::kText;
+  // Optional stable identifier ("violation-summary", "truncation", ...).
+  std::string id;
+
+  // kText: the exact bytes the text renderer emits.
+  std::string text;
+  // kText: pure-layout whitespace (blank separator lines); JSON/HTML skip.
+  bool decoration = false;
+  // kText: structured key=value view of `text` for JSON/HTML consumers.
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  ReportTableData table;  // kTable
+  CexGroupData cex;       // kCexGroup
+};
+
+// A section groups nodes; `heading == true` renders the classic
+// "\n== title ===...\n\n" banner in text and a <h2>/named object elsewhere.
+struct ReportSection {
+  std::string id;
+  std::string title;
+  bool heading = false;
+  std::vector<ReportNode> nodes;
+};
+
+struct ReportDocument {
+  std::string pass;  // The producing pass name ("violations", "report", ...).
+  std::vector<ReportSection> sections;
+};
+
+// --- builder helpers (all return a reference into the document) ---
+
+ReportSection& AddSection(ReportDocument& doc, std::string id);
+ReportSection& AddHeadedSection(ReportDocument& doc, std::string id, std::string title);
+
+ReportNode& AddText(ReportSection& section, std::string text);
+ReportNode& AddTextNode(ReportSection& section, std::string id, std::string text);
+// A pure-layout text node (blank separator lines) skipped by JSON/HTML.
+ReportNode& AddDecoration(ReportSection& section, std::string text);
+ReportNode& AddTable(ReportSection& section, std::string id,
+                     std::vector<std::string> columns);
+ReportNode& AddCexGroup(ReportSection& section, CexGroupData group);
+
+}  // namespace lockdoc
+
+#endif  // SRC_REPORT_IR_H_

@@ -1,0 +1,54 @@
+#include "src/report/render.h"
+
+namespace lockdoc {
+
+std::optional<ReportFormat> ParseReportFormat(std::string_view name) {
+  if (name == "text") {
+    return ReportFormat::kText;
+  }
+  if (name == "json") {
+    return ReportFormat::kJson;
+  }
+  if (name == "html") {
+    return ReportFormat::kHtml;
+  }
+  return std::nullopt;
+}
+
+std::string_view ReportFormatName(ReportFormat format) {
+  switch (format) {
+    case ReportFormat::kText:
+      return "text";
+    case ReportFormat::kJson:
+      return "json";
+    case ReportFormat::kHtml:
+      return "html";
+  }
+  return "text";
+}
+
+std::string_view ReportFormatExtension(ReportFormat format) {
+  switch (format) {
+    case ReportFormat::kText:
+      return "txt";
+    case ReportFormat::kJson:
+      return "json";
+    case ReportFormat::kHtml:
+      return "html";
+  }
+  return "txt";
+}
+
+std::string RenderReportDocument(const ReportDocument& doc, ReportFormat format) {
+  switch (format) {
+    case ReportFormat::kText:
+      return RenderReportText(doc);
+    case ReportFormat::kJson:
+      return RenderReportJson(doc);
+    case ReportFormat::kHtml:
+      return RenderReportHtml(doc);
+  }
+  return RenderReportText(doc);
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,37 @@
+// Format dispatch for the report IR: one enum, strict parsing (unknown
+// names are typed errors at every entry point — CLI exit 64, serve
+// bad-request), and one Render function fanning out to the per-format
+// renderers.
+#ifndef SRC_REPORT_RENDER_H_
+#define SRC_REPORT_RENDER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/report/ir.h"
+#include "src/report/render_html.h"
+#include "src/report/render_json.h"
+#include "src/report/render_text.h"
+
+namespace lockdoc {
+
+enum class ReportFormat {
+  kText,
+  kJson,
+  kHtml,
+};
+
+// "text" / "json" / "html"; nullopt for anything else.
+std::optional<ReportFormat> ParseReportFormat(std::string_view name);
+
+std::string_view ReportFormatName(ReportFormat format);
+
+// File extension (without the dot) for --out-dir emission: txt/json/html.
+std::string_view ReportFormatExtension(ReportFormat format);
+
+std::string RenderReportDocument(const ReportDocument& doc, ReportFormat format);
+
+}  // namespace lockdoc
+
+#endif  // SRC_REPORT_RENDER_H_

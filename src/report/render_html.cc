@@ -1,0 +1,173 @@
+#include "src/report/render_html.h"
+
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+constexpr char kStyle[] =
+    "body{font-family:monospace;margin:1.5em;background:#fdfdfd;color:#222}\n"
+    "h1{font-size:1.3em}h2{font-size:1.1em;border-bottom:1px solid #ccc}\n"
+    "pre{background:#f4f4f4;padding:.5em;overflow-x:auto}\n"
+    "table{border-collapse:collapse;margin:.5em 0}\n"
+    "th,td{border:1px solid #bbb;padding:.2em .6em;text-align:left}\n"
+    "th{background:#eee}\n"
+    ".cex-group{border:1px solid #c99;background:#fff6f6;margin:.8em 0;"
+    "padding:.4em .8em}\n"
+    ".cex-group h3{margin:.2em 0;font-size:1em}\n"
+    ".cex-group dt{font-weight:bold;float:left;clear:left;width:8em}\n"
+    ".cex-group dd{margin-left:9em}\n"
+    ".nearest{background:#f2fff2;border:1px solid #9c9;padding:.3em .6em}\n";
+
+void AppendUintRow(std::string& out, const char* label, uint64_t value) {
+  out += StrFormat("<dt>%s</dt><dd>%llu</dd>", label,
+                   static_cast<unsigned long long>(value));
+}
+
+void AppendRow(std::string& out, const char* label, const std::string& value) {
+  out += "<dt>";
+  out += label;
+  out += "</dt><dd>";
+  out += HtmlEscape(value);
+  out += "</dd>";
+}
+
+void AppendTextNode(std::string& out, const ReportNode& node) {
+  out += "<pre";
+  if (!node.id.empty()) {
+    out += " class=\"" + HtmlEscape(node.id) + "\"";
+  }
+  out += ">";
+  out += HtmlEscape(node.text);
+  out += "</pre>\n";
+}
+
+void AppendTableNode(std::string& out, const ReportTableData& table) {
+  out += "<table";
+  if (!table.id.empty()) {
+    out += " id=\"" + HtmlEscape(table.id) + "\"";
+  }
+  out += ">\n<thead><tr>";
+  for (const std::string& column : table.columns) {
+    out += "<th>" + HtmlEscape(column) + "</th>";
+  }
+  out += "</tr></thead>\n<tbody>\n";
+  for (const std::vector<std::string>& row : table.rows) {
+    out += "<tr>";
+    for (const std::string& cell : row) {
+      out += "<td>" + HtmlEscape(cell) + "</td>";
+    }
+    out += "</tr>\n";
+  }
+  out += "</tbody>\n</table>\n";
+}
+
+void AppendCexGroupNode(std::string& out, const CexGroupData& cex) {
+  out += "<div class=\"cex-group\">\n";
+  out += StrFormat("<h3>#%llu %s [%s] &mdash; %llu events</h3>\n",
+                   static_cast<unsigned long long>(cex.rank),
+                   HtmlEscape(cex.member).c_str(), HtmlEscape(cex.access).c_str(),
+                   static_cast<unsigned long long>(cex.events));
+  out += "<dl>";
+  AppendRow(out, "rule", cex.rule);
+  AppendRow(out, "held", cex.held);
+  AppendRow(out, "at", cex.location);
+  AppendUintRow(out, "seq", cex.representative_seq);
+  out += "</dl>\n";
+  if (!cex.frames.empty()) {
+    out += "<p>call stack (innermost first):</p>\n<ol class=\"stack\">\n";
+    for (const std::string& frame : cex.frames) {
+      out += "<li>" + HtmlEscape(frame) + "</li>\n";
+    }
+    out += "</ol>\n";
+  } else {
+    out += "<p>call stack: " + HtmlEscape(cex.stack) + "</p>\n";
+  }
+  if (!cex.held_locks.empty()) {
+    out += "<table class=\"held-locks\">\n<thead><tr><th>held lock</th><th>mode</th>"
+           "<th>acquired at</th></tr></thead>\n<tbody>\n";
+    for (const HeldLockDetail& lock : cex.held_locks) {
+      out += "<tr><td>" + HtmlEscape(lock.lock) + "</td><td>" + HtmlEscape(lock.mode) +
+             "</td><td>" + HtmlEscape(lock.acquired_at) + "</td></tr>\n";
+    }
+    out += "</tbody>\n</table>\n";
+  }
+  if (cex.nearest_complying.present) {
+    const NearestComplyingAccess& near = cex.nearest_complying;
+    out += StrFormat(
+        "<p class=\"nearest\">nearest complying access: seq %llu "
+        "(distance %llu) at %s holding %s<br>stack: %s</p>\n",
+        static_cast<unsigned long long>(near.seq),
+        static_cast<unsigned long long>(near.distance),
+        HtmlEscape(near.location).c_str(), HtmlEscape(near.held).c_str(),
+        HtmlEscape(near.stack).c_str());
+  } else {
+    out += "<p class=\"nearest\">no complying access of this type was observed</p>\n";
+  }
+  out += "</div>\n";
+}
+
+}  // namespace
+
+std::string HtmlEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&#39;";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string RenderReportHtml(const ReportDocument& doc) {
+  std::string out = "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n";
+  out += "<title>lockdoc " + HtmlEscape(doc.pass) + " report</title>\n";
+  out += "<style>\n";
+  out += kStyle;
+  out += "</style>\n</head>\n<body>\n";
+  out += "<h1>lockdoc " + HtmlEscape(doc.pass) + "</h1>\n";
+  for (const ReportSection& section : doc.sections) {
+    out += "<section id=\"" + HtmlEscape(section.id) + "\">\n";
+    if (section.heading) {
+      out += "<h2>" + HtmlEscape(section.title) + "</h2>\n";
+    }
+    for (const ReportNode& node : section.nodes) {
+      switch (node.kind) {
+        case ReportNodeKind::kText:
+          if (!node.decoration) {
+            AppendTextNode(out, node);
+          }
+          break;
+        case ReportNodeKind::kTable:
+          AppendTableNode(out, node.table);
+          break;
+        case ReportNodeKind::kCexGroup:
+          AppendCexGroupNode(out, node.cex);
+          break;
+      }
+    }
+    out += "</section>\n";
+  }
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,24 @@
+// The HTML renderer: a self-contained, human-browsable projection of the
+// report IR (no external assets, deterministic bytes). Sections become
+// <section> elements, text nodes <pre> blocks, tables real <table>s and
+// counterexample groups structured cards with held-lock provenance and the
+// nearest complying access — the lock_trace-style report the paper's
+// forensics workflow assumes.
+#ifndef SRC_REPORT_RENDER_HTML_H_
+#define SRC_REPORT_RENDER_HTML_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/report/ir.h"
+
+namespace lockdoc {
+
+std::string RenderReportHtml(const ReportDocument& doc);
+
+// HTML entity escaping for text content and attribute values.
+std::string HtmlEscape(std::string_view text);
+
+}  // namespace lockdoc
+
+#endif  // SRC_REPORT_RENDER_HTML_H_

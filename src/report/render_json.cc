@@ -1,0 +1,240 @@
+#include "src/report/render_json.h"
+
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+void AppendQuoted(std::string& out, std::string_view text) {
+  out += '"';
+  out += JsonEscape(text);
+  out += '"';
+}
+
+void AppendKey(std::string& out, std::string_view key) {
+  AppendQuoted(out, key);
+  out += ": ";
+}
+
+void AppendStringField(std::string& out, std::string_view indent, std::string_view key,
+                       std::string_view value, bool trailing_comma) {
+  out += indent;
+  AppendKey(out, key);
+  AppendQuoted(out, value);
+  out += trailing_comma ? ",\n" : "\n";
+}
+
+void AppendUintField(std::string& out, std::string_view indent, std::string_view key,
+                     uint64_t value, bool trailing_comma) {
+  out += indent;
+  AppendKey(out, key);
+  out += StrFormat("%llu", static_cast<unsigned long long>(value));
+  out += trailing_comma ? ",\n" : "\n";
+}
+
+void AppendTextNode(std::string& out, const ReportNode& node, const std::string& indent) {
+  const std::string inner = indent + "  ";
+  out += indent + "{\n";
+  AppendStringField(out, inner, "type", "text", true);
+  if (!node.id.empty()) {
+    AppendStringField(out, inner, "id", node.id, true);
+  }
+  AppendStringField(out, inner, "text", node.text, !node.fields.empty());
+  if (!node.fields.empty()) {
+    out += inner;
+    AppendKey(out, "fields");
+    out += "{\n";
+    for (size_t i = 0; i < node.fields.size(); ++i) {
+      AppendStringField(out, inner + "  ", node.fields[i].first, node.fields[i].second,
+                        i + 1 < node.fields.size());
+    }
+    out += inner + "}\n";
+  }
+  out += indent + "}";
+}
+
+void AppendTableNode(std::string& out, const ReportNode& node, const std::string& indent) {
+  const std::string inner = indent + "  ";
+  out += indent + "{\n";
+  AppendStringField(out, inner, "type", "table", true);
+  AppendStringField(out, inner, "id", node.table.id, true);
+  out += inner;
+  AppendKey(out, "columns");
+  out += "[";
+  for (size_t i = 0; i < node.table.columns.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    AppendQuoted(out, node.table.columns[i]);
+  }
+  out += "],\n";
+  out += inner;
+  AppendKey(out, "rows");
+  if (node.table.rows.empty()) {
+    out += "[]\n";
+  } else {
+    out += "[\n";
+    for (size_t r = 0; r < node.table.rows.size(); ++r) {
+      out += inner + "  [";
+      const std::vector<std::string>& row = node.table.rows[r];
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) {
+          out += ", ";
+        }
+        AppendQuoted(out, row[c]);
+      }
+      out += r + 1 < node.table.rows.size() ? "],\n" : "]\n";
+    }
+    out += inner + "]\n";
+  }
+  out += indent + "}";
+}
+
+void AppendCexGroupNode(std::string& out, const CexGroupData& cex,
+                        const std::string& indent) {
+  const std::string inner = indent + "  ";
+  out += indent + "{\n";
+  AppendStringField(out, inner, "type", "counterexample-group", true);
+  AppendUintField(out, inner, "rank", cex.rank, true);
+  AppendStringField(out, inner, "member", cex.member, true);
+  AppendStringField(out, inner, "access", cex.access, true);
+  AppendStringField(out, inner, "rule", cex.rule, true);
+  AppendStringField(out, inner, "held", cex.held, true);
+  AppendStringField(out, inner, "location", cex.location, true);
+  AppendUintField(out, inner, "events", cex.events, true);
+  AppendUintField(out, inner, "representative_seq", cex.representative_seq, true);
+  out += inner;
+  AppendKey(out, "stack");
+  out += "[";
+  for (size_t i = 0; i < cex.frames.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    AppendQuoted(out, cex.frames[i]);
+  }
+  out += "],\n";
+  out += inner;
+  AppendKey(out, "held_locks");
+  if (cex.held_locks.empty()) {
+    out += "[],\n";
+  } else {
+    out += "[\n";
+    for (size_t i = 0; i < cex.held_locks.size(); ++i) {
+      const HeldLockDetail& lock = cex.held_locks[i];
+      const std::string lock_indent = inner + "  ";
+      out += lock_indent + "{\n";
+      AppendStringField(out, lock_indent + "  ", "lock", lock.lock, true);
+      AppendStringField(out, lock_indent + "  ", "mode", lock.mode, true);
+      AppendStringField(out, lock_indent + "  ", "acquired_at", lock.acquired_at, false);
+      out += lock_indent + (i + 1 < cex.held_locks.size() ? "},\n" : "}\n");
+    }
+    out += inner + "],\n";
+  }
+  out += inner;
+  AppendKey(out, "nearest_complying");
+  if (!cex.nearest_complying.present) {
+    out += "null\n";
+  } else {
+    const NearestComplyingAccess& near = cex.nearest_complying;
+    out += "{\n";
+    AppendUintField(out, inner + "  ", "seq", near.seq, true);
+    AppendUintField(out, inner + "  ", "distance", near.distance, true);
+    AppendStringField(out, inner + "  ", "location", near.location, true);
+    AppendStringField(out, inner + "  ", "stack", near.stack, true);
+    AppendStringField(out, inner + "  ", "held", near.held, false);
+    out += inner + "}\n";
+  }
+  out += indent + "}";
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string RenderReportJson(const ReportDocument& doc) {
+  std::string out = "{\n";
+  AppendStringField(out, "  ", "schema", "lockdoc-report-v1", true);
+  AppendStringField(out, "  ", "pass", doc.pass, true);
+  out += "  ";
+  AppendKey(out, "sections");
+  if (doc.sections.empty()) {
+    out += "[]\n";
+  } else {
+    out += "[\n";
+    for (size_t s = 0; s < doc.sections.size(); ++s) {
+      const ReportSection& section = doc.sections[s];
+      out += "    {\n";
+      AppendStringField(out, "      ", "id", section.id, true);
+      if (section.heading) {
+        AppendStringField(out, "      ", "title", section.title, true);
+      }
+      out += "      ";
+      AppendKey(out, "nodes");
+      // Decoration nodes are pure text layout; they carry no content.
+      std::vector<const ReportNode*> nodes;
+      for (const ReportNode& node : section.nodes) {
+        if (node.kind == ReportNodeKind::kText && node.decoration) {
+          continue;
+        }
+        nodes.push_back(&node);
+      }
+      if (nodes.empty()) {
+        out += "[]\n";
+      } else {
+        out += "[\n";
+        for (size_t n = 0; n < nodes.size(); ++n) {
+          const ReportNode& node = *nodes[n];
+          switch (node.kind) {
+            case ReportNodeKind::kText:
+              AppendTextNode(out, node, "        ");
+              break;
+            case ReportNodeKind::kTable:
+              AppendTableNode(out, node, "        ");
+              break;
+            case ReportNodeKind::kCexGroup:
+              AppendCexGroupNode(out, node.cex, "        ");
+              break;
+          }
+          out += n + 1 < nodes.size() ? ",\n" : "\n";
+        }
+        out += "      ]\n";
+      }
+      out += s + 1 < doc.sections.size() ? "    },\n" : "    }\n";
+    }
+    out += "  ]\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace lockdoc

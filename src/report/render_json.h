@@ -1,0 +1,48 @@
+// The JSON renderer: a machine-readable projection of the report IR.
+//
+// Document shape (schema "lockdoc-report-v1", see docs/forensics.md):
+//
+//   {
+//     "schema": "lockdoc-report-v1",
+//     "pass": "<pass name>",
+//     "sections": [
+//       { "id": "...", "title": "...",        // title only for headed sections
+//         "nodes": [
+//           { "type": "text", "id": "...", "text": "...",
+//             "fields": { "k": "v", ... } },  // id/fields only when present
+//           { "type": "table", "id": "...",
+//             "columns": [...], "rows": [[...], ...] },
+//           { "type": "counterexample-group", "rank": N, "member": "...",
+//             "access": "...", "rule": "...", "held": "...",
+//             "location": "...", "events": N, "representative_seq": N,
+//             "stack": ["innermost", ...],
+//             "held_locks": [ { "lock": "...", "mode": "...",
+//                               "acquired_at": "..." }, ... ],
+//             "nearest_complying": null |
+//               { "seq": N, "distance": N, "location": "...",
+//                 "stack": "...", "held": "..." } }
+//         ] }
+//     ]
+//   }
+//
+// Decoration text nodes (pure layout whitespace) are omitted. Key order is
+// fixed and output is deterministic: the same document always renders the
+// same bytes, preserving the jobs-1/2/8 and serve cmp contracts.
+#ifndef SRC_REPORT_RENDER_JSON_H_
+#define SRC_REPORT_RENDER_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/report/ir.h"
+
+namespace lockdoc {
+
+std::string RenderReportJson(const ReportDocument& doc);
+
+// JSON string escaping (quotes, backslash, control characters as \u00XX).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace lockdoc
+
+#endif  // SRC_REPORT_RENDER_JSON_H_

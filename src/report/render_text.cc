@@ -1,0 +1,56 @@
+#include "src/report/render_text.h"
+
+#include <algorithm>
+
+#include "src/util/stats.h"
+#include "src/util/string_util.h"
+
+namespace lockdoc {
+namespace {
+
+std::string RenderCexGroupText(const CexGroupData& cex) {
+  std::string body = StrFormat(
+      "%s [%s]\n  rule: %s\n  held: %s\n  at %s (%llu events)\n  stack: %s\n",
+      cex.member.c_str(), cex.access.c_str(), cex.rule.c_str(), cex.held.c_str(),
+      cex.location.c_str(), static_cast<unsigned long long>(cex.events), cex.stack.c_str());
+  // Report style separates groups with a leading blank line; the standalone
+  // violations pass with a trailing one. Same bytes as the pre-IR renderers.
+  return cex.report_style ? "\n" + body : body + "\n";
+}
+
+}  // namespace
+
+std::string ReportHeading(const std::string& title) {
+  return "\n== " + title + " " + std::string(72 - std::min<size_t>(68, title.size()), '=') +
+         "\n\n";
+}
+
+std::string RenderReportText(const ReportDocument& doc) {
+  std::string out;
+  for (const ReportSection& section : doc.sections) {
+    if (section.heading) {
+      out += ReportHeading(section.title);
+    }
+    for (const ReportNode& node : section.nodes) {
+      switch (node.kind) {
+        case ReportNodeKind::kText:
+          out += node.text;
+          break;
+        case ReportNodeKind::kTable: {
+          TextTable table(node.table.columns);
+          for (const std::vector<std::string>& row : node.table.rows) {
+            table.AddRow(row);
+          }
+          out += table.ToString();
+          break;
+        }
+        case ReportNodeKind::kCexGroup:
+          out += RenderCexGroupText(node.cex);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lockdoc

@@ -1,0 +1,22 @@
+// The text renderer — the byte-compat anchor of the report IR. For every
+// document a pre-IR pass would have produced, RenderReportText emits the
+// exact bytes the pass's ad-hoc rendering used to print; all golden tests
+// and the serve cmp-contract rest on this.
+#ifndef SRC_REPORT_RENDER_TEXT_H_
+#define SRC_REPORT_RENDER_TEXT_H_
+
+#include <string>
+
+#include "src/report/ir.h"
+
+namespace lockdoc {
+
+std::string RenderReportText(const ReportDocument& doc);
+
+// The classic "\n== title ====...\n\n" section banner, shared with callers
+// that still compose plain text around report sections.
+std::string ReportHeading(const std::string& title);
+
+}  // namespace lockdoc
+
+#endif  // SRC_REPORT_RENDER_TEXT_H_

@@ -28,6 +28,13 @@ Result<ServeRequest> ParseServeRequest(const std::string& id, std::string_view t
       if (end == value.c_str() || *end != '\0' || request.tac < 0.0 || request.tac > 1.0) {
         return Status::Error("tac: expected a number in [0, 1]");
       }
+    } else if (key == "format") {
+      std::optional<ReportFormat> format = ParseReportFormat(value);
+      if (!format.has_value()) {
+        return Status::Error("format: expected text, json or html");
+      }
+      request.format = *format;
+      request.has_format = true;
     } else {
       // Everything else is a per-pass knob with CLI-flag semantics.
       Status status = ApplyPassOption(request.pass_options, key, value);

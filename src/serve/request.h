@@ -6,10 +6,11 @@
 //   input=<name>          # a snapshot ingested from the spool
 //   baseline=<name>       # diff only: the OLD side
 //   tac=0.9               # derivation acceptance threshold
+//   format=json           # text (default) | json | html rendering
 //   limit=3 all=1 full=1 spec=1 support=1 type=... subclass=...
 //
 // The service answers with `responses/<id>.out` — the exact stdout bytes of
-// the equivalent standalone CLI command — and `responses/<id>.meta`, the
+// the equivalent standalone CLI command (including its --format) — and `responses/<id>.meta`, the
 // commit record. A request is "answered" once its meta exists, whether the
 // outcome was ok or a typed error; requests are never quarantined (unlike
 // incoming files, a request always has an id to respond to).
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "src/core/analysis_context.h"
+#include "src/report/render.h"
 #include "src/serve/spool.h"
 #include "src/util/status.h"
 
@@ -42,6 +44,10 @@ struct ServeRequest {
   std::string input;
   std::string baseline;  // Empty unless pass=diff.
   double tac = 0.9;      // Matches the CLI's --tac default.
+  // format=text|json|html — which renderer produces the .out bytes
+  // (mirrors the CLI's --format; an unknown value is a bad-request).
+  ReportFormat format = ReportFormat::kText;
+  bool has_format = false;   // True when the request named a format.
   PassOptions pass_options;  // limit/all/full/... ; rules text filled by the service.
 };
 

@@ -12,6 +12,7 @@
 
 #include "src/core/snapshot.h"
 #include "src/db/snapshot.h"
+#include "src/report/render.h"
 #include "src/serve/crash_point.h"
 #include "src/trace/trace_io.h"
 #include "src/util/file_io.h"
@@ -624,13 +625,21 @@ ServeService::ServeAnswer ServeService::AnswerParsed(const ServeRequest& request
   pass_options.baseline = baseline_box ? baseline_box->context.get() : nullptr;
 
   auto worker = std::make_shared<WorkerHandle>();
-  auto work = [worker, pass, box, baseline_box, pass_options]() {
+  const ReportFormat format = request.format;
+  auto work = [worker, pass, box, baseline_box, pass_options, format]() {
     PassOutput out;
     Status status = pass->Run(*box->context, pass_options, out);
+    // Rendering happens here, inside the deadline, so a pathological
+    // document cannot stall the answer path after the worker reports done.
+    std::string rendered;
+    if (status.ok()) {
+      rendered = format == ReportFormat::kText ? std::move(out.text)
+                                               : RenderReportDocument(out.doc, format);
+    }
     std::lock_guard<std::mutex> lock(worker->mutex);
     worker->done = true;
     worker->status = std::move(status);
-    worker->text = std::move(out.text);
+    worker->text = std::move(rendered);
     worker->cv.notify_all();
   };
 
@@ -678,6 +687,9 @@ ServeService::ServeAnswer ServeService::AnswerParsed(const ServeRequest& request
   answer.meta.ok = true;
   answer.meta.extra.emplace_back("pass", request.pass);
   answer.meta.extra.emplace_back("input", request.input);
+  if (request.has_format) {
+    answer.meta.extra.emplace_back("format", std::string(ReportFormatName(request.format)));
+  }
   answer.text = std::move(worker->text);
   return answer;
 }

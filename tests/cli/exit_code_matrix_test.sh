@@ -94,6 +94,30 @@ expect 64 "$LOCKDOC" analyze "$DIR/mx.trace" --passes diff
 expect 64 "$LOCKDOC" analyze "$DIR/mx.trace" --baseline
 expect 64 "$LOCKDOC" check "$DIR/mx.trace" --timings-json
 
+# --format: good values work everywhere the flag exists; a bad or bare
+# value is exit 64; commands without a report document reject it.
+expect 0 "$LOCKDOC" violations "$DIR/mx.trace" --format json
+expect 0 "$LOCKDOC" report "$DIR/mx.lockdb" --format html
+expect 0 "$LOCKDOC" analyze "$DIR/mx.trace" --format json
+expect 0 "$LOCKDOC" diff "$DIR/mx.trace" "$DIR/mx.lockdb" --format json
+expect 64 "$LOCKDOC" violations "$DIR/mx.trace" --format bogus
+expect 64 "$LOCKDOC" violations "$DIR/mx.trace" --format
+expect 64 "$LOCKDOC" analyze "$DIR/mx.trace" --format xml
+expect 64 "$LOCKDOC" stats "$DIR/mx.trace" --format json
+
+# --filter-config: a missing or malformed file is exit 64 before any input
+# is loaded; a well-formed one is accepted.
+printf '[ignored-functions]\nvfs_write\n' > "$DIR/mx_filter_ok.conf"
+printf 'orphan-name\n' > "$DIR/mx_filter_bad.conf"
+printf '[no-such-section]\n' > "$DIR/mx_filter_badsec.conf"
+expect 0 "$LOCKDOC" violations "$DIR/mx.trace" --filter-config "$DIR/mx_filter_ok.conf"
+expect 0 "$LOCKDOC" report "$DIR/mx.trace" --filter-config "$DIR/mx_filter_ok.conf"
+expect 64 "$LOCKDOC" violations "$DIR/mx.trace" --filter-config "$MISSING"
+expect 64 "$LOCKDOC" violations "$DIR/mx.trace" --filter-config "$DIR/mx_filter_bad.conf"
+expect 64 "$LOCKDOC" violations "$DIR/mx.trace" --filter-config "$DIR/mx_filter_badsec.conf"
+expect 64 "$LOCKDOC" violations "$DIR/mx.trace" --filter-config
+expect 64 "$LOCKDOC" check "$DIR/mx.trace" --filter-config "$DIR/mx_filter_ok.conf"
+
 # serve: strict usage validation up front (64), clean --once runs exit 0.
 mkdir -p "$DIR/mx_spool/incoming"
 expect 0 "$LOCKDOC" serve "$DIR/mx_spool" --once

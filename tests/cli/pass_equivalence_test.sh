@@ -137,6 +137,55 @@ for pass in check derive violations lock-order modes report; do
   done
 done
 
+# Structured formats: every renderer must be deterministic across thread
+# counts and byte-identical between a trace and its snapshot, and `analyze
+# --format F` must equal the standalone command's --format F output.
+for fmt in text json html; do
+  for pass in violations report; do
+    "$LOCKDOC" "$pass" "$DIR/eq.trace" --format "$fmt" > "$DIR/fmt_ref.out"
+    for input in "$DIR/eq.trace" "$DIR/eq.lockdb"; do
+      for jobs in 1 2 8; do
+        "$LOCKDOC" "$pass" "$input" --format "$fmt" --jobs "$jobs" > "$DIR/fmt_got.out"
+        cmp "$DIR/fmt_ref.out" "$DIR/fmt_got.out" || {
+          echo "FAIL: $pass --format $fmt on $input differs at --jobs $jobs" >&2
+          exit 1
+        }
+      done
+    done
+    "$LOCKDOC" analyze "$DIR/eq.lockdb" --passes "$pass" --format "$fmt" \
+      > "$DIR/fmt_got.out"
+    cmp "$DIR/fmt_ref.out" "$DIR/fmt_got.out" || {
+      echo "FAIL: analyze --passes $pass --format $fmt differs from standalone" >&2
+      exit 1
+    }
+  done
+done
+
+# --out-dir names files by the format's extension and writes the same bytes
+# the standalone command prints.
+"$LOCKDOC" analyze "$DIR/eq.lockdb" --passes violations --format json \
+  --out-dir "$DIR/fmt_out" > /dev/null
+"$LOCKDOC" violations "$DIR/eq.lockdb" --format json > "$DIR/fmt_ref.out"
+cmp "$DIR/fmt_ref.out" "$DIR/fmt_out/violations.json"
+"$LOCKDOC" analyze "$DIR/eq.lockdb" --passes check --format html \
+  --out-dir "$DIR/fmt_out" > /dev/null
+"$LOCKDOC" check "$DIR/eq.lockdb" --format html > "$DIR/fmt_ref.out"
+cmp "$DIR/fmt_ref.out" "$DIR/fmt_out/check.html"
+
+# --filter-config suppression is deterministic and reported, never silent.
+cat > "$DIR/filt.conf" <<'EOF'
+[ignored-functions]
+vfs_write
+EOF
+"$LOCKDOC" violations "$DIR/eq.trace" --filter-config "$DIR/filt.conf" > "$DIR/filt1.out"
+"$LOCKDOC" violations "$DIR/eq.lockdb" --filter-config "$DIR/filt.conf" --jobs 8 \
+  > "$DIR/filt2.out"
+cmp "$DIR/filt1.out" "$DIR/filt2.out"
+grep -q "blacklist suppressed" "$DIR/filt1.out" || {
+  echo "FAIL: --filter-config suppressed nothing (workload drift?)" >&2
+  exit 1
+}
+
 # The full suite derives rules exactly once.
 derivations=$("$LOCKDOC" analyze "$DIR/eq.lockdb" --timings 2>&1 > /dev/null |
   grep -c "rule derivation (interned)")

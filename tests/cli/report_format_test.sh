@@ -1,0 +1,37 @@
+#!/bin/sh
+# Structured-format validation: emit JSON and HTML reports from every
+# phase-3 pass and check them with scripts/check_report_formats.py —
+# JSON must parse and match the lockdoc-report-v1 schema shape, HTML must
+# be tag-balanced with the expected preamble. Skips (exit 0 with a note)
+# when python3 is unavailable; CI always has it.
+#
+# Usage: report_format_test.sh <lockdoc-binary> <checker.py> <scratch-dir>
+set -eu
+
+LOCKDOC="$1"
+CHECKER="$2"
+DIR="$3"
+mkdir -p "$DIR"
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "SKIP: python3 not available; structured-format validation not run"
+  exit 0
+fi
+
+"$LOCKDOC" simulate --out "$DIR/fmt.trace" --ops 2000 --seed 7
+
+for pass in check derive violations lock-order modes report; do
+  "$LOCKDOC" "$pass" "$DIR/fmt.trace" --format json > "$DIR/${pass}.json"
+  "$LOCKDOC" "$pass" "$DIR/fmt.trace" --format html > "$DIR/${pass}.html"
+done
+"$LOCKDOC" report "$DIR/fmt.trace" --full --format json > "$DIR/report_full.json"
+"$LOCKDOC" report "$DIR/fmt.trace" --full --format html > "$DIR/report_full.html"
+
+# analyze --out-dir names files by format extension; validate those too.
+"$LOCKDOC" analyze "$DIR/fmt.trace" --format json --out-dir "$DIR/out_json"
+"$LOCKDOC" analyze "$DIR/fmt.trace" --format html --out-dir "$DIR/out_html"
+
+python3 "$CHECKER" json "$DIR"/*.json "$DIR/out_json"/*.json
+python3 "$CHECKER" html "$DIR"/*.html "$DIR/out_html"/*.html
+
+echo "report format validation OK"

@@ -1,0 +1,96 @@
+// Tests for the filter-config file format (--filter-config): one name per
+// line under [section] headers, '#' comments, typed parse errors carrying
+// line numbers — and the compiled-in Defaults() staying exactly as before.
+#include "src/core/filter_config.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdoc {
+namespace {
+
+TEST(FilterConfigTest, DefaultsUnchanged) {
+  FilterConfig config = FilterConfig::Defaults();
+  // The compiled-in defaults predate the file format; a parser must never
+  // change them (they guard the importer's byte-compat).
+  EXPECT_EQ(config.ignored_functions.size(), 23u);
+  EXPECT_TRUE(config.ignored_functions.count("atomic_read"));
+  EXPECT_TRUE(config.ignored_functions.count("WRITE_ONCE"));
+  EXPECT_TRUE(config.ignored_functions.count("test_and_clear_bit"));
+  EXPECT_TRUE(config.init_teardown_functions.empty());
+  EXPECT_TRUE(config.blacklisted_members.empty());
+}
+
+TEST(FilterConfigTest, ParsesAllThreeSections) {
+  auto parsed = ParseFilterConfigText(
+      "# a comment\n"
+      "[ignored-functions]\n"
+      "vfs_write  # trailing comment\n"
+      "vfs_read\n"
+      "\n"
+      "[init-teardown-functions]\n"
+      "inode_init_once\n"
+      "[blacklisted-members]\n"
+      "inode.i_state\n"
+      "inode:ext4.i_hash\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const FilterConfig& config = parsed.value();
+  EXPECT_EQ(config.ignored_functions,
+            (std::set<std::string>{"vfs_read", "vfs_write"}));
+  EXPECT_EQ(config.init_teardown_functions, (std::set<std::string>{"inode_init_once"}));
+  EXPECT_EQ(config.blacklisted_members,
+            (std::set<std::string>{"inode.i_state", "inode:ext4.i_hash"}));
+}
+
+TEST(FilterConfigTest, StartsEmptyNotFromDefaults) {
+  auto parsed = ParseFilterConfigText("[ignored-functions]\nonly_this\n");
+  ASSERT_TRUE(parsed.ok());
+  // A parsed file REPLACES the defaults; it does not extend them.
+  EXPECT_EQ(parsed.value().ignored_functions, (std::set<std::string>{"only_this"}));
+}
+
+TEST(FilterConfigTest, EmptyAndCommentOnlyTextIsValid) {
+  ASSERT_TRUE(ParseFilterConfigText("").ok());
+  auto parsed = ParseFilterConfigText("# nothing here\n\n  # still nothing\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().ignored_functions.empty());
+}
+
+TEST(FilterConfigTest, NameBeforeSectionIsError) {
+  auto parsed = ParseFilterConfigText("orphan\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("before any section header"),
+            std::string::npos);
+}
+
+TEST(FilterConfigTest, UnknownSectionIsError) {
+  auto parsed = ParseFilterConfigText("[ignored-functions]\nx\n[no-such-thing]\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("no-such-thing"), std::string::npos);
+}
+
+TEST(FilterConfigTest, UnterminatedSectionHeaderIsError) {
+  auto parsed = ParseFilterConfigText("[ignored-functions\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(FilterConfigTest, MultiWordLineIsError) {
+  auto parsed = ParseFilterConfigText("[ignored-functions]\ntwo words\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("one name per line"), std::string::npos);
+  EXPECT_FALSE(ParseFilterConfigText("[ignored-functions]\nkey=value\n").ok());
+}
+
+TEST(FilterConfigTest, MissingFileIsTypedError) {
+  auto loaded = LoadFilterConfigFile("/nonexistent/filter.conf");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("/nonexistent/filter.conf"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lockdoc

@@ -1,0 +1,423 @@
+// Tests for the structured report IR (src/report/ir.h) and its renderers:
+// builder behavior, text byte-compatibility, JSON/HTML golden fixtures, a
+// JSON well-formedness + schema-shape check, and the escaping helpers.
+#include "src/report/ir.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/violation_finder.h"
+#include "src/report/render.h"
+#include "src/report/render_html.h"
+#include "src/report/render_json.h"
+#include "src/report/render_text.h"
+#include "src/util/file_io.h"
+
+namespace lockdoc {
+namespace {
+
+std::string TestdataPath(const std::string& name) {
+  return std::string(LOCKDOC_TESTDATA_DIR) + "/" + name;
+}
+
+// A small deterministic document exercising every node kind, decoration
+// skipping, field views, escaping, and both cex-group styles.
+ReportDocument MakeFixtureDocument() {
+  ReportDocument doc;
+  doc.pass = "violations";
+
+  ReportSection& section = AddHeadedSection(doc, "violations", "locking-rule violations");
+  ReportNode& table = AddTable(section, "violation-summary",
+                               {"Data Type", "Events", "Members", "Contexts"});
+  table.table.rows.push_back({"inode:ext4", "42", "3", "5"});
+  table.table.rows.push_back({"dentry", "7", "1", "2"});
+  AddDecoration(section, "\n");
+
+  CexGroupData group;
+  group.member = "inode:ext4.i_size";
+  group.access = "w";
+  group.rule = "ES(i_lock in inode)";
+  group.held = "(none)";
+  group.location = "fs/inode.c:507";
+  group.stack = "iput <- dput";
+  group.events = 42;
+  group.rank = 1;
+  group.representative_seq = 1234;
+  group.frames = {"iput", "dput"};
+  group.held_locks.push_back({"EO(i_rwsem in inode)", "exclusive", "fs/namei.c:88"});
+  group.nearest_complying.present = true;
+  group.nearest_complying.seq = 1200;
+  group.nearest_complying.distance = 34;
+  group.nearest_complying.location = "fs/inode.c:480";
+  group.nearest_complying.stack = "iget <- path_openat";
+  group.nearest_complying.held = "ES(i_lock in inode)";
+  AddCexGroup(section, group);
+
+  // A second, sparser group: no forensics enrichment, "escape <&>" bait.
+  CexGroupData sparse;
+  sparse.member = "dentry.d_count \"quoted\"";
+  sparse.access = "r";
+  sparse.rule = "dcache_lock";
+  sparse.held = "<none & nothing>";
+  sparse.location = "fs/dcache.c:99";
+  sparse.stack = "(no stack)";
+  sparse.events = 7;
+  sparse.rank = 2;
+  AddCexGroup(section, sparse);
+
+  ReportSection& plain = AddSection(doc, "notes");
+  ReportNode& note = AddTextNode(plain, "truncation",
+                                 "showing 2 of 9 counterexample groups\n");
+  note.fields = {{"shown", "2"}, {"total", "9"}};
+  return doc;
+}
+
+// --- builders ---
+
+TEST(ReportIrTest, BuildersSetKindsAndIds) {
+  ReportDocument doc = MakeFixtureDocument();
+  EXPECT_EQ(doc.pass, "violations");
+  ASSERT_EQ(doc.sections.size(), 2u);
+  const ReportSection& section = doc.sections[0];
+  EXPECT_TRUE(section.heading);
+  EXPECT_EQ(section.title, "locking-rule violations");
+  ASSERT_EQ(section.nodes.size(), 4u);
+  EXPECT_EQ(section.nodes[0].kind, ReportNodeKind::kTable);
+  EXPECT_EQ(section.nodes[0].table.id, "violation-summary");
+  EXPECT_EQ(section.nodes[0].id, "violation-summary");
+  EXPECT_TRUE(section.nodes[1].decoration);
+  EXPECT_EQ(section.nodes[2].kind, ReportNodeKind::kCexGroup);
+  EXPECT_FALSE(doc.sections[1].heading);
+}
+
+// --- text renderer: the byte-compat anchor ---
+
+TEST(ReportIrTest, HeadingMatchesLegacyBanner) {
+  EXPECT_EQ(ReportHeading("trace statistics"),
+            "\n== trace statistics "
+            "========================================================\n\n");
+}
+
+TEST(ReportIrTest, TextRendererEmitsVerbatimTextAndDecoration) {
+  ReportDocument doc;
+  doc.pass = "check";
+  ReportSection& section = AddSection(doc, "rule-check");
+  AddTextNode(section, "verdict", "!  inode.i_state w\n");
+  AddDecoration(section, "\n");
+  EXPECT_EQ(RenderReportText(doc), "!  inode.i_state w\n\n");
+}
+
+TEST(ReportIrTest, TextRendererCexGroupStyles) {
+  CexGroupData group;
+  group.member = "inode.i_size";
+  group.access = "w";
+  group.rule = "ES(i_lock in inode)";
+  group.held = "(none)";
+  group.location = "fs/inode.c:507";
+  group.stack = "iput <- dput";
+  group.events = 42;
+
+  ReportDocument standalone;
+  ReportSection& s1 = AddSection(standalone, "violations");
+  AddCexGroup(s1, group);
+  EXPECT_EQ(RenderReportText(standalone),
+            "inode.i_size [w]\n  rule: ES(i_lock in inode)\n  held: (none)\n"
+            "  at fs/inode.c:507 (42 events)\n  stack: iput <- dput\n\n");
+
+  group.report_style = true;
+  ReportDocument report;
+  ReportSection& s2 = AddSection(report, "violations");
+  AddCexGroup(s2, group);
+  EXPECT_EQ(RenderReportText(report),
+            "\ninode.i_size [w]\n  rule: ES(i_lock in inode)\n  held: (none)\n"
+            "  at fs/inode.c:507 (42 events)\n  stack: iput <- dput\n");
+}
+
+TEST(ReportIrTest, TextRendererLaysOutTables) {
+  ReportDocument doc;
+  ReportSection& section = AddSection(doc, "s");
+  ReportNode& table = AddTable(section, "t", {"A", "Bee"});
+  table.table.rows.push_back({"1", "2"});
+  std::string text = RenderReportText(doc);
+  EXPECT_NE(text.find("A"), std::string::npos);
+  EXPECT_NE(text.find("Bee"), std::string::npos);
+  EXPECT_NE(text.find("1"), std::string::npos);
+  // Header separator line from TextTable.
+  EXPECT_NE(text.find("-"), std::string::npos);
+}
+
+// --- forensics notes ---
+
+TEST(ReportIrTest, ForensicsNotesReportClippingAndSuppression) {
+  ViolationForensics forensics;
+  forensics.total_groups = 9;
+  forensics.shown_groups = 2;
+  forensics.suppressed_groups = 3;
+  forensics.suppressed_events = 17;
+
+  ReportDocument doc;
+  ReportSection& section = AddSection(doc, "violations");
+  AppendForensicsNotes(section, forensics, /*report_style=*/false);
+  EXPECT_EQ(RenderReportText(doc),
+            "showing 2 of 9 counterexample groups\n"
+            "blacklist suppressed 3 counterexample groups (17 events)\n");
+
+  ReportDocument styled;
+  ReportSection& styled_section = AddSection(styled, "violations");
+  AppendForensicsNotes(styled_section, forensics, /*report_style=*/true);
+  EXPECT_EQ(RenderReportText(styled),
+            "\nshowing 2 of 9 counterexample groups\n"
+            "blacklist suppressed 3 counterexample groups (17 events)\n");
+}
+
+TEST(ReportIrTest, ForensicsNotesSilentWhenNothingClipped) {
+  ViolationForensics forensics;
+  forensics.total_groups = 2;
+  forensics.shown_groups = 2;
+  ReportDocument doc;
+  ReportSection& section = AddSection(doc, "violations");
+  AppendForensicsNotes(section, forensics, /*report_style=*/false);
+  EXPECT_TRUE(section.nodes.empty());
+}
+
+// --- escaping ---
+
+TEST(ReportIrTest, JsonEscape) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab\r"), "line\\nbreak\\ttab\\r");
+  EXPECT_EQ(JsonEscape(std::string("nul\x01")), "nul\\u0001");
+}
+
+TEST(ReportIrTest, HtmlEscape) {
+  EXPECT_EQ(HtmlEscape("plain"), "plain");
+  EXPECT_EQ(HtmlEscape("<a href=\"x\">&'s</a>"),
+            "&lt;a href=&quot;x&quot;&gt;&amp;&#39;s&lt;/a&gt;");
+}
+
+// --- format plumbing ---
+
+TEST(ReportIrTest, ParseReportFormat) {
+  EXPECT_EQ(ParseReportFormat("text"), ReportFormat::kText);
+  EXPECT_EQ(ParseReportFormat("json"), ReportFormat::kJson);
+  EXPECT_EQ(ParseReportFormat("html"), ReportFormat::kHtml);
+  EXPECT_FALSE(ParseReportFormat("xml").has_value());
+  EXPECT_FALSE(ParseReportFormat("").has_value());
+  EXPECT_FALSE(ParseReportFormat("JSON").has_value());
+}
+
+TEST(ReportIrTest, FormatNamesAndExtensions) {
+  EXPECT_EQ(ReportFormatName(ReportFormat::kText), std::string("text"));
+  EXPECT_EQ(ReportFormatExtension(ReportFormat::kText), std::string("txt"));
+  EXPECT_EQ(ReportFormatExtension(ReportFormat::kJson), std::string("json"));
+  EXPECT_EQ(ReportFormatExtension(ReportFormat::kHtml), std::string("html"));
+}
+
+TEST(ReportIrTest, DispatcherMatchesDirectRenderers) {
+  ReportDocument doc = MakeFixtureDocument();
+  EXPECT_EQ(RenderReportDocument(doc, ReportFormat::kText), RenderReportText(doc));
+  EXPECT_EQ(RenderReportDocument(doc, ReportFormat::kJson), RenderReportJson(doc));
+  EXPECT_EQ(RenderReportDocument(doc, ReportFormat::kHtml), RenderReportHtml(doc));
+}
+
+// --- a minimal JSON well-formedness check (no external parser) ---
+
+class MiniJson {
+ public:
+  explicit MiniJson(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // Closing quote.
+    return true;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() && (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '.' || text_[pos_] == 'e' ||
+                                   text_[pos_] == 'E' || text_[pos_] == '+' ||
+                                   text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        SkipWs();
+        if (!String()) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          return false;
+        }
+        ++pos_;
+        if (!Value()) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (pos_ >= text_.size() || text_[pos_] != '}') {
+        return false;
+      }
+      ++pos_;
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        if (!Value()) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (pos_ >= text_.size() || text_[pos_] != ']') {
+        return false;
+      }
+      ++pos_;
+      return true;
+    }
+    if (c == '"') {
+      return String();
+    }
+    if (c == 't') {
+      return Literal("true");
+    }
+    if (c == 'f') {
+      return Literal("false");
+    }
+    if (c == 'n') {
+      return Literal("null");
+    }
+    return Number();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+TEST(ReportIrTest, JsonRendererIsWellFormedWithSchemaShape) {
+  ReportDocument doc = MakeFixtureDocument();
+  std::string json = RenderReportJson(doc);
+  EXPECT_TRUE(MiniJson(json).Valid()) << json;
+  // Schema shape: versioned schema marker, pass name, typed nodes.
+  EXPECT_NE(json.find("\"schema\": \"lockdoc-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"pass\": \"violations\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"table\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"counterexample-group\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"text\""), std::string::npos);
+  EXPECT_NE(json.find("\"held_locks\""), std::string::npos);
+  EXPECT_NE(json.find("\"nearest_complying\""), std::string::npos);
+  // The sparse group has no complying access: rendered as null, not omitted.
+  EXPECT_NE(json.find("\"nearest_complying\": null"), std::string::npos);
+  // Decoration nodes never reach JSON.
+  EXPECT_EQ(json.find("\"text\": \"\\n\""), std::string::npos);
+}
+
+TEST(ReportIrTest, JsonMatchesGolden) {
+  auto golden = ReadFileToString(TestdataPath("report_golden.json"));
+  ASSERT_TRUE(golden.ok()) << golden.status().message();
+  EXPECT_EQ(RenderReportJson(MakeFixtureDocument()), golden.value());
+}
+
+TEST(ReportIrTest, HtmlMatchesGolden) {
+  auto golden = ReadFileToString(TestdataPath("report_golden.html"));
+  ASSERT_TRUE(golden.ok()) << golden.status().message();
+  EXPECT_EQ(RenderReportHtml(MakeFixtureDocument()), golden.value());
+}
+
+TEST(ReportIrTest, HtmlRendererEscapesAndStructures) {
+  ReportDocument doc = MakeFixtureDocument();
+  std::string html = RenderReportHtml(doc);
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("<section id=\"violations\">"), std::string::npos);
+  EXPECT_NE(html.find("<h2>locking-rule violations</h2>"), std::string::npos);
+  EXPECT_NE(html.find("class=\"cex-group\""), std::string::npos);
+  // The bait strings arrive escaped, never raw.
+  EXPECT_EQ(html.find("<none & nothing>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;none &amp; nothing&gt;"), std::string::npos);
+  // Balanced top-level structure.
+  size_t opens = 0, closes = 0;
+  for (size_t pos = html.find("<section"); pos != std::string::npos;
+       pos = html.find("<section", pos + 1)) {
+    ++opens;
+  }
+  for (size_t pos = html.find("</section>"); pos != std::string::npos;
+       pos = html.find("</section>", pos + 1)) {
+    ++closes;
+  }
+  EXPECT_EQ(opens, closes);
+  EXPECT_NE(html.find("</body>\n</html>\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lockdoc

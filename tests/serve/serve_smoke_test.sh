@@ -36,10 +36,16 @@ printf 'pass=violations\ninput=web\nlimit=2\n' > "$SPOOL/requests/viol2.req"
 printf 'pass=modes\ninput=web\nall=1\n' > "$SPOOL/requests/modesall.req"
 printf 'pass=report\ninput=web\nfull=1\n' > "$SPOOL/requests/reportfull.req"
 printf 'pass=derive\ninput=web\ntac=0.5\n' > "$SPOOL/requests/tac.req"
+# format= mirrors the CLI's --format: same renderer, same bytes.
+printf 'pass=violations\ninput=web\nformat=json\n' > "$SPOOL/requests/violjson.req"
+printf 'pass=report\ninput=web\nformat=json\n' > "$SPOOL/requests/reportjson.req"
+printf 'pass=report\ninput=web\nformat=html\n' > "$SPOOL/requests/reporthtml.req"
+printf 'pass=check\ninput=web\nformat=text\n' > "$SPOOL/requests/checktext.req"
 # Typed errors, not crashes.
 printf 'pass=nope\ninput=web\n' > "$SPOOL/requests/badpass.req"
 printf 'pass=check\ninput=ghost\n' > "$SPOOL/requests/badinput.req"
 printf 'pass=check\ninput=../../etc/passwd\n' > "$SPOOL/requests/escape.req"
+printf 'pass=check\ninput=web\nformat=bogus\n' > "$SPOOL/requests/badformat.req"
 
 "$LOCKDOC" serve "$SPOOL" --once > /dev/null || fail "serve --once failed"
 
@@ -58,10 +64,23 @@ cmp -s "$DIR/expect.out" "$SPOOL/responses/reportfull.out" || fail "full=1 respo
 "$LOCKDOC" derive "$DIR/web.trace" --tac 0.5 > "$DIR/expect.out"
 cmp -s "$DIR/expect.out" "$SPOOL/responses/tac.out" || fail "tac=0.5 response != CLI bytes"
 
+for req in violjson reportjson; do
+  pass=violations; [ "$req" = "reportjson" ] && pass=report
+  "$LOCKDOC" "$pass" "$DIR/web.trace" --format json > "$DIR/expect.out"
+  cmp -s "$DIR/expect.out" "$SPOOL/responses/$req.out" || fail "format=json $pass != CLI bytes"
+done
+"$LOCKDOC" report "$DIR/web.trace" --format html > "$DIR/expect.out"
+cmp -s "$DIR/expect.out" "$SPOOL/responses/reporthtml.out" || fail "format=html != CLI bytes"
+"$LOCKDOC" check "$DIR/web.trace" > "$DIR/expect.out"
+cmp -s "$DIR/expect.out" "$SPOOL/responses/checktext.out" || fail "format=text != CLI bytes"
+grep -q '^format=json$' "$SPOOL/responses/violjson.meta" || fail "format=json missing from meta"
+
 grep -q '^kind=unknown-pass$' "$SPOOL/responses/badpass.meta" || fail "bad pass not typed unknown-pass"
 grep -q '^kind=unknown-input$' "$SPOOL/responses/badinput.meta" || fail "bad input not typed unknown-input"
 grep -q '^kind=bad-request$' "$SPOOL/responses/escape.meta" || fail "path escape not typed bad-request"
+grep -q '^kind=bad-request$' "$SPOOL/responses/badformat.meta" || fail "bad format not typed bad-request"
 [ -f "$SPOOL/responses/badpass.out" ] && fail "error response must not carry an .out"
+[ -f "$SPOOL/responses/badformat.out" ] && fail "bad-format response must not carry an .out"
 
 # A second --once run on the drained spool is a clean no-op.
 "$LOCKDOC" serve "$SPOOL" --once > "$DIR/stats2.txt" || fail "idle serve --once failed"
@@ -155,6 +174,12 @@ if [ -n "$PORT" ]; then
     > "$DIR/sockq.out" 2> "$DIR/sockq.meta" || fail "socket diff failed"
   "$LOCKDOC" diff "$DIR/base.trace" "$DIR/web.trace" > "$DIR/expect.out"
   cmp -s "$DIR/expect.out" "$DIR/sockq.out" || fail "socket diff != CLI bytes"
+  # Structured formats cross the wire byte-identically too.
+  printf 'pass=violations\ninput=web\nformat=json\n' > "$DIR/sockq.req"
+  "$LOCKDOC" query "127.0.0.1:$PORT" "$DIR/sockq.req" \
+    > "$DIR/sockq.out" 2> "$DIR/sockq.meta" || fail "socket format=json query failed"
+  "$LOCKDOC" violations "$DIR/web.trace" --format json > "$DIR/expect.out"
+  cmp -s "$DIR/expect.out" "$DIR/sockq.out" || fail "socket format=json != CLI bytes"
   # Typed errors cross the wire with the same taxonomy as the spool.
   printf 'pass=nope\ninput=web\n' > "$DIR/sockq.req"
   "$LOCKDOC" query "127.0.0.1:$PORT" "$DIR/sockq.req" \

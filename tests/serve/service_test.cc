@@ -140,6 +140,25 @@ TEST(ServeRequestTest, ParsesFullRequest) {
   EXPECT_EQ(request.value().pass_options.violation_limit, 3u);
 }
 
+TEST(ServeRequestTest, ParsesFormatKey) {
+  auto request = ParseServeRequest("r1", "pass=violations\ninput=web\nformat=json\n");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request.value().format, ReportFormat::kJson);
+  EXPECT_TRUE(request.value().has_format);
+  // Omitted: defaults to text without marking the key as present.
+  auto plain = ParseServeRequest("r2", "pass=violations\ninput=web\n");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().format, ReportFormat::kText);
+  EXPECT_FALSE(plain.value().has_format);
+}
+
+TEST(ServeRequestTest, RejectsBadFormat) {
+  auto request = ParseServeRequest("r", "pass=check\ninput=web\nformat=bogus\n");
+  ASSERT_FALSE(request.ok());
+  EXPECT_NE(request.status().message().find("expected text, json or html"),
+            std::string::npos);
+}
+
 TEST(ServeRequestTest, RejectsBadRequests) {
   EXPECT_FALSE(ParseServeRequest("r", "input=web\n").ok());       // No pass.
   EXPECT_FALSE(ParseServeRequest("r", "pass=check\n").ok());      // No input.

@@ -61,9 +61,11 @@
 #include <sstream>
 
 #include "src/core/analysis_pass.h"
+#include "src/core/filter_config.h"
 #include "src/core/pipeline.h"
 #include "src/core/snapshot.h"
 #include "src/db/snapshot.h"
+#include "src/report/render.h"
 #include "src/serve/service.h"
 #include "src/serve/socket.h"
 #include "src/serve/spool.h"
@@ -92,12 +94,13 @@ int Usage() {
                "  stats FILE\n"
                "  derive FILE [--tac T] [--type NAME [--subclass NAME]] [--spec] [--support]\n"
                "  check FILE [--rules RULES.txt]\n"
-               "  violations FILE [--limit N] [--tac T]\n"
+               "  violations FILE [--limit N] [--tac T] [--filter-config FILE]\n"
                "  lock-order FILE\n"
                "  modes FILE [--all]\n"
-               "  report FILE [--full]\n"
+               "  report FILE [--full] [--filter-config FILE]\n"
                "  diff OLD NEW [--all]\n"
                "  analyze FILE [--passes P1,P2,...] [--baseline OLD] [--out-dir DIR]\n"
+               "          [--filter-config FILE]\n"
                "  export-csv FILE --dir DIR\n"
                "  doctor FILE [--repair OUT]\n"
                "  serve SPOOL_DIR [--state DIR] [--once] [--poll-ms T]\n"
@@ -117,6 +120,10 @@ int Usage() {
                "results are byte-identical at any value), --timings to print\n"
                "per-phase wall time and throughput to stderr, and\n"
                "--timings-json PATH to write the same data as JSON.\n"
+               "phase-3 analysis commands accept --format text|json|html to pick the\n"
+               "report rendering (text is byte-identical to previous releases);\n"
+               "--filter-config FILE blacklists functions/members from counterexample\n"
+               "forensics, with suppressed counts reported, never silent.\n"
                "a flag a command does not accept is a usage error (exit 64)\n",
                PassRegistry::Default().JoinedNames().c_str());
   return 2;
@@ -277,20 +284,21 @@ const std::map<std::string, std::set<std::string>>& CommandFlagTable() {
         {"simulate", {"out", "ops", "seed", "clean", "script", "workload"}},
         {"import", with({"out", "format"})},
         {"stats", {"salvage"}},
-        {"derive", with({"tac", "type", "subclass", "spec", "support", "out-dir"})},
-        {"check", with({"rules"})},
-        {"violations", with({"limit", "tac"})},
-        {"lock-order", with({})},
-        {"modes", with({"all", "tac"})},
-        {"report", with({"full", "tac"})},
-        {"diff", with({"all", "tac"})},
+        {"derive", with({"tac", "type", "subclass", "spec", "support", "out-dir", "format"})},
+        {"check", with({"rules", "format"})},
+        {"violations", with({"limit", "tac", "format", "filter-config"})},
+        {"lock-order", with({"format"})},
+        {"modes", with({"all", "tac", "format"})},
+        {"report", with({"full", "tac", "format", "filter-config"})},
+        {"diff", with({"all", "tac", "format"})},
         {"export-csv", with({"dir"})},
         {"doctor", {"repair"}},
         {"serve", {"state", "once", "poll-ms", "max-resident", "max-resident-bytes",
                    "deadline-ms", "max-trace-bytes", "jobs", "workers", "listen"}},
         {"query", {}},
         {"analyze", with({"passes", "baseline", "out-dir", "tac", "rules", "limit", "all",
-                          "full", "spec", "support", "type", "subclass"})},
+                          "full", "spec", "support", "type", "subclass", "format",
+                          "filter-config"})},
     };
   }();
   return *table;
@@ -377,12 +385,71 @@ bool FillPassOptions(const std::string& command, const FlagSet& flags, bool mm_i
   return true;
 }
 
+// --format text|json|html: which renderer consumes the pass's report
+// document. A bad (or bare) value is a usage error, exit 64.
+bool ParseFormatFlag(const std::string& command, const FlagSet& flags, ReportFormat* format) {
+  *format = ReportFormat::kText;
+  if (!flags.Has("format")) {
+    return true;
+  }
+  std::string value = flags.GetString("format", "");
+  std::optional<ReportFormat> parsed = ParseReportFormat(value);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "lockdoc %s: --format must be text, json or html (got '%s')\n",
+                 command.c_str(), value.c_str());
+    return false;
+  }
+  *format = *parsed;
+  return true;
+}
+
+// --filter-config FILE: the forensics blacklist applied to counterexample
+// groups (suppressed counts are reported, never silent). A missing or
+// malformed file is a usage error, exit 64, with the parse error's line
+// number on stderr.
+bool LoadForensicsFilter(const std::string& command, const FlagSet& flags,
+                         std::shared_ptr<const FilterConfig>* out) {
+  out->reset();
+  if (!flags.Has("filter-config")) {
+    return true;
+  }
+  std::string path = flags.GetString("filter-config", "");
+  if (path.empty() || path == "true") {
+    std::fprintf(stderr, "lockdoc %s: --filter-config requires a file path\n",
+                 command.c_str());
+    return false;
+  }
+  Result<FilterConfig> loaded = LoadFilterConfigFile(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "lockdoc %s: %s\n", command.c_str(),
+                 loaded.status().message().c_str());
+    return false;
+  }
+  *out = std::make_shared<FilterConfig>(std::move(loaded).value());
+  return true;
+}
+
+// Renders a finished pass output in the requested format. kText reuses the
+// bytes Run() already rendered (the byte-compat contract's fast path).
+std::string RenderOutput(const PassOutput& out, ReportFormat format) {
+  if (format == ReportFormat::kText) {
+    return out.text;
+  }
+  return RenderReportDocument(out.doc, format);
+}
+
 // The shared shell of every single-input analysis command: load the input
 // into a snapshot, wrap it in an AnalysisContext, run the registered pass
-// of the same name, emit its bytes.
+// of the same name, emit its bytes in the requested format.
 int RunPassCommand(const std::string& command, const FlagSet& flags) {
   const AnalysisPass* pass = PassRegistry::Default().Find(command);
   LOCKDOC_CHECK(pass != nullptr);
+  ReportFormat format;
+  std::shared_ptr<const FilterConfig> filter;
+  if (!ParseFormatFlag(command, flags, &format) ||
+      !LoadForensicsFilter(command, flags, &filter)) {
+    return 64;
+  }
   AnalysisInput input;
   if (!LoadAnalysisInput(flags, &input)) {
     return 1;
@@ -392,6 +459,7 @@ int RunPassCommand(const std::string& command, const FlagSet& flags) {
   if (!FillPassOptions(command, flags, IsMmRegistry(*input.registry), &options.pass)) {
     return 1;
   }
+  options.pass.forensics_filter = std::move(filter);
   AnalysisContext context(&input.snapshot, input.registry.get(), std::move(options),
                           &input.timings);
   PassOutput out;
@@ -403,7 +471,8 @@ int RunPassCommand(const std::string& command, const FlagSet& flags) {
   if (!EmitTimings(flags, input.timings)) {
     return 1;
   }
-  std::fwrite(out.text.data(), 1, out.text.size(), stdout);
+  std::string rendered = RenderOutput(out, format);
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
   return 0;
 }
 
@@ -560,6 +629,10 @@ int CmdDiff(const FlagSet& flags) {
   }
   const AnalysisPass* pass = PassRegistry::Default().Find("diff");
   LOCKDOC_CHECK(pass != nullptr);
+  ReportFormat format;
+  if (!ParseFormatFlag("diff", flags, &format)) {
+    return 64;
+  }
 
   // Each side picks its own registry (a base-VFS OLD can be diffed against
   // an mm NEW; class names render identically across both).
@@ -597,7 +670,8 @@ int CmdDiff(const FlagSet& flags) {
       !EmitTimings(flags, new_input.timings)) {
     return 1;
   }
-  std::fwrite(out.text.data(), 1, out.text.size(), stdout);
+  std::string rendered = RenderOutput(out, format);
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
   return 0;
 }
 
@@ -609,6 +683,12 @@ int CmdDiff(const FlagSet& flags) {
 // pass order, or to DIR/<pass>.txt with --out-dir.
 int CmdAnalyze(const FlagSet& flags) {
   const PassRegistry& passes = PassRegistry::Default();
+  ReportFormat format;
+  std::shared_ptr<const FilterConfig> filter;
+  if (!ParseFormatFlag("analyze", flags, &format) ||
+      !LoadForensicsFilter("analyze", flags, &filter)) {
+    return 64;
+  }
   bool has_baseline = flags.Has("baseline");
   if (has_baseline && flags.GetString("baseline", "") == "true") {
     std::fprintf(stderr, "lockdoc analyze: --baseline requires an input file\n");
@@ -658,6 +738,7 @@ int CmdAnalyze(const FlagSet& flags) {
   if (!FillPassOptions("analyze", flags, IsMmRegistry(*input.registry), &options.pass)) {
     return 1;
   }
+  options.pass.forensics_filter = std::move(filter);
 
   // The OLD side for the diff pass, with its own matching registry.
   AnalysisInput baseline_input;
@@ -690,13 +771,15 @@ int CmdAnalyze(const FlagSet& flags) {
       std::fprintf(stderr, "lockdoc: %s\n", status.message().c_str());
       return 1;
     }
+    std::string rendered = RenderOutput(out, format);
     if (out_dir.empty()) {
-      std::fwrite(out.text.data(), 1, out.text.size(), stdout);
+      std::fwrite(rendered.data(), 1, rendered.size(), stdout);
     } else {
-      std::string path = out_dir + "/" + std::string(pass->name()) + ".txt";
+      std::string path = out_dir + "/" + std::string(pass->name()) + "." +
+                         std::string(ReportFormatExtension(format));
       std::ofstream file(path, std::ios::binary | std::ios::trunc);
       if (!file ||
-          !file.write(out.text.data(), static_cast<std::streamsize>(out.text.size()))) {
+          !file.write(rendered.data(), static_cast<std::streamsize>(rendered.size()))) {
         std::fprintf(stderr, "lockdoc: cannot write %s\n", path.c_str());
         return 1;
       }
